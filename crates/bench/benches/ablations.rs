@@ -1,0 +1,144 @@
+//! Ablation benchmarks for the design choices the paper calls out:
+//!
+//! * the Eq. 9 vs Eq. 10 stage ordering and Algorithm 2's kernel form,
+//! * the spectral shift `µ = (1−2p)^ν·f_min` (Section 3),
+//! * the exact Section 5.1 reduction vs the full-size solve,
+//! * the Section 5.2 Kronecker decomposition vs the monolithic solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_landscape::{ErrorClass, Kronecker, Random};
+use qs_matvec::{Fmmp, FmmpVariant, LinearOperator};
+use quasispecies::{
+    solve, solve_error_class, solve_kronecker, Method, ShiftStrategy, SolverConfig,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fmmp_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fmmp_variants");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let nu = 16u32;
+    let n = 1usize << nu;
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
+    for variant in [
+        FmmpVariant::Iterative,
+        FmmpVariant::Eq10,
+        FmmpVariant::Recursive,
+        FmmpVariant::Kernel,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("variant", format!("{variant:?}")),
+            &variant,
+            |b, &v| {
+                let op = Fmmp::with_variant(nu, 0.01, v);
+                let mut buf = x.clone();
+                b.iter(|| op.apply_in_place(black_box(&mut buf)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shift_ablation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let nu = 12u32;
+    let landscape = Random::new(nu, 5.0, 1.0, 7);
+    for (label, strategy) in [
+        ("conservative", ShiftStrategy::Conservative),
+        ("none", ShiftStrategy::None),
+    ] {
+        group.bench_function(BenchmarkId::new("pi_fmmp", label), |b| {
+            let cfg = SolverConfig {
+                shift: strategy,
+                ..Default::default()
+            };
+            b.iter(|| black_box(solve(0.01, &landscape, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_51(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_5_1");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let nu = 14u32;
+    let ec = ErrorClass::single_peak(nu, 2.0, 1.0);
+    group.bench_function("full_pi_fmmp", |b| {
+        let cfg = SolverConfig::default();
+        b.iter(|| black_box(solve(0.02, &ec, &cfg).unwrap()));
+    });
+    group.bench_function("reduced_nu_plus_1", |b| {
+        let phi = ec.phi().to_vec();
+        b.iter(|| black_box(solve_error_class(nu, 0.02, &phi)));
+    });
+    group.finish();
+}
+
+fn bench_kronecker_52(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kronecker_5_2");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // ν = 16 as 4 factors of 4 bits.
+    let factor: Vec<f64> = (0..16u64)
+        .map(|d| {
+            if d == 0 {
+                1.6
+            } else {
+                1.0 + (d % 5) as f64 / 10.0
+            }
+        })
+        .collect();
+    let landscape = Kronecker::uniform(4, factor);
+    group.bench_function("monolithic_pi_fmmp", |b| {
+        let cfg = SolverConfig::default();
+        b.iter(|| black_box(solve(0.01, &landscape, &cfg).unwrap()));
+    });
+    group.bench_function("factorised", |b| {
+        let cfg = SolverConfig::default();
+        b.iter(|| black_box(solve_kronecker(0.01, &landscape, &cfg).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolver_ablation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let nu = 11u32;
+    let landscape = Random::new(nu, 5.0, 1.0, 5);
+    let methods: [(&str, Method); 3] = [
+        ("power", Method::Power),
+        ("lanczos", Method::Lanczos { subspace: 60 }),
+        ("rqi", Method::Rqi { warmup: 10 }),
+    ];
+    for (label, method) in methods {
+        group.bench_function(BenchmarkId::new("pi_fmmp", label), |b| {
+            let cfg = SolverConfig {
+                method,
+                tol: 1e-11,
+                ..Default::default()
+            };
+            b.iter(|| black_box(solve(0.01, &landscape, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fmmp_variants,
+    bench_shift,
+    bench_reduction_51,
+    bench_kronecker_52,
+    bench_eigensolvers
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Serial vs parallel backend scaling — the fidelity check for the GPU
+//! substitution (paper Section 4: Algorithm 2's kernel exposes `N/2`
+//! independent butterflies per stage; the speedup should track the
+//! hardware's parallelism/bandwidth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_matvec::{
+    fmmp::fmmp_in_place,
+    parallel::{par_dot, par_fmmp_in_place, par_norm_l2},
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for nu in [16u32, 18, 20] {
+        let n = 1usize << nu;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 1e-6).sin()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("fmmp_serial", nu), &nu, |b, _| {
+            let mut v = x.clone();
+            b.iter(|| fmmp_in_place(black_box(&mut v), 0.01));
+        });
+        group.bench_with_input(BenchmarkId::new("fmmp_parallel", nu), &nu, |b, _| {
+            let mut v = x.clone();
+            b.iter(|| par_fmmp_in_place(black_box(&mut v), 0.01));
+        });
+        group.bench_with_input(BenchmarkId::new("reduction_serial", nu), &nu, |b, _| {
+            b.iter(|| black_box(qs_linalg::dot(&x, &x) + qs_linalg::norm_l2(&x)));
+        });
+        group.bench_with_input(BenchmarkId::new("reduction_parallel", nu), &nu, |b, _| {
+            b.iter(|| black_box(par_dot(&x, &x) + par_norm_l2(&x)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

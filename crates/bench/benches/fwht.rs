@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the transform kernels: FWHT, Fmmp, and the
+//! FWHT-based shift-and-invert product (paper Section 3) — all
+//! `Θ(N log₂ N)` butterflies with different constants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_matvec::{fmmp::fmmp_in_place, fwht::fwht_in_place, LinearOperator, QShiftInvert};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for nu in [14u32, 16, 18] {
+        let n = 1usize << nu;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+
+        group.bench_with_input(BenchmarkId::new("fwht", nu), &nu, |b, _| {
+            let mut v = x.clone();
+            b.iter(|| fwht_in_place(black_box(&mut v)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("fmmp", nu), &nu, |b, _| {
+            let mut v = x.clone();
+            b.iter(|| fmmp_in_place(black_box(&mut v), 0.01));
+        });
+
+        group.bench_with_input(BenchmarkId::new("q_shift_invert", nu), &nu, |b, _| {
+            let op = QShiftInvert::new(nu, 0.01, -0.5);
+            let mut v = x.clone();
+            b.iter(|| op.apply_in_place(black_box(&mut v)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks behind paper Figure 2: one implicit product
+//! `Q·v` per engine across chain lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_matvec::{fmmp::fmmp_in_place, LinearOperator, Smvp, Xmvp};
+use qs_mutation::Uniform;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_vec(n: usize) -> Vec<f64> {
+    // Deterministic LCG; no RNG dependency needed in the bench loop.
+    let mut state = 0x243F6A8885A308D3u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let p = 0.01;
+    let mut group = c.benchmark_group("fig2_matvec");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for nu in [10u32, 12, 14, 16] {
+        let n = 1usize << nu;
+        let x = random_vec(n);
+
+        group.bench_with_input(BenchmarkId::new("fmmp", nu), &nu, |b, _| {
+            let mut v = x.clone();
+            b.iter(|| {
+                fmmp_in_place(black_box(&mut v), p);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("xmvp_1", nu), &nu, |b, _| {
+            let op = Xmvp::new(nu, p, 1);
+            let mut y = vec![0.0; n];
+            b.iter(|| op.apply_into(black_box(&x), &mut y));
+        });
+
+        if nu <= 12 {
+            group.bench_with_input(BenchmarkId::new("xmvp_full", nu), &nu, |b, _| {
+                let op = Xmvp::exact(nu, p);
+                let mut y = vec![0.0; n];
+                b.iter(|| op.apply_into(black_box(&x), &mut y));
+            });
+        }
+        if nu <= 12 {
+            group.bench_with_input(BenchmarkId::new("smvp", nu), &nu, |b, _| {
+                let op = Smvp::from_model(&Uniform::new(nu, p));
+                let mut y = vec![0.0; n];
+                b.iter(|| op.apply_into(black_box(&x), &mut y));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

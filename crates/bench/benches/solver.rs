@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks behind paper Figure 3: full power-iteration
+//! solves on the random landscape (Eq. 13, c = 5, σ = 1, p = 0.01).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_landscape::Random;
+use quasispecies::{solve, Engine, Method, SolverConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_solver(c: &mut Criterion) {
+    let p = 0.01;
+    let mut group = c.benchmark_group("fig3_solver");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for nu in [10u32, 12] {
+        let landscape = Random::new(nu, 5.0, 1.0, 1000 + nu as u64);
+
+        group.bench_with_input(BenchmarkId::new("pi_fmmp", nu), &nu, |b, _| {
+            let cfg = SolverConfig::default();
+            b.iter(|| black_box(solve(p, &landscape, &cfg).unwrap()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("pi_fmmp_parallel", nu), &nu, |b, _| {
+            let cfg = SolverConfig {
+                engine: Engine::FmmpParallel,
+                ..Default::default()
+            };
+            b.iter(|| black_box(solve(p, &landscape, &cfg).unwrap()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("pi_xmvp5", nu), &nu, |b, _| {
+            let cfg = SolverConfig {
+                engine: Engine::Xmvp { d_max: 5 },
+                tol: 1e-10,
+                ..Default::default()
+            };
+            b.iter(|| black_box(solve(p, &landscape, &cfg).unwrap()));
+        });
+
+        if nu <= 10 {
+            group.bench_with_input(BenchmarkId::new("pi_xmvp_full", nu), &nu, |b, _| {
+                let cfg = SolverConfig {
+                    engine: Engine::Xmvp { d_max: nu },
+                    ..Default::default()
+                };
+                b.iter(|| black_box(solve(p, &landscape, &cfg).unwrap()));
+            });
+        }
+
+        group.bench_with_input(BenchmarkId::new("lanczos_fmmp", nu), &nu, |b, _| {
+            let cfg = SolverConfig {
+                method: Method::Lanczos { subspace: 60 },
+                ..Default::default()
+            };
+            b.iter(|| black_box(solve(p, &landscape, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

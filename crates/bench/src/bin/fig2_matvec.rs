@@ -1,0 +1,87 @@
+//! Reproduce **paper Figure 2**: single-core runtimes of one implicit
+//! matrix–vector product `W·x` for
+//!
+//! * `Xmvp(ν)` — the exact XOR-based product (≈ `Smvp`, `Θ(N²)`),
+//! * `Xmvp(1)` — the coarsest sparsification (`Θ(N·(ν+1))`),
+//! * `Fmmp`    — the paper's fast product (`Θ(N·log₂N)`, fully accurate),
+//!
+//! over chain lengths ν = 10…25. The headline of the figure: **Fmmp beats
+//! even the lowest-accuracy approximation `Xmvp(1)` from small ν onward**
+//! while being exact. Quadratic points beyond the time budget are
+//! extrapolated by the complexity fit, as the paper does.
+//!
+//! Usage: `fig2_matvec [--max-nu NU] [--quick]`
+
+use qs_bench::{dump_json, model_n2, model_nlogn, print_table, time_median, Series};
+use qs_matvec::{fmmp::fmmp_in_place, LinearOperator, Xmvp};
+use rand::{Rng, SeedableRng};
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<f64>()).collect()
+}
+
+fn main() {
+    let (max_nu, quick) = qs_bench::harness_args(24);
+    let p = 0.01;
+    // Measurement budgets per engine (seconds per product, roughly).
+    let xmvp_full_cap: u32 = if quick { 11 } else { 13 };
+    let xmvp1_cap: u32 = max_nu.min(if quick { 18 } else { 22 });
+    let reps = if quick { 3 } else { 5 };
+
+    println!("Figure 2 reproduction: single-core W·x runtimes, p = {p}, ν = 10..={max_nu}");
+
+    let mut s_full = Series::new("Xmvp(ν) [~Smvp]");
+    let mut s_one = Series::new("Xmvp(1)");
+    let mut s_fmmp = Series::new("Fmmp");
+
+    for nu in 10..=max_nu {
+        let n = 1usize << nu;
+        let x = random_vec(n, nu as u64);
+
+        if nu <= xmvp_full_cap {
+            let op = Xmvp::exact(nu, p);
+            let mut y = vec![0.0; n];
+            let t = time_median(|| op.apply_into(&x, &mut y), 1, reps);
+            s_full.push_measured(nu, t);
+        }
+        if nu <= xmvp1_cap {
+            let op = Xmvp::new(nu, p, 1);
+            let mut y = vec![0.0; n];
+            let t = time_median(|| op.apply_into(&x, &mut y), 1, reps);
+            s_one.push_measured(nu, t);
+        }
+        {
+            let mut v = x.clone();
+            let t = time_median(|| fmmp_in_place(&mut v, p), 1, reps);
+            s_fmmp.push_measured(nu, t);
+        }
+        eprintln!("  ν = {nu} done");
+    }
+
+    s_full.extrapolate(max_nu, model_n2);
+    s_one.extrapolate(max_nu, |nu| (1u64 << nu) as f64 * (nu + 1) as f64);
+    // Fmmp is always measured up to max_nu (it is cheap); no extrapolation.
+
+    print_table(
+        "Figure 2: implicit matvec runtimes [s] (single core)",
+        &[s_full.clone(), s_one.clone(), s_fmmp.clone()],
+    );
+
+    // Shape checks the paper's figure conveys.
+    if let (Some(t1), Some(tf)) = (s_one.at(max_nu), s_fmmp.at(max_nu)) {
+        println!(
+            "\nat ν = {max_nu}: Fmmp / Xmvp(1) = {:.2} (paper: Fmmp faster than even the coarsest approximation)",
+            tf / t1
+        );
+    }
+    if let (Some(tq), Some(tf)) = (s_full.at(max_nu), s_fmmp.at(max_nu)) {
+        println!(
+            "at ν = {max_nu}: Xmvp(ν) / Fmmp = {:.3e} (theoretical N/ν = {:.3e})",
+            tq / tf,
+            model_n2(max_nu) / model_nlogn(max_nu)
+        );
+    }
+
+    dump_json("fig2_matvec", &vec![s_full, s_one, s_fmmp]);
+}

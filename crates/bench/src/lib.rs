@@ -1,0 +1,251 @@
+//! Shared harness utilities for regenerating the paper's figures.
+//!
+//! The paper's evaluation consists of Figures 1–4; each has a dedicated
+//! binary in `src/bin/` that prints the same rows/series the paper plots.
+//! Because the `Θ(N²)` baselines become infeasible quickly, the harness
+//! mirrors the paper's own methodology: measure the baseline as far as the
+//! budget allows, then extrapolate it with a least-squares complexity fit
+//! ("for ν ≥ 22 the execution times for Pi(Xmvp(ν)) … had to be
+//! extrapolated", Section 4). Extrapolated points are explicitly marked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock a closure: median of `reps` runs after `warmup` runs.
+pub fn time_median<F: FnMut()>(mut f: F, warmup: usize, reps: usize) -> f64 {
+    assert!(reps >= 1, "at least one timed repetition required");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// One measured (or extrapolated) series point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesPoint {
+    /// Chain length ν.
+    pub nu: u32,
+    /// Seconds.
+    pub seconds: f64,
+    /// Whether the point was measured (`false` ⇒ extrapolated by the
+    /// complexity fit, as the paper does for infeasible baseline sizes).
+    pub measured: bool,
+}
+
+/// A named runtime series over chain lengths.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (paper notation, e.g. `"Pi(Xmvp(ν))"`).
+    pub label: String,
+    /// The points.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a measured point.
+    pub fn push_measured(&mut self, nu: u32, seconds: f64) {
+        self.points.push(SeriesPoint {
+            nu,
+            seconds,
+            measured: true,
+        });
+    }
+
+    /// Seconds at ν, if present.
+    pub fn at(&self, nu: u32) -> Option<f64> {
+        self.points.iter().find(|p| p.nu == nu).map(|p| p.seconds)
+    }
+
+    /// Extend the series to `max_nu` by least-squares fitting
+    /// `t(ν) = c·model(ν)` on the measured points and evaluating the fit
+    /// beyond them (the paper's extrapolation procedure for `Xmvp(ν)` at
+    /// ν ≥ 22).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series has no measured points.
+    pub fn extrapolate(&mut self, max_nu: u32, model: impl Fn(u32) -> f64) {
+        assert!(
+            self.points.iter().any(|p| p.measured),
+            "cannot extrapolate an empty series"
+        );
+        // Least squares for t = c·m: c = Σ t·m / Σ m².
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for p in self.points.iter().filter(|p| p.measured) {
+            let m = model(p.nu);
+            num += p.seconds * m;
+            den += m * m;
+        }
+        let c = num / den;
+        let start = self.points.iter().map(|p| p.nu).max().unwrap() + 1;
+        for nu in start..=max_nu {
+            self.points.push(SeriesPoint {
+                nu,
+                seconds: c * model(nu),
+                measured: false,
+            });
+        }
+    }
+}
+
+/// The `Θ(N²)` cost model (per application), used for `Smvp`/`Xmvp(ν)`.
+pub fn model_n2(nu: u32) -> f64 {
+    let n = (1u64 << nu) as f64;
+    n * n
+}
+
+/// The `Θ(N log₂ N)` cost model, used for `Fmmp`.
+pub fn model_nlogn(nu: u32) -> f64 {
+    let n = (1u64 << nu) as f64;
+    n * nu as f64
+}
+
+/// The paper's reference speedup slope `N²/(N·log₂N)`.
+pub fn reference_speedup(nu: u32) -> f64 {
+    model_n2(nu) / model_nlogn(nu)
+}
+
+/// Print a runtime table: one row per ν, one column per series, `*`
+/// marking extrapolated values.
+pub fn print_table(title: &str, series: &[Series]) {
+    println!("\n== {title} ==");
+    let nus: Vec<u32> = {
+        let mut all: Vec<u32> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.nu))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    };
+    print!("{:>4}", "ν");
+    for s in series {
+        print!(" {:>18}", s.label);
+    }
+    println!();
+    for &nu in &nus {
+        print!("{nu:>4}");
+        for s in series {
+            match s.points.iter().find(|p| p.nu == nu) {
+                Some(p) => {
+                    let mark = if p.measured { ' ' } else { '*' };
+                    print!(" {:>17.5e}{mark}", p.seconds);
+                }
+                None => print!(" {:>18}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("   (* = extrapolated via complexity fit, as in the paper for infeasible sizes)");
+}
+
+/// Write the series to `bench_results/<name>.json` for EXPERIMENTS.md.
+pub fn dump_json(name: &str, value: &impl Serialize) {
+    let dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("   (raw data → {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: serialisation failed: {e}"),
+        }
+    }
+}
+
+/// Parse `--max-nu N` / `--quick` style harness arguments shared by the
+/// figure binaries. Returns (max_nu, quick).
+pub fn harness_args(default_max_nu: u32) -> (u32, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut max_nu = default_max_nu;
+    let mut quick = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-nu" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    max_nu = v;
+                }
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (max_nu, quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_follows_the_model() {
+        let mut s = Series::new("test");
+        // Perfectly quadratic data: t = 3·N².
+        for nu in 4..=8u32 {
+            s.push_measured(nu, 3.0 * model_n2(nu));
+        }
+        s.extrapolate(12, model_n2);
+        for nu in 9..=12u32 {
+            let got = s.at(nu).unwrap();
+            let want = 3.0 * model_n2(nu);
+            assert!((got - want).abs() < 1e-9 * want);
+            assert!(!s.points.iter().find(|p| p.nu == nu).unwrap().measured);
+        }
+    }
+
+    #[test]
+    fn reference_speedup_shape() {
+        // N²/(N log₂N) = N/ν: doubles-ish per ν step.
+        let r20 = reference_speedup(20);
+        assert!((r20 - (1u64 << 20) as f64 / 20.0).abs() < 1e-9);
+        assert!(reference_speedup(25) > reference_speedup(20));
+    }
+
+    #[test]
+    fn time_median_is_positive() {
+        let t = time_median(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            1,
+            3,
+        );
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("x");
+        s.push_measured(10, 1.5);
+        assert_eq!(s.at(10), Some(1.5));
+        assert_eq!(s.at(11), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Error classes `Γ_{k,i}` of the quasispecies model.
+//!
+//! The error class `Γ_{k,i}` (paper Eq. 6) contains all sequences at Hamming
+//! distance `k` from the fixed sequence `i`; `Γ_k := Γ_{k,0}` are the classes
+//! with respect to the master sequence. `Γ_k` contains `C(ν, k)` sequences.
+//! Cumulative concentrations `[Γ_k] = Σ_{j∈Γ_k} x_j` of the stationary
+//! distribution are the quantities plotted in the paper's Figure 1.
+//!
+//! Iteration over a class uses Gosper's hack to enumerate all `ν`-bit
+//! integers of popcount `k` in increasing order without allocation.
+
+use crate::binom::binomial;
+
+/// The error class index of sequence `j` relative to the master sequence:
+/// `class_of(j) = d_H(X_j, X_0) = popcount(j)`.
+#[inline(always)]
+pub fn class_of(j: u64) -> u32 {
+    j.count_ones()
+}
+
+/// Number of sequences in `Γ_k` for chain length `nu`: `C(ν, k)`.
+///
+/// ```
+/// assert_eq!(qs_bitseq::class_size(20, 10), 184_756);
+/// ```
+#[inline]
+pub fn class_size(nu: u32, k: u32) -> u128 {
+    binomial(nu, k)
+}
+
+/// The canonical representative `2^k − 1` of `Γ_k` (the paper's "natural and
+/// most obvious" choice `{2^k − 1 | 0 ≤ k ≤ ν}`).
+///
+/// ```
+/// assert_eq!(qs_bitseq::representative(3), 0b111);
+/// ```
+#[inline(always)]
+pub fn representative(k: u32) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// Iterator over all sequences of `Γ_{k}` (popcount `k` within `ν` bits), in
+/// increasing integer order, via Gosper's hack.
+#[derive(Debug, Clone)]
+pub struct ErrorClassIter {
+    next: Option<u64>,
+    limit: u64,
+}
+
+impl ErrorClassIter {
+    /// Iterate over `Γ_k` in the `ν`-bit sequence space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu > 63`.
+    pub fn new(nu: u32, k: u32) -> Self {
+        assert!(nu <= 63, "ErrorClassIter supports at most 63-bit spaces");
+        let limit = 1u64 << nu;
+        let next = if k > nu {
+            None
+        } else {
+            Some(representative(k))
+        };
+        ErrorClassIter { next, limit }
+    }
+}
+
+impl Iterator for ErrorClassIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let cur = self.next?;
+        debug_assert!(cur < self.limit);
+        self.next = if cur == 0 {
+            None // Γ_0 = {0} only.
+        } else {
+            // Gosper's hack: next larger integer with the same popcount.
+            let c = cur & cur.wrapping_neg();
+            let r = cur + c;
+            let succ = (((r ^ cur) >> 2) / c) | r;
+            (succ < self.limit).then_some(succ)
+        };
+        Some(cur)
+    }
+}
+
+/// Accumulate a concentration vector `x` (length `2^ν`) into cumulative
+/// error-class concentrations `[Γ_0], …, [Γ_ν]`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn accumulate_classes(x: &[f64]) -> Vec<f64> {
+    assert!(
+        x.len().is_power_of_two(),
+        "length must be a power of two (2^ν)"
+    );
+    let nu = x.len().trailing_zeros();
+    let mut gamma = vec![0.0f64; nu as usize + 1];
+    // Neumaier-compensated accumulation per class keeps the Figure 1 curves
+    // accurate for large ν where classes contain millions of terms.
+    let mut comp = vec![0.0f64; nu as usize + 1];
+    for (j, &xj) in x.iter().enumerate() {
+        let k = (j as u64).count_ones() as usize;
+        let s = gamma[k] + xj;
+        comp[k] += if gamma[k].abs() >= xj.abs() {
+            (gamma[k] - s) + xj
+        } else {
+            (xj - s) + gamma[k]
+        };
+        gamma[k] = s;
+    }
+    for (g, c) in gamma.iter_mut().zip(comp) {
+        *g += c;
+    }
+    gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_exactly_the_class() {
+        for nu in 1..=10u32 {
+            for k in 0..=nu {
+                let members: Vec<u64> = ErrorClassIter::new(nu, k).collect();
+                assert_eq!(members.len() as u128, class_size(nu, k));
+                for &m in &members {
+                    assert_eq!(class_of(m), k);
+                    assert!(m < 1 << nu);
+                }
+                // Strictly increasing, hence distinct.
+                for w in members.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_partition_the_space() {
+        let nu = 8u32;
+        let mut seen = vec![false; 1 << nu];
+        for k in 0..=nu {
+            for m in ErrorClassIter::new(nu, k) {
+                assert!(!seen[m as usize]);
+                seen[m as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn k_greater_than_nu_is_empty() {
+        assert_eq!(ErrorClassIter::new(4, 5).count(), 0);
+    }
+
+    #[test]
+    fn gamma_zero_is_master_only() {
+        let members: Vec<u64> = ErrorClassIter::new(6, 0).collect();
+        assert_eq!(members, vec![0]);
+    }
+
+    #[test]
+    fn representative_is_member() {
+        for nu in 1..=12u32 {
+            for k in 0..=nu {
+                let r = representative(k);
+                assert_eq!(class_of(r), k);
+                assert!(r < 1 << nu);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_uniform_gives_binomial_fractions() {
+        let nu = 10u32;
+        let n = 1usize << nu;
+        let x = vec![1.0 / n as f64; n];
+        let gamma = accumulate_classes(&x);
+        for (k, &g) in gamma.iter().enumerate() {
+            let expect = class_size(nu, k as u32) as f64 / n as f64;
+            assert!((g - expect).abs() < 1e-14, "k={k}: {g} vs {expect}");
+        }
+        let total: f64 = gamma.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_delta_at_master() {
+        let mut x = vec![0.0; 16];
+        x[0] = 1.0;
+        let gamma = accumulate_classes(&x);
+        assert_eq!(gamma[0], 1.0);
+        assert!(gamma[1..].iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn accumulate_rejects_non_power_of_two() {
+        let _ = accumulate_classes(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Gray-code permutations of the sequence space.
+//!
+//! Paper footnote 2 observes that permuting the sequences by the Gray code
+//! yields a mutation matrix `Q` whose first off-diagonals are constant,
+//! because consecutive Gray codewords differ in exactly one bit
+//! (`d_H(X_{g(i)}, X_{g(i+1)}) = 1`). The permutation is occasionally useful
+//! for bandwidth-oriented orderings and is provided here together with its
+//! inverse.
+
+/// The `i`-th binary-reflected Gray codeword.
+///
+/// ```
+/// assert_eq!(qs_bitseq::gray(0), 0);
+/// assert_eq!(qs_bitseq::gray(1), 1);
+/// assert_eq!(qs_bitseq::gray(2), 3);
+/// assert_eq!(qs_bitseq::gray(3), 2);
+/// ```
+#[inline(always)]
+pub fn gray(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// Inverse of [`gray`]: the rank of codeword `g` in the Gray sequence.
+///
+/// ```
+/// for i in 0..1000u64 {
+///     assert_eq!(qs_bitseq::gray_inverse(qs_bitseq::gray(i)), i);
+/// }
+/// ```
+#[inline]
+pub fn gray_inverse(g: u64) -> u64 {
+    let mut i = g;
+    let mut shift = 1u32;
+    while shift < 64 {
+        i ^= i >> shift;
+        shift <<= 1;
+    }
+    i
+}
+
+/// Iterator over the Gray sequence of all `2^ν` codewords, in rank order.
+#[derive(Debug, Clone)]
+pub struct GrayIter {
+    next: u64,
+    end: u64,
+}
+
+impl GrayIter {
+    /// Gray sequence for chain length `nu` (yields `2^nu` codewords).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu > 63`.
+    pub fn new(nu: u32) -> Self {
+        assert!(nu <= 63, "GrayIter supports at most 63-bit spaces");
+        GrayIter {
+            next: 0,
+            end: 1u64 << nu,
+        }
+    }
+}
+
+impl Iterator for GrayIter {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.next == self.end {
+            return None;
+        }
+        let g = gray(self.next);
+        self.next += 1;
+        Some(g)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for GrayIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::hamming;
+
+    #[test]
+    fn gray_round_trip() {
+        for i in 0..(1u64 << 12) {
+            assert_eq!(gray_inverse(gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn consecutive_codewords_differ_in_one_bit() {
+        let codes: Vec<u64> = GrayIter::new(10).collect();
+        assert_eq!(codes.len(), 1024);
+        for w in codes.windows(2) {
+            assert_eq!(hamming(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn gray_is_a_permutation() {
+        let mut seen = vec![false; 1 << 10];
+        for g in GrayIter::new(10) {
+            assert!(!seen[g as usize], "duplicate codeword {g}");
+            seen[g as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gray_iter_len() {
+        let it = GrayIter::new(8);
+        assert_eq!(it.len(), 256);
+    }
+
+    #[test]
+    fn gray_wraps_cyclically() {
+        // The last codeword also differs from the first in exactly one bit.
+        let nu = 9;
+        let last = gray((1u64 << nu) - 1);
+        assert_eq!(hamming(last, gray(0)), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Hamming distances and weights on integer-encoded binary sequences.
+//!
+//! The Hamming distance `d_H(X_i, X_j)` is the minimal number of point
+//! mutations transforming sequence `X_i` into `X_j`; on integer encodings it
+//! is the popcount of the XOR (the core trick behind the `Xmvp` product of
+//! the paper's prior work \[10\]).
+
+/// Hamming weight `d_H(X_i, X_0)` of sequence `i`, i.e. its popcount.
+///
+/// ```
+/// assert_eq!(qs_bitseq::weight(0b1011), 3);
+/// ```
+#[inline(always)]
+pub fn weight(i: u64) -> u32 {
+    i.count_ones()
+}
+
+/// Hamming distance `d_H(X_a, X_b)` between two sequences.
+///
+/// ```
+/// assert_eq!(qs_bitseq::hamming(0b1100, 0b1010), 2);
+/// ```
+#[inline(always)]
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// The permutation `σ_{i,i'}` of paper Section 5.1: maps the set bits of `i`
+/// onto the set bits of `i'` (and vice versa), as a bit-transposition
+/// product. Requires `weight(i) == weight(i')`.
+///
+/// Applying it to `j` preserves Hamming weights and error classes
+/// (properties (I)–(IV) in the paper), which is the engine of Lemma 2.
+///
+/// # Panics
+///
+/// Panics if `weight(i) != weight(i_prime)`.
+pub fn sigma(i: u64, i_prime: u64, j: u64) -> u64 {
+    assert_eq!(
+        weight(i),
+        weight(i_prime),
+        "σ_{{i,i'}} requires d_H(i,0) == d_H(i',0)"
+    );
+    // The bits where i and i' agree are fixed points; pair up the bits set
+    // only in i with the bits set only in i' (in ascending order) and swap
+    // each pair, exactly the cycle product (β⁰_i β⁰_i')(β¹_i β¹_i')….
+    let mut only_i = i & !i_prime;
+    let mut only_ip = i_prime & !i;
+    let mut out = j;
+    while only_i != 0 {
+        let a = only_i.trailing_zeros();
+        let b = only_ip.trailing_zeros();
+        only_i &= only_i - 1;
+        only_ip &= only_ip - 1;
+        // Swap bits a and b of `out`.
+        let bit_a = out >> a & 1;
+        let bit_b = out >> b & 1;
+        if bit_a != bit_b {
+            out ^= (1 << a) | (1 << b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_matches_naive() {
+        for i in 0..256u64 {
+            let naive = (0..8).filter(|s| i >> s & 1 == 1).count() as u32;
+            assert_eq!(weight(i), naive);
+        }
+    }
+
+    #[test]
+    fn hamming_is_metric_on_small_space() {
+        let n = 32u64;
+        for a in 0..n {
+            assert_eq!(hamming(a, a), 0);
+            for b in 0..n {
+                assert_eq!(hamming(a, b), hamming(b, a));
+                for c in 0..n {
+                    assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_maps_i_to_i_prime() {
+        // Property (III): σ_{i,i'}(i) = i'.
+        for i in 0..64u64 {
+            for ip in 0..64u64 {
+                if weight(i) == weight(ip) {
+                    assert_eq!(sigma(i, ip, i), ip);
+                    assert_eq!(sigma(i, ip, ip), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_preserves_weight_and_distance() {
+        // Properties (I) and (IV) over an exhaustive small space.
+        let (i, ip) = (0b001011u64, 0b110001u64);
+        for j in 0..64u64 {
+            let sj = sigma(i, ip, j);
+            assert_eq!(weight(j), weight(sj), "property (I) failed at j={j}");
+            assert_eq!(
+                hamming(i, j),
+                hamming(ip, sj),
+                "property (IV) failed at j={j}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_is_involution() {
+        let (i, ip) = (0b0111u64, 0b1110u64);
+        for j in 0..16u64 {
+            assert_eq!(sigma(i, ip, sigma(i, ip, j)), j);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires d_H")]
+    fn sigma_rejects_mismatched_weights() {
+        let _ = sigma(0b1, 0b11, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Binary-sequence utilities underlying the quasispecies model.
+//!
+//! In Eigen's quasispecies model every RNA molecule of chain length `ν` is
+//! encoded over a binary alphabet, so the species `X_i` for `0 ≤ i < N = 2^ν`
+//! is identified with the `ν`-bit binary representation of the integer `i`.
+//! This crate provides the combinatorial substrate every other crate builds
+//! on:
+//!
+//! * [`hamming`] — Hamming distances and weights on integer-encoded
+//!   sequences,
+//! * [`gray`] — Gray-code permutations (paper footnote 2: reordering by the
+//!   Gray code makes the first off-diagonals of `Q` constant),
+//! * [`binom`] — exact and floating-point binomial coefficients,
+//! * [`error_class`] — iteration over the error classes
+//!   `Γ_k = { j : d_H(X_j, X_0) = k }` and the generalised classes `Γ_{k,i}`,
+//! * [`space`] — the sequence space `{0,1}^ν` itself, with neighbourhood
+//!   enumeration used by the XOR-based sparse product `Xmvp(d_max)`.
+//!
+//! All sequences are plain `u64` integers; no allocation is required for any
+//! of the per-sequence operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binom;
+pub mod error_class;
+pub mod gray;
+pub mod hamming;
+pub mod space;
+
+pub use binom::{binomial, binomial_f64, binomial_row, ln_binomial};
+pub use error_class::{accumulate_classes, class_of, class_size, representative, ErrorClassIter};
+pub use gray::{gray, gray_inverse, GrayIter};
+pub use hamming::{hamming, weight};
+pub use space::SeqSpace;
+
+/// Maximum chain length for which `N = 2^ν` fits the address space assumed
+/// throughout the workspace (indices are `usize`, vectors are materialised).
+pub const MAX_CHAIN_LENGTH: u32 = 48;
+
+/// The dimension `N = 2^ν` of the sequence space for chain length `ν`.
+///
+/// # Panics
+///
+/// Panics if `nu > MAX_CHAIN_LENGTH`.
+///
+/// ```
+/// assert_eq!(qs_bitseq::dimension(10), 1024);
+/// ```
+#[inline]
+pub fn dimension(nu: u32) -> usize {
+    assert!(
+        nu <= MAX_CHAIN_LENGTH,
+        "chain length {nu} exceeds supported maximum {MAX_CHAIN_LENGTH}"
+    );
+    1usize << nu
+}
+
+/// Render sequence `i` as its `ν`-bit binary string, most significant bit
+/// first (site `ν-1` first).
+///
+/// ```
+/// assert_eq!(qs_bitseq::to_bit_string(5, 4), "0101");
+/// ```
+pub fn to_bit_string(i: u64, nu: u32) -> String {
+    (0..nu)
+        .rev()
+        .map(|s| if i >> s & 1 == 1 { '1' } else { '0' })
+        .collect()
+}
+
+/// Parse a binary string (MSB first) back into the integer encoding.
+///
+/// Returns `None` on any character other than `'0'`/`'1'` or on strings
+/// longer than 64 bits.
+///
+/// ```
+/// assert_eq!(qs_bitseq::from_bit_string("0101"), Some(5));
+/// assert_eq!(qs_bitseq::from_bit_string("012"), None);
+/// ```
+pub fn from_bit_string(s: &str) -> Option<u64> {
+    if s.len() > 64 {
+        return None;
+    }
+    let mut v = 0u64;
+    for c in s.chars() {
+        v = (v << 1)
+            | match c {
+                '0' => 0,
+                '1' => 1,
+                _ => return None,
+            };
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_small_values() {
+        assert_eq!(dimension(0), 1);
+        assert_eq!(dimension(1), 2);
+        assert_eq!(dimension(20), 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds supported maximum")]
+    fn dimension_rejects_huge_nu() {
+        let _ = dimension(MAX_CHAIN_LENGTH + 1);
+    }
+
+    #[test]
+    fn bit_string_round_trip() {
+        for i in 0..64u64 {
+            let s = to_bit_string(i, 6);
+            assert_eq!(s.len(), 6);
+            assert_eq!(from_bit_string(&s), Some(i));
+        }
+    }
+
+    #[test]
+    fn bit_string_rejects_garbage() {
+        assert_eq!(from_bit_string("01x"), None);
+        let too_long = "0".repeat(65);
+        assert_eq!(from_bit_string(&too_long), None);
+    }
+
+    #[test]
+    fn bit_string_zero_length() {
+        assert_eq!(to_bit_string(0, 0), "");
+        assert_eq!(from_bit_string(""), Some(0));
+    }
+}

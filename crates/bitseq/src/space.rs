@@ -1,0 +1,145 @@
+//! The binary sequence space `{0,1}^ν` and neighbourhood enumeration.
+//!
+//! The XOR-based sparse product `Xmvp(d_max)` of the paper's prior work
+//! \[10\] evaluates `(Wv)_i = Σ_{j : d_H(i,j) ≤ d_max} Q_{i,j} f_j v_j` by
+//! XOR-ing `i` with every mask of popcount `≤ d_max`; [`SeqSpace`] provides
+//! those mask tables (grouped by weight, so the per-weight factor
+//! `QΓ_k = p^k (1-p)^{ν-k}` can be hoisted out of the inner loop).
+
+use crate::binom::binomial;
+use crate::error_class::ErrorClassIter;
+
+/// The sequence space `{0,1}^ν` for a fixed chain length `ν`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqSpace {
+    nu: u32,
+}
+
+impl SeqSpace {
+    /// Create the sequence space for chain length `nu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` exceeds [`crate::MAX_CHAIN_LENGTH`] or is 0.
+    pub fn new(nu: u32) -> Self {
+        assert!(nu >= 1, "chain length must be at least 1");
+        assert!(
+            nu <= crate::MAX_CHAIN_LENGTH,
+            "chain length {nu} exceeds supported maximum"
+        );
+        SeqSpace { nu }
+    }
+
+    /// Chain length `ν`.
+    #[inline]
+    pub fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    /// Dimension `N = 2^ν`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        1usize << self.nu
+    }
+
+    /// Sequence spaces are never empty (`N ≥ 2`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All XOR masks of popcount exactly `k`, in increasing order.
+    pub fn masks_of_weight(&self, k: u32) -> Vec<u64> {
+        ErrorClassIter::new(self.nu, k).collect()
+    }
+
+    /// Mask table for `Xmvp(d_max)`: for each weight `k = 0..=d_max`, the
+    /// masks of that weight. `Σ_k |masks[k]| = Σ_k C(ν,k)` entries total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_max > ν` or if the table would not fit in memory
+    /// (`Σ C(ν,k)` must fit `usize`).
+    pub fn mask_table(&self, d_max: u32) -> Vec<Vec<u64>> {
+        assert!(
+            d_max <= self.nu,
+            "d_max {d_max} exceeds chain length {}",
+            self.nu
+        );
+        (0..=d_max).map(|k| self.masks_of_weight(k)).collect()
+    }
+
+    /// Number of sequences within Hamming distance `d_max` of any fixed
+    /// sequence: `Σ_{k=0}^{d_max} C(ν, k)` (the cost factor per component of
+    /// `Xmvp(d_max)`).
+    pub fn ball_size(&self, d_max: u32) -> u128 {
+        (0..=d_max.min(self.nu)).map(|k| binomial(self.nu, k)).sum()
+    }
+
+    /// Iterate over the Hamming ball of radius `d_max` around `i`
+    /// (including `i` itself), grouped by increasing distance.
+    pub fn ball(&self, i: u64, d_max: u32) -> impl Iterator<Item = u64> + '_ {
+        (0..=d_max.min(self.nu))
+            .flat_map(move |k| ErrorClassIter::new(self.nu, k).map(move |m| i ^ m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::hamming;
+
+    #[test]
+    fn mask_table_counts() {
+        let sp = SeqSpace::new(10);
+        let table = sp.mask_table(4);
+        assert_eq!(table.len(), 5);
+        for (k, masks) in table.iter().enumerate() {
+            assert_eq!(masks.len() as u128, binomial(10, k as u32));
+            assert!(masks.iter().all(|m| m.count_ones() == k as u32));
+        }
+    }
+
+    #[test]
+    fn ball_size_full_radius_is_n() {
+        for nu in 1..=16u32 {
+            let sp = SeqSpace::new(nu);
+            assert_eq!(sp.ball_size(nu), 1u128 << nu);
+        }
+    }
+
+    #[test]
+    fn ball_members_are_within_distance() {
+        let sp = SeqSpace::new(8);
+        let center = 0b1011_0010u64;
+        let members: Vec<u64> = sp.ball(center, 3).collect();
+        assert_eq!(members.len() as u128, sp.ball_size(3));
+        for &m in &members {
+            assert!(hamming(center, m) <= 3);
+        }
+        // Distinct members.
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len());
+    }
+
+    #[test]
+    fn ball_radius_zero_is_center() {
+        let sp = SeqSpace::new(5);
+        let members: Vec<u64> = sp.ball(17, 0).collect();
+        assert_eq!(members, vec![17]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds chain length")]
+    fn mask_table_rejects_large_dmax() {
+        let _ = SeqSpace::new(4).mask_table(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_chain_length() {
+        let _ = SeqSpace::new(0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal dependency-free argument parsing for the `quasispecies` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors produced while parsing or querying arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An option was given without a value.
+    MissingValue(String),
+    /// A required option is absent.
+    Required(String),
+    /// A value failed to parse.
+    Invalid(String, String),
+    /// A positional argument appeared where none is accepted.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand (try --help)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} requires a value"),
+            ArgError::Required(k) => write!(f, "missing required option --{k}"),
+            ArgError::Invalid(k, v) => write!(f, "invalid value '{v}' for --{k}"),
+            ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument '{v}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option keys that are boolean flags (take no value).
+const FLAG_KEYS: &[&str] = &["json", "help", "quiet", "parallel"];
+
+impl Args {
+    /// Parse from an iterator of raw arguments (excluding the program
+    /// name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on malformed input.
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = match iter.next() {
+            Some(c) if !c.starts_with("--") => c,
+            Some(c) => {
+                // Allow `--help` with no subcommand.
+                if c == "--help" {
+                    return Ok(Args {
+                        command: "help".into(),
+                        options: HashMap::new(),
+                        flags: vec!["help".into()],
+                    });
+                }
+                return Err(ArgError::UnexpectedPositional(c));
+            }
+            None => return Err(ArgError::MissingCommand),
+        };
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            };
+            if FLAG_KEYS.contains(&key) {
+                flags.push(key.to_string());
+            } else {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                options.insert(key.to_string(), value);
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// Is a boolean flag present?
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A required typed option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Required`] if absent, [`ArgError::Invalid`] on parse
+    /// failure.
+    pub fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let raw = self
+            .options
+            .get(key)
+            .ok_or_else(|| ArgError::Required(key.into()))?;
+        raw.parse()
+            .map_err(|_| ArgError::Invalid(key.into(), raw.clone()))
+    }
+
+    /// An optional typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Invalid`] on parse failure.
+    pub fn or_default<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError::Invalid(key.into(), raw.clone())),
+        }
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn basic_parse() {
+        let a = parse(&["solve", "--nu", "10", "--p", "0.01", "--json"]).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.required::<u32>("nu").unwrap(), 10);
+        assert_eq!(a.required::<f64>("p").unwrap(), 0.01);
+        assert!(a.flag("json"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["solve", "--nu", "8"]).unwrap();
+        assert_eq!(a.or_default("tol", 1e-13).unwrap(), 1e-13);
+        assert_eq!(a.or_default("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_required_reported() {
+        let a = parse(&["solve"]).unwrap();
+        assert_eq!(
+            a.required::<u32>("nu").unwrap_err(),
+            ArgError::Required("nu".into())
+        );
+    }
+
+    #[test]
+    fn invalid_value_reported() {
+        let a = parse(&["solve", "--nu", "ten"]).unwrap();
+        assert!(matches!(
+            a.required::<u32>("nu").unwrap_err(),
+            ArgError::Invalid(_, _)
+        ));
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        assert_eq!(
+            parse(&["solve", "--nu"]).unwrap_err(),
+            ArgError::MissingValue("nu".into())
+        );
+    }
+
+    #[test]
+    fn bare_help_allowed() {
+        let a = parse(&["--help"]).unwrap();
+        assert_eq!(a.command, "help");
+    }
+
+    #[test]
+    fn empty_is_missing_command() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+    }
+}

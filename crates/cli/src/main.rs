@@ -1,0 +1,450 @@
+//! `quasispecies` — command-line driver for the fast quasispecies solver.
+//!
+//! Subcommands:
+//!
+//! * `solve` — compute the stationary distribution for one `(ν, p)` pair,
+//! * `scan` — sweep the error rate and emit the `[Γ_k]` curves of paper
+//!   Figure 1,
+//! * `threshold` — locate the error threshold `p_max` by bisection,
+//! * `help` — usage.
+//!
+//! Output is human-readable by default; pass `--json` for machine-readable
+//! records.
+
+mod args;
+
+use args::{ArgError, Args};
+use qs_landscape::{ErrorClass, Landscape, Random, Tabulated};
+use quasispecies::{detect_pmax, scan_error_classes, solve, Engine, Method, SolverConfig};
+use serde::Serialize;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "solve" => cmd_solve(&args),
+        "scan" => cmd_scan(&args),
+        "threshold" => cmd_threshold(&args),
+        "kron" => cmd_kron(&args),
+        "ode" => cmd_ode(&args),
+        "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand '{other}'");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+quasispecies — fast solver for Eigen's quasispecies model (SC'11 reproduction)
+
+USAGE:
+  quasispecies solve --nu N --p P [--landscape KIND] [options]
+  quasispecies scan --nu N --p-min A --p-max B [--points K] [--landscape KIND]
+  quasispecies threshold --nu N [--landscape KIND] [--lo A --hi B]
+  quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
+  quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
+
+LANDSCAPES (error-class kinds also drive scan/threshold exactly via §5.1):
+  single-peak (default)   --f0 2.0 --frest 1.0
+  linear                  --f0 2.0 --fnu 1.0
+  random                  --c 5.0 --sigma 1.0 --seed 42   (solve/ode only)
+  nk                      --k 2 --seed 42                 (solve/ode only)
+
+SOLVE OPTIONS:
+  --engine fmmp|fmmp-par|xmvp|smvp   (xmvp takes --dmax, default ν)
+  --parallel                         shorthand for --engine fmmp-par
+  --method power|lanczos|rqi         (lanczos takes --subspace, default 60)
+  --tol 1e-13   --max-iter 200000    --top 8 (sequences shown)
+  --json                             machine-readable output
+
+EXAMPLES:
+  quasispecies solve --nu 12 --p 0.01
+  quasispecies solve --nu 10 --p 0.01 --landscape nk --k 3
+  quasispecies scan --nu 20 --p-min 0.001 --p-max 0.09 --points 60 --json
+  quasispecies threshold --nu 20 --f0 2.0
+  quasispecies kron --p 0.002 --factor-bits 10 --factors 10   (ν = 100!)
+  quasispecies ode --nu 10 --p 0.01 --t-max 50";
+
+#[derive(Debug)]
+enum CliError {
+    Arg(ArgError),
+    Solve(quasispecies::SolveError),
+    Bad(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Arg(e) => write!(f, "{e}"),
+            CliError::Solve(e) => write!(f, "{e}"),
+            CliError::Bad(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+
+impl From<quasispecies::SolveError> for CliError {
+    fn from(e: quasispecies::SolveError) -> Self {
+        CliError::Solve(e)
+    }
+}
+
+/// Build the error-class ϕ profile for scan/threshold subcommands.
+fn class_profile(args: &Args, nu: u32) -> Result<Vec<f64>, CliError> {
+    let kind = args.get("landscape").unwrap_or("single-peak");
+    let f0: f64 = args.or_default("f0", 2.0)?;
+    match kind {
+        "single-peak" => {
+            let frest: f64 = args.or_default("frest", 1.0)?;
+            Ok(ErrorClass::single_peak(nu, f0, frest).phi().to_vec())
+        }
+        "linear" => {
+            let fnu: f64 = args.or_default("fnu", 1.0)?;
+            Ok(ErrorClass::linear(nu, f0, fnu).phi().to_vec())
+        }
+        other => Err(CliError::Bad(format!(
+            "landscape '{other}' is not an error-class kind (scan/threshold need one)"
+        ))),
+    }
+}
+
+fn build_config(args: &Args, nu: u32) -> Result<SolverConfig, CliError> {
+    // `--parallel` is shorthand for the thread-pool engine.
+    let default_engine = if args.flag("parallel") {
+        "fmmp-par"
+    } else {
+        "fmmp"
+    };
+    let engine = match args.get("engine").unwrap_or(default_engine) {
+        "fmmp" => Engine::Fmmp,
+        "fmmp-par" => Engine::FmmpParallel,
+        "xmvp" => Engine::Xmvp {
+            d_max: args.or_default("dmax", nu)?,
+        },
+        "smvp" => Engine::Smvp,
+        other => return Err(CliError::Bad(format!("unknown engine '{other}'"))),
+    };
+    let method = match args.get("method").unwrap_or("power") {
+        "power" => Method::Power,
+        "lanczos" => Method::Lanczos {
+            subspace: args.or_default("subspace", 60usize)?,
+        },
+        "rqi" => Method::Rqi {
+            warmup: args.or_default("warmup", 10usize)?,
+        },
+        other => return Err(CliError::Bad(format!("unknown method '{other}'"))),
+    };
+    Ok(SolverConfig {
+        engine,
+        method,
+        tol: args.or_default("tol", 1e-13)?,
+        max_iter: args.or_default("max-iter", 200_000usize)?,
+        ..Default::default()
+    })
+}
+
+#[derive(Serialize)]
+struct SolveRecord {
+    nu: u32,
+    p: f64,
+    lambda: f64,
+    iterations: usize,
+    residual: f64,
+    engine: String,
+    method: String,
+    entropy: f64,
+    classes: Vec<f64>,
+    top_sequences: Vec<(String, f64)>,
+}
+
+/// Build a materialisable landscape for solve/ode subcommands.
+fn build_landscape(args: &Args, nu: u32) -> Result<Box<dyn Landscape>, CliError> {
+    let kind = args.get("landscape").unwrap_or("single-peak");
+    Ok(match kind {
+        "random" => Box::new(Random::new(
+            nu,
+            args.or_default("c", 5.0)?,
+            args.or_default("sigma", 1.0)?,
+            args.or_default("seed", 42u64)?,
+        )),
+        "nk" => Box::new(qs_landscape::Nk::new(
+            nu,
+            args.or_default("k", 2u32)?,
+            args.or_default("seed", 42u64)?,
+        )),
+        _ => Box::new(Tabulated::new({
+            let phi = class_profile(args, nu)?;
+            (0..1u64 << nu)
+                .map(|i| phi[i.count_ones() as usize])
+                .collect()
+        })),
+    })
+}
+
+fn cmd_solve(args: &Args) -> Result<(), CliError> {
+    let nu: u32 = args.required("nu")?;
+    let p: f64 = args.required("p")?;
+    let kind = args.get("landscape").unwrap_or("single-peak");
+    let landscape = build_landscape(args, nu)?;
+    let config = build_config(args, nu)?;
+    let qs = solve(p, landscape.as_ref(), &config)?;
+
+    let top: usize = args.or_default("top", 8usize)?;
+    let mut ranked: Vec<(u64, f64)> = qs
+        .concentrations
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as u64, c))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top_sequences: Vec<(String, f64)> = ranked
+        .iter()
+        .take(top)
+        .map(|&(i, c)| (qs_bitseq::to_bit_string(i, nu), c))
+        .collect();
+
+    let record = SolveRecord {
+        nu,
+        p,
+        lambda: qs.lambda,
+        iterations: qs.stats.iterations,
+        residual: qs.stats.residual,
+        engine: qs.stats.engine.clone(),
+        method: qs.stats.method.clone(),
+        entropy: qs.entropy(),
+        classes: qs.error_class_concentrations(),
+        top_sequences,
+    };
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&record).expect("serialize")
+        );
+    } else {
+        println!("quasispecies solve  ν={nu}  p={p}  landscape={kind}");
+        println!(
+            "  λ₀ = {:.12}   ({} iterations, residual {:.2e}, {}/{})",
+            record.lambda, record.iterations, record.residual, record.engine, record.method
+        );
+        println!(
+            "  entropy = {:.6} nats (uniform would be {:.6})",
+            record.entropy,
+            nu as f64 * std::f64::consts::LN_2
+        );
+        println!("  cumulative error-class concentrations [Γ_k]:");
+        for (k, c) in record.classes.iter().enumerate() {
+            println!("    Γ_{k:<3} {c:.6e}");
+        }
+        println!("  top sequences:");
+        for (s, c) in &record.top_sequences {
+            println!("    {s}  {c:.6e}");
+        }
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct ScanRecord {
+    nu: u32,
+    ps: Vec<f64>,
+    classes: Vec<Vec<f64>>,
+    order: Vec<f64>,
+}
+
+fn cmd_scan(args: &Args) -> Result<(), CliError> {
+    let nu: u32 = args.required("nu")?;
+    let p_min: f64 = args.required("p-min")?;
+    let p_max: f64 = args.required("p-max")?;
+    let points: usize = args.or_default("points", 40usize)?;
+    if !(0.0 < p_min && p_min < p_max && p_max <= 0.5) {
+        return Err(CliError::Bad("need 0 < p-min < p-max ≤ 0.5".into()));
+    }
+    let phi = class_profile(args, nu)?;
+    let ps: Vec<f64> = (0..points)
+        .map(|i| p_min + (p_max - p_min) * i as f64 / (points.max(2) - 1) as f64)
+        .collect();
+    let scan = scan_error_classes(nu, &phi, &ps);
+    if args.flag("json") {
+        let rec = ScanRecord {
+            nu,
+            ps: scan.ps.clone(),
+            classes: scan.classes.clone(),
+            order: scan.order.clone(),
+        };
+        println!("{}", serde_json::to_string_pretty(&rec).expect("serialize"));
+    } else {
+        print!("{:>10}", "p");
+        for k in 0..=nu {
+            print!(" {:>12}", format!("[Γ_{k}]"));
+        }
+        println!(" {:>12}", "order");
+        for (i, &p) in scan.ps.iter().enumerate() {
+            print!("{p:>10.5}");
+            for c in &scan.classes[i] {
+                print!(" {c:>12.5e}");
+            }
+            println!(" {:>12.5e}", scan.order[i]);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_kron(args: &Args) -> Result<(), CliError> {
+    let p: f64 = args.required("p")?;
+    let bits: u32 = args.or_default("factor-bits", 10u32)?;
+    let count: usize = args.or_default("factors", 4usize)?;
+    let seed: u64 = args.or_default("seed", 42u64)?;
+    if bits == 0 || bits > 20 || count == 0 {
+        return Err(CliError::Bad(
+            "need 1 ≤ factor-bits ≤ 20 and factors ≥ 1".into(),
+        ));
+    }
+    // Per-factor landscape: a sub-master plus seeded ruggedness.
+    let dim = 1usize << bits;
+    let factor: Vec<f64> = (0..dim as u64)
+        .map(|d| {
+            if d == 0 {
+                2.0
+            } else {
+                1.0 + ((d.wrapping_mul(seed | 1).wrapping_mul(2654435761)) % 97) as f64 / 500.0
+            }
+        })
+        .collect();
+    let landscape = qs_landscape::Kronecker::uniform(count, factor);
+    let nu = count as u32 * bits;
+    let t0 = std::time::Instant::now();
+    let qs = quasispecies::solve_kronecker(p, &landscape, &SolverConfig::default())?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    let gamma = qs.class_concentrations();
+    if args.flag("json") {
+        #[derive(Serialize)]
+        struct KronRecord {
+            nu: u32,
+            p: f64,
+            lambda: f64,
+            stored_values: usize,
+            classes: Vec<f64>,
+            seconds: f64,
+        }
+        let rec = KronRecord {
+            nu,
+            p,
+            lambda: qs.lambda,
+            stored_values: qs.stored_values(),
+            classes: gamma,
+            seconds: elapsed,
+        };
+        println!("{}", serde_json::to_string_pretty(&rec).expect("serialize"));
+    } else {
+        println!("Kronecker quasispecies  ν={nu} (N = 2^{nu}), {count} factors × {bits} bits");
+        println!("  solved in {elapsed:.3} s: λ₀ = {:.10}", qs.lambda);
+        println!(
+            "  implicit eigenvector: {} stored values",
+            qs.stored_values()
+        );
+        println!("  leading error classes:");
+        for (k, g) in gamma.iter().take(8).enumerate() {
+            println!("    [Γ_{k:<3}] {g:.6e}");
+        }
+        let total: f64 = gamma.iter().sum();
+        println!("  Σ[Γ_k] = {total:.12}");
+    }
+    Ok(())
+}
+
+fn cmd_ode(args: &Args) -> Result<(), CliError> {
+    let nu: u32 = args.required("nu")?;
+    let p: f64 = args.required("p")?;
+    let t_max: f64 = args.or_default("t-max", 1000.0)?;
+    let landscape = build_landscape(args, nu)?;
+    let flow = qs_ode::ReplicatorFlow::new(qs_matvec::Fmmp::new(nu, p), landscape.materialize());
+    let mut x0 = vec![0.0; 1 << nu];
+    x0[0] = 1.0; // the paper's initial condition: pure master population
+    let res = qs_ode::integrate_to_steady_state(
+        &flow,
+        &x0,
+        &qs_ode::SteadyStateOptions {
+            t_max,
+            ..Default::default()
+        },
+    );
+    let gamma = qs_bitseq::accumulate_classes(&res.x);
+    if args.flag("json") {
+        #[derive(Serialize)]
+        struct OdeRecord {
+            nu: u32,
+            p: f64,
+            mean_fitness: f64,
+            t: f64,
+            residual: f64,
+            converged: bool,
+            classes: Vec<f64>,
+        }
+        let rec = OdeRecord {
+            nu,
+            p,
+            mean_fitness: res.mean_fitness,
+            t: res.t,
+            residual: res.residual,
+            converged: res.converged,
+            classes: gamma,
+        };
+        println!("{}", serde_json::to_string_pretty(&rec).expect("serialize"));
+    } else {
+        println!("replicator–mutator dynamics  ν={nu}  p={p}  from x₀ = 1:");
+        println!(
+            "  steady state at t = {:.1} (converged: {}), ‖dx/dt‖∞ = {:.2e}",
+            res.t, res.converged, res.residual
+        );
+        println!(
+            "  mean fitness Φ∞ = {:.10} (= λ₀ of W = Q·F)",
+            res.mean_fitness
+        );
+        println!("  stationary error classes:");
+        for (k, g) in gamma.iter().take(8).enumerate() {
+            println!("    [Γ_{k:<3}] {g:.6e}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_threshold(args: &Args) -> Result<(), CliError> {
+    let nu: u32 = args.required("nu")?;
+    let lo: f64 = args.or_default("lo", 0.001)?;
+    let hi: f64 = args.or_default("hi", 0.2)?;
+    let eps: f64 = args.or_default("eps", 1e-3)?;
+    let phi = class_profile(args, nu)?;
+    match detect_pmax(nu, &phi, lo, hi, eps, 50) {
+        Some(pmax) => {
+            if args.flag("json") {
+                println!("{{\"nu\": {nu}, \"p_max\": {pmax}}}");
+            } else {
+                println!("error threshold for ν={nu}: p_max ≈ {pmax:.6}");
+            }
+            Ok(())
+        }
+        None => Err(CliError::Bad(format!(
+            "no threshold crossing found in [{lo}, {hi}] (distribution ordered/disordered across the whole bracket)"
+        ))),
+    }
+}

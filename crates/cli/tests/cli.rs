@@ -1,0 +1,122 @@
+//! End-to-end tests of the `quasispecies` binary: real process spawns,
+//! real argument parsing, machine-readable output checked for the same
+//! physics the library tests pin down.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_quasispecies"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout_json(args: &[&str]) -> serde_json::Value {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "command failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    serde_json::from_slice(&out.stdout).expect("valid JSON output")
+}
+
+#[test]
+fn solve_json_has_the_expected_physics() {
+    let v = stdout_json(&["solve", "--nu", "8", "--p", "0.01", "--json"]);
+    let lambda = v["lambda"].as_f64().unwrap();
+    assert!(lambda > 1.8 && lambda < 2.0, "λ = {lambda}");
+    let classes = v["classes"].as_array().unwrap();
+    assert_eq!(classes.len(), 9);
+    let total: f64 = classes.iter().map(|c| c.as_f64().unwrap()).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // Master sequence tops the ranking at small p.
+    assert_eq!(v["top_sequences"][0][0].as_str().unwrap(), "00000000");
+}
+
+#[test]
+fn engines_agree_through_the_cli() {
+    let a = stdout_json(&["solve", "--nu", "7", "--p", "0.02", "--json"]);
+    let b = stdout_json(&[
+        "solve", "--nu", "7", "--p", "0.02", "--engine", "xmvp", "--json",
+    ]);
+    let (la, lb) = (a["lambda"].as_f64().unwrap(), b["lambda"].as_f64().unwrap());
+    assert!((la - lb).abs() < 1e-9, "{la} vs {lb}");
+}
+
+#[test]
+fn threshold_detects_the_paper_value() {
+    let v = stdout_json(&["threshold", "--nu", "20", "--json"]);
+    let pmax = v["p_max"].as_f64().unwrap();
+    assert!((pmax - 0.035).abs() < 0.005, "p_max = {pmax}");
+}
+
+#[test]
+fn scan_emits_a_grid() {
+    let v = stdout_json(&[
+        "scan", "--nu", "10", "--p-min", "0.005", "--p-max", "0.05", "--points", "5", "--json",
+    ]);
+    assert_eq!(v["ps"].as_array().unwrap().len(), 5);
+    assert_eq!(v["classes"].as_array().unwrap().len(), 5);
+    assert_eq!(v["classes"][0].as_array().unwrap().len(), 11);
+    // Order parameter decreases along the grid for the single peak.
+    let order: Vec<f64> = v["order"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|x| x.as_f64().unwrap())
+        .collect();
+    assert!(order.first() > order.last());
+}
+
+#[test]
+fn kron_solves_nu_100() {
+    let v = stdout_json(&[
+        "kron",
+        "--p",
+        "0.002",
+        "--factor-bits",
+        "8",
+        "--factors",
+        "4",
+        "--json",
+    ]);
+    assert_eq!(v["nu"].as_u64().unwrap(), 32);
+    let classes = v["classes"].as_array().unwrap();
+    assert_eq!(classes.len(), 33);
+    let total: f64 = classes.iter().map(|c| c.as_f64().unwrap()).sum();
+    assert!((total - 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn ode_steady_state_matches_solve() {
+    let ode = stdout_json(&["ode", "--nu", "6", "--p", "0.02", "--json"]);
+    let solve = stdout_json(&["solve", "--nu", "6", "--p", "0.02", "--json"]);
+    let phi = ode["mean_fitness"].as_f64().unwrap();
+    let lambda = solve["lambda"].as_f64().unwrap();
+    assert!((phi - lambda).abs() < 1e-6, "Φ∞ = {phi} vs λ₀ = {lambda}");
+    assert!(ode["converged"].as_bool().unwrap());
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn missing_required_option_fails_cleanly() {
+    let out = run(&["solve", "--p", "0.01"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--nu"));
+}
+
+#[test]
+fn help_prints_usage_successfully() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,294 @@
+//! Derived observables of a solved quasispecies, and spectral diagnostics
+//! of the underlying operator.
+//!
+//! The paper motivates the whole computation with biology: the structure
+//! of the stationary distribution (ordered vs random replication), the
+//! mutational load carried by the cloud around the master sequence, and
+//! the sharpness of the transition between the two phases. This module
+//! provides those observables, plus an estimate of the spectral gap
+//! `λ₁/λ₀` — the quantity that *is* the power iteration's convergence
+//! rate (paper Section 3) — via power iteration with deflation on the
+//! symmetric formulation.
+
+use crate::result::Quasispecies;
+use qs_linalg::vec_ops::{normalize_l2, sub_scaled_into};
+use qs_linalg::{dot, norm_l2, NeumaierSum};
+use qs_matvec::LinearOperator;
+
+/// Population-level observables of a stationary distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationSummary {
+    /// The consensus sequence: bit `s` set iff the marginal frequency of
+    /// `1` at site `s` exceeds 1/2.
+    pub consensus: u64,
+    /// Marginal frequency of a set bit at each site (site 0 = LSB).
+    pub site_frequencies: Vec<f64>,
+    /// Mutational load: the mean Hamming distance to the master sequence,
+    /// `Σ_i x_i · d_H(i, 0)`.
+    pub mutational_load: f64,
+    /// Nucleotide diversity `π`: the expected Hamming distance between two
+    /// individuals drawn independently from the population,
+    /// `Σ_s 2·q_s·(1−q_s)` with `q_s` the site frequencies.
+    pub diversity: f64,
+    /// Shannon entropy of the distribution (nats).
+    pub entropy: f64,
+}
+
+/// Compute population observables from a quasispecies solution.
+pub fn summarize(qs: &Quasispecies) -> PopulationSummary {
+    let nu = qs.nu();
+    let mut site_sums = vec![NeumaierSum::new(); nu as usize];
+    let mut load = NeumaierSum::new();
+    for (i, &x) in qs.concentrations.iter().enumerate() {
+        let i = i as u64;
+        load.add(x * i.count_ones() as f64);
+        let mut bits = i;
+        while bits != 0 {
+            let s = bits.trailing_zeros() as usize;
+            site_sums[s].add(x);
+            bits &= bits - 1;
+        }
+    }
+    let site_frequencies: Vec<f64> = site_sums.iter().map(NeumaierSum::value).collect();
+    let mut consensus = 0u64;
+    for (s, &q) in site_frequencies.iter().enumerate() {
+        if q > 0.5 {
+            consensus |= 1 << s;
+        }
+    }
+    let diversity = site_frequencies.iter().map(|&q| 2.0 * q * (1.0 - q)).sum();
+    PopulationSummary {
+        consensus,
+        site_frequencies,
+        mutational_load: load.value(),
+        diversity,
+        entropy: qs.entropy(),
+    }
+}
+
+/// Options for [`spectral_gap`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralGapOptions {
+    /// Residual tolerance for both eigenpairs.
+    pub tol: f64,
+    /// Iteration budget per eigenpair.
+    pub max_iter: usize,
+}
+
+impl Default for SpectralGapOptions {
+    fn default() -> Self {
+        SpectralGapOptions {
+            tol: 1e-10,
+            max_iter: 200_000,
+        }
+    }
+}
+
+/// The two leading eigenvalues of a symmetric operator and the derived
+/// convergence diagnostics.
+#[derive(Debug, Clone)]
+pub struct SpectralGap {
+    /// Dominant eigenvalue `λ₀`.
+    pub lambda0: f64,
+    /// Second eigenvalue `λ₁` (by magnitude, after deflating `λ₀`).
+    pub lambda1: f64,
+    /// The power-iteration contraction ratio `λ₁/λ₀`.
+    pub ratio: f64,
+}
+
+impl SpectralGap {
+    /// Predicted power-iteration count to reduce the error by `tol`
+    /// (paper Section 3: the rate is `λ₁/λ₀`, improved to
+    /// `(λ₁−µ)/(λ₀−µ)` by a shift `µ`).
+    pub fn predicted_iterations(&self, tol: f64, shift: f64) -> usize {
+        let rate = ((self.lambda1 - shift) / (self.lambda0 - shift)).abs();
+        if rate >= 1.0 || rate <= 0.0 {
+            return usize::MAX;
+        }
+        (tol.ln() / rate.ln()).ceil().max(1.0) as usize
+    }
+}
+
+/// Estimate `λ₀` and `λ₁` of a **symmetric** operator by power iteration
+/// with deflation: first converge the dominant pair, then iterate while
+/// projecting out the converged eigenvector.
+///
+/// # Panics
+///
+/// Panics on a zero start vector or length mismatch.
+pub fn spectral_gap<A: LinearOperator + ?Sized>(
+    a: &A,
+    start: &[f64],
+    opts: &SpectralGapOptions,
+) -> SpectralGap {
+    assert_eq!(start.len(), a.len(), "spectral_gap: start length mismatch");
+    let n = a.len();
+    // Leading pair.
+    let top = crate::power::power_iteration(
+        a,
+        start,
+        &crate::power::PowerOptions {
+            tol: opts.tol,
+            max_iter: opts.max_iter,
+            shift: 0.0,
+            parallel_reductions: false,
+        },
+    );
+    let v0 = top.vector;
+
+    // Deflated iteration for λ₁: start from a vector orthogonal to v0.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 97) as f64 / 97.0 - 0.5)
+        .collect();
+    let c = dot(&x, &v0);
+    for (xi, &vi) in x.iter_mut().zip(&v0) {
+        *xi -= c * vi;
+    }
+    assert!(
+        normalize_l2(&mut x) > 0.0,
+        "spectral_gap: deflated start vanished"
+    );
+
+    let mut y = vec![0.0; n];
+    let mut r = vec![0.0; n];
+    let mut lambda1 = 0.0;
+    for _ in 0..opts.max_iter {
+        a.apply_into(&x, &mut y);
+        // Project out the converged dominant direction (guards against
+        // round-off re-injecting it).
+        let c = dot(&y, &v0);
+        for (yi, &vi) in y.iter_mut().zip(&v0) {
+            *yi -= c * vi;
+        }
+        lambda1 = dot(&x, &y);
+        sub_scaled_into(&y, lambda1, &x, &mut r);
+        if norm_l2(&r) <= opts.tol.max(1e-14 * lambda1.abs()) {
+            break;
+        }
+        let ny = norm_l2(&y);
+        assert!(ny > 0.0, "spectral_gap: deflated iterate collapsed");
+        for (xi, &yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+    }
+
+    SpectralGap {
+        lambda0: top.lambda,
+        lambda1,
+        ratio: lambda1 / top.lambda,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, SolverConfig};
+    use qs_landscape::{Landscape, Random, SinglePeak};
+    use qs_matvec::{Fmmp, Formulation, WOperator};
+
+    #[test]
+    fn summary_of_peaked_population() {
+        let landscape = SinglePeak::new(8, 2.0, 1.0);
+        let qs = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+        let s = summarize(&qs);
+        // Master dominates: consensus is the master, load is small.
+        assert_eq!(s.consensus, 0);
+        assert!(s.mutational_load < 0.5, "load {}", s.mutational_load);
+        assert!(s.site_frequencies.iter().all(|&q| q < 0.1));
+        assert!(s.diversity < 1.0);
+        // Load = Σ site frequencies (linearity of expectation).
+        let freq_sum: f64 = s.site_frequencies.iter().sum();
+        assert!((s.mutational_load - freq_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_uniform_population() {
+        let landscape = qs_landscape::Tabulated::new(vec![1.0; 64]);
+        let qs = solve(0.1, &landscape, &SolverConfig::default()).unwrap();
+        let s = summarize(&qs);
+        // Uniform: every site at frequency 1/2, load ν/2, diversity ν/2.
+        for &q in &s.site_frequencies {
+            assert!((q - 0.5).abs() < 1e-10);
+        }
+        assert!((s.mutational_load - 3.0).abs() < 1e-9);
+        assert!((s.diversity - 3.0).abs() < 1e-9);
+        assert!((s.entropy - 64f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consensus_follows_shifted_master() {
+        // Put the peak on a non-zero sequence via a tabulated landscape.
+        let master = 0b1010_0110u64;
+        let landscape =
+            qs_landscape::Tabulated::from_fn(8, |i| if i == master { 3.0 } else { 1.0 });
+        let qs = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+        let s = summarize(&qs);
+        assert_eq!(s.consensus, master);
+        assert_eq!(qs.dominant_sequence(), master);
+    }
+
+    #[test]
+    fn gap_matches_dense_spectrum() {
+        let nu = 6u32;
+        let p = 0.04;
+        let landscape = Random::new(nu, 5.0, 1.0, 12);
+        let w = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Symmetric);
+        let start: Vec<f64> = landscape.materialize().iter().map(|f| f.sqrt()).collect();
+        let gap = spectral_gap(&w, &start, &SpectralGapOptions::default());
+
+        // Dense ground truth.
+        let f = landscape.materialize();
+        let sq: Vec<f64> = f.iter().map(|x| x.sqrt()).collect();
+        let qd = {
+            use qs_mutation::MutationModel;
+            qs_mutation::Uniform::new(nu, p).dense()
+        };
+        let sd = qs_linalg::DenseMatrix::diagonal(&sq);
+        let eig = qs_linalg::jacobi_eigen(&sd.matmul(&qd).matmul(&sd));
+        assert!((gap.lambda0 - eig.values[0]).abs() < 1e-8);
+        assert!(
+            (gap.lambda1 - eig.values[1]).abs() < 1e-6,
+            "{} vs {}",
+            gap.lambda1,
+            eig.values[1]
+        );
+    }
+
+    #[test]
+    fn predicted_iterations_track_reality() {
+        let nu = 9u32;
+        let p = 0.01;
+        let landscape = Random::new(nu, 5.0, 1.0, 44);
+        let w = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Symmetric);
+        let start: Vec<f64> = landscape.materialize().iter().map(|f| f.sqrt()).collect();
+        let gap = spectral_gap(&w, &start, &SpectralGapOptions::default());
+        let predicted = gap.predicted_iterations(1e-12, 0.0);
+        let actual = crate::power::power_iteration(
+            &w,
+            &start,
+            &crate::power::PowerOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+        )
+        .iterations;
+        // Prediction is a rate-based bound; actual should be within ~3× of
+        // it in either direction (start-vector quality shifts the constant).
+        assert!(
+            actual <= predicted.saturating_mul(3) && predicted <= actual.saturating_mul(3),
+            "predicted {predicted}, actual {actual}"
+        );
+        // And the shift improves the predicted rate.
+        let mu = qs_matvec::conservative_shift(nu, p, landscape.f_min());
+        assert!(gap.predicted_iterations(1e-12, mu) <= predicted);
+    }
+
+    #[test]
+    fn gap_ratio_in_unit_interval_for_pd_operator() {
+        let landscape = Random::new(7, 5.0, 1.0, 1);
+        let w = WOperator::from_landscape(Fmmp::new(7, 0.02), &landscape, Formulation::Symmetric);
+        let start = vec![1.0; 1 << 7];
+        let gap = spectral_gap(&w, &start, &SpectralGapOptions::default());
+        assert!(gap.ratio > 0.0 && gap.ratio < 1.0, "ratio {}", gap.ratio);
+    }
+}

@@ -1,0 +1,277 @@
+//! MINRES: minimal-residual solves with symmetric (possibly indefinite)
+//! implicit operators.
+//!
+//! This is the building block the paper names as its next step
+//! (Section 3, "Towards a Shift-and-Invert Method"): an efficient solver
+//! for `(F^½·Q·F^½ − µI)·y = x` with *arbitrary* diagonal `F`. The shifted
+//! operator is symmetric but indefinite for shifts inside the spectrum, so
+//! CG is out and MINRES is the natural choice; each iteration costs one
+//! `Fmmp` application, keeping the whole inner solve matrix-free at
+//! `Θ(N log₂ N)` per step.
+//!
+//! Combined with [`crate::rqi`] this turns the paper's sketch into a
+//! working inverse-iteration/Rayleigh-quotient-iteration solver for the
+//! full `W` eigenproblem.
+
+use qs_linalg::{dot, norm_l2};
+use qs_matvec::LinearOperator;
+
+/// Options for [`minres`].
+#[derive(Debug, Clone, Copy)]
+pub struct MinresOptions {
+    /// Relative residual tolerance `‖b − A·x‖ ≤ tol·‖b‖`.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for MinresOptions {
+    fn default() -> Self {
+        MinresOptions {
+            tol: 1e-10,
+            max_iter: 10_000,
+        }
+    }
+}
+
+/// Outcome of a MINRES solve.
+#[derive(Debug, Clone)]
+pub struct MinresOutcome {
+    /// The approximate solution.
+    pub x: Vec<f64>,
+    /// Iterations (= operator applications) performed.
+    pub iterations: usize,
+    /// Final *estimated* residual norm (recurrence-based).
+    pub residual: f64,
+    /// Whether the tolerance was met within the budget.
+    pub converged: bool,
+}
+
+/// Solve `A·x = b` for a symmetric operator `A` by MINRES
+/// (Paige–Saunders), starting from `x = 0`.
+///
+/// On a (nearly) singular `A` — the regime inverse iteration deliberately
+/// creates — MINRES returns the minimal-residual iterate, which grows
+/// along the near-null direction; callers doing inverse iteration should
+/// bound `max_iter` and renormalise.
+///
+/// # Panics
+///
+/// Panics on length mismatch or a non-positive tolerance.
+pub fn minres<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: &MinresOptions) -> MinresOutcome {
+    assert_eq!(b.len(), a.len(), "minres: rhs length mismatch");
+    assert!(opts.tol > 0.0, "tolerance must be positive");
+    let n = b.len();
+
+    let beta1 = norm_l2(b);
+    if beta1 == 0.0 {
+        return MinresOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        };
+    }
+
+    // Lanczos vectors v_{j−1}, v_j and the next one under construction.
+    let mut v_prev = vec![0.0; n];
+    let mut v: Vec<f64> = b.iter().map(|&bi| bi / beta1).collect();
+    let mut av = vec![0.0; n];
+    // Search directions w_{j−2}, w_{j−1}.
+    let mut w_old2 = vec![0.0; n];
+    let mut w_old1 = vec![0.0; n];
+
+    let mut x = vec![0.0; n];
+    let mut beta = beta1;
+    let mut eta = beta1;
+    // Givens rotation state: (γ₀, γ₁) previous-two cosines, (σ₀, σ₁) sines.
+    let (mut gamma0, mut gamma1) = (1.0f64, 1.0f64);
+    let (mut sigma0, mut sigma1) = (0.0f64, 0.0f64);
+
+    let mut residual = beta1;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < opts.max_iter {
+        iterations += 1;
+        // Lanczos step: v_new = A·v − α·v − β·v_prev.
+        a.apply_into(&v, &mut av);
+        let alpha = dot(&v, &av);
+        for ((ai, &vi), &pi) in av.iter_mut().zip(&v).zip(&v_prev) {
+            *ai -= alpha * vi + beta * pi;
+        }
+        let beta_new = norm_l2(&av);
+
+        // Apply the two previous rotations and compute the new one.
+        let delta = gamma1 * alpha - gamma0 * sigma1 * beta;
+        let rho1 = (delta * delta + beta_new * beta_new).sqrt();
+        let rho2 = sigma1 * alpha + gamma0 * gamma1 * beta;
+        let rho3 = sigma0 * beta;
+        if rho1 == 0.0 {
+            // Exact breakdown: b lies in an invariant subspace already
+            // captured; the current x is the solution restricted to it.
+            converged = residual <= opts.tol * beta1;
+            break;
+        }
+        gamma0 = gamma1;
+        gamma1 = delta / rho1;
+        sigma0 = sigma1;
+        sigma1 = beta_new / rho1;
+
+        // New search direction and solution update.
+        for i in 0..n {
+            let wi = (v[i] - rho3 * w_old2[i] - rho2 * w_old1[i]) / rho1;
+            w_old2[i] = w_old1[i];
+            w_old1[i] = wi;
+            x[i] += gamma1 * eta * wi;
+        }
+        eta *= -sigma1;
+        residual = eta.abs();
+
+        if residual <= opts.tol * beta1 {
+            converged = true;
+            break;
+        }
+        if beta_new == 0.0 {
+            // Invariant subspace exhausted; solution is exact there.
+            converged = true;
+            residual = 0.0;
+            break;
+        }
+        // Advance the Lanczos pair.
+        std::mem::swap(&mut v_prev, &mut v);
+        for (vi, &ai) in v.iter_mut().zip(&av) {
+            *vi = ai / beta_new;
+        }
+        beta = beta_new;
+    }
+
+    MinresOutcome {
+        x,
+        iterations,
+        residual,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_landscape::Random;
+    use qs_linalg::DenseMatrix;
+    use qs_matvec::{Fmmp, Formulation, ShiftedOp, WOperator};
+
+    /// Dense symmetric operator wrapper for ground-truth checks.
+    struct DenseOp(DenseMatrix);
+    impl LinearOperator for DenseOp {
+        fn len(&self) -> usize {
+            self.0.rows()
+        }
+        fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+            self.0.matvec_into(x, y);
+        }
+    }
+
+    fn true_residual<A: LinearOperator + ?Sized>(a: &A, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.apply(x);
+        let r: Vec<f64> = ax.iter().zip(b).map(|(&u, &v)| v - u).collect();
+        norm_l2(&r)
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let a = DenseOp(DenseMatrix::from_vec(
+            3,
+            3,
+            vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0],
+        ));
+        let b = [1.0, 2.0, 3.0];
+        let out = minres(&a, &b, &MinresOptions::default());
+        assert!(out.converged);
+        assert!(true_residual(&a, &out.x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn solves_indefinite_system() {
+        // Eigenvalues of diag(2, -1, 0.5): indefinite — CG would fail.
+        let a = DenseOp(DenseMatrix::diagonal(&[2.0, -1.0, 0.5]));
+        let b = [2.0, 2.0, 2.0];
+        let out = minres(&a, &b, &MinresOptions::default());
+        assert!(out.converged);
+        assert!((out.x[0] - 1.0).abs() < 1e-9);
+        assert!((out.x[1] + 2.0).abs() < 1e-9);
+        assert!((out.x[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_is_trivial() {
+        let a = DenseOp(DenseMatrix::identity(4));
+        let out = minres(&a, &[0.0; 4], &MinresOptions::default());
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn residual_estimate_tracks_true_residual() {
+        let a = DenseOp(DenseMatrix::from_vec(
+            4,
+            4,
+            vec![
+                5.0, 1.0, 0.5, 0.0, 1.0, -3.0, 1.0, 0.2, 0.5, 1.0, 2.0, 1.0, 0.0, 0.2, 1.0, -1.0,
+            ],
+        ));
+        let b = [1.0, -2.0, 0.5, 3.0];
+        let out = minres(
+            &a,
+            &b,
+            &MinresOptions {
+                tol: 1e-12,
+                max_iter: 100,
+            },
+        );
+        assert!(out.converged);
+        let tr = true_residual(&a, &out.x, &b);
+        assert!(tr < 1e-8, "true residual {tr} vs estimate {}", out.residual);
+    }
+
+    #[test]
+    fn shifted_quasispecies_operator_solve() {
+        // The paper's target system: (F^½QF^½ − µI)y = x with arbitrary
+        // diagonal F, µ inside the spectrum (indefinite).
+        let nu = 8u32;
+        let p = 0.02;
+        let landscape = Random::new(nu, 5.0, 1.0, 17);
+        let w = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Symmetric);
+        let mu = 2.0; // strictly inside (λ_min, λ₀) for this landscape
+        let shifted = ShiftedOp::new(&w, mu);
+        let b: Vec<f64> = (0..1usize << nu)
+            .map(|i| ((i * 7) % 13) as f64 - 6.0)
+            .collect();
+        let out = minres(
+            &shifted,
+            &b,
+            &MinresOptions {
+                tol: 1e-9,
+                max_iter: 5_000,
+            },
+        );
+        assert!(out.converged, "residual {}", out.residual);
+        assert!(true_residual(&shifted, &out.x, &b) < 1e-6 * norm_l2(&b));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let a = DenseOp(DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1e-12]));
+        let out = minres(
+            &a,
+            &[1.0, 1.0],
+            &MinresOptions {
+                tol: 1e-15,
+                max_iter: 1,
+            },
+        );
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 1);
+    }
+}

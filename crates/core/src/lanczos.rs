@@ -1,0 +1,266 @@
+//! Lanczos eigensolver with full reorthogonalisation — the storage-hungry
+//! alternative the paper weighs against the power iteration (Section 3:
+//! "Lanczos/Arnoldi iterations … require storing more intermediate vectors
+//! … and are thus less attractive for very large scale instances").
+//!
+//! We implement it anyway as an ablation comparator: on the *symmetric*
+//! formulation `F^½·Q·F^½` (paper Eq. 4) it typically converges in far
+//! fewer operator applications than the power iteration, at the cost of
+//! `m` stored basis vectors — exactly the trade-off the paper describes.
+
+use qs_linalg::vec_ops::{normalize_l2, orient_positive};
+use qs_linalg::{dot, norm_l2, tridiag_eigen};
+use qs_matvec::LinearOperator;
+
+/// Options for [`lanczos`].
+#[derive(Debug, Clone, Copy)]
+pub struct LanczosOptions {
+    /// Maximum Krylov subspace dimension `m` (= stored vectors; this is the
+    /// memory cost the paper objects to).
+    pub subspace: usize,
+    /// Residual tolerance on the Ritz pair.
+    pub tol: f64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            subspace: 60,
+            tol: 1e-13,
+        }
+    }
+}
+
+/// Outcome of a Lanczos run.
+#[derive(Debug, Clone)]
+pub struct LanczosOutcome {
+    /// Dominant Ritz value (≈ `λ₀`).
+    pub lambda: f64,
+    /// Dominant Ritz vector, unit L2, Perron-oriented.
+    pub vector: Vec<f64>,
+    /// Lanczos steps performed (= operator applications).
+    pub matvecs: usize,
+    /// Final residual bound `|β_j·s_j|` of the dominant Ritz pair.
+    pub residual: f64,
+    /// Did the residual reach `tol` within the subspace budget?
+    pub converged: bool,
+}
+
+/// Run Lanczos with full reorthogonalisation on a **symmetric** operator.
+///
+/// The caller is responsible for symmetry (use the `Symmetric` formulation
+/// of [`qs_matvec::WOperator`]); on an asymmetric operator the tridiagonal
+/// projection is meaningless.
+///
+/// # Panics
+///
+/// Panics on length mismatch, a zero start vector, or `subspace == 0`.
+pub fn lanczos<A: LinearOperator + ?Sized>(
+    a: &A,
+    start: &[f64],
+    opts: &LanczosOptions,
+) -> LanczosOutcome {
+    assert_eq!(start.len(), a.len(), "lanczos: start length mismatch");
+    assert!(opts.subspace >= 1, "subspace must be at least 1");
+    let n = a.len();
+
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(opts.subspace);
+    let mut alphas: Vec<f64> = Vec::with_capacity(opts.subspace);
+    let mut betas: Vec<f64> = Vec::with_capacity(opts.subspace);
+
+    let mut v = start.to_vec();
+    assert!(normalize_l2(&mut v) > 0.0, "lanczos: zero start vector");
+    basis.push(v);
+
+    let mut w = vec![0.0; n];
+    let mut matvecs = 0;
+
+    loop {
+        let j = basis.len() - 1;
+        a.apply_into(&basis[j], &mut w);
+        matvecs += 1;
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            for (wi, &vi) in w.iter_mut().zip(&basis[j - 1]) {
+                *wi -= beta_prev * vi;
+            }
+        }
+        let alpha = dot(&basis[j], &w);
+        alphas.push(alpha);
+        for (wi, &vi) in w.iter_mut().zip(&basis[j]) {
+            *wi -= alpha * vi;
+        }
+        // Full reorthogonalisation (twice is enough): the price of keeping
+        // the basis numerically orthogonal without restarts.
+        for _ in 0..2 {
+            for q in &basis {
+                let c = dot(q, &w);
+                if c != 0.0 {
+                    for (wi, &qi) in w.iter_mut().zip(q) {
+                        *wi -= c * qi;
+                    }
+                }
+            }
+        }
+        let beta = norm_l2(&w);
+
+        // Ritz extraction on the current tridiagonal T_j.
+        let eig = tridiag_eigen(&alphas, &betas);
+        let m = alphas.len();
+        let s_last = eig.vectors[(m - 1, 0)];
+        let residual = (beta * s_last).abs();
+        if residual <= opts.tol || beta <= f64::EPSILON || basis.len() == opts.subspace {
+            let converged = residual <= opts.tol || beta <= f64::EPSILON;
+            // Assemble the Ritz vector x = V_m · s₀.
+            let mut x = vec![0.0; n];
+            for (i, q) in basis.iter().enumerate() {
+                let si = eig.vectors[(i, 0)];
+                for (xi, &qi) in x.iter_mut().zip(q) {
+                    *xi += si * qi;
+                }
+            }
+            normalize_l2(&mut x);
+            orient_positive(&mut x);
+            return LanczosOutcome {
+                lambda: eig.values[0],
+                vector: x,
+                matvecs,
+                residual,
+                converged,
+            };
+        }
+
+        betas.push(beta);
+        let inv = 1.0 / beta;
+        let next: Vec<f64> = w.iter().map(|&wi| wi * inv).collect();
+        basis.push(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{power_iteration, PowerOptions};
+    use qs_landscape::{Landscape, Random};
+    use qs_matvec::{convert_eigenvector, Fmmp, Formulation, WOperator};
+
+    fn sym_op(nu: u32, p: f64, landscape: &impl Landscape) -> WOperator<Fmmp> {
+        WOperator::from_landscape(Fmmp::new(nu, p), landscape, Formulation::Symmetric)
+    }
+
+    fn sym_start(landscape: &impl Landscape) -> Vec<f64> {
+        // F^{1/2}-weighted version of the paper's start vector keeps the
+        // comparison fair in the symmetric formulation.
+        let mut s: Vec<f64> = landscape.materialize().iter().map(|f| f.sqrt()).collect();
+        qs_linalg::vec_ops::normalize_l2(&mut s);
+        s
+    }
+
+    #[test]
+    fn agrees_with_power_iteration() {
+        let (nu, p) = (9u32, 0.01);
+        let landscape = Random::new(nu, 5.0, 1.0, 21);
+        let w = sym_op(nu, p, &landscape);
+        let start = sym_start(&landscape);
+        let lz = lanczos(&w, &start, &LanczosOptions::default());
+        let pi = power_iteration(
+            &w,
+            &start,
+            &PowerOptions {
+                tol: 1e-13,
+                ..Default::default()
+            },
+        );
+        assert!(lz.converged && pi.converged);
+        assert!(
+            (lz.lambda - pi.lambda).abs() < 1e-9,
+            "Lanczos {} vs PI {}",
+            lz.lambda,
+            pi.lambda
+        );
+        // Same eigenvector up to sign/normalisation.
+        let d: f64 = qs_linalg::dot(&lz.vector, &pi.vector).abs();
+        assert!(d > 1.0 - 1e-8, "vectors differ: |cos| = {d}");
+    }
+
+    #[test]
+    fn needs_fewer_matvecs_than_power_iteration() {
+        // The storage-for-speed trade-off the paper describes.
+        let (nu, p) = (10u32, 0.01);
+        let landscape = Random::new(nu, 5.0, 1.0, 9);
+        let w = sym_op(nu, p, &landscape);
+        let start = sym_start(&landscape);
+        let lz = lanczos(
+            &w,
+            &start,
+            &LanczosOptions {
+                subspace: 80,
+                tol: 1e-12,
+            },
+        );
+        let pi = power_iteration(
+            &w,
+            &start,
+            &PowerOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
+        assert!(lz.converged && pi.converged);
+        assert!(
+            lz.matvecs < pi.matvecs,
+            "Lanczos {} !< PI {}",
+            lz.matvecs,
+            pi.matvecs
+        );
+    }
+
+    #[test]
+    fn symmetric_solution_converts_to_concentrations() {
+        // x_R = F^{-1/2}·x_S must be the Perron vector of Q·F.
+        let (nu, p) = (7u32, 0.02);
+        let landscape = Random::new(nu, 5.0, 1.0, 33);
+        let w = sym_op(nu, p, &landscape);
+        let lz = lanczos(&w, &sym_start(&landscape), &LanczosOptions::default());
+        let f = landscape.materialize();
+        let xr = convert_eigenvector(Formulation::Symmetric, Formulation::Right, &lz.vector, &f);
+        // Check W_R x_R = λ x_R through the right-form operator.
+        let wr = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Right);
+        let wx = wr.apply(&xr);
+        for (a, b) in wx.iter().zip(&xr) {
+            assert!((a - lz.lambda * b).abs() < 1e-8);
+        }
+        assert!(xr.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn subspace_exhaustion_reports_not_converged() {
+        let (nu, p) = (8u32, 0.01);
+        let landscape = Random::new(nu, 5.0, 1.0, 2);
+        let w = sym_op(nu, p, &landscape);
+        let lz = lanczos(
+            &w,
+            &sym_start(&landscape),
+            &LanczosOptions {
+                subspace: 3,
+                tol: 1e-15,
+            },
+        );
+        assert_eq!(lz.matvecs, 3);
+        assert!(!lz.converged);
+    }
+
+    #[test]
+    fn happy_breakdown_on_exact_eigenvector_start() {
+        // Starting in an eigenvector: β₁ ≈ 0, one step, converged.
+        let nu = 6u32;
+        // Equal fitness: W = c·Q symmetric, dominant eigenvector uniform.
+        let landscape = qs_landscape::Tabulated::new(vec![2.0; 1 << nu]);
+        let w = sym_op(nu, 0.05, &landscape);
+        let start = vec![1.0; 1 << nu];
+        let lz = lanczos(&w, &start, &LanczosOptions::default());
+        assert!(lz.converged);
+        assert!(lz.matvecs <= 2);
+        assert!((lz.lambda - 2.0).abs() < 1e-10, "λ = {}", lz.lambda);
+    }
+}

@@ -1,0 +1,76 @@
+//! Fast solvers for Eigen's quasispecies model — a from-scratch
+//! reproduction of *"A Fast Solver for Modeling the Evolution of Virus
+//! Populations"* (Niederbrucker & Gansterer, SC'11).
+//!
+//! The quasispecies model describes the long-term evolution of a virus
+//! population of RNA chain length `ν` as the dominant eigenvector of
+//! `W = Q·F`, where `Q` is the mutation matrix and `F` the fitness
+//! landscape. `N = 2^ν` grows exponentially, so the solvers here are
+//! matrix-free and built on the `Θ(N log₂ N)` fast mutation matrix product
+//! `Fmmp` of the paper:
+//!
+//! ```
+//! use quasispecies::{solve, SolverConfig};
+//! use qs_landscape::SinglePeak;
+//!
+//! // ν = 10, single-peak landscape, error rate p = 0.01.
+//! let landscape = SinglePeak::new(10, 2.0, 1.0);
+//! let result = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+//! assert!(result.lambda > 1.0);
+//! // The master sequence dominates the quasispecies at small p:
+//! assert_eq!(result.dominant_sequence(), 0);
+//! let gamma = result.error_class_concentrations();
+//! assert!(gamma[0] > 0.5);
+//! ```
+//!
+//! Module map (paper section in brackets):
+//!
+//! * [`power`] — shifted power iteration on implicit operators (§3),
+//! * [`lanczos`] — Lanczos comparator with full reorthogonalisation (§3
+//!   mentions it as the storage-hungry alternative),
+//! * [`solver`] — high-level driver: pick engine (`Fmmp`, parallel `Fmmp`,
+//!   `Xmvp(d_max)`, `Smvp`, Kronecker chains), formulation, shift (§2–4),
+//! * [`result`] — the [`Quasispecies`] solution object: concentrations,
+//!   error classes, entropy, order parameters (§1.1),
+//! * [`reduced`] — the *exact* `(ν+1)×(ν+1)` reduction for error-class
+//!   landscapes (§5.1),
+//! * [`kron_solver`] — the factorised solver for Kronecker landscapes,
+//!   including implicit eigenvector queries and per-class min/max via
+//!   dynamic programming (§5.2),
+//! * [`threshold`] — error-threshold scans and `p_max` detection
+//!   (Figure 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod kron_solver;
+pub mod krylov;
+pub mod lanczos;
+pub mod mixed;
+pub mod power;
+pub mod reduced;
+pub mod resolution;
+pub mod result;
+pub mod rqi;
+pub mod solver;
+pub mod threshold;
+
+pub use analysis::{spectral_gap, summarize, PopulationSummary, SpectralGap, SpectralGapOptions};
+pub use kron_solver::{solve_kronecker, KroneckerQuasispecies};
+pub use krylov::{minres, MinresOptions, MinresOutcome};
+pub use lanczos::{lanczos, LanczosOptions, LanczosOutcome};
+pub use mixed::{solve_mixed_precision, MixedOptions, MixedStats};
+pub use power::{power_iteration, PowerOptions, PowerOutcome};
+pub use reduced::{solve_error_class, ReducedQuasispecies};
+pub use resolution::{marginal, site_marginals, Pyramid};
+pub use result::{Quasispecies, SolveStats};
+pub use rqi::{rayleigh_quotient_iteration, RqiOptions, RqiOutcome};
+pub use solver::{
+    solve, solve_with_model, solve_with_q_operator, Engine, Method, ShiftStrategy, SolveError,
+    SolverConfig,
+};
+pub use threshold::{detect_pmax, scan_error_classes, scan_full, ThresholdScan};
+
+// Re-export the pieces user code needs to assemble custom problems.
+pub use qs_matvec::Formulation;

@@ -1,0 +1,231 @@
+//! Mixed-precision solving: a single-precision power-iteration pass
+//! followed by double-precision refinement.
+//!
+//! The paper's conclusions list "approximative strategies for a fast
+//! matrix vector product" as future work; on the bandwidth-bound hardware
+//! it benchmarks, the classic such strategy is precision reduction — an
+//! `f32` butterfly moves half the bytes per stage. Single precision alone
+//! cannot reach the paper's `τ = 10⁻¹⁵` accuracy regime, so this module
+//! implements *iterative refinement*: iterate in `f32` until the residual
+//! saturates near single-precision round-off (~1e-6), then hand the
+//! iterate to the standard `f64` power iteration as a warm start. The
+//! final accuracy is full `f64`; the `f64` iteration count shrinks by
+//! roughly the iterations the `f32` pass absorbed.
+
+use crate::power::{power_iteration, PowerOptions};
+use crate::result::{Quasispecies, SolveStats};
+use crate::solver::SolveError;
+use qs_landscape::Landscape;
+use qs_matvec::{conservative_shift, fmmp::fmmp_in_place_f32, Fmmp, Formulation, WOperator};
+
+/// Options for [`solve_mixed_precision`].
+#[derive(Debug, Clone, Copy)]
+pub struct MixedOptions {
+    /// Final (double-precision) residual tolerance.
+    pub tol: f64,
+    /// Residual level at which the `f32` pass stops (don't set much below
+    /// ~1e-6: single precision cannot go further and the pass would stall).
+    pub f32_tol: f32,
+    /// Iteration caps for the two passes.
+    pub max_iter_f32: usize,
+    /// Iteration budget for the refinement pass.
+    pub max_iter_f64: usize,
+    /// Apply the paper's conservative shift in both passes.
+    pub shifted: bool,
+}
+
+impl Default for MixedOptions {
+    fn default() -> Self {
+        MixedOptions {
+            tol: 1e-13,
+            f32_tol: 1e-5,
+            max_iter_f32: 10_000,
+            max_iter_f64: 100_000,
+            shifted: true,
+        }
+    }
+}
+
+/// Diagnostics of a mixed-precision solve.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedStats {
+    /// Iterations spent in the single-precision pass.
+    pub f32_iterations: usize,
+    /// Iterations spent in the double-precision refinement.
+    pub f64_iterations: usize,
+}
+
+/// Solve the quasispecies problem for the uniform model with a
+/// single-precision pass plus double-precision refinement.
+///
+/// # Errors
+///
+/// [`SolveError::NotConverged`] if the refinement pass fails to reach
+/// `tol`.
+pub fn solve_mixed_precision<L: Landscape + ?Sized>(
+    p: f64,
+    landscape: &L,
+    opts: &MixedOptions,
+) -> Result<(Quasispecies, MixedStats), SolveError> {
+    let nu = landscape.nu();
+    let n = landscape.len();
+    let fitness = landscape.materialize();
+    let mu = if opts.shifted {
+        conservative_shift(nu, p, landscape.f_min())
+    } else {
+        0.0
+    };
+
+    // --- f32 pass: power iteration on W = Q·F entirely in single precision.
+    let f32_fitness: Vec<f32> = fitness.iter().map(|&f| f as f32).collect();
+    let p32 = p as f32;
+    let mu32 = mu as f32;
+    let mut x: Vec<f32> = f32_fitness.clone();
+    let norm: f32 = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+    for v in &mut x {
+        *v /= norm;
+    }
+    let mut y = vec![0.0f32; n];
+    let mut f32_iterations = 0usize;
+    while f32_iterations < opts.max_iter_f32 {
+        f32_iterations += 1;
+        // y = (QF − µI)x in f32.
+        for ((yi, &xi), &fi) in y.iter_mut().zip(&x).zip(&f32_fitness) {
+            *yi = fi * xi;
+        }
+        fmmp_in_place_f32(&mut y, p32);
+        if mu32 != 0.0 {
+            for (yi, &xi) in y.iter_mut().zip(&x) {
+                *yi -= mu32 * xi;
+            }
+        }
+        let lambda: f32 = x.iter().zip(&y).map(|(&a, &b)| a * b).sum();
+        let mut res2 = 0.0f32;
+        for (&yi, &xi) in y.iter().zip(&x) {
+            let r = yi - lambda * xi;
+            res2 += r * r;
+        }
+        let ny: f32 = y.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(ny > 0.0, "f32 iterate collapsed");
+        for (xi, &yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+        if res2.sqrt() <= opts.f32_tol {
+            break;
+        }
+    }
+
+    // --- f64 refinement: warm-start the standard solver.
+    let warm: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+    let w = WOperator::new(Fmmp::new(nu, p), fitness.clone(), Formulation::Right);
+    let out = power_iteration(
+        &w,
+        &warm,
+        &PowerOptions {
+            tol: opts.tol,
+            max_iter: opts.max_iter_f64,
+            shift: mu,
+            parallel_reductions: false,
+        },
+    );
+    if !out.converged {
+        return Err(SolveError::NotConverged {
+            iterations: out.iterations,
+            residual: out.residual,
+        });
+    }
+    let stats = SolveStats {
+        iterations: f32_iterations + out.iterations,
+        matvecs: f32_iterations + out.matvecs,
+        residual: out.residual,
+        converged: true,
+        engine: "Fmmp-mixed(f32→f64)".into(),
+        method: if mu != 0.0 { "Pi+shift" } else { "Pi" }.into(),
+        shift: mu,
+    };
+    Ok((
+        Quasispecies::from_right_eigenvector(out.lambda, out.vector, stats),
+        MixedStats {
+            f32_iterations,
+            f64_iterations: out.iterations,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, SolverConfig};
+    use qs_landscape::Random;
+
+    #[test]
+    fn matches_full_precision_solution() {
+        let nu = 9u32;
+        let p = 0.01;
+        let landscape = Random::new(nu, 5.0, 1.0, 400);
+        let (mixed, stats) =
+            solve_mixed_precision(p, &landscape, &MixedOptions::default()).unwrap();
+        let full = solve(p, &landscape, &SolverConfig::default()).unwrap();
+        assert!(
+            (mixed.lambda - full.lambda).abs() < 1e-10,
+            "{} vs {}",
+            mixed.lambda,
+            full.lambda
+        );
+        for (a, b) in mixed.concentrations.iter().zip(&full.concentrations) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!(stats.f32_iterations > 0);
+    }
+
+    #[test]
+    fn refinement_needs_fewer_f64_iterations_than_cold_start() {
+        let nu = 10u32;
+        let p = 0.01;
+        let landscape = Random::new(nu, 5.0, 1.0, 77);
+        let (_, stats) = solve_mixed_precision(p, &landscape, &MixedOptions::default()).unwrap();
+        let cold = solve(p, &landscape, &SolverConfig::default()).unwrap();
+        assert!(
+            stats.f64_iterations < cold.stats.iterations,
+            "warm {} !< cold {}",
+            stats.f64_iterations,
+            cold.stats.iterations
+        );
+        // The f32 pass only delivers ~7 digits: refinement must still do
+        // *some* double-precision work to reach 1e-13.
+        assert!(stats.f64_iterations >= 1);
+    }
+
+    #[test]
+    fn unshifted_variant_also_converges() {
+        let landscape = Random::new(8, 5.0, 1.0, 3);
+        let (qs, _) = solve_mixed_precision(
+            0.02,
+            &landscape,
+            &MixedOptions {
+                shifted: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(qs.stats.converged);
+        assert_eq!(qs.stats.shift, 0.0);
+        let total: f64 = qs.concentrations.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_pass_respects_its_cap() {
+        let landscape = Random::new(8, 5.0, 1.0, 9);
+        let (_, stats) = solve_mixed_precision(
+            0.01,
+            &landscape,
+            &MixedOptions {
+                max_iter_f32: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.f32_iterations, 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! The exact `(ν+1)×(ν+1)` reduction for error-class landscapes
+//! (paper Section 5.1).
+//!
+//! For landscapes of the form `f_i = ϕ(d_H(i,0))`, Lemma 2 shows `W = Q·F`
+//! maps error-class vectors to error-class vectors, so the dominant
+//! eigenvector *is* an error-class vector and the `N×N` problem collapses
+//! — exactly, not approximately — to the `(ν+1)×(ν+1)` problem
+//!
+//! ```text
+//! v̄Γ_d = Σ_k QΓ_{d,k} · ϕ(k) · vΓ_k,
+//! ```
+//!
+//! whose eigenvector `vΓ` holds the concentration of one *representative*
+//! per class. Cumulative class concentrations follow by the paper's
+//! rescaling
+//!
+//! ```text
+//! [Γ_k] = C(ν,k)·vΓ_k / Σ_j C(ν,j)·vΓ_j.
+//! ```
+//!
+//! Numerically the eigen**value** comes from a similarity transform that
+//! makes the reduced operator symmetric (using the detailed-balance
+//! relation `C(ν,d)·QΓ_{d,k} = C(ν,k)·QΓ_{k,d}` inherited from the symmetry
+//! of `Q`) followed by the dense Jacobi eigensolver — "a standard solver
+//! for a small matrix", exactly as the paper prescribes. The
+//! eigen**vector**, however, is extracted in the *class-mass basis*
+//! `u_k = C(ν,k)·vΓ_k` via inverse iteration: un-symmetrising the Jacobi
+//! eigenvector would multiply its ~1 ulp noise floor by `√C(ν,k)` (≈ 2^{ν/2}
+//! at the middle class), which silently destroys every digit of `[Γ_k]`
+//! for ν ≳ 60. In the class-mass basis the operator
+//! `B_{d,k} = QΓ_{k,d}·ϕ(k)` has entries bounded by `max ϕ` and the
+//! computed `u` *is* the class-concentration profile, so the reduction
+//! stays exact-to-rounding at ν = 200 and beyond.
+
+use crate::result::{Quasispecies, SolveStats};
+use qs_linalg::{jacobi_eigen, DenseMatrix, Lu};
+use qs_mutation::reduced::reduced_matrix;
+
+/// The solved reduced problem.
+#[derive(Debug, Clone)]
+pub struct ReducedQuasispecies {
+    /// Chain length ν.
+    pub nu: u32,
+    /// Error rate p.
+    pub p: f64,
+    /// Dominant eigenvalue λ₀ (identical to the full problem's).
+    pub lambda: f64,
+    /// Representative concentrations `vΓ_k` (one molecule of class `Γ_k`),
+    /// normalised so `Σ_k C(ν,k)·vΓ_k = 1` — i.e. the full eigenvector
+    /// sums to 1.
+    pub representative: Vec<f64>,
+    /// Cumulative class concentrations `[Γ_k]`.
+    pub classes: Vec<f64>,
+}
+
+impl ReducedQuasispecies {
+    /// Concentration of an individual sequence `i` (every member of a class
+    /// shares its representative's concentration).
+    pub fn concentration(&self, i: u64) -> f64 {
+        self.representative[i.count_ones() as usize]
+    }
+
+    /// Expand into a full [`Quasispecies`] solution of dimension `2^ν`
+    /// (only sensible for moderate ν).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2^ν` overflows the supported dimension.
+    pub fn expand(&self) -> Quasispecies {
+        let n = qs_bitseq::dimension(self.nu);
+        let x: Vec<f64> = (0..n as u64).map(|i| self.concentration(i)).collect();
+        Quasispecies::from_right_eigenvector(
+            self.lambda,
+            x,
+            SolveStats {
+                iterations: 0,
+                matvecs: 0,
+                residual: 0.0,
+                converged: true,
+                engine: "reduced(5.1)".into(),
+                method: "Jacobi".into(),
+                shift: 0.0,
+            },
+        )
+    }
+}
+
+/// Solve the quasispecies problem **exactly** for an error-class landscape
+/// given by its class-fitness profile `phi[k] = ϕ(k)`, `k = 0..=ν`.
+///
+/// Cost: `O(ν²)` to build the reduced matrix plus `O(ν³)` for the dense
+/// eigensolve — independent of `N = 2^ν`, which is what lets Figure 1 be
+/// produced at ν = 20 (or ν = 1000) instantly.
+///
+/// # Panics
+///
+/// Panics unless `phi.len() == ν+1` with positive entries and
+/// `0 < p ≤ 1/2`.
+pub fn solve_error_class(nu: u32, p: f64, phi: &[f64]) -> ReducedQuasispecies {
+    assert_eq!(phi.len(), nu as usize + 1, "phi must have ν+1 entries");
+    assert!(
+        phi.iter().all(|f| f.is_finite() && *f > 0.0),
+        "class fitness values must be positive"
+    );
+    assert!(p > 0.0 && p <= 0.5, "error rate must satisfy 0 < p ≤ 1/2");
+    let m = nu as usize + 1;
+    let qg = reduced_matrix(nu, p);
+
+    // Eigenvalue: A = QΓ·diag(ϕ) is similar to the symmetric
+    // S = D·A·D^{-1}, D = diag(√(C(ν,d)·ϕ_d)), because
+    // C(ν,d)·QΓ_{d,k} = C(ν,k)·QΓ_{k,d}; Jacobi gives λ₀ to full accuracy.
+    let weights: Vec<f64> = (0..m)
+        .map(|d| (qs_bitseq::binomial_f64(nu, d as u32) * phi[d]).sqrt())
+        .collect();
+    let s = DenseMatrix::from_fn(m, m, |d, k| qg[(d, k)] * phi[k] * weights[d] / weights[k]);
+    let lambda = jacobi_eigen(&s).values[0];
+
+    // Eigenvector in the class-mass basis: B_{d,k} = QΓ_{k,d}·ϕ_k has the
+    // same spectrum (B = T·A·T^{-1}, T = diag(C(ν,d))) and its dominant
+    // eigenvector is [Γ_k] directly. Inverse iteration with the shift just
+    // above λ₀ converges in a handful of steps.
+    let b = DenseMatrix::from_fn(m, m, |d, k| qg[(k, d)] * phi[k]);
+    let mut classes = inverse_iterate(&b, lambda);
+    qs_linalg::vec_ops::orient_positive(&mut classes);
+    for x in &mut classes {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    let total = qs_linalg::sum(&classes);
+    assert!(total > 0.0, "degenerate reduced eigenvector");
+    for x in &mut classes {
+        *x /= total;
+    }
+    // Per-representative concentrations vΓ_k = [Γ_k]/C(ν,k); underflows to
+    // 0 for astronomically large classes, which is the honest answer.
+    let representative: Vec<f64> = classes
+        .iter()
+        .enumerate()
+        .map(|(k, &u)| u / qs_bitseq::binomial_f64(nu, k as u32))
+        .collect();
+
+    ReducedQuasispecies {
+        nu,
+        p,
+        lambda,
+        representative,
+        classes,
+    }
+}
+
+/// Dominant eigenvector of `b` by inverse iteration with a shift slightly
+/// above the (accurately known) dominant eigenvalue `lambda`. The shift is
+/// nudged further if the shifted matrix happens to be numerically singular.
+fn inverse_iterate(b: &DenseMatrix, lambda: f64) -> Vec<f64> {
+    let m = b.rows();
+    let scale = lambda.abs().max(1e-300);
+    let mut eps = 1e-11;
+    let lu = loop {
+        let mu = lambda + eps * scale;
+        let shifted = DenseMatrix::from_fn(m, m, |d, k| b[(d, k)] - if d == k { mu } else { 0.0 });
+        match Lu::new(&shifted) {
+            Ok(lu) => break lu,
+            Err(_) => {
+                eps *= 10.0;
+                assert!(
+                    eps < 1e-3,
+                    "inverse iteration: could not find a usable shift"
+                );
+            }
+        }
+    };
+    let mut u = vec![1.0 / m as f64; m];
+    for _ in 0..60 {
+        u = lu.solve(&u);
+        let norm = qs_linalg::norm_l2(&u);
+        assert!(norm.is_finite() && norm > 0.0, "inverse iteration diverged");
+        for x in &mut u {
+            *x /= norm;
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, SolverConfig};
+    use qs_landscape::{ErrorClass, Landscape};
+
+    #[test]
+    fn matches_full_solver_on_single_peak() {
+        let nu = 9u32;
+        let p = 0.02;
+        let ec = ErrorClass::single_peak(nu, 2.0, 1.0);
+        let reduced = solve_error_class(nu, p, ec.phi());
+        let full = solve(
+            p,
+            &ec,
+            &SolverConfig {
+                tol: 1e-14,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (reduced.lambda - full.lambda).abs() < 1e-10,
+            "λ: {} vs {}",
+            reduced.lambda,
+            full.lambda
+        );
+        let gamma_full = full.error_class_concentrations();
+        for (k, (&r, &f)) in reduced.classes.iter().zip(&gamma_full).enumerate() {
+            assert!((r - f).abs() < 1e-9, "[Γ_{k}]: {r} vs {f}");
+        }
+    }
+
+    #[test]
+    fn matches_full_solver_on_arbitrary_profile() {
+        let nu = 8u32;
+        let p = 0.05;
+        // Rugged class profile — no monotonicity.
+        let phi: Vec<f64> = (0..=nu)
+            .map(|k| 1.0 + ((k * 7 + 3) % 5) as f64 / 2.0)
+            .collect();
+        let ec = ErrorClass::new(nu, phi.clone());
+        let reduced = solve_error_class(nu, p, &phi);
+        let full = solve(
+            p,
+            &ec,
+            &SolverConfig {
+                tol: 1e-14,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((reduced.lambda - full.lambda).abs() < 1e-10);
+        let gamma_full = full.error_class_concentrations();
+        for (&r, &f) in reduced.classes.iter().zip(&gamma_full) {
+            assert!((r - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_true_eigenvector() {
+        let nu = 7u32;
+        let p = 0.03;
+        let ec = ErrorClass::linear(nu, 2.0, 1.0);
+        let reduced = solve_error_class(nu, p, ec.phi());
+        let qs = reduced.expand();
+        // Verify W·x = λ·x through Fmmp.
+        let w = qs_matvec::WOperator::from_landscape(
+            qs_matvec::Fmmp::new(nu, p),
+            &ec,
+            qs_matvec::Formulation::Right,
+        );
+        let wx = qs_matvec::LinearOperator::apply(&w, &qs.concentrations);
+        for (a, b) in wx.iter().zip(&qs.concentrations) {
+            assert!((a - reduced.lambda * b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn classes_sum_to_one() {
+        let reduced = solve_error_class(
+            20,
+            0.01,
+            &[1.0; 21]
+                .iter()
+                .enumerate()
+                .map(|(k, _)| if k == 0 { 2.0 } else { 1.0 })
+                .collect::<Vec<_>>(),
+        );
+        let total: f64 = reduced.classes.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(reduced.classes.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn large_nu_is_cheap_and_sane() {
+        // ν = 200: the full problem has 2^200 dimensions; the reduction
+        // solves it in microseconds.
+        let nu = 200u32;
+        let phi: Vec<f64> = (0..=nu).map(|k| if k == 0 { 2.0 } else { 1.0 }).collect();
+        let reduced = solve_error_class(nu, 0.001, &phi);
+        let total: f64 = reduced.classes.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        // Well below threshold at p = 0.001 (p_max ≈ ln2/200 ≈ 0.0035):
+        // the master class retains substantial concentration.
+        assert!(reduced.classes[0] > 0.2, "[Γ₀] = {}", reduced.classes[0]);
+        assert!(reduced.lambda > 1.0);
+    }
+
+    #[test]
+    fn uniform_profile_gives_binomial_classes() {
+        // ϕ ≡ c: the full eigenvector is uniform, so [Γ_k] ∝ C(ν,k).
+        let nu = 10u32;
+        let reduced = solve_error_class(nu, 0.04, &[3.0; 11]);
+        let n = (1u64 << nu) as f64;
+        for (k, &c) in reduced.classes.iter().enumerate() {
+            let expect = qs_bitseq::binomial_f64(nu, k as u32) / n;
+            assert!((c - expect).abs() < 1e-12, "k={k}");
+        }
+        assert!((reduced.lambda - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representative_equals_classes_over_binomial() {
+        let reduced = solve_error_class(12, 0.02, ErrorClass::single_peak(12, 2.0, 1.0).phi());
+        for (k, (&rep, &cls)) in reduced
+            .representative
+            .iter()
+            .zip(&reduced.classes)
+            .enumerate()
+        {
+            let c = qs_bitseq::binomial_f64(12, k as u32);
+            assert!((cls - c * rep).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ν+1 entries")]
+    fn rejects_wrong_profile_length() {
+        let _ = solve_error_class(4, 0.1, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn lemma2_error_class_vectors_are_invariant() {
+        // W maps error-class vectors to error-class vectors (Lemma 2):
+        // apply the full W to a class vector and check class constancy.
+        let nu = 6u32;
+        let p = 0.07;
+        let ec = ErrorClass::new(nu, (0..=nu).map(|k| 1.0 + k as f64 / 3.0).collect());
+        let w = qs_matvec::WOperator::from_landscape(
+            qs_matvec::Fmmp::new(nu, p),
+            &ec,
+            qs_matvec::Formulation::Right,
+        );
+        // Arbitrary error-class input vector.
+        let class_values: Vec<f64> = (0..=nu).map(|k| (k as f64 + 1.0).sqrt()).collect();
+        let v: Vec<f64> = (0..ec.len() as u64)
+            .map(|i| class_values[i.count_ones() as usize])
+            .collect();
+        let wv = qs_matvec::LinearOperator::apply(&w, &v);
+        for k in 0..=nu {
+            let rep_val = wv[qs_bitseq::representative(k) as usize];
+            for j in qs_bitseq::ErrorClassIter::new(nu, k) {
+                assert!(
+                    (wv[j as usize] - rep_val).abs() < 1e-12,
+                    "class Γ_{k} not constant"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Quasispecies concentrations at various resolution levels — the
+//! capability the paper's conclusions name as future work ("efficient
+//! methods which allow for computing quasispecies concentrations at
+//! various resolution levels").
+//!
+//! Three views of a solved distribution, coarser than single sequences but
+//! finer than the global error classes:
+//!
+//! * [`marginal`] — the exact joint marginal over any subset of sites
+//!   (all other sites summed out), `O(N)` regardless of subset size,
+//! * [`site_marginals`] — all ν single-site marginals in one `O(N·ν)`
+//!   pass,
+//! * [`Pyramid`] — the full dyadic coarse-graining pyramid: level `ℓ`
+//!   holds the `2^ℓ` concentrations of the sequence prefixes of length
+//!   `ℓ` (most significant sites), built bottom-up in `O(N)` total —
+//!   the natural "zoom" structure for inspecting a 2^ν-dimensional
+//!   distribution at human scale.
+
+use crate::result::Quasispecies;
+
+/// Exact marginal distribution over the sites selected by `site_mask`
+/// (bit `s` of the mask selects site `s`): entry `m` of the result is the
+/// total concentration of all sequences whose selected sites spell the
+/// `m`-th pattern (patterns enumerated by compressing the selected bits
+/// together, preserving their order).
+///
+/// # Panics
+///
+/// Panics if `site_mask` has bits outside the chain length or is zero.
+pub fn marginal(qs: &Quasispecies, site_mask: u64) -> Vec<f64> {
+    let nu = qs.nu();
+    assert!(
+        site_mask != 0,
+        "marginal over the empty site set is trivial"
+    );
+    assert!(
+        site_mask < (1u64 << nu),
+        "site mask has bits beyond the chain length"
+    );
+    let k = site_mask.count_ones();
+    let mut out = vec![qs_linalg::NeumaierSum::new(); 1usize << k];
+    for (i, &x) in qs.concentrations.iter().enumerate() {
+        let pattern = compress_bits(i as u64, site_mask);
+        out[pattern as usize].add(x);
+    }
+    out.iter().map(qs_linalg::NeumaierSum::value).collect()
+}
+
+/// Extract the bits of `value` selected by `mask`, packed contiguously
+/// (LSB-first) — the PEXT operation, in portable form.
+#[inline]
+fn compress_bits(value: u64, mut mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut out_pos = 0u32;
+    while mask != 0 {
+        let s = mask.trailing_zeros();
+        out |= (value >> s & 1) << out_pos;
+        out_pos += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// All single-site marginal frequencies `P(site s = 1)` in one pass.
+pub fn site_marginals(qs: &Quasispecies) -> Vec<f64> {
+    let nu = qs.nu();
+    let mut acc = vec![qs_linalg::NeumaierSum::new(); nu as usize];
+    for (i, &x) in qs.concentrations.iter().enumerate() {
+        let mut bits = i as u64;
+        while bits != 0 {
+            acc[bits.trailing_zeros() as usize].add(x);
+            bits &= bits - 1;
+        }
+    }
+    acc.iter().map(qs_linalg::NeumaierSum::value).collect()
+}
+
+/// The dyadic resolution pyramid of a distribution: `levels[ℓ]` has
+/// `2^ℓ` entries, entry `j` being the total concentration of all
+/// sequences whose `ℓ` most significant sites spell `j`. Level `ν` is the
+/// full distribution; level `0` is the single entry 1.
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    levels: Vec<Vec<f64>>,
+}
+
+impl Pyramid {
+    /// Build the pyramid bottom-up by pairwise summation: `O(N)` total
+    /// work and memory.
+    pub fn new(qs: &Quasispecies) -> Self {
+        let nu = qs.nu() as usize;
+        let mut levels = Vec::with_capacity(nu + 1);
+        levels.push(qs.concentrations.clone());
+        for _ in 0..nu {
+            let prev = levels.last().expect("non-empty");
+            let next: Vec<f64> = prev.chunks_exact(2).map(|pair| pair[0] + pair[1]).collect();
+            levels.push(next);
+        }
+        levels.reverse();
+        Pyramid { levels }
+    }
+
+    /// Number of levels (ν + 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The concentrations at resolution level `l` (`2^l` prefixes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` exceeds ν.
+    pub fn level(&self, l: usize) -> &[f64] {
+        &self.levels[l]
+    }
+
+    /// Concentration of the length-`l` prefix `j` (the coarse "bin" of all
+    /// sequences starting with those most significant bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range level or prefix.
+    pub fn prefix_concentration(&self, l: usize, j: u64) -> f64 {
+        self.levels[l][j as usize]
+    }
+
+    /// The most concentrated prefix at each level — the "zoom path" from
+    /// the whole population down to the dominant sequence.
+    pub fn zoom_path(&self) -> Vec<(u64, f64)> {
+        self.levels
+            .iter()
+            .map(|lvl| {
+                let (j, &c) = lvl
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .expect("non-empty level");
+                (j as u64, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, SolverConfig};
+    use qs_landscape::{Random, SinglePeak};
+
+    fn solved(nu: u32, p: f64) -> Quasispecies {
+        solve(p, &Random::new(nu, 5.0, 1.0, 66), &SolverConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn marginals_are_distributions() {
+        let qs = solved(8, 0.02);
+        for mask in [0b1u64, 0b11, 0b1010_0001, 0xFF] {
+            let m = marginal(&qs, mask);
+            assert_eq!(m.len(), 1 << mask.count_ones());
+            let s: f64 = m.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "mask {mask:#b}");
+            assert!(m.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn full_mask_marginal_is_the_distribution_itself() {
+        let qs = solved(6, 0.03);
+        let m = marginal(&qs, (1 << 6) - 1);
+        for (a, b) in m.iter().zip(&qs.concentrations) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn single_site_marginal_matches_site_marginals() {
+        let qs = solved(7, 0.05);
+        let all = site_marginals(&qs);
+        for s in 0..7u32 {
+            let m = marginal(&qs, 1 << s);
+            assert!((m[1] - all[s as usize]).abs() < 1e-13, "site {s}");
+            assert!((m[0] + m[1] - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn marginal_brute_force_check() {
+        // Marginal over sites {0, 2} of a ν = 4 distribution.
+        let qs = solved(4, 0.04);
+        let m = marginal(&qs, 0b0101);
+        for pat in 0..4u64 {
+            let bit0 = pat & 1;
+            let bit2 = (pat >> 1) & 1;
+            let expect: f64 = (0..16u64)
+                .filter(|i| (i & 1) == bit0 && ((i >> 2) & 1) == bit2)
+                .map(|i| qs.concentration(i))
+                .sum();
+            assert!((m[pat as usize] - expect).abs() < 1e-14, "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn pyramid_levels_are_consistent() {
+        let qs = solved(9, 0.02);
+        let pyr = Pyramid::new(&qs);
+        assert_eq!(pyr.num_levels(), 10);
+        // Each level sums to 1 and refines to the next.
+        for l in 0..10 {
+            let lvl = pyr.level(l);
+            assert_eq!(lvl.len(), 1 << l);
+            let s: f64 = lvl.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "level {l}");
+            if l < 9 {
+                let finer = pyr.level(l + 1);
+                for (j, &c) in lvl.iter().enumerate() {
+                    assert!((c - (finer[2 * j] + finer[2 * j + 1])).abs() < 1e-13);
+                }
+            }
+        }
+        // Top level is everything, bottom is the raw distribution.
+        assert!((pyr.prefix_concentration(0, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(pyr.level(9), &qs.concentrations[..]);
+    }
+
+    #[test]
+    fn pyramid_matches_msb_marginals() {
+        // Level ℓ == marginal over the ℓ most significant sites.
+        let qs = solved(6, 0.03);
+        let pyr = Pyramid::new(&qs);
+        for l in 1..=6u32 {
+            let mask = ((1u64 << l) - 1) << (6 - l);
+            let m = marginal(&qs, mask);
+            let lvl = pyr.level(l as usize);
+            for (j, &c) in lvl.iter().enumerate() {
+                // compress_bits packs LSB-first; pyramid prefixes are the
+                // same bits read as an integer — identical ordering here
+                // because the masked bits are contiguous.
+                assert!((c - m[j]).abs() < 1e-13, "level {l}, prefix {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn zoom_path_descends_to_the_master() {
+        let landscape = SinglePeak::new(8, 2.0, 1.0);
+        let qs = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+        let pyr = Pyramid::new(&qs);
+        let path = pyr.zoom_path();
+        assert_eq!(path.len(), 9);
+        // At every level the dominant prefix is the all-zeros one, and its
+        // concentration decreases monotonically with resolution.
+        for (l, &(j, c)) in path.iter().enumerate() {
+            assert_eq!(j, 0, "level {l}");
+            if l > 0 {
+                assert!(c <= path[l - 1].1 + 1e-15);
+            }
+        }
+        assert!((path[8].1 - qs.concentration(0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the chain length")]
+    fn marginal_rejects_out_of_range_mask() {
+        let qs = solved(4, 0.02);
+        let _ = marginal(&qs, 1 << 10);
+    }
+}

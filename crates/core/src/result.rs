@@ -1,0 +1,205 @@
+//! The solved quasispecies: stationary concentrations and derived
+//! observables.
+
+use serde::{Deserialize, Serialize};
+
+/// Diagnostics of a solver run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Outer iterations of the eigensolver.
+    pub iterations: usize,
+    /// Operator applications (matvec count).
+    pub matvecs: usize,
+    /// Final residual `‖Wx̃ − λ̃x̃‖₂`.
+    pub residual: f64,
+    /// Whether the residual tolerance was met.
+    pub converged: bool,
+    /// Engine label (e.g. `"Fmmp"`, `"Xmvp(5)"`).
+    pub engine: String,
+    /// Method label (e.g. `"Pi"`, `"Pi+shift"`, `"Lanczos"`).
+    pub method: String,
+    /// Spectral shift used (0 if none).
+    pub shift: f64,
+}
+
+/// A computed quasispecies: the dominant eigenpair of `W = Q·F` with the
+/// eigenvector expressed as relative concentrations (`Σᵢ xᵢ = 1`,
+/// `xᵢ ≥ 0` by Perron–Frobenius).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Quasispecies {
+    /// Dominant eigenvalue `λ₀` (the population's mean replication rate at
+    /// stationarity).
+    pub lambda: f64,
+    /// Stationary relative concentrations `x_R`, L1-normalised.
+    pub concentrations: Vec<f64>,
+    /// Solver diagnostics.
+    pub stats: SolveStats,
+}
+
+impl Quasispecies {
+    /// Assemble from a raw eigenvector in the **right** formulation
+    /// (normalises to `Σ x = 1` and clamps the tiny negative round-off
+    /// values Perron–Frobenius says cannot truly occur).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length is not a power of two or the vector
+    /// sums to zero.
+    pub fn from_right_eigenvector(lambda: f64, mut x: Vec<f64>, stats: SolveStats) -> Self {
+        assert!(
+            x.len().is_power_of_two() && x.len() >= 2,
+            "eigenvector length must be 2^ν"
+        );
+        qs_linalg::vec_ops::orient_positive(&mut x);
+        for v in &mut x {
+            // Round-off may leave ≈ −1e-17 entries; physical concentrations
+            // are non-negative.
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let norm = qs_linalg::norm_l1(&x);
+        assert!(norm > 0.0, "eigenvector sums to zero");
+        for v in &mut x {
+            *v /= norm;
+        }
+        Quasispecies {
+            lambda,
+            concentrations: x,
+            stats,
+        }
+    }
+
+    /// Chain length `ν`.
+    pub fn nu(&self) -> u32 {
+        self.concentrations.len().trailing_zeros()
+    }
+
+    /// Dimension `N = 2^ν`.
+    pub fn len(&self) -> usize {
+        self.concentrations.len()
+    }
+
+    /// Solutions are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Concentration of sequence `i`.
+    pub fn concentration(&self, i: u64) -> f64 {
+        self.concentrations[i as usize]
+    }
+
+    /// The most concentrated sequence (the quasispecies' centre).
+    pub fn dominant_sequence(&self) -> u64 {
+        let mut best = 0usize;
+        for (i, &c) in self.concentrations.iter().enumerate() {
+            if c > self.concentrations[best] {
+                best = i;
+            }
+        }
+        best as u64
+    }
+
+    /// Cumulative error-class concentrations
+    /// `[Γ_k] = Σ_{j∈Γ_k} x_j` for `k = 0..=ν` — the series paper Figure 1
+    /// plots against the error rate.
+    pub fn error_class_concentrations(&self) -> Vec<f64> {
+        qs_bitseq::accumulate_classes(&self.concentrations)
+    }
+
+    /// Shannon entropy `−Σ xᵢ ln xᵢ` (nats) of the stationary
+    /// distribution: `0` for a single surviving sequence, `ν·ln 2` for the
+    /// uniform distribution past the error threshold.
+    pub fn entropy(&self) -> f64 {
+        let mut acc = qs_linalg::NeumaierSum::new();
+        for &x in &self.concentrations {
+            if x > 0.0 {
+                acc.add(-x * x.ln());
+            }
+        }
+        acc.value()
+    }
+
+    /// L1 distance to the uniform distribution — the order parameter the
+    /// error-threshold detector tracks (drops to ≈ 0 past `p_max`).
+    pub fn distance_to_uniform(&self) -> f64 {
+        let u = 1.0 / self.len() as f64;
+        let mut acc = qs_linalg::NeumaierSum::new();
+        for &x in &self.concentrations {
+            acc.add((x - u).abs());
+        }
+        acc.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SolveStats {
+        SolveStats {
+            iterations: 1,
+            matvecs: 1,
+            residual: 0.0,
+            converged: true,
+            engine: "test".into(),
+            method: "test".into(),
+            shift: 0.0,
+        }
+    }
+
+    #[test]
+    fn normalises_and_orients() {
+        let q = Quasispecies::from_right_eigenvector(1.5, vec![-3.0, -1.0, 0.0, 0.0], stats());
+        assert!((q.concentrations[0] - 0.75).abs() < 1e-15);
+        assert!((q.concentrations[1] - 0.25).abs() < 1e-15);
+        let total: f64 = q.concentrations.iter().sum();
+        assert!((total - 1.0).abs() < 1e-15);
+        assert_eq!(q.dominant_sequence(), 0);
+        assert_eq!(q.nu(), 2);
+    }
+
+    #[test]
+    fn clamps_round_off_negatives() {
+        let q = Quasispecies::from_right_eigenvector(1.0, vec![1.0, -1e-18], stats());
+        assert_eq!(q.concentration(1), 0.0);
+        assert!(q.concentrations.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let delta = Quasispecies::from_right_eigenvector(1.0, vec![1.0, 0.0, 0.0, 0.0], stats());
+        assert_eq!(delta.entropy(), 0.0);
+        let uniform = Quasispecies::from_right_eigenvector(1.0, vec![0.25; 4], stats());
+        assert!((uniform.entropy() - (4.0f64).ln()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn distance_to_uniform_extremes() {
+        let uniform = Quasispecies::from_right_eigenvector(1.0, vec![0.25; 4], stats());
+        assert!(uniform.distance_to_uniform() < 1e-15);
+        let delta = Quasispecies::from_right_eigenvector(1.0, vec![1.0, 0.0, 0.0, 0.0], stats());
+        // ‖δ − u‖₁ = (1 − 1/4) + 3·(1/4) = 1.5.
+        assert!((delta.distance_to_uniform() - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn class_concentrations_sum_to_one() {
+        let x = vec![0.4, 0.2, 0.2, 0.1, 0.05, 0.025, 0.02, 0.005];
+        let q = Quasispecies::from_right_eigenvector(1.0, x, stats());
+        let gamma = q.error_class_concentrations();
+        assert_eq!(gamma.len(), 4);
+        let total: f64 = gamma.iter().sum();
+        assert!((total - 1.0).abs() < 1e-14);
+        assert!((gamma[0] - 0.4).abs() < 1e-15);
+        // Γ₁ = {1, 2, 4}.
+        assert!((gamma[1] - (0.2 + 0.2 + 0.05)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^ν")]
+    fn rejects_bad_length() {
+        let _ = Quasispecies::from_right_eigenvector(1.0, vec![1.0; 3], stats());
+    }
+}

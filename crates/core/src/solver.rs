@@ -1,0 +1,555 @@
+//! High-level quasispecies solver: choose an engine, a method, a
+//! formulation and a shift; get concentrations back.
+//!
+//! This is the driver the paper's Figures 3–4 benchmark: `Pi(Fmmp)`,
+//! `Pi(Xmvp(ν))`, `Pi(Xmvp(5))` on either a serial ("CPU") or parallel
+//! ("GPU"-substitute) backend.
+
+use crate::lanczos::{lanczos, LanczosOptions};
+use crate::power::{power_iteration, PowerOptions};
+use crate::result::{Quasispecies, SolveStats};
+use qs_landscape::Landscape;
+use qs_matvec::{
+    conservative_shift, convert_eigenvector, Fmmp, Formulation, KroneckerOp, LinearOperator,
+    ParFmmp, Smvp, WOperator, Xmvp,
+};
+use qs_mutation::MutationModel;
+
+/// Which matrix–vector engine drives the solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The paper's exact `Θ(N log₂ N)` fast mutation matrix product.
+    #[default]
+    Fmmp,
+    /// `Fmmp` on the thread-pool backend (the paper's GPU role).
+    FmmpParallel,
+    /// The XOR-based baseline, sparsified to Hamming radius `d_max`
+    /// (`d_max = ν` is exact and `Θ(N²)`).
+    Xmvp {
+        /// Sparsification radius.
+        d_max: u32,
+    },
+    /// Explicit dense matrix (only for small ν; `Θ(N²)` time *and* space).
+    Smvp,
+    /// Generic Kronecker-chain product (uniform model expressed through
+    /// its factors; mainly for cross-checking the general machinery).
+    Kronecker,
+}
+
+impl Engine {
+    /// Label used in stats and benchmark output, matching the paper's
+    /// figure legends.
+    pub fn label(&self, nu: u32) -> String {
+        match self {
+            Engine::Fmmp => "Fmmp".into(),
+            Engine::FmmpParallel => "Fmmp-par".into(),
+            Engine::Xmvp { d_max } if *d_max == nu => format!("Xmvp(ν={nu})"),
+            Engine::Xmvp { d_max } => format!("Xmvp({d_max})"),
+            Engine::Smvp => "Smvp".into(),
+            Engine::Kronecker => "Kron".into(),
+        }
+    }
+}
+
+/// Which eigensolver runs on top of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Power iteration (the paper's choice).
+    #[default]
+    Power,
+    /// Lanczos with full reorthogonalisation (always runs on the symmetric
+    /// formulation; `subspace` basis vectors are stored).
+    Lanczos {
+        /// Maximum Krylov subspace dimension.
+        subspace: usize,
+    },
+    /// Rayleigh-quotient iteration with MINRES inner solves (always on the
+    /// symmetric formulation) — the shift-and-invert method the paper
+    /// sketches as future work. `warmup` power steps steer the Rayleigh
+    /// quotient to the dominant pair first.
+    Rqi {
+        /// Plain power steps before the first RQI step.
+        warmup: usize,
+    },
+}
+
+/// How the spectral shift `µ` is chosen (paper Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ShiftStrategy {
+    /// No shift.
+    None,
+    /// The paper's conservative `µ = (1−2p)^ν·f_min` (uniform mutation
+    /// models only; silently 0 for general models where the bound does not
+    /// apply).
+    #[default]
+    Conservative,
+    /// A caller-supplied shift.
+    Custom(f64),
+}
+
+/// Full solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Matrix–vector engine.
+    pub engine: Engine,
+    /// Eigensolver.
+    pub method: Method,
+    /// Shift strategy.
+    pub shift: ShiftStrategy,
+    /// Eigenproblem formulation (paper Eqs. 3–5). [`Method::Lanczos`]
+    /// overrides this with `Symmetric`.
+    pub formulation: Formulation,
+    /// Residual tolerance `τ`.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            engine: Engine::default(),
+            method: Method::default(),
+            shift: ShiftStrategy::default(),
+            formulation: Formulation::Right,
+            tol: 1e-13,
+            max_iter: 200_000,
+        }
+    }
+}
+
+/// Errors a solve can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The iteration budget was exhausted before the residual met `tol`.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the budget.
+        residual: f64,
+    },
+    /// Operator and landscape dimensions disagree.
+    DimensionMismatch {
+        /// Operator dimension.
+        operator: usize,
+        /// Landscape dimension.
+        landscape: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge within {iterations} iterations (residual {residual:.3e})"
+            ),
+            SolveError::DimensionMismatch {
+                operator,
+                landscape,
+            } => write!(
+                f,
+                "operator dimension {operator} does not match landscape dimension {landscape}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solve the quasispecies eigenproblem for the **uniform** mutation model
+/// with error rate `p` on the given landscape.
+///
+/// The starting vector is the paper's
+/// `s = diag(F)/‖diag(F)‖₁` (transformed into the working formulation),
+/// chosen because the extremal eigenvector of `W = Q·F` resembles the
+/// landscape itself.
+///
+/// # Errors
+///
+/// [`SolveError::NotConverged`] if the residual tolerance is not met.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (`p ∉ (0, 1/2]`, `d_max > ν`, `Smvp` beyond
+/// the materialisation guard).
+pub fn solve<L: Landscape + ?Sized>(
+    p: f64,
+    landscape: &L,
+    config: &SolverConfig,
+) -> Result<Quasispecies, SolveError> {
+    let nu = landscape.nu();
+    let engine_label = config.engine.label(nu);
+    let q_op: Box<dyn LinearOperator> = match config.engine {
+        Engine::Fmmp => Box::new(Fmmp::new(nu, p)),
+        Engine::FmmpParallel => Box::new(ParFmmp::new(nu, p)),
+        Engine::Xmvp { d_max } => Box::new(Xmvp::new(nu, p, d_max)),
+        Engine::Smvp => Box::new(Smvp::from_model(&qs_mutation::Uniform::new(nu, p))),
+        Engine::Kronecker => Box::new(KroneckerOp::from_model(&qs_mutation::Uniform::new(nu, p))),
+    };
+    let shift = match config.shift {
+        ShiftStrategy::None => 0.0,
+        ShiftStrategy::Conservative => conservative_shift(nu, p, landscape.f_min()),
+        ShiftStrategy::Custom(mu) => mu,
+    };
+    solve_operator(q_op, landscape, shift, engine_label, config)
+}
+
+/// Solve for an arbitrary [`MutationModel`] (per-site rates, grouped
+/// factors, non-binary alphabets) through the fast Kronecker-chain product.
+///
+/// [`ShiftStrategy::Conservative`] degrades to no shift here: the paper's
+/// bound is derived from the uniform model's inverse and does not transfer.
+///
+/// # Errors
+///
+/// [`SolveError::DimensionMismatch`] if model and landscape dimensions
+/// disagree; [`SolveError::NotConverged`] on budget exhaustion.
+pub fn solve_with_model<M: MutationModel + ?Sized, L: Landscape + ?Sized>(
+    model: &M,
+    landscape: &L,
+    config: &SolverConfig,
+) -> Result<Quasispecies, SolveError> {
+    if model.len() != landscape.len() {
+        return Err(SolveError::DimensionMismatch {
+            operator: model.len(),
+            landscape: landscape.len(),
+        });
+    }
+    let q_op: Box<dyn LinearOperator> = Box::new(KroneckerOp::from_model(model));
+    let shift = match config.shift {
+        ShiftStrategy::Custom(mu) => mu,
+        _ => 0.0,
+    };
+    solve_operator(q_op, landscape, shift, "Kron".into(), config)
+}
+
+/// Lowest-level entry: solve for an arbitrary `Q` operator.
+///
+/// # Errors
+///
+/// [`SolveError::DimensionMismatch`] / [`SolveError::NotConverged`] as
+/// above.
+pub fn solve_with_q_operator<L: Landscape + ?Sized>(
+    q_op: Box<dyn LinearOperator>,
+    landscape: &L,
+    config: &SolverConfig,
+) -> Result<Quasispecies, SolveError> {
+    if q_op.len() != landscape.len() {
+        return Err(SolveError::DimensionMismatch {
+            operator: q_op.len(),
+            landscape: landscape.len(),
+        });
+    }
+    let shift = match config.shift {
+        ShiftStrategy::Custom(mu) => mu,
+        _ => 0.0,
+    };
+    solve_operator(q_op, landscape, shift, "custom".into(), config)
+}
+
+fn solve_operator<L: Landscape + ?Sized>(
+    q_op: Box<dyn LinearOperator>,
+    landscape: &L,
+    shift: f64,
+    engine_label: String,
+    config: &SolverConfig,
+) -> Result<Quasispecies, SolveError> {
+    let fitness = landscape.materialize();
+    // Paper's start vector in the right formulation.
+    let mut start_r = fitness.clone();
+    qs_linalg::vec_ops::normalize_l1(&mut start_r);
+
+    let form = match config.method {
+        Method::Lanczos { .. } | Method::Rqi { .. } => Formulation::Symmetric,
+        Method::Power => config.formulation,
+    };
+    let w = WOperator::new(q_op, fitness.clone(), form);
+    let start = convert_eigenvector(Formulation::Right, form, &start_r, &fitness);
+
+    let (lambda, vector_in_form, iterations, matvecs, residual, converged, method_label) =
+        match config.method {
+            Method::Power => {
+                let opts = PowerOptions {
+                    tol: config.tol,
+                    max_iter: config.max_iter,
+                    shift,
+                    parallel_reductions: engine_label.ends_with("par"),
+                };
+                let out = power_iteration(&w, &start, &opts);
+                let label = if shift != 0.0 { "Pi+shift" } else { "Pi" };
+                (
+                    out.lambda,
+                    out.vector,
+                    out.iterations,
+                    out.matvecs,
+                    out.residual,
+                    out.converged,
+                    label.to_string(),
+                )
+            }
+            Method::Lanczos { subspace } => {
+                let opts = LanczosOptions {
+                    subspace,
+                    tol: config.tol,
+                };
+                let out = lanczos(&w, &start, &opts);
+                (
+                    out.lambda,
+                    out.vector,
+                    out.matvecs,
+                    out.matvecs,
+                    out.residual,
+                    out.converged,
+                    "Lanczos".to_string(),
+                )
+            }
+            Method::Rqi { warmup } => {
+                let opts = crate::rqi::RqiOptions {
+                    tol: config.tol,
+                    warmup,
+                    ..Default::default()
+                };
+                let out = crate::rqi::rayleigh_quotient_iteration(&w, &start, &opts);
+                (
+                    out.lambda,
+                    out.vector,
+                    out.outer_iterations,
+                    out.matvecs,
+                    out.residual,
+                    out.converged,
+                    "RQI".to_string(),
+                )
+            }
+        };
+
+    if !converged {
+        return Err(SolveError::NotConverged {
+            iterations,
+            residual,
+        });
+    }
+
+    let x_r = convert_eigenvector(form, Formulation::Right, &vector_in_form, &fitness);
+    let stats = SolveStats {
+        iterations,
+        matvecs,
+        residual,
+        converged,
+        engine: engine_label,
+        method: method_label,
+        shift,
+    };
+    Ok(Quasispecies::from_right_eigenvector(lambda, x_r, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_landscape::{Random, SinglePeak, Tabulated};
+    use qs_mutation::{PerSite, SiteProcess};
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() < tol, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn default_solve_single_peak() {
+        let landscape = SinglePeak::new(8, 2.0, 1.0);
+        let qs = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+        assert!(qs.stats.converged);
+        assert_eq!(qs.stats.engine, "Fmmp");
+        assert_eq!(qs.stats.method, "Pi+shift");
+        assert!(qs.lambda > 1.5 && qs.lambda < 2.0);
+        assert_eq!(qs.dominant_sequence(), 0);
+        let total: f64 = qs.concentrations.iter().sum();
+        assert_close(total, 1.0, 1e-12, "normalisation");
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let nu = 7u32;
+        let p = 0.02;
+        let landscape = Random::new(nu, 5.0, 1.0, 55);
+        let reference = solve(p, &landscape, &SolverConfig::default()).unwrap();
+        for engine in [
+            Engine::FmmpParallel,
+            Engine::Xmvp { d_max: nu },
+            Engine::Smvp,
+            Engine::Kronecker,
+        ] {
+            let cfg = SolverConfig {
+                engine,
+                ..Default::default()
+            };
+            let qs = solve(p, &landscape, &cfg).unwrap();
+            assert_close(qs.lambda, reference.lambda, 1e-10, &engine.label(nu));
+            for (a, b) in qs.concentrations.iter().zip(&reference.concentrations) {
+                assert_close(*a, *b, 1e-9, "concentration");
+            }
+        }
+    }
+
+    #[test]
+    fn formulations_agree() {
+        let nu = 6u32;
+        let p = 0.03;
+        let landscape = Random::new(nu, 5.0, 1.0, 8);
+        let mut results = Vec::new();
+        for form in [
+            Formulation::Right,
+            Formulation::Symmetric,
+            Formulation::Left,
+        ] {
+            let cfg = SolverConfig {
+                formulation: form,
+                ..Default::default()
+            };
+            results.push(solve(p, &landscape, &cfg).unwrap());
+        }
+        for pair in results.windows(2) {
+            assert_close(pair[0].lambda, pair[1].lambda, 1e-10, "lambda");
+            for (a, b) in pair[0].concentrations.iter().zip(&pair[1].concentrations) {
+                assert_close(*a, *b, 1e-9, "concentration across formulations");
+            }
+        }
+    }
+
+    #[test]
+    fn lanczos_method_agrees_with_power() {
+        let nu = 8u32;
+        let p = 0.015;
+        let landscape = Random::new(nu, 5.0, 1.0, 3);
+        let pi = solve(p, &landscape, &SolverConfig::default()).unwrap();
+        let lz = solve(
+            p,
+            &landscape,
+            &SolverConfig {
+                method: Method::Lanczos { subspace: 60 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_close(pi.lambda, lz.lambda, 1e-9, "lambda");
+        assert!(lz.stats.matvecs < pi.stats.matvecs);
+        assert_eq!(lz.stats.method, "Lanczos");
+    }
+
+    #[test]
+    fn rqi_method_agrees_with_power() {
+        let nu = 8u32;
+        let p = 0.02;
+        let landscape = Random::new(nu, 5.0, 1.0, 14);
+        let pi = solve(p, &landscape, &SolverConfig::default()).unwrap();
+        let rqi = solve(
+            p,
+            &landscape,
+            &SolverConfig {
+                method: Method::Rqi { warmup: 10 },
+                tol: 1e-11,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_close(pi.lambda, rqi.lambda, 1e-8, "lambda");
+        assert_eq!(rqi.stats.method, "RQI");
+        for (a, b) in pi.concentrations.iter().zip(&rqi.concentrations) {
+            assert_close(*a, *b, 1e-7, "concentration");
+        }
+    }
+
+    #[test]
+    fn xmvp_truncated_approximates() {
+        // Xmvp(5) with τ = 1e-10 reproduces the paper's approximate-solver
+        // setting: concentrations within ~1e-8 of exact at p = 0.01.
+        let nu = 9u32;
+        let landscape = Random::new(nu, 5.0, 1.0, 99);
+        let exact = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+        let approx = solve(
+            0.01,
+            &landscape,
+            &SolverConfig {
+                engine: Engine::Xmvp { d_max: 5 },
+                tol: 1e-10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_close(exact.lambda, approx.lambda, 1e-6, "lambda");
+        for (a, b) in exact.concentrations.iter().zip(&approx.concentrations) {
+            assert_close(*a, *b, 1e-6, "concentration");
+        }
+    }
+
+    #[test]
+    fn general_mutation_model_solve() {
+        // Asymmetric per-site rates: only reachable through the general path.
+        let model = PerSite::new(vec![
+            SiteProcess::new(0.01, 0.02),
+            SiteProcess::new(0.005, 0.005),
+            SiteProcess::new(0.03, 0.01),
+            SiteProcess::new(0.02, 0.02),
+            SiteProcess::new(0.0, 0.05),
+        ]);
+        let landscape = Random::new(5, 5.0, 1.0, 4);
+        let qs = solve_with_model(&model, &landscape, &SolverConfig::default()).unwrap();
+        assert!(qs.stats.converged);
+        assert!(qs.concentrations.iter().all(|&c| c >= 0.0));
+        // Cross-check against a dense solve of Q·F.
+        use qs_mutation::MutationModel;
+        let mut wd = model.dense();
+        let f = qs_landscape::Landscape::materialize(&landscape);
+        for i in 0..wd.rows() {
+            for (j, &fj) in f.iter().enumerate() {
+                wd[(i, j)] *= fj;
+            }
+        }
+        let eig = qs_linalg::dominant_eigenpair(&wd, Some(&f), 1e-13, 500_000);
+        assert_close(qs.lambda, eig.value, 1e-8, "general model lambda");
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let model = PerSite::symmetric(&[0.01; 4]);
+        let landscape = SinglePeak::new(5, 2.0, 1.0);
+        let err = solve_with_model(&model, &landscape, &SolverConfig::default()).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn non_convergence_is_an_error() {
+        let landscape = SinglePeak::new(8, 2.0, 1.0);
+        let cfg = SolverConfig {
+            tol: 1e-15,
+            max_iter: 2,
+            ..Default::default()
+        };
+        let err = solve(0.01, &landscape, &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::NotConverged { iterations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn equal_fitness_gives_uniform_distribution() {
+        // The paper's sanity case: constant F ⇒ bistochastic W ⇒ uniform x.
+        let landscape = Tabulated::new(vec![3.0; 64]);
+        let qs = solve(0.04, &landscape, &SolverConfig::default()).unwrap();
+        for &c in &qs.concentrations {
+            assert_close(c, 1.0 / 64.0, 1e-10, "uniform concentration");
+        }
+        assert_close(qs.lambda, 3.0, 1e-10, "lambda = common fitness");
+    }
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(Engine::Fmmp.label(10), "Fmmp");
+        assert_eq!(Engine::Xmvp { d_max: 10 }.label(10), "Xmvp(ν=10)");
+        assert_eq!(Engine::Xmvp { d_max: 5 }.label(10), "Xmvp(5)");
+    }
+}

@@ -1,0 +1,310 @@
+//! Error-threshold analysis (paper Figure 1).
+//!
+//! For landscapes exhibiting the error-threshold phenomenon, the stationary
+//! distribution is *ordered* (some sequences dominate) up to a critical
+//! error rate `p_max`, then collapses suddenly into the uniform
+//! distribution — random replication. Typical `p_max` values on the
+//! studied landscapes are 0.01–0.1 (paper Section 1.1), far below the
+//! `p = 1/2` at which exact random replication occurs; the sharpness of
+//! the transition is what makes mutagenic antiviral strategies plausible.
+//!
+//! [`scan_error_classes`] sweeps `p` and records the cumulative class
+//! concentrations `[Γ_k]` — the curves of Figure 1 — through the exact
+//! Section 5.1 reduction (`O(ν³)` per point, any ν). [`detect_pmax`]
+//! locates the threshold by bisecting an order parameter.
+
+use crate::reduced::solve_error_class;
+use crate::solver::{solve, SolveError, SolverConfig};
+use qs_landscape::Landscape;
+
+/// Result of an error-rate sweep: one `[Γ_k]` profile per grid point.
+#[derive(Debug, Clone)]
+pub struct ThresholdScan {
+    /// Chain length.
+    pub nu: u32,
+    /// Error-rate grid.
+    pub ps: Vec<f64>,
+    /// `classes[i][k] = [Γ_k]` at `ps[i]`.
+    pub classes: Vec<Vec<f64>>,
+    /// Order parameter at each grid point (see [`order_parameter`]).
+    pub order: Vec<f64>,
+}
+
+impl ThresholdScan {
+    /// The curve of `[Γ_k]` over the grid for a fixed class `k` (one line
+    /// of Figure 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > ν`.
+    pub fn class_curve(&self, k: u32) -> Vec<f64> {
+        assert!(k <= self.nu, "class index exceeds chain length");
+        self.classes.iter().map(|c| c[k as usize]).collect()
+    }
+}
+
+/// Order parameter distinguishing an ordered distribution from the uniform
+/// one: the total variation distance between the class profile and the
+/// binomial profile the uniform distribution induces,
+/// `½·Σ_k |[Γ_k] − C(ν,k)/N|`, which is 0 exactly at uniformity.
+pub fn order_parameter(nu: u32, classes: &[f64]) -> f64 {
+    assert_eq!(classes.len(), nu as usize + 1, "profile length mismatch");
+    let n = 2f64.powi(nu as i32);
+    let mut acc = qs_linalg::NeumaierSum::new();
+    for (k, &c) in classes.iter().enumerate() {
+        acc.add((c - qs_bitseq::binomial_f64(nu, k as u32) / n).abs());
+    }
+    0.5 * acc.value()
+}
+
+/// Sweep the error rate over `ps` for an error-class landscape with class
+/// profile `phi`, producing the data behind paper Figure 1.
+///
+/// # Panics
+///
+/// Panics on an invalid profile or on `p` values outside `(0, 1/2]`.
+pub fn scan_error_classes(nu: u32, phi: &[f64], ps: &[f64]) -> ThresholdScan {
+    let mut classes = Vec::with_capacity(ps.len());
+    let mut order = Vec::with_capacity(ps.len());
+    for &p in ps {
+        let sol = solve_error_class(nu, p, phi);
+        order.push(order_parameter(nu, &sol.classes));
+        classes.push(sol.classes);
+    }
+    ThresholdScan {
+        nu,
+        ps: ps.to_vec(),
+        classes,
+        order,
+    }
+}
+
+/// Sweep the error rate for an **arbitrary** landscape through the full
+/// solver — the paper's headline capability ("figures … would be even more
+/// interesting at the level of granularity of single sequences but they
+/// are very rare in the literature due to the limitations in chain lengths
+/// which can be handled computationally"). Each grid point is one
+/// `Pi(Fmmp)` solve; the recorded curves are the cumulative class
+/// concentrations of the *exact* full-resolution distribution.
+///
+/// # Errors
+///
+/// Propagates the first [`SolveError`] encountered.
+pub fn scan_full<L: Landscape + ?Sized>(
+    landscape: &L,
+    ps: &[f64],
+    config: &SolverConfig,
+) -> Result<ThresholdScan, SolveError> {
+    let nu = landscape.nu();
+    let mut classes = Vec::with_capacity(ps.len());
+    let mut order = Vec::with_capacity(ps.len());
+    for &p in ps {
+        let qs = solve(p, landscape, config)?;
+        let profile = qs.error_class_concentrations();
+        order.push(order_parameter(nu, &profile));
+        classes.push(profile);
+    }
+    Ok(ThresholdScan {
+        nu,
+        ps: ps.to_vec(),
+        classes,
+        order,
+    })
+}
+
+/// Locate the error threshold `p_max` for an error-class landscape by
+/// bisection on the order parameter: the largest `p` in `(lo, hi)` whose
+/// stationary distribution is still ordered (order parameter above
+/// `ordered_eps`).
+///
+/// Returns `None` if the distribution is already disordered at `lo` or
+/// still ordered at `hi` (no threshold in the bracket — e.g. the linear
+/// landscape, which transitions smoothly and whose order parameter decays
+/// without a sharp knee, will report a crossing of `ordered_eps` too, so
+/// interpret the result together with the scan's shape).
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi ≤ 1/2`.
+pub fn detect_pmax(
+    nu: u32,
+    phi: &[f64],
+    lo: f64,
+    hi: f64,
+    ordered_eps: f64,
+    iterations: u32,
+) -> Option<f64> {
+    assert!(0.0 < lo && lo < hi && hi <= 0.5, "invalid bracket");
+    let order_at = |p: f64| order_parameter(nu, &solve_error_class(nu, p, phi).classes);
+    if order_at(lo) <= ordered_eps || order_at(hi) > ordered_eps {
+        return None;
+    }
+    let (mut a, mut b) = (lo, hi);
+    for _ in 0..iterations {
+        let mid = 0.5 * (a + b);
+        if order_at(mid) > ordered_eps {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_landscape::ErrorClass;
+
+    fn single_peak_phi(nu: u32) -> Vec<f64> {
+        ErrorClass::single_peak(nu, 2.0, 1.0).phi().to_vec()
+    }
+
+    #[test]
+    fn scan_shapes() {
+        let nu = 20u32;
+        let ps: Vec<f64> = (1..=8).map(|i| i as f64 * 0.01).collect();
+        let scan = scan_error_classes(nu, &single_peak_phi(nu), &ps);
+        assert_eq!(scan.ps.len(), 8);
+        assert_eq!(scan.classes.len(), 8);
+        assert_eq!(scan.classes[0].len(), 21);
+        // Every profile is a distribution.
+        for c in &scan.classes {
+            let total: f64 = c.iter().sum();
+            assert!((total - 1.0).abs() < 1e-10);
+        }
+        // Master class concentration decays with p.
+        let gamma0 = scan.class_curve(0);
+        for w in gamma0.windows(2) {
+            assert!(w[1] < w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_peak_threshold_location() {
+        // Paper Figure 1 (left): ν = 20, f₀ = 2 ⇒ p_max ≈ 0.035.
+        let nu = 20u32;
+        let pmax = detect_pmax(nu, &single_peak_phi(nu), 0.005, 0.1, 1e-3, 40)
+            .expect("threshold must exist for the single-peak landscape");
+        assert!(
+            (0.025..=0.045).contains(&pmax),
+            "p_max = {pmax} outside the paper's ≈0.035 band"
+        );
+    }
+
+    #[test]
+    fn order_parameter_extremes() {
+        let nu = 10u32;
+        // Ordered: all mass in Γ₀.
+        let mut delta = vec![0.0; 11];
+        delta[0] = 1.0;
+        assert!(order_parameter(nu, &delta) > 0.9);
+        // Uniform: exactly the binomial profile.
+        let n = 2f64.powi(nu as i32);
+        let uniform: Vec<f64> = (0..=nu)
+            .map(|k| qs_bitseq::binomial_f64(nu, k) / n)
+            .collect();
+        assert!(order_parameter(nu, &uniform) < 1e-14);
+    }
+
+    #[test]
+    fn beyond_threshold_distribution_is_uniform() {
+        // Past p_max the stationary distribution collapses to uniform:
+        // [Γ_k] → C(ν,k)/N.
+        let nu = 20u32;
+        let sol = solve_error_class(nu, 0.08, &single_peak_phi(nu));
+        assert!(order_parameter(nu, &sol.classes) < 1e-2);
+        // Symmetric classes meet, as Figure 1 shows (Γ_k and Γ_{ν−k} same
+        // cardinality ⇒ same cumulative concentration at uniformity). The
+        // residual fitness advantage of the master keeps a small ordered
+        // remnant at p = 0.08, so "meet" means within a modest factor for
+        // the (singleton) extreme classes and tightly for the bulk.
+        for k in 0..=nu / 2 {
+            let a = sol.classes[k as usize];
+            let b = sol.classes[(nu - k) as usize];
+            let ratio = a.max(b) / a.min(b).max(1e-300);
+            assert!(ratio < 1.5, "Γ_{k} vs Γ_{}: ratio {ratio}", nu - k);
+        }
+    }
+
+    #[test]
+    fn linear_landscape_has_no_sharp_threshold() {
+        // Figure 1 (right): the linear landscape decays smoothly. Check
+        // the order parameter has no knee: its decrements change gradually
+        // (max second difference small relative to the total drop).
+        let nu = 20u32;
+        let phi = ErrorClass::linear(nu, 2.0, 1.0).phi().to_vec();
+        let ps: Vec<f64> = (1..=40).map(|i| i as f64 * 0.0025).collect();
+        let scan = scan_error_classes(nu, &phi, &ps);
+        let o = &scan.order;
+        let total_drop = o[0] - o[o.len() - 1];
+        assert!(total_drop > 0.0);
+        let max_step = o.windows(2).map(|w| w[0] - w[1]).fold(0.0f64, f64::max);
+        // Smooth decay: no single step carries more than a third of the
+        // drop. (The single-peak landscape concentrates it near p_max.)
+        assert!(
+            max_step < 0.34 * total_drop,
+            "max_step {max_step} vs drop {total_drop}"
+        );
+    }
+
+    #[test]
+    fn single_peak_transition_is_sharp_by_comparison() {
+        let nu = 20u32;
+        let ps: Vec<f64> = (1..=40).map(|i| i as f64 * 0.0025).collect();
+        let scan = scan_error_classes(nu, &single_peak_phi(nu), &ps);
+        let o = &scan.order;
+        let total_drop = o[0] - o[o.len() - 1];
+        let max_step = o.windows(2).map(|w| w[0] - w[1]).fold(0.0f64, f64::max);
+        // A large fraction of the order parameter vanishes within one grid
+        // step around p_max — the "sudden change" of Section 1.1.
+        assert!(
+            max_step > 0.15 * total_drop,
+            "single peak transition unexpectedly smooth: {max_step} vs {total_drop}"
+        );
+    }
+
+    #[test]
+    fn full_scan_matches_reduced_scan_on_class_landscapes() {
+        let nu = 8u32;
+        let phi = single_peak_phi(nu);
+        let ps = [0.005f64, 0.02, 0.05];
+        let reduced = scan_error_classes(nu, &phi, &ps);
+        let landscape = ErrorClass::new(nu, phi);
+        let full = scan_full(&landscape, &ps, &crate::solver::SolverConfig::default()).unwrap();
+        for (a, b) in reduced.classes.iter().zip(&full.classes) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+        for (a, b) in reduced.order.iter().zip(&full.order) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_scan_works_on_rugged_landscapes() {
+        // NK landscapes have no error-class structure at all; only the
+        // full solver can scan them. Order must still decay with p.
+        let landscape = qs_landscape::Nk::new(8, 3, 9);
+        let ps = [0.002f64, 0.05, 0.2, 0.45];
+        let scan = scan_full(&landscape, &ps, &crate::solver::SolverConfig::default()).unwrap();
+        for c in &scan.classes {
+            let s: f64 = c.iter().sum();
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+        assert!(
+            scan.order.last().unwrap() < &scan.order[0],
+            "order parameter must decay toward p = 1/2"
+        );
+        assert!(scan.order.last().unwrap() < &0.05);
+    }
+
+    #[test]
+    fn no_threshold_reported_outside_bracket() {
+        let nu = 12u32;
+        let phi = single_peak_phi(nu);
+        // Entire bracket beyond the threshold: ordered at lo fails.
+        assert_eq!(detect_pmax(nu, &phi, 0.2, 0.4, 1e-3, 20), None);
+    }
+}

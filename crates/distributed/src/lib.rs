@@ -1,0 +1,346 @@
+//! Rank-simulated distributed-memory `Fmmp` — the paper's first
+//! future-work item ("in the future we will focus on distributed memory
+//! approaches"), built as a faithful simulation per the substitution rules
+//! of this reproduction (no cluster available; the *algorithm* and its
+//! communication pattern are what we implement and verify).
+//!
+//! ## Decomposition
+//!
+//! Distribute the vector `v ∈ R^N` block-wise over `P = 2^q` ranks: rank
+//! `r` owns the contiguous slice `v[r·N/P .. (r+1)·N/P]`. The Fmmp
+//! butterfly at stride `i` pairs elements `j` and `j+i`:
+//!
+//! * **local stages** (`i < N/P`): both partners live on the same rank —
+//!   no communication, each rank runs the ordinary serial stage on its
+//!   block;
+//! * **exchange stages** (`i ≥ N/P`): partners live on two ranks whose
+//!   ids differ in exactly one bit — the classic **hypercube exchange**.
+//!   Rank `r` swaps its entire block with rank `r ⊕ (i·P/N)`, combines,
+//!   and keeps its half of the butterfly results. There are exactly
+//!   `log₂ P` such stages, each moving `N/P` words per rank.
+//!
+//! Total communication: `q·N/P` words sent per rank per product — the
+//! same volume as a distributed FFT/FWHT, which is why the paper's
+//! conclusion that memory (not runtime) is the binding constraint points
+//! here: the product parallelises with only `log₂ P` latency-bound
+//! exchange rounds.
+//!
+//! [`DistributedFmmp`] executes the ranks deterministically in-process
+//! (each rank's block is a separate allocation; "messages" are explicit
+//! buffer copies counted by [`CommStats`]) and is verified bit-for-bit
+//! against the serial `Fmmp`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qs_matvec::LinearOperator;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Communication accounting for one or more distributed products.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (across all ranks).
+    pub messages: u64,
+    /// Total `f64` words moved between ranks.
+    pub words: u64,
+    /// Exchange rounds executed (per product: `log₂ P`).
+    pub rounds: u64,
+}
+
+/// A rank-simulated distributed `Fmmp` operator for `Q(ν)` with uniform
+/// error rate `p`, over `P = 2^q` simulated ranks.
+///
+/// Counters are atomic (relaxed — they are statistics, not
+/// synchronisation), so the operator is `Sync` like every other engine.
+#[derive(Debug, Default)]
+struct AtomicComm {
+    messages: AtomicU64,
+    words: AtomicU64,
+    rounds: AtomicU64,
+}
+
+/// See [`crate`] docs.
+#[derive(Debug)]
+pub struct DistributedFmmp {
+    nu: u32,
+    p: f64,
+    ranks: usize,
+    stats: AtomicComm,
+}
+
+impl DistributedFmmp {
+    /// Create the simulated-distributed operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ranks` is a power of two, `1 ≤ ranks ≤ N/2`
+    /// (each rank must own at least two elements so local stages exist),
+    /// and `0 < p ≤ 1/2`.
+    pub fn new(nu: u32, p: f64, ranks: usize) -> Self {
+        assert!(nu >= 1, "chain length must be at least 1");
+        let n = qs_bitseq::dimension(nu);
+        assert!(
+            p.is_finite() && p > 0.0 && p <= 0.5,
+            "error rate must satisfy 0 < p ≤ 1/2"
+        );
+        assert!(
+            ranks.is_power_of_two() && ranks >= 1 && ranks <= n / 2,
+            "ranks must be a power of two in [1, N/2]"
+        );
+        DistributedFmmp {
+            nu,
+            p,
+            ranks,
+            stats: AtomicComm::default(),
+        }
+    }
+
+    /// Number of simulated ranks `P`.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Words owned per rank (`N/P`).
+    pub fn block_len(&self) -> usize {
+        (1usize << self.nu) / self.ranks
+    }
+
+    /// Accumulated communication statistics.
+    pub fn comm_stats(&self) -> CommStats {
+        CommStats {
+            messages: self.stats.messages.load(Ordering::Relaxed),
+            words: self.stats.words.load(Ordering::Relaxed),
+            rounds: self.stats.rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the communication counters.
+    pub fn reset_comm_stats(&self) {
+        self.stats.messages.store(0, Ordering::Relaxed);
+        self.stats.words.store(0, Ordering::Relaxed);
+        self.stats.rounds.store(0, Ordering::Relaxed);
+    }
+
+    /// Predicted communication per product: each of the `log₂ P` exchange
+    /// stages moves one block per rank in each direction.
+    pub fn predicted_words_per_product(&self) -> u64 {
+        let q = self.ranks.trailing_zeros() as u64;
+        q * self.ranks as u64 * self.block_len() as u64
+    }
+
+    /// The distributed product: scatter, local stages, hypercube exchange
+    /// stages, gather. Returns the result and updates the counters.
+    fn product(&self, v: &mut [f64]) {
+        let n = v.len();
+        let p = self.p;
+        let q = 1.0 - p;
+        let pr = self.ranks;
+        let block = n / pr;
+
+        // Scatter: each rank owns its contiguous block.
+        let mut blocks: Vec<Vec<f64>> = v.chunks_exact(block).map(|c| c.to_vec()).collect();
+
+        // Local stages: strides 1 .. block/2 never cross rank boundaries.
+        let mut i = 1;
+        while i <= block / 2 {
+            for b in &mut blocks {
+                let mut j = 0;
+                while j < block {
+                    let (a, c) = b[j..j + 2 * i].split_at_mut(i);
+                    for (x, y) in a.iter_mut().zip(c.iter_mut()) {
+                        let (u, w) = (q * *x + p * *y, p * *x + q * *y);
+                        *x = u;
+                        *y = w;
+                    }
+                    j += 2 * i;
+                }
+            }
+            i *= 2;
+        }
+
+        // Exchange stages: stride i = block·2^s pairs rank r with
+        // r ⊕ 2^s. Every element of the two blocks participates in one
+        // butterfly with its same-offset partner.
+        let mut dim = 1usize; // rank-id bit for this stage
+        while i <= n / 2 {
+            for r in 0..pr {
+                let partner = r ^ dim;
+                if partner < r {
+                    continue; // the lower rank of the pair does the combine
+                }
+                // Simulated message exchange: each side sends its block.
+                self.stats.messages.fetch_add(2, Ordering::Relaxed);
+                self.stats
+                    .words
+                    .fetch_add(2 * block as u64, Ordering::Relaxed);
+                // r holds the bit-0 side (lower address), partner bit-1.
+                let (lo, hi) = {
+                    let (a, b) = blocks.split_at_mut(partner);
+                    (&mut a[r], &mut b[0])
+                };
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let (u, w) = (q * *x + p * *y, p * *x + q * *y);
+                    *x = u;
+                    *y = w;
+                }
+            }
+            self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+            dim <<= 1;
+            i *= 2;
+        }
+
+        // Gather.
+        for (chunk, b) in v.chunks_exact_mut(block).zip(&blocks) {
+            chunk.copy_from_slice(b);
+        }
+    }
+}
+
+impl LinearOperator for DistributedFmmp {
+    fn len(&self) -> usize {
+        1usize << self.nu
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        self.product(y);
+    }
+
+    fn apply_in_place(&self, v: &mut [f64]) {
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        self.product(v);
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        let n = self.len() as f64;
+        3.0 * n * self.nu as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_matvec::fmmp::fmmp_in_place;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect()
+    }
+
+    fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+    }
+
+    #[test]
+    fn matches_serial_fmmp_for_all_rank_counts() {
+        let nu = 10u32;
+        let p = 0.03;
+        let x = random_vec(1 << nu, 1);
+        let mut serial = x.clone();
+        fmmp_in_place(&mut serial, p);
+        for ranks in [1usize, 2, 4, 16, 128, 512] {
+            let op = DistributedFmmp::new(nu, p, ranks);
+            let got = op.apply(&x);
+            assert_eq!(
+                max_diff(&serial, &got),
+                0.0,
+                "P = {ranks}: distributed result must be bit-identical \
+                 (same butterflies in the same order)"
+            );
+        }
+    }
+
+    #[test]
+    fn communication_volume_matches_the_model() {
+        let nu = 12u32;
+        for ranks in [2usize, 8, 64] {
+            let op = DistributedFmmp::new(nu, 0.01, ranks);
+            let x = random_vec(1 << nu, 2);
+            let _ = op.apply(&x);
+            let s = op.comm_stats();
+            let q = ranks.trailing_zeros() as u64;
+            assert_eq!(s.rounds, q, "P = {ranks}: log₂P exchange rounds");
+            assert_eq!(
+                s.words,
+                op.predicted_words_per_product(),
+                "P = {ranks}: q·P·(N/P) words total"
+            );
+            // Messages: one pair exchange per rank-pair per round.
+            assert_eq!(s.messages, q * ranks as u64);
+        }
+    }
+
+    #[test]
+    fn single_rank_communicates_nothing() {
+        let op = DistributedFmmp::new(8, 0.05, 1);
+        let x = random_vec(256, 3);
+        let _ = op.apply(&x);
+        assert_eq!(op.comm_stats(), CommStats::default());
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let op = DistributedFmmp::new(8, 0.05, 4);
+        let x = random_vec(256, 4);
+        let _ = op.apply(&x);
+        let one = op.comm_stats().words;
+        let _ = op.apply(&x);
+        assert_eq!(op.comm_stats().words, 2 * one);
+        op.reset_comm_stats();
+        assert_eq!(op.comm_stats(), CommStats::default());
+    }
+
+    #[test]
+    fn communication_per_rank_shrinks_with_p() {
+        // Strong-scaling property: words per rank = q·N/P decreases as P
+        // grows (more ranks ⇒ smaller blocks), while rounds grow as log P.
+        let nu = 14u32;
+        let per_rank = |ranks: usize| {
+            let op = DistributedFmmp::new(nu, 0.01, ranks);
+            op.predicted_words_per_product() / ranks as u64
+        };
+        assert!(per_rank(4) > per_rank(16));
+        assert!(per_rank(16) > per_rank(256));
+    }
+
+    #[test]
+    fn drives_a_full_quasispecies_solve() {
+        // The distributed engine slots into the standard solver machinery
+        // through LinearOperator, like every other engine.
+        use qs_landscape::Landscape;
+        let nu = 8u32;
+        let p = 0.02;
+        let landscape = qs_landscape::Random::new(nu, 5.0, 1.0, 5);
+        let op = DistributedFmmp::new(nu, p, 16);
+        let w =
+            qs_matvec::WOperator::new(&op, landscape.materialize(), qs_matvec::Formulation::Right);
+        let mut start = landscape.materialize();
+        qs_linalg::vec_ops::normalize_l1(&mut start);
+        let out = quasispecies::power_iteration(&w, &start, &quasispecies::PowerOptions::default());
+        assert!(out.converged);
+        let reference =
+            quasispecies::solve(p, &landscape, &quasispecies::SolverConfig::default()).unwrap();
+        assert!((out.lambda - reference.lambda).abs() < 1e-10);
+        // Communication books: one exchange round set per matvec.
+        let s = op.comm_stats();
+        assert_eq!(s.rounds, 4 * out.matvecs as u64); // log₂16 = 4 rounds/product
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_ranks() {
+        let _ = DistributedFmmp::new(6, 0.1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_too_many_ranks() {
+        // Each rank must own ≥ 2 elements.
+        let _ = DistributedFmmp::new(4, 0.1, 16);
+    }
+}

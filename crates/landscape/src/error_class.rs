@@ -1,0 +1,132 @@
+//! Error-class (Hamming-distance based) fitness landscapes.
+
+use crate::Landscape;
+use serde::{Deserialize, Serialize};
+
+/// A landscape of the form `f_i = ϕ(d_H(i, 0))` — all sequences in the same
+/// error class `Γ_k` are equally fit.
+///
+/// This is the family the pre-existing quasispecies literature is restricted
+/// to (paper Section 1.2), and the family for which Section 5.1 reduces the
+/// `N×N` eigenproblem *exactly* to a `(ν+1)×(ν+1)` one. The class fitness
+/// profile `ϕ` is stored as the `ν+1` values `phi[0..=ν]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorClass {
+    nu: u32,
+    phi: Vec<f64>,
+}
+
+impl ErrorClass {
+    /// Create from an explicit class-fitness table `phi[k] = ϕ(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `phi.len() == ν+1` and all values are positive finite.
+    pub fn new(nu: u32, phi: Vec<f64>) -> Self {
+        let _ = qs_bitseq::dimension(nu);
+        assert_eq!(phi.len(), nu as usize + 1, "phi must have ν+1 entries");
+        assert!(
+            phi.iter().all(|f| f.is_finite() && *f > 0.0),
+            "all class fitness values must be positive"
+        );
+        ErrorClass { nu, phi }
+    }
+
+    /// Create from a function of the error-class index.
+    pub fn from_fn(nu: u32, phi: impl Fn(u32) -> f64) -> Self {
+        Self::new(nu, (0..=nu).map(phi).collect())
+    }
+
+    /// The single-peak landscape as an error-class profile.
+    pub fn single_peak(nu: u32, f0: f64, f_rest: f64) -> Self {
+        Self::from_fn(nu, |k| if k == 0 { f0 } else { f_rest })
+    }
+
+    /// The linear landscape as an error-class profile.
+    pub fn linear(nu: u32, f0: f64, f_nu: f64) -> Self {
+        Self::from_fn(nu, |k| f0 - (f0 - f_nu) * k as f64 / nu as f64)
+    }
+
+    /// Class-fitness table `ϕ(0), …, ϕ(ν)`.
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+}
+
+impl Landscape for ErrorClass {
+    fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    #[inline(always)]
+    fn fitness(&self, i: u64) -> f64 {
+        debug_assert!(i < 1 << self.nu);
+        self.phi[i.count_ones() as usize]
+    }
+
+    fn f_min(&self) -> f64 {
+        self.phi.iter().fold(f64::INFINITY, |m, &f| m.min(f))
+    }
+
+    fn f_max(&self) -> f64 {
+        self.phi.iter().fold(f64::NEG_INFINITY, |m, &f| m.max(f))
+    }
+
+    fn is_error_class(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, SinglePeak};
+
+    #[test]
+    fn matches_single_peak_type() {
+        let ec = ErrorClass::single_peak(5, 2.0, 1.0);
+        let sp = SinglePeak::new(5, 2.0, 1.0);
+        for i in 0..32u64 {
+            assert_eq!(ec.fitness(i), sp.fitness(i));
+        }
+    }
+
+    #[test]
+    fn matches_linear_type() {
+        let ec = ErrorClass::linear(6, 2.0, 1.0);
+        let lin = Linear::new(6, 2.0, 1.0);
+        for i in 0..64u64 {
+            assert!((ec.fitness(i) - lin.fitness(i)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn arbitrary_profile() {
+        let ec = ErrorClass::new(3, vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(ec.fitness(0b000), 4.0);
+        assert_eq!(ec.fitness(0b010), 1.0);
+        assert_eq!(ec.fitness(0b011), 3.0);
+        assert_eq!(ec.fitness(0b111), 2.0);
+        assert_eq!(ec.f_min(), 1.0);
+        assert_eq!(ec.f_max(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ν+1 entries")]
+    fn rejects_wrong_profile_length() {
+        let _ = ErrorClass::new(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_profile() {
+        let _ = ErrorClass::new(1, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ec = ErrorClass::new(2, vec![3.0, 2.0, 1.0]);
+        let back: ErrorClass = serde_json::from_str(&serde_json::to_string(&ec).unwrap()).unwrap();
+        assert_eq!(ec, back);
+    }
+}

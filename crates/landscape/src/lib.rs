@@ -1,0 +1,178 @@
+//! Fitness landscapes `F = diag(f_0, …, f_{N-1})` for the quasispecies model.
+//!
+//! The fitness value `f_i > 0` describes the replication rate ("constitution")
+//! of the molecular species `X_i`. The paper's solvers make *no* assumption on
+//! `F` beyond diagonality and positivity, but several structured families
+//! matter for the evaluation and for the Section 5 specialisations:
+//!
+//! * [`SinglePeak`] — the classic landscape `f_0 = σ₀, f_{i≠0} = 1` showing
+//!   the error-threshold phenomenon (paper Figure 1, left),
+//! * [`Linear`] — `f_i = f_0 − (f_0 − f_ν)·d_H(i,0)/ν`, a smooth landscape
+//!   without an error threshold (paper Figure 1, right),
+//! * [`Random`] — the evaluation landscape of paper Eq. 13:
+//!   `f_0 = c`, `f_i = σ·(η_i + 0.5)` with `η_i ~ U[0,1]`,
+//! * [`ErrorClass`] — any landscape of the form `f_i = ϕ(d_H(i,0))`
+//!   (Section 5.1's exactly reducible family),
+//! * [`Kronecker`] — landscapes with diagonal Kronecker-factor structure
+//!   `F = ⊗ F_{G_i}` (Section 5.2's decomposable family),
+//! * [`Multiplicative`] — per-site independent fitness factors (the
+//!   population-genetics classic; a one-bit-factor Kronecker landscape),
+//! * [`Nk`] — Kauffman NK landscapes with tunable epistasis, for rugged
+//!   "no structural assumption" instances,
+//! * [`Tabulated`] — an arbitrary positive table of `N` values.
+//!
+//! All types implement the [`Landscape`] trait, which exposes per-sequence
+//! fitness lookup, cheap `f_min`/`f_max` bounds (needed for the paper's
+//! spectral shift `µ = (1−2p)^ν·f_min`), and materialisation into a dense
+//! diagonal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error_class;
+mod kronecker;
+mod linear;
+mod multiplicative;
+mod nk;
+mod random;
+mod single_peak;
+mod tabulated;
+
+pub use error_class::ErrorClass;
+pub use kronecker::Kronecker;
+pub use linear::Linear;
+pub use multiplicative::Multiplicative;
+pub use nk::Nk;
+pub use random::Random;
+pub use single_peak::SinglePeak;
+pub use tabulated::Tabulated;
+
+/// A positive diagonal fitness landscape over the sequence space `{0,1}^ν`.
+///
+/// Implementations must guarantee `fitness(i) > 0` for all `i < 2^ν`
+/// (`W = Q·F` must satisfy the Perron–Frobenius conditions).
+pub trait Landscape: Send + Sync {
+    /// Chain length `ν`.
+    fn nu(&self) -> u32;
+
+    /// Fitness `f_i` of sequence `i`.
+    ///
+    /// Implementations may panic for `i ≥ 2^ν`.
+    fn fitness(&self, i: u64) -> f64;
+
+    /// Dimension `N = 2^ν` of the landscape.
+    fn len(&self) -> usize {
+        qs_bitseq::dimension(self.nu())
+    }
+
+    /// Landscapes are never empty.
+    fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Smallest fitness value `f_min` (enters the spectral shift
+    /// `µ = (1−2p)^ν·f_min`). The default scans all `N` values; structured
+    /// landscapes override with O(1)/O(ν) versions.
+    fn f_min(&self) -> f64 {
+        (0..self.len() as u64)
+            .map(|i| self.fitness(i))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest fitness value `f_max` (upper bound for `λ₀ ≤ ‖W‖₁ ≤ f_max`).
+    fn f_max(&self) -> f64 {
+        (0..self.len() as u64)
+            .map(|i| self.fitness(i))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Materialise `diag(F)` into a dense vector.
+    fn materialize(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        self.materialize_into(&mut out);
+        out
+    }
+
+    /// Materialise `diag(F)` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    fn materialize_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len(), "materialize_into: length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.fitness(i as u64);
+        }
+    }
+
+    /// Is this an error-class landscape (`f_i` depends only on
+    /// `d_H(i, 0)`)? Structured types answer in O(1); the default checks all
+    /// sequences against the class representative.
+    fn is_error_class(&self) -> bool {
+        let nu = self.nu();
+        (0..self.len() as u64).all(|i| {
+            let k = i.count_ones();
+            let rep = qs_bitseq::representative(k.min(nu));
+            (self.fitness(i) - self.fitness(rep)).abs() <= 1e-15 * self.fitness(rep).abs()
+        })
+    }
+}
+
+/// Blanket implementation so `&L`, `Box<L>`, `Arc<L>` etc. can be passed
+/// wherever a landscape is expected.
+impl<L: Landscape + ?Sized> Landscape for &L {
+    fn nu(&self) -> u32 {
+        (**self).nu()
+    }
+    fn fitness(&self, i: u64) -> f64 {
+        (**self).fitness(i)
+    }
+    fn f_min(&self) -> f64 {
+        (**self).f_min()
+    }
+    fn f_max(&self) -> f64 {
+        (**self).f_max()
+    }
+    fn is_error_class(&self) -> bool {
+        (**self).is_error_class()
+    }
+}
+
+/// Validate the positivity invariant of a landscape; returns the offending
+/// index of the first non-positive or non-finite fitness value, if any.
+///
+/// Intended for constructors of user-supplied tables and for property tests.
+pub fn validate<L: Landscape + ?Sized>(landscape: &L) -> Result<(), u64> {
+    for i in 0..landscape.len() as u64 {
+        let f = landscape.fitness(i);
+        if !(f.is_finite() && f > 0.0) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_defaults_work_through_references() {
+        let l = SinglePeak::new(4, 2.0, 1.0);
+        let r: &dyn Landscape = &l;
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.f_min(), 1.0);
+        assert_eq!(r.f_max(), 2.0);
+        assert!(r.is_error_class());
+        assert!(validate(r).is_ok());
+    }
+
+    #[test]
+    fn materialize_matches_pointwise() {
+        let l = Linear::new(5, 2.0, 1.0);
+        let v = l.materialize();
+        for (i, &fi) in v.iter().enumerate() {
+            assert_eq!(fi, l.fitness(i as u64));
+        }
+    }
+}

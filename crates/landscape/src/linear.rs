@@ -1,0 +1,112 @@
+//! The linear (Hamming-distance proportional) fitness landscape.
+
+use crate::Landscape;
+use serde::{Deserialize, Serialize};
+
+/// The linear landscape of paper Figure 1 (right):
+/// `f_i = f0 − (f0 − f_nu)·d_H(i, 0)/ν`.
+///
+/// Fitness decays linearly with distance from the master sequence; the
+/// stationary distribution transitions *smoothly* into the uniform
+/// distribution as `p` grows — no error-threshold phenomenon occurs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    nu: u32,
+    f0: f64,
+    f_nu: f64,
+}
+
+impl Linear {
+    /// Create a linear landscape interpolating from `f0` at the master
+    /// sequence to `f_nu` at its complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both endpoint fitness values are positive and finite.
+    pub fn new(nu: u32, f0: f64, f_nu: f64) -> Self {
+        assert!(f0.is_finite() && f0 > 0.0, "f0 must be positive");
+        assert!(f_nu.is_finite() && f_nu > 0.0, "f_nu must be positive");
+        let _ = qs_bitseq::dimension(nu);
+        Linear { nu, f0, f_nu }
+    }
+
+    /// Fitness of the master sequence.
+    pub fn master_fitness(&self) -> f64 {
+        self.f0
+    }
+
+    /// Fitness of the all-ones sequence (distance ν).
+    pub fn far_fitness(&self) -> f64 {
+        self.f_nu
+    }
+}
+
+impl Landscape for Linear {
+    fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    #[inline(always)]
+    fn fitness(&self, i: u64) -> f64 {
+        debug_assert!(i < 1 << self.nu);
+        let d = i.count_ones() as f64;
+        self.f0 - (self.f0 - self.f_nu) * d / self.nu as f64
+    }
+
+    fn f_min(&self) -> f64 {
+        self.f0.min(self.f_nu)
+    }
+
+    fn f_max(&self) -> f64 {
+        self.f0.max(self.f_nu)
+    }
+
+    fn is_error_class(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_values() {
+        let l = Linear::new(4, 2.0, 1.0);
+        assert_eq!(l.fitness(0), 2.0);
+        assert_eq!(l.fitness(0b1111), 1.0);
+        // Distance 2: halfway.
+        assert_eq!(l.fitness(0b0101), 1.5);
+    }
+
+    #[test]
+    fn constant_when_endpoints_equal() {
+        let l = Linear::new(6, 3.0, 3.0);
+        for i in 0..64 {
+            assert_eq!(l.fitness(i), 3.0);
+        }
+    }
+
+    #[test]
+    fn increasing_landscape_allowed() {
+        // f_nu > f0 shifts the fittest sequence to the complement.
+        let l = Linear::new(3, 1.0, 4.0);
+        assert_eq!(l.f_min(), 1.0);
+        assert_eq!(l.f_max(), 4.0);
+        assert_eq!(l.fitness(0b111), 4.0);
+    }
+
+    #[test]
+    fn depends_only_on_weight() {
+        let l = Linear::new(8, 2.0, 1.0);
+        assert!(l.is_error_class());
+        assert_eq!(l.fitness(0b0000_0011), l.fitness(0b1100_0000));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = Linear::new(20, 2.0, 1.0);
+        let back: Linear = serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
+        assert_eq!(l, back);
+    }
+}

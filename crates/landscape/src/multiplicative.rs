@@ -1,0 +1,178 @@
+//! Multiplicative (per-site independent) fitness landscapes.
+//!
+//! `f_i = Π_s w_s^{bit_s(i)}`: each mutated site scales fitness by its own
+//! factor `w_s`. This is the classical "multiplicative fitness" model of
+//! population genetics — and it is exactly a [`crate::Kronecker`]
+//! landscape with ν one-bit factors `diag(1, w_s)`, so the Section 5.2
+//! machinery solves it at *any* chain length. The type exists to make
+//! that special case convenient and self-documenting.
+
+use crate::{Kronecker, Landscape};
+use serde::{Deserialize, Serialize};
+
+/// A multiplicative landscape: `f_i = base · Π_{s: bit s of i set} w_s`.
+///
+/// Site `s` counts from the least significant bit, matching the sequence
+/// encoding everywhere else in the workspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Multiplicative {
+    base: f64,
+    weights: Vec<f64>,
+}
+
+impl Multiplicative {
+    /// Create from per-site factors (`weights[s]` multiplies fitness when
+    /// site `s` is mutated).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base` and all weights are positive finite and the
+    /// chain length is supported.
+    pub fn new(base: f64, weights: Vec<f64>) -> Self {
+        assert!(base.is_finite() && base > 0.0, "base must be positive");
+        assert!(!weights.is_empty(), "at least one site required");
+        let _ = qs_bitseq::dimension(weights.len() as u32);
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "site weights must be positive"
+        );
+        Multiplicative { base, weights }
+    }
+
+    /// The classical uniform deleterious model: every mutation multiplies
+    /// fitness by `1 − s_coef` (selection coefficient `0 < s_coef < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < s_coef < 1`.
+    pub fn uniform_deleterious(nu: u32, base: f64, s_coef: f64) -> Self {
+        assert!(
+            s_coef > 0.0 && s_coef < 1.0,
+            "selection coefficient must lie in (0, 1)"
+        );
+        Self::new(base, vec![1.0 - s_coef; nu as usize])
+    }
+
+    /// Per-site factors.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Express as a [`Kronecker`] landscape (ν one-bit diagonal factors),
+    /// unlocking the factorised §5.2 solver. The base is folded into the
+    /// first (most significant) factor.
+    pub fn to_kronecker(&self) -> Kronecker {
+        let nu = self.weights.len();
+        // Factor t addresses the most significant remaining bit, which is
+        // site ν−1−t in LSB-first site numbering.
+        let mut factors: Vec<Vec<f64>> = (0..nu)
+            .map(|t| {
+                let s = nu - 1 - t;
+                vec![1.0, self.weights[s]]
+            })
+            .collect();
+        for v in &mut factors[0] {
+            *v *= self.base;
+        }
+        Kronecker::new(factors)
+    }
+}
+
+impl Landscape for Multiplicative {
+    fn nu(&self) -> u32 {
+        self.weights.len() as u32
+    }
+
+    #[inline]
+    fn fitness(&self, i: u64) -> f64 {
+        debug_assert!(i < 1u64 << self.weights.len());
+        let mut f = self.base;
+        let mut bits = i;
+        while bits != 0 {
+            let s = bits.trailing_zeros() as usize;
+            f *= self.weights[s];
+            bits &= bits - 1;
+        }
+        f
+    }
+
+    fn f_min(&self) -> f64 {
+        self.base * self.weights.iter().map(|&w| w.min(1.0)).product::<f64>()
+    }
+
+    fn f_max(&self) -> f64 {
+        self.base * self.weights.iter().map(|&w| w.max(1.0)).product::<f64>()
+    }
+
+    fn is_error_class(&self) -> bool {
+        // Only when all site weights coincide.
+        self.weights.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitness_products() {
+        let l = Multiplicative::new(2.0, vec![0.9, 0.5, 1.5]);
+        assert_eq!(l.fitness(0b000), 2.0);
+        assert_eq!(l.fitness(0b001), 2.0 * 0.9);
+        assert_eq!(l.fitness(0b010), 2.0 * 0.5);
+        assert_eq!(l.fitness(0b100), 2.0 * 1.5);
+        assert!((l.fitness(0b111) - 2.0 * 0.9 * 0.5 * 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bounds() {
+        let l = Multiplicative::new(2.0, vec![0.9, 0.5, 1.5]);
+        assert!((l.f_min() - 2.0 * 0.9 * 0.5).abs() < 1e-15);
+        assert!((l.f_max() - 2.0 * 1.5).abs() < 1e-15);
+        // Cross-check against the scan defaults.
+        let v = l.materialize();
+        let min = v.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+        let max = v.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        assert!((l.f_min() - min).abs() < 1e-15);
+        assert!((l.f_max() - max).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kronecker_conversion_agrees() {
+        let l = Multiplicative::new(1.5, vec![0.8, 1.2, 0.6, 1.0]);
+        let k = l.to_kronecker();
+        assert_eq!(k.nu(), 4);
+        for i in 0..16u64 {
+            assert!(
+                (l.fitness(i) - k.fitness(i)).abs() < 1e-14,
+                "sequence {i}: {} vs {}",
+                l.fitness(i),
+                k.fitness(i)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_deleterious_is_error_class() {
+        let l = Multiplicative::uniform_deleterious(6, 2.0, 0.1);
+        assert!(l.is_error_class());
+        // f_i = 2·0.9^{w(i)}.
+        assert!((l.fitness(0b111) - 2.0 * 0.9f64.powi(3)).abs() < 1e-15);
+        let mixed = Multiplicative::new(1.0, vec![0.9, 0.8]);
+        assert!(!mixed.is_error_class());
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1)")]
+    fn rejects_bad_selection_coefficient() {
+        let _ = Multiplicative::uniform_deleterious(4, 1.0, 1.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = Multiplicative::new(2.0, vec![0.9, 1.1]);
+        let back: Multiplicative =
+            serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
+        assert_eq!(l, back);
+    }
+}

@@ -1,0 +1,170 @@
+//! Kauffman NK landscapes: rugged fitness with tunable epistasis.
+//!
+//! The paper stresses that its solver needs *no* structural assumption on
+//! `F` ("We partly use randomly generated landscapes to illustrate the
+//! generality of our results"). The NK model is the standard generator of
+//! realistically rugged landscapes in evolutionary biology: site `s`
+//! contributes a random value that depends on its own state and the state
+//! of its `K` neighbouring sites (circularly), so `K = 0` is additive and
+//! smooth while `K = ν−1` is maximally epistatic (uncorrelated ruggedness).
+//! Fitness here is `1 + mean contribution`, keeping values positive as the
+//! quasispecies model requires.
+
+use crate::Landscape;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A Kauffman NK fitness landscape over `{0,1}^ν`.
+#[derive(Debug, Clone)]
+pub struct Nk {
+    nu: u32,
+    k: u32,
+    /// `tables[s][pattern]`: contribution of site `s` when the `K+1` bits
+    /// `(s, s+1, …, s+K) mod ν` spell `pattern` (site `s` is the
+    /// lowest-order bit of the pattern).
+    tables: Vec<Vec<f64>>,
+    seed: u64,
+}
+
+impl Nk {
+    /// Draw an NK landscape with `K = k` epistatic neighbours per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k < ν` and the contribution tables fit memory
+    /// (`ν·2^{K+1}` values).
+    pub fn new(nu: u32, k: u32, seed: u64) -> Self {
+        let _ = qs_bitseq::dimension(nu);
+        assert!(nu >= 1, "chain length must be at least 1");
+        assert!(k < nu, "K must be smaller than the chain length");
+        assert!(k <= 24, "K = {k} tables would not fit memory");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let table_len = 1usize << (k + 1);
+        let tables = (0..nu)
+            .map(|_| (0..table_len).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        Nk {
+            nu,
+            k,
+            tables,
+            seed,
+        }
+    }
+
+    /// The epistasis parameter `K`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The seed the tables were drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The neighbourhood pattern of site `s` in sequence `i`: bits
+    /// `(s, s+1, …, s+K) mod ν`, packed LSB-first.
+    #[inline]
+    fn pattern(&self, i: u64, s: u32) -> usize {
+        let mut pat = 0usize;
+        for j in 0..=self.k {
+            let site = (s + j) % self.nu;
+            pat |= ((i >> site & 1) as usize) << j;
+        }
+        pat
+    }
+}
+
+impl Landscape for Nk {
+    fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    fn fitness(&self, i: u64) -> f64 {
+        debug_assert!(i < 1 << self.nu);
+        let mut acc = 0.0;
+        for s in 0..self.nu {
+            acc += self.tables[s as usize][self.pattern(i, s)];
+        }
+        1.0 + acc / self.nu as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_positive_and_bounded() {
+        let l = Nk::new(8, 3, 42);
+        for i in 0..256u64 {
+            let f = l.fitness(i);
+            assert!(f > 1.0 && f < 2.0, "f_{i} = {f}");
+        }
+        assert!(crate::validate(&l).is_ok());
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let a = Nk::new(6, 2, 7);
+        let b = Nk::new(6, 2, 7);
+        for i in 0..64u64 {
+            assert_eq!(a.fitness(i), b.fitness(i));
+        }
+        let c = Nk::new(6, 2, 8);
+        assert!((0..64u64).any(|i| a.fitness(i) != c.fitness(i)));
+    }
+
+    #[test]
+    fn k_zero_is_additive() {
+        // K = 0: flipping one bit changes exactly one site contribution,
+        // so fitness differences decompose additively.
+        let l = Nk::new(6, 0, 3);
+        for s in 0..6u32 {
+            let delta_at_zero = l.fitness(1 << s) - l.fitness(0);
+            // The same flip on a different background gives the same delta.
+            let bg = 0b101010 & !(1 << s);
+            let delta_at_bg = l.fitness(bg | 1 << s) - l.fitness(bg);
+            assert!(
+                (delta_at_zero - delta_at_bg).abs() < 1e-14,
+                "site {s} not additive under K = 0"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_k_is_more_rugged() {
+        // Ruggedness proxy: count local optima (no 1-flip neighbour is
+        // fitter). Expect (statistically) more optima at higher K.
+        let count_optima = |l: &Nk| {
+            let n = 1u64 << 8;
+            (0..n)
+                .filter(|&i| (0..8u32).all(|s| l.fitness(i ^ (1 << s)) <= l.fitness(i)))
+                .count()
+        };
+        // Average over seeds to keep the assertion robust.
+        let (mut smooth, mut rugged) = (0usize, 0usize);
+        for seed in 0..5u64 {
+            smooth += count_optima(&Nk::new(8, 0, seed));
+            rugged += count_optima(&Nk::new(8, 6, seed));
+        }
+        assert!(
+            rugged > smooth,
+            "K = 6 should have more local optima ({rugged}) than K = 0 ({smooth})"
+        );
+    }
+
+    #[test]
+    fn pattern_wraps_circularly() {
+        let l = Nk::new(4, 1, 0);
+        // Site 3's neighbourhood is (3, 0): pattern bit 0 = site 3, bit 1 = site 0.
+        assert_eq!(l.pattern(0b1000, 3), 0b01);
+        assert_eq!(l.pattern(0b0001, 3), 0b10);
+        assert_eq!(l.pattern(0b1001, 3), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the chain length")]
+    fn rejects_k_too_large() {
+        let _ = Nk::new(4, 4, 0);
+    }
+}

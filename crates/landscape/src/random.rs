@@ -1,0 +1,154 @@
+//! The random fitness landscape of paper Eq. 13.
+
+use crate::Landscape;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// The random landscape used throughout the paper's evaluation (Eq. 13):
+///
+/// ```text
+/// f_0 = c,   f_i = σ·(η_i + 0.5),   η_i ~ U[0, 1)   for i ≥ 1,
+/// ```
+///
+/// with `c > 0` and `σ ∈ (0, c/2)` so the master sequence stays the fittest.
+/// Figure 3 uses `c = 5, σ = 1`. The landscape is materialised eagerly (an
+/// unstructured landscape has `N` degrees of freedom and "all its N values
+/// have to be stored", Section 3) and is fully reproducible from the seed.
+#[derive(Debug, Clone)]
+pub struct Random {
+    nu: u32,
+    values: Vec<f64>,
+    f_min: f64,
+    f_max: f64,
+    seed: u64,
+}
+
+impl Random {
+    /// Draw a random landscape with the paper's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c > 0` and `0 < sigma < c/2` (the paper's stated
+    /// parameter domain, which guarantees `f_i < c` for `i ≥ 1`).
+    pub fn new(nu: u32, c: f64, sigma: f64, seed: u64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "c must be positive");
+        assert!(
+            sigma.is_finite() && sigma > 0.0 && sigma < c / 2.0,
+            "sigma must lie in (0, c/2)"
+        );
+        let n = qs_bitseq::dimension(nu);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(n);
+        values.push(c);
+        let mut f_min = c;
+        let mut f_max = c;
+        for _ in 1..n {
+            let f = sigma * (rng.random::<f64>() + 0.5);
+            f_min = f_min.min(f);
+            f_max = f_max.max(f);
+            values.push(f);
+        }
+        Random {
+            nu,
+            values,
+            f_min,
+            f_max,
+            seed,
+        }
+    }
+
+    /// The seed this landscape was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Borrow the materialised fitness table.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Landscape for Random {
+    fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    #[inline(always)]
+    fn fitness(&self, i: u64) -> f64 {
+        self.values[i as usize]
+    }
+
+    fn f_min(&self) -> f64 {
+        self.f_min
+    }
+
+    fn f_max(&self) -> f64 {
+        self.f_max
+    }
+
+    fn materialize(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+
+    fn is_error_class(&self) -> bool {
+        // Random landscapes are (almost surely) unstructured; answer without
+        // the O(N) scan. ν = 1 is the degenerate exception handled exactly.
+        self.nu == 1 && {
+            let rep = self.values[1];
+            (self.values[1] - rep).abs() == 0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_gets_c_and_rest_in_band() {
+        let l = Random::new(8, 5.0, 1.0, 42);
+        assert_eq!(l.fitness(0), 5.0);
+        for i in 1..l.len() as u64 {
+            let f = l.fitness(i);
+            assert!((0.5..1.5).contains(&f), "f_{i} = {f} out of σ·[0.5, 1.5)");
+        }
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let a = Random::new(6, 5.0, 1.0, 7);
+        let b = Random::new(6, 5.0, 1.0, 7);
+        assert_eq!(a.values(), b.values());
+        let c = Random::new(6, 5.0, 1.0, 8);
+        assert_ne!(a.values(), c.values());
+    }
+
+    #[test]
+    fn bounds_are_tight() {
+        let l = Random::new(10, 5.0, 1.0, 1);
+        let v = l.materialize();
+        let min = v.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+        let max = v.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        assert_eq!(l.f_min(), min);
+        assert_eq!(l.f_max(), max);
+        assert_eq!(l.f_max(), 5.0, "master must dominate when σ < c/2");
+    }
+
+    #[test]
+    fn all_values_positive() {
+        let l = Random::new(12, 5.0, 1.0, 99);
+        assert!(crate::validate(&l).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must lie in (0, c/2)")]
+    fn rejects_sigma_out_of_domain() {
+        let _ = Random::new(4, 5.0, 2.5, 0);
+    }
+
+    #[test]
+    fn not_error_class() {
+        let l = Random::new(6, 5.0, 1.0, 3);
+        assert!(!l.is_error_class());
+    }
+}

@@ -1,0 +1,117 @@
+//! The single-peak fitness landscape.
+
+use crate::Landscape;
+use serde::{Deserialize, Serialize};
+
+/// The single-peak landscape: the master sequence `X_0` has fitness `f0`,
+/// every other sequence has fitness `f_rest` (paper Figure 1 left uses
+/// `f0 = 2, f_rest = 1`).
+///
+/// This is the canonical landscape exhibiting the error-threshold
+/// phenomenon; the ratio `f0 / f_rest` is the "superiority" of the master
+/// sequence and sets `p_max ≈ ln(f0/f_rest)/ν` in the classical
+/// approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinglePeak {
+    nu: u32,
+    f0: f64,
+    f_rest: f64,
+}
+
+impl SinglePeak {
+    /// Create a single-peak landscape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f0` and `f_rest` are positive and finite.
+    pub fn new(nu: u32, f0: f64, f_rest: f64) -> Self {
+        assert!(f0.is_finite() && f0 > 0.0, "f0 must be positive");
+        assert!(
+            f_rest.is_finite() && f_rest > 0.0,
+            "f_rest must be positive"
+        );
+        let _ = qs_bitseq::dimension(nu); // range check
+        SinglePeak { nu, f0, f_rest }
+    }
+
+    /// Fitness of the master sequence.
+    pub fn peak(&self) -> f64 {
+        self.f0
+    }
+
+    /// Fitness of every non-master sequence.
+    pub fn background(&self) -> f64 {
+        self.f_rest
+    }
+
+    /// Superiority `σ = f0 / f_rest` of the master sequence.
+    pub fn superiority(&self) -> f64 {
+        self.f0 / self.f_rest
+    }
+}
+
+impl Landscape for SinglePeak {
+    fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    #[inline(always)]
+    fn fitness(&self, i: u64) -> f64 {
+        debug_assert!(i < 1 << self.nu);
+        if i == 0 {
+            self.f0
+        } else {
+            self.f_rest
+        }
+    }
+
+    fn f_min(&self) -> f64 {
+        self.f0.min(self.f_rest)
+    }
+
+    fn f_max(&self) -> f64 {
+        self.f0.max(self.f_rest)
+    }
+
+    fn is_error_class(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values() {
+        let l = SinglePeak::new(3, 2.0, 1.0);
+        assert_eq!(l.fitness(0), 2.0);
+        for i in 1..8 {
+            assert_eq!(l.fitness(i), 1.0);
+        }
+        assert_eq!(l.f_min(), 1.0);
+        assert_eq!(l.f_max(), 2.0);
+        assert_eq!(l.superiority(), 2.0);
+    }
+
+    #[test]
+    fn degenerate_peak_below_background() {
+        let l = SinglePeak::new(3, 0.5, 1.0);
+        assert_eq!(l.f_min(), 0.5);
+        assert_eq!(l.f_max(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "f0 must be positive")]
+    fn rejects_nonpositive_peak() {
+        let _ = SinglePeak::new(3, 0.0, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = SinglePeak::new(10, 2.0, 1.0);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: SinglePeak = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

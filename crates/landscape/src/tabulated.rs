@@ -1,0 +1,129 @@
+//! Arbitrary tabulated fitness landscapes.
+
+use crate::Landscape;
+use serde::{Deserialize, Serialize};
+
+/// A fully general landscape: one positive fitness value per sequence,
+/// stored as a table of length `N = 2^ν`.
+///
+/// This is the "no special assumptions" case the paper's Fmmp solver is
+/// designed for — `F` is an arbitrary positive diagonal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tabulated {
+    nu: u32,
+    values: Vec<f64>,
+}
+
+impl Tabulated {
+    /// Create from an explicit table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the length is a power of two ≥ 2 and every value is
+    /// positive and finite.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(
+            values.len().is_power_of_two() && values.len() >= 2,
+            "table length must be 2^ν with ν ≥ 1"
+        );
+        assert!(
+            values.iter().all(|f| f.is_finite() && *f > 0.0),
+            "all fitness values must be positive and finite"
+        );
+        let nu = values.len().trailing_zeros();
+        Tabulated { nu, values }
+    }
+
+    /// Create from a function of the sequence index.
+    pub fn from_fn(nu: u32, f: impl Fn(u64) -> f64) -> Self {
+        let n = qs_bitseq::dimension(nu);
+        Self::new((0..n as u64).map(f).collect())
+    }
+
+    /// Snapshot any landscape into a table (useful for perturbation and
+    /// serialisation).
+    pub fn from_landscape<L: Landscape + ?Sized>(l: &L) -> Self {
+        Self::new(l.materialize())
+    }
+
+    /// Borrow the table.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutate one entry (e.g. to break error-class symmetry in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value is not positive finite.
+    pub fn set(&mut self, i: u64, f: f64) {
+        assert!(f.is_finite() && f > 0.0, "fitness must be positive");
+        self.values[i as usize] = f;
+    }
+}
+
+impl Landscape for Tabulated {
+    fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    #[inline(always)]
+    fn fitness(&self, i: u64) -> f64 {
+        self.values[i as usize]
+    }
+
+    fn materialize(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SinglePeak;
+
+    #[test]
+    fn from_fn_indexes_correctly() {
+        let t = Tabulated::from_fn(3, |i| (i + 1) as f64);
+        assert_eq!(t.fitness(0), 1.0);
+        assert_eq!(t.fitness(7), 8.0);
+        assert_eq!(t.f_min(), 1.0);
+        assert_eq!(t.f_max(), 8.0);
+    }
+
+    #[test]
+    fn snapshot_of_structured_landscape() {
+        let sp = SinglePeak::new(4, 2.0, 1.0);
+        let t = Tabulated::from_landscape(&sp);
+        for i in 0..16u64 {
+            assert_eq!(t.fitness(i), sp.fitness(i));
+        }
+        assert!(t.is_error_class());
+    }
+
+    #[test]
+    fn set_breaks_error_class_structure() {
+        let mut t = Tabulated::from_landscape(&SinglePeak::new(4, 2.0, 1.0));
+        t.set(3, 7.0);
+        assert!(!t.is_error_class());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^ν")]
+    fn rejects_non_power_of_two() {
+        let _ = Tabulated::new(vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nan() {
+        let _ = Tabulated::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tabulated::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let back: Tabulated = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,356 @@
+//! Row-major dense matrices.
+//!
+//! Used for three things in this workspace: (a) materialising small problem
+//! instances to verify every implicit operator against, (b) the paper's
+//! `Smvp` standard matrix–vector product baseline, and (c) the small dense
+//! eigenproblems produced by the Section 5.1/5.2 reductions.
+
+use crate::sum::NeumaierSum;
+
+/// A row-major dense `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the element count overflows.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        let len = rows.checked_mul(cols).expect("matrix too large");
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn diagonal(d: &[f64]) -> Self {
+        let mut m = Self::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `y = A·x` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y ← A·x` into a caller-provided buffer (compensated row sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = NeumaierSum::new();
+            for (aij, &xj) in self.row(i).iter().zip(x) {
+                acc.add(aij * xj);
+            }
+            *yi = acc.value();
+        }
+    }
+
+    /// `xᵀ·A` (left product), returned as a fresh vector of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "vecmat: x length mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            for (yj, &aij) in y.iter_mut().zip(self.row(i)) {
+                *yj += xi * aij;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Kronecker product `A ⊗ B`.
+    ///
+    /// Ordering convention matches the paper's Eq. 7/8: the *left* factor
+    /// addresses the most significant block index.
+    pub fn kron(&self, other: &DenseMatrix) -> DenseMatrix {
+        let (ar, ac, br, bc) = (self.rows, self.cols, other.rows, other.cols);
+        let mut out = DenseMatrix::zeros(ar * br, ac * bc);
+        for i in 0..ar {
+            for j in 0..ac {
+                let aij = self[(i, j)];
+                if aij == 0.0 {
+                    continue;
+                }
+                for k in 0..br {
+                    for l in 0..bc {
+                        out[(i * br + k, j * bc + l)] = aij * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Column sums (a matrix is column stochastic iff these are all 1 and
+    /// entries are non-negative).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![NeumaierSum::new(); self.cols];
+        for i in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(i)) {
+                s.add(v);
+            }
+        }
+        sums.iter().map(NeumaierSum::value).collect()
+    }
+
+    /// Is the matrix symmetric to absolute tolerance `tol`?
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute entry difference to another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "shape mismatch");
+        assert_eq!(self.cols, other.cols, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        crate::norms::norm_l2(&self.data)
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, a: f64) {
+        for v in &mut self.data {
+            *v *= a;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i4 = DenseMatrix::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(i4.matvec(&x), x);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn vecmat_is_transpose_matvec() {
+        let a = DenseMatrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let x = [1.0, -1.0, 2.0];
+        assert_eq!(a.vecmat(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn kron_shape_and_values() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::identity(2);
+        let k = a.kron(&b);
+        assert_eq!((k.rows(), k.cols()), (4, 4));
+        // Block (0,1) = 2·I.
+        assert_eq!(k[(0, 2)], 2.0);
+        assert_eq!(k[(1, 3)], 2.0);
+        assert_eq!(k[(0, 3)], 0.0);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = AC ⊗ BD — the identity Section 5.2 relies on.
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 0.0, 1.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![0.5, 0.1, 0.2, 0.9]);
+        let c = DenseMatrix::from_vec(2, 2, vec![2.0, 0.0, 1.0, 1.0]);
+        let d = DenseMatrix::from_vec(2, 2, vec![1.0, 3.0, 0.0, 2.0]);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-14);
+    }
+
+    #[test]
+    fn column_sums_of_stochastic_matrix() {
+        let p = 0.05;
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0 - p, p, p, 1.0 - p]);
+        let sums = m.column_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-15);
+        assert!((sums[1] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 5.0]);
+        assert!(s.is_symmetric(0.0));
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 5.0]);
+        assert!(!a.is_symmetric(0.5));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(1.0));
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = DenseMatrix::diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.matvec(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn matvec_rejects_bad_shape() {
+        let _ = DenseMatrix::identity(3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_empty_matrix() {
+        let _ = DenseMatrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Dense linear-algebra substrate for the quasispecies solver workspace.
+//!
+//! The fast solvers in this workspace are matrix-free, but they still need a
+//! small, dependable dense toolbox:
+//!
+//! * [`sum`] — Neumaier-compensated summation and dot products (the residual
+//!   stopping criterion of the power iteration must remain meaningful down to
+//!   `τ = 10⁻¹⁵`),
+//! * [`vec_ops`] / [`norms`] — BLAS-1 style kernels,
+//! * [`dense`] — a row-major dense matrix with matvec/matmul/Kronecker
+//!   products, used to materialise small instances for verification and to
+//!   host the paper's `Smvp` baseline,
+//! * [`lu`] — LU with partial pivoting (verifies the FWHT shift-invert
+//!   product against a direct solve),
+//! * [`jacobi`] — a cyclic Jacobi eigensolver for small symmetric problems
+//!   (the `(ν+1)×(ν+1)` reduced problem of Section 5.1 and the Kronecker
+//!   factor problems of Section 5.2),
+//! * [`tridiag`] — implicit-shift QL for symmetric tridiagonal matrices
+//!   (post-processing of the Lanczos comparator),
+//! * [`power`] — dominant eigenpairs of small dense matrices.
+//!
+//! Everything is `f64`; there is no `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod jacobi;
+pub mod lu;
+pub mod norms;
+pub mod power;
+pub mod sum;
+pub mod tridiag;
+pub mod vec_ops;
+
+pub use dense::DenseMatrix;
+pub use jacobi::jacobi_eigen;
+pub use lu::Lu;
+pub use norms::{norm_l1, norm_l2, norm_linf};
+pub use power::{dominant_eigenpair, DominantEigen};
+pub use sum::{dot, sum, NeumaierSum};
+pub use tridiag::tridiag_eigen;

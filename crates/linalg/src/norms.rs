@@ -1,0 +1,81 @@
+//! Vector norms with compensated accumulation.
+
+use crate::sum::NeumaierSum;
+
+/// L1 norm `Σ |x_i|`.
+pub fn norm_l1(x: &[f64]) -> f64 {
+    let mut acc = NeumaierSum::new();
+    for &v in x {
+        acc.add(v.abs());
+    }
+    acc.value()
+}
+
+/// L2 norm `√(Σ x_i²)`, with rescaling by the max element to avoid
+/// overflow/underflow of the squares.
+pub fn norm_l2(x: &[f64]) -> f64 {
+    let mut m = 0.0f64;
+    for &v in x {
+        m = m.max(v.abs());
+    }
+    if m == 0.0 || !m.is_finite() {
+        return m;
+    }
+    let inv = 1.0 / m;
+    let mut acc = NeumaierSum::new();
+    for &v in x {
+        let s = v * inv;
+        acc.add(s * s);
+    }
+    m * acc.value().sqrt()
+}
+
+/// Max norm `max |x_i|`.
+pub fn norm_linf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pythagoras() {
+        assert_eq!(norm_l2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn l1_and_linf() {
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(norm_l1(&x), 6.0);
+        assert_eq!(norm_linf(&x), 3.0);
+    }
+
+    #[test]
+    fn empty_norms_are_zero() {
+        assert_eq!(norm_l1(&[]), 0.0);
+        assert_eq!(norm_l2(&[]), 0.0);
+        assert_eq!(norm_linf(&[]), 0.0);
+    }
+
+    #[test]
+    fn l2_does_not_overflow_on_huge_entries() {
+        let x = [1e300, 1e300];
+        let n = norm_l2(&x);
+        assert!(n.is_finite());
+        assert!((n - 1e300 * std::f64::consts::SQRT_2).abs() / n < 1e-15);
+    }
+
+    #[test]
+    fn l2_does_not_underflow_on_tiny_entries() {
+        let x = [1e-300, 1e-300];
+        let n = norm_l2(&x);
+        assert!(n > 0.0);
+        assert!((n - 1e-300 * std::f64::consts::SQRT_2).abs() / n < 1e-15);
+    }
+
+    #[test]
+    fn infinity_propagates() {
+        assert_eq!(norm_l2(&[f64::INFINITY, 1.0]), f64::INFINITY);
+    }
+}

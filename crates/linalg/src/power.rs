@@ -1,0 +1,138 @@
+//! Dominant eigenpairs of small dense matrices by power iteration.
+//!
+//! This is the *dense* power iteration used on the reduced problems of paper
+//! Sections 5.1/5.2 (matrices of order `ν+1` or `2^{g_i}`), not the
+//! large-scale matrix-free iteration — that lives in the `quasispecies`
+//! crate and works on implicit operators.
+
+use crate::dense::DenseMatrix;
+use crate::norms::norm_l2;
+use crate::sum::dot;
+use crate::vec_ops::{normalize_l2, orient_positive, sub_scaled_into};
+
+/// Result of a dense dominant-eigenpair computation.
+#[derive(Debug, Clone)]
+pub struct DominantEigen {
+    /// The dominant eigenvalue `λ₀`.
+    pub value: f64,
+    /// Unit-L2 eigenvector, oriented so its largest entry is positive.
+    pub vector: Vec<f64>,
+    /// Final residual `‖A·x − λ·x‖₂`.
+    pub residual: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+/// Compute the dominant eigenpair of a square matrix by power iteration.
+///
+/// `start` seeds the iteration (uniform vector if `None`). Stops when the
+/// residual `‖A·x − λ·x‖₂` drops below `tol` or after `max_iter` steps.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square, if `start` has the wrong length, or
+/// if the iterate collapses to zero (defective start).
+pub fn dominant_eigenpair(
+    a: &DenseMatrix,
+    start: Option<&[f64]>,
+    tol: f64,
+    max_iter: usize,
+) -> DominantEigen {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "dominant_eigenpair: square matrix required"
+    );
+    let n = a.rows();
+    let mut x = match start {
+        Some(s) => {
+            assert_eq!(s.len(), n, "dominant_eigenpair: start length mismatch");
+            s.to_vec()
+        }
+        None => vec![1.0; n],
+    };
+    assert!(
+        normalize_l2(&mut x) > 0.0,
+        "dominant_eigenpair: zero start vector"
+    );
+
+    let mut y = vec![0.0; n];
+    let mut r = vec![0.0; n];
+    let mut lambda = 0.0;
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    for it in 1..=max_iter {
+        iterations = it;
+        a.matvec_into(&x, &mut y);
+        // Rayleigh quotient (x is unit length).
+        lambda = dot(&x, &y);
+        sub_scaled_into(&y, lambda, &x, &mut r);
+        residual = norm_l2(&r);
+        let ny = norm_l2(&y);
+        assert!(ny > 0.0, "dominant_eigenpair: iterate collapsed to zero");
+        for (xi, &yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+        if residual <= tol {
+            break;
+        }
+    }
+    orient_positive(&mut x);
+    DominantEigen {
+        value: lambda,
+        vector: x,
+        residual,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_dominant_pair() {
+        let a = DenseMatrix::diagonal(&[1.0, 5.0, 3.0]);
+        // Start away from the axis so the dominant direction is reachable.
+        let eig = dominant_eigenpair(&a, Some(&[1.0, 1.0, 1.0]), 1e-14, 10_000);
+        assert!((eig.value - 5.0).abs() < 1e-10);
+        assert!((eig.vector[1].abs() - 1.0).abs() < 1e-6);
+        assert!(eig.residual < 1e-14);
+    }
+
+    #[test]
+    fn symmetric_known_matrix() {
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let eig = dominant_eigenpair(&a, None, 1e-14, 10_000);
+        assert!((eig.value - 3.0).abs() < 1e-12);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((eig.vector[0] - s).abs() < 1e-7);
+        assert!((eig.vector[1] - s).abs() < 1e-7);
+    }
+
+    #[test]
+    fn positive_matrix_gives_positive_perron_vector() {
+        let a = DenseMatrix::from_vec(3, 3, vec![1.0, 0.2, 0.1, 0.3, 1.5, 0.2, 0.1, 0.4, 0.8]);
+        let eig = dominant_eigenpair(&a, None, 1e-13, 100_000);
+        assert!(
+            eig.vector.iter().all(|&v| v > 0.0),
+            "Perron vector must be positive"
+        );
+        assert!(eig.residual < 1e-13);
+    }
+
+    #[test]
+    fn iteration_count_reported() {
+        let a = DenseMatrix::diagonal(&[1.0, 2.0]);
+        let eig = dominant_eigenpair(&a, Some(&[1.0, 1.0]), 1e-12, 500);
+        assert!(eig.iterations > 1 && eig.iterations <= 500);
+    }
+
+    #[test]
+    fn respects_max_iter_budget() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 1e-9, 1e-9, 1.0]);
+        // Degenerate spectrum: cannot converge; must stop at the budget.
+        let eig = dominant_eigenpair(&a, Some(&[1.0, 0.5]), 0.0, 17);
+        assert_eq!(eig.iterations, 17);
+    }
+}

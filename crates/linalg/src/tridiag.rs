@@ -1,0 +1,190 @@
+//! Implicit-shift QL eigensolver for symmetric tridiagonal matrices.
+//!
+//! Post-processing step for the Lanczos comparator (paper Section 3 names
+//! Lanczos/Arnoldi as the alternative to power iteration): the Lanczos
+//! process produces a small tridiagonal `T_m`; its eigenpairs give Ritz
+//! values/vectors of the big operator.
+
+use crate::dense::DenseMatrix;
+
+/// Eigendecomposition of a symmetric tridiagonal matrix.
+#[derive(Debug, Clone)]
+pub struct TridiagEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` corresponds to `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+/// Eigenpairs of the symmetric tridiagonal matrix with diagonal `d` and
+/// off-diagonal `e` (`e.len() == d.len() - 1`), by the implicit-shift QL
+/// algorithm with Wilkinson shifts.
+///
+/// # Panics
+///
+/// Panics on length mismatch, on empty input, or if an eigenvalue fails to
+/// converge in 50 iterations (practically unreachable for Lanczos output).
+pub fn tridiag_eigen(d: &[f64], e: &[f64]) -> TridiagEigen {
+    let n = d.len();
+    assert!(n > 0, "tridiag_eigen: empty matrix");
+    assert_eq!(
+        e.len(),
+        n.saturating_sub(1),
+        "tridiag_eigen: off-diagonal length"
+    );
+
+    let mut dd = d.to_vec();
+    // Work array of off-diagonals with a trailing zero slot.
+    let mut ee = vec![0.0; n];
+    ee[..n - 1].copy_from_slice(e);
+    let mut z = DenseMatrix::identity(n);
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find the first negligible off-diagonal at or after l.
+            let mut m = l;
+            while m + 1 < n {
+                let scale = dd[m].abs() + dd[m + 1].abs();
+                if ee[m].abs() <= f64::EPSILON * scale {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tridiag_eigen: QL failed to converge");
+            // Wilkinson shift.
+            let mut g = (dd[l + 1] - dd[l]) / (2.0 * ee[l]);
+            let mut r = g.hypot(1.0);
+            g = dd[m] - dd[l] + ee[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * ee[i];
+                let b = c * ee[i];
+                r = f.hypot(g);
+                ee[i + 1] = r;
+                if r == 0.0 {
+                    dd[i + 1] -= p;
+                    ee[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = dd[i + 1] - p;
+                r = (dd[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                dd[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            dd[l] -= p;
+            ee[l] = g;
+            ee[m] = 0.0;
+        }
+    }
+
+    // Sort eigenpairs descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| dd[j].partial_cmp(&dd[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&j| dd[j]).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |i, j| z[(i, order[j])]);
+    TridiagEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_dense(d: &[f64], e: &[f64]) -> DenseMatrix {
+        let n = d.len();
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = d[i];
+            if i + 1 < n {
+                a[(i, i + 1)] = e[i];
+                a[(i + 1, i)] = e[i];
+            }
+        }
+        a
+    }
+
+    fn check(d: &[f64], e: &[f64], tol: f64) -> TridiagEigen {
+        let a = build_dense(d, e);
+        let eig = tridiag_eigen(d, e);
+        let n = d.len();
+        for j in 0..n {
+            let vj: Vec<f64> = (0..n).map(|i| eig.vectors[(i, j)]).collect();
+            let av = a.matvec(&vj);
+            for i in 0..n {
+                assert!(
+                    (av[i] - eig.values[j] * vj[i]).abs() < tol,
+                    "residual of pair {j} too large"
+                );
+            }
+        }
+        let vtv = eig.vectors.transpose().matmul(&eig.vectors);
+        assert!(vtv.max_abs_diff(&DenseMatrix::identity(n)) < tol);
+        eig
+    }
+
+    #[test]
+    fn one_by_one() {
+        let eig = tridiag_eigen(&[7.0], &[]);
+        assert_eq!(eig.values, vec![7.0]);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[0,1],[1,0]] has eigenvalues ±1.
+        let eig = check(&[0.0, 0.0], &[1.0], 1e-13);
+        assert!((eig.values[0] - 1.0).abs() < 1e-14);
+        assert!((eig.values[1] + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn laplacian_eigenvalues_are_analytic() {
+        // The discrete 1-D Laplacian tridiag(-1, 2, -1) of order n has
+        // eigenvalues 2 - 2 cos(kπ/(n+1)).
+        let n = 12;
+        let d = vec![2.0; n];
+        let e = vec![-1.0; n - 1];
+        let eig = check(&d, &e, 1e-12);
+        let mut expected: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (got, want) in eig.values.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_jacobi() {
+        let d = [1.0, -2.0, 0.5, 3.0, 0.0];
+        let e = [0.7, -0.3, 1.1, 0.2];
+        let eig = check(&d, &e, 1e-12);
+        let dense = build_dense(&d, &e);
+        let jac = crate::jacobi::jacobi_eigen(&dense);
+        for (a, b) in eig.values.iter().zip(&jac.values) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "off-diagonal length")]
+    fn rejects_bad_lengths() {
+        let _ = tridiag_eigen(&[1.0, 2.0], &[1.0, 2.0]);
+    }
+}

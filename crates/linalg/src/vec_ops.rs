@@ -1,0 +1,157 @@
+//! BLAS-1 style vector kernels.
+//!
+//! Simple loops the compiler auto-vectorises; all length checks are explicit
+//! asserts so a mismatch fails loudly rather than truncating silently.
+
+/// `y ← y + a·x`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Elementwise product `y ← d ∘ y` (application of a diagonal matrix, the
+/// `F` half of `W = Q·F`).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn apply_diagonal(d: &[f64], y: &mut [f64]) {
+    assert_eq!(d.len(), y.len(), "apply_diagonal: length mismatch");
+    for (yi, &di) in y.iter_mut().zip(d) {
+        *yi *= di;
+    }
+}
+
+/// `out ← x − a·y`, used for residuals `W x̃ − λ̃ x̃`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn sub_scaled_into(x: &[f64], a: f64, y: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "sub_scaled_into: length mismatch");
+    assert_eq!(x.len(), out.len(), "sub_scaled_into: length mismatch");
+    for ((o, &xi), &yi) in out.iter_mut().zip(x).zip(y) {
+        *o = xi - a * yi;
+    }
+}
+
+/// Normalise `x` to unit L2 norm; returns the original norm.
+///
+/// Leaves `x` untouched and returns 0 if the norm is 0.
+pub fn normalize_l2(x: &mut [f64]) -> f64 {
+    let n = crate::norms::norm_l2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Normalise `x` so its entries sum to 1 in absolute value (L1); returns the
+/// original L1 norm. Concentration vectors in the quasispecies model satisfy
+/// `Σ x_i = 1`, so results are reported in this normalisation.
+pub fn normalize_l1(x: &mut [f64]) -> f64 {
+    let n = crate::norms::norm_l1(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Flip the global sign so the (first) entry of largest magnitude is
+/// positive. The Perron vector is determined only up to sign by eigensolvers;
+/// this picks the physically meaningful non-negative orientation.
+pub fn orient_positive(x: &mut [f64]) {
+    let mut best = 0.0f64;
+    let mut sign = 1.0f64;
+    for &v in x.iter() {
+        if v.abs() > best {
+            best = v.abs();
+            sign = if v < 0.0 { -1.0 } else { 1.0 };
+        }
+    }
+    if sign < 0.0 {
+        scale(-1.0, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn diagonal_application() {
+        let d = [2.0, 0.5, -1.0];
+        let mut y = [4.0, 4.0, 4.0];
+        apply_diagonal(&d, &mut y);
+        assert_eq!(y, [8.0, 2.0, -4.0]);
+    }
+
+    #[test]
+    fn residual_kernel() {
+        let wx = [3.0, 6.0];
+        let x = [1.0, 2.0];
+        let mut r = [0.0, 0.0];
+        sub_scaled_into(&wx, 3.0, &x, &mut r);
+        assert_eq!(r, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_normalisation() {
+        let mut x = [3.0, 4.0];
+        let n = normalize_l2(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((x[0] - 0.6).abs() < 1e-15 && (x[1] - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l1_normalisation_sums_to_one() {
+        let mut x = [0.5, 1.5, 2.0];
+        normalize_l1(&mut x);
+        let s: f64 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_vector_normalisation_is_noop() {
+        let mut x = [0.0, 0.0];
+        assert_eq!(normalize_l2(&mut x), 0.0);
+        assert_eq!(normalize_l1(&mut x), 0.0);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn orientation_flips_negative_vectors() {
+        let mut x = [-0.1, -0.9, 0.2];
+        orient_positive(&mut x);
+        assert_eq!(x, [0.1, 0.9, -0.2]);
+        // Already positive: unchanged.
+        let mut y = [0.1, 0.9];
+        orient_positive(&mut y);
+        assert_eq!(y, [0.1, 0.9]);
+    }
+}

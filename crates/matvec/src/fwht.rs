@@ -1,0 +1,181 @@
+//! The fast Walsh–Hadamard transform.
+//!
+//! `V(ν) = 2^{-ν/2}·H_ν` is the eigenvector matrix of the uniform mutation
+//! matrix (paper Section 2): `Q = V Λ V`. The FWHT evaluates `H_ν·v` with
+//! `Θ(N log₂ N)` additions/subtractions in place; it is structurally the
+//! `p → "±1"` limit of the Fmmp butterfly, and the building block of the
+//! shift-and-invert product of paper Section 3.
+
+use crate::LinearOperator;
+
+/// In-place unnormalised FWHT: `v ← H_ν·v` (natural / Hadamard ordering,
+/// matching the Kronecker convention `H_ν = ⊗ [[1,1],[1,−1]]`).
+///
+/// Applying it twice scales by `N`: `H·H = N·I`.
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn fwht_in_place(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    let mut i = 1;
+    while i <= n / 2 {
+        let mut j = 0;
+        while j < n {
+            let (a, b) = v[j..j + 2 * i].split_at_mut(i);
+            for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                let (u, w) = (*x + *y, *x - *y);
+                *x = u;
+                *y = w;
+            }
+            j += 2 * i;
+        }
+        i *= 2;
+    }
+}
+
+/// In-place normalised transform `v ← V(ν)·v = 2^{-ν/2}·H_ν·v`.
+/// `V` is orthogonal and symmetric, so applying it twice is the identity.
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn fwht_normalized_in_place(v: &mut [f64]) {
+    let n = v.len();
+    fwht_in_place(v);
+    let scale = 1.0 / (n as f64).sqrt();
+    for x in v {
+        *x *= scale;
+    }
+}
+
+/// The normalised FWHT (`V(ν)`) as a [`LinearOperator`].
+#[derive(Debug, Clone, Copy)]
+pub struct Fwht {
+    nu: u32,
+}
+
+impl Fwht {
+    /// The operator `V(ν)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` is 0 or exceeds the supported chain length.
+    pub fn new(nu: u32) -> Self {
+        assert!(nu >= 1, "chain length must be at least 1");
+        let _ = qs_bitseq::dimension(nu);
+        Fwht { nu }
+    }
+}
+
+impl LinearOperator for Fwht {
+    fn len(&self) -> usize {
+        1usize << self.nu
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        fwht_normalized_in_place(y);
+    }
+
+    fn apply_in_place(&self, v: &mut [f64]) {
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        fwht_normalized_in_place(v);
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        let n = self.len() as f64;
+        n * self.nu as f64 + n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{max_diff, random_vector};
+    use qs_mutation::spectrum::eigenvector_matrix;
+
+    #[test]
+    fn matches_dense_hadamard() {
+        for nu in 1..=7u32 {
+            let n = 1usize << nu;
+            let x = random_vector(n, nu as u64);
+            let v = eigenvector_matrix(nu); // 2^{-ν/2} H
+            let want = v.matvec(&x);
+            let mut got = x.clone();
+            fwht_normalized_in_place(&mut got);
+            assert!(max_diff(&want, &got) < 1e-12, "ν={nu}");
+        }
+    }
+
+    #[test]
+    fn involution_of_normalized_transform() {
+        let x = random_vector(1 << 10, 77);
+        let mut v = x.clone();
+        fwht_normalized_in_place(&mut v);
+        fwht_normalized_in_place(&mut v);
+        assert!(max_diff(&x, &v) < 1e-12);
+    }
+
+    #[test]
+    fn unnormalised_double_application_scales_by_n() {
+        let n = 1usize << 6;
+        let x = random_vector(n, 5);
+        let mut v = x.clone();
+        fwht_in_place(&mut v);
+        fwht_in_place(&mut v);
+        for (a, b) in v.iter().zip(&x) {
+            assert!((a - n as f64 * b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        // Orthogonality: ‖Vx‖₂ = ‖x‖₂.
+        let x = random_vector(1 << 9, 8);
+        let before = qs_linalg::norm_l2(&x);
+        let mut v = x;
+        fwht_normalized_in_place(&mut v);
+        let after = qs_linalg::norm_l2(&v);
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_transforms_to_constant_row() {
+        // H·e₀ = all-ones.
+        let mut v = vec![0.0; 16];
+        v[0] = 1.0;
+        fwht_in_place(&mut v);
+        assert!(v.iter().all(|&x| (x - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn walsh_spectrum_of_single_bit_function() {
+        // H·e_k yields ±1 pattern (−1)^{popcount(k & j)}.
+        let k = 0b101usize;
+        let mut v = vec![0.0; 8];
+        v[k] = 1.0;
+        fwht_in_place(&mut v);
+        for (j, &x) in v.iter().enumerate() {
+            let sign = if (k & j).count_ones().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
+            assert!((x - sign).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn operator_wrapper_consistency() {
+        let op = Fwht::new(5);
+        let x = random_vector(32, 3);
+        let y = op.apply(&x);
+        let mut z = x;
+        op.apply_in_place(&mut z);
+        assert!(max_diff(&y, &z) < 1e-16);
+    }
+}

@@ -1,0 +1,420 @@
+//! Operator composition: the three eigenproblem formulations of paper
+//! Eqs. 3–5 and spectral shifts.
+//!
+//! With `F = diag(f)` positive, the quasispecies eigenproblem can be posed
+//! as any of
+//!
+//! ```text
+//! (R)  Q·F·x_R = λ·x_R          (concentrations live in x_R)
+//! (S)  F^½·Q·F^½·x_S = λ·x_S    (symmetric — Lanczos-friendly)
+//! (L)  F·Q·x_L = λ·x_L
+//! ```
+//!
+//! whose solutions convert by diagonal scalings
+//! `x_R = F^{-½}·x_S`, `x_S = F^{-½}·x_L`, `x_R = F^{-1}·x_L`.
+//! [`WOperator`] wraps any `Q` engine into any formulation by sandwiching
+//! diagonal passes around it; [`ShiftedOp`] subtracts `µ·I` (paper
+//! Section 3's convergence acceleration); [`conservative_shift`] computes
+//! the paper's provably safe shift `µ = (1−2p)^ν·f_min`.
+
+use crate::LinearOperator;
+use qs_landscape::Landscape;
+
+/// Which of the three equivalent eigenproblem formulations (paper
+/// Eqs. 3–5) an operator or eigenvector refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Formulation {
+    /// `W = Q·F` (Eq. 3). The eigenvector holds relative concentrations.
+    #[default]
+    Right,
+    /// `W = F^½·Q·F^½` (Eq. 4). Symmetric whenever `Q` is.
+    Symmetric,
+    /// `W = F·Q` (Eq. 5).
+    Left,
+}
+
+impl Formulation {
+    /// Exponent `e` such that `x_this = F^{e}·x_S` relative to the
+    /// symmetric formulation.
+    fn exponent(self) -> f64 {
+        match self {
+            Formulation::Right => -0.5,
+            Formulation::Symmetric => 0.0,
+            Formulation::Left => 0.5,
+        }
+    }
+}
+
+/// Convert an eigenvector between formulations:
+/// `x_to = F^{e_to − e_from}·x_from` (elementwise powers of the fitness
+/// diagonal).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn convert_eigenvector(
+    from: Formulation,
+    to: Formulation,
+    x: &[f64],
+    fitness: &[f64],
+) -> Vec<f64> {
+    assert_eq!(
+        x.len(),
+        fitness.len(),
+        "convert_eigenvector: length mismatch"
+    );
+    let e = to.exponent() - from.exponent();
+    if e == 0.0 {
+        return x.to_vec();
+    }
+    x.iter()
+        .zip(fitness)
+        .map(|(&xi, &fi)| xi * fi.powf(e))
+        .collect()
+}
+
+/// A diagonal operator `diag(d)`.
+#[derive(Debug, Clone)]
+pub struct DiagOp {
+    d: Vec<f64>,
+}
+
+impl DiagOp {
+    /// Wrap a diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty diagonal.
+    pub fn new(d: Vec<f64>) -> Self {
+        assert!(!d.is_empty(), "diagonal must be non-empty");
+        DiagOp { d }
+    }
+
+    /// Borrow the diagonal values.
+    pub fn diagonal(&self) -> &[f64] {
+        &self.d
+    }
+}
+
+impl LinearOperator for DiagOp {
+    fn len(&self) -> usize {
+        self.d.len()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        for ((yi, &xi), &di) in y.iter_mut().zip(x).zip(&self.d) {
+            *yi = di * xi;
+        }
+    }
+
+    fn apply_in_place(&self, v: &mut [f64]) {
+        qs_linalg::vec_ops::apply_diagonal(&self.d, v);
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.len() as f64
+    }
+}
+
+/// The quasispecies operator `W` in a chosen formulation, built from any
+/// `Q` engine and a fitness landscape.
+#[derive(Debug, Clone)]
+pub struct WOperator<Q> {
+    q: Q,
+    fitness: Vec<f64>,
+    sqrt_fitness: Vec<f64>,
+    form: Formulation,
+}
+
+impl<Q: LinearOperator> WOperator<Q> {
+    /// Compose `W` from a `Q` engine and a materialised fitness diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fitness length differs from the operator dimension or
+    /// any fitness value is not positive finite.
+    pub fn new(q: Q, fitness: Vec<f64>, form: Formulation) -> Self {
+        assert_eq!(fitness.len(), q.len(), "fitness length mismatch");
+        assert!(
+            fitness.iter().all(|f| f.is_finite() && *f > 0.0),
+            "fitness values must be positive"
+        );
+        let sqrt_fitness = fitness.iter().map(|f| f.sqrt()).collect();
+        WOperator {
+            q,
+            fitness,
+            sqrt_fitness,
+            form,
+        }
+    }
+
+    /// Compose from a [`Landscape`] (materialises its diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the landscape dimension differs from the `Q` engine's.
+    pub fn from_landscape<L: Landscape + ?Sized>(q: Q, landscape: &L, form: Formulation) -> Self {
+        Self::new(q, landscape.materialize(), form)
+    }
+
+    /// The formulation this operator realises.
+    pub fn formulation(&self) -> Formulation {
+        self.form
+    }
+
+    /// Borrow the fitness diagonal.
+    pub fn fitness(&self) -> &[f64] {
+        &self.fitness
+    }
+
+    /// Borrow the wrapped `Q` engine.
+    pub fn q(&self) -> &Q {
+        &self.q
+    }
+}
+
+impl<Q: LinearOperator> LinearOperator for WOperator<Q> {
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        self.apply_in_place(y);
+    }
+
+    fn apply_in_place(&self, v: &mut [f64]) {
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        match self.form {
+            Formulation::Right => {
+                qs_linalg::vec_ops::apply_diagonal(&self.fitness, v);
+                self.q.apply_in_place(v);
+            }
+            Formulation::Symmetric => {
+                qs_linalg::vec_ops::apply_diagonal(&self.sqrt_fitness, v);
+                self.q.apply_in_place(v);
+                qs_linalg::vec_ops::apply_diagonal(&self.sqrt_fitness, v);
+            }
+            Formulation::Left => {
+                self.q.apply_in_place(v);
+                qs_linalg::vec_ops::apply_diagonal(&self.fitness, v);
+            }
+        }
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.q.flops_estimate() + 2.0 * self.len() as f64
+    }
+}
+
+/// A spectrally shifted operator `A − µI`.
+#[derive(Debug, Clone)]
+pub struct ShiftedOp<A> {
+    inner: A,
+    mu: f64,
+}
+
+impl<A: LinearOperator> ShiftedOp<A> {
+    /// Shift `inner` by `µ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `µ` is not finite.
+    pub fn new(inner: A, mu: f64) -> Self {
+        assert!(mu.is_finite(), "shift must be finite");
+        ShiftedOp { inner, mu }
+    }
+
+    /// The shift `µ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Borrow the unshifted operator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for ShiftedOp<A> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply_into(x, y);
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi -= self.mu * xi;
+        }
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.inner.flops_estimate() + 2.0 * self.len() as f64
+    }
+}
+
+/// The paper's conservative, always-safe spectral shift
+/// `µ = (1−2p)^ν · f_min` (Section 3): a lower bound on `λ_{N−1}(W)`
+/// derived from `‖W^{-1}‖₁ ≤ f_min^{-1}·(1−2p)^{-ν}`, so `λ₀ − µ` remains
+/// the dominant eigenvalue of `W − µI` and the shifted power iteration
+/// still converges to the quasispecies.
+///
+/// # Panics
+///
+/// Panics unless `0 < p ≤ 1/2` and `f_min > 0`.
+pub fn conservative_shift(nu: u32, p: f64, f_min: f64) -> f64 {
+    assert!(p > 0.0 && p <= 0.5, "error rate must satisfy 0 < p ≤ 1/2");
+    assert!(f_min > 0.0, "f_min must be positive");
+    (1.0 - 2.0 * p).powi(nu as i32) * f_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmp::Fmmp;
+    use crate::smvp::Smvp;
+    use crate::test_util::{max_diff, random_vector};
+    use qs_landscape::{Landscape, Random};
+    use qs_linalg::DenseMatrix;
+    use qs_mutation::{MutationModel, Uniform};
+
+    fn dense_w(nu: u32, p: f64, f: &[f64], form: Formulation) -> DenseMatrix {
+        let q = Uniform::new(nu, p).dense();
+        let fd = DenseMatrix::diagonal(f);
+        match form {
+            Formulation::Right => q.matmul(&fd),
+            Formulation::Left => fd.matmul(&q),
+            Formulation::Symmetric => {
+                let sq: Vec<f64> = f.iter().map(|x| x.sqrt()).collect();
+                let sd = DenseMatrix::diagonal(&sq);
+                sd.matmul(&q).matmul(&sd)
+            }
+        }
+    }
+
+    #[test]
+    fn all_formulations_match_dense() {
+        let (nu, p) = (6u32, 0.04);
+        let landscape = Random::new(nu, 5.0, 1.0, 3);
+        let f = landscape.materialize();
+        let x = random_vector(1 << nu, 12);
+        for form in [
+            Formulation::Right,
+            Formulation::Symmetric,
+            Formulation::Left,
+        ] {
+            let w = WOperator::new(Fmmp::new(nu, p), f.clone(), form);
+            let want = dense_w(nu, p, &f, form).matvec(&x);
+            assert!(max_diff(&want, &w.apply(&x)) < 1e-12, "{form:?}");
+        }
+    }
+
+    #[test]
+    fn formulations_share_their_spectrum() {
+        // All three W's have the same dominant eigenvalue.
+        let (nu, p) = (5u32, 0.06);
+        let f: Vec<f64> = (0..32).map(|i| 1.0 + (i % 7) as f64 / 3.0).collect();
+        let mut lambdas = Vec::new();
+        for form in [
+            Formulation::Right,
+            Formulation::Symmetric,
+            Formulation::Left,
+        ] {
+            let dense = dense_w(nu, p, &f, form);
+            let eig =
+                qs_linalg::dominant_eigenpair(Smvp::new(dense).matrix(), None, 1e-13, 200_000);
+            lambdas.push(eig.value);
+        }
+        assert!((lambdas[0] - lambdas[1]).abs() < 1e-9);
+        assert!((lambdas[1] - lambdas[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvector_conversion_round_trip() {
+        let f: Vec<f64> = (0..16).map(|i| 1.0 + i as f64 / 5.0).collect();
+        let x = random_vector(16, 9);
+        for from in [
+            Formulation::Right,
+            Formulation::Symmetric,
+            Formulation::Left,
+        ] {
+            for to in [
+                Formulation::Right,
+                Formulation::Symmetric,
+                Formulation::Left,
+            ] {
+                let there = convert_eigenvector(from, to, &x, &f);
+                let back = convert_eigenvector(to, from, &there, &f);
+                assert!(max_diff(&x, &back) < 1e-12, "{from:?} → {to:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_maps_eigenvectors_between_formulations() {
+        // Solve S-form densely, convert to R-form, check it is an
+        // eigenvector of Q·F.
+        let (nu, p) = (4u32, 0.09);
+        let f: Vec<f64> = (0..16).map(|i| 1.5 + ((i * 13) % 5) as f64 / 2.0).collect();
+        let ws = dense_w(nu, p, &f, Formulation::Symmetric);
+        let eig = qs_linalg::jacobi_eigen(&ws);
+        let xs: Vec<f64> = (0..16).map(|i| eig.vectors[(i, 0)]).collect();
+        let xr = convert_eigenvector(Formulation::Symmetric, Formulation::Right, &xs, &f);
+        let wr = dense_w(nu, p, &f, Formulation::Right);
+        let wx = wr.matvec(&xr);
+        for (a, b) in wx.iter().zip(&xr) {
+            assert!((a - eig.values[0] * b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shifted_operator_subtracts_mu() {
+        let (nu, p, mu) = (5u32, 0.03, 0.7);
+        let base = Fmmp::new(nu, p);
+        let shifted = ShiftedOp::new(base, mu);
+        let x = random_vector(32, 2);
+        let qx = base.apply(&x);
+        let sx = shifted.apply(&x);
+        for ((s, q), xi) in sx.iter().zip(&qx).zip(&x) {
+            assert!((s - (q - mu * xi)).abs() < 1e-14);
+        }
+        assert_eq!(shifted.mu(), mu);
+    }
+
+    #[test]
+    fn conservative_shift_is_below_lambda_min() {
+        // µ = (1−2p)^ν f_min must not exceed the true smallest eigenvalue
+        // of W (checked densely on the symmetric form).
+        let (nu, p) = (5u32, 0.07);
+        let landscape = Random::new(nu, 5.0, 1.0, 77);
+        let f = landscape.materialize();
+        let mu = conservative_shift(nu, p, landscape.f_min());
+        let eig = qs_linalg::jacobi_eigen(&dense_w(nu, p, &f, Formulation::Symmetric));
+        let lam_min = *eig.values.last().unwrap();
+        assert!(mu <= lam_min + 1e-12, "shift {mu} exceeds λ_min {lam_min}");
+        assert!(mu > 0.0);
+    }
+
+    #[test]
+    fn diag_op_behaviour() {
+        let d = DiagOp::new(vec![2.0, 3.0]);
+        assert_eq!(d.apply(&[1.0, 1.0]), vec![2.0, 3.0]);
+        let mut v = vec![4.0, 5.0];
+        d.apply_in_place(&mut v);
+        assert_eq!(v, vec![8.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fitness values must be positive")]
+    fn rejects_nonpositive_fitness() {
+        let _ = WOperator::new(
+            Fmmp::new(2, 0.1),
+            vec![1.0, -1.0, 1.0, 1.0],
+            Formulation::Right,
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! Multi-threaded backend — the CPU stand-in for the paper's OpenCL/GPU
+//! implementation (paper Section 4).
+//!
+//! The paper's Algorithm 2 reorganises each Fmmp stage into `N/2` entirely
+//! independent butterflies indexed by a thread id
+//! (`j = 2·ID − (ID & (i−1))`); the host loops over the `log₂ N` stages and
+//! launches an `N/2`-thread kernel per stage. This module executes exactly
+//! that decomposition on a work-stealing thread pool:
+//!
+//! * the stage loop stays on the "host" (the calling thread),
+//! * within a stage, butterflies are partitioned over worker threads —
+//!   block-parallel while blocks are plentiful, fibre-parallel (splitting
+//!   the two block halves) once blocks become scarce at large strides,
+//!
+//! which preserves the paper's observation that the kernel is
+//! memory-bandwidth bound and embarrassingly parallel within a stage.
+//!
+//! [`Backend`] selects serial vs parallel execution so every solver and
+//! benchmark can swap "CPU" and "GPU" implementations the way Figure 3/4 do.
+
+use crate::fmmp::fmmp_stage;
+use crate::LinearOperator;
+use qs_linalg::NeumaierSum;
+use rayon::prelude::*;
+
+/// Execution backend: the paper benchmarks the same algorithms on a CPU
+/// (serial reference) and a GPU (massively parallel); we substitute the GPU
+/// with a work-stealing CPU pool exercising the identical per-stage
+/// decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Single-threaded execution (the paper's "CPU" rows).
+    Serial,
+    /// Thread-pool execution of Algorithm 2's kernel decomposition (the
+    /// paper's "GPU" rows).
+    #[default]
+    Parallel,
+}
+
+impl Backend {
+    /// Human-readable label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Serial => "CPU",
+            Backend::Parallel => "GPU*", // substituted: thread pool
+        }
+    }
+}
+
+/// Minimum stage size (in butterflies) before the parallel path engages;
+/// below this the fork/join overhead dominates the O(N) stage work.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// One parallel Fmmp stage: butterflies at stride `i` with mixing weight
+/// `p`, partitioned over the thread pool.
+fn par_fmmp_stage(v: &mut [f64], i: usize, p: f64) {
+    let n = v.len();
+    if n / 2 < PAR_THRESHOLD {
+        fmmp_stage(v, i, p);
+        return;
+    }
+    let q = 1.0 - p;
+    let blocks = n / (2 * i);
+    if blocks >= rayon::current_num_threads() {
+        // Many independent blocks: one task per chunk of blocks.
+        v.par_chunks_mut(2 * i).for_each(|chunk| {
+            let (a, b) = chunk.split_at_mut(i);
+            for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                let (u, w) = (q * *x + p * *y, p * *x + q * *y);
+                *x = u;
+                *y = w;
+            }
+        });
+    } else {
+        // Few big blocks (large strides): parallelise the fibres inside
+        // each block by splitting its halves, exactly the per-ID view of
+        // Algorithm 2.
+        for chunk in v.chunks_mut(2 * i) {
+            let (a, b) = chunk.split_at_mut(i);
+            a.par_iter_mut()
+                .zip(b.par_iter_mut())
+                .with_min_len(PAR_THRESHOLD / 4)
+                .for_each(|(x, y)| {
+                    let (u, w) = (q * *x + p * *y, p * *x + q * *y);
+                    *x = u;
+                    *y = w;
+                });
+        }
+    }
+}
+
+/// In-place parallel `v ← Q(ν)·v` (stage loop on the host, kernel work on
+/// the pool).
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn par_fmmp_in_place(v: &mut [f64], p: f64) {
+    let n = v.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    let mut i = 1;
+    while i <= n / 2 {
+        par_fmmp_stage(v, i, p);
+        i *= 2;
+    }
+}
+
+/// In-place parallel unnormalised FWHT (same decomposition with the
+/// Hadamard butterfly).
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn par_fwht_in_place(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    if n / 2 < PAR_THRESHOLD {
+        // Small problem: fork/join overhead dominates; stay serial.
+        crate::fwht::fwht_in_place(v);
+        return;
+    }
+    let mut i = 1;
+    while i <= n / 2 {
+        v.par_chunks_mut(2 * i).for_each(|chunk| {
+            let (a, b) = chunk.split_at_mut(i);
+            for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                let (u, w) = (*x + *y, *x - *y);
+                *x = u;
+                *y = w;
+            }
+        });
+        i *= 2;
+    }
+}
+
+/// In-place parallel product with a mixed-radix Kronecker chain
+/// `v ← (⊗ M_t)·v` (the general engine of paper Section 2.2 on the pool).
+///
+/// Inner factors expose many independent blocks (block-parallel); the
+/// outermost factors have few blocks, so their passes copy each block once
+/// and compute the `r` output rows in parallel from the copy — trading one
+/// block-sized scratch for row-level parallelism, the same reorganisation
+/// a GPU kernel for the chain would use.
+///
+/// # Panics
+///
+/// Panics if `v.len()` differs from the chain's total dimension.
+pub fn par_kron_in_place(op: &crate::kron::KroneckerOp, v: &mut [f64]) {
+    let n = op.len();
+    assert_eq!(v.len(), n, "par_kron_in_place: length mismatch");
+    if n < PAR_THRESHOLD {
+        op.apply_in_place_impl(v);
+        return;
+    }
+    let factors = op.factors_ref();
+    let mut right = 1usize;
+    for m in factors.iter().rev() {
+        let r = m.rows();
+        let block = r * right;
+        let blocks = n / block;
+        if blocks >= rayon::current_num_threads().max(2) {
+            // Many independent blocks: serial fibre loop inside each.
+            v.par_chunks_mut(block).for_each(|chunk| {
+                let mut scratch = vec![0.0f64; r];
+                for q in 0..right {
+                    for (s, slot) in scratch.iter_mut().enumerate() {
+                        *slot = chunk[q + s * right];
+                    }
+                    for i in 0..r {
+                        let mut acc = 0.0;
+                        for (a, &x) in m.row(i).iter().zip(&scratch) {
+                            acc += a * x;
+                        }
+                        chunk[q + i * right] = acc;
+                    }
+                }
+            });
+        } else {
+            // Few big blocks: copy each block once, then the r output rows
+            // (contiguous, disjoint) are computed in parallel from the copy.
+            for chunk in v.chunks_mut(block) {
+                let snapshot = chunk.to_vec();
+                chunk
+                    .par_chunks_mut(right)
+                    .enumerate()
+                    .for_each(|(i, out_row)| {
+                        let row = m.row(i);
+                        for (q, o) in out_row.iter_mut().enumerate() {
+                            let mut acc = 0.0;
+                            for (j, &a) in row.iter().enumerate() {
+                                acc += a * snapshot[q + j * right];
+                            }
+                            *o = acc;
+                        }
+                    });
+            }
+        }
+        right = block;
+    }
+}
+
+/// Parallel compensated sum (per-chunk Neumaier partials merged on join) —
+/// the "fast procedure for the summation of the components of a vector"
+/// the paper notes the power iteration needs besides the matvec.
+pub fn par_sum(x: &[f64]) -> f64 {
+    if x.len() < PAR_THRESHOLD {
+        return qs_linalg::sum(x);
+    }
+    x.par_chunks(PAR_THRESHOLD)
+        .map(|chunk| {
+            let mut acc = NeumaierSum::new();
+            for &v in chunk {
+                acc.add(v);
+            }
+            acc
+        })
+        .reduce(NeumaierSum::new, |mut a, b| {
+            a.merge(&b);
+            a
+        })
+        .value()
+}
+
+/// Parallel compensated dot product.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
+    if x.len() < PAR_THRESHOLD {
+        return qs_linalg::dot(x, y);
+    }
+    x.par_chunks(PAR_THRESHOLD)
+        .zip(y.par_chunks(PAR_THRESHOLD))
+        .map(|(cx, cy)| {
+            let mut acc = NeumaierSum::new();
+            for (&a, &b) in cx.iter().zip(cy) {
+                acc.add(a * b);
+            }
+            acc
+        })
+        .reduce(NeumaierSum::new, |mut a, b| {
+            a.merge(&b);
+            a
+        })
+        .value()
+}
+
+/// Parallel L2 norm (scaled, compensated).
+pub fn par_norm_l2(x: &[f64]) -> f64 {
+    if x.len() < PAR_THRESHOLD {
+        return qs_linalg::norm_l2(x);
+    }
+    let m = x
+        .par_chunks(PAR_THRESHOLD)
+        .map(qs_linalg::norm_linf)
+        .reduce(|| 0.0, f64::max);
+    if m == 0.0 || !m.is_finite() {
+        return m;
+    }
+    let inv = 1.0 / m;
+    let ss = x
+        .par_chunks(PAR_THRESHOLD)
+        .map(|chunk| {
+            let mut acc = NeumaierSum::new();
+            for &v in chunk {
+                let s = v * inv;
+                acc.add(s * s);
+            }
+            acc
+        })
+        .reduce(NeumaierSum::new, |mut a, b| {
+            a.merge(&b);
+            a
+        })
+        .value();
+    m * ss.sqrt()
+}
+
+/// The parallel Fmmp engine as a [`LinearOperator`] for `Q(ν)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ParFmmp {
+    nu: u32,
+    p: f64,
+}
+
+impl ParFmmp {
+    /// Create the parallel operator for chain length `nu`, error rate `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ν ≥ 1` and `0 < p ≤ 1/2`.
+    pub fn new(nu: u32, p: f64) -> Self {
+        assert!(nu >= 1, "chain length must be at least 1");
+        let _ = qs_bitseq::dimension(nu);
+        assert!(
+            p.is_finite() && p > 0.0 && p <= 0.5,
+            "error rate must satisfy 0 < p ≤ 1/2"
+        );
+        ParFmmp { nu, p }
+    }
+
+    /// Error rate `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl LinearOperator for ParFmmp {
+    fn len(&self) -> usize {
+        1usize << self.nu
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        par_fmmp_in_place(y, self.p);
+    }
+
+    fn apply_in_place(&self, v: &mut [f64]) {
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        par_fmmp_in_place(v, self.p);
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        let n = self.len() as f64;
+        3.0 * n * self.nu as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmp::fmmp_in_place;
+    use crate::fwht::fwht_in_place;
+    use crate::test_util::{max_diff, random_vector};
+
+    #[test]
+    fn parallel_fmmp_matches_serial_small() {
+        // Below the threshold the serial path runs; above it, real forks.
+        for nu in [4u32, 8, 14] {
+            let p = 0.015;
+            let x = random_vector(1 << nu, nu as u64);
+            let mut serial = x.clone();
+            fmmp_in_place(&mut serial, p);
+            let mut parallel = x;
+            par_fmmp_in_place(&mut parallel, p);
+            assert!(
+                max_diff(&serial, &parallel) < 1e-14,
+                "ν={nu}: parallel ≠ serial"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fmmp_matches_serial_large() {
+        // ν = 18 exercises both the block-parallel and the fibre-parallel
+        // branches (late stages have < num_threads blocks).
+        let nu = 18u32;
+        let p = 0.01;
+        let x = random_vector(1 << nu, 5);
+        let mut serial = x.clone();
+        fmmp_in_place(&mut serial, p);
+        let mut parallel = x;
+        par_fmmp_in_place(&mut parallel, p);
+        assert!(max_diff(&serial, &parallel) < 1e-13);
+    }
+
+    #[test]
+    fn parallel_fwht_matches_serial() {
+        for nu in [6u32, 16] {
+            let x = random_vector(1 << nu, 21);
+            let mut serial = x.clone();
+            fwht_in_place(&mut serial);
+            let mut parallel = x;
+            par_fwht_in_place(&mut parallel);
+            assert!(max_diff(&serial, &parallel) < 1e-10, "ν={nu}");
+        }
+    }
+
+    #[test]
+    fn parallel_reductions_match_serial() {
+        let x = random_vector(1 << 16, 3);
+        let y = random_vector(1 << 16, 4);
+        assert!((par_sum(&x) - qs_linalg::sum(&x)).abs() < 1e-10);
+        assert!((par_dot(&x, &y) - qs_linalg::dot(&x, &y)).abs() < 1e-10);
+        assert!((par_norm_l2(&x) - qs_linalg::norm_l2(&x)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn small_reductions_use_serial_path() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(par_sum(&x), 6.0);
+        assert_eq!(par_dot(&x, &x), 14.0);
+        assert_eq!(par_norm_l2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn operator_wrapper_equivalence() {
+        let op = ParFmmp::new(15, 0.02);
+        let ser = crate::fmmp::Fmmp::new(15, 0.02);
+        let x = random_vector(1 << 15, 8);
+        assert!(max_diff(&op.apply(&x), &ser.apply(&x)) < 1e-13);
+    }
+
+    #[test]
+    fn parallel_kron_matches_serial_binary_chain() {
+        use qs_mutation::{MutationModel, Uniform};
+        let model = Uniform::new(16, 0.03);
+        let op = crate::kron::KroneckerOp::from_model(&model);
+        let x = random_vector(1 << 16, 44);
+        let mut serial = x.clone();
+        op.apply_in_place_impl(&mut serial);
+        let mut parallel = x;
+        par_kron_in_place(&op, &mut parallel);
+        assert!(max_diff(&serial, &parallel) < 1e-13);
+        let _ = model.len();
+    }
+
+    #[test]
+    fn parallel_kron_matches_serial_mixed_radix() {
+        use qs_linalg::DenseMatrix;
+        // 4 ⊗ 4 ⊗ … chain big enough to engage both parallel branches.
+        let e = 0.02;
+        let jc = DenseMatrix::from_fn(4, 4, |i, j| if i == j { 1.0 - 3.0 * e } else { e });
+        let op = crate::kron::KroneckerOp::new(vec![jc; 8]); // 4^8 = 65536
+        let x = random_vector(op.len(), 5);
+        let mut serial = x.clone();
+        op.apply_in_place_impl(&mut serial);
+        let mut parallel = x;
+        par_kron_in_place(&op, &mut parallel);
+        assert!(max_diff(&serial, &parallel) < 1e-13);
+    }
+
+    #[test]
+    fn parallel_kron_small_uses_serial_path() {
+        use qs_linalg::DenseMatrix;
+        let f = DenseMatrix::from_vec(2, 2, vec![0.9, 0.1, 0.1, 0.9]);
+        let op = crate::kron::KroneckerOp::new(vec![f; 4]);
+        let x = random_vector(16, 1);
+        let mut a = x.clone();
+        op.apply_in_place_impl(&mut a);
+        let mut b = x;
+        par_kron_in_place(&op, &mut b);
+        assert!(max_diff(&a, &b) < 1e-15);
+    }
+
+    #[test]
+    fn backend_labels() {
+        assert_eq!(Backend::Serial.label(), "CPU");
+        assert_eq!(Backend::Parallel.label(), "GPU*");
+        assert_eq!(Backend::default(), Backend::Parallel);
+    }
+}

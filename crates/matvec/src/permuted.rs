@@ -1,0 +1,179 @@
+//! Sequence reorderings of implicit operators (paper footnote 2).
+//!
+//! The paper notes that the assignment "index `i` ↔ sequence `X_i`" is a
+//! choice: any permutation `π` re-labels the sequences, conjugating the
+//! operator (`A_π = P A Pᵀ`). The Gray-code ordering is singled out —
+//! `d_H(X_{g(i)}, X_{g(i+1)}) = 1`, so the first off-diagonals of the
+//! permuted `Q` are *constant* (`QΓ_1`) — which matters for banded /
+//! locality-sensitive post-processing of the eigenvector.
+//!
+//! [`PermutedOp`] wraps any engine with an arbitrary permutation;
+//! [`PermutedOp::gray`] provides the Gray-code conjugation specifically.
+
+use crate::LinearOperator;
+
+/// An operator conjugated by a permutation: `A_π = P·A·Pᵀ`, where
+/// `(P·x)[i] = x[π(i)]`.
+///
+/// Applying `A_π` to a vector indexed in the *permuted* labelling gives
+/// the result in the permuted labelling, so eigenvectors transform by the
+/// same relabelling and eigenvalues are untouched.
+#[derive(Debug, Clone)]
+pub struct PermutedOp<A> {
+    inner: A,
+    /// `perm[i] = π(i)`: the original index stored at permuted position
+    /// `i`.
+    perm: Vec<usize>,
+    /// Inverse permutation: `inv[π(i)] = i`.
+    inv: Vec<usize>,
+}
+
+impl<A: LinearOperator> PermutedOp<A> {
+    /// Conjugate `inner` by an explicit permutation `perm`
+    /// (`perm[i]` = original index at permuted position `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..inner.len()`.
+    pub fn new(inner: A, perm: Vec<usize>) -> Self {
+        let n = inner.len();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut inv = vec![usize::MAX; n];
+        for (i, &pi) in perm.iter().enumerate() {
+            assert!(pi < n, "permutation entry {pi} out of range");
+            assert_eq!(inv[pi], usize::MAX, "duplicate permutation entry {pi}");
+            inv[pi] = i;
+        }
+        PermutedOp { inner, perm, inv }
+    }
+
+    /// Conjugate by the binary-reflected Gray code: permuted position `i`
+    /// holds the sequence `gray(i)`, so neighbouring positions differ by
+    /// exactly one mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner.len()` is not a power of two.
+    pub fn gray(inner: A) -> Self {
+        let n = inner.len();
+        assert!(n.is_power_of_two(), "Gray ordering requires a 2^ν space");
+        let perm: Vec<usize> = (0..n).map(|i| qs_bitseq::gray(i as u64) as usize).collect();
+        Self::new(inner, perm)
+    }
+
+    /// Relabel a vector from original into permuted order.
+    pub fn to_permuted(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.perm.len(), "length mismatch");
+        self.perm.iter().map(|&pi| x[pi]).collect()
+    }
+
+    /// Relabel a vector from permuted back into original order.
+    pub fn to_original(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.inv.len(), "length mismatch");
+        self.inv.iter().map(|&ii| x[ii]).collect()
+    }
+
+    /// Borrow the wrapped operator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for PermutedOp<A> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        // y = P A Pᵀ x: un-permute, apply, re-permute.
+        let orig = self.to_original(x);
+        let a_orig = self.inner.apply(&orig);
+        for (yi, &pi) in y.iter_mut().zip(&self.perm) {
+            *yi = a_orig[pi];
+        }
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.inner.flops_estimate() + 2.0 * self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmp::Fmmp;
+    use crate::test_util::{max_diff, random_vector};
+    use qs_mutation::{MutationModel, Uniform};
+
+    #[test]
+    fn conjugation_preserves_the_product() {
+        let nu = 6u32;
+        let p = 0.07;
+        let op = PermutedOp::gray(Fmmp::new(nu, p));
+        let x = random_vector(1 << nu, 3);
+        // (P A Pᵀ)(P x) == P (A x).
+        let px = op.to_permuted(&x);
+        let lhs = op.apply(&px);
+        let ax = Fmmp::new(nu, p).apply(&x);
+        let rhs = op.to_permuted(&ax);
+        assert!(max_diff(&lhs, &rhs) < 1e-14);
+    }
+
+    #[test]
+    fn relabelling_round_trip() {
+        let op = PermutedOp::gray(Fmmp::new(5, 0.1));
+        let x = random_vector(32, 9);
+        let there = op.to_permuted(&x);
+        let back = op.to_original(&there);
+        assert_eq!(x, back);
+    }
+
+    #[test]
+    fn gray_ordered_q_has_constant_first_off_diagonal() {
+        // Paper footnote 2: under the Gray permutation the first
+        // off-diagonals of Q are constant (= QΓ_1).
+        let nu = 6u32;
+        let p = 0.04;
+        let q = Uniform::new(nu, p);
+        let expected = q.class_value(1);
+        for i in 0..(1u64 << nu) - 1 {
+            let a = qs_bitseq::gray(i);
+            let b = qs_bitseq::gray(i + 1);
+            assert!(
+                (q.entry(a, b) - expected).abs() < 1e-16,
+                "off-diagonal at {i} is not QΓ_1"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_invariant_under_permutation() {
+        // Power-iterate the permuted operator: same λ₀, permuted vector.
+        let nu = 5u32;
+        let p = 0.2; // wide spectral gap (λ₁ = 1−2p) so 100 steps converge fully
+        let op = PermutedOp::gray(Fmmp::new(nu, p));
+        let mut v = vec![1.0; 1 << nu];
+        v[3] = 2.0; // break exact symmetry
+        for _ in 0..100 {
+            op.apply_in_place(&mut v);
+            let norm = qs_linalg::norm_l2(&v);
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        // Q's dominant eigenvalue is 1 with the uniform eigenvector —
+        // in any ordering.
+        let qv = op.apply(&v);
+        for (a, b) in qv.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate permutation entry")]
+    fn rejects_non_permutation() {
+        let _ = PermutedOp::new(Fmmp::new(2, 0.1), vec![0, 1, 1, 3]);
+    }
+}

@@ -1,0 +1,130 @@
+//! The standard dense matrix–vector product `Smvp`.
+//!
+//! `Smvp` materialises the full matrix (`Θ(N²)` storage!) and multiplies
+//! row by row — the paper's baseline whose cost everything else is measured
+//! against. Only feasible for small chain lengths (ν ≲ 13 fits a few
+//! hundred MB); `Xmvp(ν)` plays the same role at `Θ(N)` storage for larger
+//! ν (paper Section 1.2).
+
+use crate::LinearOperator;
+use qs_linalg::DenseMatrix;
+use qs_mutation::MutationModel;
+
+/// The dense product engine.
+#[derive(Debug, Clone)]
+pub struct Smvp {
+    matrix: DenseMatrix,
+}
+
+impl Smvp {
+    /// Wrap an explicit square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn new(matrix: DenseMatrix) -> Self {
+        assert_eq!(
+            matrix.rows(),
+            matrix.cols(),
+            "Smvp requires a square matrix"
+        );
+        Smvp { matrix }
+    }
+
+    /// Materialise a mutation model's `Q` (refuses chain lengths whose dense
+    /// matrix would exceed ~2 GiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N² · 8` bytes would exceed the 2 GiB guard.
+    pub fn from_model<M: MutationModel + ?Sized>(model: &M) -> Self {
+        let n = model.len();
+        assert!(
+            n.checked_mul(n)
+                .map(|e| e * 8)
+                .is_some_and(|b| b <= 2 << 30),
+            "dense Q for N = {n} exceeds the 2 GiB materialisation guard"
+        );
+        Smvp::new(model.dense())
+    }
+
+    /// Materialise `W = Q·F` for a mutation model and fitness diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if the matrix would exceed the guard.
+    pub fn w_from_model<M: MutationModel + ?Sized>(model: &M, fitness: &[f64]) -> Self {
+        assert_eq!(fitness.len(), model.len(), "fitness length mismatch");
+        let mut smvp = Self::from_model(model);
+        // Right-multiplying by diag(f) scales column j by f_j.
+        let n = smvp.matrix.rows();
+        for i in 0..n {
+            for (j, &fj) in fitness.iter().enumerate() {
+                smvp.matrix[(i, j)] *= fj;
+            }
+        }
+        smvp
+    }
+
+    /// Borrow the materialised matrix.
+    pub fn matrix(&self) -> &DenseMatrix {
+        &self.matrix
+    }
+}
+
+impl LinearOperator for Smvp {
+    fn len(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.matrix.matvec_into(x, y);
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        let n = self.len() as f64;
+        2.0 * n * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmp::Fmmp;
+    use crate::test_util::{max_diff, random_vector};
+    use qs_mutation::Uniform;
+
+    #[test]
+    fn q_materialisation_matches_fmmp() {
+        let (nu, p) = (6u32, 0.12);
+        let smvp = Smvp::from_model(&Uniform::new(nu, p));
+        let x = random_vector(1 << nu, 17);
+        let fast = Fmmp::new(nu, p).apply(&x);
+        let slow = smvp.apply(&x);
+        assert!(max_diff(&fast, &slow) < 1e-13);
+    }
+
+    #[test]
+    fn w_materialisation_applies_fitness_first() {
+        let (nu, p) = (4u32, 0.05);
+        let f: Vec<f64> = (0..16).map(|i| 1.0 + i as f64 / 7.0).collect();
+        let w = Smvp::w_from_model(&Uniform::new(nu, p), &f);
+        let x = random_vector(16, 23);
+        // W·x = Q·(f∘x).
+        let fx: Vec<f64> = f.iter().zip(&x).map(|(&a, &b)| a * b).collect();
+        let want = Fmmp::new(nu, p).apply(&fx);
+        assert!(max_diff(&want, &w.apply(&x)) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation guard")]
+    fn refuses_huge_models() {
+        let _ = Smvp::from_model(&Uniform::new(20, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        let _ = Smvp::new(DenseMatrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,190 @@
+//! The XOR-based implicit (sparsified) product `Xmvp(d_max)` — the paper's
+//! baseline, reproduced from its prior work \[10\].
+//!
+//! For the uniform model every entry of `Q` depends only on the Hamming
+//! distance: `Q_{i,j} = QΓ_{d_H(i,j)}`, and `j = i ⊕ m` ranges over the
+//! Hamming ball of radius `d_max` as `m` ranges over all masks of popcount
+//! `≤ d_max`. Hence
+//!
+//! ```text
+//! (Q·v)_i ≈ Σ_{k=0}^{d_max} QΓ_k · Σ_{w(m)=k} v[i ⊕ m],
+//! ```
+//!
+//! costing `Θ(N · Σ_{k≤d_max} C(ν,k))` time and `Θ(N)` space. With
+//! `d_max = ν` the product is **exact** and corresponds to `Smvp` up to a
+//! small constant factor (paper Section 1.2); with `d_max < ν` it is the
+//! approximative scheme whose accuracy/cost trade-off Figure 3 benchmarks
+//! (`d_max = 5` ≈ 10⁻¹⁰ error, `d_max = 1` the coarsest possible).
+
+use crate::LinearOperator;
+use qs_bitseq::SeqSpace;
+use qs_mutation::Uniform;
+
+/// The `Xmvp(d_max)` engine as a [`LinearOperator`] for (an approximation
+/// of) `Q(ν)`.
+#[derive(Debug, Clone)]
+pub struct Xmvp {
+    nu: u32,
+    d_max: u32,
+    /// `QΓ_k` for `k = 0..=d_max`.
+    class_values: Vec<f64>,
+    /// Masks grouped by popcount `k = 0..=d_max`.
+    masks: Vec<Vec<u64>>,
+}
+
+impl Xmvp {
+    /// Create `Xmvp(d_max)` for the uniform model with error rate `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_max > ν`, if `ν` is out of range, or if the mask table
+    /// would exceed memory (`Σ C(ν,k)` entries are materialised — for
+    /// `d_max = ν` that is `N` masks, the `Θ(N)` space cost of \[10\]).
+    pub fn new(nu: u32, p: f64, d_max: u32) -> Self {
+        let q = Uniform::new(nu, p);
+        assert!(d_max <= nu, "d_max must not exceed the chain length");
+        let space = SeqSpace::new(nu);
+        let class_values = (0..=d_max).map(|k| q.class_value(k)).collect();
+        let masks = space.mask_table(d_max);
+        Xmvp {
+            nu,
+            d_max,
+            class_values,
+            masks,
+        }
+    }
+
+    /// The exact variant `Xmvp(ν)` (the paper's stand-in for `Smvp`).
+    pub fn exact(nu: u32, p: f64) -> Self {
+        Self::new(nu, p, nu)
+    }
+
+    /// Sparsification radius `d_max`.
+    pub fn d_max(&self) -> u32 {
+        self.d_max
+    }
+
+    /// Is this instance exact (`d_max = ν`)?
+    pub fn is_exact(&self) -> bool {
+        self.d_max == self.nu
+    }
+
+    /// Number of neighbours visited per component:
+    /// `Σ_{k=0}^{d_max} C(ν,k)`.
+    pub fn neighbours_per_row(&self) -> usize {
+        self.masks.iter().map(Vec::len).sum()
+    }
+}
+
+impl LinearOperator for Xmvp {
+    fn len(&self) -> usize {
+        1usize << self.nu
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let i = i as u64;
+            let mut total = 0.0;
+            // Hoist the per-class factor out of the neighbour loop, as in
+            // [10]: inner sums are plain adds, one multiply per class.
+            for (qk, masks) in self.class_values.iter().zip(&self.masks) {
+                let mut class_sum = 0.0;
+                for &m in masks {
+                    class_sum += x[(i ^ m) as usize];
+                }
+                total += qk * class_sum;
+            }
+            *yi = total;
+        }
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.len() as f64 * self.neighbours_per_row() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmp::fmmp_in_place;
+    use crate::test_util::{max_diff, random_vector};
+    use qs_mutation::MutationModel;
+
+    #[test]
+    fn exact_variant_matches_dense() {
+        for nu in 2..=7u32 {
+            let p = 0.08;
+            let q = Uniform::new(nu, p).dense();
+            let x = random_vector(1 << nu, nu as u64);
+            let want = q.matvec(&x);
+            let got = Xmvp::exact(nu, p).apply(&x);
+            assert!(max_diff(&want, &got) < 1e-13, "ν={nu}");
+        }
+    }
+
+    #[test]
+    fn exact_variant_matches_fmmp() {
+        let (nu, p) = (10u32, 0.01);
+        let x = random_vector(1 << nu, 42);
+        let xm = Xmvp::exact(nu, p).apply(&x);
+        let mut fm = x;
+        fmmp_in_place(&mut fm, p);
+        assert!(max_diff(&xm, &fm) < 1e-12);
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_d_max() {
+        let (nu, p) = (10u32, 0.01);
+        let x = random_vector(1 << nu, 4);
+        let exact = Xmvp::exact(nu, p).apply(&x);
+        let mut prev_err = f64::INFINITY;
+        for d_max in [1u32, 3, 5, 7] {
+            let approx = Xmvp::new(nu, p, d_max).apply(&x);
+            let err = max_diff(&exact, &approx);
+            assert!(err < prev_err, "error must shrink with d_max");
+            prev_err = err;
+        }
+        // The paper quotes ~1e-10 accuracy for d_max = 5 at small p.
+        let approx5 = Xmvp::new(nu, p, 5).apply(&x);
+        assert!(max_diff(&exact, &approx5) < 1e-8);
+    }
+
+    #[test]
+    fn d_max_one_visits_nu_plus_one_neighbours() {
+        let xm = Xmvp::new(12, 0.02, 1);
+        assert_eq!(xm.neighbours_per_row(), 13);
+        assert!(!xm.is_exact());
+    }
+
+    #[test]
+    fn exact_visits_all_n() {
+        let xm = Xmvp::exact(8, 0.1);
+        assert_eq!(xm.neighbours_per_row(), 256);
+        assert!(xm.is_exact());
+    }
+
+    #[test]
+    fn flops_reflect_quadratic_cost_when_exact() {
+        let xm = Xmvp::exact(8, 0.1);
+        assert_eq!(xm.flops_estimate(), (256 * 256) as f64);
+    }
+
+    #[test]
+    fn truncated_product_loses_mass() {
+        // Truncation drops probability mass: 1ᵀ(Q̃v) < 1ᵀv for positive v.
+        let (nu, p) = (8u32, 0.2);
+        let v = vec![1.0; 1 << nu];
+        let approx = Xmvp::new(nu, p, 2).apply(&v);
+        let kept: f64 = qs_linalg::sum(&approx) / (1 << nu) as f64;
+        assert!(kept < 1.0);
+        assert!(kept > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_max must not exceed")]
+    fn rejects_d_max_above_nu() {
+        let _ = Xmvp::new(4, 0.1, 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Grouped Kronecker-factor mutation models (paper Eq. 11) and general
+//! mixed-radix alphabets.
+
+use crate::{is_column_stochastic, MutationModel};
+use qs_linalg::DenseMatrix;
+
+/// A mutation model `Q = ⊗_{t=1}^{g} Q_{G_t}` with arbitrary
+/// column-stochastic factors (paper Eq. 11).
+///
+/// Each factor models a *group* of mutually dependent positions; positions
+/// in different groups mutate independently. The paper restricts factors to
+/// dimension `2^{g_t}`, but nothing in the algorithms requires that: this
+/// type accepts any factor dimensions `r_t ≥ 2`, which directly provides the
+/// 4-letter RNA alphabet extension of Section 5.2 (`r_t = 4` per position).
+///
+/// Factor `t = 0` addresses the most significant digits of the mixed-radix
+/// index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grouped {
+    factors: Vec<DenseMatrix>,
+    len: usize,
+}
+
+impl Grouped {
+    /// Create from explicit factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty, any factor is not column stochastic to
+    /// `1e-12`, or the total dimension overflows `usize`.
+    pub fn new(factors: Vec<DenseMatrix>) -> Self {
+        assert!(!factors.is_empty(), "at least one factor required");
+        let mut len = 1usize;
+        for (t, f) in factors.iter().enumerate() {
+            assert!(
+                is_column_stochastic(f, 1e-12),
+                "factor {t} is not column stochastic"
+            );
+            assert!(f.rows() >= 2, "factor {t} must have dimension at least 2");
+            len = len
+                .checked_mul(f.rows())
+                .expect("total dimension overflows");
+        }
+        Grouped { factors, len }
+    }
+
+    /// A single-group model wrapping one stochastic matrix (no Kronecker
+    /// structure; useful as a dense fallback and in tests).
+    pub fn single(q: DenseMatrix) -> Self {
+        Self::new(vec![q])
+    }
+
+    /// Group dimensions `r_1, …, r_g`.
+    pub fn dims(&self) -> Vec<usize> {
+        self.factors.iter().map(DenseMatrix::rows).collect()
+    }
+
+    /// Is every factor dimension a power of two (i.e. is the model binary-
+    /// alphabet aligned)?
+    pub fn is_binary_aligned(&self) -> bool {
+        self.factors.iter().all(|f| f.rows().is_power_of_two())
+    }
+}
+
+impl MutationModel for Grouped {
+    fn nu(&self) -> u32 {
+        assert!(
+            self.len.is_power_of_two(),
+            "nu is only defined for binary-aligned models; use len()"
+        );
+        self.len.trailing_zeros()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn factors(&self) -> Vec<DenseMatrix> {
+        self.factors.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uniform;
+
+    fn stochastic2(a: f64, b: f64) -> DenseMatrix {
+        // Columns [1-a, a] and [b, 1-b].
+        DenseMatrix::from_vec(2, 2, vec![1.0 - a, b, a, 1.0 - b])
+    }
+
+    #[test]
+    fn two_site_group_reproduces_uniform_when_factored() {
+        // ⊗ of ν identical symmetric 2×2 factors == Uniform.
+        let p = 0.08;
+        let g = Grouped::new(vec![stochastic2(p, p); 3]);
+        let uni = Uniform::new(3, p);
+        assert!(g.dense().max_abs_diff(&uni.dense()) < 1e-15);
+        assert_eq!(g.nu(), 3);
+    }
+
+    #[test]
+    fn grouped_4x4_factor_models_dependent_pair() {
+        // A 4×4 factor where a double mutation is *more* likely than
+        // independent singles would give — impossible in the per-site model.
+        let mut q4 = DenseMatrix::zeros(4, 4);
+        for j in 0..4 {
+            q4[(j, j)] = 0.9;
+            q4[(j ^ 3, j)] = 0.08; // correlated double flip
+            q4[(j ^ 1, j)] = 0.01;
+            q4[(j ^ 2, j)] = 0.01;
+        }
+        let g = Grouped::new(vec![q4.clone(), q4]);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.nu(), 4);
+        assert!(crate::is_column_stochastic(&g.dense(), 1e-13));
+        // Double flip within group 0 (bits 3,2): from 0b0000 to 0b1100.
+        assert!((g.entry(0b1100, 0b0000) - 0.08 * 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn four_letter_alphabet_factor() {
+        // Jukes–Cantor style 4-letter site: stay with prob 1-3e, move to any
+        // other letter with prob e. Two sites → dimension 16 (not 2^ν-shaped
+        // per site, but mixed-radix 4×4).
+        let e = 0.02;
+        let jc = DenseMatrix::from_fn(4, 4, |i, j| if i == j { 1.0 - 3.0 * e } else { e });
+        let g = Grouped::new(vec![jc.clone(), jc]);
+        assert_eq!(g.len(), 16);
+        assert!(g.is_binary_aligned());
+        // P(AA → CG) = e·e.
+        assert!((g.entry(1, 2 * 4 + 3) - e * e).abs() < 1e-16);
+    }
+
+    #[test]
+    fn mixed_radix_dimensions() {
+        let e = 0.1;
+        let f3 = DenseMatrix::from_fn(3, 3, |i, j| if i == j { 1.0 - 2.0 * e } else { e });
+        let f2 = stochastic2(0.2, 0.3);
+        let g = Grouped::new(vec![f3, f2]);
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_binary_aligned());
+        assert_eq!(g.dims(), vec![3, 2]);
+        // entry() must agree with dense() in mixed radix too.
+        let dense = g.dense();
+        for i in 0..6u64 {
+            for j in 0..6u64 {
+                assert!((g.entry(i, j) - dense[(i as usize, j as usize)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not column stochastic")]
+    fn rejects_non_stochastic_factor() {
+        let bad = DenseMatrix::from_vec(2, 2, vec![0.9, 0.3, 0.2, 0.7]);
+        let _ = Grouped::new(vec![bad]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for binary-aligned")]
+    fn nu_rejects_non_binary_model() {
+        let e = 0.1;
+        let f3 = DenseMatrix::from_fn(3, 3, |i, j| if i == j { 1.0 - 2.0 * e } else { e });
+        let _ = Grouped::new(vec![f3]).nu();
+    }
+}

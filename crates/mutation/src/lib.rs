@@ -1,0 +1,174 @@
+//! Mutation models `Q` for the quasispecies model.
+//!
+//! The classical model (paper Eq. 2) uses a uniform per-site error rate `p`:
+//! `Q_{i,j} = p^{d_H(i,j)} (1−p)^{ν−d_H(i,j)}`. Its Kronecker-product
+//! representation (paper Eq. 7)
+//!
+//! ```text
+//! Q(ν) = ⊗_{t=1}^{ν} [[1−p, p], [p, 1−p]]
+//! ```
+//!
+//! is what makes the whole paper work: it yields the `Θ(N log₂ N)` product
+//! `Fmmp`, the closed-form eigendecomposition `Q = V Λ V`, and the spectral
+//! shift. Section 2.2 generalises to arbitrary column-stochastic factors and
+//! to grouped factors `Q = ⊗ Q_{G_t}` with `Q_{G_t} ∈ R^{2^{g_t}×2^{g_t}}`.
+//!
+//! This crate provides:
+//!
+//! * [`Uniform`] — the classical model, with closed-form entries, error-class
+//!   values `QΓ_k = p^k (1−p)^{ν−k}`, spectrum, and inverse,
+//! * [`PerSite`] — one independent (possibly asymmetric) 2×2 process per
+//!   site,
+//! * [`Grouped`] — arbitrary column-stochastic Kronecker factors of any
+//!   dimension (covers the paper's `Q_{G_i}` groups *and* the 4-letter RNA
+//!   alphabet extension mentioned in Section 5.2),
+//! * [`reduced`] — the reduced `(ν+1)×(ν+1)` mutation matrix `QΓ` of paper
+//!   Eq. 14 (with its sign typo corrected), used by the Section 5.1 solver,
+//! * [`spectrum`] — the closed-form eigendecomposition of the uniform model.
+//!
+//! Convention: `Q` is **column stochastic** with `Q[(i, j)] = P(X_j → X_i)`;
+//! for the symmetric uniform model this coincides with the row-stochastic
+//! reading of Eq. 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grouped;
+mod per_site;
+pub mod reduced;
+pub mod spectrum;
+mod uniform;
+
+pub use grouped::Grouped;
+pub use per_site::{PerSite, SiteProcess};
+pub use uniform::Uniform;
+
+use qs_linalg::DenseMatrix;
+
+/// A mutation model with a Kronecker-factor representation
+/// `Q = ⊗_t M_t` (factor `t = 0` addresses the most significant digits).
+///
+/// All factors must be column stochastic so that the generalised
+/// quasispecies model (paper Section 2.2) remains valid; the Kronecker
+/// product of column-stochastic matrices is column stochastic.
+pub trait MutationModel: Send + Sync {
+    /// Chain length `ν` (total bits; `N = 2^ν`). For non-binary alphabets
+    /// this is `log₂` of the total dimension and need not be integral in
+    /// spirit — the trait instead exposes [`MutationModel::len`] as the
+    /// authoritative dimension, and `nu` only for binary-aligned models.
+    fn nu(&self) -> u32;
+
+    /// Total dimension `N = Π dim(M_t)`.
+    fn len(&self) -> usize;
+
+    /// Mutation models are never 0-dimensional.
+    fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The Kronecker factor chain, most significant group first. Factors are
+    /// small (`2×2` per site, `2^{g_t}` per group), so returning owned
+    /// matrices is cheap relative to any use of them.
+    fn factors(&self) -> Vec<DenseMatrix>;
+
+    /// Entry `Q[(i, j)] = P(X_j → X_i)`, computed through the factor chain
+    /// by mixed-radix digit decomposition. `O(g)` per entry.
+    fn entry(&self, i: u64, j: u64) -> f64 {
+        let factors = self.factors();
+        let mut remaining = self.len() as u64;
+        let (mut i, mut j) = (i, j);
+        debug_assert!(i < remaining && j < remaining);
+        let mut q = 1.0;
+        for m in &factors {
+            let r = m.rows() as u64;
+            remaining /= r;
+            let di = (i / remaining) as usize;
+            let dj = (j / remaining) as usize;
+            i %= remaining;
+            j %= remaining;
+            q *= m[(di, dj)];
+        }
+        q
+    }
+
+    /// Materialise the dense `N×N` matrix (verification / small problems).
+    fn dense(&self) -> DenseMatrix {
+        let factors = self.factors();
+        let mut acc = DenseMatrix::identity(1);
+        for m in &factors {
+            acc = acc.kron(m);
+        }
+        acc
+    }
+
+    /// Is the model symmetric (`Q = Qᵀ`)? True iff every factor is
+    /// symmetric.
+    fn is_symmetric(&self) -> bool {
+        self.factors().iter().all(|m| m.is_symmetric(0.0))
+    }
+}
+
+impl<M: MutationModel + ?Sized> MutationModel for &M {
+    fn nu(&self) -> u32 {
+        (**self).nu()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn factors(&self) -> Vec<DenseMatrix> {
+        (**self).factors()
+    }
+    fn entry(&self, i: u64, j: u64) -> f64 {
+        (**self).entry(i, j)
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+}
+
+/// Check that a matrix is column stochastic to tolerance `tol`:
+/// all entries non-negative and every column summing to 1.
+pub fn is_column_stochastic(m: &DenseMatrix, tol: f64) -> bool {
+    if m.rows() != m.cols() {
+        return false;
+    }
+    let nonneg = (0..m.rows()).all(|i| m.row(i).iter().all(|&v| v >= -tol));
+    nonneg && m.column_sums().iter().all(|&s| (s - 1.0).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_stochastic_check() {
+        let q = DenseMatrix::from_vec(2, 2, vec![0.9, 0.1, 0.1, 0.9]);
+        assert!(is_column_stochastic(&q, 1e-15));
+        let bad = DenseMatrix::from_vec(2, 2, vec![0.9, 0.2, 0.1, 0.9]);
+        assert!(!is_column_stochastic(&bad, 1e-15));
+        let neg = DenseMatrix::from_vec(2, 2, vec![1.1, 0.1, -0.1, 0.9]);
+        assert!(!is_column_stochastic(&neg, 1e-15));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!is_column_stochastic(&rect, 1.0));
+    }
+
+    #[test]
+    fn kronecker_of_stochastic_is_stochastic() {
+        // The closure property Section 2.2 relies on.
+        let a = DenseMatrix::from_vec(2, 2, vec![0.7, 0.2, 0.3, 0.8]);
+        let b = DenseMatrix::from_vec(2, 2, vec![0.6, 0.5, 0.4, 0.5]);
+        assert!(is_column_stochastic(&a.kron(&b), 1e-14));
+    }
+
+    #[test]
+    fn trait_entry_matches_dense_through_reference() {
+        let u = Uniform::new(3, 0.05);
+        let m: &dyn MutationModel = &u;
+        let dense = m.dense();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((m.entry(i, j) - dense[(i as usize, j as usize)]).abs() < 1e-15);
+            }
+        }
+    }
+}

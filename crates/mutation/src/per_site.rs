@@ -1,0 +1,204 @@
+//! Per-site mutation processes (paper Section 2.2, first generalisation).
+
+use crate::MutationModel;
+use qs_linalg::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// An independent single-site mutation process with possibly asymmetric flip
+/// probabilities: `p01 = P(0 → 1)` and `p10 = P(1 → 0)`.
+///
+/// Its factor matrix (column stochastic, column `j` = source state) is
+///
+/// ```text
+/// [[1−p01,  p10 ],
+///  [ p01 , 1−p10]]
+/// ```
+///
+/// The uniform model's site process is the symmetric case `p01 = p10 = p`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteProcess {
+    /// Probability of mutating 0 → 1 at this site.
+    pub p01: f64,
+    /// Probability of mutating 1 → 0 at this site.
+    pub p10: f64,
+}
+
+impl SiteProcess {
+    /// Symmetric process with rate `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn symmetric(p: f64) -> Self {
+        Self::new(p, p)
+    }
+
+    /// Asymmetric process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability lies outside `[0, 1]`.
+    pub fn new(p01: f64, p10: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p01), "p01 must be a probability");
+        assert!((0.0..=1.0).contains(&p10), "p10 must be a probability");
+        SiteProcess { p01, p10 }
+    }
+
+    /// The 2×2 column-stochastic factor matrix.
+    pub fn factor(&self) -> DenseMatrix {
+        DenseMatrix::from_vec(
+            2,
+            2,
+            vec![1.0 - self.p01, self.p10, self.p01, 1.0 - self.p10],
+        )
+    }
+}
+
+/// A mutation model composed of `ν` independent per-site processes
+/// (paper Section 2.2: "there is actually no need for the single point
+/// mutations to have the same properties").
+///
+/// Site `0` in the vector is the **most significant** bit of the sequence
+/// index, consistent with the factor-ordering convention of the workspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerSite {
+    sites: Vec<SiteProcess>,
+}
+
+impl PerSite {
+    /// Create from explicit per-site processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty or longer than the supported chain length.
+    pub fn new(sites: Vec<SiteProcess>) -> Self {
+        assert!(!sites.is_empty(), "at least one site required");
+        let _ = qs_bitseq::dimension(sites.len() as u32);
+        PerSite { sites }
+    }
+
+    /// Symmetric per-site rates `p_s`.
+    pub fn symmetric(rates: &[f64]) -> Self {
+        Self::new(rates.iter().map(|&p| SiteProcess::symmetric(p)).collect())
+    }
+
+    /// Borrow the site processes.
+    pub fn sites(&self) -> &[SiteProcess] {
+        &self.sites
+    }
+}
+
+impl MutationModel for PerSite {
+    fn nu(&self) -> u32 {
+        self.sites.len() as u32
+    }
+
+    fn len(&self) -> usize {
+        1usize << self.sites.len()
+    }
+
+    fn factors(&self) -> Vec<DenseMatrix> {
+        self.sites.iter().map(SiteProcess::factor).collect()
+    }
+
+    #[inline]
+    fn entry(&self, i: u64, j: u64) -> f64 {
+        let nu = self.sites.len() as u32;
+        debug_assert!(i < 1 << nu && j < 1 << nu);
+        let mut q = 1.0;
+        for (s, proc) in self.sites.iter().enumerate() {
+            let shift = nu - 1 - s as u32;
+            let bi = (i >> shift & 1) as usize;
+            let bj = (j >> shift & 1) as usize;
+            q *= match (bi, bj) {
+                (0, 0) => 1.0 - proc.p01,
+                (1, 0) => proc.p01,
+                (0, 1) => proc.p10,
+                _ => 1.0 - proc.p10,
+            };
+        }
+        q
+    }
+
+    fn is_symmetric(&self) -> bool {
+        self.sites.iter().all(|s| s.p01 == s.p10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_column_stochastic, Uniform};
+
+    #[test]
+    fn symmetric_per_site_matches_uniform() {
+        let p = 0.04;
+        let uni = Uniform::new(4, p);
+        let per = PerSite::symmetric(&[p; 4]);
+        for i in 0..16u64 {
+            for j in 0..16u64 {
+                assert!((uni.entry(i, j) - per.entry(i, j)).abs() < 1e-16);
+            }
+        }
+        assert!(per.is_symmetric());
+    }
+
+    #[test]
+    fn entry_matches_dense_for_asymmetric_sites() {
+        let per = PerSite::new(vec![
+            SiteProcess::new(0.1, 0.3),
+            SiteProcess::new(0.02, 0.02),
+            SiteProcess::new(0.4, 0.0),
+        ]);
+        let dense = per.dense();
+        for i in 0..8u64 {
+            for j in 0..8u64 {
+                assert!(
+                    (per.entry(i, j) - dense[(i as usize, j as usize)]).abs() < 1e-15,
+                    "entry ({i},{j})"
+                );
+            }
+        }
+        assert!(!per.is_symmetric());
+    }
+
+    #[test]
+    fn dense_is_column_stochastic() {
+        let per = PerSite::new(vec![
+            SiteProcess::new(0.25, 0.1),
+            SiteProcess::new(0.0, 0.5),
+            SiteProcess::new(0.33, 0.33),
+            SiteProcess::new(1.0, 0.0),
+        ]);
+        assert!(is_column_stochastic(&per.dense(), 1e-13));
+    }
+
+    #[test]
+    fn site_order_is_msb_first() {
+        // Site 0 strongly biased: flipping the MSB must carry its rate.
+        let per = PerSite::new(vec![SiteProcess::new(0.5, 0.5), SiteProcess::new(0.0, 0.0)]);
+        // From state 00 (j=0) to state 10 (i=2): flip MSB only.
+        assert!((per.entry(0b10, 0b00) - 0.5).abs() < 1e-16);
+        // From 00 to 01: flip LSB, impossible here.
+        assert_eq!(per.entry(0b01, 0b00), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn rejects_empty() {
+        let _ = PerSite::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_probability() {
+        let _ = SiteProcess::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let per = PerSite::symmetric(&[0.1, 0.2]);
+        let back: PerSite = serde_json::from_str(&serde_json::to_string(&per).unwrap()).unwrap();
+        assert_eq!(per, back);
+    }
+}

@@ -1,0 +1,159 @@
+//! The reduced `(ν+1)×(ν+1)` mutation matrix `QΓ` of paper Section 5.1.
+//!
+//! `QΓ_{d,k}` is the probability that a *fixed* molecule from error class
+//! `Γ_d` mutates into *some* molecule of error class `Γ_k`:
+//!
+//! ```text
+//! QΓ_{d,k} = Σ_{j ∈ Γ_k} Q_{r_d, j}      (r_d any representative of Γ_d)
+//! ```
+//!
+//! Paper Eq. 14 evaluates the sum combinatorially. As printed, the equation
+//! carries an obvious typo (`(1−p)^{(k+d−2j)−ν}`); the correct exponent is
+//! `ν − (k+d−2j)`, which is what this module implements: to move from
+//! weight `d` to weight `k`, flip `a` of the `d` one-bits down and
+//! `b = k−d+a` of the `ν−d` zero-bits up, giving
+//!
+//! ```text
+//! QΓ_{d,k} = Σ_a C(d, a) · C(ν−d, k−d+a) · p^{a+b} · (1−p)^{ν−(a+b)}.
+//! ```
+//!
+//! The unit tests verify this against brute-force row sums of the full `Q`.
+
+use qs_linalg::DenseMatrix;
+
+/// One entry `QΓ_{d,k}` of the reduced mutation matrix for chain length
+/// `nu` and error rate `p`.
+///
+/// # Panics
+///
+/// Panics if `d > ν` or `k > ν`.
+pub fn reduced_entry(nu: u32, p: f64, d: u32, k: u32) -> f64 {
+    assert!(d <= nu && k <= nu, "class indices must not exceed ν");
+    let mut total = 0.0f64;
+    for a in 0..=d {
+        // b one-bits gained among the ν−d zero positions.
+        let Some(b) = (k + a).checked_sub(d) else {
+            continue;
+        };
+        if b > nu - d {
+            continue;
+        }
+        let flips = (a + b) as i32;
+        total += qs_bitseq::binomial_f64(d, a)
+            * qs_bitseq::binomial_f64(nu - d, b)
+            * p.powi(flips)
+            * (1.0 - p).powi(nu as i32 - flips);
+    }
+    total
+}
+
+/// The full reduced mutation matrix `QΓ ∈ R^{(ν+1)×(ν+1)}` with
+/// `QΓ[(d, k)] = QΓ_{d,k}`.
+///
+/// Every row sums to 1 (a molecule mutates into *some* class with
+/// certainty), i.e. `QΓ` is **row** stochastic — unlike the full `Q`, the
+/// reduction is not symmetric because target classes have different sizes.
+pub fn reduced_matrix(nu: u32, p: f64) -> DenseMatrix {
+    let n = nu as usize + 1;
+    DenseMatrix::from_fn(n, n, |d, k| reduced_entry(nu, p, d as u32, k as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MutationModel, Uniform};
+    use qs_bitseq::{representative, ErrorClassIter};
+
+    /// Brute force: Σ_{j ∈ Γ_k} Q_{rep(d), j} over the full matrix.
+    fn brute_force_entry(nu: u32, p: f64, d: u32, k: u32) -> f64 {
+        let q = Uniform::new(nu, p);
+        let rep = representative(d);
+        ErrorClassIter::new(nu, k).map(|j| q.entry(rep, j)).sum()
+    }
+
+    #[test]
+    fn matches_brute_force_row_sums() {
+        for nu in [3u32, 5, 8] {
+            for &p in &[0.01, 0.1, 0.3] {
+                for d in 0..=nu {
+                    for k in 0..=nu {
+                        let fast = reduced_entry(nu, p, d, k);
+                        let brute = brute_force_entry(nu, p, d, k);
+                        assert!(
+                            (fast - brute).abs() < 1e-13,
+                            "ν={nu} p={p} d={d} k={k}: {fast} vs {brute}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representative_choice_does_not_matter() {
+        // QΓ_{d,k} must be the same for every member of Γ_d (the symmetry
+        // Lemma 2 rests on).
+        let (nu, p, d, k) = (6u32, 0.07, 3u32, 2u32);
+        let q = Uniform::new(nu, p);
+        let reference = reduced_entry(nu, p, d, k);
+        for rep in ErrorClassIter::new(nu, d) {
+            let s: f64 = ErrorClassIter::new(nu, k).map(|j| q.entry(rep, j)).sum();
+            assert!((s - reference).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        for nu in [4u32, 10, 20] {
+            let m = reduced_matrix(nu, 0.05);
+            for d in 0..=nu as usize {
+                let s: f64 = m.row(d).iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "row {d} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_dominates_for_small_p() {
+        let m = reduced_matrix(12, 0.001);
+        for d in 0..=12usize {
+            for k in 0..=12usize {
+                if k != d {
+                    assert!(m[(d, d)] > m[(d, k)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_distance_entry_is_stay_probability() {
+        // QΓ_{0,0} = (1-p)^ν: the master replicates error-free.
+        let (nu, p) = (9u32, 0.04);
+        assert!((reduced_entry(nu, p, 0, 0) - (1.0 - p).powi(nu as i32)).abs() < 1e-15);
+        // QΓ_{0,k} = C(ν,k) p^k (1-p)^{ν-k}: binomial mutation from master.
+        for k in 0..=nu {
+            let expect =
+                qs_bitseq::binomial_f64(nu, k) * p.powi(k as i32) * (1.0 - p).powi((nu - k) as i32);
+            assert!((reduced_entry(nu, p, 0, k) - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn detailed_balance_with_class_sizes() {
+        // Symmetry of the full Q implies C(ν,d)·QΓ_{d,k} = C(ν,k)·QΓ_{k,d}.
+        let (nu, p) = (10u32, 0.06);
+        for d in 0..=nu {
+            for k in 0..=nu {
+                let lhs = qs_bitseq::binomial_f64(nu, d) * reduced_entry(nu, p, d, k);
+                let rhs = qs_bitseq::binomial_f64(nu, k) * reduced_entry(nu, p, k, d);
+                assert!((lhs - rhs).abs() < 1e-12 * lhs.abs().max(1e-30));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn rejects_out_of_range_class() {
+        let _ = reduced_entry(4, 0.1, 5, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Closed-form eigendecomposition of the uniform mutation matrix
+//! (paper Section 2, after Rumschitzki \[12\]).
+//!
+//! `Q(ν) = V Λ V` with
+//!
+//! ```text
+//! Λ_{ii} = (1−2p)^{d_H(i,0)},
+//! V_{ij} = 2^{−ν/2} · (−1)^{(d_H(i,0)+d_H(j,0)−d_H(i,j))/2}
+//!        = 2^{−ν/2} · (−1)^{popcount(i & j)},
+//! ```
+//!
+//! i.e. `V` is the (normalised, symmetric, orthogonal) Hadamard matrix, so
+//! multiplication by `V` is a fast Walsh–Hadamard transform. The eigenvalue
+//! `(1−2p)^k` has multiplicity `C(ν,k)`; for `p < 1/2` all eigenvalues are
+//! positive, hence `Q` is positive definite (and so is every
+//! `F^{1/2} Q F^{1/2}`).
+
+use crate::{MutationModel, Uniform};
+use qs_linalg::DenseMatrix;
+
+/// The eigenvalue of `Q(ν)` associated with index `i`: `(1−2p)^{w(i)}`.
+#[inline]
+pub fn eigenvalue(q: &Uniform, i: u64) -> f64 {
+    (1.0 - 2.0 * q.p()).powi(i.count_ones() as i32)
+}
+
+/// All distinct eigenvalues `(1−2p)^k` for `k = 0..=ν`, paired with their
+/// multiplicities `C(ν,k)`.
+pub fn distinct_eigenvalues(q: &Uniform) -> Vec<(f64, u128)> {
+    (0..=q.nu())
+        .map(|k| {
+            (
+                (1.0 - 2.0 * q.p()).powi(k as i32),
+                qs_bitseq::binomial(q.nu(), k),
+            )
+        })
+        .collect()
+}
+
+/// Entry `(i, j)` of the eigenvector matrix `V(ν)`.
+#[inline]
+pub fn eigenvector_entry(nu: u32, i: u64, j: u64) -> f64 {
+    let sign = if (i & j).count_ones().is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    };
+    sign * 0.5f64.powi(nu as i32).sqrt()
+}
+
+/// Materialise `V(ν)` (for verification on small ν).
+pub fn eigenvector_matrix(nu: u32) -> DenseMatrix {
+    let n = qs_bitseq::dimension(nu);
+    DenseMatrix::from_fn(n, n, |i, j| eigenvector_entry(nu, i as u64, j as u64))
+}
+
+/// Materialise `Λ(ν)` as a diagonal vector (for verification on small ν).
+pub fn eigenvalue_diagonal(q: &Uniform) -> Vec<f64> {
+    (0..q.len() as u64).map(|i| eigenvalue(q, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MutationModel;
+
+    #[test]
+    fn v_is_orthogonal_and_symmetric() {
+        for nu in 1..=5u32 {
+            let v = eigenvector_matrix(nu);
+            assert!(v.is_symmetric(0.0));
+            let vv = v.matmul(&v);
+            assert!(vv.max_abs_diff(&DenseMatrix::identity(1 << nu)) < 1e-13);
+        }
+    }
+
+    #[test]
+    fn decomposition_reconstructs_q() {
+        // Q = V Λ V elementwise for small ν.
+        for nu in 1..=5u32 {
+            let q = Uniform::new(nu, 0.09);
+            let v = eigenvector_matrix(nu);
+            let lam = DenseMatrix::diagonal(&eigenvalue_diagonal(&q));
+            let rebuilt = v.matmul(&lam).matmul(&v);
+            assert!(
+                rebuilt.max_abs_diff(&q.dense()) < 1e-13,
+                "ν={nu}: V Λ V ≠ Q"
+            );
+        }
+    }
+
+    #[test]
+    fn sign_formula_matches_paper_expression() {
+        // (d_H(i,0)+d_H(j,0)−d_H(i,j))/2 == popcount(i & j).
+        for i in 0..64u64 {
+            for j in 0..64u64 {
+                let paper = (i.count_ones() + j.count_ones() - (i ^ j).count_ones()) / 2;
+                assert_eq!(paper, (i & j).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicities_sum_to_n() {
+        let q = Uniform::new(12, 0.01);
+        let total: u128 = distinct_eigenvalues(&q).iter().map(|&(_, m)| m).sum();
+        assert_eq!(total, 1 << 12);
+    }
+
+    #[test]
+    fn eigenvalues_positive_below_half() {
+        let q = Uniform::new(10, 0.49);
+        for (lam, _) in distinct_eigenvalues(&q) {
+            assert!(lam > 0.0, "Q must be positive definite for p < 1/2");
+        }
+    }
+
+    #[test]
+    fn lambda_min_matches_class_nu() {
+        let q = Uniform::new(8, 0.03);
+        let eigs = distinct_eigenvalues(&q);
+        let min = eigs.iter().map(|&(l, _)| l).fold(f64::INFINITY, f64::min);
+        assert!((min - q.lambda_min()).abs() < 1e-16);
+    }
+
+    #[test]
+    fn eigenvalue_by_index_uses_weight() {
+        let q = Uniform::new(6, 0.05);
+        assert_eq!(eigenvalue(&q, 0), 1.0);
+        let l1 = 1.0 - 2.0 * 0.05;
+        assert!((eigenvalue(&q, 0b000100) - l1).abs() < 1e-16);
+        assert!((eigenvalue(&q, 0b101010) - l1.powi(3)).abs() < 1e-16);
+        let _ = q.len();
+    }
+}

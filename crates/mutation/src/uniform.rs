@@ -1,0 +1,214 @@
+//! The classical uniform-error-rate mutation model.
+
+use crate::MutationModel;
+use qs_linalg::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// The uniform mutation model of paper Eq. 2: every site mutates
+/// independently with the same probability `p ∈ (0, 1/2]`, giving
+/// `Q_{i,j} = p^{d_H(i,j)} (1−p)^{ν−d_H(i,j)}`.
+///
+/// `Q` contains only `ν+1` distinct values `QΓ_k = p^k (1−p)^{ν−k}`; its
+/// spectrum is `(1−2p)^k` with multiplicity `C(ν,k)` (see
+/// [`crate::spectrum`]), so `Q` is symmetric positive definite for
+/// `p < 1/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    nu: u32,
+    p: f64,
+}
+
+impl Uniform {
+    /// Create the uniform model for chain length `nu` and error rate `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 1/2` (the model's defined domain; the paper's
+    /// spectral results additionally need `p < 1/2`, where `Q` is positive
+    /// definite).
+    pub fn new(nu: u32, p: f64) -> Self {
+        let _ = qs_bitseq::dimension(nu);
+        assert!(nu >= 1, "chain length must be at least 1");
+        assert!(
+            p.is_finite() && p > 0.0 && p <= 0.5,
+            "error rate must satisfy 0 < p ≤ 1/2"
+        );
+        Uniform { nu, p }
+    }
+
+    /// The per-site error rate `p`.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The distinct value `QΓ_k = p^k (1−p)^{ν−k}` shared by all entries
+    /// with Hamming distance `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > ν`.
+    pub fn class_value(&self, k: u32) -> f64 {
+        assert!(k <= self.nu, "class index exceeds chain length");
+        self.p.powi(k as i32) * (1.0 - self.p).powi((self.nu - k) as i32)
+    }
+
+    /// The single-site factor `[[1−p, p], [p, 1−p]]`.
+    pub fn site_factor(&self) -> DenseMatrix {
+        DenseMatrix::from_vec(2, 2, vec![1.0 - self.p, self.p, self.p, 1.0 - self.p])
+    }
+
+    /// The single-site factor of the *inverse* `Q(ν)^{-1}` (paper Eq. 12):
+    /// `(1−2p)^{-1} · [[1−p, −p], [−p, 1−p]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at `p = 1/2` where `Q` is singular.
+    pub fn inverse_site_factor(&self) -> DenseMatrix {
+        assert!(self.p < 0.5, "Q is singular at p = 1/2");
+        let s = 1.0 / (1.0 - 2.0 * self.p);
+        DenseMatrix::from_vec(
+            2,
+            2,
+            vec![
+                s * (1.0 - self.p),
+                -s * self.p,
+                -s * self.p,
+                s * (1.0 - self.p),
+            ],
+        )
+    }
+
+    /// `‖Q^{-1}‖₁ = (1−2p)^{-ν}` — every absolute column sum of the inverse
+    /// (paper Section 3), which bounds `λ_min(Q) ≥ (1−2p)^ν`.
+    pub fn inverse_norm1(&self) -> f64 {
+        (1.0 - 2.0 * self.p).powi(-(self.nu as i32))
+    }
+
+    /// The smallest eigenvalue `(1−2p)^ν` of `Q`.
+    pub fn lambda_min(&self) -> f64 {
+        (1.0 - 2.0 * self.p).powi(self.nu as i32)
+    }
+}
+
+impl MutationModel for Uniform {
+    fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    fn len(&self) -> usize {
+        1usize << self.nu
+    }
+
+    fn factors(&self) -> Vec<DenseMatrix> {
+        vec![self.site_factor(); self.nu as usize]
+    }
+
+    #[inline]
+    fn entry(&self, i: u64, j: u64) -> f64 {
+        debug_assert!(i < 1 << self.nu && j < 1 << self.nu);
+        self.class_value((i ^ j).count_ones())
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_column_stochastic;
+
+    #[test]
+    fn entries_match_hamming_formula() {
+        let q = Uniform::new(4, 0.1);
+        for i in 0..16u64 {
+            for j in 0..16u64 {
+                let d = (i ^ j).count_ones();
+                let expect = 0.1f64.powi(d as i32) * 0.9f64.powi(4 - d as i32);
+                assert!((q.entry(i, j) - expect).abs() < 1e-16);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matches_kronecker_recursion() {
+        // Verify Eq. 8: Q(ν) = [[(1-p)Q(ν-1), pQ(ν-1)], [pQ(ν-1), (1-p)Q(ν-1)]].
+        let p = 0.03;
+        for nu in 2..=5u32 {
+            let big = Uniform::new(nu, p).dense();
+            let small = Uniform::new(nu - 1, p).dense();
+            let half = 1usize << (nu - 1);
+            for i in 0..half {
+                for j in 0..half {
+                    let s = small[(i, j)];
+                    assert!((big[(i, j)] - (1.0 - p) * s).abs() < 1e-15);
+                    assert!((big[(i, j + half)] - p * s).abs() < 1e-15);
+                    assert!((big[(i + half, j)] - p * s).abs() < 1e-15);
+                    assert!((big[(i + half, j + half)] - (1.0 - p) * s).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_is_column_stochastic_and_symmetric() {
+        let q = Uniform::new(5, 0.07).dense();
+        assert!(is_column_stochastic(&q, 1e-13));
+        assert!(q.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn class_values_sum_with_multiplicities_to_one() {
+        let q = Uniform::new(10, 0.02);
+        let total: f64 = (0..=10u32)
+            .map(|k| qs_bitseq::binomial(10, k) as f64 * q.class_value(k))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn inverse_factor_inverts_site_factor() {
+        let q = Uniform::new(3, 0.2);
+        let prod = q.site_factor().matmul(&q.inverse_site_factor());
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(2)) < 1e-14);
+    }
+
+    #[test]
+    fn inverse_norm_matches_dense_inverse() {
+        // ‖Q^{-1}‖₁ = (1-2p)^{-ν}: check against an explicitly inverted Q.
+        let q = Uniform::new(4, 0.1);
+        let inv = qs_linalg::Lu::new(&q.dense()).unwrap().inverse();
+        let max_col_sum = (0..16)
+            .map(|j| (0..16).map(|i| inv[(i, j)].abs()).sum::<f64>())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((max_col_sum - q.inverse_norm1()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_half_is_allowed_but_not_invertible() {
+        let q = Uniform::new(2, 0.5);
+        assert_eq!(q.class_value(0), 0.25);
+        assert_eq!(q.class_value(2), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p")]
+    fn rejects_zero_p() {
+        let _ = Uniform::new(3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn inverse_rejects_p_half() {
+        let _ = Uniform::new(2, 0.5).inverse_site_factor();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = Uniform::new(20, 0.01);
+        let back: Uniform = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(q, back);
+    }
+}

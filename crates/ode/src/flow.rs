@@ -1,0 +1,167 @@
+//! The replicator–mutator vector field (paper Eq. 1).
+
+use qs_matvec::LinearOperator;
+
+/// An autonomous vector field `dx/dt = F(x)` on `R^N`.
+pub trait Flow: Send + Sync {
+    /// State dimension.
+    fn len(&self) -> usize;
+
+    /// Flows are never 0-dimensional.
+    fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluate `out ← F(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on length mismatches.
+    fn deriv(&self, x: &[f64], out: &mut [f64]);
+}
+
+impl<F: Flow + ?Sized> Flow for &F {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn deriv(&self, x: &[f64], out: &mut [f64]) {
+        (**self).deriv(x, out)
+    }
+}
+
+/// The quasispecies replicator–mutator field
+/// `dx/dt = Q·F·x − (fᵀx)·x`, built from any `Q` engine and a fitness
+/// diagonal.
+///
+/// The nonlinear dilution term `Φ(t)·x = (fᵀx)·x` keeps the simplex
+/// `Σ x_i = 1` invariant; the flow's equilibria on the simplex are exactly
+/// the eigenvectors of `W = Q·F`, with the quasispecies (Perron vector) the
+/// only stable one.
+#[derive(Debug, Clone)]
+pub struct ReplicatorFlow<Q> {
+    q: Q,
+    fitness: Vec<f64>,
+}
+
+impl<Q: LinearOperator> ReplicatorFlow<Q> {
+    /// Create the flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive fitness values.
+    pub fn new(q: Q, fitness: Vec<f64>) -> Self {
+        assert_eq!(fitness.len(), q.len(), "fitness length mismatch");
+        assert!(
+            fitness.iter().all(|f| f.is_finite() && *f > 0.0),
+            "fitness values must be positive"
+        );
+        ReplicatorFlow { q, fitness }
+    }
+
+    /// Mean population fitness `Φ(x) = fᵀx` (the dilution flux; at the
+    /// stationary distribution it equals the dominant eigenvalue `λ₀`).
+    pub fn mean_fitness(&self, x: &[f64]) -> f64 {
+        qs_linalg::dot(&self.fitness, x)
+    }
+
+    /// Borrow the fitness diagonal.
+    pub fn fitness(&self) -> &[f64] {
+        &self.fitness
+    }
+}
+
+impl<Q: LinearOperator> Flow for ReplicatorFlow<Q> {
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn deriv(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "deriv: x length mismatch");
+        assert_eq!(out.len(), self.len(), "deriv: out length mismatch");
+        // out = Q·(f∘x)
+        for ((o, &xi), &fi) in out.iter_mut().zip(x).zip(&self.fitness) {
+            *o = fi * xi;
+        }
+        self.q.apply_in_place(out);
+        // − Φ·x
+        let phi = self.mean_fitness(x);
+        for (o, &xi) in out.iter_mut().zip(x) {
+            *o -= phi * xi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_matvec::Fmmp;
+
+    fn simple_flow() -> ReplicatorFlow<Fmmp> {
+        let f: Vec<f64> = (0..16).map(|i| 1.0 + (i % 3) as f64 / 2.0).collect();
+        ReplicatorFlow::new(Fmmp::new(4, 0.05), f)
+    }
+
+    #[test]
+    fn conserves_total_concentration() {
+        // 1ᵀ(dx/dt) = Φ − Φ = 0 on the simplex: Q is column stochastic.
+        let flow = simple_flow();
+        let mut x = vec![0.0; 16];
+        x[0] = 0.7;
+        x[5] = 0.3;
+        let mut d = vec![0.0; 16];
+        flow.deriv(&x, &mut d);
+        assert!(qs_linalg::sum(&d).abs() < 1e-14);
+    }
+
+    #[test]
+    fn eigenvector_is_equilibrium() {
+        // At the Perron vector, dx/dt = λx − λx = 0.
+        let flow = simple_flow();
+        let w = qs_matvec::WOperator::new(
+            Fmmp::new(4, 0.05),
+            flow.fitness().to_vec(),
+            qs_matvec::Formulation::Right,
+        );
+        let mut x = flow.fitness().to_vec();
+        // Converge x to the Perron vector by brute-force iteration.
+        for _ in 0..3000 {
+            qs_matvec::LinearOperator::apply_in_place(&w, &mut x);
+            let s = qs_linalg::sum(&x);
+            for v in &mut x {
+                *v /= s;
+            }
+        }
+        let mut d = vec![0.0; 16];
+        flow.deriv(&x, &mut d);
+        assert!(
+            qs_linalg::norm_linf(&d) < 1e-12,
+            "‖dx/dt‖∞ = {}",
+            qs_linalg::norm_linf(&d)
+        );
+        // And Φ at equilibrium equals λ₀.
+        let lambda = flow.mean_fitness(&x);
+        let wx = qs_matvec::LinearOperator::apply(&w, &x);
+        for (a, b) in wx.iter().zip(&x) {
+            assert!((a - lambda * b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn master_only_population_grows_toward_mutants() {
+        let flow = simple_flow();
+        let mut x = vec![0.0; 16];
+        x[0] = 1.0;
+        let mut d = vec![0.0; 16];
+        flow.deriv(&x, &mut d);
+        // Mutation leaks concentration out of the master...
+        assert!(d[0] < 0.0);
+        // ...into its neighbours.
+        assert!(d[1] > 0.0 && d[2] > 0.0 && d[4] > 0.0 && d[8] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_bad_dimensions() {
+        let _ = ReplicatorFlow::new(Fmmp::new(3, 0.1), vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Replicator–mutator ODE integrators for Eigen's quasispecies dynamics.
+//!
+//! The quasispecies model is, at bottom, the ODE system of paper Eq. 1:
+//!
+//! ```text
+//! dx_i/dt = Σ_j f_j·Q_{i,j}·x_j(t) − x_i(t)·Φ(t),
+//! Φ(t) = Σ_j f_j·x_j(t),          Σ_j x_j(t) = 1,
+//! ```
+//!
+//! whose stationary distribution is the dominant eigenvector of `W = Q·F`
+//! (the Bernoulli change of variables in paper Section 1.1). This crate
+//! integrates the *dynamics* directly — with the same fast `Fmmp`-based
+//! matvec, so one flow evaluation costs `Θ(N log₂ N)` — which serves two
+//! purposes:
+//!
+//! 1. **Cross-validation**: the eigenvector solvers and the ODE integrator
+//!    are entirely independent code paths that must agree on the steady
+//!    state; the integration tests exploit this.
+//! 2. **Transients**: the eigenvector only describes `t → ∞`; the
+//!    integrator exposes the approach to the quasispecies (relaxation
+//!    times, response to parameter changes).
+//!
+//! Two steppers are provided: classic fixed-step RK4 ([`rk4`]) and the
+//! adaptive Runge–Kutta–Fehlberg 4(5) pair ([`rkf45`]) with PI step
+//! control.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod rk4;
+pub mod rkf45;
+pub mod steady;
+
+pub use flow::{Flow, ReplicatorFlow};
+pub use rk4::{integrate_rk4, Rk4Options};
+pub use rkf45::{integrate_rkf45, Rkf45Options};
+pub use steady::{integrate_to_steady_state, SteadyStateOptions, SteadyStateResult};

@@ -1,0 +1,214 @@
+//! Classic fixed-step fourth-order Runge–Kutta.
+
+use crate::flow::Flow;
+
+/// Options for [`integrate_rk4`].
+#[derive(Debug, Clone, Copy)]
+pub struct Rk4Options {
+    /// Step size `h`.
+    pub step: f64,
+    /// Integration horizon (number of steps = `⌈t_end/h⌉`).
+    pub t_end: f64,
+}
+
+impl Default for Rk4Options {
+    fn default() -> Self {
+        Rk4Options {
+            step: 0.01,
+            t_end: 1.0,
+        }
+    }
+}
+
+/// A step observer: called after every accepted step with `(t, x)`.
+pub type Observer<'a> = &'a mut dyn FnMut(f64, &[f64]);
+
+/// Integrate `dx/dt = F(x)` from `x0` over `[0, t_end]` with fixed-step
+/// RK4; returns the final state. An optional `observer` is called after
+/// every step with `(t, x)`.
+///
+/// # Panics
+///
+/// Panics on non-positive `step`/`t_end` or a dimension mismatch.
+pub fn integrate_rk4<F: Flow + ?Sized>(
+    flow: &F,
+    x0: &[f64],
+    opts: &Rk4Options,
+    mut observer: Option<Observer<'_>>,
+) -> Vec<f64> {
+    assert!(opts.step > 0.0, "step must be positive");
+    assert!(opts.t_end > 0.0, "t_end must be positive");
+    assert_eq!(x0.len(), flow.len(), "integrate_rk4: state length mismatch");
+    let n = flow.len();
+    let mut x = x0.to_vec();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    let steps = (opts.t_end / opts.step).ceil() as usize;
+    let mut t = 0.0;
+    for s in 0..steps {
+        // Shrink the last step to land exactly on t_end.
+        let h = (opts.t_end - t).min(opts.step);
+        flow.deriv(&x, &mut k1);
+        stage(&x, &k1, 0.5 * h, &mut tmp);
+        flow.deriv(&tmp, &mut k2);
+        stage(&x, &k2, 0.5 * h, &mut tmp);
+        flow.deriv(&tmp, &mut k3);
+        stage(&x, &k3, h, &mut tmp);
+        flow.deriv(&tmp, &mut k4);
+        for i in 0..n {
+            x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        let _ = s;
+        if let Some(obs) = observer.as_deref_mut() {
+            obs(t, &x);
+        }
+    }
+    x
+}
+
+#[inline]
+fn stage(x: &[f64], k: &[f64], h: f64, out: &mut [f64]) {
+    for ((o, &xi), &ki) in out.iter_mut().zip(x).zip(k) {
+        *o = xi + h * ki;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dx/dt = −x on each component: analytic solution x₀·e^{−t}.
+    struct Decay(usize);
+    impl Flow for Decay {
+        fn len(&self) -> usize {
+            self.0
+        }
+        fn deriv(&self, x: &[f64], out: &mut [f64]) {
+            for (o, &xi) in out.iter_mut().zip(x) {
+                *o = -xi;
+            }
+        }
+    }
+
+    /// Harmonic oscillator (x, v): energy-conserving reference.
+    struct Oscillator;
+    impl Flow for Oscillator {
+        fn len(&self) -> usize {
+            2
+        }
+        fn deriv(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[1];
+            out[1] = -x[0];
+        }
+    }
+
+    #[test]
+    fn exponential_decay_accuracy() {
+        let x = integrate_rk4(
+            &Decay(3),
+            &[1.0, 2.0, -0.5],
+            &Rk4Options {
+                step: 0.01,
+                t_end: 1.0,
+            },
+            None,
+        );
+        let e = (-1.0f64).exp();
+        assert!((x[0] - e).abs() < 1e-9);
+        assert!((x[1] - 2.0 * e).abs() < 1e-9);
+        assert!((x[2] + 0.5 * e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fourth_order_convergence() {
+        // Halving h must shrink the error by ~2⁴.
+        let exact = (-1.0f64).exp();
+        let err = |h: f64| {
+            let x = integrate_rk4(
+                &Decay(1),
+                &[1.0],
+                &Rk4Options {
+                    step: h,
+                    t_end: 1.0,
+                },
+                None,
+            );
+            (x[0] - exact).abs()
+        };
+        let e1 = err(0.1);
+        let e2 = err(0.05);
+        let rate = (e1 / e2).log2();
+        assert!((3.5..4.5).contains(&rate), "observed order {rate}");
+    }
+
+    #[test]
+    fn oscillator_phase_accuracy() {
+        // One full period: x returns to the start.
+        let t = 2.0 * std::f64::consts::PI;
+        let x = integrate_rk4(
+            &Oscillator,
+            &[1.0, 0.0],
+            &Rk4Options {
+                step: 1e-3,
+                t_end: t,
+            },
+            None,
+        );
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!(x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let mut count = 0usize;
+        let mut last_t = 0.0;
+        integrate_rk4(
+            &Decay(1),
+            &[1.0],
+            &Rk4Options {
+                step: 0.25,
+                t_end: 1.0,
+            },
+            Some(&mut |t, _x| {
+                count += 1;
+                last_t = t;
+            }),
+        );
+        assert_eq!(count, 4);
+        assert!((last_t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_final_step_lands_on_t_end() {
+        let mut last_t = 0.0;
+        integrate_rk4(
+            &Decay(1),
+            &[1.0],
+            &Rk4Options {
+                step: 0.3,
+                t_end: 1.0,
+            },
+            Some(&mut |t, _x| last_t = t),
+        );
+        assert!((last_t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_bad_step() {
+        let _ = integrate_rk4(
+            &Decay(1),
+            &[1.0],
+            &Rk4Options {
+                step: 0.0,
+                t_end: 1.0,
+            },
+            None,
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Adaptive Runge–Kutta–Fehlberg 4(5) with proportional step control.
+
+use crate::flow::Flow;
+
+/// Options for [`integrate_rkf45`].
+#[derive(Debug, Clone, Copy)]
+pub struct Rkf45Options {
+    /// Integration horizon.
+    pub t_end: f64,
+    /// Absolute local-error tolerance per step.
+    pub abs_tol: f64,
+    /// Relative local-error tolerance per step.
+    pub rel_tol: f64,
+    /// Initial step size.
+    pub initial_step: f64,
+    /// Smallest step before the integrator gives up.
+    pub min_step: f64,
+}
+
+impl Default for Rkf45Options {
+    fn default() -> Self {
+        Rkf45Options {
+            t_end: 1.0,
+            abs_tol: 1e-10,
+            rel_tol: 1e-10,
+            initial_step: 1e-2,
+            min_step: 1e-12,
+        }
+    }
+}
+
+// Fehlberg coefficients (the classical 4(5) pair).
+const A: [[f64; 5]; 5] = [
+    [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+    [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+    [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+    [
+        -8.0 / 27.0,
+        2.0,
+        -3544.0 / 2565.0,
+        1859.0 / 4104.0,
+        -11.0 / 40.0,
+    ],
+];
+const B4: [f64; 6] = [
+    25.0 / 216.0,
+    0.0,
+    1408.0 / 2565.0,
+    2197.0 / 4104.0,
+    -1.0 / 5.0,
+    0.0,
+];
+const B5: [f64; 6] = [
+    16.0 / 135.0,
+    0.0,
+    6656.0 / 12825.0,
+    28561.0 / 56430.0,
+    -9.0 / 50.0,
+    2.0 / 55.0,
+];
+
+/// Integrate `dx/dt = F(x)` from `x0` over `[0, t_end]` adaptively;
+/// returns `(final_state, accepted_steps, rejected_steps)`.
+///
+/// # Panics
+///
+/// Panics on invalid options, dimension mismatch, or if step control
+/// drives the step below `min_step` (stiffness beyond the tolerance).
+pub fn integrate_rkf45<F: Flow + ?Sized>(
+    flow: &F,
+    x0: &[f64],
+    opts: &Rkf45Options,
+) -> (Vec<f64>, usize, usize) {
+    assert!(opts.t_end > 0.0, "t_end must be positive");
+    assert!(opts.initial_step > 0.0, "initial step must be positive");
+    assert!(
+        opts.abs_tol > 0.0 && opts.rel_tol >= 0.0,
+        "tolerances invalid"
+    );
+    assert_eq!(
+        x0.len(),
+        flow.len(),
+        "integrate_rkf45: state length mismatch"
+    );
+
+    let n = flow.len();
+    let mut x = x0.to_vec();
+    let mut k: Vec<Vec<f64>> = (0..6).map(|_| vec![0.0; n]).collect();
+    let mut tmp = vec![0.0; n];
+
+    let mut t = 0.0;
+    let mut h = opts.initial_step.min(opts.t_end);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+
+    while t < opts.t_end {
+        h = h.min(opts.t_end - t);
+        // Six stages.
+        flow.deriv(&x, &mut k[0]);
+        for (s, row) in A.iter().enumerate() {
+            for i in 0..n {
+                let mut acc = x[i];
+                for (j, kj) in k.iter().enumerate().take(s + 1) {
+                    acc += h * row[j] * kj[i];
+                }
+                tmp[i] = acc;
+            }
+            let (_, tail) = k.split_at_mut(s + 1);
+            flow.deriv(&tmp, &mut tail[0]);
+        }
+        // Embedded solutions and error estimate.
+        let mut err = 0.0f64;
+        for i in 0..n {
+            let mut x4 = x[i];
+            let mut x5 = x[i];
+            for (j, kj) in k.iter().enumerate() {
+                x4 += h * B4[j] * kj[i];
+                x5 += h * B5[j] * kj[i];
+            }
+            let scale = opts.abs_tol + opts.rel_tol * x[i].abs().max(x5.abs());
+            err = err.max(((x5 - x4) / scale).abs());
+            tmp[i] = x5; // keep the 5th-order solution
+        }
+        if err <= 1.0 {
+            x.copy_from_slice(&tmp);
+            t += h;
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        // Proportional controller with the usual safety clamp.
+        let factor = if err > 0.0 {
+            (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+        } else {
+            5.0
+        };
+        h *= factor;
+        assert!(
+            h >= opts.min_step,
+            "step size underflow at t = {t} (err = {err:.3e}): problem too stiff for tolerance"
+        );
+    }
+    (x, accepted, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Decay;
+    impl Flow for Decay {
+        fn len(&self) -> usize {
+            1
+        }
+        fn deriv(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = -x[0];
+        }
+    }
+
+    /// dx/dt = λ(cos t − x): forced problem with a known solution envelope.
+    struct Forced;
+    impl Flow for Forced {
+        fn len(&self) -> usize {
+            2
+        }
+        // Autonomised: state = (x, t).
+        fn deriv(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = 5.0 * (x[1].cos() - x[0]);
+            out[1] = 1.0;
+        }
+    }
+
+    #[test]
+    fn decay_to_tolerance() {
+        let (x, accepted, _) = integrate_rkf45(&Decay, &[1.0], &Rkf45Options::default());
+        assert!((x[0] - (-1.0f64).exp()).abs() < 1e-8);
+        assert!(accepted > 0);
+    }
+
+    #[test]
+    fn tight_tolerance_takes_more_steps() {
+        let loose = Rkf45Options {
+            abs_tol: 1e-5,
+            rel_tol: 1e-5,
+            ..Default::default()
+        };
+        let tight = Rkf45Options {
+            abs_tol: 1e-12,
+            rel_tol: 1e-12,
+            ..Default::default()
+        };
+        let (_, a_loose, _) = integrate_rkf45(&Decay, &[1.0], &loose);
+        let (_, a_tight, _) = integrate_rkf45(&Decay, &[1.0], &tight);
+        assert!(a_tight > a_loose, "{a_tight} !> {a_loose}");
+    }
+
+    #[test]
+    fn agrees_with_rk4_on_smooth_problem() {
+        let opts = Rkf45Options {
+            t_end: 2.0,
+            ..Default::default()
+        };
+        let (adaptive, _, _) = integrate_rkf45(&Forced, &[0.0, 0.0], &opts);
+        let fixed = crate::rk4::integrate_rk4(
+            &Forced,
+            &[0.0, 0.0],
+            &crate::rk4::Rk4Options {
+                step: 1e-4,
+                t_end: 2.0,
+            },
+            None,
+        );
+        assert!((adaptive[0] - fixed[0]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn step_rejection_happens_on_transients() {
+        // Large initial step forces at least one rejection on the stiff-ish
+        // forced problem.
+        let opts = Rkf45Options {
+            t_end: 2.0,
+            initial_step: 1.0,
+            abs_tol: 1e-10,
+            rel_tol: 1e-10,
+            ..Default::default()
+        };
+        let (_, _, rejected) = integrate_rkf45(&Forced, &[0.0, 0.0], &opts);
+        assert!(rejected > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_end must be positive")]
+    fn rejects_bad_horizon() {
+        let _ = integrate_rkf45(
+            &Decay,
+            &[1.0],
+            &Rkf45Options {
+                t_end: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

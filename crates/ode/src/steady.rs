@@ -1,0 +1,188 @@
+//! Integration to the stationary distribution.
+//!
+//! Integrates the replicator–mutator dynamics in renormalised chunks until
+//! `‖dx/dt‖` falls below tolerance — i.e. until the population has settled
+//! into the quasispecies. Used to cross-validate the eigenvector solvers:
+//! dynamics and spectral solution are independent code paths that must
+//! agree.
+
+use crate::flow::{Flow, ReplicatorFlow};
+use crate::rk4::{integrate_rk4, Rk4Options};
+use qs_matvec::LinearOperator;
+
+/// Options for [`integrate_to_steady_state`].
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyStateOptions {
+    /// Convergence tolerance on `‖dx/dt‖∞`.
+    pub tol: f64,
+    /// RK4 step size.
+    pub step: f64,
+    /// Chunk length between convergence checks and renormalisations.
+    pub chunk: f64,
+    /// Give up after this much model time.
+    pub t_max: f64,
+}
+
+impl Default for SteadyStateOptions {
+    fn default() -> Self {
+        SteadyStateOptions {
+            tol: 1e-12,
+            step: 0.05,
+            chunk: 5.0,
+            t_max: 10_000.0,
+        }
+    }
+}
+
+/// Result of a steady-state integration.
+#[derive(Debug, Clone)]
+pub struct SteadyStateResult {
+    /// The stationary distribution (sums to 1).
+    pub x: Vec<f64>,
+    /// Mean fitness `Φ` at the end — equals the dominant eigenvalue `λ₀`
+    /// of `W = Q·F` at stationarity.
+    pub mean_fitness: f64,
+    /// Model time integrated.
+    pub t: f64,
+    /// Final `‖dx/dt‖∞`.
+    pub residual: f64,
+    /// Whether `tol` was reached within `t_max`.
+    pub converged: bool,
+}
+
+/// Integrate the replicator–mutator flow from `x0` until stationarity.
+///
+/// `x0` is L1-renormalised after every chunk to counter the slow drift of
+/// `Σ x` under discretisation error (the exact flow preserves it).
+///
+/// # Panics
+///
+/// Panics on invalid options or dimension mismatch.
+pub fn integrate_to_steady_state<Q: LinearOperator>(
+    flow: &ReplicatorFlow<Q>,
+    x0: &[f64],
+    opts: &SteadyStateOptions,
+) -> SteadyStateResult {
+    assert!(opts.tol > 0.0 && opts.step > 0.0 && opts.chunk > 0.0 && opts.t_max > 0.0);
+    assert_eq!(x0.len(), flow.len(), "state length mismatch");
+    let mut x = x0.to_vec();
+    let s = qs_linalg::sum(&x);
+    assert!(s > 0.0, "start vector must have positive mass");
+    for v in &mut x {
+        *v /= s;
+    }
+
+    let mut t = 0.0;
+    let mut d = vec![0.0; x.len()];
+    let (residual, converged) = loop {
+        flow.deriv(&x, &mut d);
+        let res = qs_linalg::norm_linf(&d);
+        if res <= opts.tol {
+            break (res, true);
+        }
+        if t >= opts.t_max {
+            break (res, false);
+        }
+        let dt = opts.chunk.min(opts.t_max - t);
+        x = integrate_rk4(
+            flow,
+            &x,
+            &Rk4Options {
+                step: opts.step,
+                t_end: dt,
+            },
+            None,
+        );
+        t += dt;
+        // Renormalise (and clamp discretisation-induced negatives).
+        for v in &mut x {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let s = qs_linalg::sum(&x);
+        assert!(s > 0.0, "population mass vanished during integration");
+        for v in &mut x {
+            *v /= s;
+        }
+    };
+
+    let mean_fitness = flow.mean_fitness(&x);
+    SteadyStateResult {
+        x,
+        mean_fitness,
+        t,
+        residual,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_matvec::Fmmp;
+
+    #[test]
+    fn reaches_the_quasispecies_from_master_start() {
+        // Paper initial condition: x₀ = 1 (all mass on the master).
+        let nu = 6u32;
+        let p = 0.02;
+        let fitness: Vec<f64> = (0..1u64 << nu)
+            .map(|i| if i == 0 { 2.0 } else { 1.0 })
+            .collect();
+        let flow = ReplicatorFlow::new(Fmmp::new(nu, p), fitness.clone());
+        let mut x0 = vec![0.0; 1 << nu];
+        x0[0] = 1.0;
+        let res = integrate_to_steady_state(&flow, &x0, &SteadyStateOptions::default());
+        assert!(res.converged, "residual {}", res.residual);
+        // The steady state is the Perron vector of W = Q·F: verify
+        // W·x = Φ·x.
+        let w = qs_matvec::WOperator::new(Fmmp::new(nu, p), fitness, qs_matvec::Formulation::Right);
+        let wx = qs_matvec::LinearOperator::apply(&w, &res.x);
+        for (a, b) in wx.iter().zip(&res.x) {
+            assert!((a - res.mean_fitness * b).abs() < 1e-9);
+        }
+        assert!(res.mean_fitness > 1.0 && res.mean_fitness < 2.0);
+    }
+
+    #[test]
+    fn steady_state_independent_of_start() {
+        let nu = 5u32;
+        let p = 0.03;
+        let fitness: Vec<f64> = (0..32u64)
+            .map(|i| 1.0 + ((i * 11) % 7) as f64 / 4.0)
+            .collect();
+        let flow = ReplicatorFlow::new(Fmmp::new(nu, p), fitness);
+        let mut from_master = vec![0.0; 32];
+        from_master[0] = 1.0;
+        let uniform = vec![1.0 / 32.0; 32];
+        let a = integrate_to_steady_state(&flow, &from_master, &SteadyStateOptions::default());
+        let b = integrate_to_steady_state(&flow, &uniform, &SteadyStateOptions::default());
+        assert!(a.converged && b.converged);
+        for (x, y) in a.x.iter().zip(&b.x) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn time_budget_respected() {
+        let nu = 4u32;
+        let flow = ReplicatorFlow::new(
+            Fmmp::new(nu, 0.01),
+            (0..16u64).map(|i| if i == 0 { 2.0 } else { 1.0 }).collect(),
+        );
+        let mut x0 = vec![0.0; 16];
+        x0[0] = 1.0;
+        let res = integrate_to_steady_state(
+            &flow,
+            &x0,
+            &SteadyStateOptions {
+                tol: 1e-30,
+                t_max: 10.0,
+                ..Default::default()
+            },
+        );
+        assert!(!res.converged);
+        assert!(res.t >= 10.0 - 1e-9);
+    }
+}

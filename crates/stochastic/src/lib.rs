@@ -1,0 +1,24 @@
+//! Finite-population stochastic dynamics for the quasispecies model.
+//!
+//! The deterministic quasispecies (the dominant eigenvector of `W = Q·F`)
+//! is the infinite-population limit. Real virus populations are finite,
+//! and the error-threshold literature the paper builds on (Nowak &
+//! Schuster \[11\]) studies exactly the finite-`M` corrections: sampling
+//! noise lowers the effective threshold and can lose the master sequence
+//! entirely.
+//!
+//! This crate implements the standard **Wright–Fisher** model with
+//! selection and mutation: each generation, `M` offspring independently
+//! (a) choose a parent with probability proportional to `f_i·n_i` and
+//! (b) mutate every site independently with probability `p` — precisely
+//! the stochastic process whose expectation dynamics is paper Eq. 1. As
+//! `M → ∞` the genotype frequencies converge to the deterministic
+//! quasispecies, which the integration tests verify against the spectral
+//! solver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod wright_fisher;
+
+pub use wright_fisher::{WrightFisher, WrightFisherOptions};

@@ -1,0 +1,448 @@
+//! The Wright–Fisher process with selection and mutation.
+
+use qs_landscape::Landscape;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Options for a [`WrightFisher`] simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WrightFisherOptions {
+    /// Population size `M` (number of individuals resampled each
+    /// generation).
+    pub population: usize,
+    /// Per-site mutation probability `p ∈ [0, 1/2]`.
+    pub p: f64,
+    /// RNG seed; runs are fully reproducible.
+    pub seed: u64,
+    /// When `false`, mutation is one-way (`0 → 1` only: deleterious,
+    /// irreversible). This is the Muller's-ratchet regime of the
+    /// finite-population threshold literature the paper cites (\[11\],
+    /// "…mutation frequencies and the onset of Muller's ratchet"): without
+    /// back mutation, small populations stochastically lose their
+    /// least-loaded class, one irreversible "click" at a time.
+    pub back_mutation: bool,
+}
+
+impl Default for WrightFisherOptions {
+    fn default() -> Self {
+        WrightFisherOptions {
+            population: 10_000,
+            p: 0.01,
+            seed: 42,
+            back_mutation: true,
+        }
+    }
+}
+
+/// A Wright–Fisher population over the sequence space `{0,1}^ν`.
+#[derive(Debug, Clone)]
+pub struct WrightFisher {
+    nu: u32,
+    fitness: Vec<f64>,
+    counts: Vec<u64>,
+    opts: WrightFisherOptions,
+    rng: ChaCha12Rng,
+    generation: u64,
+    // Reusable buffers.
+    cumulative: Vec<f64>,
+    next_counts: Vec<u64>,
+}
+
+impl WrightFisher {
+    /// Create a population on the given landscape, initially monomorphic
+    /// for the master sequence `X_0` (the paper's initial condition
+    /// `x_0 = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population, `p ∉ [0, 1/2]`, or a landscape too
+    /// large to materialise.
+    pub fn new<L: Landscape + ?Sized>(landscape: &L, opts: WrightFisherOptions) -> Self {
+        assert!(opts.population > 0, "population must be positive");
+        assert!(
+            (0.0..=0.5).contains(&opts.p),
+            "mutation probability must lie in [0, 1/2]"
+        );
+        let fitness = landscape.materialize();
+        let n = fitness.len();
+        let mut counts = vec![0u64; n];
+        counts[0] = opts.population as u64;
+        let rng = ChaCha12Rng::seed_from_u64(opts.seed);
+        WrightFisher {
+            nu: landscape.nu(),
+            fitness,
+            counts,
+            opts,
+            rng,
+            generation: 0,
+            cumulative: vec![0.0; n],
+            next_counts: vec![0u64; n],
+        }
+    }
+
+    /// Chain length ν.
+    pub fn nu(&self) -> u32 {
+        self.nu
+    }
+
+    /// Generations simulated so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Current genotype counts (sums to the population size).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Current genotype frequencies.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let m = self.opts.population as f64;
+        self.counts.iter().map(|&c| c as f64 / m).collect()
+    }
+
+    /// Population mean fitness `Σ f_i·n_i / M`.
+    pub fn mean_fitness(&self) -> f64 {
+        let mut acc = qs_linalg::NeumaierSum::new();
+        for (&f, &c) in self.fitness.iter().zip(&self.counts) {
+            if c > 0 {
+                acc.add(f * c as f64);
+            }
+        }
+        acc.value() / self.opts.population as f64
+    }
+
+    /// Cumulative error-class concentrations of the current population.
+    pub fn class_concentrations(&self) -> Vec<f64> {
+        qs_bitseq::accumulate_classes(&self.frequencies())
+    }
+
+    /// Seed the population from explicit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts do not sum to the population size or the
+    /// length mismatches.
+    pub fn set_counts(&mut self, counts: Vec<u64>) {
+        assert_eq!(counts.len(), self.counts.len(), "counts length mismatch");
+        let total: u64 = counts.iter().sum();
+        assert_eq!(
+            total, self.opts.population as u64,
+            "counts must sum to the population size"
+        );
+        self.counts = counts;
+    }
+
+    /// Advance one Wright–Fisher generation: fitness-proportional parent
+    /// sampling followed by independent per-site mutation.
+    pub fn step(&mut self) {
+        let n = self.counts.len();
+        // Cumulative selection weights w_i = f_i·n_i.
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += self.fitness[i] * self.counts[i] as f64;
+            self.cumulative[i] = acc;
+        }
+        let total = acc;
+        debug_assert!(total > 0.0, "population died out");
+
+        self.next_counts.fill(0);
+        let m = self.opts.population;
+        let p = self.opts.p;
+        for _ in 0..m {
+            // Parent: inverse-CDF sampling by binary search.
+            let u = self.rng.random::<f64>() * total;
+            let parent = self.cumulative.partition_point(|&c| c <= u).min(n - 1);
+            // Mutation: flip each site independently. For small p·ν skip
+            // ahead geometrically instead of testing all ν sites.
+            let mut child = parent as u64;
+            if p > 0.0 {
+                let mut site = 0u32;
+                loop {
+                    // Next mutating site at geometric distance.
+                    let u: f64 = self.rng.random();
+                    let skip = if p >= 1.0 {
+                        0.0
+                    } else {
+                        (1.0 - u).ln() / (1.0 - p).ln()
+                    };
+                    site += skip as u32;
+                    if site >= self.nu {
+                        break;
+                    }
+                    if self.opts.back_mutation || child >> site & 1 == 0 {
+                        child ^= 1u64 << site;
+                    }
+                    site += 1;
+                }
+            }
+            self.next_counts[child as usize] += 1;
+        }
+        std::mem::swap(&mut self.counts, &mut self.next_counts);
+        self.generation += 1;
+    }
+
+    /// Run `generations` steps.
+    pub fn run(&mut self, generations: u64) {
+        for _ in 0..generations {
+            self.step();
+        }
+    }
+
+    /// The least-loaded class currently present: the minimum Hamming
+    /// weight over genotypes with non-zero count. Under one-way mutation
+    /// this can only increase — each increase is a Muller's-ratchet
+    /// "click".
+    pub fn least_loaded_class(&self) -> u32 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, _)| (i as u64).count_ones())
+            .min()
+            .expect("population is never empty")
+    }
+
+    /// Run `burn_in` discard generations, then average frequencies over
+    /// `samples` further generations — the stochastic estimate of the
+    /// stationary distribution.
+    pub fn stationary_estimate(&mut self, burn_in: u64, samples: u64) -> Vec<f64> {
+        assert!(samples > 0, "at least one sample generation required");
+        self.run(burn_in);
+        let n = self.counts.len();
+        let mut acc = vec![0.0f64; n];
+        for _ in 0..samples {
+            self.step();
+            for (a, &c) in acc.iter_mut().zip(&self.counts) {
+                *a += c as f64;
+            }
+        }
+        let norm = samples as f64 * self.opts.population as f64;
+        for a in &mut acc {
+            *a /= norm;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_landscape::SinglePeak;
+
+    fn options(p: f64, m: usize, seed: u64) -> WrightFisherOptions {
+        WrightFisherOptions {
+            population: m,
+            p,
+            seed,
+            back_mutation: true,
+        }
+    }
+
+    #[test]
+    fn population_size_is_conserved() {
+        let landscape = SinglePeak::new(6, 2.0, 1.0);
+        let mut wf = WrightFisher::new(&landscape, options(0.02, 500, 1));
+        for _ in 0..50 {
+            wf.step();
+            let total: u64 = wf.counts().iter().sum();
+            assert_eq!(total, 500);
+        }
+        assert_eq!(wf.generation(), 50);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let landscape = SinglePeak::new(5, 2.0, 1.0);
+        let mut a = WrightFisher::new(&landscape, options(0.03, 300, 9));
+        let mut b = WrightFisher::new(&landscape, options(0.03, 300, 9));
+        a.run(20);
+        b.run(20);
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn zero_mutation_preserves_monomorphic_master() {
+        let landscape = SinglePeak::new(6, 2.0, 1.0);
+        let mut wf = WrightFisher::new(&landscape, options(0.0, 200, 3));
+        wf.run(30);
+        assert_eq!(wf.counts()[0], 200);
+        assert_eq!(wf.mean_fitness(), 2.0);
+    }
+
+    #[test]
+    fn selection_fixes_the_fittest_without_mutation() {
+        // Start 50/50 master vs a deleterious genotype; selection alone
+        // must fix the master (in a finite time, overwhelmingly likely
+        // with fitness ratio 2 and M = 400).
+        let landscape = SinglePeak::new(5, 2.0, 1.0);
+        let mut wf = WrightFisher::new(&landscape, options(0.0, 400, 5));
+        let mut counts = vec![0u64; 32];
+        counts[0] = 200;
+        counts[7] = 200;
+        wf.set_counts(counts);
+        wf.run(200);
+        assert_eq!(wf.counts()[0], 400, "master failed to fix");
+    }
+
+    #[test]
+    fn mutation_spreads_the_cloud() {
+        let landscape = SinglePeak::new(8, 2.0, 1.0);
+        let mut wf = WrightFisher::new(&landscape, options(0.02, 2_000, 7));
+        wf.run(100);
+        let gamma = wf.class_concentrations();
+        // Mutation–selection balance: master still common, cloud present.
+        assert!(gamma[0] > 0.3, "[Γ₀] = {}", gamma[0]);
+        assert!(gamma[1] > 0.05, "[Γ₁] = {}", gamma[1]);
+        let total: f64 = gamma.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_population_matches_deterministic_quasispecies() {
+        // The infinite-population limit is the spectral solution; with
+        // M = 20 000 and time averaging the class profile should match to
+        // a couple of percent.
+        let nu = 6u32;
+        let p = 0.02;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let mut wf = WrightFisher::new(&landscape, options(p, 20_000, 11));
+        let est = wf.stationary_estimate(200, 300);
+        let est_gamma = qs_bitseq::accumulate_classes(&est);
+
+        let det =
+            quasispecies::solve(p, &landscape, &quasispecies::SolverConfig::default()).unwrap();
+        let det_gamma = det.error_class_concentrations();
+        for (k, (&a, &b)) in est_gamma.iter().zip(&det_gamma).enumerate() {
+            assert!(
+                (a - b).abs() < 0.02,
+                "[Γ_{k}]: stochastic {a:.4} vs deterministic {b:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_population_loses_the_master_past_threshold() {
+        // Far above the deterministic threshold the master class carries
+        // no excess concentration; the finite population behaves randomly.
+        let nu = 10u32;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let mut wf = WrightFisher::new(&landscape, options(0.2, 1_000, 13));
+        wf.run(200);
+        let freq = wf.frequencies();
+        // Master frequency near the uniform level, not near dominance.
+        assert!(freq[0] < 0.05, "x₀ = {} should have collapsed", freq[0]);
+    }
+
+    #[test]
+    fn geometric_site_skipping_matches_expected_rate() {
+        // Empirical per-site mutation rate over many offspring ≈ p.
+        let nu = 16u32;
+        let landscape = qs_landscape::Tabulated::new(vec![1.0; 1 << nu]);
+        let p = 0.05;
+        let mut wf = WrightFisher::new(&landscape, options(p, 20_000, 17));
+        wf.step();
+        // All parents are the master (counts started monomorphic), so the
+        // offspring weight distribution is Binomial(ν, p) per individual.
+        let mean_weight: f64 = wf
+            .counts()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64).count_ones() as f64 * c as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        let expected = nu as f64 * p;
+        assert!(
+            (mean_weight - expected).abs() < 0.05 * expected.max(1.0),
+            "mean mutations {mean_weight} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mullers_ratchet_clicks_in_small_populations() {
+        // One-way deleterious mutation, multiplicative fitness, tiny
+        // population: the least-loaded class is lost irreversibly — the
+        // ratchet of the paper's reference [11].
+        let nu = 16u32;
+        let landscape = qs_landscape::Multiplicative::uniform_deleterious(nu, 1.0, 0.02);
+        let mut wf = WrightFisher::new(
+            &landscape,
+            WrightFisherOptions {
+                population: 50,
+                p: 0.03,
+                seed: 31,
+                back_mutation: false,
+            },
+        );
+        assert_eq!(wf.least_loaded_class(), 0);
+        let mut history = Vec::new();
+        for _ in 0..400 {
+            wf.step();
+            history.push(wf.least_loaded_class());
+        }
+        // Monotone non-decreasing (irreversibility of the ratchet)…
+        for w in history.windows(2) {
+            assert!(w[1] >= w[0], "ratchet ran backwards: {} → {}", w[0], w[1]);
+        }
+        // …and it actually clicked several times in 400 generations.
+        let clicks = *history.last().unwrap();
+        assert!(clicks >= 2, "only {clicks} clicks — parameters too gentle");
+    }
+
+    #[test]
+    fn large_population_resists_the_ratchet() {
+        // Same one-way regime, much larger population: selection maintains
+        // the least-loaded class over the same horizon.
+        let nu = 16u32;
+        let landscape = qs_landscape::Multiplicative::uniform_deleterious(nu, 1.0, 0.2);
+        let mut wf = WrightFisher::new(
+            &landscape,
+            WrightFisherOptions {
+                population: 20_000,
+                p: 0.002,
+                seed: 31,
+                back_mutation: false,
+            },
+        );
+        wf.run(150);
+        assert_eq!(
+            wf.least_loaded_class(),
+            0,
+            "ratchet clicked despite strong selection and large M"
+        );
+    }
+
+    #[test]
+    fn one_way_mutation_never_decreases_weight_without_selection() {
+        // Neutral fitness + one-way mutation: mean weight is monotone
+        // non-decreasing in expectation; check the min-weight class never
+        // drops (it cannot, structurally).
+        let nu = 10u32;
+        let landscape = qs_landscape::Tabulated::new(vec![1.0; 1 << nu]);
+        let mut wf = WrightFisher::new(
+            &landscape,
+            WrightFisherOptions {
+                population: 200,
+                p: 0.05,
+                seed: 8,
+                back_mutation: false,
+            },
+        );
+        let mut prev = wf.least_loaded_class();
+        for _ in 0..100 {
+            wf.step();
+            let now = wf.least_loaded_class();
+            assert!(now >= prev);
+            prev = now;
+        }
+        assert!(prev > 0, "pure one-way mutation must accumulate load");
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the population size")]
+    fn set_counts_validates_total() {
+        let landscape = SinglePeak::new(4, 2.0, 1.0);
+        let mut wf = WrightFisher::new(&landscape, options(0.01, 100, 1));
+        wf.set_counts(vec![1; 16]);
+    }
+}

@@ -1,0 +1,59 @@
+//! The error-threshold phenomenon (paper Figure 1), as an ASCII plot.
+//!
+//! Sweeps the error rate `p` for ν = 20 on the single-peak landscape and
+//! on the linear landscape through the *exact* (ν+1)×(ν+1) reduction of
+//! paper Section 5.1, then locates `p_max` by bisection. The single peak
+//! shows the sudden collapse into random replication at `p_max ≈ 0.035`;
+//! the linear landscape melts smoothly.
+//!
+//! Run with: `cargo run --release --example error_threshold`
+
+use qs_landscape::ErrorClass;
+use quasispecies::{detect_pmax, scan_error_classes, ThresholdScan};
+
+fn ascii_panel(title: &str, scan: &ThresholdScan) {
+    println!("\n{title}");
+    println!("  [Γ₀] (master class concentration) vs p:");
+    let width = 64usize;
+    for (i, &p) in scan.ps.iter().enumerate() {
+        let g0 = scan.classes[i][0];
+        let bar = (g0 * width as f64).round() as usize;
+        println!(
+            "  p={p:>6.4} |{}{}| {g0:.4e}",
+            "█".repeat(bar),
+            " ".repeat(width - bar)
+        );
+    }
+}
+
+fn main() {
+    let nu = 20u32;
+    let ps: Vec<f64> = (1..=30).map(|i| i as f64 * 0.003).collect();
+
+    let single_peak = ErrorClass::single_peak(nu, 2.0, 1.0);
+    let linear = ErrorClass::linear(nu, 2.0, 1.0);
+
+    let sp_scan = scan_error_classes(nu, single_peak.phi(), &ps);
+    let lin_scan = scan_error_classes(nu, linear.phi(), &ps);
+
+    ascii_panel(
+        "single-peak landscape (f₀ = 2, rest 1): sharp error threshold",
+        &sp_scan,
+    );
+    ascii_panel(
+        "linear landscape (f₀ = 2 → f_ν = 1): smooth transition",
+        &lin_scan,
+    );
+
+    match detect_pmax(nu, single_peak.phi(), 0.005, 0.1, 1e-3, 40) {
+        Some(pmax) => println!(
+            "\ndetected error threshold for the single peak: p_max ≈ {pmax:.4} (paper: ≈ 0.035)"
+        ),
+        None => println!("\nno threshold detected (unexpected)"),
+    }
+    println!(
+        "RNA viruses replicate near this critical rate; pushing p past p_max with \
+         mutagenic drugs collapses the population into random replication — the \
+         antiviral strategy motivating the model (paper Section 1.1)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Finite populations vs the deterministic quasispecies.
+//!
+//! The eigenvector of `W = Q·F` is the *infinite*-population stationary
+//! distribution. Real virus populations are finite, and finite-size noise
+//! matters most exactly where the paper's application lives: near the
+//! error threshold (Nowak & Schuster's finite-population threshold work is
+//! the paper's reference \[11\]). This example runs the Wright–Fisher
+//! process at increasing population sizes and watches the class profile
+//! converge to the spectral solution, then shows the stochastic collapse
+//! of the master class above the threshold.
+//!
+//! Run with: `cargo run --release --example finite_population`
+
+use qs_landscape::SinglePeak;
+use qs_stochastic::{WrightFisher, WrightFisherOptions};
+use quasispecies::{solve, SolverConfig};
+
+fn main() {
+    let nu = 10u32;
+    let p = 0.015;
+    let landscape = SinglePeak::new(nu, 2.0, 1.0);
+
+    let det = solve(p, &landscape, &SolverConfig::default()).unwrap();
+    let det_gamma = det.error_class_concentrations();
+
+    println!("ν = {nu}, p = {p}, single-peak landscape — [Γ₀] and [Γ₁]:");
+    println!(
+        "  deterministic (M = ∞): [Γ₀] = {:.4}, [Γ₁] = {:.4}",
+        det_gamma[0], det_gamma[1]
+    );
+
+    for m in [100usize, 1_000, 10_000, 100_000] {
+        let mut wf = WrightFisher::new(
+            &landscape,
+            WrightFisherOptions {
+                population: m,
+                p,
+                seed: 7,
+                back_mutation: true,
+            },
+        );
+        let est = wf.stationary_estimate(200, 400);
+        let gamma = qs_bitseq::accumulate_classes(&est);
+        println!(
+            "  Wright–Fisher M = {m:>6}: [Γ₀] = {:.4}, [Γ₁] = {:.4}   (|Δ[Γ₀]| = {:.4})",
+            gamma[0],
+            gamma[1],
+            (gamma[0] - det_gamma[0]).abs()
+        );
+    }
+
+    // Above the threshold: the master class collapses to sampling noise.
+    let p_past = 0.08; // deterministic p_max ≈ 0.046 at ν = 10
+    let mut wf = WrightFisher::new(
+        &landscape,
+        WrightFisherOptions {
+            population: 10_000,
+            p: p_past,
+            seed: 9,
+            back_mutation: true,
+        },
+    );
+    wf.run(300);
+    let gamma = wf.class_concentrations();
+    let uniform_gamma0 = 1.0 / (1u64 << nu) as f64;
+    println!(
+        "\npast the error threshold (p = {p_past}): [Γ₀] = {:.2e} (uniform level {uniform_gamma0:.2e})",
+        gamma[0]
+    );
+    println!("the quasispecies structure is gone — random replication, as the theory predicts.");
+}

@@ -1,0 +1,17 @@
+//! Workspace umbrella crate: re-exports every public crate of the
+//! quasispecies solver workspace so the root-level integration tests and
+//! examples can exercise the full stack through one dependency.
+//!
+//! Library users should depend on the individual crates
+//! ([`quasispecies`], [`qs_matvec`], …) directly; this crate only exists
+//! to anchor `tests/` and `examples/` at the workspace root.
+
+pub use qs_bitseq;
+pub use qs_landscape;
+pub use qs_linalg;
+pub use qs_matvec;
+pub use qs_mutation;
+pub use qs_ode;
+pub use qs_distributed;
+pub use qs_stochastic;
+pub use quasispecies;

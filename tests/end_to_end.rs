@@ -1,0 +1,162 @@
+//! End-to-end integration tests: the same physical answer must emerge from
+//! every independent route through the workspace — the full-size spectral
+//! solver, the Section 5.1 exact reduction, the Section 5.2 Kronecker
+//! factorisation, and direct integration of Eigen's ODE dynamics.
+
+use qs_landscape::{ErrorClass, Kronecker, Landscape, Random, SinglePeak};
+use qs_matvec::Fmmp;
+use qs_ode::{integrate_to_steady_state, ReplicatorFlow, SteadyStateOptions};
+use quasispecies::{solve, solve_error_class, solve_kronecker, Engine, Method, SolverConfig};
+
+#[test]
+fn four_routes_to_the_same_quasispecies() {
+    // Single-peak landscape is simultaneously: a general landscape (full
+    // solver), an error-class landscape (§5.1), and the ODE's stationary
+    // state. All three must agree.
+    let nu = 8u32;
+    let p = 0.015;
+    let landscape = SinglePeak::new(nu, 2.0, 1.0);
+
+    let full = solve(
+        p,
+        &landscape,
+        &SolverConfig {
+            tol: 1e-14,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let ec = ErrorClass::single_peak(nu, 2.0, 1.0);
+    let reduced = solve_error_class(nu, p, ec.phi());
+
+    let flow = ReplicatorFlow::new(Fmmp::new(nu, p), landscape.materialize());
+    let mut x0 = vec![0.0; landscape.len()];
+    x0[0] = 1.0;
+    let ode = integrate_to_steady_state(&flow, &x0, &SteadyStateOptions::default());
+    assert!(ode.converged);
+
+    // Eigenvalues agree across all routes.
+    assert!((full.lambda - reduced.lambda).abs() < 1e-10);
+    assert!((full.lambda - ode.mean_fitness).abs() < 1e-9);
+
+    // Concentrations agree pointwise.
+    for i in 0..landscape.len() as u64 {
+        let a = full.concentration(i);
+        let b = reduced.concentration(i);
+        let c = ode.x[i as usize];
+        assert!((a - b).abs() < 1e-10, "full vs reduced at {i}");
+        assert!((a - c).abs() < 1e-9, "full vs ODE at {i}");
+    }
+}
+
+#[test]
+fn kronecker_route_agrees_with_full_solver() {
+    let p = 0.02;
+    let landscape = Kronecker::new(vec![
+        vec![2.0, 1.0, 1.1, 0.9],
+        vec![1.4, 1.0, 1.2, 0.8],
+        vec![1.5, 1.0],
+    ]); // ν = 5
+    let kron = solve_kronecker(p, &landscape, &SolverConfig::default()).unwrap();
+    let full = solve(
+        p,
+        &landscape,
+        &SolverConfig {
+            tol: 1e-14,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((kron.lambda - full.lambda).abs() < 1e-10);
+    let gamma_kron = kron.class_concentrations();
+    let gamma_full = full.error_class_concentrations();
+    for (a, b) in gamma_kron.iter().zip(&gamma_full) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn lanczos_and_power_and_ode_agree_on_random_landscape() {
+    let nu = 9u32;
+    let p = 0.01;
+    let landscape = Random::new(nu, 5.0, 1.0, 777);
+
+    let pi = solve(p, &landscape, &SolverConfig::default()).unwrap();
+    let lz = solve(
+        p,
+        &landscape,
+        &SolverConfig {
+            method: Method::Lanczos { subspace: 70 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((pi.lambda - lz.lambda).abs() < 1e-9);
+
+    let flow = ReplicatorFlow::new(Fmmp::new(nu, p), landscape.materialize());
+    let uniform = vec![1.0 / landscape.len() as f64; landscape.len()];
+    let ode = integrate_to_steady_state(&flow, &uniform, &SteadyStateOptions::default());
+    assert!(ode.converged);
+    assert!((pi.lambda - ode.mean_fitness).abs() < 1e-8);
+    for (a, b) in pi.concentrations.iter().zip(&ode.x) {
+        assert!((a - b).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn reduced_solver_handles_figure1_scale_instantly() {
+    // Figure 1 needs ν = 20 across ~50 error rates; the reduction makes
+    // each point O(ν³). Run the whole left panel here to keep it covered
+    // by `cargo test`.
+    let nu = 20u32;
+    let phi = ErrorClass::single_peak(nu, 2.0, 1.0);
+    let t0 = std::time::Instant::now();
+    let ps: Vec<f64> = (1..=45).map(|i| i as f64 * 0.002).collect();
+    let scan = quasispecies::scan_error_classes(nu, phi.phi(), &ps);
+    assert!(
+        t0.elapsed().as_secs_f64() < 30.0,
+        "reduction should be near-instant"
+    );
+    // Ordered at small p, uniform-ish at large p.
+    assert!(scan.classes[0][0] > 0.85);
+    let last = scan.classes.last().unwrap();
+    assert!(last[0] < 1e-4);
+    // Each profile is a probability distribution over classes.
+    for c in &scan.classes {
+        let s: f64 = c.iter().sum();
+        assert!((s - 1.0).abs() < 1e-10);
+        assert!(c.iter().all(|&v| v >= -1e-15));
+    }
+}
+
+#[test]
+fn general_engine_matrix_agreement_spot_check() {
+    // One (ν, p, landscape) instance, every engine, bitwise-close results.
+    let nu = 6u32;
+    let p = 0.05;
+    let landscape = Random::new(nu, 5.0, 1.0, 31);
+    let configs = [
+        Engine::Fmmp,
+        Engine::FmmpParallel,
+        Engine::Xmvp { d_max: nu },
+        Engine::Smvp,
+        Engine::Kronecker,
+    ];
+    let reference = solve(p, &landscape, &SolverConfig::default()).unwrap();
+    for engine in configs {
+        let qs = solve(
+            p,
+            &landscape,
+            &SolverConfig {
+                engine,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((qs.lambda - reference.lambda).abs() < 1e-10, "{engine:?}");
+        for (a, b) in qs.concentrations.iter().zip(&reference.concentrations) {
+            assert!((a - b).abs() < 1e-9, "{engine:?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Integration tests for the features that extend the paper: RQI with
+//! MINRES inner solves, spectral-gap diagnostics, NK and multiplicative
+//! landscapes, full-solver threshold scans, and the Wright–Fisher
+//! finite-population simulator.
+
+use qs_landscape::{Landscape, Multiplicative, Nk, Random, SinglePeak};
+use qs_matvec::{Fmmp, Formulation, WOperator};
+use qs_stochastic::{WrightFisher, WrightFisherOptions};
+use quasispecies::{
+    rayleigh_quotient_iteration, scan_full, solve, solve_kronecker, spectral_gap, summarize,
+    Method, RqiOptions, SolverConfig, SpectralGapOptions,
+};
+
+#[test]
+fn rqi_solver_method_cross_checks_on_nk_landscape() {
+    // A rugged NK landscape: no structure for any reduction; RQI and PI
+    // must agree through completely different numerical paths.
+    // Rugged NK landscapes have a small spectral gap (PI needs ~400
+    // iterations here), which is exactly where RQI's cubic convergence
+    // pays off — but it also means the warm-up must be long enough to pin
+    // the Rayleigh quotient to λ₀ rather than the nearby λ₁.
+    let landscape = Nk::new(9, 4, 12);
+    let pi = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+    let rqi = solve(
+        0.01,
+        &landscape,
+        &SolverConfig {
+            method: Method::Rqi { warmup: 50 },
+            tol: 1e-11,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((pi.lambda - rqi.lambda).abs() < 1e-8);
+    for (a, b) in pi.concentrations.iter().zip(&rqi.concentrations) {
+        assert!((a - b).abs() < 1e-7);
+    }
+    // The payoff on a small-gap instance: far fewer operator applications.
+    assert!(
+        rqi.stats.matvecs < pi.stats.matvecs,
+        "RQI {} !< PI {}",
+        rqi.stats.matvecs,
+        pi.stats.matvecs
+    );
+}
+
+#[test]
+fn multiplicative_landscape_solves_by_both_routes() {
+    // Multiplicative fitness is a Kronecker landscape: the §5.2 factorised
+    // route and the monolithic route must agree.
+    let p = 0.01;
+    let landscape = Multiplicative::new(2.0, vec![0.9, 0.85, 0.95, 0.8, 0.9, 0.88]);
+    let kron = solve_kronecker(p, &landscape.to_kronecker(), &SolverConfig::default()).unwrap();
+    let full = solve(
+        p,
+        &landscape,
+        &SolverConfig {
+            tol: 1e-14,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((kron.lambda - full.lambda).abs() < 1e-10);
+    for i in 0..landscape.len() as u64 {
+        assert!((kron.concentration(i) - full.concentration(i)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn multiplicative_error_class_case_matches_reduced() {
+    // Uniform deleterious multiplicative fitness IS an error-class
+    // landscape (f_i = base·(1−s)^{w(i)}): three independent solvers, one
+    // answer.
+    let nu = 10u32;
+    let p = 0.02;
+    let s = 0.15;
+    let landscape = Multiplicative::uniform_deleterious(nu, 2.0, s);
+    assert!(landscape.is_error_class());
+    let phi: Vec<f64> = (0..=nu).map(|k| 2.0 * (1.0 - s).powi(k as i32)).collect();
+    let reduced = quasispecies::solve_error_class(nu, p, &phi);
+    let full = solve(
+        p,
+        &landscape,
+        &SolverConfig {
+            tol: 1e-14,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let kron = solve_kronecker(p, &landscape.to_kronecker(), &SolverConfig::default()).unwrap();
+    assert!((reduced.lambda - full.lambda).abs() < 1e-10);
+    assert!((kron.lambda - full.lambda).abs() < 1e-10);
+    let gamma = full.error_class_concentrations();
+    for ((a, b), c) in reduced
+        .classes
+        .iter()
+        .zip(&gamma)
+        .zip(&kron.class_concentrations())
+    {
+        assert!((a - b).abs() < 1e-9);
+        assert!((b - c).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn spectral_gap_explains_convergence_across_landscapes() {
+    for seed in [3u64, 14] {
+        let nu = 8u32;
+        let p = 0.02;
+        let landscape = Random::new(nu, 5.0, 1.0, seed);
+        let w = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Symmetric);
+        let start: Vec<f64> = landscape.materialize().iter().map(|f| f.sqrt()).collect();
+        let gap = spectral_gap(&w, &start, &SpectralGapOptions::default());
+        assert!(gap.ratio > 0.0 && gap.ratio < 1.0);
+        // λ₀ from the gap estimator equals the solver's.
+        let qs = solve(p, &landscape, &SolverConfig::default()).unwrap();
+        assert!((gap.lambda0 - qs.lambda).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn population_summary_is_consistent_with_distribution() {
+    let landscape = SinglePeak::new(9, 2.0, 1.0);
+    let qs = solve(0.02, &landscape, &SolverConfig::default()).unwrap();
+    let s = summarize(&qs);
+    assert_eq!(s.consensus, 0);
+    // Mutational load equals Σ_k k·[Γ_k].
+    let gamma = qs.error_class_concentrations();
+    let load_from_classes: f64 = gamma.iter().enumerate().map(|(k, &g)| k as f64 * g).sum();
+    assert!((s.mutational_load - load_from_classes).abs() < 1e-10);
+    assert!(s.diversity <= 2.0 * s.mutational_load + 1e-12);
+}
+
+#[test]
+fn full_threshold_scan_on_rugged_landscape_shows_decay() {
+    let landscape = Nk::new(9, 3, 77);
+    let ps: Vec<f64> = vec![0.002, 0.01, 0.05, 0.15, 0.35, 0.5];
+    let scan = scan_full(&landscape, &ps, &SolverConfig::default()).unwrap();
+    // Monotone-ish decay of order with p; exactly 0 at p = 1/2.
+    assert!(scan.order[0] > scan.order[scan.order.len() - 2]);
+    assert!(
+        scan.order.last().unwrap().abs() < 1e-9,
+        "order at p = 1/2 must vanish"
+    );
+}
+
+#[test]
+fn wright_fisher_converges_to_spectral_solution() {
+    let nu = 5u32;
+    let p = 0.03;
+    let landscape = SinglePeak::new(nu, 2.0, 1.0);
+    let det = solve(p, &landscape, &SolverConfig::default()).unwrap();
+    let mut wf = WrightFisher::new(
+        &landscape,
+        WrightFisherOptions {
+            population: 30_000,
+            p,
+            seed: 21,
+            back_mutation: true,
+        },
+    );
+    let est = wf.stationary_estimate(150, 250);
+    for (i, (&a, &b)) in est.iter().zip(&det.concentrations).enumerate() {
+        assert!(
+            (a - b).abs() < 0.02,
+            "sequence {i}: stochastic {a:.4} vs deterministic {b:.4}"
+        );
+    }
+}
+
+#[test]
+fn rqi_standalone_matches_method_enum_path() {
+    let nu = 7u32;
+    let p = 0.02;
+    let landscape = Random::new(nu, 5.0, 1.0, 88);
+    let w = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Symmetric);
+    let start: Vec<f64> = landscape.materialize().iter().map(|f| f.sqrt()).collect();
+    let direct = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default());
+    let via_solver = solve(
+        p,
+        &landscape,
+        &SolverConfig {
+            method: Method::Rqi { warmup: 10 },
+            tol: 1e-12,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((direct.lambda - via_solver.lambda).abs() < 1e-9);
+}

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) on the cross-crate invariants of the
+//! quasispecies machinery: for *arbitrary* valid error rates, landscapes
+//! and mutation factors, the algebraic identities the paper's fast
+//! algorithms rest on must hold.
+
+use proptest::prelude::*;
+use qs_landscape::{Landscape, Tabulated};
+use qs_linalg::DenseMatrix;
+use qs_matvec::{
+    convert_eigenvector, fmmp::fmmp_in_place, Fmmp, Formulation, KroneckerOp, LinearOperator,
+    WOperator, Xmvp,
+};
+use qs_mutation::{is_column_stochastic, MutationModel, PerSite, SiteProcess, Uniform};
+
+fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+/// Strategy: a valid error rate in the open-ish interval (0, 1/2].
+fn error_rate() -> impl Strategy<Value = f64> {
+    (1u32..=500).prop_map(|i| i as f64 / 1000.0)
+}
+
+/// Strategy: a vector of `n` values in [lo, hi).
+fn vec_in(n: usize, lo: f64, hi: f64) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(lo..hi, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fmmp == Xmvp(ν) == dense Q·v for arbitrary p and input vectors
+    /// (the equivalence of paper Section 2.1 and of [10]).
+    #[test]
+    fn fmmp_equals_xmvp_equals_dense(p in error_rate(), x in vec_in(64, -10.0, 10.0)) {
+        let nu = 6u32;
+        let dense = Uniform::new(nu, p).dense();
+        let want = dense.matvec(&x);
+        let mut fm = x.clone();
+        fmmp_in_place(&mut fm, p);
+        prop_assert!(max_diff(&want, &fm) < 1e-11);
+        let xm = Xmvp::exact(nu, p).apply(&x);
+        prop_assert!(max_diff(&want, &xm) < 1e-11);
+    }
+
+    /// Column stochasticity survives the fast product: 1ᵀ(Qv) = 1ᵀv.
+    #[test]
+    fn mass_conservation(p in error_rate(), x in vec_in(256, 0.0, 1.0)) {
+        let before = qs_linalg::sum(&x);
+        let mut v = x;
+        fmmp_in_place(&mut v, p);
+        prop_assert!((qs_linalg::sum(&v) - before).abs() < 1e-10);
+    }
+
+    /// Lemma 2: W maps error-class vectors to error-class vectors, for
+    /// arbitrary error-class landscapes and class-valued inputs.
+    #[test]
+    fn lemma2_invariance(
+        p in error_rate(),
+        phi in vec_in(7, 0.1, 5.0),
+        class_vals in vec_in(7, -3.0, 3.0),
+    ) {
+        let nu = 6u32;
+        let landscape = Tabulated::from_fn(nu, |i| phi[i.count_ones() as usize]);
+        let w = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Right);
+        let v: Vec<f64> = (0..64u64).map(|i| class_vals[i.count_ones() as usize]).collect();
+        let wv = w.apply(&v);
+        for k in 0..=nu {
+            let rep = wv[qs_bitseq::representative(k) as usize];
+            for j in qs_bitseq::ErrorClassIter::new(nu, k) {
+                prop_assert!((wv[j as usize] - rep).abs() < 1e-10,
+                    "class {} not constant", k);
+            }
+        }
+    }
+
+    /// The Kronecker product of column-stochastic 2×2 factors is column
+    /// stochastic (the closure property of paper Section 2.2), and the
+    /// fast chain product agrees with the dense one.
+    #[test]
+    fn stochastic_closure_and_fast_chain(
+        rates in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 5),
+        x in vec_in(32, -1.0, 1.0),
+    ) {
+        let sites: Vec<SiteProcess> =
+            rates.iter().map(|&(a, b)| SiteProcess::new(a, b)).collect();
+        let model = PerSite::new(sites);
+        let dense = model.dense();
+        prop_assert!(is_column_stochastic(&dense, 1e-10));
+        let op = KroneckerOp::from_model(&model);
+        prop_assert!(max_diff(&dense.matvec(&x), &op.apply(&x)) < 1e-11);
+    }
+
+    /// Eigenvector formulation conversions are exact inverses for any
+    /// positive fitness diagonal (paper Eqs. 3–5 conversions).
+    #[test]
+    fn formulation_conversion_round_trip(
+        f in vec_in(16, 0.05, 10.0),
+        x in vec_in(16, -5.0, 5.0),
+    ) {
+        for from in [Formulation::Right, Formulation::Symmetric, Formulation::Left] {
+            for to in [Formulation::Right, Formulation::Symmetric, Formulation::Left] {
+                let there = convert_eigenvector(from, to, &x, &f);
+                let back = convert_eigenvector(to, from, &there, &f);
+                prop_assert!(max_diff(&x, &back) < 1e-9);
+            }
+        }
+    }
+
+    /// The reduced mutation matrix rows sum to 1 for any valid (ν, p) —
+    /// a molecule mutates into *some* class with certainty (Eq. 14).
+    #[test]
+    fn reduced_matrix_row_stochastic(p in error_rate(), nu in 2u32..24) {
+        let m = qs_mutation::reduced::reduced_matrix(nu, p);
+        for d in 0..=nu as usize {
+            let s: f64 = m.row(d).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-11, "row {} sums to {}", d, s);
+        }
+    }
+
+    /// Perron–Frobenius: the solved concentrations are a probability
+    /// distribution for arbitrary tabulated landscapes.
+    #[test]
+    fn solver_output_is_distribution(
+        p in error_rate(),
+        f in vec_in(32, 0.2, 4.0),
+    ) {
+        let landscape = Tabulated::new(f);
+        let qs = quasispecies::solve(p, &landscape, &quasispecies::SolverConfig::default())
+            .expect("converged");
+        prop_assert!(qs.concentrations.iter().all(|&c| c >= 0.0));
+        let s: f64 = qs.concentrations.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-11);
+        prop_assert!(qs.lambda > 0.0);
+        prop_assert!(qs.lambda <= landscape.f_max() + 1e-10);
+    }
+
+    /// The FWHT-based eigendecomposition identity Q = V Λ V holds as an
+    /// operator for arbitrary p (paper Section 2): applying
+    /// V·Λ·V via two FWHTs equals Fmmp.
+    #[test]
+    fn spectral_identity_as_operator(p in error_rate(), x in vec_in(64, -2.0, 2.0)) {
+        let nu = 6u32;
+        let mut via_spectrum = x.clone();
+        qs_matvec::fwht::fwht_in_place(&mut via_spectrum);
+        let scale = 0.5f64.powi(nu as i32);
+        for (i, v) in via_spectrum.iter_mut().enumerate() {
+            *v *= scale * (1.0 - 2.0 * p).powi((i as u64).count_ones() as i32);
+        }
+        qs_matvec::fwht::fwht_in_place(&mut via_spectrum);
+        let mut via_fmmp = x;
+        fmmp_in_place(&mut via_fmmp, p);
+        prop_assert!(max_diff(&via_spectrum, &via_fmmp) < 1e-10);
+    }
+
+    /// Grouped factors: (A⊗B)(C⊗D) = AC⊗BD drives §5.2; check it on
+    /// random stochastic-ish 2×2 blocks through the dense path.
+    #[test]
+    fn mixed_product_formula(
+        a in vec_in(4, 0.0, 1.0),
+        b in vec_in(4, 0.0, 1.0),
+        c in vec_in(4, 0.0, 1.0),
+        d in vec_in(4, 0.0, 1.0),
+    ) {
+        let m = |v: &Vec<f64>| DenseMatrix::from_vec(2, 2, v.clone());
+        let (a, b, c, d) = (m(&a), m(&b), m(&c), m(&d));
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    /// The FWHT shift-invert product really inverts (Q − µI) for random
+    /// admissible shifts below the spectrum (paper Section 3).
+    #[test]
+    fn shift_invert_round_trip(p in error_rate_open(), mu in -2.0..-0.01f64, x in vec_in(64, -1.0, 1.0)) {
+        let nu = 6u32;
+        let op = qs_matvec::QShiftInvert::new(nu, p, mu);
+        let mut w = op.apply(&x);
+        // Apply (Q − µI) back via Fmmp.
+        let w_copy = w.clone();
+        fmmp_in_place(&mut w, p);
+        for (wi, &ci) in w.iter_mut().zip(&w_copy) {
+            *wi -= mu * ci;
+        }
+        prop_assert!(max_diff(&w, &x) < 1e-9);
+    }
+
+    /// MINRES solves random symmetric diagonally-dominant systems to the
+    /// LU answer (the inner kernel of the RQI extension).
+    #[test]
+    fn minres_matches_lu(entries in vec_in(36, -1.0, 1.0), rhs in vec_in(6, -2.0, 2.0)) {
+        let n = 6usize;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = entries[i * n + j];
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+            a[(i, i)] += n as f64; // well conditioned
+        }
+        struct DenseOp(DenseMatrix);
+        impl LinearOperator for DenseOp {
+            fn len(&self) -> usize { self.0.rows() }
+            fn apply_into(&self, x: &[f64], y: &mut [f64]) { self.0.matvec_into(x, y); }
+        }
+        let direct = qs_linalg::Lu::new(&a).unwrap().solve(&rhs);
+        let out = quasispecies::minres(
+            &DenseOp(a),
+            &rhs,
+            &quasispecies::MinresOptions { tol: 1e-12, max_iter: 200 },
+        );
+        prop_assert!(out.converged);
+        prop_assert!(max_diff(&direct, &out.x) < 1e-8);
+    }
+
+    /// The resolution pyramid always refines consistently and conserves
+    /// mass, for solver output on arbitrary tabulated landscapes.
+    #[test]
+    fn pyramid_conserves_mass(p in error_rate(), f in vec_in(32, 0.2, 4.0)) {
+        let landscape = Tabulated::new(f);
+        let qs = quasispecies::solve(p, &landscape, &quasispecies::SolverConfig::default())
+            .expect("converged");
+        let pyr = quasispecies::Pyramid::new(&qs);
+        for l in 0..pyr.num_levels() {
+            let s: f64 = pyr.level(l).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-11);
+        }
+    }
+}
+
+/// Error rates strictly inside (0, 1/2) — shift-invert needs `p < 1/2`.
+fn error_rate_open() -> impl Strategy<Value = f64> {
+    (1u32..=490).prop_map(|i| i as f64 / 1000.0)
+}
