@@ -14,15 +14,25 @@
 //!
 //! Usage: `fig3_solver [--max-nu NU] [--quick]`
 
-use qs_bench::{dump_json, model_n2, print_table, time_median, Series};
+use qs_bench::{dump_json, dump_trace_jsonl, model_n2, print_table, time_median, Series};
 use qs_landscape::Random;
-use quasispecies::{solve, Engine, ShiftStrategy, SolverConfig};
+use qs_telemetry::RecordingProbe;
+use quasispecies::{solve, solve_probed, Engine, ShiftStrategy, SolverConfig};
 use serde::Serialize;
+
+/// Residual trajectory of one traced `Pi(Fmmp)` solve.
+#[derive(Serialize)]
+struct Trajectory {
+    nu: u32,
+    iterations: usize,
+    residuals: Vec<f64>,
+}
 
 #[derive(Serialize)]
 struct Fig3Output {
     series: Vec<Series>,
     iterations: Vec<(u32, usize, usize)>, // (nu, shifted iters, plain iters)
+    trajectories: Vec<Trajectory>,
 }
 
 fn main() {
@@ -44,6 +54,8 @@ fn main() {
     let mut s_x5 = Series::new("Pi(Xmvp(5)) τ=1e-10");
     let mut s_fmmp = Series::new("Pi(Fmmp)");
     let mut iterations = Vec::new();
+    let mut trajectories = Vec::new();
+    let mut last_trace: Option<(u32, RecordingProbe)> = None;
 
     for nu in 10..=max_nu {
         let landscape = Random::new(nu, 5.0, 1.0, 1000 + nu as u64);
@@ -77,6 +89,16 @@ fn main() {
             };
             let t = time_median(|| drop(solve(p, &landscape, &cfg).unwrap()), 0, reps);
             s_fmmp.push_measured(nu, t);
+
+            // Traced convergence trajectory (outside the timed region).
+            let mut rec = RecordingProbe::new();
+            let traced = solve_probed(p, &landscape, &cfg, &mut rec).unwrap();
+            trajectories.push(Trajectory {
+                nu,
+                iterations: traced.stats.iterations,
+                residuals: traced.stats.residual_history.clone().unwrap_or_default(),
+            });
+            last_trace = Some((nu, rec));
 
             // Shift ablation: the paper reports ~10% fewer iterations with
             // µ = (1−2p)^ν·f_min on random landscapes.
@@ -130,6 +152,11 @@ fn main() {
         &Fig3Output {
             series: vec![s_full, s_x5, s_fmmp],
             iterations,
+            trajectories,
         },
     );
+    // Full event stream (timings included) for the largest traced size.
+    if let Some((nu, rec)) = last_trace {
+        dump_trace_jsonl(&format!("fig3_solver_nu{nu}"), rec.events());
+    }
 }

@@ -176,6 +176,26 @@ pub fn dump_json(name: &str, value: &impl Serialize) {
     }
 }
 
+/// Write a recorded solver event stream to
+/// `bench_results/<name>.trace.jsonl` (one JSON object per line, the same
+/// schema the CLI's `--trace` emits), for post-hoc convergence analysis.
+pub fn dump_trace_jsonl(name: &str, events: &[qs_telemetry::SolverEvent]) {
+    let dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.trace.jsonl"));
+        let mut text = String::new();
+        for event in events {
+            text.push_str(&event.to_json_line());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("   (trace → {}, {} events)", path.display(), events.len());
+        }
+    }
+}
+
 /// Parse `--max-nu N` / `--quick` style harness arguments shared by the
 /// figure binaries. Returns (max_nu, quick).
 pub fn harness_args(default_max_nu: u32) -> (u32, bool) {

@@ -41,7 +41,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option keys that are boolean flags (take no value).
-const FLAG_KEYS: &[&str] = &["json", "help", "quiet", "parallel"];
+const FLAG_KEYS: &[&str] = &["json", "help", "quiet", "parallel", "trace-summary"];
 
 impl Args {
     /// Parse from an iterator of raw arguments (excluding the program
@@ -178,6 +178,14 @@ mod tests {
             parse(&["solve", "--nu"]).unwrap_err(),
             ArgError::MissingValue("nu".into())
         );
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        // `--trace` takes a value, `--trace-summary` is a bare flag.
+        let a = parse(&["solve", "--trace", "out.jsonl", "--trace-summary"]).unwrap();
+        assert_eq!(a.get("trace"), Some("out.jsonl"));
+        assert!(a.flag("trace-summary"));
     }
 
     #[test]

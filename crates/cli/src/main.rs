@@ -15,7 +15,10 @@ mod args;
 
 use args::{ArgError, Args};
 use qs_landscape::{ErrorClass, Landscape, Random, Tabulated};
-use quasispecies::{detect_pmax, scan_error_classes, solve, Engine, Method, SolverConfig};
+use qs_telemetry::{JsonLinesProbe, RecordingProbe, Tee, TraceSummary};
+use quasispecies::{
+    detect_pmax, scan_error_classes, solve, solve_probed, Engine, Method, SolverConfig,
+};
 use serde::Serialize;
 
 fn main() {
@@ -33,6 +36,7 @@ fn main() {
         "threshold" => cmd_threshold(&args),
         "kron" => cmd_kron(&args),
         "ode" => cmd_ode(&args),
+        "trace-check" => cmd_trace_check(&args),
         "help" => {
             println!("{USAGE}");
             Ok(())
@@ -58,6 +62,7 @@ USAGE:
   quasispecies threshold --nu N [--landscape KIND] [--lo A --hi B]
   quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
   quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
+  quasispecies trace-check --file TRACE.jsonl
 
 LANDSCAPES (error-class kinds also drive scan/threshold exactly via §5.1):
   single-peak (default)   --f0 2.0 --frest 1.0
@@ -71,9 +76,16 @@ SOLVE OPTIONS:
   --method power|lanczos|rqi         (lanczos takes --subspace, default 60)
   --tol 1e-13   --max-iter 200000    --top 8 (sequences shown)
   --json                             machine-readable output
+  --trace FILE.jsonl                 dump the solver event stream (JSON Lines)
+  --trace-summary                    per-stage timing/residual digest on stderr
+
+trace-check validates a --trace dump: every line parses, at least one
+residual event, terminal event 'converged' (nonzero exit otherwise).
 
 EXAMPLES:
   quasispecies solve --nu 12 --p 0.01
+  quasispecies solve --nu 10 --p 0.01 --trace run.jsonl --trace-summary
+  quasispecies trace-check --file run.jsonl
   quasispecies solve --nu 10 --p 0.01 --landscape nk --k 3
   quasispecies scan --nu 20 --p-min 0.001 --p-max 0.09 --points 60 --json
   quasispecies threshold --nu 20 --f0 2.0
@@ -175,6 +187,9 @@ struct SolveRecord {
     entropy: f64,
     classes: Vec<f64>,
     top_sequences: Vec<(String, f64)>,
+    /// Per-iteration residuals; present only when the solve was traced.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    residual_history: Option<Vec<f64>>,
 }
 
 /// Build a materialisable landscape for solve/ode subcommands.
@@ -207,7 +222,37 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
     let kind = args.get("landscape").unwrap_or("single-peak");
     let landscape = build_landscape(args, nu)?;
     let config = build_config(args, nu)?;
-    let qs = solve(p, landscape.as_ref(), &config)?;
+
+    // Tracing: record the event stream (and tee it to a JSONL file when
+    // `--trace` names one). Without either flag the plain un-probed solve
+    // runs — zero telemetry overhead.
+    let trace_path = args.get("trace");
+    let want_summary = args.flag("trace-summary");
+    let (qs, recording) = if let Some(path) = trace_path {
+        let jsonl = JsonLinesProbe::create(path)
+            .map_err(|e| CliError::Bad(format!("cannot create trace file '{path}': {e}")))?;
+        let mut tee = Tee(RecordingProbe::new(), jsonl);
+        let outcome = solve_probed(p, landscape.as_ref(), &config, &mut tee);
+        let Tee(rec, jsonl) = tee;
+        // Flush even when the solve failed: a budget-exhausted trace is
+        // still a complete, analysable trace.
+        jsonl
+            .finish()
+            .map_err(|e| CliError::Bad(format!("writing trace file '{path}': {e}")))?;
+        (outcome, Some(rec))
+    } else if want_summary {
+        let mut rec = RecordingProbe::new();
+        let outcome = solve_probed(p, landscape.as_ref(), &config, &mut rec);
+        (outcome, Some(rec))
+    } else {
+        (solve(p, landscape.as_ref(), &config), None)
+    };
+    if want_summary {
+        if let Some(rec) = &recording {
+            eprintln!("{}", TraceSummary::from_events(rec.events()));
+        }
+    }
+    let qs = qs?;
 
     let top: usize = args.or_default("top", 8usize)?;
     let mut ranked: Vec<(u64, f64)> = qs
@@ -234,6 +279,7 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
         entropy: qs.entropy(),
         classes: qs.error_class_concentrations(),
         top_sequences,
+        residual_history: qs.stats.residual_history.clone(),
     };
     if args.flag("json") {
         println!(
@@ -426,6 +472,54 @@ fn cmd_ode(args: &Args) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// Validate a `--trace` JSONL dump: every line parses as a JSON object
+/// with an `"event"` tag, at least one `residual` event is present, and
+/// the stream ends with `converged`. Used by CI as a telemetry smoke test.
+fn cmd_trace_check(args: &Args) -> Result<(), CliError> {
+    let path: String = args.required("file")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Bad(format!("cannot read '{path}': {e}")))?;
+    let mut tags: Vec<String> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| CliError::Bad(format!("{path}:{}: invalid JSON: {e}", idx + 1)))?;
+        let tag = value
+            .get("event")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| CliError::Bad(format!("{path}:{}: missing \"event\" tag", idx + 1)))?;
+        tags.push(tag.to_string());
+    }
+    if tags.is_empty() {
+        return Err(CliError::Bad(format!("'{path}' contains no events")));
+    }
+    let residuals = tags.iter().filter(|t| t.as_str() == "residual").count();
+    if residuals == 0 {
+        return Err(CliError::Bad(format!(
+            "'{path}' has no residual events ({} events total)",
+            tags.len()
+        )));
+    }
+    match tags.last().map(String::as_str) {
+        Some("converged") => {
+            if !args.flag("quiet") {
+                println!(
+                    "ok: {} events, {} residuals, terminal event 'converged'",
+                    tags.len(),
+                    residuals
+                );
+            }
+            Ok(())
+        }
+        Some(other) => Err(CliError::Bad(format!(
+            "'{path}' ends with '{other}', expected 'converged'"
+        ))),
+        None => unreachable!("tags checked non-empty above"),
+    }
 }
 
 fn cmd_threshold(args: &Args) -> Result<(), CliError> {

@@ -99,6 +99,118 @@ fn ode_steady_state_matches_solve() {
 }
 
 #[test]
+fn trace_dump_matches_json_stats_and_passes_trace_check() {
+    let dir = std::env::temp_dir().join(format!("qs-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("solve.trace.jsonl");
+    let trace_str = trace.to_str().unwrap();
+
+    // The acceptance scenario: ν = 10 solve with --trace.
+    let v = stdout_json(&[
+        "solve", "--nu", "10", "--p", "0.01", "--trace", trace_str, "--json",
+    ]);
+
+    // Every line parses as JSON with an "event" tag.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let events: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("trace line parses"))
+        .collect();
+    assert!(!events.is_empty());
+    for e in &events {
+        assert!(e["event"].is_string(), "tagged event: {e}");
+    }
+    // The stream ends in a converged event whose fields match the record.
+    let last = events.last().unwrap();
+    assert_eq!(last["event"].as_str().unwrap(), "converged");
+    assert_eq!(
+        last["iterations"].as_u64().unwrap(),
+        v["iterations"].as_u64().unwrap()
+    );
+    assert_eq!(
+        last["residual"].as_f64().unwrap(),
+        v["residual"].as_f64().unwrap()
+    );
+    assert_eq!(
+        last["lambda"].as_f64().unwrap(),
+        v["lambda"].as_f64().unwrap()
+    );
+
+    // The residual events reproduce the record's residual_history exactly.
+    let traced: Vec<f64> = events
+        .iter()
+        .filter(|e| e["event"] == "residual")
+        .map(|e| e["value"].as_f64().unwrap())
+        .collect();
+    let history: Vec<f64> = v["residual_history"]
+        .as_array()
+        .expect("traced solve reports residual_history")
+        .iter()
+        .map(|x| x.as_f64().unwrap())
+        .collect();
+    assert_eq!(traced, history);
+    assert_eq!(history.last().copied(), v["residual"].as_f64());
+    assert_eq!(history.len() as u64, v["iterations"].as_u64().unwrap());
+
+    // The binary's own validator accepts the dump…
+    let ok = run(&["trace-check", "--file", trace_str]);
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("ok:"));
+
+    // …and rejects a truncated one (no terminal converged event).
+    let truncated = dir.join("truncated.trace.jsonl");
+    let keep: Vec<&str> = text.lines().take(events.len() - 1).collect();
+    std::fs::write(&truncated, keep.join("\n")).unwrap();
+    let bad = run(&["trace-check", "--file", truncated.to_str().unwrap()]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("expected 'converged'"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn traced_solve_matches_untraced_bit_for_bit() {
+    let dir = std::env::temp_dir().join(format!("qs-cli-trace-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("eq.trace.jsonl");
+
+    let plain = stdout_json(&["solve", "--nu", "8", "--p", "0.02", "--json"]);
+    let traced = stdout_json(&[
+        "solve",
+        "--nu",
+        "8",
+        "--p",
+        "0.02",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--json",
+    ]);
+    // Identical to the last bit: probes must not perturb the arithmetic.
+    assert_eq!(plain["lambda"], traced["lambda"]);
+    assert_eq!(plain["residual"], traced["residual"]);
+    assert_eq!(plain["iterations"], traced["iterations"]);
+    assert_eq!(plain["classes"], traced["classes"]);
+    // Only the traced run carries a history.
+    assert!(plain.get("residual_history").is_none());
+    assert!(traced["residual_history"].is_array());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_summary_prints_stage_digest() {
+    let out = run(&["solve", "--nu", "8", "--p", "0.01", "--trace-summary"]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("iterations"), "summary on stderr: {err}");
+    assert!(err.contains("fmmp-stage"), "per-stage timings: {err}");
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = run(&["frobnicate"]);
     assert!(!out.status.success());

@@ -170,6 +170,7 @@ impl KroneckerQuasispecies {
                 engine: "kronecker(5.2)".into(),
                 method: "factorised".into(),
                 shift: 0.0,
+                residual_history: None,
             },
         )
     }

@@ -15,6 +15,7 @@
 
 use qs_linalg::{dot, norm_l2};
 use qs_matvec::LinearOperator;
+use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
 /// Options for [`minres`].
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +60,23 @@ pub struct MinresOutcome {
 ///
 /// Panics on length mismatch or a non-positive tolerance.
 pub fn minres<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: &MinresOptions) -> MinresOutcome {
+    minres_probed(a, b, opts, &mut NullProbe)
+}
+
+/// [`minres`] with a telemetry [`Probe`].
+///
+/// MINRES is an *inner* solve, so it emits only the operator's
+/// [`SolverEvent::MatvecTimed`] breakdown and one [`SolverEvent::Residual`]
+/// per iteration (the recurrence-based estimate, with `lambda: 0.0` since
+/// a linear solve has no eigenvalue) — no `IterationStart` or terminal
+/// events, which belong to the outer eigensolver. With a disabled probe
+/// the arithmetic is bit-for-bit that of [`minres`].
+pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    b: &[f64],
+    opts: &MinresOptions,
+    probe: &mut P,
+) -> MinresOutcome {
     assert_eq!(b.len(), a.len(), "minres: rhs length mismatch");
     assert!(opts.tol > 0.0, "tolerance must be positive");
     let n = b.len();
@@ -95,7 +113,11 @@ pub fn minres<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: &MinresOptions
     while iterations < opts.max_iter {
         iterations += 1;
         // Lanczos step: v_new = A·v − α·v − β·v_prev.
-        a.apply_into(&v, &mut av);
+        if probe.enabled() {
+            a.apply_into_probed(&v, &mut av, probe);
+        } else {
+            a.apply_into(&v, &mut av);
+        }
         let alpha = dot(&v, &av);
         for ((ai, &vi), &pi) in av.iter_mut().zip(&v).zip(&v_prev) {
             *ai -= alpha * vi + beta * pi;
@@ -127,6 +149,11 @@ pub fn minres<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: &MinresOptions
         }
         eta *= -sigma1;
         residual = eta.abs();
+        probe.record(&SolverEvent::Residual {
+            iter: iterations,
+            value: residual,
+            lambda: 0.0,
+        });
 
         if residual <= opts.tol * beta1 {
             converged = true;

@@ -11,6 +11,7 @@
 use qs_linalg::vec_ops::{normalize_l2, orient_positive};
 use qs_linalg::{dot, norm_l2, tridiag_eigen};
 use qs_matvec::LinearOperator;
+use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
 /// Options for [`lanczos`].
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +61,22 @@ pub fn lanczos<A: LinearOperator + ?Sized>(
     start: &[f64],
     opts: &LanczosOptions,
 ) -> LanczosOutcome {
+    lanczos_probed(a, start, opts, &mut NullProbe)
+}
+
+/// [`lanczos`] with a telemetry [`Probe`].
+///
+/// Each Lanczos step emits [`SolverEvent::IterationStart`], the operator's
+/// [`SolverEvent::MatvecTimed`] breakdown and a [`SolverEvent::Residual`]
+/// carrying the current dominant Ritz value; the run ends with
+/// [`SolverEvent::Converged`] or [`SolverEvent::Budget`]. With a disabled
+/// probe the arithmetic is bit-for-bit that of [`lanczos`].
+pub fn lanczos_probed<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &LanczosOptions,
+    probe: &mut P,
+) -> LanczosOutcome {
     assert_eq!(start.len(), a.len(), "lanczos: start length mismatch");
     assert!(opts.subspace >= 1, "subspace must be at least 1");
     let n = a.len();
@@ -77,7 +94,12 @@ pub fn lanczos<A: LinearOperator + ?Sized>(
 
     loop {
         let j = basis.len() - 1;
-        a.apply_into(&basis[j], &mut w);
+        probe.record(&SolverEvent::IterationStart { iter: j + 1 });
+        if probe.enabled() {
+            a.apply_into_probed(&basis[j], &mut w, probe);
+        } else {
+            a.apply_into(&basis[j], &mut w);
+        }
         matvecs += 1;
         if j > 0 {
             let beta_prev = betas[j - 1];
@@ -109,6 +131,11 @@ pub fn lanczos<A: LinearOperator + ?Sized>(
         let m = alphas.len();
         let s_last = eig.vectors[(m - 1, 0)];
         let residual = (beta * s_last).abs();
+        probe.record(&SolverEvent::Residual {
+            iter: m,
+            value: residual,
+            lambda: eig.values[0],
+        });
         if residual <= opts.tol || beta <= f64::EPSILON || basis.len() == opts.subspace {
             let converged = residual <= opts.tol || beta <= f64::EPSILON;
             // Assemble the Ritz vector x = V_m · s₀.
@@ -121,6 +148,20 @@ pub fn lanczos<A: LinearOperator + ?Sized>(
             }
             normalize_l2(&mut x);
             orient_positive(&mut x);
+            if converged {
+                probe.record(&SolverEvent::Converged {
+                    iterations: m,
+                    matvecs,
+                    residual,
+                    lambda: eig.values[0],
+                });
+            } else {
+                probe.record(&SolverEvent::Budget {
+                    iterations: m,
+                    matvecs,
+                    residual,
+                });
+            }
             return LanczosOutcome {
                 lambda: eig.values[0],
                 vector: x,
@@ -248,6 +289,33 @@ mod tests {
         );
         assert_eq!(lz.matvecs, 3);
         assert!(!lz.converged);
+    }
+
+    #[test]
+    fn probed_run_matches_plain_bit_for_bit() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let (nu, p) = (8u32, 0.01);
+        let landscape = Random::new(nu, 5.0, 1.0, 4);
+        let w = sym_op(nu, p, &landscape);
+        let start = sym_start(&landscape);
+        let opts = LanczosOptions::default();
+        let plain = lanczos(&w, &start, &opts);
+        let mut rec = RecordingProbe::new();
+        let probed = lanczos_probed(&w, &start, &opts, &mut rec);
+        assert_eq!(plain.lambda.to_bits(), probed.lambda.to_bits());
+        assert_eq!(plain.residual.to_bits(), probed.residual.to_bits());
+        assert_eq!(plain.matvecs, probed.matvecs);
+        for (a, b) in plain.vector.iter().zip(&probed.vector) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(rec.iterations(), probed.matvecs);
+        let history = rec.residual_history();
+        assert_eq!(history.len(), probed.matvecs);
+        assert_eq!(history.last().unwrap().to_bits(), probed.residual.to_bits());
+        assert!(matches!(
+            rec.terminal(),
+            Some(SolverEvent::Converged { .. })
+        ));
     }
 
     #[test]

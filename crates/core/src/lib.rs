@@ -58,19 +58,25 @@ pub mod threshold;
 
 pub use analysis::{spectral_gap, summarize, PopulationSummary, SpectralGap, SpectralGapOptions};
 pub use kron_solver::{solve_kronecker, KroneckerQuasispecies};
-pub use krylov::{minres, MinresOptions, MinresOutcome};
-pub use lanczos::{lanczos, LanczosOptions, LanczosOutcome};
+pub use krylov::{minres, minres_probed, MinresOptions, MinresOutcome};
+pub use lanczos::{lanczos, lanczos_probed, LanczosOptions, LanczosOutcome};
 pub use mixed::{solve_mixed_precision, MixedOptions, MixedStats};
-pub use power::{power_iteration, PowerOptions, PowerOutcome};
+pub use power::{power_iteration, power_iteration_probed, PowerOptions, PowerOutcome};
 pub use reduced::{solve_error_class, ReducedQuasispecies};
 pub use resolution::{marginal, site_marginals, Pyramid};
 pub use result::{Quasispecies, SolveStats};
-pub use rqi::{rayleigh_quotient_iteration, RqiOptions, RqiOutcome};
+pub use rqi::{
+    rayleigh_quotient_iteration, rayleigh_quotient_iteration_probed, RqiOptions, RqiOutcome,
+};
 pub use solver::{
-    solve, solve_with_model, solve_with_q_operator, Engine, Method, ShiftStrategy, SolveError,
-    SolverConfig,
+    solve, solve_probed, solve_with_model, solve_with_model_probed, solve_with_q_operator,
+    solve_with_q_operator_probed, Engine, Method, ShiftStrategy, SolveError, SolverConfig,
 };
 pub use threshold::{detect_pmax, scan_error_classes, scan_full, ThresholdScan};
 
 // Re-export the pieces user code needs to assemble custom problems.
 pub use qs_matvec::Formulation;
+/// Solver telemetry: typed events, probes and trace summaries
+/// (re-exported [`qs_telemetry`]).
+pub use qs_telemetry as telemetry;
+pub use qs_telemetry::{NullProbe, Probe, RecordingProbe, SolverEvent};

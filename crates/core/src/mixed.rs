@@ -142,6 +142,7 @@ pub fn solve_mixed_precision<L: Landscape + ?Sized>(
         engine: "Fmmp-mixed(f32→f64)".into(),
         method: if mu != 0.0 { "Pi+shift" } else { "Pi" }.into(),
         shift: mu,
+        residual_history: None,
     };
     Ok((
         Quasispecies::from_right_eigenvector(out.lambda, out.vector, stats),

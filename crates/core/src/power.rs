@@ -11,6 +11,7 @@
 
 use qs_linalg::vec_ops::{normalize_l2, orient_positive, sub_scaled_into};
 use qs_matvec::LinearOperator;
+use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
 /// Options for [`power_iteration`].
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +77,24 @@ pub fn power_iteration<A: LinearOperator + ?Sized>(
     start: &[f64],
     opts: &PowerOptions,
 ) -> PowerOutcome {
+    power_iteration_probed(a, start, opts, &mut NullProbe)
+}
+
+/// [`power_iteration`] with a telemetry [`Probe`].
+///
+/// Per iteration the probe receives [`SolverEvent::IterationStart`], the
+/// operator's per-stage [`SolverEvent::MatvecTimed`] events, and one
+/// [`SolverEvent::Residual`] carrying the unshifted eigenvalue estimate;
+/// the run ends with [`SolverEvent::Converged`] or [`SolverEvent::Budget`].
+/// With a disabled probe (e.g. [`NullProbe`]) every floating-point
+/// operation is identical to [`power_iteration`]'s, so the output matches
+/// bit for bit.
+pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &PowerOptions,
+    probe: &mut P,
+) -> PowerOutcome {
     assert_eq!(
         start.len(),
         a.len(),
@@ -113,7 +132,12 @@ pub fn power_iteration<A: LinearOperator + ?Sized>(
     // recomputing ‖Wx − λx‖ on the output reproduces `residual`.
     while iterations < opts.max_iter {
         iterations += 1;
-        a.apply_into(&x, &mut y);
+        probe.record(&SolverEvent::IterationStart { iter: iterations });
+        if probe.enabled() {
+            a.apply_into_probed(&x, &mut y, probe);
+        } else {
+            a.apply_into(&x, &mut y);
+        }
         if mu != 0.0 {
             for (yi, &xi) in y.iter_mut().zip(&x) {
                 *yi -= mu * xi;
@@ -123,6 +147,11 @@ pub fn power_iteration<A: LinearOperator + ?Sized>(
         lambda_shifted = dot(&x, &y);
         sub_scaled_into(&y, lambda_shifted, &x, &mut r);
         residual = norm(&r);
+        probe.record(&SolverEvent::Residual {
+            iter: iterations,
+            value: residual,
+            lambda: lambda_shifted + mu,
+        });
         if residual <= opts.tol {
             converged = true;
             break; // keep the x the residual was measured at
@@ -142,6 +171,20 @@ pub fn power_iteration<A: LinearOperator + ?Sized>(
     }
 
     orient_positive(&mut x);
+    if converged {
+        probe.record(&SolverEvent::Converged {
+            iterations,
+            matvecs: iterations,
+            residual,
+            lambda: lambda_shifted + mu,
+        });
+    } else {
+        probe.record(&SolverEvent::Budget {
+            iterations,
+            matvecs: iterations,
+            residual,
+        });
+    }
     PowerOutcome {
         lambda: lambda_shifted + mu,
         vector: x,
@@ -305,6 +348,79 @@ mod tests {
         );
         assert!((serial.lambda - parallel.lambda).abs() < 1e-11);
         assert_eq!(serial.converged, parallel.converged);
+    }
+
+    #[test]
+    fn probed_run_is_bit_identical_and_self_consistent() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let nu = 8u32;
+        let landscape = Random::new(nu, 5.0, 1.0, 19);
+        let w = w_op(nu, 0.01, &landscape);
+        let start = start_from(&landscape);
+        let opts = PowerOptions::default();
+
+        let plain = power_iteration(&w, &start, &opts);
+        let mut rec = RecordingProbe::new();
+        let probed = power_iteration_probed(&w, &start, &opts, &mut rec);
+
+        // The probed run performs the identical floating-point sequence.
+        assert_eq!(plain.lambda.to_bits(), probed.lambda.to_bits());
+        assert_eq!(plain.residual.to_bits(), probed.residual.to_bits());
+        assert_eq!(plain.iterations, probed.iterations);
+        for (a, b) in plain.vector.iter().zip(&probed.vector) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // The event stream is self-consistent with the outcome.
+        assert_eq!(rec.iterations(), probed.iterations);
+        let history = rec.residual_history();
+        assert_eq!(history.len(), probed.iterations);
+        assert_eq!(history.last().unwrap().to_bits(), probed.residual.to_bits());
+        match rec.terminal() {
+            Some(&SolverEvent::Converged {
+                iterations,
+                matvecs,
+                residual,
+                lambda,
+            }) => {
+                assert_eq!(iterations, probed.iterations);
+                assert_eq!(matvecs, probed.matvecs);
+                assert_eq!(residual.to_bits(), probed.residual.to_bits());
+                assert_eq!(lambda.to_bits(), probed.lambda.to_bits());
+            }
+            other => panic!("expected Converged terminal event, got {other:?}"),
+        }
+        // Matvec stage timings arrived from the operator (ν fmmp stages +
+        // 1 diagonal pass per iteration).
+        let timed = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SolverEvent::MatvecTimed { .. }))
+            .count();
+        assert_eq!(timed, probed.iterations * (nu as usize + 1));
+    }
+
+    #[test]
+    fn probed_budget_run_ends_in_budget_event() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let landscape = SinglePeak::new(6, 2.0, 1.0);
+        let w = w_op(6, 0.03, &landscape);
+        let mut rec = RecordingProbe::new();
+        let out = power_iteration_probed(
+            &w,
+            &start_from(&landscape),
+            &PowerOptions {
+                tol: 1e-15,
+                max_iter: 3,
+                ..Default::default()
+            },
+            &mut rec,
+        );
+        assert!(!out.converged);
+        assert!(matches!(
+            rec.terminal(),
+            Some(SolverEvent::Budget { iterations: 3, .. })
+        ));
     }
 
     #[test]

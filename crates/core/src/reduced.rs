@@ -80,6 +80,7 @@ impl ReducedQuasispecies {
                 engine: "reduced(5.1)".into(),
                 method: "Jacobi".into(),
                 shift: 0.0,
+                residual_history: None,
             },
         )
     }

@@ -20,6 +20,11 @@ pub struct SolveStats {
     pub method: String,
     /// Spectral shift used (0 if none).
     pub shift: f64,
+    /// Per-iteration residual trajectory, recorded only when the solve ran
+    /// with an enabled telemetry probe (`solve_probed` and friends); `None`
+    /// otherwise, and omitted from serialised output.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub residual_history: Option<Vec<f64>>,
 }
 
 /// A computed quasispecies: the dominant eigenpair of `W = Q·F` with the
@@ -146,6 +151,7 @@ mod tests {
             engine: "test".into(),
             method: "test".into(),
             shift: 0.0,
+            residual_history: None,
         }
     }
 

@@ -17,10 +17,11 @@
 //! cubically convergent outer steps. Each inner MINRES iteration is one
 //! `Fmmp` application, so everything stays matrix-free.
 
-use crate::krylov::{minres, MinresOptions};
+use crate::krylov::{minres_probed, MinresOptions};
 use qs_linalg::vec_ops::{normalize_l2, orient_positive, sub_scaled_into};
 use qs_linalg::{dot, norm_l2};
 use qs_matvec::{LinearOperator, ShiftedOp};
+use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
 /// Options for [`rayleigh_quotient_iteration`].
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +81,25 @@ pub fn rayleigh_quotient_iteration<A: LinearOperator + ?Sized>(
     start: &[f64],
     opts: &RqiOptions,
 ) -> RqiOutcome {
+    rayleigh_quotient_iteration_probed(a, start, opts, &mut NullProbe)
+}
+
+/// [`rayleigh_quotient_iteration`] with a telemetry [`Probe`].
+///
+/// Each outer RQI step emits [`SolverEvent::IterationStart`] and an outer
+/// [`SolverEvent::Residual`] with the current Rayleigh quotient; the probe
+/// is threaded through the inner MINRES solves too, so their per-iteration
+/// residual estimates (tagged `lambda: 0.0`) and matvec timings appear
+/// between the outer markers. The run ends with
+/// [`SolverEvent::Converged`]/[`SolverEvent::Budget`]. With a disabled
+/// probe the arithmetic is bit-for-bit that of
+/// [`rayleigh_quotient_iteration`].
+pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &RqiOptions,
+    probe: &mut P,
+) -> RqiOutcome {
     assert_eq!(start.len(), a.len(), "rqi: start length mismatch");
     let n = a.len();
     let mut x = start.to_vec();
@@ -91,7 +111,11 @@ pub fn rayleigh_quotient_iteration<A: LinearOperator + ?Sized>(
 
     // Warm-up: steer toward the dominant eigenvector.
     for _ in 0..opts.warmup {
-        a.apply_into(&x, &mut ax);
+        if probe.enabled() {
+            a.apply_into_probed(&x, &mut ax, &mut *probe);
+        } else {
+            a.apply_into(&x, &mut ax);
+        }
         matvecs += 1;
         let norm = norm_l2(&ax);
         assert!(norm > 0.0, "rqi: warm-up iterate collapsed");
@@ -103,27 +127,38 @@ pub fn rayleigh_quotient_iteration<A: LinearOperator + ?Sized>(
     let mut rho;
     let mut residual;
     // Evaluate the warm-started pair.
-    a.apply_into(&x, &mut ax);
+    if probe.enabled() {
+        a.apply_into_probed(&x, &mut ax, &mut *probe);
+    } else {
+        a.apply_into(&x, &mut ax);
+    }
     matvecs += 1;
     rho = dot(&x, &ax);
     sub_scaled_into(&ax, rho, &x, &mut r);
     residual = norm_l2(&r);
+    probe.record(&SolverEvent::Residual {
+        iter: 0,
+        value: residual,
+        lambda: rho,
+    });
 
     let mut outer = 0usize;
     let mut converged = residual <= opts.tol;
     while !converged && outer < opts.max_outer {
         outer += 1;
+        probe.record(&SolverEvent::IterationStart { iter: outer });
         // Inverse-iteration step with the Rayleigh shift: near-singular by
         // construction; MINRES's minimal-residual iterate blows up along
         // the target eigen-direction, which is exactly what we normalise.
         let shifted = ShiftedOp::new(a, rho);
-        let inner = minres(
+        let inner = minres_probed(
             &shifted,
             &x,
             &MinresOptions {
                 tol: opts.inner_tol,
                 max_iter: opts.inner_max,
             },
+            &mut *probe,
         );
         matvecs += inner.iterations;
         let y_norm = norm_l2(&inner.x);
@@ -133,15 +168,38 @@ pub fn rayleigh_quotient_iteration<A: LinearOperator + ?Sized>(
         for (xi, &yi) in x.iter_mut().zip(&inner.x) {
             *xi = yi / y_norm;
         }
-        a.apply_into(&x, &mut ax);
+        if probe.enabled() {
+            a.apply_into_probed(&x, &mut ax, &mut *probe);
+        } else {
+            a.apply_into(&x, &mut ax);
+        }
         matvecs += 1;
         rho = dot(&x, &ax);
         sub_scaled_into(&ax, rho, &x, &mut r);
         residual = norm_l2(&r);
+        probe.record(&SolverEvent::Residual {
+            iter: outer,
+            value: residual,
+            lambda: rho,
+        });
         converged = residual <= opts.tol;
     }
 
     orient_positive(&mut x);
+    if converged {
+        probe.record(&SolverEvent::Converged {
+            iterations: outer,
+            matvecs,
+            residual,
+            lambda: rho,
+        });
+    } else {
+        probe.record(&SolverEvent::Budget {
+            iterations: outer,
+            matvecs,
+            residual,
+        });
+    }
     RqiOutcome {
         lambda: rho,
         vector: x,
@@ -245,6 +303,32 @@ mod tests {
         );
         assert!((warmed.lambda - pi.lambda).abs() < 1e-8);
         assert!(warmed.lambda >= rqi.lambda - 1e-10);
+    }
+
+    #[test]
+    fn probed_run_matches_plain_bit_for_bit() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let (w, start) = sym_problem(8, 0.02, 6);
+        let opts = RqiOptions::default();
+        let plain = rayleigh_quotient_iteration(&w, &start, &opts);
+        let mut rec = RecordingProbe::new();
+        let probed = rayleigh_quotient_iteration_probed(&w, &start, &opts, &mut rec);
+        assert_eq!(plain.lambda.to_bits(), probed.lambda.to_bits());
+        assert_eq!(plain.residual.to_bits(), probed.residual.to_bits());
+        assert_eq!(plain.matvecs, probed.matvecs);
+        assert_eq!(plain.outer_iterations, probed.outer_iterations);
+        // Outer residuals and inner MINRES estimates interleave; the last
+        // one recorded is the outer residual the outcome reports.
+        let history = rec.residual_history();
+        assert!(!history.is_empty());
+        assert_eq!(history.last().unwrap().to_bits(), probed.residual.to_bits());
+        assert_eq!(rec.iterations(), probed.outer_iterations);
+        match rec.terminal() {
+            Some(&SolverEvent::Converged { matvecs, .. }) => {
+                assert_eq!(matvecs, probed.matvecs);
+            }
+            other => panic!("expected Converged, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! `Pi(Xmvp(ν))`, `Pi(Xmvp(5))` on either a serial ("CPU") or parallel
 //! ("GPU"-substitute) backend.
 
-use crate::lanczos::{lanczos, LanczosOptions};
-use crate::power::{power_iteration, PowerOptions};
+use crate::lanczos::{lanczos_probed, LanczosOptions};
+use crate::power::{power_iteration_probed, PowerOptions};
 use crate::result::{Quasispecies, SolveStats};
 use qs_landscape::Landscape;
 use qs_matvec::{
@@ -14,6 +14,7 @@ use qs_matvec::{
     ParFmmp, Smvp, WOperator, Xmvp,
 };
 use qs_mutation::MutationModel;
+use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
 /// Which matrix–vector engine drives the solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -181,6 +182,26 @@ pub fn solve<L: Landscape + ?Sized>(
     landscape: &L,
     config: &SolverConfig,
 ) -> Result<Quasispecies, SolveError> {
+    solve_probed(p, landscape, config, &mut NullProbe)
+}
+
+/// [`solve`] with a telemetry [`Probe`] receiving the full event stream
+/// (iteration markers, residual trajectory, per-stage matvec timings and a
+/// terminal `Converged`/`Budget` event).
+///
+/// The returned [`SolveStats::residual_history`] is populated whenever the
+/// probe is enabled; with [`NullProbe`] it stays `None` and the solve is
+/// bit-for-bit identical to [`solve`].
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_probed<L: Landscape + ?Sized, P: Probe>(
+    p: f64,
+    landscape: &L,
+    config: &SolverConfig,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
     let nu = landscape.nu();
     let engine_label = config.engine.label(nu);
     let q_op: Box<dyn LinearOperator> = match config.engine {
@@ -195,7 +216,7 @@ pub fn solve<L: Landscape + ?Sized>(
         ShiftStrategy::Conservative => conservative_shift(nu, p, landscape.f_min()),
         ShiftStrategy::Custom(mu) => mu,
     };
-    solve_operator(q_op, landscape, shift, engine_label, config)
+    solve_operator(q_op, landscape, shift, engine_label, config, probe)
 }
 
 /// Solve for an arbitrary [`MutationModel`] (per-site rates, grouped
@@ -213,6 +234,20 @@ pub fn solve_with_model<M: MutationModel + ?Sized, L: Landscape + ?Sized>(
     landscape: &L,
     config: &SolverConfig,
 ) -> Result<Quasispecies, SolveError> {
+    solve_with_model_probed(model, landscape, config, &mut NullProbe)
+}
+
+/// [`solve_with_model`] with a telemetry [`Probe`] (see [`solve_probed`]).
+///
+/// # Errors
+///
+/// Same as [`solve_with_model`].
+pub fn solve_with_model_probed<M: MutationModel + ?Sized, L: Landscape + ?Sized, P: Probe>(
+    model: &M,
+    landscape: &L,
+    config: &SolverConfig,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
     if model.len() != landscape.len() {
         return Err(SolveError::DimensionMismatch {
             operator: model.len(),
@@ -224,7 +259,7 @@ pub fn solve_with_model<M: MutationModel + ?Sized, L: Landscape + ?Sized>(
         ShiftStrategy::Custom(mu) => mu,
         _ => 0.0,
     };
-    solve_operator(q_op, landscape, shift, "Kron".into(), config)
+    solve_operator(q_op, landscape, shift, "Kron".into(), config, probe)
 }
 
 /// Lowest-level entry: solve for an arbitrary `Q` operator.
@@ -238,6 +273,21 @@ pub fn solve_with_q_operator<L: Landscape + ?Sized>(
     landscape: &L,
     config: &SolverConfig,
 ) -> Result<Quasispecies, SolveError> {
+    solve_with_q_operator_probed(q_op, landscape, config, &mut NullProbe)
+}
+
+/// [`solve_with_q_operator`] with a telemetry [`Probe`] (see
+/// [`solve_probed`]).
+///
+/// # Errors
+///
+/// Same as [`solve_with_q_operator`].
+pub fn solve_with_q_operator_probed<L: Landscape + ?Sized, P: Probe>(
+    q_op: Box<dyn LinearOperator>,
+    landscape: &L,
+    config: &SolverConfig,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
     if q_op.len() != landscape.len() {
         return Err(SolveError::DimensionMismatch {
             operator: q_op.len(),
@@ -248,16 +298,47 @@ pub fn solve_with_q_operator<L: Landscape + ?Sized>(
         ShiftStrategy::Custom(mu) => mu,
         _ => 0.0,
     };
-    solve_operator(q_op, landscape, shift, "custom".into(), config)
+    solve_operator(q_op, landscape, shift, "custom".into(), config, probe)
 }
 
-fn solve_operator<L: Landscape + ?Sized>(
+/// Forwarding probe that siphons off every residual value so
+/// [`SolveStats::residual_history`] can be populated without the solver
+/// loops knowing about `SolveStats`. Disabled (and allocation-free) when
+/// the wrapped probe is.
+struct HistoryProbe<'a, P: Probe> {
+    inner: &'a mut P,
+    residuals: Vec<f64>,
+}
+
+impl<P: Probe> Probe for HistoryProbe<'_, P> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, event: &SolverEvent) {
+        if self.inner.enabled() {
+            if let SolverEvent::Residual { value, .. } = event {
+                self.residuals.push(*value);
+            }
+        }
+        self.inner.record(event);
+    }
+}
+
+fn solve_operator<L: Landscape + ?Sized, P: Probe>(
     q_op: Box<dyn LinearOperator>,
     landscape: &L,
     shift: f64,
     engine_label: String,
     config: &SolverConfig,
+    probe: &mut P,
 ) -> Result<Quasispecies, SolveError> {
+    let mut probe = HistoryProbe {
+        inner: probe,
+        residuals: Vec::new(),
+    };
     let fitness = landscape.materialize();
     // Paper's start vector in the right formulation.
     let mut start_r = fitness.clone();
@@ -279,7 +360,7 @@ fn solve_operator<L: Landscape + ?Sized>(
                     shift,
                     parallel_reductions: engine_label.ends_with("par"),
                 };
-                let out = power_iteration(&w, &start, &opts);
+                let out = power_iteration_probed(&w, &start, &opts, &mut probe);
                 let label = if shift != 0.0 { "Pi+shift" } else { "Pi" };
                 (
                     out.lambda,
@@ -296,7 +377,7 @@ fn solve_operator<L: Landscape + ?Sized>(
                     subspace,
                     tol: config.tol,
                 };
-                let out = lanczos(&w, &start, &opts);
+                let out = lanczos_probed(&w, &start, &opts, &mut probe);
                 (
                     out.lambda,
                     out.vector,
@@ -313,7 +394,8 @@ fn solve_operator<L: Landscape + ?Sized>(
                     warmup,
                     ..Default::default()
                 };
-                let out = crate::rqi::rayleigh_quotient_iteration(&w, &start, &opts);
+                let out =
+                    crate::rqi::rayleigh_quotient_iteration_probed(&w, &start, &opts, &mut probe);
                 (
                     out.lambda,
                     out.vector,
@@ -334,6 +416,7 @@ fn solve_operator<L: Landscape + ?Sized>(
     }
 
     let x_r = convert_eigenvector(form, Formulation::Right, &vector_in_form, &fitness);
+    let residuals = probe.residuals;
     let stats = SolveStats {
         iterations,
         matvecs,
@@ -342,6 +425,7 @@ fn solve_operator<L: Landscape + ?Sized>(
         engine: engine_label,
         method: method_label,
         shift,
+        residual_history: (!residuals.is_empty()).then_some(residuals),
     };
     Ok(Quasispecies::from_right_eigenvector(lambda, x_r, stats))
 }
@@ -551,5 +635,90 @@ mod tests {
         assert_eq!(Engine::Fmmp.label(10), "Fmmp");
         assert_eq!(Engine::Xmvp { d_max: 10 }.label(10), "Xmvp(ν=10)");
         assert_eq!(Engine::Xmvp { d_max: 5 }.label(10), "Xmvp(5)");
+    }
+
+    #[test]
+    fn null_probe_solve_is_bit_identical_and_has_no_history() {
+        // Satellite check: solve() and solve_probed(.., NullProbe) must be
+        // the *same* computation, bit for bit.
+        let landscape = Random::new(8, 5.0, 1.0, 21);
+        for method in [
+            Method::Power,
+            Method::Lanczos { subspace: 60 },
+            Method::Rqi { warmup: 10 },
+        ] {
+            let cfg = SolverConfig {
+                method,
+                tol: 1e-11,
+                ..Default::default()
+            };
+            let plain = solve(0.02, &landscape, &cfg).unwrap();
+            let probed = solve_probed(0.02, &landscape, &cfg, &mut NullProbe).unwrap();
+            assert_eq!(plain.lambda.to_bits(), probed.lambda.to_bits());
+            assert_eq!(
+                plain.stats.residual.to_bits(),
+                probed.stats.residual.to_bits()
+            );
+            assert_eq!(plain.stats.iterations, probed.stats.iterations);
+            assert_eq!(plain.stats.matvecs, probed.stats.matvecs);
+            for (a, b) in plain.concentrations.iter().zip(&probed.concentrations) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert!(plain.stats.residual_history.is_none());
+            assert!(probed.stats.residual_history.is_none());
+        }
+    }
+
+    #[test]
+    fn recording_probe_history_is_self_consistent() {
+        use qs_telemetry::RecordingProbe;
+        let landscape = Random::new(8, 5.0, 1.0, 21);
+        let mut rec = RecordingProbe::new();
+        let qs = solve_probed(0.02, &landscape, &SolverConfig::default(), &mut rec).unwrap();
+        // Probe stream and SolveStats must tell the same story.
+        let history = qs.stats.residual_history.as_ref().expect("history");
+        assert_eq!(history, &rec.residual_history());
+        assert_eq!(history.last().copied(), Some(qs.stats.residual));
+        assert_eq!(
+            rec.last_residual().map(f64::to_bits),
+            Some(qs.stats.residual.to_bits())
+        );
+        assert_eq!(rec.iterations(), qs.stats.iterations);
+        match rec.terminal() {
+            Some(&SolverEvent::Converged {
+                iterations,
+                matvecs,
+                residual,
+                lambda,
+            }) => {
+                assert_eq!(iterations, qs.stats.iterations);
+                assert_eq!(matvecs, qs.stats.matvecs);
+                assert_eq!(residual.to_bits(), qs.stats.residual.to_bits());
+                assert_eq!(lambda.to_bits(), qs.lambda.to_bits());
+            }
+            other => panic!("expected Converged terminal event, got {other:?}"),
+        }
+        // The probed run itself matches the plain one bit for bit.
+        let plain = solve(0.02, &landscape, &SolverConfig::default()).unwrap();
+        assert_eq!(plain.lambda.to_bits(), qs.lambda.to_bits());
+    }
+
+    #[test]
+    fn rqi_history_ends_with_outer_residual() {
+        use qs_telemetry::RecordingProbe;
+        // RQI interleaves inner MINRES residuals (lambda = 0) with outer
+        // ones; the *last* entry is always the outer residual SolveStats
+        // reports.
+        let landscape = Random::new(7, 5.0, 1.0, 5);
+        let mut rec = RecordingProbe::new();
+        let cfg = SolverConfig {
+            method: Method::Rqi { warmup: 10 },
+            tol: 1e-11,
+            ..Default::default()
+        };
+        let qs = solve_probed(0.02, &landscape, &cfg, &mut rec).unwrap();
+        let history = qs.stats.residual_history.as_ref().expect("history");
+        assert_eq!(history.last().copied(), Some(qs.stats.residual));
+        assert!(history.len() > qs.stats.iterations, "inner solves included");
     }
 }

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 use qs_matvec::LinearOperator;
+use qs_telemetry::{time_stage, NullProbe, Probe, SolverEvent};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Communication accounting for one or more distributed products.
@@ -131,6 +132,17 @@ impl DistributedFmmp {
     /// The distributed product: scatter, local stages, hypercube exchange
     /// stages, gather. Returns the result and updates the counters.
     fn product(&self, v: &mut [f64]) {
+        self.product_impl(v, &mut NullProbe);
+    }
+
+    /// [`Self::product`] with a telemetry probe: the local and exchange
+    /// phases are timed as `"dist-local"` / `"dist-exchange"` stages, and
+    /// every hypercube round emits a
+    /// [`SolverEvent::CommExchange`]`{ stage: "hypercube-exchange", .. }`
+    /// carrying the words moved that round (mirroring the [`CommStats`]
+    /// counters exactly). `&mut dyn` costs `O(log₂ P)` indirect calls per
+    /// product and zero floating-point changes.
+    fn product_impl(&self, v: &mut [f64], probe: &mut dyn Probe) {
         let n = v.len();
         let p = self.p;
         let q = 1.0 - p;
@@ -142,49 +154,57 @@ impl DistributedFmmp {
 
         // Local stages: strides 1 .. block/2 never cross rank boundaries.
         let mut i = 1;
-        while i <= block / 2 {
-            for b in &mut blocks {
-                let mut j = 0;
-                while j < block {
-                    let (a, c) = b[j..j + 2 * i].split_at_mut(i);
-                    for (x, y) in a.iter_mut().zip(c.iter_mut()) {
-                        let (u, w) = (q * *x + p * *y, p * *x + q * *y);
-                        *x = u;
-                        *y = w;
+        time_stage(&mut *probe, "dist-local", || {
+            while i <= block / 2 {
+                for b in &mut blocks {
+                    let mut j = 0;
+                    while j < block {
+                        let (a, c) = b[j..j + 2 * i].split_at_mut(i);
+                        for (x, y) in a.iter_mut().zip(c.iter_mut()) {
+                            let (u, w) = (q * *x + p * *y, p * *x + q * *y);
+                            *x = u;
+                            *y = w;
+                        }
+                        j += 2 * i;
                     }
-                    j += 2 * i;
                 }
+                i *= 2;
             }
-            i *= 2;
-        }
+        });
 
         // Exchange stages: stride i = block·2^s pairs rank r with
         // r ⊕ 2^s. Every element of the two blocks participates in one
         // butterfly with its same-offset partner.
         let mut dim = 1usize; // rank-id bit for this stage
         while i <= n / 2 {
-            for r in 0..pr {
-                let partner = r ^ dim;
-                if partner < r {
-                    continue; // the lower rank of the pair does the combine
+            let mut round_words = 0u64;
+            time_stage(&mut *probe, "dist-exchange", || {
+                for r in 0..pr {
+                    let partner = r ^ dim;
+                    if partner < r {
+                        continue; // the lower rank of the pair does the combine
+                    }
+                    // Simulated message exchange: each side sends its block.
+                    self.stats.messages.fetch_add(2, Ordering::Relaxed);
+                    round_words += 2 * block as u64;
+                    // r holds the bit-0 side (lower address), partner bit-1.
+                    let (lo, hi) = {
+                        let (a, b) = blocks.split_at_mut(partner);
+                        (&mut a[r], &mut b[0])
+                    };
+                    for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                        let (u, w) = (q * *x + p * *y, p * *x + q * *y);
+                        *x = u;
+                        *y = w;
+                    }
                 }
-                // Simulated message exchange: each side sends its block.
-                self.stats.messages.fetch_add(2, Ordering::Relaxed);
-                self.stats
-                    .words
-                    .fetch_add(2 * block as u64, Ordering::Relaxed);
-                // r holds the bit-0 side (lower address), partner bit-1.
-                let (lo, hi) = {
-                    let (a, b) = blocks.split_at_mut(partner);
-                    (&mut a[r], &mut b[0])
-                };
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    let (u, w) = (q * *x + p * *y, p * *x + q * *y);
-                    *x = u;
-                    *y = w;
-                }
-            }
+            });
+            self.stats.words.fetch_add(round_words, Ordering::Relaxed);
             self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+            probe.record(&SolverEvent::CommExchange {
+                stage: "hypercube-exchange",
+                words: round_words,
+            });
             dim <<= 1;
             i *= 2;
         }
@@ -211,6 +231,22 @@ impl LinearOperator for DistributedFmmp {
     fn apply_in_place(&self, v: &mut [f64]) {
         assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
         self.product(v);
+    }
+
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        self.apply_in_place_probed(y, probe);
+    }
+
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        if probe.enabled() {
+            self.product_impl(v, probe);
+        } else {
+            self.product(v);
+        }
     }
 
     fn flops_estimate(&self) -> f64 {
@@ -329,6 +365,45 @@ mod tests {
         // Communication books: one exchange round set per matvec.
         let s = op.comm_stats();
         assert_eq!(s.rounds, 4 * out.matvecs as u64); // log₂16 = 4 rounds/product
+    }
+
+    #[test]
+    fn probed_product_matches_plain_and_books_every_word() {
+        use qs_telemetry::RecordingProbe;
+        let nu = 10u32;
+        let p = 0.02;
+        let ranks = 16usize;
+        let x = random_vec(1 << nu, 7);
+
+        let op = DistributedFmmp::new(nu, p, ranks);
+        let plain = op.apply(&x);
+        let plain_stats = op.comm_stats();
+
+        let op2 = DistributedFmmp::new(nu, p, ranks);
+        let mut rec = RecordingProbe::new();
+        let mut probed = x.clone();
+        op2.apply_in_place_probed(&mut probed, &mut rec);
+
+        // Bit-identical arithmetic (probes add no FP ops).
+        assert_eq!(max_diff(&plain, &probed), 0.0);
+        // Every CommExchange event mirrors the atomic counters exactly.
+        assert_eq!(op2.comm_stats(), plain_stats);
+        assert_eq!(rec.comm_words(), plain_stats.words);
+        let exchange_rounds = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SolverEvent::CommExchange { .. }))
+            .count() as u64;
+        assert_eq!(exchange_rounds, plain_stats.rounds);
+        // Both phases were timed.
+        assert!(rec.stage_ns("dist-local") > 0);
+        assert!(rec.stage_ns("dist-exchange") > 0);
+
+        // A disabled probe takes the plain path and records nothing.
+        let mut null = NullProbe;
+        let mut silent = x.clone();
+        op2.apply_in_place_probed(&mut silent, &mut null);
+        assert_eq!(max_diff(&plain, &silent), 0.0);
     }
 
     #[test]

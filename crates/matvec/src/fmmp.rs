@@ -23,7 +23,7 @@
 //!   index map `j = 2·ID − (ID & (i−1))`, the form the GPU kernel (and our
 //!   parallel backend) uses.
 
-use crate::LinearOperator;
+use crate::{time_stage, LinearOperator, Probe};
 
 /// Which loop structure [`Fmmp`] uses; all variants compute the same
 /// product, they differ only in constants (paper Section 4 benchmarks the
@@ -278,6 +278,33 @@ impl LinearOperator for Fmmp {
         let n = self.len() as f64;
         3.0 * n * self.nu as f64
     }
+
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        self.apply_in_place_probed(y, probe);
+    }
+
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        if !probe.enabled() {
+            return self.apply_in_place(v);
+        }
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        match self.variant {
+            FmmpVariant::Iterative => {
+                let n = v.len();
+                let mut i = 1;
+                while i <= n / 2 {
+                    time_stage(probe, "fmmp-stage", || fmmp_stage(v, i, self.p));
+                    i *= 2;
+                }
+            }
+            // The other loop structures have no exposed per-stage kernel;
+            // time the whole product as one stage.
+            _ => time_stage(probe, "fmmp", || self.apply_in_place(v)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -436,5 +463,42 @@ mod tests {
     fn rejects_non_power_of_two() {
         let mut v = vec![1.0; 3];
         fmmp_in_place(&mut v, 0.1);
+    }
+
+    #[test]
+    fn probed_apply_matches_plain_and_times_each_stage() {
+        use qs_telemetry::{NullProbe, RecordingProbe, SolverEvent};
+        let nu = 7u32;
+        let op = Fmmp::new(nu, 0.03);
+        let x = random_vector(1 << nu, 42);
+
+        let mut plain = vec![0.0; 1 << nu];
+        op.apply_into(&x, &mut plain);
+
+        let mut rec = RecordingProbe::new();
+        let mut probed = vec![0.0; 1 << nu];
+        op.apply_into_probed(&x, &mut probed, &mut rec);
+        assert_eq!(plain, probed, "probed product diverges from plain");
+        // One MatvecTimed per butterfly stage: ν stages.
+        let timed = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SolverEvent::MatvecTimed {
+                        stage: "fmmp-stage",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(timed, nu as usize);
+
+        // Disabled probe takes the uninstrumented path and records nothing.
+        let mut null = NullProbe;
+        let mut silent = vec![0.0; 1 << nu];
+        op.apply_into_probed(&x, &mut silent, &mut null);
+        assert_eq!(plain, silent);
     }
 }

@@ -51,6 +51,8 @@ pub use shift_invert::QShiftInvert;
 pub use smvp::Smvp;
 pub use xmvp::Xmvp;
 
+pub use qs_telemetry::{time_stage, Probe};
+
 /// A real linear operator `A : R^N → R^N` available only through its action
 /// on vectors.
 ///
@@ -96,6 +98,32 @@ pub trait LinearOperator: Send + Sync {
         let n = self.len() as f64;
         n * n
     }
+
+    /// `y ← A·x`, reporting wall time to `probe`.
+    ///
+    /// The default times the whole application as one `"apply"` stage;
+    /// staged engines (Fmmp, the parallel backend, `WOperator`) override
+    /// to report per-stage breakdowns. When `probe` is disabled this must
+    /// behave exactly like [`LinearOperator::apply_into`] — the default
+    /// and all in-tree overrides delegate to the uninstrumented path, so
+    /// the floating-point result is bit-for-bit identical.
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        if probe.enabled() {
+            time_stage(probe, "apply", || self.apply_into(x, y));
+        } else {
+            self.apply_into(x, y);
+        }
+    }
+
+    /// `v ← A·v` in place, reporting wall time to `probe`. Same contract
+    /// as [`LinearOperator::apply_into_probed`].
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        if probe.enabled() {
+            time_stage(probe, "apply", || self.apply_in_place(v));
+        } else {
+            self.apply_in_place(v);
+        }
+    }
 }
 
 impl<A: LinearOperator + ?Sized> LinearOperator for &A {
@@ -111,6 +139,12 @@ impl<A: LinearOperator + ?Sized> LinearOperator for &A {
     fn flops_estimate(&self) -> f64 {
         (**self).flops_estimate()
     }
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        (**self).apply_into_probed(x, y, probe)
+    }
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        (**self).apply_in_place_probed(v, probe)
+    }
 }
 
 impl<A: LinearOperator + ?Sized> LinearOperator for Box<A> {
@@ -125,6 +159,12 @@ impl<A: LinearOperator + ?Sized> LinearOperator for Box<A> {
     }
     fn flops_estimate(&self) -> f64 {
         (**self).flops_estimate()
+    }
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        (**self).apply_into_probed(x, y, probe)
+    }
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        (**self).apply_in_place_probed(v, probe)
     }
 }
 

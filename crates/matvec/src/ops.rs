@@ -17,7 +17,7 @@
 //! Section 3's convergence acceleration); [`conservative_shift`] computes
 //! the paper's provably safe shift `µ = (1−2p)^ν·f_min`.
 
-use crate::LinearOperator;
+use crate::{time_stage, LinearOperator, Probe};
 use qs_landscape::Landscape;
 
 /// Which of the three equivalent eigenproblem formulations (paper
@@ -209,6 +209,43 @@ impl<Q: LinearOperator> LinearOperator for WOperator<Q> {
     fn flops_estimate(&self) -> f64 {
         self.q.flops_estimate() + 2.0 * self.len() as f64
     }
+
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        self.apply_in_place_probed(y, probe);
+    }
+
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        if !probe.enabled() {
+            return self.apply_in_place(v);
+        }
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        match self.form {
+            Formulation::Right => {
+                time_stage(probe, "diag", || {
+                    qs_linalg::vec_ops::apply_diagonal(&self.fitness, v)
+                });
+                self.q.apply_in_place_probed(v, probe);
+            }
+            Formulation::Symmetric => {
+                time_stage(probe, "diag", || {
+                    qs_linalg::vec_ops::apply_diagonal(&self.sqrt_fitness, v)
+                });
+                self.q.apply_in_place_probed(v, probe);
+                time_stage(probe, "diag", || {
+                    qs_linalg::vec_ops::apply_diagonal(&self.sqrt_fitness, v)
+                });
+            }
+            Formulation::Left => {
+                self.q.apply_in_place_probed(v, probe);
+                time_stage(probe, "diag", || {
+                    qs_linalg::vec_ops::apply_diagonal(&self.fitness, v)
+                });
+            }
+        }
+    }
 }
 
 /// A spectrally shifted operator `A − µI`.
@@ -254,6 +291,13 @@ impl<A: LinearOperator> LinearOperator for ShiftedOp<A> {
 
     fn flops_estimate(&self) -> f64 {
         self.inner.flops_estimate() + 2.0 * self.len() as f64
+    }
+
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        self.inner.apply_into_probed(x, y, probe);
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi -= self.mu * xi;
+        }
     }
 }
 
@@ -406,6 +450,53 @@ mod tests {
         let mut v = vec![4.0, 5.0];
         d.apply_in_place(&mut v);
         assert_eq!(v, vec![8.0, 15.0]);
+    }
+
+    #[test]
+    fn probed_w_operator_matches_plain_and_times_diag_passes() {
+        use qs_telemetry::{NullProbe, RecordingProbe, SolverEvent};
+        let (nu, p) = (8u32, 0.02);
+        let landscape = Random::new(nu, 5.0, 1.0, 9);
+        let f = landscape.materialize();
+        for (form, diag_passes) in [
+            (Formulation::Right, 1usize),
+            (Formulation::Symmetric, 2),
+            (Formulation::Left, 1),
+        ] {
+            let w = WOperator::new(Fmmp::new(nu, p), f.clone(), form);
+            let x = random_vector(1 << nu, 31);
+            let plain = w.apply(&x);
+
+            let mut rec = RecordingProbe::new();
+            let mut probed = vec![0.0; 1 << nu];
+            w.apply_into_probed(&x, &mut probed, &mut rec);
+            assert_eq!(plain, probed, "{form:?}: probed diverges");
+            let diags = rec
+                .events()
+                .iter()
+                .filter(|e| matches!(e, SolverEvent::MatvecTimed { stage: "diag", .. }))
+                .count();
+            assert_eq!(diags, diag_passes, "{form:?}");
+            // The inner Fmmp reports its butterfly stages too.
+            let fmmp_stages = rec
+                .events()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        SolverEvent::MatvecTimed {
+                            stage: "fmmp-stage",
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert_eq!(fmmp_stages, nu as usize, "{form:?}");
+
+            let mut silent = vec![0.0; 1 << nu];
+            w.apply_into_probed(&x, &mut silent, &mut NullProbe);
+            assert_eq!(plain, silent, "{form:?}: disabled probe perturbs result");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! benchmark can swap "CPU" and "GPU" implementations the way Figure 3/4 do.
 
 use crate::fmmp::fmmp_stage;
-use crate::LinearOperator;
+use crate::{time_stage, LinearOperator, Probe};
 use qs_linalg::NeumaierSum;
 use rayon::prelude::*;
 
@@ -328,6 +328,26 @@ impl LinearOperator for ParFmmp {
         let n = self.len() as f64;
         3.0 * n * self.nu as f64
     }
+
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
+        assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
+        y.copy_from_slice(x);
+        self.apply_in_place_probed(y, probe);
+    }
+
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        if !probe.enabled() {
+            return self.apply_in_place(v);
+        }
+        assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        let n = v.len();
+        let mut i = 1;
+        while i <= n / 2 {
+            time_stage(probe, "par-fmmp-stage", || par_fmmp_stage(v, i, self.p));
+            i *= 2;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -445,6 +465,33 @@ mod tests {
         let mut b = x;
         par_kron_in_place(&op, &mut b);
         assert!(max_diff(&a, &b) < 1e-15);
+    }
+
+    #[test]
+    fn probed_parallel_apply_matches_plain() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let nu = 14u32;
+        let op = ParFmmp::new(nu, 0.02);
+        let x = random_vector(1 << nu, 77);
+        let plain = op.apply(&x);
+        let mut rec = RecordingProbe::new();
+        let mut probed = vec![0.0; 1 << nu];
+        op.apply_into_probed(&x, &mut probed, &mut rec);
+        assert_eq!(plain, probed);
+        let timed = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SolverEvent::MatvecTimed {
+                        stage: "par-fmmp-stage",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(timed, nu as usize);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! The typed event vocabulary emitted by instrumented solver loops and
+//! operators, plus its line-oriented JSON encoding.
+
+use std::fmt::Write as _;
+
+/// One observation from an instrumented solver run.
+///
+/// Events are `Copy` and carry only scalars and `&'static str` stage
+/// labels, so constructing and recording one never allocates — a hard
+/// requirement for probing the Θ(N log₂ N) product without perturbing it.
+///
+/// The JSON encoding (see [`SolverEvent::to_json_line`]) is internally
+/// tagged: every object carries an `"event"` discriminant in
+/// `snake_case`, e.g. `{"event":"residual","iter":3,"value":1e-9,...}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverEvent {
+    /// An outer solver iteration is beginning (1-based).
+    IterationStart {
+        /// 1-based iteration number.
+        iter: usize,
+    },
+    /// A residual norm was measured at the end of an iteration.
+    Residual {
+        /// 1-based iteration number this residual belongs to.
+        iter: usize,
+        /// The residual norm `‖W·x − λ·x‖₂` (or the MINRES relative
+        /// residual estimate for inner solves).
+        value: f64,
+        /// Current eigenvalue estimate. Inner linear solves that have no
+        /// eigenvalue notion (MINRES) report `0.0` here.
+        lambda: f64,
+    },
+    /// A matvec (or one stage of one) completed; wall time in nanoseconds.
+    MatvecTimed {
+        /// Stage label, e.g. `"apply"`, `"fmmp-stage"`, `"diag"`.
+        stage: &'static str,
+        /// Elapsed wall time in nanoseconds.
+        ns: u64,
+    },
+    /// A communication exchange round completed (distributed backend).
+    CommExchange {
+        /// Stage label, e.g. `"hypercube-exchange"`.
+        stage: &'static str,
+        /// Number of `f64` words moved in this round.
+        words: u64,
+    },
+    /// The solver converged; terminal event of a successful run.
+    Converged {
+        /// Total outer iterations performed.
+        iterations: usize,
+        /// Total operator applications.
+        matvecs: usize,
+        /// Final residual norm.
+        residual: f64,
+        /// Final eigenvalue estimate.
+        lambda: f64,
+    },
+    /// The solver exhausted its iteration budget without converging;
+    /// terminal event of an unsuccessful run.
+    Budget {
+        /// Total outer iterations performed.
+        iterations: usize,
+        /// Total operator applications.
+        matvecs: usize,
+        /// Last residual norm.
+        residual: f64,
+    },
+}
+
+impl SolverEvent {
+    /// The `snake_case` discriminant used in the JSON encoding.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SolverEvent::IterationStart { .. } => "iteration_start",
+            SolverEvent::Residual { .. } => "residual",
+            SolverEvent::MatvecTimed { .. } => "matvec_timed",
+            SolverEvent::CommExchange { .. } => "comm_exchange",
+            SolverEvent::Converged { .. } => "converged",
+            SolverEvent::Budget { .. } => "budget",
+        }
+    }
+
+    /// Encode as a single JSON object (no trailing newline).
+    ///
+    /// Floats use Rust's shortest round-trip decimal form; non-finite
+    /// values (which no healthy solver emits) become `null` so the line
+    /// stays valid JSON. Stage labels are `&'static str` chosen by this
+    /// workspace and contain no characters needing escapes.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"event\":\"");
+        s.push_str(self.tag());
+        s.push('"');
+        match *self {
+            SolverEvent::IterationStart { iter } => {
+                let _ = write!(s, ",\"iter\":{iter}");
+            }
+            SolverEvent::Residual {
+                iter,
+                value,
+                lambda,
+            } => {
+                let _ = write!(s, ",\"iter\":{iter},\"value\":");
+                push_f64(&mut s, value);
+                s.push_str(",\"lambda\":");
+                push_f64(&mut s, lambda);
+            }
+            SolverEvent::MatvecTimed { stage, ns } => {
+                let _ = write!(s, ",\"stage\":\"{stage}\",\"ns\":{ns}");
+            }
+            SolverEvent::CommExchange { stage, words } => {
+                let _ = write!(s, ",\"stage\":\"{stage}\",\"words\":{words}");
+            }
+            SolverEvent::Converged {
+                iterations,
+                matvecs,
+                residual,
+                lambda,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"iterations\":{iterations},\"matvecs\":{matvecs},\"residual\":"
+                );
+                push_f64(&mut s, residual);
+                s.push_str(",\"lambda\":");
+                push_f64(&mut s, lambda);
+            }
+            SolverEvent::Budget {
+                iterations,
+                matvecs,
+                residual,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"iterations\":{iterations},\"matvecs\":{matvecs},\"residual\":"
+                );
+                push_f64(&mut s, residual);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Append a JSON number for `v`: Rust's shortest round-trip decimal, or
+/// `null` for NaN/±∞ (JSON has no encoding for those).
+fn push_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(s, "{v}");
+        // `Display` for integral floats prints no decimal point ("5"); that
+        // is still a valid JSON number and round-trips exactly.
+    } else {
+        s.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_snake_case() {
+        let e = SolverEvent::IterationStart { iter: 1 };
+        assert_eq!(e.tag(), "iteration_start");
+        let e = SolverEvent::CommExchange {
+            stage: "x",
+            words: 0,
+        };
+        assert_eq!(e.tag(), "comm_exchange");
+    }
+
+    #[test]
+    fn json_lines_have_expected_shape() {
+        let e = SolverEvent::Residual {
+            iter: 3,
+            value: 0.5,
+            lambda: 2.0,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"residual\",\"iter\":3,\"value\":0.5,\"lambda\":2}"
+        );
+
+        let e = SolverEvent::MatvecTimed {
+            stage: "fmmp-stage",
+            ns: 1234,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"matvec_timed\",\"stage\":\"fmmp-stage\",\"ns\":1234}"
+        );
+
+        let e = SolverEvent::Converged {
+            iterations: 10,
+            matvecs: 12,
+            residual: 1e-13,
+            lambda: 4.75,
+        };
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"event\":\"converged\""));
+        assert!(line.contains("\"iterations\":10"));
+        assert!(line.contains("\"matvecs\":12"));
+        assert!(line.ends_with("\"lambda\":4.75}"));
+    }
+
+    #[test]
+    fn residual_value_round_trips_through_display() {
+        let v = 1.234567890123e-11_f64;
+        let e = SolverEvent::Residual {
+            iter: 1,
+            value: v,
+            lambda: 0.0,
+        };
+        let line = e.to_json_line();
+        let needle = "\"value\":";
+        let start = line.find(needle).unwrap() + needle.len();
+        let rest = &line[start..];
+        let end = rest.find(',').unwrap();
+        let parsed: f64 = rest[..end].parse().unwrap();
+        assert_eq!(parsed.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = SolverEvent::Residual {
+            iter: 1,
+            value: f64::NAN,
+            lambda: f64::INFINITY,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"residual\",\"iter\":1,\"value\":null,\"lambda\":null}"
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! Built-in [`Probe`](crate::Probe) implementations.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::SolverEvent;
+use crate::Probe;
+
+/// The disabled probe: `enabled()` is a constant `false` and `record` is
+/// an empty inline function, so solver loops that are generic over
+/// `P: Probe` compile down to the uninstrumented code with this sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: &SolverEvent) {}
+}
+
+/// In-memory event history, the workhorse for tests, `--trace-summary`
+/// and figure harnesses.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingProbe {
+    events: Vec<SolverEvent>,
+}
+
+impl RecordingProbe {
+    /// An empty recording probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events recorded so far, in emission order.
+    pub fn events(&self) -> &[SolverEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all recorded events, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// The residual values of every [`SolverEvent::Residual`] event, in
+    /// emission order.
+    pub fn residual_history(&self) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                SolverEvent::Residual { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The most recent residual value, if any was recorded.
+    pub fn last_residual(&self) -> Option<f64> {
+        self.events.iter().rev().find_map(|e| match e {
+            SolverEvent::Residual { value, .. } => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// Number of [`SolverEvent::IterationStart`] events.
+    pub fn iterations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SolverEvent::IterationStart { .. }))
+            .count()
+    }
+
+    /// Total nanoseconds attributed to `stage` across all
+    /// [`SolverEvent::MatvecTimed`] events.
+    pub fn stage_ns(&self, stage: &str) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                SolverEvent::MatvecTimed { stage: s, ns } if *s == stage => Some(*ns),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total words moved across all [`SolverEvent::CommExchange`] events.
+    pub fn comm_words(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                SolverEvent::CommExchange { words, .. } => Some(*words),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The terminal event ([`SolverEvent::Converged`] or
+    /// [`SolverEvent::Budget`]) if the last recorded event is one.
+    pub fn terminal(&self) -> Option<&SolverEvent> {
+        match self.events.last() {
+            Some(e @ (SolverEvent::Converged { .. } | SolverEvent::Budget { .. })) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Probe for RecordingProbe {
+    #[inline]
+    fn record(&mut self, event: &SolverEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Streams one JSON object per event to a writer — the CLI's
+/// `--trace file.jsonl` format (schema: [`SolverEvent::to_json_line`]).
+///
+/// `record` is infallible per the [`Probe`] contract; the first I/O error
+/// is stored and surfaced by [`JsonLinesProbe::finish`], and later events
+/// are dropped.
+#[derive(Debug)]
+pub struct JsonLinesProbe<W: Write + Send> {
+    writer: W,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl JsonLinesProbe<BufWriter<File>> {
+    /// Create (truncating) `path` and stream events to it, buffered.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> JsonLinesProbe<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Number of lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error encountered while recording, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the underlying writer, surfacing any error that
+    /// occurred while recording.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write + Send> Probe for JsonLinesProbe<W> {
+    fn record(&mut self, event: &SolverEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json_line();
+        match self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            Ok(()) => self.lines += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+}
+
+/// Fan an event stream out to two sinks (e.g. a [`RecordingProbe`] for
+/// in-process summaries plus a [`JsonLinesProbe`] streaming to disk).
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Probe, B: Probe> Probe for Tee<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, event: &SolverEvent) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_is_disabled_and_silent() {
+        let mut p = NullProbe;
+        assert!(!p.enabled());
+        p.record(&SolverEvent::IterationStart { iter: 1 });
+    }
+
+    #[test]
+    fn recording_probe_accumulates_and_summarises() {
+        let mut p = RecordingProbe::new();
+        p.record(&SolverEvent::IterationStart { iter: 1 });
+        p.record(&SolverEvent::MatvecTimed {
+            stage: "apply",
+            ns: 10,
+        });
+        p.record(&SolverEvent::Residual {
+            iter: 1,
+            value: 0.5,
+            lambda: 2.0,
+        });
+        p.record(&SolverEvent::IterationStart { iter: 2 });
+        p.record(&SolverEvent::MatvecTimed {
+            stage: "apply",
+            ns: 30,
+        });
+        p.record(&SolverEvent::Residual {
+            iter: 2,
+            value: 0.25,
+            lambda: 2.1,
+        });
+        p.record(&SolverEvent::CommExchange {
+            stage: "hypercube-exchange",
+            words: 64,
+        });
+        p.record(&SolverEvent::Converged {
+            iterations: 2,
+            matvecs: 2,
+            residual: 0.25,
+            lambda: 2.1,
+        });
+
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.iterations(), 2);
+        assert_eq!(p.residual_history(), vec![0.5, 0.25]);
+        assert_eq!(p.last_residual(), Some(0.25));
+        assert_eq!(p.stage_ns("apply"), 40);
+        assert_eq!(p.stage_ns("other"), 0);
+        assert_eq!(p.comm_words(), 64);
+        assert!(matches!(p.terminal(), Some(SolverEvent::Converged { .. })));
+
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.terminal(), None);
+    }
+
+    #[test]
+    fn jsonl_probe_writes_one_line_per_event() {
+        let mut p = JsonLinesProbe::new(Vec::new());
+        p.record(&SolverEvent::IterationStart { iter: 1 });
+        p.record(&SolverEvent::Residual {
+            iter: 1,
+            value: 0.5,
+            lambda: 2.0,
+        });
+        assert_eq!(p.lines_written(), 2);
+        let bytes = p.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"iteration_start\""));
+        assert!(lines[1].starts_with("{\"event\":\"residual\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn tee_fans_out_and_ors_enabled() {
+        let mut tee = Tee(RecordingProbe::new(), RecordingProbe::new());
+        assert!(tee.enabled());
+        tee.record(&SolverEvent::IterationStart { iter: 1 });
+        assert_eq!(tee.0.len(), 1);
+        assert_eq!(tee.1.len(), 1);
+
+        let tee = Tee(NullProbe, NullProbe);
+        assert!(!tee.enabled());
+        let tee = Tee(NullProbe, RecordingProbe::new());
+        assert!(tee.enabled());
+    }
+
+    #[test]
+    fn tee_composes_through_mut_references() {
+        let mut rec = RecordingProbe::new();
+        let mut json = JsonLinesProbe::new(Vec::new());
+        {
+            let mut tee = Tee(&mut json, &mut rec);
+            tee.record(&SolverEvent::IterationStart { iter: 1 });
+        }
+        assert_eq!(rec.len(), 1);
+        assert_eq!(json.lines_written(), 1);
+    }
+}

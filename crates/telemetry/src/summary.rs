@@ -1,0 +1,259 @@
+//! Aggregate a recorded event stream into a human-readable digest
+//! (the CLI's `--trace-summary` output).
+
+use std::fmt;
+
+use crate::event::SolverEvent;
+
+/// Per-stage timing totals for one stage label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTotal {
+    /// The stage label, e.g. `"fmmp-stage"`.
+    pub stage: &'static str,
+    /// Number of [`SolverEvent::MatvecTimed`] events for this stage.
+    pub calls: u64,
+    /// Summed wall time in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Digest of one solver run's event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total events in the stream.
+    pub events: usize,
+    /// Number of outer iterations observed.
+    pub iterations: usize,
+    /// First recorded residual, if any.
+    pub first_residual: Option<f64>,
+    /// Last recorded residual, if any.
+    pub last_residual: Option<f64>,
+    /// Number of residual measurements.
+    pub residuals: usize,
+    /// Final eigenvalue estimate from the terminal event, if converged.
+    pub lambda: Option<f64>,
+    /// Whether the stream ends in [`SolverEvent::Converged`].
+    pub converged: bool,
+    /// Matvec count reported by the terminal event, if any.
+    pub matvecs: Option<usize>,
+    /// Per-stage timing totals, sorted by descending total time.
+    pub stages: Vec<StageTotal>,
+    /// Total words moved across all communication exchanges.
+    pub comm_words: u64,
+    /// Number of communication exchange rounds.
+    pub comm_rounds: u64,
+}
+
+impl TraceSummary {
+    /// Aggregate an event stream (typically
+    /// [`RecordingProbe::events`](crate::RecordingProbe::events)).
+    pub fn from_events(events: &[SolverEvent]) -> Self {
+        let mut s = TraceSummary {
+            events: events.len(),
+            ..TraceSummary::default()
+        };
+        for event in events {
+            match *event {
+                SolverEvent::IterationStart { .. } => s.iterations += 1,
+                SolverEvent::Residual { value, .. } => {
+                    if s.first_residual.is_none() {
+                        s.first_residual = Some(value);
+                    }
+                    s.last_residual = Some(value);
+                    s.residuals += 1;
+                }
+                SolverEvent::MatvecTimed { stage, ns } => {
+                    match s.stages.iter_mut().find(|t| t.stage == stage) {
+                        Some(t) => {
+                            t.calls += 1;
+                            t.total_ns += ns;
+                        }
+                        None => s.stages.push(StageTotal {
+                            stage,
+                            calls: 1,
+                            total_ns: ns,
+                        }),
+                    }
+                }
+                SolverEvent::CommExchange { words, .. } => {
+                    s.comm_words += words;
+                    s.comm_rounds += 1;
+                }
+                SolverEvent::Converged {
+                    iterations,
+                    matvecs,
+                    residual,
+                    lambda,
+                } => {
+                    s.converged = true;
+                    s.iterations = s.iterations.max(iterations);
+                    s.matvecs = Some(matvecs);
+                    s.last_residual = Some(residual);
+                    s.lambda = Some(lambda);
+                }
+                SolverEvent::Budget {
+                    iterations,
+                    matvecs,
+                    residual,
+                } => {
+                    s.converged = false;
+                    s.iterations = s.iterations.max(iterations);
+                    s.matvecs = Some(matvecs);
+                    s.last_residual = Some(residual);
+                }
+            }
+        }
+        s.stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
+        s
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} events, {} iterations, {}",
+            self.events,
+            self.iterations,
+            if self.converged {
+                "converged"
+            } else {
+                "not converged"
+            }
+        )?;
+        if let (Some(first), Some(last)) = (self.first_residual, self.last_residual) {
+            writeln!(
+                f,
+                "  residual: {first:.3e} -> {last:.3e} over {} measurements",
+                self.residuals
+            )?;
+        }
+        if let Some(lambda) = self.lambda {
+            writeln!(f, "  lambda:   {lambda:.12}")?;
+        }
+        if let Some(matvecs) = self.matvecs {
+            writeln!(f, "  matvecs:  {matvecs}")?;
+        }
+        if !self.stages.is_empty() {
+            writeln!(f, "  stage timings:")?;
+            for t in &self.stages {
+                writeln!(
+                    f,
+                    "    {:<20} {:>10} calls {:>12.3} ms",
+                    t.stage,
+                    t.calls,
+                    t.total_ns as f64 / 1e6
+                )?;
+            }
+        }
+        if self.comm_rounds > 0 {
+            writeln!(
+                f,
+                "  comm:     {} words over {} exchange rounds",
+                self.comm_words, self.comm_rounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> Vec<SolverEvent> {
+        vec![
+            SolverEvent::IterationStart { iter: 1 },
+            SolverEvent::MatvecTimed {
+                stage: "fmmp-stage",
+                ns: 100,
+            },
+            SolverEvent::MatvecTimed {
+                stage: "diag",
+                ns: 20,
+            },
+            SolverEvent::Residual {
+                iter: 1,
+                value: 1e-2,
+                lambda: 4.0,
+            },
+            SolverEvent::IterationStart { iter: 2 },
+            SolverEvent::MatvecTimed {
+                stage: "fmmp-stage",
+                ns: 120,
+            },
+            SolverEvent::MatvecTimed {
+                stage: "diag",
+                ns: 25,
+            },
+            SolverEvent::CommExchange {
+                stage: "hypercube-exchange",
+                words: 128,
+            },
+            SolverEvent::Residual {
+                iter: 2,
+                value: 1e-9,
+                lambda: 4.5,
+            },
+            SolverEvent::Converged {
+                iterations: 2,
+                matvecs: 2,
+                residual: 1e-9,
+                lambda: 4.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_aggregates_stream() {
+        let s = TraceSummary::from_events(&sample_stream());
+        assert_eq!(s.events, 10);
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.residuals, 2);
+        assert_eq!(s.first_residual, Some(1e-2));
+        assert_eq!(s.last_residual, Some(1e-9));
+        assert!(s.converged);
+        assert_eq!(s.lambda, Some(4.5));
+        assert_eq!(s.matvecs, Some(2));
+        assert_eq!(s.comm_words, 128);
+        assert_eq!(s.comm_rounds, 1);
+        // Sorted by descending total time: fmmp-stage (220) before diag (45).
+        assert_eq!(s.stages.len(), 2);
+        assert_eq!(s.stages[0].stage, "fmmp-stage");
+        assert_eq!(s.stages[0].calls, 2);
+        assert_eq!(s.stages[0].total_ns, 220);
+        assert_eq!(s.stages[1].stage, "diag");
+        assert_eq!(s.stages[1].total_ns, 45);
+    }
+
+    #[test]
+    fn budget_stream_is_not_converged() {
+        let events = vec![
+            SolverEvent::IterationStart { iter: 1 },
+            SolverEvent::Residual {
+                iter: 1,
+                value: 0.5,
+                lambda: 1.0,
+            },
+            SolverEvent::Budget {
+                iterations: 1,
+                matvecs: 1,
+                residual: 0.5,
+            },
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert!(!s.converged);
+        assert_eq!(s.lambda, None);
+        assert_eq!(s.matvecs, Some(1));
+    }
+
+    #[test]
+    fn display_renders_without_panicking() {
+        let s = TraceSummary::from_events(&sample_stream());
+        let text = s.to_string();
+        assert!(text.contains("converged"));
+        assert!(text.contains("fmmp-stage"));
+        assert!(text.contains("exchange rounds"));
+        let empty = TraceSummary::from_events(&[]);
+        assert!(empty.to_string().contains("0 events"));
+    }
+}

@@ -7,11 +7,12 @@
 //! to anchor `tests/` and `examples/` at the workspace root.
 
 pub use qs_bitseq;
+pub use qs_distributed;
 pub use qs_landscape;
 pub use qs_linalg;
 pub use qs_matvec;
 pub use qs_mutation;
 pub use qs_ode;
-pub use qs_distributed;
 pub use qs_stochastic;
+pub use qs_telemetry;
 pub use quasispecies;
