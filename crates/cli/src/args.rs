@@ -41,7 +41,17 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option keys that are boolean flags (take no value).
-const FLAG_KEYS: &[&str] = &["json", "help", "quiet", "parallel", "trace-summary"];
+const FLAG_KEYS: &[&str] = &[
+    "json",
+    "help",
+    "quiet",
+    "parallel",
+    "trace-summary",
+    "recover",
+    "no-recover",
+    "expect-recovery",
+    "allow-degraded",
+];
 
 impl Args {
     /// Parse from an iterator of raw arguments (excluding the program
@@ -186,6 +196,16 @@ mod tests {
         let a = parse(&["solve", "--trace", "out.jsonl", "--trace-summary"]).unwrap();
         assert_eq!(a.get("trace"), Some("out.jsonl"));
         assert!(a.flag("trace-summary"));
+    }
+
+    #[test]
+    fn recovery_flags_parse() {
+        let a = parse(&["solve", "--no-recover", "--fault-plan", "plan.json"]).unwrap();
+        assert!(a.flag("no-recover"));
+        assert!(!a.flag("recover"));
+        assert_eq!(a.get("fault-plan"), Some("plan.json"));
+        let a = parse(&["trace-check", "--expect-recovery", "--allow-degraded"]).unwrap();
+        assert!(a.flag("expect-recovery") && a.flag("allow-degraded"));
     }
 
     #[test]

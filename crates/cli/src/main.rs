@@ -14,10 +14,13 @@
 mod args;
 
 use args::{ArgError, Args};
+use qs_fault::{FaultPlan, FaultyOp};
 use qs_landscape::{ErrorClass, Landscape, Random, Tabulated};
-use qs_telemetry::{JsonLinesProbe, RecordingProbe, Tee, TraceSummary};
+use qs_matvec::LinearOperator;
+use qs_telemetry::{JsonLinesProbe, Probe, RecordingProbe, Tee, TraceSummary};
 use quasispecies::{
-    detect_pmax, scan_error_classes, solve, solve_probed, Engine, Method, SolverConfig,
+    detect_pmax, scan_error_classes, solve_probed, solve_with_q_operator_probed, Engine, Method,
+    NullProbe, Quasispecies, ShiftStrategy, SolveError, SolverConfig,
 };
 use serde::Serialize;
 
@@ -62,7 +65,7 @@ USAGE:
   quasispecies threshold --nu N [--landscape KIND] [--lo A --hi B]
   quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
   quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
-  quasispecies trace-check --file TRACE.jsonl
+  quasispecies trace-check --file TRACE.jsonl [--expect-recovery] [--allow-degraded]
 
 LANDSCAPES (error-class kinds also drive scan/threshold exactly via §5.1):
   single-peak (default)   --f0 2.0 --frest 1.0
@@ -78,13 +81,21 @@ SOLVE OPTIONS:
   --json                             machine-readable output
   --trace FILE.jsonl                 dump the solver event stream (JSON Lines)
   --trace-summary                    per-stage timing/residual digest on stderr
+  --fault-plan PLAN.json             inject deterministic faults into the Q
+                                     operator (qs-fault plan format)
+  --recover / --no-recover           toggle the breakdown recovery ladder
+                                     (default: on; off surfaces breakdowns as
+                                     immediate typed errors)
 
 trace-check validates a --trace dump: every line parses, at least one
 residual event, terminal event 'converged' (nonzero exit otherwise).
+--allow-degraded also accepts 'budget'/'recovery_action' terminals;
+--expect-recovery demands fault-detection and recovery events.
 
 EXAMPLES:
   quasispecies solve --nu 12 --p 0.01
   quasispecies solve --nu 10 --p 0.01 --trace run.jsonl --trace-summary
+  quasispecies solve --nu 8 --p 0.01 --fault-plan plan.json --trace run.jsonl
   quasispecies trace-check --file run.jsonl
   quasispecies solve --nu 10 --p 0.01 --landscape nk --k 3
   quasispecies scan --nu 20 --p-min 0.001 --p-max 0.09 --points 60 --json
@@ -171,8 +182,74 @@ fn build_config(args: &Args, nu: u32) -> Result<SolverConfig, CliError> {
         method,
         tol: args.or_default("tol", 1e-13)?,
         max_iter: args.or_default("max-iter", 200_000usize)?,
+        // Recovery defaults to on; `--no-recover` surfaces breakdowns as
+        // immediate typed errors instead (`--recover` spells the default).
+        recover: !args.flag("no-recover"),
         ..Default::default()
     })
+}
+
+/// Load the `--fault-plan` file, if the option is present.
+fn load_fault_plan(args: &Args) -> Result<Option<FaultPlan>, CliError> {
+    let Some(path) = args.get("fault-plan") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Bad(format!("cannot read fault plan '{path}': {e}")))?;
+    FaultPlan::from_json(&text)
+        .map(Some)
+        .map_err(|e| CliError::Bad(format!("fault plan '{path}': {e}")))
+}
+
+/// Run the solve, wrapping the engine's `Q` operator in a [`FaultyOp`]
+/// when a fault plan is given. The fault path goes through
+/// `solve_with_q_operator_probed`, so the conservative shift (which that
+/// entry point does not compute) is materialised into a custom shift
+/// first — a planned fault changes the operator, never the problem.
+fn solve_dispatch<P: Probe>(
+    p: f64,
+    landscape: &dyn Landscape,
+    config: &SolverConfig,
+    plan: Option<&FaultPlan>,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
+    let Some(plan) = plan else {
+        return solve_probed(p, landscape, config, probe);
+    };
+    if !(p.is_finite() && p > 0.0 && p <= 0.5) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "p",
+            detail: format!("error rate must lie in (0, 1/2], got {p}"),
+        });
+    }
+    let nu = landscape.nu();
+    let q_op: Box<dyn LinearOperator> = match config.engine {
+        Engine::Fmmp => Box::new(FaultyOp::new(qs_matvec::Fmmp::new(nu, p), plan)),
+        Engine::FmmpParallel => Box::new(FaultyOp::new(qs_matvec::ParFmmp::new(nu, p), plan)),
+        Engine::Xmvp { d_max } => Box::new(FaultyOp::new(qs_matvec::Xmvp::new(nu, p, d_max), plan)),
+        Engine::Smvp => Box::new(FaultyOp::new(
+            qs_matvec::Smvp::from_model(&qs_mutation::Uniform::new(nu, p)),
+            plan,
+        )),
+        Engine::Kronecker => Box::new(FaultyOp::new(
+            qs_matvec::KroneckerOp::from_model(&qs_mutation::Uniform::new(nu, p)),
+            plan,
+        )),
+    };
+    let mut config = *config;
+    if config.shift == ShiftStrategy::Conservative {
+        let f_min = landscape.f_min();
+        if !(f_min.is_finite() && f_min > 0.0) {
+            return Err(SolveError::InvalidConfig {
+                parameter: "fitness",
+                detail: format!(
+                    "fitness values must be finite and strictly positive, found minimum {f_min}"
+                ),
+            });
+        }
+        config.shift = ShiftStrategy::Custom(qs_matvec::conservative_shift(nu, p, f_min));
+    }
+    solve_with_q_operator_probed(q_op, landscape, &config, probe)
 }
 
 #[derive(Serialize)]
@@ -184,6 +261,14 @@ struct SolveRecord {
     residual: f64,
     engine: String,
     method: String,
+    converged: bool,
+    /// The solve survived a breakdown only as a best-so-far iterate: the
+    /// distribution is valid (non-negative, Σ = 1) but above tolerance.
+    degraded: bool,
+    /// `snake_case` breakdown class the recovery ladder healed (or
+    /// degraded through); absent for clean solves.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    recovered_from: Option<String>,
     entropy: f64,
     classes: Vec<f64>,
     top_sequences: Vec<(String, f64)>,
@@ -222,6 +307,8 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
     let kind = args.get("landscape").unwrap_or("single-peak");
     let landscape = build_landscape(args, nu)?;
     let config = build_config(args, nu)?;
+    let plan = load_fault_plan(args)?;
+    let plan = plan.as_ref();
 
     // Tracing: record the event stream (and tee it to a JSONL file when
     // `--trace` names one). Without either flag the plain un-probed solve
@@ -232,7 +319,7 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
         let jsonl = JsonLinesProbe::create(path)
             .map_err(|e| CliError::Bad(format!("cannot create trace file '{path}': {e}")))?;
         let mut tee = Tee(RecordingProbe::new(), jsonl);
-        let outcome = solve_probed(p, landscape.as_ref(), &config, &mut tee);
+        let outcome = solve_dispatch(p, landscape.as_ref(), &config, plan, &mut tee);
         let Tee(rec, jsonl) = tee;
         // Flush even when the solve failed: a budget-exhausted trace is
         // still a complete, analysable trace.
@@ -242,10 +329,13 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
         (outcome, Some(rec))
     } else if want_summary {
         let mut rec = RecordingProbe::new();
-        let outcome = solve_probed(p, landscape.as_ref(), &config, &mut rec);
+        let outcome = solve_dispatch(p, landscape.as_ref(), &config, plan, &mut rec);
         (outcome, Some(rec))
     } else {
-        (solve(p, landscape.as_ref(), &config), None)
+        (
+            solve_dispatch(p, landscape.as_ref(), &config, plan, &mut NullProbe),
+            None,
+        )
     };
     if want_summary {
         if let Some(rec) = &recording {
@@ -276,6 +366,9 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
         residual: qs.stats.residual,
         engine: qs.stats.engine.clone(),
         method: qs.stats.method.clone(),
+        converged: qs.stats.converged,
+        degraded: qs.stats.degraded,
+        recovered_from: qs.stats.recovered_from.clone(),
         entropy: qs.entropy(),
         classes: qs.error_class_concentrations(),
         top_sequences,
@@ -292,6 +385,16 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
             "  λ₀ = {:.12}   ({} iterations, residual {:.2e}, {}/{})",
             record.lambda, record.iterations, record.residual, record.engine, record.method
         );
+        if let Some(kind) = &record.recovered_from {
+            if record.degraded {
+                println!(
+                    "  DEGRADED: breakdown '{kind}' could not be healed; this is the \
+                     best-so-far iterate (valid distribution, residual above tolerance)"
+                );
+            } else {
+                println!("  recovered from breakdown '{kind}' (result meets tolerance)");
+            }
+        }
         println!(
             "  entropy = {:.6} nats (uniform would be {:.6})",
             record.entropy,
@@ -474,9 +577,75 @@ fn cmd_ode(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The pure core of `trace-check`: validate an event-tag stream.
+///
+/// Base contract: at least one `residual` event, terminal event
+/// `converged`. With `allow_degraded` the stream may instead end in
+/// `budget` or `recovery_action` (a degraded run's trace is still a
+/// complete, analysable trace). With `expect_recovery` the stream must
+/// additionally show the self-healing machinery firing: at least one
+/// detection event (`fault_detected` / `guardrail_tripped`) and at least
+/// one reaction (`retry` / `recovery_action`).
+fn check_tags(
+    tags: &[String],
+    expect_recovery: bool,
+    allow_degraded: bool,
+) -> Result<String, String> {
+    if tags.is_empty() {
+        return Err("trace contains no events".into());
+    }
+    let count = |wanted: &[&str]| tags.iter().filter(|t| wanted.contains(&t.as_str())).count();
+    let residuals = count(&["residual"]);
+    if residuals == 0 {
+        return Err(format!(
+            "trace has no residual events ({} events total)",
+            tags.len()
+        ));
+    }
+    let terminal = tags.last().map(String::as_str).expect("non-empty");
+    let terminal_ok = match terminal {
+        "converged" => true,
+        "budget" | "recovery_action" => allow_degraded,
+        _ => false,
+    };
+    if !terminal_ok {
+        let expected = if allow_degraded {
+            "'converged', 'budget' or 'recovery_action'"
+        } else {
+            "'converged'"
+        };
+        return Err(format!("trace ends with '{terminal}', expected {expected}"));
+    }
+    if expect_recovery {
+        let detections = count(&["fault_detected", "guardrail_tripped"]);
+        let reactions = count(&["retry", "recovery_action"]);
+        if detections == 0 {
+            return Err("trace shows no fault_detected/guardrail_tripped events \
+                        (--expect-recovery)"
+                .into());
+        }
+        if reactions == 0 {
+            return Err("trace shows no retry/recovery_action events (--expect-recovery)".into());
+        }
+        return Ok(format!(
+            "ok: {} events, {} residuals, {} detections, {} recovery reactions, \
+             terminal event '{terminal}'",
+            tags.len(),
+            residuals,
+            detections,
+            reactions
+        ));
+    }
+    Ok(format!(
+        "ok: {} events, {} residuals, terminal event '{terminal}'",
+        tags.len(),
+        residuals
+    ))
+}
+
 /// Validate a `--trace` JSONL dump: every line parses as a JSON object
-/// with an `"event"` tag, at least one `residual` event is present, and
-/// the stream ends with `converged`. Used by CI as a telemetry smoke test.
+/// with an `"event"` tag, then the stream passes [`check_tags`]. Used by
+/// CI as a telemetry and fault-recovery smoke test.
 fn cmd_trace_check(args: &Args) -> Result<(), CliError> {
     let path: String = args.required("file")?;
     let text = std::fs::read_to_string(&path)
@@ -494,32 +663,16 @@ fn cmd_trace_check(args: &Args) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Bad(format!("{path}:{}: missing \"event\" tag", idx + 1)))?;
         tags.push(tag.to_string());
     }
-    if tags.is_empty() {
-        return Err(CliError::Bad(format!("'{path}' contains no events")));
+    let verdict = check_tags(
+        &tags,
+        args.flag("expect-recovery"),
+        args.flag("allow-degraded"),
+    )
+    .map_err(|m| CliError::Bad(format!("'{path}': {m}")))?;
+    if !args.flag("quiet") {
+        println!("{verdict}");
     }
-    let residuals = tags.iter().filter(|t| t.as_str() == "residual").count();
-    if residuals == 0 {
-        return Err(CliError::Bad(format!(
-            "'{path}' has no residual events ({} events total)",
-            tags.len()
-        )));
-    }
-    match tags.last().map(String::as_str) {
-        Some("converged") => {
-            if !args.flag("quiet") {
-                println!(
-                    "ok: {} events, {} residuals, terminal event 'converged'",
-                    tags.len(),
-                    residuals
-                );
-            }
-            Ok(())
-        }
-        Some(other) => Err(CliError::Bad(format!(
-            "'{path}' ends with '{other}', expected 'converged'"
-        ))),
-        None => unreachable!("tags checked non-empty above"),
-    }
+    Ok(())
 }
 
 fn cmd_threshold(args: &Args) -> Result<(), CliError> {
@@ -540,5 +693,56 @@ fn cmd_threshold(args: &Args) -> Result<(), CliError> {
         None => Err(CliError::Bad(format!(
             "no threshold crossing found in [{lo}, {hi}] (distribution ordered/disordered across the whole bracket)"
         ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_tags;
+
+    fn tags(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn clean_converged_trace_passes() {
+        let t = tags(&["iteration", "residual", "converged"]);
+        assert!(check_tags(&t, false, false).is_ok());
+        // And still passes under the stricter terminal set.
+        assert!(check_tags(&t, false, true).is_ok());
+    }
+
+    #[test]
+    fn missing_residuals_or_bad_terminal_fail() {
+        assert!(check_tags(&tags(&[]), false, false).is_err());
+        assert!(check_tags(&tags(&["iteration", "converged"]), false, false).is_err());
+        assert!(check_tags(&tags(&["residual", "budget"]), false, false).is_err());
+        assert!(check_tags(&tags(&["residual", "iteration"]), false, true).is_err());
+    }
+
+    #[test]
+    fn allow_degraded_accepts_budget_and_recovery_terminals() {
+        assert!(check_tags(&tags(&["residual", "budget"]), false, true).is_ok());
+        assert!(check_tags(&tags(&["residual", "recovery_action"]), false, true).is_ok());
+    }
+
+    #[test]
+    fn expect_recovery_demands_detection_and_reaction() {
+        let healed = tags(&[
+            "residual",
+            "guardrail_tripped",
+            "recovery_action",
+            "residual",
+            "converged",
+        ]);
+        assert!(check_tags(&healed, true, false).is_ok());
+        // Detection without reaction, and vice versa, both fail.
+        let detect_only = tags(&["residual", "fault_detected", "converged"]);
+        assert!(check_tags(&detect_only, true, false).is_err());
+        let react_only = tags(&["residual", "retry", "converged"]);
+        assert!(check_tags(&react_only, true, false).is_err());
+        // A clean trace fails --expect-recovery: nothing was injected.
+        let clean = tags(&["residual", "converged"]);
+        assert!(check_tags(&clean, true, false).is_err());
     }
 }

@@ -132,6 +132,7 @@ pub fn spectral_gap<A: LinearOperator + ?Sized>(
             max_iter: opts.max_iter,
             shift: 0.0,
             parallel_reductions: false,
+            stall_window: None,
         },
     );
     let v0 = top.vector;

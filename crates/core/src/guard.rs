@@ -1,0 +1,142 @@
+//! Breakdown classification for the solver guardrails.
+//!
+//! Every iterative loop in this crate (power, Lanczos, RQI, MINRES) can
+//! fail in ways that are *not* honest budget exhaustion: a corrupted
+//! matvec poisons the iterate with NaN/Inf, a near-singular inner system
+//! stalls the residual, the Krylov recurrence loses orthogonality, or a
+//! shift lands on an eigenvalue and collapses the iterate. The guardrails
+//! detect these conditions, classify them with a [`Breakdown`], and hand
+//! the classification to the recovery ladder in
+//! [`solve`](crate::solver::solve) instead of panicking or silently
+//! spinning to `max_iter`.
+
+use std::fmt;
+
+/// Why an iterative loop stopped before its budget with an unusable or
+/// suspect state.
+///
+/// The `label()` strings double as the `kind` field of
+/// [`qs_telemetry::SolverEvent::GuardrailTripped`] events and as the
+/// `kind` of [`SolveError::NumericalBreakdown`](crate::SolveError), so
+/// trace streams, typed errors and `SolveStats` all speak the same
+/// vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Breakdown {
+    /// The iterate, eigenvalue estimate or residual became NaN/±∞
+    /// (e.g. an injected NaN matvec or overflow).
+    NonFiniteIterate,
+    /// The residual stopped improving for a full stall window — the loop
+    /// is spinning without making progress (e.g. a persistently corrupted
+    /// operator element).
+    ResidualStagnation,
+    /// The Lanczos recurrence produced a non-finite `α`/`β` coefficient;
+    /// the tridiagonal projection is no longer meaningful. (The *happy*
+    /// breakdown `β ≈ 0` is convergence, not this.)
+    LanczosBreakdown,
+    /// MINRES lost the residual-reduction guarantee: its recurrence
+    /// produced a non-finite quantity or the estimated residual grew past
+    /// its starting value, which the Paige–Saunders recurrence forbids on
+    /// a healthy symmetric system.
+    MinresDivergence,
+    /// The iterate collapsed to (numerically) zero, e.g. a spectral shift
+    /// hit an eigenvalue exactly.
+    IterateCollapse,
+}
+
+impl Breakdown {
+    /// Stable `snake_case` label used in telemetry events, typed errors
+    /// and `SolveStats::recovered_from`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Breakdown::NonFiniteIterate => "non_finite_iterate",
+            Breakdown::ResidualStagnation => "residual_stagnation",
+            Breakdown::LanczosBreakdown => "lanczos_breakdown",
+            Breakdown::MinresDivergence => "minres_divergence",
+            Breakdown::IterateCollapse => "iterate_collapse",
+        }
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Residual-stagnation detector: trips when the best residual seen has
+/// not improved for `window` consecutive measurements.
+///
+/// Comparisons use [`f64::total_cmp`] semantics via explicit ordering on
+/// finite values; a NaN residual never counts as an improvement (the
+/// non-finite guardrail catches it first in every loop).
+#[derive(Debug, Clone, Copy)]
+pub struct StallDetector {
+    window: usize,
+    best: f64,
+    stalled: usize,
+}
+
+impl StallDetector {
+    /// A detector that trips after `window` non-improving measurements.
+    pub fn new(window: usize) -> Self {
+        StallDetector {
+            window,
+            best: f64::INFINITY,
+            stalled: 0,
+        }
+    }
+
+    /// Feed one residual measurement; returns `true` when the detector
+    /// trips (and stays tripped until reset).
+    pub fn observe(&mut self, residual: f64) -> bool {
+        if residual.is_finite() && residual < self.best {
+            self.best = residual;
+            self.stalled = 0;
+        } else {
+            self.stalled += 1;
+        }
+        self.stalled >= self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_snake_case_and_stable() {
+        assert_eq!(Breakdown::NonFiniteIterate.label(), "non_finite_iterate");
+        assert_eq!(Breakdown::ResidualStagnation.label(), "residual_stagnation");
+        assert_eq!(Breakdown::LanczosBreakdown.label(), "lanczos_breakdown");
+        assert_eq!(Breakdown::MinresDivergence.label(), "minres_divergence");
+        assert_eq!(Breakdown::IterateCollapse.label(), "iterate_collapse");
+        assert_eq!(Breakdown::LanczosBreakdown.to_string(), "lanczos_breakdown");
+    }
+
+    #[test]
+    fn stall_detector_trips_after_window_without_improvement() {
+        let mut d = StallDetector::new(3);
+        assert!(!d.observe(1.0));
+        assert!(!d.observe(0.5)); // improving
+        assert!(!d.observe(0.5)); // stalled 1
+        assert!(!d.observe(0.6)); // stalled 2
+        assert!(d.observe(0.5)); // stalled 3 -> trip
+    }
+
+    #[test]
+    fn stall_detector_resets_on_improvement() {
+        let mut d = StallDetector::new(2);
+        assert!(!d.observe(1.0));
+        assert!(!d.observe(1.0)); // stalled 1
+        assert!(!d.observe(0.9)); // improvement resets
+        assert!(!d.observe(0.9)); // stalled 1
+        assert!(d.observe(0.9)); // stalled 2 -> trip
+    }
+
+    #[test]
+    fn nan_never_counts_as_improvement() {
+        let mut d = StallDetector::new(2);
+        assert!(!d.observe(f64::NAN));
+        assert!(d.observe(f64::NAN));
+    }
+}

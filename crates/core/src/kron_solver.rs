@@ -170,6 +170,8 @@ impl KroneckerQuasispecies {
                 engine: "kronecker(5.2)".into(),
                 method: "factorised".into(),
                 shift: 0.0,
+                degraded: false,
+                recovered_from: None,
                 residual_history: None,
             },
         )

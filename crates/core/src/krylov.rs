@@ -17,6 +17,9 @@ use qs_linalg::{dot, norm_l2};
 use qs_matvec::LinearOperator;
 use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
+use crate::guard::Breakdown;
+use crate::solver::SolveError;
+
 /// Options for [`minres`].
 #[derive(Debug, Clone, Copy)]
 pub struct MinresOptions {
@@ -46,6 +49,11 @@ pub struct MinresOutcome {
     pub residual: f64,
     /// Whether the tolerance was met within the budget.
     pub converged: bool,
+    /// Set when the recurrence produced a non-finite quantity (a
+    /// poisoned matvec or overflow along the near-null direction) and
+    /// the solve stopped early. `None` for convergence or honest budget
+    /// exhaustion.
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Solve `A·x = b` for a symmetric operator `A` by MINRES
@@ -56,10 +64,20 @@ pub struct MinresOutcome {
 /// along the near-null direction; callers doing inverse iteration should
 /// bound `max_iter` and renormalise.
 ///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidConfig`] if `opts.tol` is not a finite
+/// positive number.
+///
 /// # Panics
 ///
-/// Panics on length mismatch or a non-positive tolerance.
-pub fn minres<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: &MinresOptions) -> MinresOutcome {
+/// Panics on length mismatch (a programmer error, unlike a bad runtime
+/// tolerance).
+pub fn minres<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    opts: &MinresOptions,
+) -> Result<MinresOutcome, SolveError> {
     minres_probed(a, b, opts, &mut NullProbe)
 }
 
@@ -76,19 +94,28 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
     b: &[f64],
     opts: &MinresOptions,
     probe: &mut P,
-) -> MinresOutcome {
+) -> Result<MinresOutcome, SolveError> {
     assert_eq!(b.len(), a.len(), "minres: rhs length mismatch");
-    assert!(opts.tol > 0.0, "tolerance must be positive");
+    if !(opts.tol.is_finite() && opts.tol > 0.0) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "tol",
+            detail: format!(
+                "MINRES tolerance must be finite and positive, got {}",
+                opts.tol
+            ),
+        });
+    }
     let n = b.len();
 
     let beta1 = norm_l2(b);
     if beta1 == 0.0 {
-        return MinresOutcome {
+        return Ok(MinresOutcome {
             x: vec![0.0; n],
             iterations: 0,
             residual: 0.0,
             converged: true,
-        };
+            breakdown: None,
+        });
     }
 
     // Lanczos vectors v_{j−1}, v_j and the next one under construction.
@@ -109,6 +136,7 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
     let mut residual = beta1;
     let mut iterations = 0;
     let mut converged = false;
+    let mut breakdown = None;
 
     while iterations < opts.max_iter {
         iterations += 1;
@@ -123,6 +151,19 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
             *ai -= alpha * vi + beta * pi;
         }
         let beta_new = norm_l2(&av);
+
+        // Guardrail: the Paige–Saunders recurrence keeps |η| non-increasing
+        // on a healthy symmetric system, so the only way the solve can
+        // diverge is a non-finite quantity entering the recurrence. Stop
+        // before it poisons x.
+        if !alpha.is_finite() || !beta_new.is_finite() {
+            breakdown = Some(Breakdown::MinresDivergence);
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::MinresDivergence.label(),
+                iter: iterations,
+            });
+            break;
+        }
 
         // Apply the two previous rotations and compute the new one.
         let delta = gamma1 * alpha - gamma0 * sigma1 * beta;
@@ -173,12 +214,13 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
         beta = beta_new;
     }
 
-    MinresOutcome {
+    Ok(MinresOutcome {
         x,
         iterations,
         residual,
         converged,
-    }
+        breakdown,
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +255,7 @@ mod tests {
             vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0],
         ));
         let b = [1.0, 2.0, 3.0];
-        let out = minres(&a, &b, &MinresOptions::default());
+        let out = minres(&a, &b, &MinresOptions::default()).unwrap();
         assert!(out.converged);
         assert!(true_residual(&a, &out.x, &b) < 1e-9);
     }
@@ -223,7 +265,7 @@ mod tests {
         // Eigenvalues of diag(2, -1, 0.5): indefinite — CG would fail.
         let a = DenseOp(DenseMatrix::diagonal(&[2.0, -1.0, 0.5]));
         let b = [2.0, 2.0, 2.0];
-        let out = minres(&a, &b, &MinresOptions::default());
+        let out = minres(&a, &b, &MinresOptions::default()).unwrap();
         assert!(out.converged);
         assert!((out.x[0] - 1.0).abs() < 1e-9);
         assert!((out.x[1] + 2.0).abs() < 1e-9);
@@ -233,7 +275,7 @@ mod tests {
     #[test]
     fn zero_rhs_is_trivial() {
         let a = DenseOp(DenseMatrix::identity(4));
-        let out = minres(&a, &[0.0; 4], &MinresOptions::default());
+        let out = minres(&a, &[0.0; 4], &MinresOptions::default()).unwrap();
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
         assert_eq!(out.x, vec![0.0; 4]);
@@ -256,7 +298,8 @@ mod tests {
                 tol: 1e-12,
                 max_iter: 100,
             },
-        );
+        )
+        .unwrap();
         assert!(out.converged);
         let tr = true_residual(&a, &out.x, &b);
         assert!(tr < 1e-8, "true residual {tr} vs estimate {}", out.residual);
@@ -282,7 +325,8 @@ mod tests {
                 tol: 1e-9,
                 max_iter: 5_000,
             },
-        );
+        )
+        .unwrap();
         assert!(out.converged, "residual {}", out.residual);
         assert!(true_residual(&shifted, &out.x, &b) < 1e-6 * norm_l2(&b));
     }
@@ -297,8 +341,48 @@ mod tests {
                 tol: 1e-15,
                 max_iter: 1,
             },
-        );
+        )
+        .unwrap();
         assert!(!out.converged);
         assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn non_positive_tolerance_is_a_typed_error_not_a_panic() {
+        let a = DenseOp(DenseMatrix::identity(3));
+        for bad in [0.0, -1e-10, f64::NAN, f64::INFINITY] {
+            let err = minres(
+                &a,
+                &[1.0, 0.0, 0.0],
+                &MinresOptions {
+                    tol: bad,
+                    max_iter: 10,
+                },
+            )
+            .unwrap_err();
+            match err {
+                SolveError::InvalidConfig { parameter, .. } => assert_eq!(parameter, "tol"),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nan_operator_classifies_minres_divergence() {
+        struct NanOp;
+        impl LinearOperator for NanOp {
+            fn len(&self) -> usize {
+                3
+            }
+            fn apply_into(&self, _x: &[f64], y: &mut [f64]) {
+                y.fill(f64::NAN);
+            }
+        }
+        let out = minres(&NanOp, &[1.0, 2.0, 3.0], &MinresOptions::default()).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.breakdown, Some(Breakdown::MinresDivergence));
+        assert_eq!(out.iterations, 1);
+        // x was never updated with poisoned data.
+        assert!(out.x.iter().all(|v| v.is_finite()));
     }
 }

@@ -13,6 +13,8 @@ use qs_linalg::{dot, norm_l2, tridiag_eigen};
 use qs_matvec::LinearOperator;
 use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
+use crate::guard::Breakdown;
+
 /// Options for [`lanczos`].
 #[derive(Debug, Clone, Copy)]
 pub struct LanczosOptions {
@@ -45,6 +47,11 @@ pub struct LanczosOutcome {
     pub residual: f64,
     /// Did the residual reach `tol` within the subspace budget?
     pub converged: bool,
+    /// Set when the recurrence produced a non-finite `α`/`β` and the run
+    /// stopped with a best-effort Ritz pair from the clean prefix of the
+    /// basis. `None` for convergence or subspace exhaustion. (The happy
+    /// breakdown `β ≈ 0` counts as convergence, not a [`Breakdown`].)
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Run Lanczos with full reorthogonalisation on a **symmetric** operator.
@@ -126,6 +133,45 @@ pub fn lanczos_probed<A: LinearOperator + ?Sized, P: Probe>(
         }
         let beta = norm_l2(&w);
 
+        // Guardrail: a poisoned matvec makes α or β non-finite and the
+        // tridiagonal projection meaningless. Stop before handing NaN to
+        // the eigensolver and return the best Ritz pair of the clean
+        // prefix T_{j} (dropping the poisoned step).
+        if !alpha.is_finite() || !beta.is_finite() {
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::LanczosBreakdown.label(),
+                iter: j + 1,
+            });
+            let (lambda, x) = if j == 0 {
+                (f64::NAN, basis[0].clone())
+            } else {
+                let eig = tridiag_eigen(&alphas[..j], &betas[..j - 1]);
+                let mut x = vec![0.0; n];
+                for (i, q) in basis.iter().take(j).enumerate() {
+                    let si = eig.vectors[(i, 0)];
+                    for (xi, &qi) in x.iter_mut().zip(q) {
+                        *xi += si * qi;
+                    }
+                }
+                normalize_l2(&mut x);
+                orient_positive(&mut x);
+                (eig.values[0], x)
+            };
+            probe.record(&SolverEvent::Budget {
+                iterations: j + 1,
+                matvecs,
+                residual: f64::NAN,
+            });
+            return LanczosOutcome {
+                lambda,
+                vector: x,
+                matvecs,
+                residual: f64::NAN,
+                converged: false,
+                breakdown: Some(Breakdown::LanczosBreakdown),
+            };
+        }
+
         // Ritz extraction on the current tridiagonal T_j.
         let eig = tridiag_eigen(&alphas, &betas);
         let m = alphas.len();
@@ -168,6 +214,7 @@ pub fn lanczos_probed<A: LinearOperator + ?Sized, P: Probe>(
                 matvecs,
                 residual,
                 converged,
+                breakdown: None,
             };
         }
 
@@ -316,6 +363,56 @@ mod tests {
             rec.terminal(),
             Some(SolverEvent::Converged { .. })
         ));
+    }
+
+    #[test]
+    fn nan_matvec_classifies_lanczos_breakdown() {
+        use qs_telemetry::RecordingProbe;
+        struct NanAfter<A> {
+            inner: A,
+            from: usize,
+            count: std::sync::atomic::AtomicUsize,
+        }
+        impl<A: LinearOperator> LinearOperator for NanAfter<A> {
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+            fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+                self.inner.apply_into(x, y);
+                if self
+                    .count
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    >= self.from
+                {
+                    y[0] = f64::NAN;
+                }
+            }
+        }
+        let (nu, p) = (7u32, 0.01);
+        let landscape = Random::new(nu, 5.0, 1.0, 8);
+        let w = NanAfter {
+            inner: sym_op(nu, p, &landscape),
+            from: 4,
+            count: Default::default(),
+        };
+        let mut rec = RecordingProbe::new();
+        let lz = lanczos_probed(
+            &w,
+            &sym_start(&landscape),
+            &LanczosOptions::default(),
+            &mut rec,
+        );
+        assert!(!lz.converged);
+        assert_eq!(
+            lz.breakdown,
+            Some(crate::guard::Breakdown::LanczosBreakdown)
+        );
+        // Stopped at the poisoned step, not at subspace exhaustion.
+        assert!(lz.matvecs <= 6, "ran {} matvecs", lz.matvecs);
+        // Best-effort Ritz pair from the clean prefix is finite.
+        assert!(lz.lambda.is_finite());
+        assert!(lz.vector.iter().all(|v| v.is_finite()));
+        assert_eq!(rec.guardrail_kinds(), vec!["lanczos_breakdown"]);
     }
 
     #[test]

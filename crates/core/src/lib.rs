@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod guard;
 pub mod kron_solver;
 pub mod krylov;
 pub mod lanczos;
@@ -57,6 +58,7 @@ pub mod solver;
 pub mod threshold;
 
 pub use analysis::{spectral_gap, summarize, PopulationSummary, SpectralGap, SpectralGapOptions};
+pub use guard::{Breakdown, StallDetector};
 pub use kron_solver::{solve_kronecker, KroneckerQuasispecies};
 pub use krylov::{minres, minres_probed, MinresOptions, MinresOutcome};
 pub use lanczos::{lanczos, lanczos_probed, LanczosOptions, LanczosOutcome};

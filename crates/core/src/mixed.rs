@@ -126,6 +126,7 @@ pub fn solve_mixed_precision<L: Landscape + ?Sized>(
             max_iter: opts.max_iter_f64,
             shift: mu,
             parallel_reductions: false,
+            stall_window: None,
         },
     );
     if !out.converged {
@@ -142,6 +143,8 @@ pub fn solve_mixed_precision<L: Landscape + ?Sized>(
         engine: "Fmmp-mixed(f32→f64)".into(),
         method: if mu != 0.0 { "Pi+shift" } else { "Pi" }.into(),
         shift: mu,
+        degraded: false,
+        recovered_from: None,
         residual_history: None,
     };
     Ok((

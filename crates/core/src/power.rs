@@ -13,6 +13,8 @@ use qs_linalg::vec_ops::{normalize_l2, orient_positive, sub_scaled_into};
 use qs_matvec::LinearOperator;
 use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
+use crate::guard::{Breakdown, StallDetector};
+
 /// Options for [`power_iteration`].
 #[derive(Debug, Clone, Copy)]
 pub struct PowerOptions {
@@ -28,6 +30,11 @@ pub struct PowerOptions {
     /// parallel matvec engine; the paper notes the summations parallelise
     /// well and have "almost no influence" on runtime).
     pub parallel_reductions: bool,
+    /// Residual-stagnation window: trip the guardrail after this many
+    /// consecutive iterations without a new best residual. `None`
+    /// disables stagnation detection (the default; the recovery-enabled
+    /// `solve` path turns it on).
+    pub stall_window: Option<usize>,
 }
 
 impl Default for PowerOptions {
@@ -37,6 +44,7 @@ impl Default for PowerOptions {
             max_iter: 100_000,
             shift: 0.0,
             parallel_reductions: false,
+            stall_window: None,
         }
     }
 }
@@ -57,6 +65,11 @@ pub struct PowerOutcome {
     /// Operator applications performed (= iterations; kept separately so
     /// engines with inner iterations can report honestly).
     pub matvecs: usize,
+    /// Set when a guardrail stopped the loop early: the iterate went
+    /// non-finite, the residual stagnated for a full window, or the
+    /// iterate collapsed to zero. `None` for convergence or honest
+    /// budget exhaustion.
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Run the (optionally shifted) power iteration `x ← (A − µI)x / ‖·‖` from
@@ -69,9 +82,11 @@ pub struct PowerOutcome {
 ///
 /// # Panics
 ///
-/// Panics if `start.len() != a.len()`, the start vector is zero, `tol` is
-/// negative, or the iterate collapses to zero (can only happen if `µ` is an
-/// exact eigenvalue hit by the iterate).
+/// Panics if `start.len() != a.len()`, the start vector is zero, or `tol`
+/// is negative. Numerical trouble mid-run (non-finite iterate, stagnating
+/// residual, iterate collapsing to zero because `µ` hit an eigenvalue) no
+/// longer panics: the loop stops early and classifies the failure in
+/// [`PowerOutcome::breakdown`].
 pub fn power_iteration<A: LinearOperator + ?Sized>(
     a: &A,
     start: &[f64],
@@ -126,6 +141,8 @@ pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
     let mut converged = false;
+    let mut breakdown = None;
+    let mut stall = opts.stall_window.map(StallDetector::new);
 
     // Invariant: the returned (λ, x, residual) triple is self-consistent —
     // the residual is measured at exactly the x that is returned, so
@@ -152,18 +169,44 @@ pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
             value: residual,
             lambda: lambda_shifted + mu,
         });
+        // Guardrails. The checks are pure comparisons on already-computed
+        // scalars, so the fault-free floating-point sequence is unchanged.
+        // The non-finite check runs before the convergence test: a NaN λ
+        // must never be reported as a converged eigenvalue.
+        if !residual.is_finite() || !lambda_shifted.is_finite() {
+            breakdown = Some(Breakdown::NonFiniteIterate);
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::NonFiniteIterate.label(),
+                iter: iterations,
+            });
+            break;
+        }
         if residual <= opts.tol {
             converged = true;
             break; // keep the x the residual was measured at
+        }
+        if let Some(stall) = stall.as_mut() {
+            if stall.observe(residual) {
+                breakdown = Some(Breakdown::ResidualStagnation);
+                probe.record(&SolverEvent::GuardrailTripped {
+                    kind: Breakdown::ResidualStagnation.label(),
+                    iter: iterations,
+                });
+                break;
+            }
         }
         if iterations == opts.max_iter {
             break;
         }
         let ny = norm(&y);
-        assert!(
-            ny > 0.0,
-            "power_iteration: iterate collapsed (shift hit an eigenvalue?)"
-        );
+        if !(ny.is_finite() && ny > 0.0) {
+            breakdown = Some(Breakdown::IterateCollapse);
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::IterateCollapse.label(),
+                iter: iterations,
+            });
+            break;
+        }
         let inv = 1.0 / ny;
         for (xi, &yi) in x.iter_mut().zip(&y) {
             *xi = yi * inv;
@@ -192,6 +235,7 @@ pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
         residual,
         converged,
         matvecs: iterations,
+        breakdown,
     }
 }
 
@@ -429,5 +473,126 @@ mod tests {
         let landscape = SinglePeak::new(4, 2.0, 1.0);
         let w = w_op(4, 0.01, &landscape);
         let _ = power_iteration(&w, &[0.0; 16], &PowerOptions::default());
+    }
+
+    /// Wraps an operator and poisons element 0 of every application from
+    /// the `from`-th matvec (0-based) onwards. With `alternate` the sign
+    /// of the poison flips per application, so the corrupted map has no
+    /// fixed point the iteration could (wrongly) converge to.
+    struct PoisonOp<A> {
+        inner: A,
+        from: usize,
+        value: f64,
+        alternate: bool,
+        count: std::sync::atomic::AtomicUsize,
+    }
+
+    impl<A: LinearOperator> LinearOperator for PoisonOp<A> {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+            self.inner.apply_into(x, y);
+            let k = self
+                .count
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if k >= self.from {
+                let sign = if self.alternate && k % 2 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                y[0] = sign * self.value;
+            }
+        }
+    }
+
+    #[test]
+    fn nan_matvec_trips_non_finite_guardrail_instead_of_spinning() {
+        use qs_telemetry::RecordingProbe;
+        let nu = 6u32;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let w = PoisonOp {
+            inner: w_op(nu, 0.01, &landscape),
+            from: 3,
+            value: f64::NAN,
+            alternate: false,
+            count: Default::default(),
+        };
+        let mut rec = RecordingProbe::new();
+        let out = power_iteration_probed(
+            &w,
+            &start_from(&landscape),
+            &PowerOptions::default(),
+            &mut rec,
+        );
+        assert!(!out.converged);
+        assert_eq!(
+            out.breakdown,
+            Some(crate::guard::Breakdown::NonFiniteIterate)
+        );
+        // Stopped promptly, not at the 100k budget.
+        assert!(out.iterations <= 5, "spun {} iterations", out.iterations);
+        assert_eq!(rec.guardrail_kinds(), vec!["non_finite_iterate"]);
+    }
+
+    #[test]
+    fn persistent_perturbation_trips_stagnation_guardrail() {
+        // An alternating-sign perturbation injected into every matvec
+        // keeps the residual bounded away from tol; with a stall window
+        // the loop classifies the stagnation instead of burning the
+        // whole budget.
+        let nu = 6u32;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let w = PoisonOp {
+            inner: w_op(nu, 0.01, &landscape),
+            from: 0,
+            value: 0.5,
+            alternate: true,
+            count: Default::default(),
+        };
+        let out = power_iteration(
+            &w,
+            &start_from(&landscape),
+            &PowerOptions {
+                stall_window: Some(50),
+                ..Default::default()
+            },
+        );
+        assert!(!out.converged);
+        assert_eq!(
+            out.breakdown,
+            Some(crate::guard::Breakdown::ResidualStagnation)
+        );
+        assert!(
+            out.iterations < 10_000,
+            "spun {} iterations",
+            out.iterations
+        );
+        // The iterate is still finite — usable as a best-so-far candidate.
+        assert!(out.vector.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guardrails_off_by_default_keep_bit_identity() {
+        // Default options (no stall window) must not change the
+        // floating-point sequence of a healthy run.
+        let nu = 7u32;
+        let landscape = Random::new(nu, 5.0, 1.0, 11);
+        let w = w_op(nu, 0.01, &landscape);
+        let start = start_from(&landscape);
+        let plain = power_iteration(&w, &start, &PowerOptions::default());
+        let guarded = power_iteration(
+            &w,
+            &start,
+            &PowerOptions {
+                stall_window: Some(10_000),
+                ..Default::default()
+            },
+        );
+        assert!(plain.converged && guarded.converged);
+        assert_eq!(plain.lambda.to_bits(), guarded.lambda.to_bits());
+        assert_eq!(plain.iterations, guarded.iterations);
+        assert!(plain.breakdown.is_none() && guarded.breakdown.is_none());
     }
 }

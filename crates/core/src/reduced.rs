@@ -80,6 +80,8 @@ impl ReducedQuasispecies {
                 engine: "reduced(5.1)".into(),
                 method: "Jacobi".into(),
                 shift: 0.0,
+                degraded: false,
+                recovered_from: None,
                 residual_history: None,
             },
         )

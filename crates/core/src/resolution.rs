@@ -17,6 +17,7 @@
 //!   distribution at human scale.
 
 use crate::result::Quasispecies;
+use crate::solver::SolveError;
 
 /// Exact marginal distribution over the sites selected by `site_mask`
 /// (bit `s` of the mask selects site `s`): entry `m` of the result is the
@@ -24,26 +25,31 @@ use crate::result::Quasispecies;
 /// `m`-th pattern (patterns enumerated by compressing the selected bits
 /// together, preserving their order).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `site_mask` has bits outside the chain length or is zero.
-pub fn marginal(qs: &Quasispecies, site_mask: u64) -> Vec<f64> {
+/// [`SolveError::InvalidConfig`] if `site_mask` is zero or has bits
+/// outside the chain length.
+pub fn marginal(qs: &Quasispecies, site_mask: u64) -> Result<Vec<f64>, SolveError> {
     let nu = qs.nu();
-    assert!(
-        site_mask != 0,
-        "marginal over the empty site set is trivial"
-    );
-    assert!(
-        site_mask < (1u64 << nu),
-        "site mask has bits beyond the chain length"
-    );
+    if site_mask == 0 {
+        return Err(SolveError::InvalidConfig {
+            parameter: "site_mask",
+            detail: "marginal over the empty site set is trivial".into(),
+        });
+    }
+    if site_mask >= (1u64 << nu) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "site_mask",
+            detail: format!("site mask {site_mask:#b} has bits beyond the chain length ν = {nu}"),
+        });
+    }
     let k = site_mask.count_ones();
     let mut out = vec![qs_linalg::NeumaierSum::new(); 1usize << k];
     for (i, &x) in qs.concentrations.iter().enumerate() {
         let pattern = compress_bits(i as u64, site_mask);
         out[pattern as usize].add(x);
     }
-    out.iter().map(qs_linalg::NeumaierSum::value).collect()
+    Ok(out.iter().map(qs_linalg::NeumaierSum::value).collect())
 }
 
 /// Extract the bits of `value` selected by `mask`, packed contiguously
@@ -133,7 +139,9 @@ impl Pyramid {
                 let (j, &c) = lvl
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    // `total_cmp` keeps the search well-defined even if a
+                    // degraded solve left non-finite mass in a bin.
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .expect("non-empty level");
                 (j as u64, c)
             })
@@ -155,7 +163,7 @@ mod tests {
     fn marginals_are_distributions() {
         let qs = solved(8, 0.02);
         for mask in [0b1u64, 0b11, 0b1010_0001, 0xFF] {
-            let m = marginal(&qs, mask);
+            let m = marginal(&qs, mask).unwrap();
             assert_eq!(m.len(), 1 << mask.count_ones());
             let s: f64 = m.iter().sum();
             assert!((s - 1.0).abs() < 1e-12, "mask {mask:#b}");
@@ -166,7 +174,7 @@ mod tests {
     #[test]
     fn full_mask_marginal_is_the_distribution_itself() {
         let qs = solved(6, 0.03);
-        let m = marginal(&qs, (1 << 6) - 1);
+        let m = marginal(&qs, (1 << 6) - 1).unwrap();
         for (a, b) in m.iter().zip(&qs.concentrations) {
             assert!((a - b).abs() < 1e-15);
         }
@@ -177,7 +185,7 @@ mod tests {
         let qs = solved(7, 0.05);
         let all = site_marginals(&qs);
         for s in 0..7u32 {
-            let m = marginal(&qs, 1 << s);
+            let m = marginal(&qs, 1 << s).unwrap();
             assert!((m[1] - all[s as usize]).abs() < 1e-13, "site {s}");
             assert!((m[0] + m[1] - 1.0).abs() < 1e-13);
         }
@@ -187,7 +195,7 @@ mod tests {
     fn marginal_brute_force_check() {
         // Marginal over sites {0, 2} of a ν = 4 distribution.
         let qs = solved(4, 0.04);
-        let m = marginal(&qs, 0b0101);
+        let m = marginal(&qs, 0b0101).unwrap();
         for pat in 0..4u64 {
             let bit0 = pat & 1;
             let bit2 = (pat >> 1) & 1;
@@ -229,7 +237,7 @@ mod tests {
         let pyr = Pyramid::new(&qs);
         for l in 1..=6u32 {
             let mask = ((1u64 << l) - 1) << (6 - l);
-            let m = marginal(&qs, mask);
+            let m = marginal(&qs, mask).unwrap();
             let lvl = pyr.level(l as usize);
             for (j, &c) in lvl.iter().enumerate() {
                 // compress_bits packs LSB-first; pyramid prefixes are the
@@ -259,9 +267,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "beyond the chain length")]
-    fn marginal_rejects_out_of_range_mask() {
+    fn marginal_rejects_bad_masks_with_typed_errors() {
+        use crate::solver::SolveError;
         let qs = solved(4, 0.02);
-        let _ = marginal(&qs, 1 << 10);
+        for mask in [0u64, 1 << 10] {
+            match marginal(&qs, mask) {
+                Err(SolveError::InvalidConfig { parameter, .. }) => {
+                    assert_eq!(parameter, "site_mask");
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
     }
 }

@@ -20,6 +20,17 @@ pub struct SolveStats {
     pub method: String,
     /// Spectral shift used (0 if none).
     pub shift: f64,
+    /// `true` when the solve broke down, the recovery ladder could not
+    /// converge any method, and the result is the best-so-far iterate:
+    /// still a valid L1-normalised non-negative distribution, but its
+    /// residual did not meet the tolerance.
+    #[serde(default)]
+    pub degraded: bool,
+    /// When the solve broke down but a restart or fallback method later
+    /// converged (or a degraded result was handed back), the `snake_case`
+    /// classification of the original breakdown; `None` for clean solves.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recovered_from: Option<String>,
     /// Per-iteration residual trajectory, recorded only when the solve ran
     /// with an enabled telemetry probe (`solve_probed` and friends); `None`
     /// otherwise, and omitted from serialised output.
@@ -151,6 +162,8 @@ mod tests {
             engine: "test".into(),
             method: "test".into(),
             shift: 0.0,
+            degraded: false,
+            recovered_from: None,
             residual_history: None,
         }
     }

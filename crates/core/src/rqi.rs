@@ -17,7 +17,9 @@
 //! cubically convergent outer steps. Each inner MINRES iteration is one
 //! `Fmmp` application, so everything stays matrix-free.
 
+use crate::guard::Breakdown;
 use crate::krylov::{minres_probed, MinresOptions};
+use crate::solver::SolveError;
 use qs_linalg::vec_ops::{normalize_l2, orient_positive, sub_scaled_into};
 use qs_linalg::{dot, norm_l2};
 use qs_matvec::{LinearOperator, ShiftedOp};
@@ -68,10 +70,19 @@ pub struct RqiOutcome {
     pub residual: f64,
     /// Whether `tol` was met.
     pub converged: bool,
+    /// Set when a guardrail stopped the run: the warm-up or outer iterate
+    /// collapsed / went non-finite, or the inner MINRES solve broke down.
+    /// `None` for convergence or honest outer-budget exhaustion.
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Rayleigh-quotient iteration on a **symmetric** operator, warm-started
 /// with plain power iteration.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidConfig`] if `opts.inner_tol` is not a
+/// finite positive number (it parameterises the inner MINRES solves).
 ///
 /// # Panics
 ///
@@ -80,7 +91,7 @@ pub fn rayleigh_quotient_iteration<A: LinearOperator + ?Sized>(
     a: &A,
     start: &[f64],
     opts: &RqiOptions,
-) -> RqiOutcome {
+) -> Result<RqiOutcome, SolveError> {
     rayleigh_quotient_iteration_probed(a, start, opts, &mut NullProbe)
 }
 
@@ -99,7 +110,7 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
     start: &[f64],
     opts: &RqiOptions,
     probe: &mut P,
-) -> RqiOutcome {
+) -> Result<RqiOutcome, SolveError> {
     assert_eq!(start.len(), a.len(), "rqi: start length mismatch");
     let n = a.len();
     let mut x = start.to_vec();
@@ -108,6 +119,7 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
     let mut ax = vec![0.0; n];
     let mut r = vec![0.0; n];
     let mut matvecs = 0usize;
+    let mut breakdown = None;
 
     // Warm-up: steer toward the dominant eigenvector.
     for _ in 0..opts.warmup {
@@ -118,33 +130,54 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
         }
         matvecs += 1;
         let norm = norm_l2(&ax);
-        assert!(norm > 0.0, "rqi: warm-up iterate collapsed");
+        if !(norm.is_finite() && norm > 0.0) {
+            // Guardrail: a poisoned matvec or an exact collapse — keep the
+            // last finite iterate instead of panicking.
+            breakdown = Some(Breakdown::IterateCollapse);
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::IterateCollapse.label(),
+                iter: 0,
+            });
+            break;
+        }
         for (xi, &yi) in x.iter_mut().zip(&ax) {
             *xi = yi / norm;
         }
     }
 
-    let mut rho;
-    let mut residual;
-    // Evaluate the warm-started pair.
-    if probe.enabled() {
-        a.apply_into_probed(&x, &mut ax, &mut *probe);
-    } else {
-        a.apply_into(&x, &mut ax);
-    }
-    matvecs += 1;
-    rho = dot(&x, &ax);
-    sub_scaled_into(&ax, rho, &x, &mut r);
-    residual = norm_l2(&r);
-    probe.record(&SolverEvent::Residual {
-        iter: 0,
-        value: residual,
-        lambda: rho,
-    });
-
+    let mut rho = f64::NAN;
+    let mut residual = f64::NAN;
     let mut outer = 0usize;
-    let mut converged = residual <= opts.tol;
-    while !converged && outer < opts.max_outer {
+    let mut converged = false;
+
+    if breakdown.is_none() {
+        // Evaluate the warm-started pair.
+        if probe.enabled() {
+            a.apply_into_probed(&x, &mut ax, &mut *probe);
+        } else {
+            a.apply_into(&x, &mut ax);
+        }
+        matvecs += 1;
+        rho = dot(&x, &ax);
+        sub_scaled_into(&ax, rho, &x, &mut r);
+        residual = norm_l2(&r);
+        probe.record(&SolverEvent::Residual {
+            iter: 0,
+            value: residual,
+            lambda: rho,
+        });
+        if !rho.is_finite() || !residual.is_finite() {
+            breakdown = Some(Breakdown::NonFiniteIterate);
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::NonFiniteIterate.label(),
+                iter: 0,
+            });
+        } else {
+            converged = residual <= opts.tol;
+        }
+    }
+
+    while breakdown.is_none() && !converged && outer < opts.max_outer {
         outer += 1;
         probe.record(&SolverEvent::IterationStart { iter: outer });
         // Inverse-iteration step with the Rayleigh shift: near-singular by
@@ -159,11 +192,22 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
                 max_iter: opts.inner_max,
             },
             &mut *probe,
-        );
+        )?;
         matvecs += inner.iterations;
+        if let Some(b) = inner.breakdown {
+            // MINRES already recorded its own guardrail event.
+            breakdown = Some(b);
+            break;
+        }
         let y_norm = norm_l2(&inner.x);
         if !(y_norm.is_finite() && y_norm > 0.0) {
-            break; // inner solve failed to produce a direction
+            // Inner solve failed to produce a direction.
+            breakdown = Some(Breakdown::IterateCollapse);
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::IterateCollapse.label(),
+                iter: outer,
+            });
+            break;
         }
         for (xi, &yi) in x.iter_mut().zip(&inner.x) {
             *xi = yi / y_norm;
@@ -182,6 +226,14 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
             value: residual,
             lambda: rho,
         });
+        if !rho.is_finite() || !residual.is_finite() {
+            breakdown = Some(Breakdown::NonFiniteIterate);
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: Breakdown::NonFiniteIterate.label(),
+                iter: outer,
+            });
+            break;
+        }
         converged = residual <= opts.tol;
     }
 
@@ -200,14 +252,15 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
             residual,
         });
     }
-    RqiOutcome {
+    Ok(RqiOutcome {
         lambda: rho,
         vector: x,
         outer_iterations: outer,
         matvecs,
         residual,
         converged,
-    }
+        breakdown,
+    })
 }
 
 #[cfg(test)]
@@ -227,7 +280,7 @@ mod tests {
     #[test]
     fn converges_to_dominant_pair() {
         let (w, start) = sym_problem(9, 0.01, 5);
-        let rqi = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default());
+        let rqi = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default()).unwrap();
         assert!(rqi.converged, "residual {}", rqi.residual);
         let pi = power_iteration(
             &w,
@@ -250,7 +303,7 @@ mod tests {
     #[test]
     fn cubic_convergence_needs_few_outer_steps() {
         let (w, start) = sym_problem(10, 0.02, 8);
-        let rqi = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default());
+        let rqi = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default()).unwrap();
         assert!(rqi.converged);
         assert!(
             rqi.outer_iterations <= 5,
@@ -262,7 +315,7 @@ mod tests {
     #[test]
     fn residual_is_self_consistent() {
         let (w, start) = sym_problem(8, 0.03, 2);
-        let rqi = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default());
+        let rqi = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default()).unwrap();
         let ax = w.apply(&rqi.vector);
         let mut r = vec![0.0; ax.len()];
         qs_linalg::vec_ops::sub_scaled_into(&ax, rqi.lambda, &rqi.vector, &mut r);
@@ -284,7 +337,8 @@ mod tests {
                 warmup: 0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(rqi.converged, "residual {}", rqi.residual);
         let ax = w.apply(&rqi.vector);
         for (a, b) in ax.iter().zip(&rqi.vector) {
@@ -292,7 +346,7 @@ mod tests {
         }
         // And with the default warm-up, the *dominant* pair is found even
         // from this start.
-        let warmed = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default());
+        let warmed = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default()).unwrap();
         let pi = power_iteration(
             &w,
             &start,
@@ -310,9 +364,9 @@ mod tests {
         use qs_telemetry::{RecordingProbe, SolverEvent};
         let (w, start) = sym_problem(8, 0.02, 6);
         let opts = RqiOptions::default();
-        let plain = rayleigh_quotient_iteration(&w, &start, &opts);
+        let plain = rayleigh_quotient_iteration(&w, &start, &opts).unwrap();
         let mut rec = RecordingProbe::new();
-        let probed = rayleigh_quotient_iteration_probed(&w, &start, &opts, &mut rec);
+        let probed = rayleigh_quotient_iteration_probed(&w, &start, &opts, &mut rec).unwrap();
         assert_eq!(plain.lambda.to_bits(), probed.lambda.to_bits());
         assert_eq!(plain.residual.to_bits(), probed.residual.to_bits());
         assert_eq!(plain.matvecs, probed.matvecs);
@@ -350,8 +404,66 @@ mod tests {
                 tol: 1e-10,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(rqi.converged);
         assert_eq!(rqi.outer_iterations, 0);
+    }
+
+    #[test]
+    fn invalid_inner_tolerance_is_a_typed_error() {
+        let (w, start) = sym_problem(6, 0.02, 1);
+        let err = rayleigh_quotient_iteration(
+            &w,
+            &start,
+            &RqiOptions {
+                inner_tol: -1.0,
+                // Force at least one outer step so the inner solve runs.
+                tol: 0.0,
+                warmup: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::solver::SolveError::InvalidConfig {
+                parameter: "tol",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn nan_matvec_during_warmup_classifies_breakdown_without_panic() {
+        struct NanAfter<A> {
+            inner: A,
+            from: usize,
+            count: std::sync::atomic::AtomicUsize,
+        }
+        impl<A: LinearOperator> LinearOperator for NanAfter<A> {
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+            fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+                self.inner.apply_into(x, y);
+                if self
+                    .count
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    >= self.from
+                {
+                    y[0] = f64::NAN;
+                }
+            }
+        }
+        let (w, start) = sym_problem(7, 0.02, 4);
+        let poisoned = NanAfter {
+            inner: w,
+            from: 2,
+            count: Default::default(),
+        };
+        let rqi = rayleigh_quotient_iteration(&poisoned, &start, &RqiOptions::default()).unwrap();
+        assert!(!rqi.converged);
+        assert!(rqi.breakdown.is_some(), "breakdown not classified");
     }
 }

@@ -5,6 +5,7 @@
 //! `Pi(Xmvp(ν))`, `Pi(Xmvp(5))` on either a serial ("CPU") or parallel
 //! ("GPU"-substitute) backend.
 
+use crate::guard::Breakdown;
 use crate::lanczos::{lanczos_probed, LanczosOptions};
 use crate::power::{power_iteration_probed, PowerOptions};
 use crate::result::{Quasispecies, SolveStats};
@@ -104,6 +105,12 @@ pub struct SolverConfig {
     pub tol: f64,
     /// Iteration budget.
     pub max_iter: usize,
+    /// Run the recovery ladder when a numerical breakdown is detected
+    /// (restart with a re-normalised iterate, fall back through the other
+    /// methods, finally return the best-so-far iterate flagged
+    /// [`SolveStats::degraded`]). With `recover = false` a breakdown is
+    /// surfaced immediately as [`SolveError::NumericalBreakdown`].
+    pub recover: bool,
 }
 
 impl Default for SolverConfig {
@@ -115,6 +122,7 @@ impl Default for SolverConfig {
             formulation: Formulation::Right,
             tol: 1e-13,
             max_iter: 200_000,
+            recover: true,
         }
     }
 }
@@ -136,6 +144,29 @@ pub enum SolveError {
         /// Landscape dimension.
         landscape: usize,
     },
+    /// A configuration parameter or input was rejected before any
+    /// iteration ran (non-positive tolerance, error rate outside
+    /// `(0, 1/2]`, non-positive fitness values, …).
+    InvalidConfig {
+        /// Which parameter was rejected (e.g. `"tol"`, `"p"`,
+        /// `"fitness"`).
+        parameter: &'static str,
+        /// Human-readable description of the rejection.
+        detail: String,
+    },
+    /// The solve broke down numerically (see [`Breakdown`] for the
+    /// vocabulary of `kind` labels) and recovery — if enabled — could not
+    /// produce even a degraded result.
+    NumericalBreakdown {
+        /// Stable `snake_case` classification, one of the
+        /// [`Breakdown::label`] strings.
+        kind: &'static str,
+        /// Iterations performed across all recovery attempts.
+        iterations: usize,
+        /// Last residual observed (may be NaN if the iterate was
+        /// poisoned).
+        residual: f64,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -155,6 +186,18 @@ impl std::fmt::Display for SolveError {
                 f,
                 "operator dimension {operator} does not match landscape dimension {landscape}"
             ),
+            SolveError::InvalidConfig { parameter, detail } => {
+                write!(f, "invalid solver configuration ({parameter}): {detail}")
+            }
+            SolveError::NumericalBreakdown {
+                kind,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "numerical breakdown ({kind}) after {iterations} iterations \
+                 (residual {residual:.3e}); recovery exhausted"
+            ),
         }
     }
 }
@@ -171,12 +214,17 @@ impl std::error::Error for SolveError {}
 ///
 /// # Errors
 ///
-/// [`SolveError::NotConverged`] if the residual tolerance is not met.
+/// [`SolveError::InvalidConfig`] on invalid inputs (`p ∉ (0, 1/2]`,
+/// non-positive `tol`, non-positive fitness values);
+/// [`SolveError::NotConverged`] if the iteration budget runs out;
+/// [`SolveError::NumericalBreakdown`] if the iteration broke down and the
+/// recovery ladder (see [`SolverConfig::recover`]) could not salvage a
+/// result.
 ///
 /// # Panics
 ///
-/// Panics on invalid parameters (`p ∉ (0, 1/2]`, `d_max > ν`, `Smvp` beyond
-/// the materialisation guard).
+/// Panics on structurally invalid engines (`d_max > ν`, `Smvp` beyond the
+/// materialisation guard).
 pub fn solve<L: Landscape + ?Sized>(
     p: f64,
     landscape: &L,
@@ -202,6 +250,12 @@ pub fn solve_probed<L: Landscape + ?Sized, P: Probe>(
     config: &SolverConfig,
     probe: &mut P,
 ) -> Result<Quasispecies, SolveError> {
+    if !(p.is_finite() && p > 0.0 && p <= 0.5) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "p",
+            detail: format!("error rate must lie in (0, 1/2], got {p}"),
+        });
+    }
     let nu = landscape.nu();
     let engine_label = config.engine.label(nu);
     let q_op: Box<dyn LinearOperator> = match config.engine {
@@ -213,7 +267,20 @@ pub fn solve_probed<L: Landscape + ?Sized, P: Probe>(
     };
     let shift = match config.shift {
         ShiftStrategy::None => 0.0,
-        ShiftStrategy::Conservative => conservative_shift(nu, p, landscape.f_min()),
+        ShiftStrategy::Conservative => {
+            // `conservative_shift` asserts f_min > 0; turn a degenerate
+            // landscape into the same typed error `solve_operator` raises.
+            let f_min = landscape.f_min();
+            if !(f_min.is_finite() && f_min > 0.0) {
+                return Err(SolveError::InvalidConfig {
+                    parameter: "fitness",
+                    detail: format!(
+                        "fitness values must be finite and strictly positive, found minimum {f_min}"
+                    ),
+                });
+            }
+            conservative_shift(nu, p, f_min)
+        }
         ShiftStrategy::Custom(mu) => mu,
     };
     solve_operator(q_op, landscape, shift, engine_label, config, probe)
@@ -327,40 +394,92 @@ impl<P: Probe> Probe for HistoryProbe<'_, P> {
     }
 }
 
-fn solve_operator<L: Landscape + ?Sized, P: Probe>(
-    q_op: Box<dyn LinearOperator>,
-    landscape: &L,
+/// Residual-stagnation window wired into the power loop when recovery is
+/// enabled: a healthy geometric iteration improves its best residual far
+/// more often than once per thousand steps, so only a genuinely stuck
+/// (e.g. persistently corrupted) solve trips it.
+const STALL_WINDOW: usize = 1_000;
+/// Krylov subspace used by the Lanczos rung of the recovery ladder.
+const FALLBACK_LANCZOS_SUBSPACE: usize = 60;
+/// Power-iteration warm-up steps used by the RQI rung of the ladder.
+const FALLBACK_RQI_WARMUP: usize = 10;
+
+/// Result of one solve attempt (the configured method, a restart, or a
+/// ladder fallback), with the eigenvector already converted back to the
+/// right formulation.
+struct Attempt {
+    lambda: f64,
+    vector_r: Vec<f64>,
+    iterations: usize,
+    matvecs: usize,
+    residual: f64,
+    converged: bool,
+    breakdown: Option<Breakdown>,
+    method_label: String,
+}
+
+impl Attempt {
+    /// A best-so-far candidate must at least carry finite numbers and a
+    /// non-zero vector; `from_right_eigenvector` can then always
+    /// re-normalise it.
+    fn usable(&self) -> bool {
+        self.lambda.is_finite()
+            && self.vector_r.iter().all(|v| v.is_finite())
+            && self.vector_r.iter().map(|v| v.abs()).sum::<f64>() > 0.0
+    }
+
+    /// Residual for best-so-far comparison: non-finite sorts last.
+    fn comparable_residual(&self) -> f64 {
+        if self.residual.is_finite() {
+            self.residual
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Run one method on `Q` from `start_r` (right formulation); the attempt
+/// builds its own `W` in the method's working formulation so ladder rungs
+/// can mix formulations over the same `Q` operator.
+///
+/// With `verify` set, a claimed convergence is only trusted after an
+/// explicit residual recomputation `‖Wv − λv‖/‖v‖` against the actual
+/// operator (one extra matvec). Krylov methods report subspace residual
+/// *estimates*, and a faulty operator can drive the estimate to zero
+/// while the true residual stays large; recovery rungs must not be
+/// fooled by that. The fault-free first attempt runs with `verify`
+/// off, keeping it bit-identical to the seed solver.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt<P: Probe>(
+    q_op: &dyn LinearOperator,
+    fitness: &[f64],
+    start_r: &[f64],
+    method: Method,
+    formulation: Formulation,
     shift: f64,
-    engine_label: String,
     config: &SolverConfig,
+    parallel_reductions: bool,
+    verify: bool,
     probe: &mut P,
-) -> Result<Quasispecies, SolveError> {
-    let mut probe = HistoryProbe {
-        inner: probe,
-        residuals: Vec::new(),
-    };
-    let fitness = landscape.materialize();
-    // Paper's start vector in the right formulation.
-    let mut start_r = fitness.clone();
-    qs_linalg::vec_ops::normalize_l1(&mut start_r);
-
-    let form = match config.method {
+) -> Result<Attempt, SolveError> {
+    let form = match method {
         Method::Lanczos { .. } | Method::Rqi { .. } => Formulation::Symmetric,
-        Method::Power => config.formulation,
+        Method::Power => formulation,
     };
-    let w = WOperator::new(q_op, fitness.clone(), form);
-    let start = convert_eigenvector(Formulation::Right, form, &start_r, &fitness);
+    let w = WOperator::new(q_op, fitness.to_vec(), form);
+    let start = convert_eigenvector(Formulation::Right, form, start_r, fitness);
 
-    let (lambda, vector_in_form, iterations, matvecs, residual, converged, method_label) =
-        match config.method {
+    let (lambda, vector_in_form, iterations, matvecs, residual, converged, breakdown, label) =
+        match method {
             Method::Power => {
                 let opts = PowerOptions {
                     tol: config.tol,
                     max_iter: config.max_iter,
                     shift,
-                    parallel_reductions: engine_label.ends_with("par"),
+                    parallel_reductions,
+                    stall_window: config.recover.then_some(STALL_WINDOW),
                 };
-                let out = power_iteration_probed(&w, &start, &opts, &mut probe);
+                let out = power_iteration_probed(&w, &start, &opts, probe);
                 let label = if shift != 0.0 { "Pi+shift" } else { "Pi" };
                 (
                     out.lambda,
@@ -369,6 +488,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                     out.matvecs,
                     out.residual,
                     out.converged,
+                    out.breakdown,
                     label.to_string(),
                 )
             }
@@ -377,7 +497,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                     subspace,
                     tol: config.tol,
                 };
-                let out = lanczos_probed(&w, &start, &opts, &mut probe);
+                let out = lanczos_probed(&w, &start, &opts, probe);
                 (
                     out.lambda,
                     out.vector,
@@ -385,6 +505,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                     out.matvecs,
                     out.residual,
                     out.converged,
+                    out.breakdown,
                     "Lanczos".to_string(),
                 )
             }
@@ -394,8 +515,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                     warmup,
                     ..Default::default()
                 };
-                let out =
-                    crate::rqi::rayleigh_quotient_iteration_probed(&w, &start, &opts, &mut probe);
+                let out = crate::rqi::rayleigh_quotient_iteration_probed(&w, &start, &opts, probe)?;
                 (
                     out.lambda,
                     out.vector,
@@ -403,31 +523,258 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                     out.matvecs,
                     out.residual,
                     out.converged,
+                    out.breakdown,
                     "RQI".to_string(),
                 )
             }
         };
 
-    if !converged {
-        return Err(SolveError::NotConverged {
-            iterations,
-            residual,
-        });
-    }
+    let (matvecs, residual, converged) = if verify && converged {
+        // Shift-invariant check: Wv − λv = (W−µI)v − (λ−µ)v, so the plain
+        // operator works for the shifted power rung too.
+        let mut wy = vec![0.0; vector_in_form.len()];
+        w.apply_into(&vector_in_form, &mut wy);
+        for (ri, &vi) in wy.iter_mut().zip(&vector_in_form) {
+            *ri -= lambda * vi;
+        }
+        let vnorm = qs_linalg::norm_l2(&vector_in_form);
+        let explicit = qs_linalg::norm_l2(&wy) / vnorm;
+        let threshold = 10.0 * config.tol * lambda.abs().max(1.0);
+        if explicit <= threshold {
+            (matvecs + 1, residual, true)
+        } else {
+            probe.record(&SolverEvent::GuardrailTripped {
+                kind: "unverified_convergence",
+                iter: iterations,
+            });
+            // Demote to an honest non-converged candidate: the explicit
+            // residual (NaN → unusable downstream) replaces the estimate.
+            (matvecs + 1, explicit, false)
+        }
+    } else {
+        (matvecs, residual, converged)
+    };
 
-    let x_r = convert_eigenvector(form, Formulation::Right, &vector_in_form, &fitness);
-    let residuals = probe.residuals;
-    let stats = SolveStats {
+    let vector_r = convert_eigenvector(form, Formulation::Right, &vector_in_form, fitness);
+    Ok(Attempt {
+        lambda,
+        vector_r,
         iterations,
         matvecs,
         residual,
         converged,
-        engine: engine_label,
-        method: method_label,
+        breakdown,
+        method_label: label,
+    })
+}
+
+/// The fallback rungs tried after `failed` broke down: RQI → Lanczos →
+/// shifted power, skipping the method that already failed.
+fn fallback_chain(failed: Method, n: usize) -> Vec<(&'static str, Method)> {
+    let mut chain = Vec::new();
+    if !matches!(failed, Method::Rqi { .. }) {
+        chain.push((
+            "fallback_rqi",
+            Method::Rqi {
+                warmup: FALLBACK_RQI_WARMUP,
+            },
+        ));
+    }
+    if !matches!(failed, Method::Lanczos { .. }) {
+        chain.push((
+            "fallback_lanczos",
+            Method::Lanczos {
+                subspace: FALLBACK_LANCZOS_SUBSPACE.min(n),
+            },
+        ));
+    }
+    if !matches!(failed, Method::Power) {
+        chain.push(("fallback_shifted_power", Method::Power));
+    }
+    chain
+}
+
+fn solve_operator<L: Landscape + ?Sized, P: Probe>(
+    q_op: Box<dyn LinearOperator>,
+    landscape: &L,
+    shift: f64,
+    engine_label: String,
+    config: &SolverConfig,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
+    if !(config.tol.is_finite() && config.tol > 0.0) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "tol",
+            detail: format!(
+                "residual tolerance must be finite and positive, got {}",
+                config.tol
+            ),
+        });
+    }
+    let fitness = landscape.materialize();
+    if let Some(bad) = fitness.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "fitness",
+            detail: format!("fitness values must be finite and strictly positive, found {bad}"),
+        });
+    }
+    let mut probe = HistoryProbe {
+        inner: probe,
+        residuals: Vec::new(),
+    };
+    // Paper's start vector in the right formulation.
+    let mut start_r = fitness.clone();
+    qs_linalg::vec_ops::normalize_l1(&mut start_r);
+    let parallel_reductions = engine_label.ends_with("par");
+
+    let first = run_attempt(
+        q_op.as_ref(),
+        &fitness,
+        &start_r,
+        config.method,
+        config.formulation,
         shift,
+        config,
+        parallel_reductions,
+        false,
+        &mut probe,
+    )?;
+    let mut total_matvecs = first.matvecs;
+    let mut total_iterations = first.iterations;
+
+    let (chosen, degraded, recovered_from) = if first.converged {
+        (first, false, None)
+    } else if let Some(b) = first.breakdown {
+        let kind = b.label();
+        if !config.recover {
+            return Err(SolveError::NumericalBreakdown {
+                kind,
+                iterations: first.iterations,
+                residual: first.residual,
+            });
+        }
+
+        // --- Recovery ladder.
+        let mut recovered: Option<Attempt> = None;
+        let mut best = first.usable().then_some(first);
+
+        // Rung 1: restart the same method from a sanitised iterate (the
+        // best usable vector so far, re-normalised; else the paper start).
+        probe.record(&SolverEvent::RecoveryAction {
+            action: "restart_renormalised",
+        });
+        let restart_start = match &best {
+            Some(a) => {
+                let mut s = a.vector_r.clone();
+                qs_linalg::vec_ops::normalize_l1(&mut s);
+                s
+            }
+            None => start_r.clone(),
+        };
+        let attempt = run_attempt(
+            q_op.as_ref(),
+            &fitness,
+            &restart_start,
+            config.method,
+            config.formulation,
+            shift,
+            config,
+            parallel_reductions,
+            true,
+            &mut probe,
+        )?;
+        total_matvecs += attempt.matvecs;
+        total_iterations += attempt.iterations;
+        if attempt.converged {
+            recovered = Some(attempt);
+        } else if attempt.usable()
+            && best
+                .as_ref()
+                .map(|b| attempt.comparable_residual() < b.comparable_residual())
+                .unwrap_or(true)
+        {
+            best = Some(attempt);
+        }
+
+        // Rungs 2–3: fall back through the other methods from a fresh
+        // paper start (corrupt state is not propagated into fallbacks).
+        if recovered.is_none() {
+            for (action, method) in fallback_chain(config.method, fitness.len()) {
+                probe.record(&SolverEvent::RecoveryAction { action });
+                let attempt = run_attempt(
+                    q_op.as_ref(),
+                    &fitness,
+                    &start_r,
+                    method,
+                    config.formulation,
+                    shift,
+                    config,
+                    parallel_reductions,
+                    true,
+                    &mut probe,
+                )?;
+                total_matvecs += attempt.matvecs;
+                total_iterations += attempt.iterations;
+                if attempt.converged {
+                    recovered = Some(attempt);
+                    break;
+                }
+                if attempt.usable()
+                    && best
+                        .as_ref()
+                        .map(|b| attempt.comparable_residual() < b.comparable_residual())
+                        .unwrap_or(true)
+                {
+                    best = Some(attempt);
+                }
+            }
+        }
+
+        match recovered {
+            Some(a) => (a, false, Some(kind.to_string())),
+            None => match best {
+                // Last rung: hand back the best usable iterate, flagged.
+                Some(a) => {
+                    probe.record(&SolverEvent::RecoveryAction {
+                        action: "best_so_far_degraded",
+                    });
+                    (a, true, Some(kind.to_string()))
+                }
+                None => {
+                    return Err(SolveError::NumericalBreakdown {
+                        kind,
+                        iterations: total_iterations,
+                        residual: f64::NAN,
+                    });
+                }
+            },
+        }
+    } else {
+        // Honest budget exhaustion: no breakdown, nothing to recover from.
+        return Err(SolveError::NotConverged {
+            iterations: first.iterations,
+            residual: first.residual,
+        });
+    };
+
+    let residuals = probe.residuals;
+    let stats = SolveStats {
+        iterations: chosen.iterations,
+        matvecs: total_matvecs,
+        residual: chosen.residual,
+        converged: chosen.converged,
+        engine: engine_label,
+        method: chosen.method_label,
+        shift,
+        degraded,
+        recovered_from,
         residual_history: (!residuals.is_empty()).then_some(residuals),
     };
-    Ok(Quasispecies::from_right_eigenvector(lambda, x_r, stats))
+    Ok(Quasispecies::from_right_eigenvector(
+        chosen.lambda,
+        chosen.vector_r,
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -701,6 +1048,195 @@ mod tests {
         // The probed run itself matches the plain one bit for bit.
         let plain = solve(0.02, &landscape, &SolverConfig::default()).unwrap();
         assert_eq!(plain.lambda.to_bits(), qs.lambda.to_bits());
+    }
+
+    /// `Q` wrapper that overwrites `y[0]` on applications
+    /// `from..from + times` (`times = usize::MAX` ⇒ permanent). With
+    /// `alternate` the injected value flips sign on odd applications, so a
+    /// persistent fault cannot masquerade as a fixed point of the
+    /// corrupted map.
+    struct FaultyQ<A> {
+        inner: A,
+        from: usize,
+        times: usize,
+        value: f64,
+        alternate: bool,
+        count: std::sync::atomic::AtomicUsize,
+    }
+
+    impl<A> FaultyQ<A> {
+        fn new(inner: A, from: usize, times: usize, value: f64, alternate: bool) -> Self {
+            FaultyQ {
+                inner,
+                from,
+                times,
+                value,
+                alternate,
+                count: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl<A: LinearOperator> LinearOperator for FaultyQ<A> {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+            self.inner.apply_into(x, y);
+            let k = self
+                .count
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if k >= self.from && k - self.from < self.times {
+                let sign = if self.alternate && k % 2 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                y[0] = sign * self.value;
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_tolerance_is_a_typed_error() {
+        let landscape = SinglePeak::new(4, 2.0, 1.0);
+        for tol in [0.0, -1e-10, f64::NAN, f64::INFINITY] {
+            let cfg = SolverConfig {
+                tol,
+                ..Default::default()
+            };
+            match solve(0.01, &landscape, &cfg) {
+                Err(SolveError::InvalidConfig {
+                    parameter: "tol", ..
+                }) => {}
+                other => panic!("tol {tol}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_error_rate_is_a_typed_error() {
+        let landscape = SinglePeak::new(4, 2.0, 1.0);
+        for p in [0.0, -0.1, 0.5000001, 1.0, f64::NAN] {
+            match solve(p, &landscape, &SolverConfig::default()) {
+                Err(SolveError::InvalidConfig { parameter: "p", .. }) => {}
+                other => panic!("p {p}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_positive_fitness_is_a_typed_error() {
+        struct ZeroFitness;
+        impl qs_landscape::Landscape for ZeroFitness {
+            fn nu(&self) -> u32 {
+                3
+            }
+            fn fitness(&self, i: u64) -> f64 {
+                if i == 5 {
+                    0.0
+                } else {
+                    1.5
+                }
+            }
+        }
+        match solve(0.01, &ZeroFitness, &SolverConfig::default()) {
+            Err(SolveError::InvalidConfig {
+                parameter: "fitness",
+                ..
+            }) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_nan_fault_recovers_via_restart() {
+        use qs_telemetry::RecordingProbe;
+        let nu = 6u32;
+        let p = 0.01;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let q = FaultyQ::new(Fmmp::new(nu, p), 3, 1, f64::NAN, false);
+        let mut rec = RecordingProbe::new();
+        let qs = solve_with_q_operator_probed(
+            Box::new(q),
+            &landscape,
+            &SolverConfig::default(),
+            &mut rec,
+        )
+        .expect("transient fault must be recovered");
+        assert!(qs.stats.converged);
+        assert!(!qs.stats.degraded);
+        assert_eq!(
+            qs.stats.recovered_from.as_deref(),
+            Some("non_finite_iterate")
+        );
+        assert!(rec.recovery_actions().contains(&"restart_renormalised"));
+        assert!(rec.guardrail_kinds().contains(&"non_finite_iterate"));
+        let total: f64 = qs.concentrations.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(qs.concentrations.iter().all(|c| c.is_finite() && *c >= 0.0));
+    }
+
+    #[test]
+    fn permanent_nan_fault_is_a_typed_breakdown_not_a_panic() {
+        let nu = 5u32;
+        let p = 0.02;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let q = FaultyQ::new(Fmmp::new(nu, p), 0, usize::MAX, f64::NAN, false);
+        match solve_with_q_operator(Box::new(q), &landscape, &SolverConfig::default()) {
+            Err(SolveError::NumericalBreakdown { kind, .. }) => {
+                assert_eq!(kind, "non_finite_iterate");
+            }
+            other => panic!("expected NumericalBreakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recover_off_surfaces_the_breakdown_immediately() {
+        use qs_telemetry::RecordingProbe;
+        let nu = 5u32;
+        let p = 0.02;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let q = FaultyQ::new(Fmmp::new(nu, p), 2, 1, f64::NAN, false);
+        let cfg = SolverConfig {
+            recover: false,
+            ..Default::default()
+        };
+        let mut rec = RecordingProbe::new();
+        match solve_with_q_operator_probed(Box::new(q), &landscape, &cfg, &mut rec) {
+            Err(SolveError::NumericalBreakdown { kind, .. }) => {
+                assert_eq!(kind, "non_finite_iterate");
+            }
+            other => panic!("expected NumericalBreakdown, got {other:?}"),
+        }
+        // No recovery was attempted.
+        assert!(rec.recovery_actions().is_empty());
+    }
+
+    #[test]
+    fn persistent_perturbation_yields_degraded_result() {
+        use qs_telemetry::RecordingProbe;
+        let nu = 6u32;
+        let p = 0.02;
+        let landscape = Random::new(nu, 5.0, 1.0, 7);
+        let q = FaultyQ::new(Fmmp::new(nu, p), 0, usize::MAX, 0.5, true);
+        let mut rec = RecordingProbe::new();
+        let qs = solve_with_q_operator_probed(
+            Box::new(q),
+            &landscape,
+            &SolverConfig::default(),
+            &mut rec,
+        )
+        .expect("persistent fault must degrade, not fail");
+        assert!(qs.stats.degraded);
+        assert!(!qs.stats.converged);
+        assert!(qs.stats.recovered_from.is_some());
+        assert!(rec.recovery_actions().contains(&"best_so_far_degraded"));
+        // Even degraded output is a valid distribution.
+        let total: f64 = qs.concentrations.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(qs.concentrations.iter().all(|c| c.is_finite() && *c >= 0.0));
     }
 
     #[test]

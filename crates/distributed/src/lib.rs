@@ -29,23 +29,121 @@
 //! (each rank's block is a separate allocation; "messages" are explicit
 //! buffer copies counted by [`CommStats`]) and is verified bit-for-bit
 //! against the serial `Fmmp`.
+//!
+//! ## Fault model
+//!
+//! [`DistributedFmmp::with_faults`] installs an [`ExchangeFault`] hook
+//! that is consulted once per simulated message send and may corrupt the
+//! payload in flight or drop it entirely (a failed sender rank). Every
+//! message carries an FNV-1a checksum over its IEEE-754 bit patterns
+//! ([`fnv1a_checksum`]); the receiver verifies it and re-requests the
+//! message on mismatch (a dropped message is detected by timeout), with
+//! a bounded exponential backoff governed by [`RetryPolicy`]. A message
+//! that stays undeliverable after the retry budget poisons the missing
+//! contribution with NaN, which downstream solver guardrails classify
+//! as a numerical breakdown instead of silently producing garbage.
+//! Detection and retries are booked in [`CommStats`] and surfaced as
+//! [`SolverEvent::FaultDetected`] / [`SolverEvent::Retry`] telemetry.
+//! Without a hook the exchange takes the original allocation-free path
+//! and is bit-identical to the seed implementation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use qs_matvec::LinearOperator;
 use qs_telemetry::{time_stage, NullProbe, Probe, SolverEvent};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Communication accounting for one or more distributed products.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
-    /// Point-to-point messages sent (across all ranks).
+    /// Point-to-point messages sent (across all ranks), including
+    /// retransmissions.
     pub messages: u64,
-    /// Total `f64` words moved between ranks.
+    /// Total `f64` words moved between ranks, including retransmissions.
     pub words: u64,
     /// Exchange rounds executed (per product: `log₂ P`).
     pub rounds: u64,
+    /// Messages whose checksum failed verification (or that were lost
+    /// and detected by timeout).
+    pub faults_detected: u64,
+    /// Retransmissions performed after a detected fault.
+    pub retries: u64,
+    /// Simulated exponential-backoff slots waited before retries
+    /// (1, 2, 4, … per successive retry of the same message).
+    pub backoff_slots: u64,
+    /// Messages still undeliverable after the retry budget; their
+    /// contribution is NaN-filled at the receiver.
+    pub unrecovered: u64,
+}
+
+/// What an [`ExchangeFault`] hook did to one in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tamper {
+    /// Delivered untouched.
+    None,
+    /// The hook mutated the payload in flight; the receiver's checksum
+    /// verification is expected to catch it (if the mutation left the
+    /// bits unchanged there is nothing to detect and the message is
+    /// delivered).
+    Corrupt,
+    /// The message never arrives (sender rank failure); the receiver
+    /// detects the loss by timeout.
+    Drop,
+}
+
+/// A deterministic fault hook for the simulated hypercube exchange.
+///
+/// Implementations decide per message — identified by the global
+/// exchange-round index, the `(sender, receiver)` rank pair and the
+/// 0-based delivery `attempt` — whether to tamper with the payload.
+/// Returning [`Tamper::Corrupt`] after mutating `payload` simulates
+/// in-flight corruption; [`Tamper::Drop`] simulates a lost message.
+pub trait ExchangeFault: Send + Sync {
+    /// Consulted once per simulated message send (including retries).
+    fn on_send(
+        &self,
+        round: u64,
+        sender: usize,
+        receiver: usize,
+        attempt: u32,
+        payload: &mut [f64],
+    ) -> Tamper;
+}
+
+/// Bounded-backoff retry budget for detected exchange faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed per message after the initial send.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2 }
+    }
+}
+
+/// FNV-1a (64-bit) over the IEEE-754 bit patterns of a message buffer.
+///
+/// Bit patterns rather than float values: the checksum must distinguish
+/// `-0.0` from `0.0` and detect a NaN overwrite, both invisible to
+/// value-level comparison.
+pub fn fnv1a_checksum(payload: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in payload {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct FaultHook {
+    hook: Box<dyn ExchangeFault>,
+    policy: RetryPolicy,
 }
 
 /// A rank-simulated distributed `Fmmp` operator for `Q(ν)` with uniform
@@ -58,15 +156,30 @@ struct AtomicComm {
     messages: AtomicU64,
     words: AtomicU64,
     rounds: AtomicU64,
+    faults_detected: AtomicU64,
+    retries: AtomicU64,
+    backoff_slots: AtomicU64,
+    unrecovered: AtomicU64,
 }
 
 /// See [`crate`] docs.
-#[derive(Debug)]
 pub struct DistributedFmmp {
     nu: u32,
     p: f64,
     ranks: usize,
     stats: AtomicComm,
+    faults: Option<FaultHook>,
+}
+
+impl fmt::Debug for DistributedFmmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistributedFmmp")
+            .field("nu", &self.nu)
+            .field("p", &self.p)
+            .field("ranks", &self.ranks)
+            .field("faulty", &self.faults.is_some())
+            .finish()
+    }
 }
 
 impl DistributedFmmp {
@@ -93,7 +206,23 @@ impl DistributedFmmp {
             p,
             ranks,
             stats: AtomicComm::default(),
+            faults: None,
         }
+    }
+
+    /// Like [`DistributedFmmp::new`], with an [`ExchangeFault`] hook
+    /// injected into every exchange-stage message and a bounded retry
+    /// budget for detected faults. See the crate-level fault model.
+    pub fn with_faults(
+        nu: u32,
+        p: f64,
+        ranks: usize,
+        hook: Box<dyn ExchangeFault>,
+        policy: RetryPolicy,
+    ) -> Self {
+        let mut op = Self::new(nu, p, ranks);
+        op.faults = Some(FaultHook { hook, policy });
+        op
     }
 
     /// Number of simulated ranks `P`.
@@ -112,6 +241,10 @@ impl DistributedFmmp {
             messages: self.stats.messages.load(Ordering::Relaxed),
             words: self.stats.words.load(Ordering::Relaxed),
             rounds: self.stats.rounds.load(Ordering::Relaxed),
+            faults_detected: self.stats.faults_detected.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            backoff_slots: self.stats.backoff_slots.load(Ordering::Relaxed),
+            unrecovered: self.stats.unrecovered.load(Ordering::Relaxed),
         }
     }
 
@@ -120,6 +253,10 @@ impl DistributedFmmp {
         self.stats.messages.store(0, Ordering::Relaxed);
         self.stats.words.store(0, Ordering::Relaxed);
         self.stats.rounds.store(0, Ordering::Relaxed);
+        self.stats.faults_detected.store(0, Ordering::Relaxed);
+        self.stats.retries.store(0, Ordering::Relaxed);
+        self.stats.backoff_slots.store(0, Ordering::Relaxed);
+        self.stats.unrecovered.store(0, Ordering::Relaxed);
     }
 
     /// Predicted communication per product: each of the `log₂ P` exchange
@@ -178,27 +315,70 @@ impl DistributedFmmp {
         let mut dim = 1usize; // rank-id bit for this stage
         while i <= n / 2 {
             let mut round_words = 0u64;
+            let round_idx = self.stats.rounds.load(Ordering::Relaxed);
+            // Fault telemetry is gathered here and emitted after the timed
+            // closure releases the probe borrow; empty on the clean path.
+            let mut pending: Vec<SolverEvent> = Vec::new();
             time_stage(&mut *probe, "dist-exchange", || {
                 for r in 0..pr {
                     let partner = r ^ dim;
                     if partner < r {
                         continue; // the lower rank of the pair does the combine
                     }
-                    // Simulated message exchange: each side sends its block.
-                    self.stats.messages.fetch_add(2, Ordering::Relaxed);
-                    round_words += 2 * block as u64;
                     // r holds the bit-0 side (lower address), partner bit-1.
                     let (lo, hi) = {
                         let (a, b) = blocks.split_at_mut(partner);
                         (&mut a[r], &mut b[0])
                     };
-                    for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                        let (u, w) = (q * *x + p * *y, p * *x + q * *y);
-                        *x = u;
-                        *y = w;
+                    match &self.faults {
+                        None => {
+                            // Simulated message exchange: each side sends
+                            // its block.
+                            self.stats.messages.fetch_add(2, Ordering::Relaxed);
+                            round_words += 2 * block as u64;
+                            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                                let (u, w) = (q * *x + p * *y, p * *x + q * *y);
+                                *x = u;
+                                *y = w;
+                            }
+                        }
+                        Some(f) => {
+                            // Each side's block travels as a checksummed
+                            // message the hook may corrupt or drop.
+                            let from_lo = self.deliver(
+                                f,
+                                round_idx,
+                                r,
+                                partner,
+                                lo,
+                                &mut round_words,
+                                &mut pending,
+                            );
+                            let from_hi = self.deliver(
+                                f,
+                                round_idx,
+                                partner,
+                                r,
+                                hi,
+                                &mut round_words,
+                                &mut pending,
+                            );
+                            for k in 0..block {
+                                let (x, y) = (lo[k], hi[k]);
+                                // An undeliverable message NaN-fills the
+                                // contribution it was carrying.
+                                let y_in = from_hi.as_ref().map_or(f64::NAN, |m| m[k]);
+                                let x_in = from_lo.as_ref().map_or(f64::NAN, |m| m[k]);
+                                lo[k] = q * x + p * y_in;
+                                hi[k] = p * x_in + q * y;
+                            }
+                        }
                     }
                 }
             });
+            for e in &pending {
+                probe.record(e);
+            }
             self.stats.words.fetch_add(round_words, Ordering::Relaxed);
             self.stats.rounds.fetch_add(1, Ordering::Relaxed);
             probe.record(&SolverEvent::CommExchange {
@@ -213,6 +393,60 @@ impl DistributedFmmp {
         for (chunk, b) in v.chunks_exact_mut(block).zip(&blocks) {
             chunk.copy_from_slice(b);
         }
+    }
+
+    /// Simulate delivering one checksummed message `sender → receiver`,
+    /// retrying with bounded exponential backoff on detected faults.
+    /// Returns the payload as received, or `None` if the retry budget is
+    /// exhausted (the caller NaN-fills the lost contribution).
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &self,
+        f: &FaultHook,
+        round: u64,
+        sender: usize,
+        receiver: usize,
+        source: &[f64],
+        round_words: &mut u64,
+        pending: &mut Vec<SolverEvent>,
+    ) -> Option<Vec<f64>> {
+        for attempt in 0..=f.policy.max_retries {
+            // A fresh copy per attempt: retransmissions restart from the
+            // sender's pristine block, not the corrupted payload.
+            let mut payload = source.to_vec();
+            let checksum = fnv1a_checksum(&payload);
+            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+            *round_words += payload.len() as u64;
+            let verdict = f
+                .hook
+                .on_send(round, sender, receiver, attempt, &mut payload);
+            let detected = match verdict {
+                // A lost message is detected by receive timeout.
+                Tamper::Drop => true,
+                // Otherwise the receiver verifies the checksum.
+                Tamper::None | Tamper::Corrupt => fnv1a_checksum(&payload) != checksum,
+            };
+            if !detected {
+                return Some(payload);
+            }
+            self.stats.faults_detected.fetch_add(1, Ordering::Relaxed);
+            pending.push(SolverEvent::FaultDetected {
+                stage: "hypercube-exchange",
+                round,
+            });
+            if attempt < f.policy.max_retries {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .backoff_slots
+                    .fetch_add(1 << attempt, Ordering::Relaxed);
+                pending.push(SolverEvent::Retry {
+                    stage: "hypercube-exchange",
+                    attempt: attempt + 1,
+                });
+            }
+        }
+        self.stats.unrecovered.fetch_add(1, Ordering::Relaxed);
+        None
     }
 }
 
@@ -417,5 +651,205 @@ mod tests {
     fn rejects_too_many_ranks() {
         // Each rank must own ≥ 2 elements.
         let _ = DistributedFmmp::new(4, 0.1, 16);
+    }
+
+    /// Transient in-flight noise: sign-flips word 0 of the *first* send
+    /// of the next `budget` messages; retransmissions go through clean.
+    struct TransientFault {
+        budget: AtomicU64,
+    }
+
+    impl TransientFault {
+        fn new(budget: u64) -> Self {
+            TransientFault {
+                budget: AtomicU64::new(budget),
+            }
+        }
+    }
+
+    impl ExchangeFault for TransientFault {
+        fn on_send(
+            &self,
+            _round: u64,
+            _sender: usize,
+            _receiver: usize,
+            attempt: u32,
+            payload: &mut [f64],
+        ) -> Tamper {
+            if attempt == 0
+                && self
+                    .budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_ok()
+            {
+                payload[0] = -payload[0];
+                return Tamper::Corrupt;
+            }
+            Tamper::None
+        }
+    }
+
+    /// Every message sent by `sender` is lost — a failed rank.
+    struct DeadRank(usize);
+
+    impl ExchangeFault for DeadRank {
+        fn on_send(
+            &self,
+            _round: u64,
+            sender: usize,
+            _receiver: usize,
+            _attempt: u32,
+            _payload: &mut [f64],
+        ) -> Tamper {
+            if sender == self.0 {
+                Tamper::Drop
+            } else {
+                Tamper::None
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_bit_level_tampering() {
+        let x = [1.0, -2.5, 0.0];
+        assert_eq!(fnv1a_checksum(&x), fnv1a_checksum(&x.to_vec()));
+        let mut flipped = x;
+        flipped[1] = -flipped[1];
+        assert_ne!(fnv1a_checksum(&x), fnv1a_checksum(&flipped));
+        // Value-level comparison misses both of these.
+        assert_ne!(fnv1a_checksum(&[0.0]), fnv1a_checksum(&[-0.0]));
+        let mut poisoned = x;
+        poisoned[2] = f64::NAN;
+        assert_ne!(fnv1a_checksum(&x), fnv1a_checksum(&poisoned));
+    }
+
+    #[test]
+    fn benign_hook_takes_the_message_path_bit_identically() {
+        let nu = 9u32;
+        let p = 0.02;
+        let x = random_vec(1 << nu, 11);
+        let plain = DistributedFmmp::new(nu, p, 8);
+        let want = plain.apply(&x);
+        let hooked = DistributedFmmp::with_faults(
+            nu,
+            p,
+            8,
+            Box::new(TransientFault::new(0)),
+            RetryPolicy::default(),
+        );
+        let got = hooked.apply(&x);
+        assert_eq!(max_diff(&want, &got), 0.0);
+        let s = hooked.comm_stats();
+        assert_eq!((s.faults_detected, s.retries, s.unrecovered), (0, 0, 0));
+        // Same message/word books as the direct path.
+        assert_eq!(s.messages, plain.comm_stats().messages);
+        assert_eq!(s.words, plain.comm_stats().words);
+    }
+
+    #[test]
+    fn corrupted_exchange_is_detected_retried_and_healed() {
+        use qs_telemetry::RecordingProbe;
+        let nu = 9u32;
+        let p = 0.02;
+        let x = random_vec(1 << nu, 12);
+        let mut want = x.clone();
+        fmmp_in_place(&mut want, p);
+
+        let op = DistributedFmmp::with_faults(
+            nu,
+            p,
+            8,
+            Box::new(TransientFault::new(3)),
+            RetryPolicy::default(),
+        );
+        let mut rec = RecordingProbe::new();
+        let mut got = x.clone();
+        op.apply_in_place_probed(&mut got, &mut rec);
+
+        // The checksum caught every corruption; retransmission healed the
+        // product bit-for-bit.
+        assert_eq!(max_diff(&want, &got), 0.0);
+        let s = op.comm_stats();
+        assert_eq!(s.faults_detected, 3);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.unrecovered, 0);
+        // First retry of each of the 3 corrupted messages waits one slot.
+        assert_eq!(s.backoff_slots, 3);
+        // Fault telemetry mirrors the counters.
+        assert_eq!(rec.faults_detected() as u64, s.faults_detected);
+        assert_eq!(rec.retries() as u64, s.retries);
+    }
+
+    #[test]
+    fn dead_rank_is_nan_filled_after_the_retry_budget() {
+        let nu = 8u32;
+        let p = 0.02;
+        let ranks = 4usize;
+        let policy = RetryPolicy { max_retries: 2 };
+        let op = DistributedFmmp::with_faults(nu, p, ranks, Box::new(DeadRank(0)), policy);
+        let got = op.apply(&random_vec(1 << nu, 13));
+
+        // Rank 0 sends one message per round; every one exhausts the
+        // budget and is NaN-filled at its receiver.
+        let rounds = ranks.trailing_zeros() as u64;
+        let s = op.comm_stats();
+        assert_eq!(s.unrecovered, rounds);
+        assert_eq!(
+            s.faults_detected,
+            rounds * u64::from(policy.max_retries + 1)
+        );
+        assert_eq!(s.retries, rounds * u64::from(policy.max_retries));
+        assert!(got.iter().any(|v| v.is_nan()), "lost contribution → NaN");
+        // Rank 0 itself keeps receiving fine: its own block stays finite.
+        let block = op.block_len();
+        assert!(got[..block].iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn transient_corruption_is_invisible_to_the_solve() {
+        // End-to-end: a handful of corrupted exchanges are detected and
+        // retransmitted below the solver's horizon — same eigenpair, no
+        // degradation, only the comm books show the incident.
+        use qs_landscape::Landscape;
+        let nu = 8u32;
+        let p = 0.02;
+        let landscape = qs_landscape::Random::new(nu, 5.0, 1.0, 5);
+        let op = DistributedFmmp::with_faults(
+            nu,
+            p,
+            16,
+            Box::new(TransientFault::new(5)),
+            RetryPolicy::default(),
+        );
+        let w =
+            qs_matvec::WOperator::new(&op, landscape.materialize(), qs_matvec::Formulation::Right);
+        let mut start = landscape.materialize();
+        qs_linalg::vec_ops::normalize_l1(&mut start);
+        let out = quasispecies::power_iteration(&w, &start, &quasispecies::PowerOptions::default());
+        assert!(out.converged);
+        let reference =
+            quasispecies::solve(p, &landscape, &quasispecies::SolverConfig::default()).unwrap();
+        assert!((out.lambda - reference.lambda).abs() < 1e-10);
+        let s = op.comm_stats();
+        assert_eq!(s.faults_detected, 5);
+        assert_eq!(s.unrecovered, 0);
+    }
+
+    #[test]
+    fn dead_rank_drives_the_solver_to_a_typed_breakdown_not_a_panic() {
+        use quasispecies::{solve_with_q_operator, SolveError, SolverConfig};
+        let nu = 6u32;
+        let p = 0.02;
+        let landscape = qs_landscape::SinglePeak::new(nu, 2.0, 1.0);
+        let op =
+            DistributedFmmp::with_faults(nu, p, 4, Box::new(DeadRank(1)), RetryPolicy::default());
+        // A permanently dead rank poisons every product; the recovery
+        // ladder runs out and reports a typed breakdown.
+        match solve_with_q_operator(Box::new(op), &landscape, &SolverConfig::default()) {
+            Err(SolveError::NumericalBreakdown { kind, .. }) => {
+                assert_eq!(kind, "non_finite_iterate");
+            }
+            other => panic!("expected NumericalBreakdown, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,821 @@
+//! Deterministic fault injection for the quasispecies solver stack.
+//!
+//! A [`FaultPlan`] — written by hand, loaded from a JSON file, picked
+//! from the canned registry, or generated from a seed — describes two
+//! classes of deterministic faults:
+//!
+//! * **matvec faults** ([`MatvecFault`]): strike chosen matvec indices
+//!   of any [`LinearOperator`] wrapped in a [`FaultyOp`], overwriting one
+//!   element of the product with NaN/∞, flipping its sign, or perturbing
+//!   it multiplicatively;
+//! * **exchange faults** ([`ExchangeRule`]): corrupt or drop the
+//!   hypercube-exchange messages of a chosen sender rank in the simulated
+//!   distributed engine, via [`PlanExchangeFault`] (an
+//!   [`qs_distributed::ExchangeFault`] hook for
+//!   [`qs_distributed::DistributedFmmp::with_faults`]).
+//!
+//! Everything is counter-based and atomic: the same plan applied to the
+//! same solve strikes the same operations, so every failure mode the
+//! harness exposes is replayable. The JSON schema:
+//!
+//! ```json
+//! {
+//!   "matvec":   [{"at": 3, "every": 10, "element": 0,
+//!                 "kind": "nan|inf|sign-flip|perturb", "scale": 1e-3}],
+//!   "exchange": [{"round": 0, "rank": 1, "action": "corrupt|drop",
+//!                 "times": 4}]
+//! }
+//! ```
+//!
+//! `every` and `scale` are optional (`every` omitted = strike once;
+//! `scale` defaults to `1e-3` and only affects `perturb`). `element` is
+//! reduced modulo the operator length so one plan applies to any
+//! problem size. An exchange rule is armed from global round `round`
+//! onward, strikes only messages sent by `rank`, and expires after
+//! `times` strikes (retransmissions count).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use qs_distributed::{ExchangeFault, Tamper};
+use qs_matvec::LinearOperator;
+use qs_telemetry::Probe;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a [`MatvecFault`] does to the struck element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Overwrite with NaN.
+    Nan,
+    /// Overwrite with +∞.
+    Inf,
+    /// Negate.
+    SignFlip,
+    /// Multiply by `1 + scale` (a silent relative error).
+    Perturb,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Result<Self, PlanError> {
+        match s {
+            "nan" => Ok(FaultKind::Nan),
+            "inf" => Ok(FaultKind::Inf),
+            "sign-flip" => Ok(FaultKind::SignFlip),
+            "perturb" => Ok(FaultKind::Perturb),
+            other => Err(PlanError::new(format!(
+                "unknown matvec fault kind '{other}' (expected nan|inf|sign-flip|perturb)"
+            ))),
+        }
+    }
+
+    /// The JSON spelling of this kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Nan => "nan",
+            FaultKind::Inf => "inf",
+            FaultKind::SignFlip => "sign-flip",
+            FaultKind::Perturb => "perturb",
+        }
+    }
+}
+
+/// One deterministic matvec fault rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatvecFault {
+    /// 0-based matvec index of the first strike.
+    pub at: u64,
+    /// Recurrence period after `at`; `None` strikes exactly once.
+    pub every: Option<u64>,
+    /// Element index to corrupt (reduced modulo the vector length).
+    pub element: usize,
+    /// What to do to the element.
+    pub kind: FaultKind,
+    /// Relative magnitude for [`FaultKind::Perturb`].
+    pub scale: f64,
+}
+
+impl MatvecFault {
+    fn strikes(&self, k: u64) -> bool {
+        match self.every {
+            None => k == self.at,
+            Some(period) => k >= self.at && (k - self.at) % period.max(1) == 0,
+        }
+    }
+
+    fn apply(&self, y: &mut [f64]) {
+        if y.is_empty() {
+            return;
+        }
+        let e = self.element % y.len();
+        match self.kind {
+            FaultKind::Nan => y[e] = f64::NAN,
+            FaultKind::Inf => y[e] = f64::INFINITY,
+            FaultKind::SignFlip => y[e] = -y[e],
+            FaultKind::Perturb => y[e] *= 1.0 + self.scale,
+        }
+    }
+}
+
+/// What an [`ExchangeRule`] does to a struck message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeAction {
+    /// Flip the low mantissa bit of word 0 — detectable by checksum only.
+    Corrupt,
+    /// Lose the message entirely (sender rank failure).
+    Drop,
+}
+
+impl ExchangeAction {
+    fn parse(s: &str) -> Result<Self, PlanError> {
+        match s {
+            "corrupt" => Ok(ExchangeAction::Corrupt),
+            "drop" => Ok(ExchangeAction::Drop),
+            other => Err(PlanError::new(format!(
+                "unknown exchange action '{other}' (expected corrupt|drop)"
+            ))),
+        }
+    }
+
+    /// The JSON spelling of this action.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExchangeAction::Corrupt => "corrupt",
+            ExchangeAction::Drop => "drop",
+        }
+    }
+}
+
+/// One deterministic exchange-stage fault rule: armed from global round
+/// `round` onward, strikes messages sent by `rank`, expires after
+/// `times` strikes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeRule {
+    /// First global exchange round the rule is armed in.
+    pub round: u64,
+    /// Sender rank whose messages are struck.
+    pub rank: usize,
+    /// Corrupt or drop.
+    pub action: ExchangeAction,
+    /// Strike budget (retransmissions count).
+    pub times: u64,
+}
+
+/// A complete deterministic fault plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Matvec-level rules, applied by [`FaultyOp`].
+    pub matvec: Vec<MatvecFault>,
+    /// Exchange-level rules, applied by [`PlanExchangeFault`].
+    pub exchange: Vec<ExchangeRule>,
+}
+
+/// A malformed fault-plan document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl PlanError {
+    fn new(message: String) -> Self {
+        PlanError { message }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn field_u64(obj: &json::Value, key: &str, default: Option<u64>) -> Result<u64, PlanError> {
+    match obj.get(key) {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| PlanError::new(format!("'{key}' must be a non-negative integer"))),
+        None => default.ok_or_else(|| PlanError::new(format!("missing required field '{key}'"))),
+    }
+}
+
+impl FaultPlan {
+    /// Parse a plan from its JSON document (see the crate docs for the
+    /// schema). Unknown top-level or rule fields are rejected, so typos
+    /// fail loudly instead of silently injecting nothing.
+    pub fn from_json(text: &str) -> Result<FaultPlan, PlanError> {
+        let doc = json::parse(text).map_err(|e| PlanError::new(e.to_string()))?;
+        let fields = match &doc {
+            json::Value::Obj(fields) => fields,
+            _ => return Err(PlanError::new("document must be a JSON object".into())),
+        };
+        let mut plan = FaultPlan::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "matvec" => {
+                    let items = value
+                        .as_array()
+                        .ok_or_else(|| PlanError::new("'matvec' must be an array".into()))?;
+                    for item in items {
+                        plan.matvec.push(Self::parse_matvec_rule(item)?);
+                    }
+                }
+                "exchange" => {
+                    let items = value
+                        .as_array()
+                        .ok_or_else(|| PlanError::new("'exchange' must be an array".into()))?;
+                    for item in items {
+                        plan.exchange.push(Self::parse_exchange_rule(item)?);
+                    }
+                }
+                other => {
+                    return Err(PlanError::new(format!("unknown top-level field '{other}'")));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    fn parse_matvec_rule(item: &json::Value) -> Result<MatvecFault, PlanError> {
+        if let json::Value::Obj(fields) = item {
+            for (key, _) in fields {
+                if !matches!(key.as_str(), "at" | "every" | "element" | "kind" | "scale") {
+                    return Err(PlanError::new(format!("unknown matvec rule field '{key}'")));
+                }
+            }
+        } else {
+            return Err(PlanError::new("matvec rules must be objects".into()));
+        }
+        let kind = FaultKind::parse(
+            item.get("kind")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| PlanError::new("missing required field 'kind'".into()))?,
+        )?;
+        let every = match item.get("every") {
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&p| p > 0)
+                    .ok_or_else(|| PlanError::new("'every' must be a positive integer".into()))?,
+            ),
+            None => None,
+        };
+        let scale = match item.get("scale") {
+            Some(v) => v
+                .as_f64()
+                .filter(|s| s.is_finite())
+                .ok_or_else(|| PlanError::new("'scale' must be a finite number".into()))?,
+            None => 1e-3,
+        };
+        Ok(MatvecFault {
+            at: field_u64(item, "at", None)?,
+            every,
+            element: field_u64(item, "element", Some(0))? as usize,
+            kind,
+            scale,
+        })
+    }
+
+    fn parse_exchange_rule(item: &json::Value) -> Result<ExchangeRule, PlanError> {
+        if let json::Value::Obj(fields) = item {
+            for (key, _) in fields {
+                if !matches!(key.as_str(), "round" | "rank" | "action" | "times") {
+                    return Err(PlanError::new(format!(
+                        "unknown exchange rule field '{key}'"
+                    )));
+                }
+            }
+        } else {
+            return Err(PlanError::new("exchange rules must be objects".into()));
+        }
+        let action = ExchangeAction::parse(
+            item.get("action")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| PlanError::new("missing required field 'action'".into()))?,
+        )?;
+        Ok(ExchangeRule {
+            round: field_u64(item, "round", Some(0))?,
+            rank: field_u64(item, "rank", None)? as usize,
+            action,
+            times: field_u64(item, "times", Some(1))?,
+        })
+    }
+
+    /// Render the plan back to its JSON document form.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"matvec\": [");
+        for (i, r) in self.matvec.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"at\": {}, \"element\": {}, \"kind\": \"{}\"",
+                r.at,
+                r.element,
+                r.kind.label()
+            ));
+            if let Some(every) = r.every {
+                s.push_str(&format!(", \"every\": {every}"));
+            }
+            if r.kind == FaultKind::Perturb {
+                s.push_str(&format!(", \"scale\": {}", r.scale));
+            }
+            s.push('}');
+        }
+        s.push_str("], \"exchange\": [");
+        for (i, r) in self.exchange.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"round\": {}, \"rank\": {}, \"action\": \"{}\", \"times\": {}}}",
+                r.round,
+                r.rank,
+                r.action.label(),
+                r.times
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Whether the plan has no rules at all.
+    pub fn is_empty(&self) -> bool {
+        self.matvec.is_empty() && self.exchange.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Canned plans: the fault classes the test suite sweeps.
+
+    /// One NaN strike at matvec `at` — a transient soft error the
+    /// recovery ladder must heal completely.
+    pub fn transient_nan(at: u64) -> FaultPlan {
+        FaultPlan {
+            matvec: vec![MatvecFault {
+                at,
+                every: None,
+                element: 0,
+                kind: FaultKind::Nan,
+                scale: 1e-3,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// NaN on every matvec from `at` onward — an unrecoverable operator.
+    pub fn permanent_nan(at: u64) -> FaultPlan {
+        FaultPlan {
+            matvec: vec![MatvecFault {
+                at,
+                every: Some(1),
+                element: 0,
+                kind: FaultKind::Nan,
+                scale: 1e-3,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// One +∞ strike at matvec `at`.
+    pub fn transient_inf(at: u64) -> FaultPlan {
+        FaultPlan {
+            matvec: vec![MatvecFault {
+                at,
+                every: None,
+                element: 0,
+                kind: FaultKind::Inf,
+                scale: 1e-3,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// Sign-flip element 0 every `period` matvecs — a persistent bounded
+    /// perturbation that stalls convergence without going non-finite.
+    pub fn sign_flip_every(period: u64) -> FaultPlan {
+        FaultPlan {
+            matvec: vec![MatvecFault {
+                at: 0,
+                every: Some(period.max(1)),
+                element: 0,
+                kind: FaultKind::SignFlip,
+                scale: 1e-3,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// Relative perturbation of element 0 every `period` matvecs.
+    pub fn perturb_every(period: u64, scale: f64) -> FaultPlan {
+        FaultPlan {
+            matvec: vec![MatvecFault {
+                at: 0,
+                every: Some(period.max(1)),
+                element: 0,
+                kind: FaultKind::Perturb,
+                scale,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// Corrupt `times` messages sent by `rank`, starting at exchange
+    /// round `round` — healed transparently by checksum + retry.
+    pub fn exchange_corrupt(round: u64, rank: usize, times: u64) -> FaultPlan {
+        FaultPlan {
+            exchange: vec![ExchangeRule {
+                round,
+                rank,
+                action: ExchangeAction::Corrupt,
+                times,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// Permanently drop every message sent by `rank` — a failed rank.
+    /// The budget is 2^53 (the largest exactly-representable JSON
+    /// integer), which no simulation can exhaust.
+    pub fn dead_rank(rank: usize) -> FaultPlan {
+        FaultPlan {
+            exchange: vec![ExchangeRule {
+                round: 0,
+                rank,
+                action: ExchangeAction::Drop,
+                times: 1 << 53,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// The canned plan registry the robustness test suite sweeps: every
+    /// plan here must leave `solve` with a non-degraded `Ok`, a degraded
+    /// `Ok` (valid distribution), or a typed error — never a panic.
+    pub fn canned() -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            ("transient_nan", FaultPlan::transient_nan(3)),
+            ("transient_inf", FaultPlan::transient_inf(2)),
+            ("permanent_nan", FaultPlan::permanent_nan(0)),
+            ("sign_flip_every_2", FaultPlan::sign_flip_every(2)),
+            ("perturb_every_3", FaultPlan::perturb_every(3, 0.5)),
+            ("exchange_corrupt", FaultPlan::exchange_corrupt(0, 1, 3)),
+            ("dead_rank_1", FaultPlan::dead_rank(1)),
+        ]
+    }
+
+    /// A deterministic pseudo-random plan derived from `seed` via
+    /// SplitMix64 — same seed, same plan, no RNG dependency.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let kinds = [
+            FaultKind::Nan,
+            FaultKind::Inf,
+            FaultKind::SignFlip,
+            FaultKind::Perturb,
+        ];
+        let n_rules = 1 + (next() % 3) as usize;
+        let matvec = (0..n_rules)
+            .map(|_| {
+                let kind = kinds[(next() % 4) as usize];
+                MatvecFault {
+                    at: next() % 32,
+                    every: if next() % 2 == 0 {
+                        Some(1 + next() % 8)
+                    } else {
+                        None
+                    },
+                    element: (next() % 64) as usize,
+                    kind,
+                    scale: (1 + next() % 1000) as f64 * 1e-3,
+                }
+            })
+            .collect();
+        FaultPlan {
+            matvec,
+            ..Default::default()
+        }
+    }
+}
+
+/// A [`LinearOperator`] wrapper that injects the matvec rules of a
+/// [`FaultPlan`] at deterministic, atomically-counted matvec indices.
+///
+/// The wrapper is transparent when the plan has no matvec rules, and
+/// `Send + Sync` whenever the inner operator is, so it slots into every
+/// solver path (including `Box<dyn LinearOperator>` engines).
+pub struct FaultyOp<A> {
+    inner: A,
+    rules: Vec<MatvecFault>,
+    count: AtomicU64,
+}
+
+impl<A> FaultyOp<A> {
+    /// Wrap `inner`, injecting `plan`'s matvec rules (exchange rules are
+    /// ignored here — hand those to [`PlanExchangeFault`]).
+    pub fn new(inner: A, plan: &FaultPlan) -> Self {
+        FaultyOp {
+            inner,
+            rules: plan.matvec.clone(),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Matvecs performed so far (== strikes consulted).
+    pub fn matvecs(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    fn inject(&self, y: &mut [f64]) {
+        let k = self.count.fetch_add(1, Ordering::Relaxed);
+        for rule in &self.rules {
+            if rule.strikes(k) {
+                rule.apply(y);
+            }
+        }
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for FaultyOp<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyOp")
+            .field("inner", &self.inner)
+            .field("rules", &self.rules.len())
+            .field("matvecs", &self.matvecs())
+            .finish()
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for FaultyOp<A> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply_into(x, y);
+        self.inject(y);
+    }
+
+    fn apply_in_place(&self, v: &mut [f64]) {
+        self.inner.apply_in_place(v);
+        self.inject(v);
+    }
+
+    fn apply_into_probed(&self, x: &[f64], y: &mut [f64], probe: &mut dyn Probe) {
+        self.inner.apply_into_probed(x, y, probe);
+        self.inject(y);
+    }
+
+    fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
+        self.inner.apply_in_place_probed(v, probe);
+        self.inject(v);
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.inner.flops_estimate()
+    }
+}
+
+/// The exchange half of a [`FaultPlan`] as an [`ExchangeFault`] hook for
+/// [`qs_distributed::DistributedFmmp::with_faults`].
+#[derive(Debug)]
+pub struct PlanExchangeFault {
+    rules: Vec<(ExchangeRule, AtomicU64)>,
+}
+
+impl PlanExchangeFault {
+    /// Build the hook from `plan`'s exchange rules (matvec rules are
+    /// ignored here — hand those to [`FaultyOp`]).
+    pub fn new(plan: &FaultPlan) -> Self {
+        PlanExchangeFault {
+            rules: plan
+                .exchange
+                .iter()
+                .map(|r| (r.clone(), AtomicU64::new(r.times)))
+                .collect(),
+        }
+    }
+}
+
+impl ExchangeFault for PlanExchangeFault {
+    fn on_send(
+        &self,
+        round: u64,
+        sender: usize,
+        _receiver: usize,
+        _attempt: u32,
+        payload: &mut [f64],
+    ) -> Tamper {
+        for (rule, budget) in &self.rules {
+            if round >= rule.round
+                && sender == rule.rank
+                && budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_ok()
+            {
+                match rule.action {
+                    ExchangeAction::Corrupt => {
+                        if let Some(w) = payload.first_mut() {
+                            // Lowest mantissa bit: invisible to value-level
+                            // sanity checks, caught only by the checksum.
+                            *w = f64::from_bits(w.to_bits() ^ 1);
+                        }
+                        return Tamper::Corrupt;
+                    }
+                    ExchangeAction::Drop => return Tamper::Drop,
+                }
+            }
+        }
+        Tamper::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The identity operator — makes injected strikes exactly visible.
+    struct Identity(usize);
+
+    impl LinearOperator for Identity {
+        fn len(&self) -> usize {
+            self.0
+        }
+        fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+            y.copy_from_slice(x);
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_plan() {
+        let plan = FaultPlan {
+            matvec: vec![
+                MatvecFault {
+                    at: 3,
+                    every: Some(10),
+                    element: 5,
+                    kind: FaultKind::Perturb,
+                    scale: 0.25,
+                },
+                MatvecFault {
+                    at: 0,
+                    every: None,
+                    element: 0,
+                    kind: FaultKind::Nan,
+                    scale: 1e-3,
+                },
+            ],
+            exchange: vec![ExchangeRule {
+                round: 2,
+                rank: 1,
+                action: ExchangeAction::Drop,
+                times: 4,
+            }],
+        };
+        let parsed = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(parsed.matvec[0], plan.matvec[0]);
+        assert_eq!(parsed.exchange, plan.exchange);
+        // Round-trip NaN rule: scale is not serialized for non-perturb
+        // kinds, so it comes back as the default.
+        assert_eq!(parsed.matvec[1].kind, FaultKind::Nan);
+        assert_eq!(parsed.matvec[1].at, 0);
+    }
+
+    #[test]
+    fn plan_parser_rejects_unknown_fields_and_kinds() {
+        for bad in [
+            r#"{"matvec": [{"at": 1, "kind": "frobnicate"}]}"#,
+            r#"{"matvec": [{"at": 1, "kind": "nan", "typo": 3}]}"#,
+            r#"{"exchange": [{"rank": 0, "action": "melt"}]}"#,
+            r#"{"unknown": []}"#,
+            r#"{"matvec": [{"kind": "nan"}]}"#,
+            r#"{"matvec": [{"at": 1, "kind": "nan", "every": 0}]}"#,
+            r#"[1, 2]"#,
+            r#"not json"#,
+        ] {
+            assert!(FaultPlan::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in_optional_fields() {
+        let plan = FaultPlan::from_json(r#"{"matvec": [{"at": 7, "kind": "perturb"}]}"#).unwrap();
+        let r = &plan.matvec[0];
+        assert_eq!((r.at, r.every, r.element), (7, None, 0));
+        assert_eq!(r.scale, 1e-3);
+        let plan =
+            FaultPlan::from_json(r#"{"exchange": [{"rank": 3, "action": "corrupt"}]}"#).unwrap();
+        let r = &plan.exchange[0];
+        assert_eq!((r.round, r.rank, r.times), (0, 3, 1));
+    }
+
+    #[test]
+    fn faulty_op_strikes_exactly_the_planned_matvecs() {
+        let plan = FaultPlan::transient_nan(2);
+        let op = FaultyOp::new(Identity(4), &plan);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        for k in 0..5u64 {
+            let y = op.apply(&x);
+            if k == 2 {
+                assert!(y[0].is_nan(), "strike at matvec 2");
+                assert_eq!(&y[1..], &x[1..], "only element 0 struck");
+            } else {
+                assert_eq!(y, x, "matvec {k} untouched");
+            }
+        }
+        assert_eq!(op.matvecs(), 5);
+    }
+
+    #[test]
+    fn recurring_rules_and_element_reduction() {
+        let plan = FaultPlan {
+            matvec: vec![MatvecFault {
+                at: 1,
+                every: Some(2),
+                element: 7, // reduced mod 4 → 3
+                kind: FaultKind::SignFlip,
+                scale: 1e-3,
+            }],
+            ..Default::default()
+        };
+        let op = FaultyOp::new(Identity(4), &plan);
+        let x = vec![1.0; 4];
+        let strikes: Vec<bool> = (0..6).map(|_| op.apply(&x)[3] < 0.0).collect();
+        assert_eq!(strikes, [false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn perturb_is_a_relative_error() {
+        let plan = FaultPlan::perturb_every(1, 0.5);
+        let op = FaultyOp::new(Identity(2), &plan);
+        assert_eq!(op.apply(&[2.0, 1.0]), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn plan_exchange_fault_honours_round_rank_and_budget() {
+        let plan = FaultPlan::exchange_corrupt(1, 2, 2);
+        let hook = PlanExchangeFault::new(&plan);
+        let mut buf = [1.0, 2.0];
+        // Wrong round, wrong rank: untouched.
+        assert_eq!(hook.on_send(0, 2, 0, 0, &mut buf), Tamper::None);
+        assert_eq!(hook.on_send(1, 0, 2, 0, &mut buf), Tamper::None);
+        assert_eq!(buf, [1.0, 2.0]);
+        // Two budgeted strikes, then exhausted.
+        assert_eq!(hook.on_send(1, 2, 0, 0, &mut buf), Tamper::Corrupt);
+        assert_ne!(buf[0], 1.0);
+        assert_eq!(hook.on_send(2, 2, 3, 0, &mut buf), Tamper::Corrupt);
+        assert_eq!(hook.on_send(3, 2, 0, 0, &mut buf), Tamper::None);
+    }
+
+    #[test]
+    fn corrupt_flips_one_bit_invisible_to_value_checks() {
+        let plan = FaultPlan::exchange_corrupt(0, 0, 1);
+        let hook = PlanExchangeFault::new(&plan);
+        let mut buf = [1.0, 2.0];
+        let before = qs_distributed::fnv1a_checksum(&buf);
+        assert_eq!(hook.on_send(0, 0, 1, 0, &mut buf), Tamper::Corrupt);
+        assert!(buf[0].is_finite() && (buf[0] - 1.0).abs() < 1e-12);
+        assert_ne!(qs_distributed::fnv1a_checksum(&buf), before);
+    }
+
+    #[test]
+    fn dead_rank_plan_drops_forever() {
+        let hook = PlanExchangeFault::new(&FaultPlan::dead_rank(1));
+        let mut buf = [0.0];
+        for round in 0..100 {
+            assert_eq!(hook.on_send(round, 1, 0, 0, &mut buf), Tamper::Drop);
+            assert_eq!(hook.on_send(round, 0, 1, 0, &mut buf), Tamper::None);
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_non_trivial() {
+        let a = FaultPlan::seeded(42);
+        let b = FaultPlan::seeded(42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_ne!(a, FaultPlan::seeded(43));
+    }
+
+    #[test]
+    fn canned_registry_round_trips_through_json() {
+        for (name, plan) in FaultPlan::canned() {
+            let back =
+                FaultPlan::from_json(&plan.to_json()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, plan, "{name}");
+        }
+    }
+}

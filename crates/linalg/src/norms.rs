@@ -18,7 +18,16 @@ pub fn norm_l2(x: &[f64]) -> f64 {
     for &v in x {
         m = m.max(v.abs());
     }
-    if m == 0.0 || !m.is_finite() {
+    if m == 0.0 {
+        // `f64::max` ignores NaN operands, so an all-NaN vector reaches
+        // here with m == 0; the norm must propagate the NaN, not mask it.
+        return if x.iter().any(|v| v.is_nan()) {
+            f64::NAN
+        } else {
+            0.0
+        };
+    }
+    if !m.is_finite() {
         return m;
     }
     let inv = 1.0 / m;
@@ -77,5 +86,14 @@ mod tests {
     #[test]
     fn infinity_propagates() {
         assert_eq!(norm_l2(&[f64::INFINITY, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn nan_propagates_even_when_max_ignores_it() {
+        // max-scaling sees m == 0 for an all-NaN vector; the norm must
+        // still report NaN so non-finite guardrails can trip on it.
+        assert!(norm_l2(&[f64::NAN, f64::NAN]).is_nan());
+        assert!(norm_l2(&[0.0, f64::NAN]).is_nan());
+        assert!(norm_l2(&[1.0, f64::NAN]).is_nan());
     }
 }

@@ -256,7 +256,16 @@ pub fn par_norm_l2(x: &[f64]) -> f64 {
         .par_chunks(PAR_THRESHOLD)
         .map(qs_linalg::norm_linf)
         .reduce(|| 0.0, f64::max);
-    if m == 0.0 || !m.is_finite() {
+    if m == 0.0 {
+        // `f64::max` ignores NaN, so an all-NaN slice reduces to m == 0;
+        // propagate the NaN instead of reporting a zero norm.
+        return if x.iter().any(|v| v.is_nan()) {
+            f64::NAN
+        } else {
+            0.0
+        };
+    }
+    if !m.is_finite() {
         return m;
     }
     let inv = 1.0 / m;

@@ -65,6 +65,37 @@ pub enum SolverEvent {
         /// Last residual norm.
         residual: f64,
     },
+    /// Corruption was detected in transit (checksum mismatch or dropped
+    /// exchange buffer) before any recovery was attempted.
+    FaultDetected {
+        /// Stage label, e.g. `"hypercube-exchange"`.
+        stage: &'static str,
+        /// Global exchange round index the fault was detected in.
+        round: u64,
+    },
+    /// A retransmission attempt after a detected fault (distributed
+    /// backend, bounded-backoff retry path).
+    Retry {
+        /// Stage label, e.g. `"hypercube-exchange"`.
+        stage: &'static str,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A solver guardrail tripped and classified a numerical breakdown.
+    GuardrailTripped {
+        /// Breakdown kind label, e.g. `"non_finite_iterate"`,
+        /// `"residual_stagnation"`, `"lanczos_breakdown"`.
+        kind: &'static str,
+        /// 1-based outer iteration the guardrail tripped at.
+        iter: usize,
+    },
+    /// The recovery ladder in `solve` took an action, e.g.
+    /// `"restart_renormalised"`, `"fallback_lanczos"`,
+    /// `"fallback_shifted_power"`, `"best_so_far_degraded"`.
+    RecoveryAction {
+        /// Action label (snake_case, `&'static str`).
+        action: &'static str,
+    },
 }
 
 impl SolverEvent {
@@ -77,6 +108,10 @@ impl SolverEvent {
             SolverEvent::CommExchange { .. } => "comm_exchange",
             SolverEvent::Converged { .. } => "converged",
             SolverEvent::Budget { .. } => "budget",
+            SolverEvent::FaultDetected { .. } => "fault_detected",
+            SolverEvent::Retry { .. } => "retry",
+            SolverEvent::GuardrailTripped { .. } => "guardrail_tripped",
+            SolverEvent::RecoveryAction { .. } => "recovery_action",
         }
     }
 
@@ -135,6 +170,18 @@ impl SolverEvent {
                     ",\"iterations\":{iterations},\"matvecs\":{matvecs},\"residual\":"
                 );
                 push_f64(&mut s, residual);
+            }
+            SolverEvent::FaultDetected { stage, round } => {
+                let _ = write!(s, ",\"stage\":\"{stage}\",\"round\":{round}");
+            }
+            SolverEvent::Retry { stage, attempt } => {
+                let _ = write!(s, ",\"stage\":\"{stage}\",\"attempt\":{attempt}");
+            }
+            SolverEvent::GuardrailTripped { kind, iter } => {
+                let _ = write!(s, ",\"kind\":\"{kind}\",\"iter\":{iter}");
+            }
+            SolverEvent::RecoveryAction { action } => {
+                let _ = write!(s, ",\"action\":\"{action}\"");
             }
         }
         s.push('}');
@@ -218,6 +265,48 @@ mod tests {
         let end = rest.find(',').unwrap();
         let parsed: f64 = rest[..end].parse().unwrap();
         assert_eq!(parsed.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn fault_and_recovery_events_encode_with_snake_case_tags() {
+        let e = SolverEvent::FaultDetected {
+            stage: "hypercube-exchange",
+            round: 7,
+        };
+        assert_eq!(e.tag(), "fault_detected");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"fault_detected\",\"stage\":\"hypercube-exchange\",\"round\":7}"
+        );
+
+        let e = SolverEvent::Retry {
+            stage: "hypercube-exchange",
+            attempt: 2,
+        };
+        assert_eq!(e.tag(), "retry");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"retry\",\"stage\":\"hypercube-exchange\",\"attempt\":2}"
+        );
+
+        let e = SolverEvent::GuardrailTripped {
+            kind: "non_finite_iterate",
+            iter: 5,
+        };
+        assert_eq!(e.tag(), "guardrail_tripped");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"guardrail_tripped\",\"kind\":\"non_finite_iterate\",\"iter\":5}"
+        );
+
+        let e = SolverEvent::RecoveryAction {
+            action: "fallback_lanczos",
+        };
+        assert_eq!(e.tag(), "recovery_action");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"recovery_action\",\"action\":\"fallback_lanczos\"}"
+        );
     }
 
     #[test]

@@ -115,6 +115,46 @@ impl RecordingProbe {
             _ => None,
         }
     }
+
+    /// Number of [`SolverEvent::FaultDetected`] events.
+    pub fn faults_detected(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SolverEvent::FaultDetected { .. }))
+            .count()
+    }
+
+    /// Number of [`SolverEvent::Retry`] events.
+    pub fn retries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SolverEvent::Retry { .. }))
+            .count()
+    }
+
+    /// The kind labels of every [`SolverEvent::GuardrailTripped`] event,
+    /// in emission order.
+    pub fn guardrail_kinds(&self) -> Vec<&'static str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                SolverEvent::GuardrailTripped { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The action labels of every [`SolverEvent::RecoveryAction`] event,
+    /// in emission order.
+    pub fn recovery_actions(&self) -> Vec<&'static str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                SolverEvent::RecoveryAction { action } => Some(*action),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 impl Probe for RecordingProbe {
@@ -268,6 +308,30 @@ mod tests {
         p.clear();
         assert!(p.is_empty());
         assert_eq!(p.terminal(), None);
+    }
+
+    #[test]
+    fn recording_probe_tracks_fault_and_recovery_events() {
+        let mut p = RecordingProbe::new();
+        p.record(&SolverEvent::FaultDetected {
+            stage: "hypercube-exchange",
+            round: 3,
+        });
+        p.record(&SolverEvent::Retry {
+            stage: "hypercube-exchange",
+            attempt: 1,
+        });
+        p.record(&SolverEvent::GuardrailTripped {
+            kind: "lanczos_breakdown",
+            iter: 9,
+        });
+        p.record(&SolverEvent::RecoveryAction {
+            action: "fallback_shifted_power",
+        });
+        assert_eq!(p.faults_detected(), 1);
+        assert_eq!(p.retries(), 1);
+        assert_eq!(p.guardrail_kinds(), vec!["lanczos_breakdown"]);
+        assert_eq!(p.recovery_actions(), vec!["fallback_shifted_power"]);
     }
 
     #[test]

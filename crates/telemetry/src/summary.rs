@@ -41,6 +41,14 @@ pub struct TraceSummary {
     pub comm_words: u64,
     /// Number of communication exchange rounds.
     pub comm_rounds: u64,
+    /// Number of [`SolverEvent::FaultDetected`] events.
+    pub faults_detected: u64,
+    /// Number of [`SolverEvent::Retry`] events.
+    pub retries: u64,
+    /// Number of [`SolverEvent::GuardrailTripped`] events.
+    pub guardrails: u64,
+    /// Number of [`SolverEvent::RecoveryAction`] events.
+    pub recovery_actions: u64,
 }
 
 impl TraceSummary {
@@ -100,6 +108,10 @@ impl TraceSummary {
                     s.matvecs = Some(matvecs);
                     s.last_residual = Some(residual);
                 }
+                SolverEvent::FaultDetected { .. } => s.faults_detected += 1,
+                SolverEvent::Retry { .. } => s.retries += 1,
+                SolverEvent::GuardrailTripped { .. } => s.guardrails += 1,
+                SolverEvent::RecoveryAction { .. } => s.recovery_actions += 1,
             }
         }
         s.stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
@@ -150,6 +162,20 @@ impl fmt::Display for TraceSummary {
                 f,
                 "  comm:     {} words over {} exchange rounds",
                 self.comm_words, self.comm_rounds
+            )?;
+        }
+        if self.faults_detected > 0 || self.retries > 0 {
+            writeln!(
+                f,
+                "  faults:   {} detected, {} retries",
+                self.faults_detected, self.retries
+            )?;
+        }
+        if self.guardrails > 0 || self.recovery_actions > 0 {
+            writeln!(
+                f,
+                "  recovery: {} guardrail trips, {} recovery actions",
+                self.guardrails, self.recovery_actions
             )?;
         }
         Ok(())
@@ -244,6 +270,47 @@ mod tests {
         assert!(!s.converged);
         assert_eq!(s.lambda, None);
         assert_eq!(s.matvecs, Some(1));
+    }
+
+    #[test]
+    fn fault_and_recovery_events_are_counted() {
+        let events = vec![
+            SolverEvent::IterationStart { iter: 1 },
+            SolverEvent::FaultDetected {
+                stage: "hypercube-exchange",
+                round: 0,
+            },
+            SolverEvent::Retry {
+                stage: "hypercube-exchange",
+                attempt: 1,
+            },
+            SolverEvent::Retry {
+                stage: "hypercube-exchange",
+                attempt: 2,
+            },
+            SolverEvent::GuardrailTripped {
+                kind: "residual_stagnation",
+                iter: 1,
+            },
+            SolverEvent::RecoveryAction {
+                action: "restart_renormalised",
+            },
+            SolverEvent::Converged {
+                iterations: 1,
+                matvecs: 1,
+                residual: 1e-14,
+                lambda: 2.0,
+            },
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.faults_detected, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.guardrails, 1);
+        assert_eq!(s.recovery_actions, 1);
+        assert!(s.converged);
+        let text = s.to_string();
+        assert!(text.contains("1 detected, 2 retries"));
+        assert!(text.contains("1 guardrail trips, 1 recovery actions"));
     }
 
     #[test]

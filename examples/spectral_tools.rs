@@ -85,7 +85,8 @@ fn main() {
     println!("\n  inverse iteration on (Q−µI)^(-1) targeted (1−2p)³ = {target:.8}: ρ = {rho:.8}");
 
     // 4. RQI on the full W with MINRES inner solves.
-    let rqi = rayleigh_quotient_iteration(&w_sym, &start, &RqiOptions::default());
+    let rqi = rayleigh_quotient_iteration(&w_sym, &start, &RqiOptions::default())
+        .expect("default RQI options are valid");
     let pi_ref = power_iteration(
         &w_sym,
         &start,

@@ -175,7 +175,7 @@ fn rqi_standalone_matches_method_enum_path() {
     let landscape = Random::new(nu, 5.0, 1.0, 88);
     let w = WOperator::from_landscape(Fmmp::new(nu, p), &landscape, Formulation::Symmetric);
     let start: Vec<f64> = landscape.materialize().iter().map(|f| f.sqrt()).collect();
-    let direct = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default());
+    let direct = rayleigh_quotient_iteration(&w, &start, &RqiOptions::default()).unwrap();
     let via_solver = solve(
         p,
         &landscape,

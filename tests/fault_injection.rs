@@ -1,0 +1,221 @@
+//! The robustness contract, swept: under every canned fault plan and a
+//! band of seeded random plans, across every eigensolver method, `solve`
+//! must finish in exactly one of three ways —
+//!
+//! 1. `Ok` non-degraded: the recovery ladder healed the breakdown and the
+//!    result meets tolerance;
+//! 2. `Ok` degraded: a best-so-far iterate, still a valid (finite,
+//!    non-negative, Σ = 1) distribution, flagged `stats.degraded`;
+//! 3. a typed [`SolveError`].
+//!
+//! A panic anywhere is a test failure: the whole point of the harness is
+//! that injected faults surface as data, not aborts.
+
+use qs_distributed::{DistributedFmmp, RetryPolicy};
+use qs_fault::{FaultPlan, FaultyOp, PlanExchangeFault};
+use qs_landscape::{Landscape, SinglePeak, Tabulated};
+use qs_matvec::{Fmmp, LinearOperator};
+use quasispecies::{solve_with_q_operator, Method, SolveError, SolverConfig};
+
+const NU: u32 = 6;
+const P: f64 = 0.01;
+
+/// Build the faulted `Q` operator a plan asks for: matvec rules wrap the
+/// serial engine in a [`FaultyOp`]; exchange rules run the simulated
+/// distributed engine with the plan as its fault hook.
+fn faulted_q(plan: &FaultPlan) -> Box<dyn LinearOperator> {
+    if plan.exchange.is_empty() {
+        Box::new(FaultyOp::new(Fmmp::new(NU, P), plan))
+    } else {
+        Box::new(DistributedFmmp::with_faults(
+            NU,
+            P,
+            4,
+            Box::new(PlanExchangeFault::new(plan)),
+            RetryPolicy::default(),
+        ))
+    }
+}
+
+fn methods() -> [Method; 3] {
+    [
+        Method::Power,
+        Method::Lanczos { subspace: 24 },
+        Method::Rqi { warmup: 5 },
+    ]
+}
+
+/// The single outcome check every sweep case funnels through.
+fn assert_contract(label: &str, outcome: Result<quasispecies::Quasispecies, SolveError>) {
+    match outcome {
+        Ok(qs) => {
+            let sum: f64 = qs.concentrations.iter().sum();
+            assert!(
+                qs.concentrations.iter().all(|c| c.is_finite() && *c >= 0.0),
+                "{label}: concentrations must be finite and non-negative"
+            );
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{label}: concentrations must sum to 1, got {sum}"
+            );
+            assert!(qs.lambda.is_finite(), "{label}: λ must be finite");
+            if !qs.stats.degraded {
+                assert!(
+                    qs.stats.converged,
+                    "{label}: a non-degraded Ok must be converged"
+                );
+            }
+        }
+        // Typed failures are acceptable outcomes; the match is exhaustive
+        // so a new variant forces this test to take a position on it.
+        Err(SolveError::NotConverged { .. })
+        | Err(SolveError::NumericalBreakdown { .. })
+        | Err(SolveError::InvalidConfig { .. })
+        | Err(SolveError::DimensionMismatch { .. }) => {}
+    }
+}
+
+#[test]
+fn every_canned_plan_upholds_the_contract_across_methods() {
+    let landscape = SinglePeak::new(NU, 2.0, 1.0);
+    for (name, plan) in FaultPlan::canned() {
+        for method in methods() {
+            let config = SolverConfig {
+                method,
+                // Keep persistently-faulted runs fast; budget exhaustion
+                // is itself a legal (typed) outcome.
+                max_iter: 20_000,
+                ..Default::default()
+            };
+            let label = format!("{name}/{method:?}");
+            assert_contract(
+                &label,
+                solve_with_q_operator(faulted_q(&plan), &landscape, &config),
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_random_plans_uphold_the_contract() {
+    let landscape = SinglePeak::new(NU, 2.0, 1.0);
+    for seed in 0..12u64 {
+        let plan = FaultPlan::seeded(seed);
+        let config = SolverConfig {
+            max_iter: 20_000,
+            ..Default::default()
+        };
+        assert_contract(
+            &format!("seeded({seed})"),
+            solve_with_q_operator(faulted_q(&plan), &landscape, &config),
+        );
+    }
+}
+
+#[test]
+fn recovery_off_surfaces_the_breakdown_instead() {
+    let landscape = SinglePeak::new(NU, 2.0, 1.0);
+    let config = SolverConfig {
+        recover: false,
+        ..Default::default()
+    };
+    let out = solve_with_q_operator(faulted_q(&FaultPlan::permanent_nan(0)), &landscape, &config);
+    assert!(
+        matches!(
+            out,
+            Err(SolveError::NumericalBreakdown {
+                kind: "non_finite_iterate",
+                ..
+            })
+        ),
+        "got {out:?}"
+    );
+}
+
+#[test]
+fn flat_landscape_lanczos_breakdown_is_typed_or_healed() {
+    // f ≡ const makes W = c·Q, whose dominant eigenvector is the paper
+    // start itself: the Krylov subspace collapses after one vector. The
+    // breakdown guardrail must turn that into a typed error or a valid
+    // (possibly recovered) result — never a panic.
+    let landscape = Tabulated::new(vec![1.0; 1 << NU]);
+    for subspace in [2usize, 24] {
+        let config = SolverConfig {
+            method: Method::Lanczos { subspace },
+            ..Default::default()
+        };
+        let out = solve_with_q_operator(Box::new(Fmmp::new(NU, P)), &landscape, &config);
+        assert_contract(&format!("flat/lanczos({subspace})"), out);
+    }
+}
+
+#[test]
+fn transient_faults_heal_back_to_the_reference_answer() {
+    // A single soft error must not change the converged answer: the
+    // recovered solve agrees with the clean solve to solver tolerance.
+    let landscape = SinglePeak::new(NU, 2.0, 1.0);
+    let config = SolverConfig::default();
+    let clean = solve_with_q_operator(Box::new(Fmmp::new(NU, P)), &landscape, &config)
+        .expect("clean solve");
+    for plan in [FaultPlan::transient_nan(3), FaultPlan::transient_inf(2)] {
+        let healed =
+            solve_with_q_operator(faulted_q(&plan), &landscape, &config).expect("healed solve");
+        assert!(healed.stats.converged && !healed.stats.degraded);
+        assert_eq!(
+            healed.stats.recovered_from.as_deref(),
+            Some("non_finite_iterate")
+        );
+        assert!(
+            (healed.lambda - clean.lambda).abs() < 1e-10,
+            "λ {} vs clean {}",
+            healed.lambda,
+            clean.lambda
+        );
+        for (a, b) in healed.concentrations.iter().zip(&clean.concentrations) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn example_plan_files_parse_and_run() {
+    // The shipped example plans stay loadable and honour the contract.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fault_plans");
+    let landscape = SinglePeak::new(NU, 2.0, 1.0);
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/fault_plans exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("readable plan");
+        let plan =
+            FaultPlan::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let config = SolverConfig {
+            max_iter: 20_000,
+            ..Default::default()
+        };
+        assert_contract(
+            &format!("{}", path.display()),
+            solve_with_q_operator(faulted_q(&plan), &landscape, &config),
+        );
+    }
+    assert!(
+        seen >= 2,
+        "expected at least two example plans, found {seen}"
+    );
+}
+
+#[test]
+fn dimension_checks_still_fire_through_the_wrapper() {
+    // The wrapper must not mask the solver's own input validation.
+    let landscape = SinglePeak::new(NU + 1, 2.0, 1.0);
+    let out = solve_with_q_operator(
+        faulted_q(&FaultPlan::transient_nan(0)),
+        &landscape,
+        &SolverConfig::default(),
+    );
+    assert!(matches!(out, Err(SolveError::DimensionMismatch { .. })));
+    let _ = landscape.len();
+}

@@ -211,7 +211,8 @@ proptest! {
             &DenseOp(a),
             &rhs,
             &quasispecies::MinresOptions { tol: 1e-12, max_iter: 200 },
-        );
+        )
+        .unwrap();
         prop_assert!(out.converged);
         prop_assert!(max_diff(&direct, &out.x) < 1e-8);
     }
