@@ -1,0 +1,241 @@
+//! Fused-kernel benchmark: staged reference vs the fused cache-blocked
+//! butterfly kernels (serial and parallel) and the batched multi-vector
+//! apply, plus end-to-end solver timings per engine.
+//!
+//! Unlike the figure binaries (which mirror the paper's plots into
+//! `bench_results/`), this harness writes two **root-level** files —
+//! `BENCH_matvec.json` and `BENCH_solver.json` — so the repository carries
+//! a committed record of the fused-kernel speedups, and CI's `perf-smoke`
+//! job can diff them as artifacts.
+//!
+//! ```text
+//! bench_fused [--max-nu N] [--quick] [--guard R]
+//! ```
+//!
+//! `--guard R` turns the run into a regression gate: exit nonzero if any
+//! fused kernel is more than `R`× slower than its staged reference at any
+//! measured ν (CI uses `--guard 2.0`).
+
+use qs_bench::time_median;
+use qs_landscape::SinglePeak;
+use qs_matvec::{Fmmp, LinearOperator, ParFmmp};
+use quasispecies::{solve, Engine, SolverConfig};
+
+/// Columns in the batched-apply measurement.
+const BATCH: usize = 8;
+
+struct Args {
+    max_nu: u32,
+    quick: bool,
+    guard: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut out = Args {
+        max_nu: 22,
+        quick: false,
+        guard: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--max-nu" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.max_nu = v;
+                }
+                i += 2;
+            }
+            "--guard" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.guard = Some(v);
+                }
+                i += 2;
+            }
+            "--quick" => {
+                out.quick = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Deterministic, positive, non-uniform start vector.
+fn test_vector(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + ((i.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0)
+        .collect()
+}
+
+/// Median ns/element for one in-place application of `op`.
+fn ns_per_element(op: &dyn LinearOperator, v: &[f64], warmup: usize, reps: usize) -> f64 {
+    let mut buf = v.to_vec();
+    let n = v.len() as f64;
+    // Re-seeding each rep would swamp small sizes with copy cost; the
+    // iterate stays finite under repeated Q applications (column
+    // stochastic), so reuse the buffer.
+    time_median(|| op.apply_in_place(&mut buf), warmup, reps) * 1e9 / n
+}
+
+/// JSON array of numbers (hand-rolled: the file must be readable even
+/// where serde is stubbed out).
+fn json_f64s(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{x:.4}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_u32s(xs: &[u32]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let args = parse_args();
+    let p = 0.01;
+    let min_nu = 8u32.min(args.max_nu);
+    let nus: Vec<u32> = (min_nu..=args.max_nu).step_by(2).collect();
+
+    let mut serial_ref = Vec::new();
+    let mut serial_fused = Vec::new();
+    let mut par_ref = Vec::new();
+    let mut par_fused = Vec::new();
+    let mut batch_fused = Vec::new();
+
+    println!(
+        "== fused-kernel matvec bench (ns/element, median; batch = {BATCH} columns; {} threads) ==",
+        rayon::current_num_threads()
+    );
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "ν", "serial-ref", "serial-fused", "par-ref", "par-fused", "batch-fused"
+    );
+    for &nu in &nus {
+        let n = 1usize << nu;
+        let v = test_vector(n);
+        // Budget ≈ constant total elements per series.
+        let reps = if args.quick {
+            3
+        } else {
+            (1usize << 24).checked_div(n).unwrap_or(1).clamp(3, 64)
+        };
+        let warmup = if args.quick { 1 } else { 2 };
+
+        let sr = ns_per_element(&Fmmp::new(nu, p), &v, warmup, reps);
+        let sf = ns_per_element(&Fmmp::fused(nu, p), &v, warmup, reps);
+        let pr = ns_per_element(&ParFmmp::new(nu, p), &v, warmup, reps);
+        let pf = ns_per_element(&ParFmmp::fused(nu, p), &v, warmup, reps);
+
+        let op = Fmmp::fused(nu, p);
+        let mut slab = Vec::with_capacity(n * BATCH);
+        for _ in 0..BATCH {
+            slab.extend_from_slice(&v);
+        }
+        let bf = time_median(|| op.apply_batch(&mut slab), warmup, reps) * 1e9 / (n * BATCH) as f64;
+
+        println!("{nu:>4} {sr:>12.3} {sf:>12.3} {pr:>12.3} {pf:>12.3} {bf:>12.3}");
+        serial_ref.push(sr);
+        serial_fused.push(sf);
+        par_ref.push(pr);
+        par_fused.push(pf);
+        batch_fused.push(bf);
+    }
+
+    let matvec_json = format!(
+        "{{\n  \"unit\": \"ns_per_element\",\n  \"p\": {p},\n  \"batch_columns\": {BATCH},\n  \
+         \"threads\": {},\n  \"nus\": {},\n  \"series\": {{\n    \
+         \"fmmp_serial_ref\": {},\n    \"fmmp_serial_fused\": {},\n    \
+         \"fmmp_parallel_ref\": {},\n    \"fmmp_parallel_fused\": {},\n    \
+         \"fmmp_batch_fused\": {}\n  }}\n}}\n",
+        rayon::current_num_threads(),
+        json_u32s(&nus),
+        json_f64s(&serial_ref),
+        json_f64s(&serial_fused),
+        json_f64s(&par_ref),
+        json_f64s(&par_fused),
+        json_f64s(&batch_fused),
+    );
+    match std::fs::write("BENCH_matvec.json", &matvec_json) {
+        Ok(()) => println!("   (matvec data → BENCH_matvec.json)"),
+        Err(e) => eprintln!("warning: could not write BENCH_matvec.json: {e}"),
+    }
+
+    // --- End-to-end solver timings per engine.
+    let solver_max = if args.quick {
+        args.max_nu.min(12)
+    } else {
+        args.max_nu.min(16)
+    };
+    let solver_nus: Vec<u32> = (min_nu..=solver_max).step_by(2).collect();
+    let engines = [
+        Engine::Fmmp,
+        Engine::FmmpFused,
+        Engine::FmmpParallel,
+        Engine::FmmpParallelFused,
+    ];
+    println!("\n== solver bench (seconds per solve, median; single-peak, p = {p}) ==");
+    let mut solver_rows = Vec::new();
+    for &nu in &solver_nus {
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        for engine in engines {
+            let config = SolverConfig {
+                engine,
+                ..Default::default()
+            };
+            let reps = if args.quick { 3 } else { 5 };
+            let seconds = time_median(
+                || {
+                    let _ = std::hint::black_box(solve(p, &landscape, &config).unwrap());
+                },
+                1,
+                reps,
+            );
+            let qs = solve(p, &landscape, &config).unwrap();
+            println!(
+                "  ν={nu:<3} {:<16} {seconds:>12.6}s  ({} iterations)",
+                engine.label(nu),
+                qs.stats.iterations
+            );
+            solver_rows.push(format!(
+                "    {{\"nu\": {nu}, \"engine\": \"{}\", \"seconds\": {seconds:.6}, \
+                 \"iterations\": {}}}",
+                engine.label(nu),
+                qs.stats.iterations
+            ));
+        }
+    }
+    let solver_json = format!(
+        "{{\n  \"landscape\": \"single-peak f0=2 frest=1\",\n  \"p\": {p},\n  \
+         \"tol\": 1e-13,\n  \"threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        solver_rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_solver.json", &solver_json) {
+        Ok(()) => println!("   (solver data → BENCH_solver.json)"),
+        Err(e) => eprintln!("warning: could not write BENCH_solver.json: {e}"),
+    }
+
+    // --- Regression gate (CI perf-smoke).
+    if let Some(ratio) = args.guard {
+        let mut failed = false;
+        for (i, &nu) in nus.iter().enumerate() {
+            for (fused, reference, what) in [
+                (serial_fused[i], serial_ref[i], "serial"),
+                (par_fused[i], par_ref[i], "parallel"),
+            ] {
+                if fused > ratio * reference {
+                    eprintln!(
+                        "guard FAILED at ν={nu}: {what} fused {fused:.3} ns/el > \
+                         {ratio}× reference {reference:.3} ns/el"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("guard OK: fused within {ratio}× of reference at every measured ν");
+    }
+}

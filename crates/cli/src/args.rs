@@ -51,6 +51,7 @@ const FLAG_KEYS: &[&str] = &[
     "no-recover",
     "expect-recovery",
     "allow-degraded",
+    "full-sweep",
 ];
 
 impl Args {

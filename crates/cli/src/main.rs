@@ -62,6 +62,8 @@ quasispecies — fast solver for Eigen's quasispecies model (SC'11 reproduction)
 USAGE:
   quasispecies solve --nu N --p P [--landscape KIND] [options]
   quasispecies scan --nu N --p-min A --p-max B [--points K] [--landscape KIND]
+                    [--full-sweep]     batched full-resolution solve of every
+                                       grid point at once (QSweep block power)
   quasispecies threshold --nu N [--landscape KIND] [--lo A --hi B]
   quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
   quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
@@ -74,7 +76,10 @@ LANDSCAPES (error-class kinds also drive scan/threshold exactly via §5.1):
   nk                      --k 2 --seed 42                 (solve/ode only)
 
 SOLVE OPTIONS:
-  --engine fmmp|fmmp-par|xmvp|smvp   (xmvp takes --dmax, default ν)
+  --engine fmmp|fmmp-fused|fmmp-par|fmmp-par-fused|xmvp|smvp
+                                     (xmvp takes --dmax, default ν; the
+                                     -fused engines run the cache-blocked
+                                     multi-stage butterfly kernels)
   --parallel                         shorthand for --engine fmmp-par
   --method power|lanczos|rqi         (lanczos takes --subspace, default 60)
   --tol 1e-13   --max-iter 200000    --top 8 (sequences shown)
@@ -160,7 +165,9 @@ fn build_config(args: &Args, nu: u32) -> Result<SolverConfig, CliError> {
     };
     let engine = match args.get("engine").unwrap_or(default_engine) {
         "fmmp" => Engine::Fmmp,
+        "fmmp-fused" => Engine::FmmpFused,
         "fmmp-par" => Engine::FmmpParallel,
+        "fmmp-par-fused" => Engine::FmmpParallelFused,
         "xmvp" => Engine::Xmvp {
             d_max: args.or_default("dmax", nu)?,
         },
@@ -225,7 +232,11 @@ fn solve_dispatch<P: Probe>(
     let nu = landscape.nu();
     let q_op: Box<dyn LinearOperator> = match config.engine {
         Engine::Fmmp => Box::new(FaultyOp::new(qs_matvec::Fmmp::new(nu, p), plan)),
+        Engine::FmmpFused => Box::new(FaultyOp::new(qs_matvec::Fmmp::fused(nu, p), plan)),
         Engine::FmmpParallel => Box::new(FaultyOp::new(qs_matvec::ParFmmp::new(nu, p), plan)),
+        Engine::FmmpParallelFused => {
+            Box::new(FaultyOp::new(qs_matvec::ParFmmp::fused(nu, p), plan))
+        }
         Engine::Xmvp { d_max } => Box::new(FaultyOp::new(qs_matvec::Xmvp::new(nu, p, d_max), plan)),
         Engine::Smvp => Box::new(FaultyOp::new(
             qs_matvec::Smvp::from_model(&qs_mutation::Uniform::new(nu, p)),
@@ -432,7 +443,20 @@ fn cmd_scan(args: &Args) -> Result<(), CliError> {
     let ps: Vec<f64> = (0..points)
         .map(|i| p_min + (p_max - p_min) * i as f64 / (points.max(2) - 1) as f64)
         .collect();
-    let scan = scan_error_classes(nu, &phi, &ps);
+    // `--full-sweep` replaces the §5.1 per-point reduction with one
+    // batched full-resolution block solve: every grid point advances
+    // together through a shared QSweep application per power step.
+    let scan = if args.flag("full-sweep") {
+        let landscape = ErrorClass::new(nu, phi.clone());
+        quasispecies::scan_full_sweep(
+            &landscape,
+            &ps,
+            args.or_default("tol", 1e-12)?,
+            args.or_default("max-iter", 200_000usize)?,
+        )?
+    } else {
+        scan_error_classes(nu, &phi, &ps)
+    };
     if args.flag("json") {
         let rec = ScanRecord {
             nu,

@@ -63,7 +63,10 @@ pub use kron_solver::{solve_kronecker, KroneckerQuasispecies};
 pub use krylov::{minres, minres_probed, MinresOptions, MinresOutcome};
 pub use lanczos::{lanczos, lanczos_probed, LanczosOptions, LanczosOutcome};
 pub use mixed::{solve_mixed_precision, MixedOptions, MixedStats};
-pub use power::{power_iteration, power_iteration_probed, PowerOptions, PowerOutcome};
+pub use power::{
+    block_power_iteration, power_iteration, power_iteration_probed, BlockPowerOutcome,
+    PowerOptions, PowerOutcome,
+};
 pub use reduced::{solve_error_class, ReducedQuasispecies};
 pub use resolution::{marginal, site_marginals, Pyramid};
 pub use result::{Quasispecies, SolveStats};
@@ -74,7 +77,7 @@ pub use solver::{
     solve, solve_probed, solve_with_model, solve_with_model_probed, solve_with_q_operator,
     solve_with_q_operator_probed, Engine, Method, ShiftStrategy, SolveError, SolverConfig,
 };
-pub use threshold::{detect_pmax, scan_error_classes, scan_full, ThresholdScan};
+pub use threshold::{detect_pmax, scan_error_classes, scan_full, scan_full_sweep, ThresholdScan};
 
 // Re-export the pieces user code needs to assemble custom problems.
 pub use qs_matvec::Formulation;

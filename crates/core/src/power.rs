@@ -239,6 +239,177 @@ pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
     }
 }
 
+/// Outcome of a [`block_power_iteration`] run: one per-column record plus
+/// the index of the best column.
+#[derive(Debug, Clone)]
+pub struct BlockPowerOutcome {
+    /// Per-column outcomes, in start-column order. Each is exactly what a
+    /// standalone [`power_iteration`] would report for that column.
+    pub columns: Vec<PowerOutcome>,
+    /// Index of the best column: converged columns beat unconverged ones,
+    /// ties broken by smaller residual.
+    pub best: usize,
+    /// Block iterations performed (= the max over column iteration
+    /// counts; every iteration costs one batched operator application).
+    pub iterations: usize,
+}
+
+impl BlockPowerOutcome {
+    /// Borrow the best column's outcome.
+    pub fn best_column(&self) -> &PowerOutcome {
+        &self.columns[self.best]
+    }
+}
+
+/// Block power iteration: advance `k` start columns simultaneously, one
+/// [`LinearOperator::apply_batch`] per step instead of `k` separate
+/// applications, so transform engines (Fmmp, FWHT, `QShiftInvert`)
+/// amortise their stage traversal across the block.
+///
+/// `starts` holds the `k` columns contiguously (`k = starts.len() / N`).
+/// Each column runs the same shifted iteration as [`power_iteration`] and
+/// freezes as soon as it converges or trips a guardrail; the block stops
+/// when every column is frozen or the iteration budget is spent. Columns
+/// are *not* orthogonalised against each other — this is a batched
+/// multi-start, not a subspace iteration, and each column converges to the
+/// dominant eigenpair exactly as its standalone run would.
+///
+/// # Panics
+///
+/// Panics if `starts` is empty or not a multiple of `a.len()`, any start
+/// column is zero, or `tol` is negative.
+pub fn block_power_iteration<A: LinearOperator + ?Sized>(
+    a: &A,
+    starts: &[f64],
+    opts: &PowerOptions,
+) -> BlockPowerOutcome {
+    let n = a.len();
+    assert!(
+        !starts.is_empty() && starts.len() % n == 0,
+        "block_power_iteration: starts must hold a whole number of columns"
+    );
+    assert!(opts.tol >= 0.0, "tolerance must be non-negative");
+    let k = starts.len() / n;
+    let dot: fn(&[f64], &[f64]) -> f64 = if opts.parallel_reductions {
+        qs_matvec::parallel::par_dot
+    } else {
+        qs_linalg::dot
+    };
+    let norm: fn(&[f64]) -> f64 = if opts.parallel_reductions {
+        qs_matvec::parallel::par_norm_l2
+    } else {
+        qs_linalg::norm_l2
+    };
+
+    let mu = opts.shift;
+    let mut x = starts.to_vec();
+    for col in x.chunks_exact_mut(n) {
+        assert!(
+            normalize_l2(col) > 0.0,
+            "block_power_iteration: zero start column"
+        );
+    }
+    let mut y = vec![0.0; n * k];
+    let mut r = vec![0.0; n];
+    let mut done: Vec<Option<PowerOutcome>> = vec![None; k];
+    let mut iterations = 0;
+
+    while iterations < opts.max_iter && done.iter().any(|d| d.is_none()) {
+        iterations += 1;
+        y.copy_from_slice(&x);
+        a.apply_batch(&mut y);
+        for (j, (xc, yc)) in x.chunks_exact_mut(n).zip(y.chunks_exact_mut(n)).enumerate() {
+            if done[j].is_some() {
+                continue; // frozen; its slab lane is dead weight
+            }
+            if mu != 0.0 {
+                for (yi, &xi) in yc.iter_mut().zip(xc.iter()) {
+                    *yi -= mu * xi;
+                }
+            }
+            let lambda_shifted = dot(xc, yc);
+            sub_scaled_into(yc, lambda_shifted, xc, &mut r);
+            let residual = norm(&r);
+            let finite = residual.is_finite() && lambda_shifted.is_finite();
+            let converged = finite && residual <= opts.tol;
+            let budget_spent = iterations == opts.max_iter;
+            if converged || !finite || budget_spent {
+                let mut vector = xc.to_vec();
+                orient_positive(&mut vector);
+                done[j] = Some(PowerOutcome {
+                    lambda: lambda_shifted + mu,
+                    vector,
+                    iterations,
+                    residual,
+                    converged,
+                    matvecs: iterations,
+                    breakdown: if finite {
+                        None
+                    } else {
+                        Some(Breakdown::NonFiniteIterate)
+                    },
+                });
+                continue;
+            }
+            let ny = norm(yc);
+            if !(ny.is_finite() && ny > 0.0) {
+                let mut vector = xc.to_vec();
+                orient_positive(&mut vector);
+                done[j] = Some(PowerOutcome {
+                    lambda: lambda_shifted + mu,
+                    vector,
+                    iterations,
+                    residual,
+                    converged: false,
+                    matvecs: iterations,
+                    breakdown: Some(Breakdown::IterateCollapse),
+                });
+                continue;
+            }
+            let inv = 1.0 / ny;
+            for (xi, &yi) in xc.iter_mut().zip(yc.iter()) {
+                *xi = yi * inv;
+            }
+        }
+    }
+
+    // max_iter == 0: nothing ran, report the (normalised) starts honestly.
+    let columns: Vec<PowerOutcome> = done
+        .into_iter()
+        .zip(x.chunks_exact(n))
+        .map(|(d, xc)| {
+            d.unwrap_or_else(|| {
+                let mut vector = xc.to_vec();
+                orient_positive(&mut vector);
+                PowerOutcome {
+                    lambda: 0.0,
+                    vector,
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                    converged: false,
+                    matvecs: 0,
+                    breakdown: None,
+                }
+            })
+        })
+        .collect();
+    let best = columns
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (!a.converged, a.residual)
+                .partial_cmp(&(!b.converged, b.residual))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(j, _)| j)
+        .unwrap();
+    BlockPowerOutcome {
+        columns,
+        best,
+        iterations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +636,80 @@ mod tests {
             rec.terminal(),
             Some(SolverEvent::Budget { iterations: 3, .. })
         ));
+    }
+
+    #[test]
+    fn block_iteration_matches_standalone_runs() {
+        // Three different starts advanced as one batched block must land on
+        // the same eigenpair each standalone run finds.
+        let nu = 7u32;
+        let p = 0.02;
+        let landscape = Random::new(nu, 5.0, 1.0, 23);
+        let w = WOperator::from_landscape(Fmmp::fused(nu, p), &landscape, Formulation::Right);
+        let n = 1usize << nu;
+        let opts = PowerOptions {
+            tol: 1e-12,
+            ..Default::default()
+        };
+        let starts: Vec<Vec<f64>> = (0..3)
+            .map(|s| {
+                let mut v: Vec<f64> = (0..n)
+                    .map(|i| 1.0 + (((i * 31 + s * 7) % 11) as f64) / 10.0)
+                    .collect();
+                normalize_l2(&mut v);
+                v
+            })
+            .collect();
+        let slab: Vec<f64> = starts.concat();
+        let block = block_power_iteration(&w, &slab, &opts);
+        assert_eq!(block.columns.len(), 3);
+        for (j, start) in starts.iter().enumerate() {
+            let solo = power_iteration(&w, start, &opts);
+            let col = &block.columns[j];
+            assert_eq!(solo.converged, col.converged, "column {j}");
+            assert!(
+                (solo.lambda - col.lambda).abs() < 1e-10,
+                "column {j}: block λ {} vs solo {}",
+                col.lambda,
+                solo.lambda
+            );
+        }
+        assert!(block.best_column().converged);
+        assert!(block.iterations <= opts.max_iter);
+    }
+
+    #[test]
+    fn block_iteration_respects_budget_per_column() {
+        let landscape = SinglePeak::new(6, 2.0, 1.0);
+        let w = w_op(6, 0.03, &landscape);
+        let start = start_from(&landscape);
+        let mut slab = start.clone();
+        slab.extend_from_slice(&start);
+        let out = block_power_iteration(
+            &w,
+            &slab,
+            &PowerOptions {
+                tol: 1e-15,
+                max_iter: 3,
+                ..Default::default()
+            },
+        );
+        for col in &out.columns {
+            assert!(!col.converged);
+            assert_eq!(col.iterations, 3);
+            assert_eq!(col.matvecs, 3);
+        }
+        assert_eq!(out.iterations, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero start column")]
+    fn block_rejects_zero_start_column() {
+        let landscape = SinglePeak::new(4, 2.0, 1.0);
+        let w = w_op(4, 0.01, &landscape);
+        let mut slab = start_from(&landscape);
+        slab.extend_from_slice(&[0.0; 16]);
+        let _ = block_power_iteration(&w, &slab, &PowerOptions::default());
     }
 
     #[test]

@@ -23,8 +23,15 @@ pub enum Engine {
     /// The paper's exact `Θ(N log₂ N)` fast mutation matrix product.
     #[default]
     Fmmp,
+    /// `Fmmp` through the fused cache-blocked kernels: radix-4/8
+    /// butterflies process several stages per memory pass over
+    /// cache-sized tiles. Bit-identical results, fewer full-vector
+    /// sweeps.
+    FmmpFused,
     /// `Fmmp` on the thread-pool backend (the paper's GPU role).
     FmmpParallel,
+    /// The thread-pool backend running the fused multi-stage kernels.
+    FmmpParallelFused,
     /// The XOR-based baseline, sparsified to Hamming radius `d_max`
     /// (`d_max = ν` is exact and `Θ(N²)`).
     Xmvp {
@@ -44,7 +51,9 @@ impl Engine {
     pub fn label(&self, nu: u32) -> String {
         match self {
             Engine::Fmmp => "Fmmp".into(),
+            Engine::FmmpFused => "Fmmp-fused".into(),
             Engine::FmmpParallel => "Fmmp-par".into(),
+            Engine::FmmpParallelFused => "Fmmp-par-fused".into(),
             Engine::Xmvp { d_max } if *d_max == nu => format!("Xmvp(ν={nu})"),
             Engine::Xmvp { d_max } => format!("Xmvp({d_max})"),
             Engine::Smvp => "Smvp".into(),
@@ -260,7 +269,9 @@ pub fn solve_probed<L: Landscape + ?Sized, P: Probe>(
     let engine_label = config.engine.label(nu);
     let q_op: Box<dyn LinearOperator> = match config.engine {
         Engine::Fmmp => Box::new(Fmmp::new(nu, p)),
+        Engine::FmmpFused => Box::new(Fmmp::fused(nu, p)),
         Engine::FmmpParallel => Box::new(ParFmmp::new(nu, p)),
+        Engine::FmmpParallelFused => Box::new(ParFmmp::fused(nu, p)),
         Engine::Xmvp { d_max } => Box::new(Xmvp::new(nu, p, d_max)),
         Engine::Smvp => Box::new(Smvp::from_model(&qs_mutation::Uniform::new(nu, p))),
         Engine::Kronecker => Box::new(KroneckerOp::from_model(&qs_mutation::Uniform::new(nu, p))),
@@ -625,7 +636,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
     // Paper's start vector in the right formulation.
     let mut start_r = fitness.clone();
     qs_linalg::vec_ops::normalize_l1(&mut start_r);
-    let parallel_reductions = engine_label.ends_with("par");
+    let parallel_reductions = engine_label.contains("-par");
 
     let first = run_attempt(
         q_op.as_ref(),
@@ -807,7 +818,9 @@ mod tests {
         let landscape = Random::new(nu, 5.0, 1.0, 55);
         let reference = solve(p, &landscape, &SolverConfig::default()).unwrap();
         for engine in [
+            Engine::FmmpFused,
             Engine::FmmpParallel,
+            Engine::FmmpParallelFused,
             Engine::Xmvp { d_max: nu },
             Engine::Smvp,
             Engine::Kronecker,
@@ -980,8 +993,33 @@ mod tests {
     #[test]
     fn engine_labels() {
         assert_eq!(Engine::Fmmp.label(10), "Fmmp");
+        assert_eq!(Engine::FmmpFused.label(10), "Fmmp-fused");
+        assert_eq!(Engine::FmmpParallel.label(10), "Fmmp-par");
+        assert_eq!(Engine::FmmpParallelFused.label(10), "Fmmp-par-fused");
         assert_eq!(Engine::Xmvp { d_max: 10 }.label(10), "Xmvp(ν=10)");
         assert_eq!(Engine::Xmvp { d_max: 5 }.label(10), "Xmvp(5)");
+    }
+
+    #[test]
+    fn fused_engine_solve_matches_reference_bit_for_bit() {
+        // The fused kernels are bit-identical to the staged reference, so
+        // the entire solve — same start, same reductions — must be too.
+        let landscape = Random::new(9, 5.0, 1.0, 17);
+        let reference = solve(0.015, &landscape, &SolverConfig::default()).unwrap();
+        let fused = solve(
+            0.015,
+            &landscape,
+            &SolverConfig {
+                engine: Engine::FmmpFused,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(reference.lambda.to_bits(), fused.lambda.to_bits());
+        assert_eq!(reference.stats.iterations, fused.stats.iterations);
+        for (a, b) in reference.concentrations.iter().zip(&fused.concentrations) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

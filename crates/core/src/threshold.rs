@@ -13,9 +13,12 @@
 //! Section 5.1 reduction (`O(ν³)` per point, any ν). [`detect_pmax`]
 //! locates the threshold by bisecting an order parameter.
 
+use crate::power::{block_power_iteration, PowerOptions};
 use crate::reduced::solve_error_class;
+use crate::result::{Quasispecies, SolveStats};
 use crate::solver::{solve, SolveError, SolverConfig};
 use qs_landscape::Landscape;
+use qs_matvec::{LinearOperator, QSweep};
 
 /// Result of an error-rate sweep: one `[Γ_k]` profile per grid point.
 #[derive(Debug, Clone)]
@@ -100,6 +103,149 @@ pub fn scan_full<L: Landscape + ?Sized>(
     let mut order = Vec::with_capacity(ps.len());
     for &p in ps {
         let qs = solve(p, landscape, config)?;
+        let profile = qs.error_class_concentrations();
+        order.push(order_parameter(nu, &profile));
+        classes.push(profile);
+    }
+    Ok(ThresholdScan {
+        nu,
+        ps: ps.to_vec(),
+        classes,
+        order,
+    })
+}
+
+/// `W(p_j) = Q(p_j)·F` across all sweep columns at once: one fitness
+/// diagonal pass per column plus a single [`QSweep`] batched spectral
+/// product, so the two FWHT stage traversals are shared by the whole
+/// grid. Batch-only by construction — a single-vector application cannot
+/// know which `p_j` it belongs to.
+struct SweepWOperator {
+    sweep: QSweep,
+    fitness: Vec<f64>,
+}
+
+impl LinearOperator for SweepWOperator {
+    fn len(&self) -> usize {
+        self.sweep.len()
+    }
+
+    fn apply_into(&self, _x: &[f64], _y: &mut [f64]) {
+        unreachable!("the sweep operator is batch-only; use apply_batch")
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.sweep.flops_estimate() + (self.sweep.columns() * self.len()) as f64
+    }
+
+    fn apply_batch(&self, slab: &mut [f64]) {
+        let n = self.len();
+        assert_eq!(
+            slab.len(),
+            n * self.sweep.columns(),
+            "apply_batch: slab must hold one column per sweep error rate"
+        );
+        for col in slab.chunks_exact_mut(n) {
+            qs_linalg::vec_ops::apply_diagonal(&self.fitness, col);
+        }
+        self.sweep.apply_batch(slab);
+    }
+}
+
+/// Batched variant of [`scan_full`] for the **uniform** mutation model:
+/// instead of one independent solve per grid point, every error rate
+/// advances in lockstep through a single block power iteration whose step
+/// cost is one [`QSweep`] application — the FWHT stage sweeps (the
+/// dominant cost at large ν) are paid once per step for the *entire* grid
+/// rather than once per `p`.
+///
+/// Semantically equivalent to [`scan_full`] with the default power
+/// method, no shift and the same tolerance; agreement is at solver
+/// tolerance, not bit-for-bit (the spectral `Q`-product is a different —
+/// equally exact — factorisation than Fmmp's butterflies).
+///
+/// # Errors
+///
+/// [`SolveError::InvalidConfig`] on an empty grid, rates outside
+/// `(0, 1/2]` or non-positive fitness values;
+/// [`SolveError::NotConverged`] if any column exhausts `max_iter`.
+pub fn scan_full_sweep<L: Landscape + ?Sized>(
+    landscape: &L,
+    ps: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<ThresholdScan, SolveError> {
+    if ps.is_empty() {
+        return Err(SolveError::InvalidConfig {
+            parameter: "ps",
+            detail: "error-rate grid must be non-empty".into(),
+        });
+    }
+    if let Some(bad) = ps
+        .iter()
+        .find(|p| !(p.is_finite() && **p > 0.0 && **p <= 0.5))
+    {
+        return Err(SolveError::InvalidConfig {
+            parameter: "p",
+            detail: format!("error rates must lie in (0, 1/2], got {bad}"),
+        });
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "tol",
+            detail: format!("residual tolerance must be finite and positive, got {tol}"),
+        });
+    }
+    let nu = landscape.nu();
+    let fitness = landscape.materialize();
+    if let Some(bad) = fitness.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "fitness",
+            detail: format!("fitness values must be finite and strictly positive, found {bad}"),
+        });
+    }
+    let n = fitness.len();
+    let op = SweepWOperator {
+        sweep: QSweep::new(nu, ps),
+        fitness: fitness.clone(),
+    };
+
+    // The paper's start vector, replicated into every column.
+    let mut start = fitness;
+    qs_linalg::vec_ops::normalize_l1(&mut start);
+    let mut slab = Vec::with_capacity(n * ps.len());
+    for _ in 0..ps.len() {
+        slab.extend_from_slice(&start);
+    }
+    let opts = PowerOptions {
+        tol,
+        max_iter,
+        ..Default::default()
+    };
+    let block = block_power_iteration(&op, &slab, &opts);
+
+    let mut classes = Vec::with_capacity(ps.len());
+    let mut order = Vec::with_capacity(ps.len());
+    for col in block.columns {
+        if !col.converged {
+            return Err(SolveError::NotConverged {
+                iterations: col.iterations,
+                residual: col.residual,
+            });
+        }
+        let stats = SolveStats {
+            iterations: col.iterations,
+            matvecs: col.matvecs,
+            residual: col.residual,
+            converged: true,
+            engine: "QSweep".into(),
+            method: "Pi-block".into(),
+            shift: 0.0,
+            degraded: false,
+            recovered_from: None,
+            residual_history: None,
+        };
+        let qs = Quasispecies::from_right_eigenvector(col.lambda, col.vector, stats);
         let profile = qs.error_class_concentrations();
         order.push(order_parameter(nu, &profile));
         classes.push(profile);
@@ -298,6 +444,58 @@ mod tests {
             "order parameter must decay toward p = 1/2"
         );
         assert!(scan.order.last().unwrap() < &0.05);
+    }
+
+    #[test]
+    fn sweep_scan_matches_per_point_scan() {
+        // The batched QSweep scan and the one-solve-per-point scan are two
+        // routes to the same stationary distributions.
+        let nu = 8u32;
+        let phi = single_peak_phi(nu);
+        let landscape = ErrorClass::new(nu, phi);
+        let ps = [0.005f64, 0.02, 0.05, 0.5];
+        let sweep = scan_full_sweep(&landscape, &ps, 1e-12, 200_000).unwrap();
+        let per_point = scan_full(
+            &landscape,
+            &ps,
+            &crate::solver::SolverConfig {
+                shift: crate::solver::ShiftStrategy::None,
+                tol: 1e-12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in sweep.classes.iter().zip(&per_point.classes) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+            }
+        }
+        for (a, b) in sweep.order.iter().zip(&per_point.order) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        // The p = 1/2 endpoint collapses to the uniform distribution.
+        assert!(sweep.order.last().unwrap() < &1e-8);
+    }
+
+    #[test]
+    fn sweep_scan_rejects_bad_grid() {
+        let nu = 6u32;
+        let landscape = ErrorClass::new(nu, single_peak_phi(nu));
+        assert!(matches!(
+            scan_full_sweep(&landscape, &[], 1e-12, 1000),
+            Err(SolveError::InvalidConfig {
+                parameter: "ps",
+                ..
+            })
+        ));
+        assert!(matches!(
+            scan_full_sweep(&landscape, &[0.01, 0.7], 1e-12, 1000),
+            Err(SolveError::InvalidConfig { parameter: "p", .. })
+        ));
+        assert!(matches!(
+            scan_full_sweep(&landscape, &[0.01], 1e-12, 2),
+            Err(SolveError::NotConverged { .. })
+        ));
     }
 
     #[test]

@@ -587,6 +587,22 @@ impl<A: LinearOperator> LinearOperator for FaultyOp<A> {
     fn flops_estimate(&self) -> f64 {
         self.inner.flops_estimate()
     }
+
+    fn apply_batch(&self, slab: &mut [f64]) {
+        // Deliberately a per-column loop, NOT `inner.apply_batch`: each
+        // column must count as one application against the plan's
+        // `after`/`times` budgets, exactly as k separate
+        // `apply_in_place` calls would, so fault schedules are
+        // independent of whether the caller batches.
+        let n = self.len();
+        assert!(
+            !slab.is_empty() && slab.len() % n == 0,
+            "apply_batch: slab must hold a whole number of vectors"
+        );
+        for v in slab.chunks_exact_mut(n) {
+            self.apply_in_place(v);
+        }
+    }
 }
 
 /// The exchange half of a [`FaultPlan`] as an [`ExchangeFault`] hook for
@@ -657,6 +673,52 @@ mod tests {
         fn apply_into(&self, x: &[f64], y: &mut [f64]) {
             y.copy_from_slice(x);
         }
+    }
+
+    #[test]
+    fn apply_batch_counts_each_column_as_one_application() {
+        // A batched apply must strike exactly the columns that k separate
+        // in-place applies would: the plan's application counter advances
+        // once per column, not once per slab.
+        let plan = FaultPlan {
+            matvec: vec![
+                MatvecFault {
+                    at: 1,
+                    every: Some(2),
+                    element: 2,
+                    kind: FaultKind::Perturb,
+                    scale: 0.5,
+                },
+                MatvecFault {
+                    at: 3,
+                    every: None,
+                    element: 0,
+                    kind: FaultKind::SignFlip,
+                    scale: 0.0,
+                },
+            ],
+            exchange: vec![],
+        };
+        let n = 4;
+        let k = 5;
+        let base: Vec<f64> = (0..n * k).map(|i| 1.0 + i as f64).collect();
+
+        let solo = FaultyOp::new(Identity(n), &plan);
+        let mut want = base.clone();
+        for col in want.chunks_exact_mut(n) {
+            solo.apply_in_place(col);
+        }
+
+        let batched = FaultyOp::new(Identity(n), &plan);
+        let mut slab = base;
+        batched.apply_batch(&mut slab);
+
+        assert_eq!(want, slab);
+        assert_eq!(solo.matvecs(), k as u64);
+        assert_eq!(batched.matvecs(), k as u64);
+        // The plan actually fired mid-batch: the perturbed/flipped entries
+        // differ from the clean identity result.
+        assert_ne!(slab, (0..n * k).map(|i| 1.0 + i as f64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub enum FmmpVariant {
     Recursive,
     /// Algorithm 2's flat `ID`-indexed kernel form.
     Kernel,
+    /// Cache-blocked radix-4/8 fused stages ([`crate::fused`]): identical
+    /// arithmetic in `≈ log₂N/3` memory sweeps instead of `log₂N`.
+    Fused,
 }
 
 /// One butterfly of the mutation transform:
@@ -234,6 +237,17 @@ impl Fmmp {
         Fmmp { nu, p, variant }
     }
 
+    /// Create the fused cache-blocked operator ([`FmmpVariant::Fused`]):
+    /// bit-identical product, fewer memory sweeps. This is the fast serial
+    /// engine for large `ν`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ν ≥ 1` and `0 < p ≤ 1/2`.
+    pub fn fused(nu: u32, p: f64) -> Self {
+        Self::with_variant(nu, p, FmmpVariant::Fused)
+    }
+
     /// Build from a [`qs_mutation::Uniform`] model.
     pub fn from_model(q: &qs_mutation::Uniform) -> Self {
         use qs_mutation::MutationModel;
@@ -270,11 +284,14 @@ impl LinearOperator for Fmmp {
             FmmpVariant::Eq10 => fmmp_in_place_eq10(v, self.p),
             FmmpVariant::Recursive => fmmp_recursive(v, self.p),
             FmmpVariant::Kernel => fmmp_kernel_form(v, self.p),
+            FmmpVariant::Fused => crate::fused::fmmp_in_place_fused(v, self.p),
         }
     }
 
     fn flops_estimate(&self) -> f64 {
-        // log₂N stages × N/2 butterflies × 6 flops.
+        // log₂N stages × N/2 butterflies × 6 flops. Identical for every
+        // variant, including Fused: fusion regroups the stage loop into
+        // fewer memory passes but performs the same arithmetic.
         let n = self.len() as f64;
         3.0 * n * self.nu as f64
     }
@@ -300,10 +317,30 @@ impl LinearOperator for Fmmp {
                     i *= 2;
                 }
             }
+            // The fused variant reports one event per *memory pass* (the
+            // unit of work that fusion changes), not per logical stage.
+            FmmpVariant::Fused => crate::fused::span_in_place_probed(
+                v,
+                1,
+                crate::fused::MixButterfly::new(self.p),
+                probe,
+                "fmmp-fused-pass",
+            ),
             // The other loop structures have no exposed per-stage kernel;
             // time the whole product as one stage.
             _ => time_stage(probe, "fmmp", || self.apply_in_place(v)),
         }
+    }
+
+    fn apply_batch(&self, slab: &mut [f64]) {
+        let n = self.len();
+        assert!(
+            !slab.is_empty() && slab.len() % n == 0,
+            "apply_batch: slab must hold a whole number of vectors"
+        );
+        // Every variant computes the identical product, so the batch can
+        // always take the interleaved fused path.
+        crate::fused::fmmp_batch_in_place(slab, slab.len() / n, self.p);
     }
 }
 
@@ -344,6 +381,7 @@ mod tests {
             FmmpVariant::Eq10,
             FmmpVariant::Recursive,
             FmmpVariant::Kernel,
+            FmmpVariant::Fused,
         ] {
             let op = Fmmp::with_variant(nu, p, variant);
             let got = op.apply(&x);
@@ -456,6 +494,61 @@ mod tests {
         let a = Fmmp::new(10, 0.1).flops_estimate();
         let b = Fmmp::new(11, 0.1).flops_estimate();
         assert!((b / a - 2.0 * 11.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_variant_reports_reference_flops() {
+        // Fusion changes memory traffic, not arithmetic: telemetry and the
+        // bench harness must see identical flop counts.
+        for nu in [4u32, 10, 16] {
+            assert_eq!(
+                Fmmp::fused(nu, 0.1).flops_estimate(),
+                Fmmp::new(nu, 0.1).flops_estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_probed_counts_memory_passes_not_stages() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let nu = 10u32;
+        let op = Fmmp::fused(nu, 0.05);
+        let x = random_vector(1 << nu, 8);
+        let mut plain = vec![0.0; 1 << nu];
+        op.apply_into(&x, &mut plain);
+        let mut rec = RecordingProbe::new();
+        let mut probed = vec![0.0; 1 << nu];
+        op.apply_into_probed(&x, &mut probed, &mut rec);
+        assert_eq!(plain, probed);
+        let passes = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SolverEvent::MatvecTimed {
+                        stage: "fmmp-fused-pass",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(passes, crate::fused::plan_span(1 << nu, 1).len());
+        assert!(passes < nu as usize, "fusion must cut the pass count");
+    }
+
+    #[test]
+    fn apply_batch_equals_independent_applies() {
+        let nu = 8u32;
+        let k = 5usize;
+        let op = Fmmp::new(nu, 0.21);
+        let mut slab = random_vector((1 << nu) * k, 31);
+        let mut want = slab.clone();
+        for col in want.chunks_exact_mut(1 << nu) {
+            op.apply_in_place(col);
+        }
+        op.apply_batch(&mut slab);
+        assert!(max_diff(&want, &slab) <= 1e-12);
     }
 
     #[test]

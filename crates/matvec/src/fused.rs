@@ -1,0 +1,564 @@
+//! Fused multi-stage butterfly kernels and batched (multi-vector) apply.
+//!
+//! The reference transforms ([`crate::fmmp::fmmp_in_place`],
+//! [`crate::fwht::fwht_in_place`]) sweep the whole vector once per stage:
+//! `log₂ N` full passes of `N` doubles each. On anything larger than the
+//! last-level cache the product is memory-bandwidth bound (paper Section 4),
+//! so the stage loop — not the arithmetic — is the cost. This module cuts
+//! the number of full-vector sweeps two ways:
+//!
+//! 1. **Radix-4 / radix-8 fusion.** Two (three) consecutive stages at
+//!    strides `i` and `2i` (`and 4i`) touch exactly the same blocks of
+//!    `4i` (`8i`) elements, so they can be executed in one pass: load four
+//!    (eight) strided fibres, apply both (all three) butterfly layers in
+//!    registers, store once. The arithmetic per element is *identical* to
+//!    the reference — same expressions, same order — so the result is
+//!    bit-for-bit equal and `flops_estimate` is unchanged; only the memory
+//!    traffic drops.
+//! 2. **Cache tiling.** Every stage with stride `< T/2` is local to
+//!    aligned tiles of `T` elements (blocks of `2i ≤ T` never straddle a
+//!    tile boundary when `T` is a power of two). All those stages run
+//!    back-to-back on each tile while it is cache-resident — one sweep for
+//!    the first `log₂ T` stages — and only the remaining
+//!    `log₂ N − log₂ T` large-stride stages need (radix-fused) global
+//!    passes.
+//!
+//! Together a ν = 20 product needs 3–4 sweeps instead of 20.
+//!
+//! Both the mutation butterfly `(q·a + p·b, p·a + q·b)` and the Hadamard
+//! butterfly `(a + b, a − b)` share the stage structure, so the kernels are
+//! generic over a [`Butterfly`]. The same machinery serves the **batched**
+//! product: `k` right-hand sides interleaved element-wise (`buf[i·k + l]`
+//! holds element `i` of vector `l`) turn a per-vector stage at stride `i`
+//! into a stage at stride `i·k` on the interleaved buffer, so one fused
+//! span over the slab applies the transform to all `k` vectors at once.
+
+use crate::{time_stage, Probe};
+
+/// Tile size (in `f64` elements) for the cache-blocked phase: 2¹³ doubles
+/// = 64 KiB, small enough to sit in L1/L2 on current hardware while each
+/// tile absorbs 13 butterfly stages in one sweep.
+pub const FUSED_TILE: usize = 1 << 13;
+
+/// A 2-point butterfly kernel shared by the mutation and Hadamard
+/// transforms.
+pub trait Butterfly: Copy + Send + Sync {
+    /// Apply the butterfly to one pair.
+    fn bf(self, a: f64, b: f64) -> (f64, f64);
+}
+
+/// The mutation butterfly `(a, b) ← (q·a + p·b, p·a + q·b)` with
+/// `q = 1 − p` — identical arithmetic to the reference
+/// [`crate::fmmp::fmmp_in_place`] stage kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MixButterfly {
+    p: f64,
+    q: f64,
+}
+
+impl MixButterfly {
+    /// Butterfly for error rate `p`.
+    pub fn new(p: f64) -> Self {
+        MixButterfly { p, q: 1.0 - p }
+    }
+}
+
+impl Butterfly for MixButterfly {
+    #[inline(always)]
+    fn bf(self, a: f64, b: f64) -> (f64, f64) {
+        (self.q * a + self.p * b, self.p * a + self.q * b)
+    }
+}
+
+/// The (unnormalised) Hadamard butterfly `(a, b) ← (a + b, a − b)` —
+/// identical arithmetic to [`crate::fwht::fwht_in_place`].
+#[derive(Debug, Clone, Copy)]
+pub struct HadamardButterfly;
+
+impl Butterfly for HadamardButterfly {
+    #[inline(always)]
+    fn bf(self, a: f64, b: f64) -> (f64, f64) {
+        (a + b, a - b)
+    }
+}
+
+/// One stage at stride `i`: the reference kernel, generic over the
+/// butterfly.
+#[inline]
+pub(crate) fn radix2_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
+    for block in v.chunks_exact_mut(2 * i) {
+        let (a, b) = block.split_at_mut(i);
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            let (u, w) = bf.bf(*x, *y);
+            *x = u;
+            *y = w;
+        }
+    }
+}
+
+/// Two fused stages (strides `i`, `2i`) in one pass over blocks of `4i`.
+///
+/// Per element the arithmetic is exactly "stage `i` then stage `2i`", so
+/// the result is bit-for-bit identical to running [`radix2_stage`] twice.
+#[inline]
+pub(crate) fn radix4_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
+    for block in v.chunks_exact_mut(4 * i) {
+        let (f0, rest) = block.split_at_mut(i);
+        let (f1, rest) = rest.split_at_mut(i);
+        let (f2, f3) = rest.split_at_mut(i);
+        for (((x0, x1), x2), x3) in f0
+            .iter_mut()
+            .zip(f1.iter_mut())
+            .zip(f2.iter_mut())
+            .zip(f3.iter_mut())
+        {
+            // Stage i: pairs (x0,x1), (x2,x3).
+            let (a0, a1) = bf.bf(*x0, *x1);
+            let (a2, a3) = bf.bf(*x2, *x3);
+            // Stage 2i: pairs (a0,a2), (a1,a3).
+            let (b0, b2) = bf.bf(a0, a2);
+            let (b1, b3) = bf.bf(a1, a3);
+            *x0 = b0;
+            *x1 = b1;
+            *x2 = b2;
+            *x3 = b3;
+        }
+    }
+}
+
+/// Three fused stages (strides `i`, `2i`, `4i`) in one pass over blocks of
+/// `8i`. Bit-for-bit identical to three [`radix2_stage`] calls.
+#[inline]
+pub(crate) fn radix8_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
+    for block in v.chunks_exact_mut(8 * i) {
+        let (f0, rest) = block.split_at_mut(i);
+        let (f1, rest) = rest.split_at_mut(i);
+        let (f2, rest) = rest.split_at_mut(i);
+        let (f3, rest) = rest.split_at_mut(i);
+        let (f4, rest) = rest.split_at_mut(i);
+        let (f5, rest) = rest.split_at_mut(i);
+        let (f6, f7) = rest.split_at_mut(i);
+        let mut it = f0
+            .iter_mut()
+            .zip(f1.iter_mut())
+            .zip(f2.iter_mut())
+            .zip(f3.iter_mut())
+            .zip(f4.iter_mut())
+            .zip(f5.iter_mut())
+            .zip(f6.iter_mut())
+            .zip(f7.iter_mut());
+        // The 7-deep zip tuple is unwieldy; destructure once per fibre
+        // element.
+        for (((((((x0, x1), x2), x3), x4), x5), x6), x7) in &mut it {
+            // Stage i.
+            let (a0, a1) = bf.bf(*x0, *x1);
+            let (a2, a3) = bf.bf(*x2, *x3);
+            let (a4, a5) = bf.bf(*x4, *x5);
+            let (a6, a7) = bf.bf(*x6, *x7);
+            // Stage 2i.
+            let (b0, b2) = bf.bf(a0, a2);
+            let (b1, b3) = bf.bf(a1, a3);
+            let (b4, b6) = bf.bf(a4, a6);
+            let (b5, b7) = bf.bf(a5, a7);
+            // Stage 4i.
+            let (c0, c4) = bf.bf(b0, b4);
+            let (c1, c5) = bf.bf(b1, b5);
+            let (c2, c6) = bf.bf(b2, b6);
+            let (c3, c7) = bf.bf(b3, b7);
+            *x0 = c0;
+            *x1 = c1;
+            *x2 = c2;
+            *x3 = c3;
+            *x4 = c4;
+            *x5 = c5;
+            *x6 = c6;
+            *x7 = c7;
+        }
+    }
+}
+
+/// One memory pass of a fused span, as planned by [`plan_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedPass {
+    /// All stages with stride in `base..tile/2` executed tile-locally: one
+    /// sweep of the vector in aligned chunks of `tile` elements.
+    Tile {
+        /// Tile size in elements.
+        tile: usize,
+        /// Smallest stage stride (1 for a single vector, `k` for a
+        /// `k`-way interleaved batch).
+        base: usize,
+    },
+    /// Three stages (`stride`, `2·stride`, `4·stride`) fused in one pass.
+    Radix8 {
+        /// Smallest of the three strides.
+        stride: usize,
+    },
+    /// Two stages (`stride`, `2·stride`) fused in one pass.
+    Radix4 {
+        /// Smaller of the two strides.
+        stride: usize,
+    },
+    /// A single remaining stage.
+    Radix2 {
+        /// Stage stride.
+        stride: usize,
+    },
+}
+
+impl FusedPass {
+    /// How many butterfly stages this pass absorbs.
+    pub fn stages(&self) -> u32 {
+        match self {
+            FusedPass::Tile { tile, base } => (tile / (2 * base)).trailing_zeros() + 1,
+            FusedPass::Radix8 { .. } => 3,
+            FusedPass::Radix4 { .. } => 2,
+            FusedPass::Radix2 { .. } => 1,
+        }
+    }
+}
+
+/// Ladder of radix-fused stages from stride `i` up to `top` inclusive,
+/// without tiling. `top / i` must be a power of two (or `top < i`, a
+/// no-op).
+pub(crate) fn radix_ladder<B: Butterfly>(v: &mut [f64], mut i: usize, top: usize, bf: B) {
+    while i <= top {
+        if 4 * i <= top {
+            radix8_stage(v, i, bf);
+            i *= 8;
+        } else if 2 * i <= top {
+            radix4_stage(v, i, bf);
+            i *= 4;
+        } else {
+            radix2_stage(v, i, bf);
+            i *= 2;
+        }
+    }
+}
+
+/// Plan the memory passes covering stage strides `base, 2·base, …, len/2`.
+///
+/// Equivalent stage-for-stage to the reference ascending loop; the plan
+/// only groups stages into passes. `len / (2·base)` must be a power of
+/// two. Tiling is used when the vector exceeds [`FUSED_TILE`] and the tile
+/// aligns with both the block size `2·base` and the vector length (always
+/// true for a single power-of-two vector; for a `k`-way interleaved batch
+/// this requires `k` to be a power of two, otherwise the plan falls back
+/// to untiled radix-fused passes).
+pub fn plan_span(len: usize, base: usize) -> Vec<FusedPass> {
+    assert!(base >= 1 && len >= 2 * base && len % (2 * base) == 0);
+    assert!(
+        (len / (2 * base)).is_power_of_two(),
+        "len / (2·base) must be a power of two"
+    );
+    let top = len / 2;
+    let mut passes = Vec::new();
+    let mut i = base;
+    if len > FUSED_TILE
+        && 2 * base <= FUSED_TILE
+        && FUSED_TILE % (2 * base) == 0
+        && len % FUSED_TILE == 0
+    {
+        passes.push(FusedPass::Tile {
+            tile: FUSED_TILE,
+            base,
+        });
+        i = FUSED_TILE;
+    }
+    while i <= top {
+        if 4 * i <= top {
+            passes.push(FusedPass::Radix8 { stride: i });
+            i *= 8;
+        } else if 2 * i <= top {
+            passes.push(FusedPass::Radix4 { stride: i });
+            i *= 4;
+        } else {
+            passes.push(FusedPass::Radix2 { stride: i });
+            i *= 2;
+        }
+    }
+    passes
+}
+
+/// Execute one planned pass.
+pub fn run_pass<B: Butterfly>(v: &mut [f64], pass: FusedPass, bf: B) {
+    match pass {
+        FusedPass::Tile { tile, base } => {
+            for chunk in v.chunks_exact_mut(tile) {
+                radix_ladder(chunk, base, tile / 2, bf);
+            }
+        }
+        FusedPass::Radix8 { stride } => radix8_stage(v, stride, bf),
+        FusedPass::Radix4 { stride } => radix4_stage(v, stride, bf),
+        FusedPass::Radix2 { stride } => radix2_stage(v, stride, bf),
+    }
+}
+
+/// Full fused span: all stages with strides `base, 2·base, …, v.len()/2`.
+pub(crate) fn span_in_place<B: Butterfly>(v: &mut [f64], base: usize, bf: B) {
+    for pass in plan_span(v.len(), base) {
+        run_pass(v, pass, bf);
+    }
+}
+
+/// As [`span_in_place`], timing each memory pass as one `label` stage on
+/// `probe`. With the probe disabled this is exactly `span_in_place`.
+pub(crate) fn span_in_place_probed<B: Butterfly>(
+    v: &mut [f64],
+    base: usize,
+    bf: B,
+    probe: &mut dyn Probe,
+    label: &'static str,
+) {
+    if !probe.enabled() {
+        return span_in_place(v, base, bf);
+    }
+    for pass in plan_span(v.len(), base) {
+        time_stage(probe, label, || run_pass(v, pass, bf));
+    }
+}
+
+/// Fused-kernel `v ← Q(ν)·v`: same arithmetic as
+/// [`crate::fmmp::fmmp_in_place`] in `≈ log₂N/3` memory sweeps instead of
+/// `log₂N`.
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn fmmp_in_place_fused(v: &mut [f64], p: f64) {
+    let n = v.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    span_in_place(v, 1, MixButterfly::new(p));
+}
+
+/// Fused-kernel unnormalised FWHT: same arithmetic as
+/// [`crate::fwht::fwht_in_place`] in fewer memory sweeps.
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn fwht_in_place_fused(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    span_in_place(v, 1, HadamardButterfly);
+}
+
+/// Transpose a column-major slab (`k` contiguous vectors of `n` elements)
+/// into element-interleaved order: `dst[i·k + l] = src[l·n + i]`.
+pub fn interleave(src: &[f64], k: usize, dst: &mut [f64]) {
+    assert!(k >= 1 && src.len() % k == 0 && src.len() == dst.len());
+    let n = src.len() / k;
+    for (l, col) in src.chunks_exact(n).enumerate() {
+        for (i, &x) in col.iter().enumerate() {
+            dst[i * k + l] = x;
+        }
+    }
+}
+
+/// Inverse of [`interleave`]: `dst[l·n + i] = src[i·k + l]`.
+pub fn deinterleave(src: &[f64], k: usize, dst: &mut [f64]) {
+    assert!(k >= 1 && src.len() % k == 0 && src.len() == dst.len());
+    let n = src.len() / k;
+    for (l, col) in dst.chunks_exact_mut(n).enumerate() {
+        for (i, x) in col.iter_mut().enumerate() {
+            *x = src[i * k + l];
+        }
+    }
+}
+
+/// Batched `Q(ν)` product: `slab` holds `k` contiguous vectors of equal
+/// power-of-two length and each is replaced by `Q·vⱼ`. Internally the
+/// vectors are interleaved so one fused span over the slab advances all
+/// `k` products stage-by-stage together — per-stage traversal (loop and
+/// plan overhead, cache refills) is paid once instead of `k` times.
+/// Bit-for-bit identical to `k` independent [`fmmp_in_place_fused`] calls.
+///
+/// # Panics
+///
+/// Panics unless `slab.len() = k·2^ν` with `ν ≥ 1, k ≥ 1`.
+pub fn fmmp_batch_in_place(slab: &mut [f64], k: usize, p: f64) {
+    batch_span(slab, k, MixButterfly::new(p));
+}
+
+/// Batched unnormalised FWHT over `k` contiguous vectors; see
+/// [`fmmp_batch_in_place`] for the layout contract.
+///
+/// # Panics
+///
+/// Panics unless `slab.len() = k·2^ν` with `ν ≥ 1, k ≥ 1`.
+pub fn fwht_batch_in_place(slab: &mut [f64], k: usize) {
+    batch_span(slab, k, HadamardButterfly);
+}
+
+fn batch_span<B: Butterfly>(slab: &mut [f64], k: usize, bf: B) {
+    assert!(k >= 1 && slab.len() % k == 0, "slab must hold k vectors");
+    let n = slab.len() / k;
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    if k == 1 {
+        return span_in_place(slab, 1, bf);
+    }
+    let mut buf = vec![0.0; slab.len()];
+    interleave(slab, k, &mut buf);
+    span_in_place(&mut buf, k, bf);
+    deinterleave(&buf, k, slab);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmp::fmmp_in_place;
+    use crate::fwht::fwht_in_place;
+    use crate::test_util::{max_diff, random_vector};
+
+    #[test]
+    fn fused_fmmp_is_bit_identical_to_reference() {
+        // Fusion regroups stages into passes but performs the exact same
+        // scalar expressions per element, so equality is exact, not just
+        // within tolerance.
+        for nu in 1..=14u32 {
+            for &p in &[0.01, 0.25, 0.5] {
+                let x = random_vector(1 << nu, 100 + nu as u64);
+                let mut want = x.clone();
+                fmmp_in_place(&mut want, p);
+                let mut got = x;
+                fmmp_in_place_fused(&mut got, p);
+                assert_eq!(want, got, "ν={nu} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_fwht_is_bit_identical_to_reference() {
+        for nu in 1..=14u32 {
+            let x = random_vector(1 << nu, 300 + nu as u64);
+            let mut want = x.clone();
+            fwht_in_place(&mut want);
+            let mut got = x;
+            fwht_in_place_fused(&mut got);
+            assert_eq!(want, got, "ν={nu}");
+        }
+    }
+
+    #[test]
+    fn fused_crosses_the_tile_boundary_correctly() {
+        // ν = 15 exercises tile-local stages (strides 1..2¹²) plus global
+        // fused passes (strides 2¹³, 2¹⁴).
+        let nu = 15u32;
+        let x = random_vector(1 << nu, 7);
+        let mut want = x.clone();
+        fmmp_in_place(&mut want, 0.013);
+        let mut got = x;
+        fmmp_in_place_fused(&mut got, 0.013);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn plan_covers_every_stage_exactly_once() {
+        for nu in 1..=22u32 {
+            let n = 1usize << nu;
+            let total: u32 = plan_span(n, 1).iter().map(|p| p.stages()).sum();
+            assert_eq!(total, nu, "ν={nu}: plan must absorb all ν stages");
+        }
+    }
+
+    #[test]
+    fn plan_cuts_sweeps_to_a_third() {
+        // ν = 20: one tiled sweep (13 stages) + ceil(7/3) global passes.
+        let passes = plan_span(1 << 20, 1);
+        assert!(
+            passes.len() <= 4,
+            "ν=20 should need ≤ 4 sweeps, planned {passes:?}"
+        );
+        assert!(matches!(passes[0], FusedPass::Tile { .. }));
+    }
+
+    #[test]
+    fn plan_skips_tiling_when_base_does_not_divide_the_tile() {
+        // k = 3 interleaved lanes: tile alignment impossible, fall back to
+        // untiled radix passes over the whole slab.
+        let passes = plan_span(3 << 14, 3);
+        assert!(passes.iter().all(|p| !matches!(p, FusedPass::Tile { .. })));
+        let total: u32 = passes.iter().map(|p| p.stages()).sum();
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let slab = random_vector(5 * 16, 9);
+        let mut ilv = vec![0.0; slab.len()];
+        interleave(&slab, 5, &mut ilv);
+        let mut back = vec![0.0; slab.len()];
+        deinterleave(&ilv, 5, &mut back);
+        assert_eq!(slab, back);
+        // Spot-check the layout: element i of vector l sits at i·k + l.
+        assert_eq!(ilv[3 * 5 + 2], slab[2 * 16 + 3]);
+    }
+
+    #[test]
+    fn batch_matches_independent_applies() {
+        for &(nu, k) in &[(1u32, 1usize), (4, 2), (6, 3), (9, 4), (11, 7), (13, 8)] {
+            let n = 1usize << nu;
+            let p = 0.043;
+            let mut slab = random_vector(n * k, 1000 + nu as u64 + k as u64);
+            let mut want = slab.clone();
+            for col in want.chunks_exact_mut(n) {
+                fmmp_in_place(col, p);
+            }
+            fmmp_batch_in_place(&mut slab, k, p);
+            assert_eq!(want, slab, "ν={nu} k={k}");
+
+            let mut slab = random_vector(n * k, 2000 + nu as u64 + k as u64);
+            let mut want = slab.clone();
+            for col in want.chunks_exact_mut(n) {
+                fwht_in_place(col);
+            }
+            fwht_batch_in_place(&mut slab, k);
+            assert_eq!(want, slab, "fwht ν={nu} k={k}");
+        }
+    }
+
+    #[test]
+    fn probed_span_reports_one_event_per_pass() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let n = 1usize << 10;
+        let x = random_vector(n, 77);
+        let mut plain = x.clone();
+        span_in_place(&mut plain, 1, MixButterfly::new(0.2));
+        let mut rec = RecordingProbe::new();
+        let mut probed = x;
+        span_in_place_probed(
+            &mut probed,
+            1,
+            MixButterfly::new(0.2),
+            &mut rec,
+            "fused-pass",
+        );
+        assert_eq!(plain, probed);
+        let timed = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SolverEvent::MatvecTimed {
+                        stage: "fused-pass",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(timed, plan_span(n, 1).len());
+    }
+
+    #[test]
+    fn max_diff_tolerance_contract() {
+        // The public contract promises ≤ 1e-12 agreement; bit-identity is
+        // stronger but keep the tolerance-based check as the stated bound.
+        let x = random_vector(1 << 12, 55);
+        let mut a = x.clone();
+        fmmp_in_place(&mut a, 0.31);
+        let mut b = x;
+        fmmp_in_place_fused(&mut b, 0.31);
+        assert!(max_diff(&a, &b) <= 1e-12);
+    }
+}

@@ -90,6 +90,19 @@ impl LinearOperator for Fwht {
         let n = self.len() as f64;
         n * self.nu as f64 + n
     }
+
+    fn apply_batch(&self, slab: &mut [f64]) {
+        let n = self.len();
+        assert!(
+            !slab.is_empty() && slab.len() % n == 0,
+            "apply_batch: slab must hold a whole number of vectors"
+        );
+        crate::fused::fwht_batch_in_place(slab, slab.len() / n);
+        let scale = 1.0 / (n as f64).sqrt();
+        for x in slab.iter_mut() {
+            *x *= scale;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +173,9 @@ mod tests {
         v[k] = 1.0;
         fwht_in_place(&mut v);
         for (j, &x) in v.iter().enumerate() {
-            let sign = if (k & j).count_ones().is_multiple_of(2) {
+            // `% 2 == 0` rather than `is_multiple_of` — the latter needs
+            // Rust 1.87 and the workspace MSRV is 1.85.
+            let sign = if (k & j).count_ones() % 2 == 0 {
                 1.0
             } else {
                 -1.0
@@ -177,5 +192,18 @@ mod tests {
         let mut z = x;
         op.apply_in_place(&mut z);
         assert!(max_diff(&y, &z) < 1e-16);
+    }
+
+    #[test]
+    fn apply_batch_equals_independent_applies() {
+        let op = Fwht::new(6);
+        let k = 7usize;
+        let mut slab = random_vector(64 * k, 17);
+        let mut want = slab.clone();
+        for col in want.chunks_exact_mut(64) {
+            op.apply_in_place(col);
+        }
+        op.apply_batch(&mut slab);
+        assert!(max_diff(&want, &slab) <= 1e-12);
     }
 }

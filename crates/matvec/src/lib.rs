@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod fmmp;
+pub mod fused;
 pub mod fwht;
 pub mod kron;
 pub mod ops;
@@ -42,12 +43,15 @@ pub mod smvp;
 pub mod xmvp;
 
 pub use fmmp::{Fmmp, FmmpVariant};
+pub use fused::{
+    fmmp_batch_in_place, fmmp_in_place_fused, fwht_batch_in_place, fwht_in_place_fused, FUSED_TILE,
+};
 pub use fwht::Fwht;
 pub use kron::KroneckerOp;
 pub use ops::{conservative_shift, convert_eigenvector, DiagOp, Formulation, ShiftedOp, WOperator};
 pub use parallel::{Backend, ParFmmp};
 pub use permuted::PermutedOp;
-pub use shift_invert::QShiftInvert;
+pub use shift_invert::{QShiftInvert, QSweep};
 pub use smvp::Smvp;
 pub use xmvp::Xmvp;
 
@@ -124,6 +128,31 @@ pub trait LinearOperator: Send + Sync {
             self.apply_in_place(v);
         }
     }
+
+    /// Batched apply: `slab` holds `k = slab.len() / N` contiguous
+    /// right-hand sides and each is replaced by `A·vⱼ`.
+    ///
+    /// Semantically identical to `k` independent
+    /// [`LinearOperator::apply_in_place`] calls (the default is exactly
+    /// that loop); transform-style engines override it to amortise stage
+    /// traversal across the batch (interleaved fused butterflies, shared
+    /// spectral tables, thread-pool fan-out). Parameter sweeps and block
+    /// solver steps should prefer this entry point.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic unless `slab.len()` is a non-zero multiple
+    /// of [`LinearOperator::len`].
+    fn apply_batch(&self, slab: &mut [f64]) {
+        let n = self.len();
+        assert!(
+            !slab.is_empty() && slab.len() % n == 0,
+            "apply_batch: slab must hold a whole number of vectors"
+        );
+        for v in slab.chunks_exact_mut(n) {
+            self.apply_in_place(v);
+        }
+    }
 }
 
 impl<A: LinearOperator + ?Sized> LinearOperator for &A {
@@ -145,6 +174,9 @@ impl<A: LinearOperator + ?Sized> LinearOperator for &A {
     fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
         (**self).apply_in_place_probed(v, probe)
     }
+    fn apply_batch(&self, slab: &mut [f64]) {
+        (**self).apply_batch(slab)
+    }
 }
 
 impl<A: LinearOperator + ?Sized> LinearOperator for Box<A> {
@@ -165,6 +197,9 @@ impl<A: LinearOperator + ?Sized> LinearOperator for Box<A> {
     }
     fn apply_in_place_probed(&self, v: &mut [f64], probe: &mut dyn Probe) {
         (**self).apply_in_place_probed(v, probe)
+    }
+    fn apply_batch(&self, slab: &mut [f64]) {
+        (**self).apply_batch(slab)
     }
 }
 

@@ -19,6 +19,7 @@
 //! benchmark can swap "CPU" and "GPU" implementations the way Figure 3/4 do.
 
 use crate::fmmp::fmmp_stage;
+use crate::fused::{self, Butterfly, FusedPass, HadamardButterfly, MixButterfly};
 use crate::{time_stage, LinearOperator, Probe};
 use qs_linalg::NeumaierSum;
 use rayon::prelude::*;
@@ -86,6 +87,94 @@ fn par_fmmp_stage(v: &mut [f64], i: usize, p: f64) {
                     *y = w;
                 });
         }
+    }
+}
+
+/// One fibre-parallel stage at stride `i`: each block's halves are zipped
+/// and split over the pool (the per-`ID` view of Algorithm 2), generic
+/// over the butterfly.
+fn par_fibre_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
+    for chunk in v.chunks_mut(2 * i) {
+        let (a, b) = chunk.split_at_mut(i);
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .with_min_len(PAR_THRESHOLD / 4)
+            .for_each(|(x, y)| {
+                let (u, w) = bf.bf(*x, *y);
+                *x = u;
+                *y = w;
+            });
+    }
+}
+
+/// One radix-fused pass (2–3 stages) distributed block-parallel over the
+/// pool; when blocks are scarcer than threads, fall back to fibre-parallel
+/// single stages (identical arithmetic — fusion only regroups traversal).
+fn par_fused_block<B: Butterfly>(v: &mut [f64], i: usize, radix: usize, bf: B) {
+    let block = radix * i;
+    if v.len() / block >= rayon::current_num_threads() {
+        v.par_chunks_mut(block).for_each(|c| match radix {
+            8 => fused::radix8_stage(c, i, bf),
+            4 => fused::radix4_stage(c, i, bf),
+            _ => fused::radix2_stage(c, i, bf),
+        });
+    } else {
+        let mut s = i;
+        for _ in 0..radix.trailing_zeros() {
+            par_fibre_stage(v, s, bf);
+            s *= 2;
+        }
+    }
+}
+
+/// Execute one planned fused pass on the thread pool.
+fn par_run_pass<B: Butterfly>(v: &mut [f64], pass: FusedPass, bf: B) {
+    match pass {
+        FusedPass::Tile { tile, base } => {
+            // Tiles are independent and cache-sized: one task per tile,
+            // all its stages applied while resident.
+            v.par_chunks_mut(tile)
+                .for_each(|c| fused::radix_ladder(c, base, tile / 2, bf));
+        }
+        FusedPass::Radix8 { stride } => par_fused_block(v, stride, 8, bf),
+        FusedPass::Radix4 { stride } => par_fused_block(v, stride, 4, bf),
+        FusedPass::Radix2 { stride } => par_fused_block(v, stride, 2, bf),
+    }
+}
+
+/// In-place parallel fused `v ← Q(ν)·v`: the cache-blocked radix-4/8 plan
+/// of [`crate::fused`] with each memory pass distributed over the pool.
+/// Bit-for-bit identical to [`par_fmmp_in_place`] and the serial paths.
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn par_fmmp_in_place_fused(v: &mut [f64], p: f64) {
+    let n = v.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    if n / 2 < PAR_THRESHOLD {
+        return fused::fmmp_in_place_fused(v, p);
+    }
+    let bf = MixButterfly::new(p);
+    for pass in fused::plan_span(n, 1) {
+        par_run_pass(v, pass, bf);
+    }
+}
+
+/// In-place parallel fused unnormalised FWHT; see
+/// [`par_fmmp_in_place_fused`].
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a power of two ≥ 2.
+pub fn par_fwht_in_place_fused(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
+    if n / 2 < PAR_THRESHOLD {
+        return fused::fwht_in_place_fused(v);
+    }
+    for pass in fused::plan_span(n, 1) {
+        par_run_pass(v, pass, HadamardButterfly);
     }
 }
 
@@ -292,6 +381,7 @@ pub fn par_norm_l2(x: &[f64]) -> f64 {
 pub struct ParFmmp {
     nu: u32,
     p: f64,
+    fused: bool,
 }
 
 impl ParFmmp {
@@ -307,7 +397,23 @@ impl ParFmmp {
             p.is_finite() && p > 0.0 && p <= 0.5,
             "error rate must satisfy 0 < p ≤ 1/2"
         );
-        ParFmmp { nu, p }
+        ParFmmp {
+            nu,
+            p,
+            fused: false,
+        }
+    }
+
+    /// Create the fused parallel operator: the cache-blocked radix-4/8
+    /// pass plan distributed over the pool. Bit-identical product.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ν ≥ 1` and `0 < p ≤ 1/2`.
+    pub fn fused(nu: u32, p: f64) -> Self {
+        let mut op = Self::new(nu, p);
+        op.fused = true;
+        op
     }
 
     /// Error rate `p`.
@@ -325,15 +431,21 @@ impl LinearOperator for ParFmmp {
         assert_eq!(x.len(), self.len(), "apply_into: x length mismatch");
         assert_eq!(y.len(), self.len(), "apply_into: y length mismatch");
         y.copy_from_slice(x);
-        par_fmmp_in_place(y, self.p);
+        self.apply_in_place(y);
     }
 
     fn apply_in_place(&self, v: &mut [f64]) {
         assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
-        par_fmmp_in_place(v, self.p);
+        if self.fused {
+            par_fmmp_in_place_fused(v, self.p);
+        } else {
+            par_fmmp_in_place(v, self.p);
+        }
     }
 
     fn flops_estimate(&self) -> f64 {
+        // Same count for the staged and fused paths: fusion regroups
+        // passes, the butterfly arithmetic is unchanged.
         let n = self.len() as f64;
         3.0 * n * self.nu as f64
     }
@@ -351,11 +463,37 @@ impl LinearOperator for ParFmmp {
         }
         assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
         let n = v.len();
+        if self.fused {
+            if n / 2 < PAR_THRESHOLD {
+                return time_stage(probe, "par-fmmp-fused-pass", || self.apply_in_place(v));
+            }
+            let bf = MixButterfly::new(self.p);
+            for pass in fused::plan_span(n, 1) {
+                time_stage(probe, "par-fmmp-fused-pass", || par_run_pass(v, pass, bf));
+            }
+            return;
+        }
         let mut i = 1;
         while i <= n / 2 {
             time_stage(probe, "par-fmmp-stage", || par_fmmp_stage(v, i, self.p));
             i *= 2;
         }
+    }
+
+    fn apply_batch(&self, slab: &mut [f64]) {
+        let n = self.len();
+        assert!(
+            !slab.is_empty() && slab.len() % n == 0,
+            "apply_batch: slab must hold a whole number of vectors"
+        );
+        if slab.len() == n {
+            return self.apply_in_place(slab);
+        }
+        // Right-hand sides are independent: the best parallel decomposition
+        // is one task per column, each running the serial fused kernel
+        // (cache-blocked, no cross-thread traffic within a column).
+        slab.par_chunks_mut(n)
+            .for_each(|col| fused::fmmp_in_place_fused(col, self.p));
     }
 }
 
@@ -501,6 +639,73 @@ mod tests {
             })
             .count();
         assert_eq!(timed, nu as usize);
+    }
+
+    #[test]
+    fn parallel_fused_matches_serial_reference() {
+        // ν = 18 exercises the tiled pass, block-parallel fused passes and
+        // the scarce-blocks fibre fallback; equality is exact because the
+        // fused arithmetic is per-element identical.
+        for nu in [4u32, 13, 18] {
+            let p = 0.021;
+            let x = random_vector(1 << nu, 60 + nu as u64);
+            let mut serial = x.clone();
+            fmmp_in_place(&mut serial, p);
+            let mut fusedv = x.clone();
+            par_fmmp_in_place_fused(&mut fusedv, p);
+            assert_eq!(serial, fusedv, "fmmp ν={nu}");
+
+            let mut serial = x.clone();
+            fwht_in_place(&mut serial);
+            let mut fusedv = x;
+            par_fwht_in_place_fused(&mut fusedv);
+            assert_eq!(serial, fusedv, "fwht ν={nu}");
+        }
+    }
+
+    #[test]
+    fn fused_operator_probed_matches_and_counts_passes() {
+        use qs_telemetry::{RecordingProbe, SolverEvent};
+        let nu = 15u32;
+        let op = ParFmmp::fused(nu, 0.02);
+        let reference = ParFmmp::new(nu, 0.02);
+        let x = random_vector(1 << nu, 19);
+        assert_eq!(op.apply(&x), reference.apply(&x));
+        assert_eq!(op.flops_estimate(), reference.flops_estimate());
+
+        let mut rec = RecordingProbe::new();
+        let mut probed = vec![0.0; 1 << nu];
+        op.apply_into_probed(&x, &mut probed, &mut rec);
+        assert_eq!(op.apply(&x), probed);
+        let passes = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SolverEvent::MatvecTimed {
+                        stage: "par-fmmp-fused-pass",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(passes, fused::plan_span(1 << nu, 1).len());
+        assert!(passes < nu as usize);
+    }
+
+    #[test]
+    fn par_apply_batch_equals_independent_applies() {
+        let nu = 12u32;
+        let k = 6usize;
+        let op = ParFmmp::new(nu, 0.07);
+        let mut slab = random_vector((1 << nu) * k, 23);
+        let mut want = slab.clone();
+        for col in want.chunks_exact_mut(1 << nu) {
+            op.apply_in_place(col);
+        }
+        op.apply_batch(&mut slab);
+        assert_eq!(want, slab);
     }
 
     #[test]

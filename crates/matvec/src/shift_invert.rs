@@ -12,7 +12,9 @@
 //! eigenvectors of the mutation matrix (the extension the paper flags as
 //! the entry point towards Rayleigh-quotient methods for `Q·F`).
 
-use crate::fwht::fwht_in_place;
+use crate::fused::{
+    deinterleave, fwht_in_place_fused, interleave, span_in_place, HadamardButterfly,
+};
 use crate::LinearOperator;
 
 /// How the eigenvalues `Λ_ii` of the diagonalised model are evaluated.
@@ -44,15 +46,19 @@ impl QShiftInvert {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < p < 1/2` and `µ` is separated from every
+    /// Panics unless `0 < p ≤ 1/2` and `µ` is separated from every
     /// eigenvalue `(1−2p)^k` by at least `1e-14` in relative terms (the
-    /// operator is otherwise numerically singular).
+    /// operator is otherwise numerically singular). The paper admits the
+    /// endpoint `p = 1/2`: the spectrum degenerates to `λ_0 = 1`,
+    /// `λ_k = 0` for `k ≥ 1`, which is fine for any shift `µ ∉ {0, 1}` —
+    /// and `µ = 0` is rejected by the separation check like any other
+    /// eigenvalue hit.
     pub fn new(nu: u32, p: f64, mu: f64) -> Self {
         assert!(nu >= 1, "chain length must be at least 1");
         let _ = qs_bitseq::dimension(nu);
         assert!(
-            p.is_finite() && p > 0.0 && p < 0.5,
-            "error rate must satisfy 0 < p < 1/2"
+            p.is_finite() && p > 0.0 && p <= 0.5,
+            "error rate must satisfy 0 < p ≤ 1/2"
         );
         assert!(mu.is_finite(), "shift must be finite");
         let inv_shifted: Vec<f64> = (0..=nu)
@@ -80,15 +86,17 @@ impl QShiftInvert {
     ///
     /// # Panics
     ///
-    /// Panics unless every rate satisfies `0 < p_s < 1/2` and `µ` stays
-    /// clear of every eigenvalue `Π (1−2p_s)^{bit_s}`.
+    /// Panics unless every rate satisfies `0 < p_s ≤ 1/2` (the `p = 1/2`
+    /// endpoint zeroes that site's factor, collapsing part of the
+    /// spectrum to 0 — legal for any `µ` the separation check accepts)
+    /// and `µ` stays clear of every eigenvalue `Π (1−2p_s)^{bit_s}`.
     pub fn per_site(rates: &[f64], mu: f64) -> Self {
         let nu = rates.len() as u32;
         assert!(nu >= 1, "at least one site required");
         let _ = qs_bitseq::dimension(nu);
         assert!(
-            rates.iter().all(|p| p.is_finite() && *p > 0.0 && *p < 0.5),
-            "all rates must satisfy 0 < p < 1/2"
+            rates.iter().all(|p| p.is_finite() && *p > 0.0 && *p <= 0.5),
+            "all rates must satisfy 0 < p ≤ 1/2"
         );
         assert!(mu.is_finite(), "shift must be finite");
         // bit s (value 2^s) corresponds to site ν−1−s.
@@ -158,7 +166,8 @@ impl LinearOperator for QShiftInvert {
         assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
         // V (Λ−µI)^{-1} V = 2^{-ν} · H (Λ−µI)^{-1} H; fold the 2^{-ν}
         // into the diagonal pass so only one scaling sweep is needed.
-        fwht_in_place(v);
+        // The fused FWHT is bit-identical to the reference stage loop.
+        fwht_in_place_fused(v);
         let scale = 0.5f64.powi(self.nu as i32);
         match &self.spectrum {
             Spectrum::Uniform(inv_shifted) => {
@@ -173,12 +182,145 @@ impl LinearOperator for QShiftInvert {
                 }
             }
         }
-        fwht_in_place(v);
+        fwht_in_place_fused(v);
     }
 
     fn flops_estimate(&self) -> f64 {
         let n = self.len() as f64;
         2.0 * n * self.nu as f64 + 2.0 * n
+    }
+
+    fn apply_batch(&self, slab: &mut [f64]) {
+        let n = self.len();
+        assert!(
+            !slab.is_empty() && slab.len() % n == 0,
+            "apply_batch: slab must hold a whole number of vectors"
+        );
+        let k = slab.len() / n;
+        if k == 1 {
+            return self.apply_in_place(slab);
+        }
+        // Interleave the k right-hand sides so the two Hadamard spans run
+        // batched, and — the real win — the per-index spectrum work
+        // (popcount / per-site eigenvalue product) is computed once and
+        // shared across all k lanes.
+        let mut buf = vec![0.0; slab.len()];
+        interleave(slab, k, &mut buf);
+        span_in_place(&mut buf, k, HadamardButterfly);
+        let scale = 0.5f64.powi(self.nu as i32);
+        match &self.spectrum {
+            Spectrum::Uniform(inv_shifted) => {
+                for (i, lane) in buf.chunks_exact_mut(k).enumerate() {
+                    let s = scale * inv_shifted[(i as u64).count_ones() as usize];
+                    for x in lane {
+                        *x *= s;
+                    }
+                }
+            }
+            Spectrum::PerSite(_) => {
+                for (i, lane) in buf.chunks_exact_mut(k).enumerate() {
+                    let s = scale / (self.eigenvalue(i as u64) - self.mu);
+                    for x in lane {
+                        *x *= s;
+                    }
+                }
+            }
+        }
+        span_in_place(&mut buf, k, HadamardButterfly);
+        deinterleave(&buf, k, slab);
+    }
+}
+
+/// Batched multi-`p` mutation product for parameter sweeps: column `j` of
+/// the slab is multiplied by `Q(p_j)`.
+///
+/// The sweep exploits the paper's diagonalisation `Q(p) = V Λ(p) V` one
+/// step further: `V` (the Hadamard transform) does not depend on `p`, so
+/// `k` products at `k` different error rates share a single pair of
+/// batched FWHTs over the interleaved slab; only the diagonal differs per
+/// column. The per-index Hamming weight is computed once and indexes each
+/// column's precomputed eigenvalue table — error-threshold `p`-sweeps pay
+/// the transform once instead of `k` times.
+#[derive(Debug, Clone)]
+pub struct QSweep {
+    nu: u32,
+    /// `class_scale[w][j] = 2^{-ν} · (1 − 2 p_j)^w`.
+    class_scale: Vec<Vec<f64>>,
+    k: usize,
+}
+
+impl QSweep {
+    /// Build the sweep operator for chain length `nu` and one error rate
+    /// per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ν ≥ 1`, `ps` is non-empty, and every rate satisfies
+    /// `0 < p ≤ 1/2`.
+    pub fn new(nu: u32, ps: &[f64]) -> Self {
+        assert!(nu >= 1, "chain length must be at least 1");
+        let _ = qs_bitseq::dimension(nu);
+        assert!(!ps.is_empty(), "at least one error rate required");
+        assert!(
+            ps.iter().all(|p| p.is_finite() && *p > 0.0 && *p <= 0.5),
+            "all rates must satisfy 0 < p ≤ 1/2"
+        );
+        let scale = 0.5f64.powi(nu as i32);
+        let class_scale = (0..=nu)
+            .map(|w| {
+                ps.iter()
+                    .map(|&p| scale * (1.0 - 2.0 * p).powi(w as i32))
+                    .collect()
+            })
+            .collect();
+        QSweep {
+            nu,
+            class_scale,
+            k: ps.len(),
+        }
+    }
+
+    /// Dimension `N = 2^ν` of each column.
+    pub fn len(&self) -> usize {
+        1usize << self.nu
+    }
+
+    /// Never zero-dimensional.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of columns (error rates) in the sweep.
+    pub fn columns(&self) -> usize {
+        self.k
+    }
+
+    /// Apply `Q(p_j)` to column `j` of the slab (`k` contiguous vectors of
+    /// length `N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slab.len() == k·N`.
+    pub fn apply_batch(&self, slab: &mut [f64]) {
+        let (n, k) = (self.len(), self.k);
+        assert_eq!(slab.len(), n * k, "apply_batch: slab length mismatch");
+        let mut buf = vec![0.0; slab.len()];
+        interleave(slab, k, &mut buf);
+        span_in_place(&mut buf, k, HadamardButterfly);
+        for (i, lane) in buf.chunks_exact_mut(k).enumerate() {
+            let w = (i as u64).count_ones() as usize;
+            for (x, s) in lane.iter_mut().zip(&self.class_scale[w]) {
+                *x *= s;
+            }
+        }
+        span_in_place(&mut buf, k, HadamardButterfly);
+        deinterleave(&buf, k, slab);
+    }
+
+    /// Arithmetic cost of one batched application (all `k` columns).
+    pub fn flops_estimate(&self) -> f64 {
+        let n = self.len() as f64;
+        self.k as f64 * (2.0 * n * self.nu as f64 + 2.0 * n)
     }
 }
 
@@ -258,7 +400,9 @@ mod tests {
         let amp = 1.0 / ((1usize << nu) as f64).sqrt();
         let sign0 = v[0].signum();
         for (i, &x) in v.iter().enumerate() {
-            let parity = if (i as u64).count_ones().is_multiple_of(2) {
+            // `% 2 == 0` rather than `is_multiple_of` — the latter needs
+            // Rust 1.87 and the workspace MSRV is 1.85.
+            let parity = if (i as u64).count_ones() % 2 == 0 {
                 1.0
             } else {
                 -1.0
@@ -320,8 +464,82 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "0 < p < 1/2")]
+    #[should_panic(expected = "0 < p ≤ 1/2")]
     fn per_site_rejects_bad_rates() {
-        let _ = QShiftInvert::per_site(&[0.1, 0.5], 0.0);
+        let _ = QShiftInvert::per_site(&[0.1, 0.7], -0.4);
+    }
+
+    #[test]
+    fn p_half_endpoint_is_accepted_and_matches_lu() {
+        // Paper admits p ∈ (0, 1/2]. At p = 1/2 the spectrum is λ_0 = 1,
+        // λ_k = 0 for k ≥ 1 — fine for any shift off {0, 1}.
+        for nu in 2..=5u32 {
+            let (p, mu) = (0.5, -0.35);
+            let op = QShiftInvert::new(nu, p, mu);
+            let b = random_vector(1 << nu, 60 + nu as u64);
+            let direct = Lu::new(&dense_shifted(nu, p, mu)).unwrap().solve(&b);
+            assert!(max_diff(&direct, &op.apply(&b)) < 1e-11, "ν={nu}");
+        }
+        // Per-site endpoint likewise.
+        let op = QShiftInvert::per_site(&[0.1, 0.5, 0.3], 0.7);
+        assert_eq!(op.eigenvalue(0), 1.0);
+        assert_eq!(op.eigenvalue(0b010), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincides with eigenvalue")]
+    fn p_half_with_zero_shift_is_singular() {
+        // µ = 0 hits the collapsed eigenvalue λ_k = 0 (k ≥ 1).
+        let _ = QShiftInvert::new(4, 0.5, 0.0);
+    }
+
+    #[test]
+    fn apply_batch_equals_independent_applies() {
+        for op in [
+            QShiftInvert::new(7, 0.06, -0.2),
+            QShiftInvert::per_site(&[0.05, 0.12, 0.02, 0.2, 0.31, 0.07, 0.44], 1.4),
+        ] {
+            let n = op.len();
+            let k = 5usize;
+            let mut slab = random_vector(n * k, 91);
+            let mut want = slab.clone();
+            for col in want.chunks_exact_mut(n) {
+                op.apply_in_place(col);
+            }
+            op.apply_batch(&mut slab);
+            assert_eq!(want, slab);
+        }
+    }
+
+    #[test]
+    fn qsweep_matches_per_column_fmmp() {
+        // Spectral sweep vs the butterfly product: different algorithms,
+        // same operator — agreement to solver tolerance, including the
+        // p = 1/2 endpoint column.
+        let nu = 9u32;
+        let n = 1usize << nu;
+        let ps = [0.001, 0.05, 0.17, 0.33, 0.5];
+        let sweep = QSweep::new(nu, &ps);
+        assert_eq!(sweep.columns(), ps.len());
+        assert_eq!(sweep.len(), n);
+        let mut slab = random_vector(n * ps.len(), 14);
+        let want: Vec<f64> = slab
+            .chunks_exact(n)
+            .zip(&ps)
+            .flat_map(|(col, &p)| {
+                let mut c = col.to_vec();
+                crate::fmmp::fmmp_in_place(&mut c, p);
+                c
+            })
+            .collect();
+        sweep.apply_batch(&mut slab);
+        assert!(max_diff(&want, &slab) < 1e-12);
+    }
+
+    #[test]
+    fn qsweep_flops_scale_with_columns() {
+        let one = QSweep::new(8, &[0.1]).flops_estimate();
+        let five = QSweep::new(8, &[0.1; 5]).flops_estimate();
+        assert!((five / one - 5.0).abs() < 1e-12);
     }
 }

@@ -40,7 +40,9 @@ pub fn distinct_eigenvalues(q: &Uniform) -> Vec<(f64, u128)> {
 /// Entry `(i, j)` of the eigenvector matrix `V(ν)`.
 #[inline]
 pub fn eigenvector_entry(nu: u32, i: u64, j: u64) -> f64 {
-    let sign = if (i & j).count_ones().is_multiple_of(2) {
+    // `% 2 == 0` rather than `u32::is_multiple_of`: the latter was only
+    // stabilised in Rust 1.87 and the workspace MSRV is 1.85.
+    let sign = if (i & j).count_ones() % 2 == 0 {
         1.0
     } else {
         -1.0
@@ -112,6 +114,20 @@ mod tests {
         let q = Uniform::new(10, 0.49);
         for (lam, _) in distinct_eigenvalues(&q) {
             assert!(lam > 0.0, "Q must be positive definite for p < 1/2");
+        }
+    }
+
+    #[test]
+    fn p_half_spectrum_collapses_to_rank_one() {
+        // At the p = 1/2 endpoint, Q = V·diag(1, 0, …, 0)·V: the uniform
+        // eigenvector survives with eigenvalue 1 and everything else is
+        // annihilated. Legal input for Q products and for shift–invert
+        // whenever the shift avoids {0, 1}.
+        let q = Uniform::new(6, 0.5);
+        let eigs = distinct_eigenvalues(&q);
+        assert_eq!(eigs[0].0, 1.0);
+        for (lam, _) in &eigs[1..] {
+            assert_eq!(*lam, 0.0);
         }
     }
 
