@@ -2,19 +2,25 @@
 //! butterfly kernels (serial and parallel) and the batched multi-vector
 //! apply, plus end-to-end solver timings per engine.
 //!
-//! Unlike the figure binaries (which mirror the paper's plots into
-//! `bench_results/`), this harness writes two **root-level** files —
-//! `BENCH_matvec.json` and `BENCH_solver.json` — so the repository carries
-//! a committed record of the fused-kernel speedups, and CI's `perf-smoke`
-//! job can diff them as artifacts.
+//! The matvec matrix runs **twice** — once on a 1-thread pool and once on
+//! a multi-thread pool (both built with `rayon::ThreadPoolBuilder`) — so
+//! the committed record separates single-core kernel quality from
+//! span-parallel scaling. Unlike the figure binaries (which mirror the
+//! paper's plots into `bench_results/`), this harness writes two
+//! **root-level** files — `BENCH_matvec.json` and `BENCH_solver.json` — so
+//! the repository carries a committed record of the fused-kernel speedups,
+//! and CI's `perf-smoke` job can diff them as artifacts.
 //!
 //! ```text
-//! bench_fused [--max-nu N] [--quick] [--guard R]
+//! bench_fused [--max-nu N] [--quick] [--guard R] [--guard-batch R]
 //! ```
 //!
 //! `--guard R` turns the run into a regression gate: exit nonzero if any
 //! fused kernel is more than `R`× slower than its staged reference at any
-//! measured ν (CI uses `--guard 2.0`).
+//! measured ν. `--guard-batch R` gates the column-blocked batched apply:
+//! exit nonzero if its per-column cost exceeds `R`× the single-vector
+//! fused cost at any measured ν on the 1-thread pool (CI uses
+//! `--guard 2.0 --guard-batch 1.5`).
 
 use qs_bench::time_median;
 use qs_landscape::SinglePeak;
@@ -28,6 +34,7 @@ struct Args {
     max_nu: u32,
     quick: bool,
     guard: Option<f64>,
+    guard_batch: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +43,7 @@ fn parse_args() -> Args {
         max_nu: 22,
         quick: false,
         guard: None,
+        guard_batch: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -49,6 +57,12 @@ fn parse_args() -> Args {
             "--guard" => {
                 if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
                     out.guard = Some(v);
+                }
+                i += 2;
+            }
+            "--guard-batch" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.guard_batch = Some(v);
                 }
                 i += 2;
             }
@@ -91,36 +105,64 @@ fn json_u32s(xs: &[u32]) -> String {
     format!("[{}]", items.join(", "))
 }
 
-fn main() {
-    let args = parse_args();
-    let p = 0.01;
-    let min_nu = 8u32.min(args.max_nu);
-    let nus: Vec<u32> = (min_nu..=args.max_nu).step_by(2).collect();
+/// One matvec measurement matrix (all five series over `nus`), taken on
+/// whatever thread pool is installed when this runs.
+struct MatvecRun {
+    threads: usize,
+    serial_ref: Vec<f64>,
+    serial_fused: Vec<f64>,
+    par_ref: Vec<f64>,
+    par_fused: Vec<f64>,
+    batch_fused: Vec<f64>,
+}
 
-    let mut serial_ref = Vec::new();
-    let mut serial_fused = Vec::new();
-    let mut par_ref = Vec::new();
-    let mut par_fused = Vec::new();
-    let mut batch_fused = Vec::new();
+impl MatvecRun {
+    fn json_entry(&self, nus: &[u32]) -> String {
+        format!(
+            "    {{\n      \"threads\": {},\n      \"nus\": {},\n      \"series\": {{\n        \
+             \"fmmp_serial_ref\": {},\n        \"fmmp_serial_fused\": {},\n        \
+             \"fmmp_parallel_ref\": {},\n        \"fmmp_parallel_fused\": {},\n        \
+             \"fmmp_batch_fused\": {}\n      }}\n    }}",
+            self.threads,
+            json_u32s(nus),
+            json_f64s(&self.serial_ref),
+            json_f64s(&self.serial_fused),
+            json_f64s(&self.par_ref),
+            json_f64s(&self.par_fused),
+            json_f64s(&self.batch_fused),
+        )
+    }
+}
 
+/// Measure all five series at every ν on the current pool.
+fn run_matvec_series(nus: &[u32], p: f64, quick: bool) -> MatvecRun {
+    let mut run = MatvecRun {
+        threads: rayon::current_num_threads(),
+        serial_ref: Vec::new(),
+        serial_fused: Vec::new(),
+        par_ref: Vec::new(),
+        par_fused: Vec::new(),
+        batch_fused: Vec::new(),
+    };
     println!(
-        "== fused-kernel matvec bench (ns/element, median; batch = {BATCH} columns; {} threads) ==",
-        rayon::current_num_threads()
+        "== fused-kernel matvec bench (ns/element, median; batch = {BATCH} columns; {} thread{}) ==",
+        run.threads,
+        if run.threads == 1 { "" } else { "s" }
     );
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "ν", "serial-ref", "serial-fused", "par-ref", "par-fused", "batch-fused"
     );
-    for &nu in &nus {
+    for &nu in nus {
         let n = 1usize << nu;
         let v = test_vector(n);
         // Budget ≈ constant total elements per series.
-        let reps = if args.quick {
+        let reps = if quick {
             3
         } else {
             (1usize << 24).checked_div(n).unwrap_or(1).clamp(3, 64)
         };
-        let warmup = if args.quick { 1 } else { 2 };
+        let warmup = if quick { 1 } else { 2 };
 
         let sr = ns_per_element(&Fmmp::new(nu, p), &v, warmup, reps);
         let sf = ns_per_element(&Fmmp::fused(nu, p), &v, warmup, reps);
@@ -135,33 +177,50 @@ fn main() {
         let bf = time_median(|| op.apply_batch(&mut slab), warmup, reps) * 1e9 / (n * BATCH) as f64;
 
         println!("{nu:>4} {sr:>12.3} {sf:>12.3} {pr:>12.3} {pf:>12.3} {bf:>12.3}");
-        serial_ref.push(sr);
-        serial_fused.push(sf);
-        par_ref.push(pr);
-        par_fused.push(pf);
-        batch_fused.push(bf);
+        run.serial_ref.push(sr);
+        run.serial_fused.push(sf);
+        run.par_ref.push(pr);
+        run.par_fused.push(pf);
+        run.batch_fused.push(bf);
+    }
+    run
+}
+
+fn main() {
+    let args = parse_args();
+    let p = 0.01;
+    let min_nu = 8u32.min(args.max_nu);
+    let nus: Vec<u32> = (min_nu..=args.max_nu).step_by(2).collect();
+
+    // One single-thread run isolates kernel quality; one multi-thread run
+    // exposes span-parallel scaling. Both go into the committed record.
+    let threads_multi = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2);
+    let mut runs = Vec::new();
+    for threads in [1, threads_multi] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        runs.push(pool.install(|| run_matvec_series(&nus, p, args.quick)));
+        println!();
     }
 
+    let run_entries: Vec<String> = runs.iter().map(|r| r.json_entry(&nus)).collect();
     let matvec_json = format!(
         "{{\n  \"unit\": \"ns_per_element\",\n  \"p\": {p},\n  \"batch_columns\": {BATCH},\n  \
-         \"threads\": {},\n  \"nus\": {},\n  \"series\": {{\n    \
-         \"fmmp_serial_ref\": {},\n    \"fmmp_serial_fused\": {},\n    \
-         \"fmmp_parallel_ref\": {},\n    \"fmmp_parallel_fused\": {},\n    \
-         \"fmmp_batch_fused\": {}\n  }}\n}}\n",
-        rayon::current_num_threads(),
+         \"nus\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
         json_u32s(&nus),
-        json_f64s(&serial_ref),
-        json_f64s(&serial_fused),
-        json_f64s(&par_ref),
-        json_f64s(&par_fused),
-        json_f64s(&batch_fused),
+        run_entries.join(",\n"),
     );
     match std::fs::write("BENCH_matvec.json", &matvec_json) {
         Ok(()) => println!("   (matvec data → BENCH_matvec.json)"),
         Err(e) => eprintln!("warning: could not write BENCH_matvec.json: {e}"),
     }
 
-    // --- End-to-end solver timings per engine.
+    // --- End-to-end solver timings per engine (ambient pool).
     let solver_max = if args.quick {
         args.max_nu.min(12)
     } else {
@@ -216,26 +275,53 @@ fn main() {
         Err(e) => eprintln!("warning: could not write BENCH_solver.json: {e}"),
     }
 
-    // --- Regression gate (CI perf-smoke).
+    // --- Regression gates (CI perf-smoke).
+    let mut failed = false;
     if let Some(ratio) = args.guard {
-        let mut failed = false;
-        for (i, &nu) in nus.iter().enumerate() {
-            for (fused, reference, what) in [
-                (serial_fused[i], serial_ref[i], "serial"),
-                (par_fused[i], par_ref[i], "parallel"),
-            ] {
-                if fused > ratio * reference {
-                    eprintln!(
-                        "guard FAILED at ν={nu}: {what} fused {fused:.3} ns/el > \
-                         {ratio}× reference {reference:.3} ns/el"
-                    );
-                    failed = true;
+        for run in &runs {
+            for (i, &nu) in nus.iter().enumerate() {
+                for (fused, reference, what) in [
+                    (run.serial_fused[i], run.serial_ref[i], "serial"),
+                    (run.par_fused[i], run.par_ref[i], "parallel"),
+                ] {
+                    if fused > ratio * reference {
+                        eprintln!(
+                            "guard FAILED at ν={nu} ({} threads): {what} fused {fused:.3} \
+                             ns/el > {ratio}× reference {reference:.3} ns/el",
+                            run.threads
+                        );
+                        failed = true;
+                    }
                 }
             }
         }
-        if failed {
-            std::process::exit(1);
+        if !failed {
+            println!("guard OK: fused within {ratio}× of reference at every measured ν");
         }
-        println!("guard OK: fused within {ratio}× of reference at every measured ν");
+    }
+    if let Some(ratio) = args.guard_batch {
+        // Batch quality is a single-core kernel property; gate it on the
+        // 1-thread run so pool scheduling noise cannot mask a layout
+        // regression.
+        let single = &runs[0];
+        for (i, &nu) in nus.iter().enumerate() {
+            let (batch, fused) = (single.batch_fused[i], single.serial_fused[i]);
+            if batch > ratio * fused {
+                eprintln!(
+                    "guard-batch FAILED at ν={nu}: batched apply {batch:.3} ns/el per column > \
+                     {ratio}× single-vector fused {fused:.3} ns/el"
+                );
+                failed = true;
+            }
+        }
+        if !failed {
+            println!(
+                "guard-batch OK: batched apply within {ratio}× of single-vector fused \
+                 at every measured ν"
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

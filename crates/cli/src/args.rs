@@ -50,6 +50,7 @@ const FLAG_KEYS: &[&str] = &[
     "recover",
     "no-recover",
     "expect-recovery",
+    "expect-zero-alloc",
     "allow-degraded",
     "full-sweep",
 ];
@@ -207,6 +208,8 @@ mod tests {
         assert_eq!(a.get("fault-plan"), Some("plan.json"));
         let a = parse(&["trace-check", "--expect-recovery", "--allow-degraded"]).unwrap();
         assert!(a.flag("expect-recovery") && a.flag("allow-degraded"));
+        let a = parse(&["trace-check", "--expect-zero-alloc"]).unwrap();
+        assert!(a.flag("expect-zero-alloc"));
     }
 
     #[test]

@@ -68,6 +68,7 @@ USAGE:
   quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
   quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
   quasispecies trace-check --file TRACE.jsonl [--expect-recovery] [--allow-degraded]
+                           [--expect-zero-alloc]
 
 LANDSCAPES (error-class kinds also drive scan/threshold exactly via §5.1):
   single-peak (default)   --f0 2.0 --frest 1.0
@@ -95,7 +96,9 @@ SOLVE OPTIONS:
 trace-check validates a --trace dump: every line parses, at least one
 residual event, terminal event 'converged' (nonzero exit otherwise).
 --allow-degraded also accepts 'budget'/'recovery_action' terminals;
---expect-recovery demands fault-detection and recovery events.
+--expect-recovery demands fault-detection and recovery events;
+--expect-zero-alloc demands a solve_allocation event reporting 0 bytes
+(the solve hot path never outgrew its warmed workspace).
 
 EXAMPLES:
   quasispecies solve --nu 12 --p 0.01
@@ -626,7 +629,14 @@ fn check_tags(
             tags.len()
         ));
     }
-    let terminal = tags.last().map(String::as_str).expect("non-empty");
+    // Allocation accounting rides after the terminal marker; skip such
+    // bookkeeping events when locating it.
+    let terminal = tags
+        .iter()
+        .rev()
+        .map(String::as_str)
+        .find(|t| *t != "solve_allocation")
+        .unwrap_or("solve_allocation");
     let terminal_ok = match terminal {
         "converged" => true,
         "budget" | "recovery_action" => allow_degraded,
@@ -667,14 +677,32 @@ fn check_tags(
     ))
 }
 
+/// The pure core of `--expect-zero-alloc`: the trace must report
+/// allocation accounting, and every reported `solve_allocation` value
+/// must be zero bytes (the solve hot path never outgrew its warmed
+/// workspace).
+fn check_zero_alloc(alloc_bytes: &[u64]) -> Result<String, String> {
+    if alloc_bytes.is_empty() {
+        return Err("trace has no solve_allocation events (--expect-zero-alloc)".into());
+    }
+    match alloc_bytes.iter().find(|&&b| b != 0) {
+        Some(b) => Err(format!(
+            "solve allocated {b} bytes past warm-up (--expect-zero-alloc)"
+        )),
+        None => Ok(format!("zero-alloc ok over {} solve(s)", alloc_bytes.len())),
+    }
+}
+
 /// Validate a `--trace` JSONL dump: every line parses as a JSON object
-/// with an `"event"` tag, then the stream passes [`check_tags`]. Used by
-/// CI as a telemetry and fault-recovery smoke test.
+/// with an `"event"` tag, then the stream passes [`check_tags`] (and
+/// [`check_zero_alloc`] with `--expect-zero-alloc`). Used by CI as a
+/// telemetry and fault-recovery smoke test.
 fn cmd_trace_check(args: &Args) -> Result<(), CliError> {
     let path: String = args.required("file")?;
     let text = std::fs::read_to_string(&path)
         .map_err(|e| CliError::Bad(format!("cannot read '{path}': {e}")))?;
     let mut tags: Vec<String> = Vec::new();
+    let mut alloc_bytes: Vec<u64> = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -685,14 +713,31 @@ fn cmd_trace_check(args: &Args) -> Result<(), CliError> {
             .get("event")
             .and_then(serde_json::Value::as_str)
             .ok_or_else(|| CliError::Bad(format!("{path}:{}: missing \"event\" tag", idx + 1)))?;
+        if tag == "solve_allocation" {
+            let bytes = value
+                .get("bytes")
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| {
+                    CliError::Bad(format!(
+                        "{path}:{}: solve_allocation event missing \"bytes\"",
+                        idx + 1
+                    ))
+                })?;
+            alloc_bytes.push(bytes);
+        }
         tags.push(tag.to_string());
     }
-    let verdict = check_tags(
+    let mut verdict = check_tags(
         &tags,
         args.flag("expect-recovery"),
         args.flag("allow-degraded"),
     )
     .map_err(|m| CliError::Bad(format!("'{path}': {m}")))?;
+    if args.flag("expect-zero-alloc") {
+        let alloc_verdict =
+            check_zero_alloc(&alloc_bytes).map_err(|m| CliError::Bad(format!("'{path}': {m}")))?;
+        verdict = format!("{verdict}; {alloc_verdict}");
+    }
     if !args.flag("quiet") {
         println!("{verdict}");
     }
@@ -722,7 +767,7 @@ fn cmd_threshold(args: &Args) -> Result<(), CliError> {
 
 #[cfg(test)]
 mod tests {
-    use super::check_tags;
+    use super::{check_tags, check_zero_alloc};
 
     fn tags(names: &[&str]) -> Vec<String> {
         names.iter().map(|s| s.to_string()).collect()
@@ -768,5 +813,23 @@ mod tests {
         // A clean trace fails --expect-recovery: nothing was injected.
         let clean = tags(&["residual", "converged"]);
         assert!(check_tags(&clean, true, false).is_err());
+    }
+
+    #[test]
+    fn trailing_allocation_event_does_not_hide_the_terminal() {
+        let t = tags(&["residual", "converged", "solve_allocation"]);
+        assert!(check_tags(&t, false, false).is_ok());
+        // But bookkeeping alone is not a terminal.
+        let t = tags(&["residual", "solve_allocation"]);
+        assert!(check_tags(&t, false, false).is_err());
+    }
+
+    #[test]
+    fn zero_alloc_check_demands_presence_and_zero() {
+        assert!(check_zero_alloc(&[]).is_err());
+        assert!(check_zero_alloc(&[0]).is_ok());
+        assert!(check_zero_alloc(&[0, 0, 0]).is_ok());
+        let err = check_zero_alloc(&[0, 4096]).unwrap_err();
+        assert!(err.contains("4096 bytes"));
     }
 }

@@ -56,6 +56,7 @@ pub mod result;
 pub mod rqi;
 pub mod solver;
 pub mod threshold;
+pub mod workspace;
 
 pub use analysis::{spectral_gap, summarize, PopulationSummary, SpectralGap, SpectralGapOptions};
 pub use guard::{Breakdown, StallDetector};
@@ -64,8 +65,8 @@ pub use krylov::{minres, minres_probed, MinresOptions, MinresOutcome};
 pub use lanczos::{lanczos, lanczos_probed, LanczosOptions, LanczosOutcome};
 pub use mixed::{solve_mixed_precision, MixedOptions, MixedStats};
 pub use power::{
-    block_power_iteration, power_iteration, power_iteration_probed, BlockPowerOutcome,
-    PowerOptions, PowerOutcome,
+    block_power_iteration, power_iteration, power_iteration_probed, power_iteration_probed_in,
+    BlockPowerOutcome, PowerOptions, PowerOutcome,
 };
 pub use reduced::{solve_error_class, ReducedQuasispecies};
 pub use resolution::{marginal, site_marginals, Pyramid};
@@ -78,6 +79,7 @@ pub use solver::{
     solve_with_q_operator_probed, Engine, Method, ShiftStrategy, SolveError, SolverConfig,
 };
 pub use threshold::{detect_pmax, scan_error_classes, scan_full, scan_full_sweep, ThresholdScan};
+pub use workspace::Workspace;
 
 // Re-export the pieces user code needs to assemble custom problems.
 pub use qs_matvec::Formulation;

@@ -14,6 +14,7 @@ use qs_matvec::LinearOperator;
 use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
 use crate::guard::{Breakdown, StallDetector};
+use crate::workspace::Workspace;
 
 /// Options for [`power_iteration`].
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +111,26 @@ pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
     opts: &PowerOptions,
     probe: &mut P,
 ) -> PowerOutcome {
+    power_iteration_probed_in(a, start, opts, probe, &mut Workspace::new())
+}
+
+/// [`power_iteration_probed`] drawing its working vectors (iterate, image,
+/// residual) from a caller-owned [`Workspace`] pool.
+///
+/// The image and residual buffers are returned to the pool on exit; the
+/// iterate escapes as [`PowerOutcome::vector`]. A pool warmed with three
+/// `N`-buffers therefore runs the whole loop without touching the
+/// allocator — the property `solve` reports through
+/// [`SolverEvent::SolveAllocation`] and the telemetry smoke test pins at
+/// zero. The floating-point sequence is identical to
+/// [`power_iteration_probed`] regardless of pool state.
+pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &PowerOptions,
+    probe: &mut P,
+    ws: &mut Workspace,
+) -> PowerOutcome {
     assert_eq!(
         start.len(),
         a.len(),
@@ -128,14 +149,14 @@ pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
         qs_linalg::norm_l2
     };
 
-    let mut x = start.to_vec();
+    let mut x = ws.take_copy(start);
     assert!(
         normalize_l2(&mut x) > 0.0,
         "power_iteration: zero start vector"
     );
 
-    let mut y = vec![0.0; n];
-    let mut r = vec![0.0; n];
+    let mut y = ws.take(n);
+    let mut r = ws.take(n);
     let mu = opts.shift;
     let mut lambda_shifted = 0.0;
     let mut residual = f64::INFINITY;
@@ -213,6 +234,8 @@ pub fn power_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
         }
     }
 
+    ws.put(y);
+    ws.put(r);
     orient_positive(&mut x);
     if converged {
         probe.record(&SolverEvent::Converged {

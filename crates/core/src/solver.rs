@@ -7,8 +7,9 @@
 
 use crate::guard::Breakdown;
 use crate::lanczos::{lanczos_probed, LanczosOptions};
-use crate::power::{power_iteration_probed, PowerOptions};
+use crate::power::{power_iteration_probed_in, PowerOptions};
 use crate::result::{Quasispecies, SolveStats};
+use crate::workspace::Workspace;
 use qs_landscape::Landscape;
 use qs_matvec::{
     conservative_shift, convert_eigenvector, Fmmp, Formulation, KroneckerOp, LinearOperator,
@@ -472,6 +473,7 @@ fn run_attempt<P: Probe>(
     parallel_reductions: bool,
     verify: bool,
     probe: &mut P,
+    ws: &mut Workspace,
 ) -> Result<Attempt, SolveError> {
     let form = match method {
         Method::Lanczos { .. } | Method::Rqi { .. } => Formulation::Symmetric,
@@ -490,7 +492,7 @@ fn run_attempt<P: Probe>(
                     parallel_reductions,
                     stall_window: config.recover.then_some(STALL_WINDOW),
                 };
-                let out = power_iteration_probed(&w, &start, &opts, probe);
+                let out = power_iteration_probed_in(&w, &start, &opts, probe, ws);
                 let label = if shift != 0.0 { "Pi+shift" } else { "Pi" };
                 (
                     out.lambda,
@@ -543,13 +545,14 @@ fn run_attempt<P: Probe>(
     let (matvecs, residual, converged) = if verify && converged {
         // Shift-invariant check: Wv − λv = (W−µI)v − (λ−µ)v, so the plain
         // operator works for the shifted power rung too.
-        let mut wy = vec![0.0; vector_in_form.len()];
+        let mut wy = ws.take(vector_in_form.len());
         w.apply_into(&vector_in_form, &mut wy);
         for (ri, &vi) in wy.iter_mut().zip(&vector_in_form) {
             *ri -= lambda * vi;
         }
         let vnorm = qs_linalg::norm_l2(&vector_in_form);
         let explicit = qs_linalg::norm_l2(&wy) / vnorm;
+        ws.put(wy);
         let threshold = 10.0 * config.tol * lambda.abs().max(1.0);
         if explicit <= threshold {
             (matvecs + 1, residual, true)
@@ -567,6 +570,9 @@ fn run_attempt<P: Probe>(
     };
 
     let vector_r = convert_eigenvector(form, Formulation::Right, &vector_in_form, fitness);
+    // The attempt's iterate escaped the power loop; park it so the next
+    // attempt (restart or ladder rung) is a pool hit, not an allocation.
+    ws.put(vector_in_form);
     Ok(Attempt {
         lambda,
         vector_r,
@@ -638,6 +644,14 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
     qs_linalg::vec_ops::normalize_l1(&mut start_r);
     let parallel_reductions = engine_label.contains("-par");
 
+    // One warmed buffer pool for every attempt: the power loop's working
+    // set (iterate, image, residual) plus the verification buffer all come
+    // out of here, so pool-miss bytes after `mark` measure exactly what
+    // the solve allocated beyond its steady state.
+    let mut ws = Workspace::new();
+    ws.warm(fitness.len(), 4);
+    ws.mark();
+
     let first = run_attempt(
         q_op.as_ref(),
         &fitness,
@@ -649,6 +663,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
         parallel_reductions,
         false,
         &mut probe,
+        &mut ws,
     )?;
     let mut total_matvecs = first.matvecs;
     let mut total_iterations = first.iterations;
@@ -693,6 +708,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
             parallel_reductions,
             true,
             &mut probe,
+            &mut ws,
         )?;
         total_matvecs += attempt.matvecs;
         total_iterations += attempt.iterations;
@@ -723,6 +739,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                     parallel_reductions,
                     true,
                     &mut probe,
+                    &mut ws,
                 )?;
                 total_matvecs += attempt.matvecs;
                 total_iterations += attempt.iterations;
@@ -767,6 +784,10 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
             residual: first.residual,
         });
     };
+
+    probe.record(&SolverEvent::SolveAllocation {
+        bytes: ws.bytes_since_mark(),
+    });
 
     let residuals = probe.residuals;
     let stats = SolveStats {

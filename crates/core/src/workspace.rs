@@ -1,0 +1,155 @@
+//! Reusable buffer pool for the solver hot path.
+//!
+//! The power-iteration working set is three `N`-vectors (iterate, image,
+//! residual) plus an occasional verification buffer. Allocating them fresh
+//! for every attempt — and, before the fused kernels became plan-inline,
+//! for every *apply* — put the allocator on the per-solve critical path.
+//! [`Workspace`] recycles those buffers instead: [`Workspace::take`]
+//! prefers a pooled buffer and only falls back to the allocator on a pool
+//! miss, counting every missed byte so a solve can report (and tests can
+//! pin) its steady-state allocation cost.
+//!
+//! The accounting is deliberately simple and observable without a global
+//! allocator hook: `bytes_allocated` is exactly `8 × Σ len` over pool
+//! misses. A solve that warms the pool first and then reports zero
+//! [`Workspace::bytes_since_mark`] provably never grew its working set.
+
+/// A pool of reusable `f64` buffers with pool-miss byte accounting.
+///
+/// Buffers move out via [`Workspace::take`] / [`Workspace::take_copy`] and
+/// back in via [`Workspace::put`]; they are ordinary `Vec<f64>`s, so a
+/// result vector can simply escape the pool when it outlives the solve.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+    bytes_allocated: u64,
+    mark: u64,
+}
+
+impl Workspace {
+    /// An empty, cold pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed buffer of length `n`: pooled if any parked buffer has the
+    /// capacity, freshly allocated (and counted) otherwise.
+    pub fn take(&mut self, n: usize) -> Vec<f64> {
+        match self.pool.iter().position(|b| b.capacity() >= n) {
+            Some(i) => {
+                let mut b = self.pool.swap_remove(i);
+                b.clear();
+                b.resize(n, 0.0);
+                b
+            }
+            None => {
+                self.bytes_allocated += 8 * n as u64;
+                vec![0.0; n]
+            }
+        }
+    }
+
+    /// A buffer holding a copy of `src` (same pooling rules as
+    /// [`Workspace::take`]).
+    pub fn take_copy(&mut self, src: &[f64]) -> Vec<f64> {
+        let mut b = self.take(src.len());
+        b.copy_from_slice(src);
+        b
+    }
+
+    /// Park a buffer for reuse.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Pre-allocate `count` buffers of length `n` so subsequent
+    /// [`Workspace::take`] calls of that size hit the pool.
+    pub fn warm(&mut self, n: usize, count: usize) {
+        let held: Vec<_> = (0..count).map(|_| self.take(n)).collect();
+        for b in held {
+            self.put(b);
+        }
+    }
+
+    /// Total bytes ever allocated through pool misses.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated
+    }
+
+    /// Start a measurement window: [`Workspace::bytes_since_mark`] reports
+    /// allocations from this point on.
+    pub fn mark(&mut self) {
+        self.mark = self.bytes_allocated;
+    }
+
+    /// Bytes allocated through pool misses since the last
+    /// [`Workspace::mark`] (or construction).
+    pub fn bytes_since_mark(&self) -> u64 {
+        self.bytes_allocated - self.mark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_counts_misses_and_reuse_is_free() {
+        let mut ws = Workspace::new();
+        let a = ws.take(100);
+        assert_eq!(ws.bytes_allocated(), 800);
+        ws.put(a);
+        let b = ws.take(100);
+        assert_eq!(ws.bytes_allocated(), 800, "pool hit must not allocate");
+        assert_eq!(b.len(), 100);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_zeroes_recycled_buffers() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(8);
+        a.fill(3.5);
+        ws.put(a);
+        let b = ws.take(8);
+        assert!(b.iter().all(|&x| x == 0.0));
+        // A smaller request reuses the larger capacity.
+        ws.put(b);
+        let c = ws.take(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(ws.bytes_allocated(), 64);
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut ws = Workspace::new();
+        let src = [1.0, -2.0, 3.0];
+        let b = ws.take_copy(&src);
+        assert_eq!(b, src);
+    }
+
+    #[test]
+    fn warm_then_mark_pins_steady_state_at_zero() {
+        let mut ws = Workspace::new();
+        ws.warm(64, 3);
+        ws.mark();
+        for _ in 0..10 {
+            let x = ws.take(64);
+            let y = ws.take(64);
+            let r = ws.take(64);
+            ws.put(x);
+            ws.put(y);
+            ws.put(r);
+        }
+        assert_eq!(ws.bytes_since_mark(), 0);
+        // A fourth concurrent buffer is a genuine miss and is counted.
+        let a = ws.take(64);
+        let b = ws.take(64);
+        let c = ws.take(64);
+        let d = ws.take(64);
+        assert_eq!(ws.bytes_since_mark(), 512);
+        drop((a, b, c, d));
+    }
+}

@@ -339,7 +339,7 @@ impl LinearOperator for Fmmp {
             "apply_batch: slab must hold a whole number of vectors"
         );
         // Every variant computes the identical product, so the batch can
-        // always take the interleaved fused path.
+        // always take the column-blocked fused path.
         crate::fused::fmmp_batch_in_place(slab, slab.len() / n, self.p);
     }
 }

@@ -28,10 +28,19 @@
 //! Both the mutation butterfly `(q·a + p·b, p·a + q·b)` and the Hadamard
 //! butterfly `(a + b, a − b)` share the stage structure, so the kernels are
 //! generic over a [`Butterfly`]. The same machinery serves the **batched**
-//! product: `k` right-hand sides interleaved element-wise (`buf[i·k + l]`
-//! holds element `i` of vector `l`) turn a per-vector stage at stride `i`
-//! into a stage at stride `i·k` on the interleaved buffer, so one fused
-//! span over the slab applies the transform to all `k` vectors at once.
+//! product: the slab keeps its natural column-major layout (`k` contiguous
+//! vectors) and the planned passes run **column-blocked** — every column's
+//! copy of a cache tile is transformed before the schedule advances to the
+//! next tile — so the per-column cost matches the single-vector fused path
+//! and no interleaved scratch slab (or its two transposition sweeps) is
+//! ever materialised.
+//!
+//! All inner butterflies are **register-blocked**: the fibre loops walk
+//! `chunks_exact` lanes of fixed width (8 for radix-2, 4 for radix-4/8),
+//! which LLVM fully unrolls and autovectorizes without any `unsafe`. The
+//! lane grouping never changes the per-element expressions or their
+//! evaluation order, so bit-identity with the staged reference holds
+//! throughout.
 
 use crate::{time_stage, Probe};
 
@@ -82,17 +91,203 @@ impl Butterfly for HadamardButterfly {
     }
 }
 
-/// One stage at stride `i`: the reference kernel, generic over the
-/// butterfly.
+/// Lane width for the radix-2 fibre loop: 8 doubles = one 64-byte cache
+/// line, a trip count LLVM fully unrolls into vector registers.
+const LANES_R2: usize = 8;
+
+/// Lane width for the radix-4/8 fibre loops: 4 doubles per fibre keeps the
+/// live values (16/32 doubles across fibres) within the register file.
+const LANES_R48: usize = 4;
+
+/// Radix-2 butterflies across two equal-length fibres, register-blocked:
+/// the bulk runs in `chunks_exact` lanes of [`LANES_R2`] elements (a fixed
+/// trip count LLVM unrolls and autovectorizes), the tail falls back to
+/// scalars. Per element the expression is exactly the reference kernel's.
 #[inline]
-pub(crate) fn radix2_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
-    for block in v.chunks_exact_mut(2 * i) {
-        let (a, b) = block.split_at_mut(i);
-        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+pub(crate) fn radix2_lanes<B: Butterfly>(f0: &mut [f64], f1: &mut [f64], bf: B) {
+    debug_assert_eq!(f0.len(), f1.len());
+    let mut c0 = f0.chunks_exact_mut(LANES_R2);
+    let mut c1 = f1.chunks_exact_mut(LANES_R2);
+    for (l0, l1) in c0.by_ref().zip(c1.by_ref()) {
+        for (x, y) in l0.iter_mut().zip(l1.iter_mut()) {
             let (u, w) = bf.bf(*x, *y);
             *x = u;
             *y = w;
         }
+    }
+    for (x, y) in c0
+        .into_remainder()
+        .iter_mut()
+        .zip(c1.into_remainder().iter_mut())
+    {
+        let (u, w) = bf.bf(*x, *y);
+        *x = u;
+        *y = w;
+    }
+}
+
+/// Two fused butterfly layers (strides `i`, `2i`) across four equal-length
+/// fibres, register-blocked in [`LANES_R48`]-wide lanes. Bit-for-bit
+/// identical to two [`radix2_lanes`] layers.
+#[inline]
+pub(crate) fn radix4_lanes<B: Butterfly>(
+    f0: &mut [f64],
+    f1: &mut [f64],
+    f2: &mut [f64],
+    f3: &mut [f64],
+    bf: B,
+) {
+    #[inline(always)]
+    fn kernel<B: Butterfly>(x0: &mut f64, x1: &mut f64, x2: &mut f64, x3: &mut f64, bf: B) {
+        // Stage i: pairs (x0,x1), (x2,x3).
+        let (a0, a1) = bf.bf(*x0, *x1);
+        let (a2, a3) = bf.bf(*x2, *x3);
+        // Stage 2i: pairs (a0,a2), (a1,a3).
+        let (b0, b2) = bf.bf(a0, a2);
+        let (b1, b3) = bf.bf(a1, a3);
+        *x0 = b0;
+        *x1 = b1;
+        *x2 = b2;
+        *x3 = b3;
+    }
+    debug_assert!(f0.len() == f1.len() && f1.len() == f2.len() && f2.len() == f3.len());
+    let mut c0 = f0.chunks_exact_mut(LANES_R48);
+    let mut c1 = f1.chunks_exact_mut(LANES_R48);
+    let mut c2 = f2.chunks_exact_mut(LANES_R48);
+    let mut c3 = f3.chunks_exact_mut(LANES_R48);
+    for (((l0, l1), l2), l3) in c0
+        .by_ref()
+        .zip(c1.by_ref())
+        .zip(c2.by_ref())
+        .zip(c3.by_ref())
+    {
+        for (((x0, x1), x2), x3) in l0
+            .iter_mut()
+            .zip(l1.iter_mut())
+            .zip(l2.iter_mut())
+            .zip(l3.iter_mut())
+        {
+            kernel(x0, x1, x2, x3, bf);
+        }
+    }
+    for (((x0, x1), x2), x3) in c0
+        .into_remainder()
+        .iter_mut()
+        .zip(c1.into_remainder().iter_mut())
+        .zip(c2.into_remainder().iter_mut())
+        .zip(c3.into_remainder().iter_mut())
+    {
+        kernel(x0, x1, x2, x3, bf);
+    }
+}
+
+/// Three fused butterfly layers (strides `i`, `2i`, `4i`) across eight
+/// equal-length fibres, register-blocked in [`LANES_R48`]-wide lanes.
+/// Bit-for-bit identical to three [`radix2_lanes`] layers.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn radix8_lanes<B: Butterfly>(
+    f0: &mut [f64],
+    f1: &mut [f64],
+    f2: &mut [f64],
+    f3: &mut [f64],
+    f4: &mut [f64],
+    f5: &mut [f64],
+    f6: &mut [f64],
+    f7: &mut [f64],
+    bf: B,
+) {
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn kernel<B: Butterfly>(
+        x0: &mut f64,
+        x1: &mut f64,
+        x2: &mut f64,
+        x3: &mut f64,
+        x4: &mut f64,
+        x5: &mut f64,
+        x6: &mut f64,
+        x7: &mut f64,
+        bf: B,
+    ) {
+        // Stage i.
+        let (a0, a1) = bf.bf(*x0, *x1);
+        let (a2, a3) = bf.bf(*x2, *x3);
+        let (a4, a5) = bf.bf(*x4, *x5);
+        let (a6, a7) = bf.bf(*x6, *x7);
+        // Stage 2i.
+        let (b0, b2) = bf.bf(a0, a2);
+        let (b1, b3) = bf.bf(a1, a3);
+        let (b4, b6) = bf.bf(a4, a6);
+        let (b5, b7) = bf.bf(a5, a7);
+        // Stage 4i.
+        let (c0, c4) = bf.bf(b0, b4);
+        let (c1, c5) = bf.bf(b1, b5);
+        let (c2, c6) = bf.bf(b2, b6);
+        let (c3, c7) = bf.bf(b3, b7);
+        *x0 = c0;
+        *x1 = c1;
+        *x2 = c2;
+        *x3 = c3;
+        *x4 = c4;
+        *x5 = c5;
+        *x6 = c6;
+        *x7 = c7;
+    }
+    debug_assert!(f0.len() == f7.len() && f0.len() == f3.len());
+    let mut c0 = f0.chunks_exact_mut(LANES_R48);
+    let mut c1 = f1.chunks_exact_mut(LANES_R48);
+    let mut c2 = f2.chunks_exact_mut(LANES_R48);
+    let mut c3 = f3.chunks_exact_mut(LANES_R48);
+    let mut c4 = f4.chunks_exact_mut(LANES_R48);
+    let mut c5 = f5.chunks_exact_mut(LANES_R48);
+    let mut c6 = f6.chunks_exact_mut(LANES_R48);
+    let mut c7 = f7.chunks_exact_mut(LANES_R48);
+    for (((((((l0, l1), l2), l3), l4), l5), l6), l7) in c0
+        .by_ref()
+        .zip(c1.by_ref())
+        .zip(c2.by_ref())
+        .zip(c3.by_ref())
+        .zip(c4.by_ref())
+        .zip(c5.by_ref())
+        .zip(c6.by_ref())
+        .zip(c7.by_ref())
+    {
+        for (((((((x0, x1), x2), x3), x4), x5), x6), x7) in l0
+            .iter_mut()
+            .zip(l1.iter_mut())
+            .zip(l2.iter_mut())
+            .zip(l3.iter_mut())
+            .zip(l4.iter_mut())
+            .zip(l5.iter_mut())
+            .zip(l6.iter_mut())
+            .zip(l7.iter_mut())
+        {
+            kernel(x0, x1, x2, x3, x4, x5, x6, x7, bf);
+        }
+    }
+    for (((((((x0, x1), x2), x3), x4), x5), x6), x7) in c0
+        .into_remainder()
+        .iter_mut()
+        .zip(c1.into_remainder().iter_mut())
+        .zip(c2.into_remainder().iter_mut())
+        .zip(c3.into_remainder().iter_mut())
+        .zip(c4.into_remainder().iter_mut())
+        .zip(c5.into_remainder().iter_mut())
+        .zip(c6.into_remainder().iter_mut())
+        .zip(c7.into_remainder().iter_mut())
+    {
+        kernel(x0, x1, x2, x3, x4, x5, x6, x7, bf);
+    }
+}
+
+/// One stage at stride `i`: the reference kernel (register-blocked),
+/// generic over the butterfly.
+#[inline]
+pub(crate) fn radix2_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
+    for block in v.chunks_exact_mut(2 * i) {
+        let (a, b) = block.split_at_mut(i);
+        radix2_lanes(a, b, bf);
     }
 }
 
@@ -106,23 +301,7 @@ pub(crate) fn radix4_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
         let (f0, rest) = block.split_at_mut(i);
         let (f1, rest) = rest.split_at_mut(i);
         let (f2, f3) = rest.split_at_mut(i);
-        for (((x0, x1), x2), x3) in f0
-            .iter_mut()
-            .zip(f1.iter_mut())
-            .zip(f2.iter_mut())
-            .zip(f3.iter_mut())
-        {
-            // Stage i: pairs (x0,x1), (x2,x3).
-            let (a0, a1) = bf.bf(*x0, *x1);
-            let (a2, a3) = bf.bf(*x2, *x3);
-            // Stage 2i: pairs (a0,a2), (a1,a3).
-            let (b0, b2) = bf.bf(a0, a2);
-            let (b1, b3) = bf.bf(a1, a3);
-            *x0 = b0;
-            *x1 = b1;
-            *x2 = b2;
-            *x3 = b3;
-        }
+        radix4_lanes(f0, f1, f2, f3, bf);
     }
 }
 
@@ -138,42 +317,7 @@ pub(crate) fn radix8_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
         let (f4, rest) = rest.split_at_mut(i);
         let (f5, rest) = rest.split_at_mut(i);
         let (f6, f7) = rest.split_at_mut(i);
-        let mut it = f0
-            .iter_mut()
-            .zip(f1.iter_mut())
-            .zip(f2.iter_mut())
-            .zip(f3.iter_mut())
-            .zip(f4.iter_mut())
-            .zip(f5.iter_mut())
-            .zip(f6.iter_mut())
-            .zip(f7.iter_mut());
-        // The 7-deep zip tuple is unwieldy; destructure once per fibre
-        // element.
-        for (((((((x0, x1), x2), x3), x4), x5), x6), x7) in &mut it {
-            // Stage i.
-            let (a0, a1) = bf.bf(*x0, *x1);
-            let (a2, a3) = bf.bf(*x2, *x3);
-            let (a4, a5) = bf.bf(*x4, *x5);
-            let (a6, a7) = bf.bf(*x6, *x7);
-            // Stage 2i.
-            let (b0, b2) = bf.bf(a0, a2);
-            let (b1, b3) = bf.bf(a1, a3);
-            let (b4, b6) = bf.bf(a4, a6);
-            let (b5, b7) = bf.bf(a5, a7);
-            // Stage 4i.
-            let (c0, c4) = bf.bf(b0, b4);
-            let (c1, c5) = bf.bf(b1, b5);
-            let (c2, c6) = bf.bf(b2, b6);
-            let (c3, c7) = bf.bf(b3, b7);
-            *x0 = c0;
-            *x1 = c1;
-            *x2 = c2;
-            *x3 = c3;
-            *x4 = c4;
-            *x5 = c5;
-            *x6 = c6;
-            *x7 = c7;
-        }
+        radix8_lanes(f0, f1, f2, f3, f4, f5, f6, f7, bf);
     }
 }
 
@@ -236,48 +380,87 @@ pub(crate) fn radix_ladder<B: Butterfly>(v: &mut [f64], mut i: usize, top: usize
     }
 }
 
+/// Upper bound on passes any plan can need: one tiled pass plus a radix
+/// ladder over at most 63 remaining stages grouped ≥ 1 stage per pass
+/// never exceeds this on 64-bit lengths.
+const MAX_FUSED_PASSES: usize = 24;
+
+/// A complete pass schedule held inline — `Copy`, fixed-size, and built
+/// without touching the heap, so planning can sit inside the per-apply
+/// hot path of a solver iteration without allocating.
+///
+/// [`plan_span`] is the `Vec`-returning convenience wrapper around this.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedPlan {
+    passes: [FusedPass; MAX_FUSED_PASSES],
+    count: usize,
+}
+
+impl FusedPlan {
+    /// Plan stage strides `base, 2·base, …, len/2` with the default
+    /// [`FUSED_TILE`] cache tile. See [`plan_span`] for the contract.
+    pub fn new(len: usize, base: usize) -> Self {
+        Self::with_tile(len, base, FUSED_TILE)
+    }
+
+    /// As [`FusedPlan::new`] with an explicit tile size (the parallel
+    /// backend shrinks the tile so one tiled pass yields at least one
+    /// tile per worker). Any power-of-two tile produces the same
+    /// bit-identical result — tiling only regroups stages into passes,
+    /// never changes the per-element arithmetic.
+    pub fn with_tile(len: usize, base: usize, tile: usize) -> Self {
+        assert!(base >= 1 && len >= 2 * base && len % (2 * base) == 0);
+        assert!(
+            (len / (2 * base)).is_power_of_two(),
+            "len / (2·base) must be a power of two"
+        );
+        let top = len / 2;
+        let mut passes = [FusedPass::Radix2 { stride: 0 }; MAX_FUSED_PASSES];
+        let mut count = 0;
+        let mut i = base;
+        if len > tile
+            && 2 * base <= tile
+            && tile % (2 * base) == 0
+            && (tile / (2 * base)).is_power_of_two()
+            && len % tile == 0
+        {
+            passes[count] = FusedPass::Tile { tile, base };
+            count += 1;
+            i = tile;
+        }
+        while i <= top {
+            if 4 * i <= top {
+                passes[count] = FusedPass::Radix8 { stride: i };
+                i *= 8;
+            } else if 2 * i <= top {
+                passes[count] = FusedPass::Radix4 { stride: i };
+                i *= 4;
+            } else {
+                passes[count] = FusedPass::Radix2 { stride: i };
+                i *= 2;
+            }
+            count += 1;
+        }
+        FusedPlan { passes, count }
+    }
+
+    /// The planned passes, in execution order.
+    pub fn passes(&self) -> &[FusedPass] {
+        &self.passes[..self.count]
+    }
+}
+
 /// Plan the memory passes covering stage strides `base, 2·base, …, len/2`.
 ///
 /// Equivalent stage-for-stage to the reference ascending loop; the plan
 /// only groups stages into passes. `len / (2·base)` must be a power of
 /// two. Tiling is used when the vector exceeds [`FUSED_TILE`] and the tile
 /// aligns with both the block size `2·base` and the vector length (always
-/// true for a single power-of-two vector; for a `k`-way interleaved batch
+/// true for a single power-of-two vector; for a `k`-way interleaved span
 /// this requires `k` to be a power of two, otherwise the plan falls back
 /// to untiled radix-fused passes).
 pub fn plan_span(len: usize, base: usize) -> Vec<FusedPass> {
-    assert!(base >= 1 && len >= 2 * base && len % (2 * base) == 0);
-    assert!(
-        (len / (2 * base)).is_power_of_two(),
-        "len / (2·base) must be a power of two"
-    );
-    let top = len / 2;
-    let mut passes = Vec::new();
-    let mut i = base;
-    if len > FUSED_TILE
-        && 2 * base <= FUSED_TILE
-        && FUSED_TILE % (2 * base) == 0
-        && len % FUSED_TILE == 0
-    {
-        passes.push(FusedPass::Tile {
-            tile: FUSED_TILE,
-            base,
-        });
-        i = FUSED_TILE;
-    }
-    while i <= top {
-        if 4 * i <= top {
-            passes.push(FusedPass::Radix8 { stride: i });
-            i *= 8;
-        } else if 2 * i <= top {
-            passes.push(FusedPass::Radix4 { stride: i });
-            i *= 4;
-        } else {
-            passes.push(FusedPass::Radix2 { stride: i });
-            i *= 2;
-        }
-    }
-    passes
+    FusedPlan::new(len, base).passes().to_vec()
 }
 
 /// Execute one planned pass.
@@ -295,8 +478,10 @@ pub fn run_pass<B: Butterfly>(v: &mut [f64], pass: FusedPass, bf: B) {
 }
 
 /// Full fused span: all stages with strides `base, 2·base, …, v.len()/2`.
+/// Plans inline ([`FusedPlan`]) — no heap allocation per apply.
 pub(crate) fn span_in_place<B: Butterfly>(v: &mut [f64], base: usize, bf: B) {
-    for pass in plan_span(v.len(), base) {
+    let plan = FusedPlan::new(v.len(), base);
+    for &pass in plan.passes() {
         run_pass(v, pass, bf);
     }
 }
@@ -313,7 +498,8 @@ pub(crate) fn span_in_place_probed<B: Butterfly>(
     if !probe.enabled() {
         return span_in_place(v, base, bf);
     }
-    for pass in plan_span(v.len(), base) {
+    let plan = FusedPlan::new(v.len(), base);
+    for &pass in plan.passes() {
         time_stage(probe, label, || run_pass(v, pass, bf));
     }
 }
@@ -367,10 +553,13 @@ pub fn deinterleave(src: &[f64], k: usize, dst: &mut [f64]) {
 }
 
 /// Batched `Q(ν)` product: `slab` holds `k` contiguous vectors of equal
-/// power-of-two length and each is replaced by `Q·vⱼ`. Internally the
-/// vectors are interleaved so one fused span over the slab advances all
-/// `k` products stage-by-stage together — per-stage traversal (loop and
-/// plan overhead, cache refills) is paid once instead of `k` times.
+/// power-of-two length and each is replaced by `Q·vⱼ`. The slab keeps its
+/// column-major layout and the fused pass schedule is executed
+/// column-blocked: every column's copy of a cache tile is transformed
+/// before the schedule moves to the next tile, and each global radix pass
+/// sweeps the columns back-to-back. The per-column work is therefore
+/// exactly the single-vector fused kernel — no interleaved scratch slab,
+/// no transposition sweeps, no allocation.
 /// Bit-for-bit identical to `k` independent [`fmmp_in_place_fused`] calls.
 ///
 /// # Panics
@@ -397,10 +586,26 @@ fn batch_span<B: Butterfly>(slab: &mut [f64], k: usize, bf: B) {
     if k == 1 {
         return span_in_place(slab, 1, bf);
     }
-    let mut buf = vec![0.0; slab.len()];
-    interleave(slab, k, &mut buf);
-    span_in_place(&mut buf, k, bf);
-    deinterleave(&buf, k, slab);
+    // Column-blocked schedule: one per-column plan, tile loop outermost.
+    // Each column runs the identical pass sequence as the single-vector
+    // span, so bit-identity per column is structural.
+    let plan = FusedPlan::new(n, 1);
+    for &pass in plan.passes() {
+        match pass {
+            FusedPass::Tile { tile, base } => {
+                for t in 0..n / tile {
+                    for col in slab.chunks_exact_mut(n) {
+                        radix_ladder(&mut col[t * tile..(t + 1) * tile], base, tile / 2, bf);
+                    }
+                }
+            }
+            pass => {
+                for col in slab.chunks_exact_mut(n) {
+                    run_pass(col, pass, bf);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -495,8 +700,47 @@ mod tests {
     }
 
     #[test]
+    fn custom_tile_plans_stay_bit_identical() {
+        // Tiling only regroups stages into passes; any power-of-two tile
+        // must reproduce the reference bit-for-bit.
+        let x = random_vector(1 << 15, 42);
+        let mut want = x.clone();
+        fmmp_in_place(&mut want, 0.03);
+        for tile_log in [10u32, 11, 12, 14] {
+            let mut got = x.clone();
+            let plan = FusedPlan::with_tile(got.len(), 1, 1 << tile_log);
+            let total: u32 = plan.passes().iter().map(|p| p.stages()).sum();
+            assert_eq!(total, 15, "tile=2^{tile_log}: plan must absorb all stages");
+            for &pass in plan.passes() {
+                run_pass(&mut got, pass, MixButterfly::new(0.03));
+            }
+            assert_eq!(want, got, "tile=2^{tile_log}");
+        }
+    }
+
+    #[test]
+    fn inline_plan_matches_vec_plan() {
+        for nu in 1..=22u32 {
+            let n = 1usize << nu;
+            assert_eq!(FusedPlan::new(n, 1).passes(), plan_span(n, 1).as_slice());
+        }
+        assert_eq!(
+            FusedPlan::new(3 << 14, 3).passes(),
+            plan_span(3 << 14, 3).as_slice()
+        );
+    }
+
+    #[test]
     fn batch_matches_independent_applies() {
-        for &(nu, k) in &[(1u32, 1usize), (4, 2), (6, 3), (9, 4), (11, 7), (13, 8)] {
+        for &(nu, k) in &[
+            (1u32, 1usize),
+            (4, 2),
+            (6, 3),
+            (9, 4),
+            (11, 7),
+            (13, 8),
+            (15, 3),
+        ] {
             let n = 1usize << nu;
             let p = 0.043;
             let mut slab = random_vector(n * k, 1000 + nu as u64 + k as u64);

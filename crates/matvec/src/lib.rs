@@ -44,7 +44,8 @@ pub mod xmvp;
 
 pub use fmmp::{Fmmp, FmmpVariant};
 pub use fused::{
-    fmmp_batch_in_place, fmmp_in_place_fused, fwht_batch_in_place, fwht_in_place_fused, FUSED_TILE,
+    fmmp_batch_in_place, fmmp_in_place_fused, fwht_batch_in_place, fwht_in_place_fused, FusedPlan,
+    FUSED_TILE,
 };
 pub use fwht::Fwht;
 pub use kron::KroneckerOp;

@@ -8,12 +8,19 @@
 //! that decomposition on a work-stealing thread pool:
 //!
 //! * the stage loop stays on the "host" (the calling thread),
-//! * within a stage, butterflies are partitioned over worker threads —
-//!   block-parallel while blocks are plentiful, fibre-parallel (splitting
-//!   the two block halves) once blocks become scarce at large strides,
+//! * within a pass, butterflies are partitioned over worker threads —
+//!   block-parallel while blocks are plentiful, fibre-parallel (cutting
+//!   every block's fibres into lane segments and dispatching all segments
+//!   in one rayon scope with a single join) once blocks become scarce at
+//!   large strides,
 //!
 //! which preserves the paper's observation that the kernel is
 //! memory-bandwidth bound and embarrassingly parallel within a stage.
+//! The fused entry points plan their passes with a thread-count-aware
+//! tile size ([`FusedPlan::with_tile`](fused::FusedPlan::with_tile)) so
+//! the tiled pass always exposes at least one tile per worker, and every
+//! parallel path falls back to the serial kernels outright on a
+//! one-thread pool, where forking is pure overhead.
 //!
 //! [`Backend`] selects serial vs parallel execution so every solver and
 //! benchmark can swap "CPU" and "GPU" implementations the way Figure 3/4 do.
@@ -56,7 +63,10 @@ const PAR_THRESHOLD: usize = 1 << 12;
 /// `p`, partitioned over the thread pool.
 fn par_fmmp_stage(v: &mut [f64], i: usize, p: f64) {
     let n = v.len();
-    if n / 2 < PAR_THRESHOLD {
+    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
+        // Small stage, or a one-thread pool: rayon task setup is pure
+        // overhead with no possible parallel speedup — run the serial
+        // stage directly (identical arithmetic).
         fmmp_stage(v, i, p);
         return;
     }
@@ -90,26 +100,55 @@ fn par_fmmp_stage(v: &mut [f64], i: usize, p: f64) {
     }
 }
 
-/// One fibre-parallel stage at stride `i`: each block's halves are zipped
-/// and split over the pool (the per-`ID` view of Algorithm 2), generic
-/// over the butterfly.
-fn par_fibre_stage<B: Butterfly>(v: &mut [f64], i: usize, bf: B) {
-    for chunk in v.chunks_mut(2 * i) {
-        let (a, b) = chunk.split_at_mut(i);
-        a.par_iter_mut()
-            .zip(b.par_iter_mut())
-            .with_min_len(PAR_THRESHOLD / 4)
-            .for_each(|(x, y)| {
-                let (u, w) = bf.bf(*x, *y);
-                *x = u;
-                *y = w;
-            });
+/// One radix pass over blocks scarcer than the pool, executed as a single
+/// rayon scope with a single join.
+///
+/// Each block of `radix · i` elements is split into its `radix` fibres
+/// (the strided operands of the fused butterfly); corresponding lane
+/// segments across the fibres form an independent work item, because the
+/// radix kernel is purely elementwise across matching fibre offsets. All
+/// items across all blocks are dispatched in one `par_iter` — one join
+/// per *pass*, versus one join per *stage* per block in the old
+/// fibre-split fallback (log₂ N barriers per apply).
+fn par_fused_fibres<B: Butterfly>(v: &mut [f64], i: usize, radix: usize, bf: B) {
+    let block = radix * i;
+    let blocks = v.len() / block;
+    // Aim for ~2 work items per thread overall; never cut segments below
+    // PAR_THRESHOLD/4 elements so per-item overhead stays negligible.
+    let want = (2 * rayon::current_num_threads()).div_ceil(blocks.max(1));
+    let seg = (i / want.max(1)).max(PAR_THRESHOLD / 4).min(i);
+    let mut items: Vec<Vec<&mut [f64]>> = Vec::with_capacity(blocks * i.div_ceil(seg));
+    for chunk in v.chunks_mut(block) {
+        let mut rest = chunk;
+        let mut fibres: Vec<&mut [f64]> = Vec::with_capacity(radix);
+        for _ in 0..radix - 1 {
+            let (head, tail) = rest.split_at_mut(i);
+            fibres.push(head);
+            rest = tail;
+        }
+        fibres.push(rest);
+        let mut cuts: Vec<_> = fibres.into_iter().map(|f| f.chunks_mut(seg)).collect();
+        loop {
+            let item: Vec<&mut [f64]> = cuts.iter_mut().filter_map(Iterator::next).collect();
+            if item.is_empty() {
+                break;
+            }
+            debug_assert_eq!(item.len(), radix);
+            items.push(item);
+        }
     }
+    items.par_iter_mut().for_each(|g| match g.as_mut_slice() {
+        [f0, f1] => fused::radix2_lanes(f0, f1, bf),
+        [f0, f1, f2, f3] => fused::radix4_lanes(f0, f1, f2, f3, bf),
+        [f0, f1, f2, f3, f4, f5, f6, f7] => fused::radix8_lanes(f0, f1, f2, f3, f4, f5, f6, f7, bf),
+        _ => unreachable!("fused passes are radix 2, 4 or 8"),
+    });
 }
 
 /// One radix-fused pass (2–3 stages) distributed block-parallel over the
-/// pool; when blocks are scarcer than threads, fall back to fibre-parallel
-/// single stages (identical arithmetic — fusion only regroups traversal).
+/// pool; when blocks are scarcer than threads, switch to the single-join
+/// fibre partition (identical arithmetic — fusion only regroups
+/// traversal).
 fn par_fused_block<B: Butterfly>(v: &mut [f64], i: usize, radix: usize, bf: B) {
     let block = radix * i;
     if v.len() / block >= rayon::current_num_threads() {
@@ -119,16 +158,16 @@ fn par_fused_block<B: Butterfly>(v: &mut [f64], i: usize, radix: usize, bf: B) {
             _ => fused::radix2_stage(c, i, bf),
         });
     } else {
-        let mut s = i;
-        for _ in 0..radix.trailing_zeros() {
-            par_fibre_stage(v, s, bf);
-            s *= 2;
-        }
+        par_fused_fibres(v, i, radix, bf);
     }
 }
 
-/// Execute one planned fused pass on the thread pool.
+/// Execute one planned fused pass on the thread pool; on a one-thread
+/// pool the pass runs through the serial kernel directly.
 fn par_run_pass<B: Butterfly>(v: &mut [f64], pass: FusedPass, bf: B) {
+    if rayon::current_num_threads() == 1 {
+        return fused::run_pass(v, pass, bf);
+    }
     match pass {
         FusedPass::Tile { tile, base } => {
             // Tiles are independent and cache-sized: one task per tile,
@@ -142,6 +181,27 @@ fn par_run_pass<B: Butterfly>(v: &mut [f64], pass: FusedPass, bf: B) {
     }
 }
 
+/// Smallest tile the thread-aware planner will shrink to; below this the
+/// tile no longer covers enough stages to amortise its traversal.
+const MIN_PAR_TILE: usize = 1 << 10;
+
+/// Thread-count-aware fused pass plan.
+///
+/// The tiled pass parallelises over tiles, so the default 64 KiB tile
+/// ([`fused::FUSED_TILE`]) starves wide pools on mid-sized vectors
+/// (`n / tile < threads` leaves workers idle). Halve the tile until every
+/// worker gets at least one, never below [`MIN_PAR_TILE`]. Any power-of-two
+/// tile yields bit-identical results: regrouping stages into tiles never
+/// changes the per-element arithmetic or its order.
+fn par_plan(n: usize) -> fused::FusedPlan {
+    let threads = rayon::current_num_threads();
+    let mut tile = fused::FUSED_TILE;
+    while tile > MIN_PAR_TILE && n > tile && n / tile < threads {
+        tile /= 2;
+    }
+    fused::FusedPlan::with_tile(n, 1, tile)
+}
+
 /// In-place parallel fused `v ← Q(ν)·v`: the cache-blocked radix-4/8 plan
 /// of [`crate::fused`] with each memory pass distributed over the pool.
 /// Bit-for-bit identical to [`par_fmmp_in_place`] and the serial paths.
@@ -152,11 +212,11 @@ fn par_run_pass<B: Butterfly>(v: &mut [f64], pass: FusedPass, bf: B) {
 pub fn par_fmmp_in_place_fused(v: &mut [f64], p: f64) {
     let n = v.len();
     assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
-    if n / 2 < PAR_THRESHOLD {
+    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
         return fused::fmmp_in_place_fused(v, p);
     }
     let bf = MixButterfly::new(p);
-    for pass in fused::plan_span(n, 1) {
+    for &pass in par_plan(n).passes() {
         par_run_pass(v, pass, bf);
     }
 }
@@ -170,10 +230,10 @@ pub fn par_fmmp_in_place_fused(v: &mut [f64], p: f64) {
 pub fn par_fwht_in_place_fused(v: &mut [f64]) {
     let n = v.len();
     assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
-    if n / 2 < PAR_THRESHOLD {
+    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
         return fused::fwht_in_place_fused(v);
     }
-    for pass in fused::plan_span(n, 1) {
+    for &pass in par_plan(n).passes() {
         par_run_pass(v, pass, HadamardButterfly);
     }
 }
@@ -203,8 +263,9 @@ pub fn par_fmmp_in_place(v: &mut [f64], p: f64) {
 pub fn par_fwht_in_place(v: &mut [f64]) {
     let n = v.len();
     assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
-    if n / 2 < PAR_THRESHOLD {
-        // Small problem: fork/join overhead dominates; stay serial.
+    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
+        // Small problem or one-thread pool: fork/join overhead dominates;
+        // stay serial.
         crate::fwht::fwht_in_place(v);
         return;
     }
@@ -468,7 +529,7 @@ impl LinearOperator for ParFmmp {
                 return time_stage(probe, "par-fmmp-fused-pass", || self.apply_in_place(v));
             }
             let bf = MixButterfly::new(self.p);
-            for pass in fused::plan_span(n, 1) {
+            for &pass in par_plan(n).passes() {
                 time_stage(probe, "par-fmmp-fused-pass", || par_run_pass(v, pass, bf));
             }
             return;
@@ -488,6 +549,11 @@ impl LinearOperator for ParFmmp {
         );
         if slab.len() == n {
             return self.apply_in_place(slab);
+        }
+        if rayon::current_num_threads() == 1 {
+            // No pool to fan columns out to: the column-blocked serial
+            // batch kernel shares tile traversal across the batch instead.
+            return fused::fmmp_batch_in_place(slab, slab.len() / n, self.p);
         }
         // Right-hand sides are independent: the best parallel decomposition
         // is one task per column, each running the serial fused kernel
@@ -690,7 +756,7 @@ mod tests {
                 )
             })
             .count();
-        assert_eq!(passes, fused::plan_span(1 << nu, 1).len());
+        assert_eq!(passes, par_plan(1 << nu).passes().len());
         assert!(passes < nu as usize);
     }
 

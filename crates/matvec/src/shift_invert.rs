@@ -12,9 +12,7 @@
 //! eigenvectors of the mutation matrix (the extension the paper flags as
 //! the entry point towards Rayleigh-quotient methods for `Q·F`).
 
-use crate::fused::{
-    deinterleave, fwht_in_place_fused, interleave, span_in_place, HadamardButterfly,
-};
+use crate::fused::{fwht_batch_in_place, fwht_in_place_fused};
 use crate::LinearOperator;
 
 /// How the eigenvalues `Λ_ii` of the diagonalised model are evaluated.
@@ -200,34 +198,31 @@ impl LinearOperator for QShiftInvert {
         if k == 1 {
             return self.apply_in_place(slab);
         }
-        // Interleave the k right-hand sides so the two Hadamard spans run
-        // batched, and — the real win — the per-index spectrum work
-        // (popcount / per-site eigenvalue product) is computed once and
-        // shared across all k lanes.
-        let mut buf = vec![0.0; slab.len()];
-        interleave(slab, k, &mut buf);
-        span_in_place(&mut buf, k, HadamardButterfly);
+        // Column-blocked batch: both Hadamard transforms run through the
+        // tile-resident batch kernel and the diagonal is swept column by
+        // column as a sequential stream. The recomputed per-index spectrum
+        // work (popcount / per-site product) is cheap next to the two
+        // full-slab transposition sweeps and the scratch slab the old
+        // interleaved layout paid for sharing it — see DESIGN.md.
+        fwht_batch_in_place(slab, k);
         let scale = 0.5f64.powi(self.nu as i32);
         match &self.spectrum {
             Spectrum::Uniform(inv_shifted) => {
-                for (i, lane) in buf.chunks_exact_mut(k).enumerate() {
-                    let s = scale * inv_shifted[(i as u64).count_ones() as usize];
-                    for x in lane {
-                        *x *= s;
+                for col in slab.chunks_exact_mut(n) {
+                    for (i, x) in col.iter_mut().enumerate() {
+                        *x *= scale * inv_shifted[(i as u64).count_ones() as usize];
                     }
                 }
             }
             Spectrum::PerSite(_) => {
-                for (i, lane) in buf.chunks_exact_mut(k).enumerate() {
-                    let s = scale / (self.eigenvalue(i as u64) - self.mu);
-                    for x in lane {
-                        *x *= s;
+                for col in slab.chunks_exact_mut(n) {
+                    for (i, x) in col.iter_mut().enumerate() {
+                        *x *= scale / (self.eigenvalue(i as u64) - self.mu);
                     }
                 }
             }
         }
-        span_in_place(&mut buf, k, HadamardButterfly);
-        deinterleave(&buf, k, slab);
+        fwht_batch_in_place(slab, k);
     }
 }
 
@@ -236,11 +231,11 @@ impl LinearOperator for QShiftInvert {
 ///
 /// The sweep exploits the paper's diagonalisation `Q(p) = V Λ(p) V` one
 /// step further: `V` (the Hadamard transform) does not depend on `p`, so
-/// `k` products at `k` different error rates share a single pair of
-/// batched FWHTs over the interleaved slab; only the diagonal differs per
-/// column. The per-index Hamming weight is computed once and indexes each
-/// column's precomputed eigenvalue table — error-threshold `p`-sweeps pay
-/// the transform once instead of `k` times.
+/// `k` products at `k` different error rates share the same pair of
+/// column-blocked batched FWHTs over the slab; only the diagonal differs
+/// per column, indexing that column's precomputed eigenvalue table by
+/// Hamming weight. Error-threshold `p`-sweeps thus traverse each cache
+/// tile once per pass for the whole batch, with no scratch allocation.
 #[derive(Debug, Clone)]
 pub struct QSweep {
     nu: u32,
@@ -304,17 +299,14 @@ impl QSweep {
     pub fn apply_batch(&self, slab: &mut [f64]) {
         let (n, k) = (self.len(), self.k);
         assert_eq!(slab.len(), n * k, "apply_batch: slab length mismatch");
-        let mut buf = vec![0.0; slab.len()];
-        interleave(slab, k, &mut buf);
-        span_in_place(&mut buf, k, HadamardButterfly);
-        for (i, lane) in buf.chunks_exact_mut(k).enumerate() {
-            let w = (i as u64).count_ones() as usize;
-            for (x, s) in lane.iter_mut().zip(&self.class_scale[w]) {
-                *x *= s;
+        fwht_batch_in_place(slab, k);
+        for (j, col) in slab.chunks_exact_mut(n).enumerate() {
+            for (i, x) in col.iter_mut().enumerate() {
+                let w = (i as u64).count_ones() as usize;
+                *x *= self.class_scale[w][j];
             }
         }
-        span_in_place(&mut buf, k, HadamardButterfly);
-        deinterleave(&buf, k, slab);
+        fwht_batch_in_place(slab, k);
     }
 
     /// Arithmetic cost of one batched application (all `k` columns).

@@ -96,6 +96,14 @@ pub enum SolverEvent {
         /// Action label (snake_case, `&'static str`).
         action: &'static str,
     },
+    /// Bytes the solve's reusable workspace allocated after its warm-up
+    /// phase (pool misses only — see `quasispecies::Workspace`). Zero
+    /// means the iteration loop's working set never grew past the warmed
+    /// pool: the hot path ran allocation-free.
+    SolveAllocation {
+        /// Pool-miss bytes allocated after warm-up.
+        bytes: u64,
+    },
 }
 
 impl SolverEvent {
@@ -112,6 +120,7 @@ impl SolverEvent {
             SolverEvent::Retry { .. } => "retry",
             SolverEvent::GuardrailTripped { .. } => "guardrail_tripped",
             SolverEvent::RecoveryAction { .. } => "recovery_action",
+            SolverEvent::SolveAllocation { .. } => "solve_allocation",
         }
     }
 
@@ -182,6 +191,9 @@ impl SolverEvent {
             }
             SolverEvent::RecoveryAction { action } => {
                 let _ = write!(s, ",\"action\":\"{action}\"");
+            }
+            SolverEvent::SolveAllocation { bytes } => {
+                let _ = write!(s, ",\"bytes\":{bytes}");
             }
         }
         s.push('}');
@@ -306,6 +318,21 @@ mod tests {
         assert_eq!(
             e.to_json_line(),
             "{\"event\":\"recovery_action\",\"action\":\"fallback_lanczos\"}"
+        );
+    }
+
+    #[test]
+    fn solve_allocation_event_encodes_bytes() {
+        let e = SolverEvent::SolveAllocation { bytes: 0 };
+        assert_eq!(e.tag(), "solve_allocation");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"solve_allocation\",\"bytes\":0}"
+        );
+        let e = SolverEvent::SolveAllocation { bytes: 4096 };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"solve_allocation\",\"bytes\":4096}"
         );
     }
 

@@ -107,13 +107,16 @@ impl RecordingProbe {
             .sum()
     }
 
-    /// The terminal event ([`SolverEvent::Converged`] or
-    /// [`SolverEvent::Budget`]) if the last recorded event is one.
+    /// The most recent terminal event ([`SolverEvent::Converged`] or
+    /// [`SolverEvent::Budget`]), if any. Post-terminal bookkeeping events
+    /// (e.g. [`SolverEvent::SolveAllocation`]) are skipped over.
     pub fn terminal(&self) -> Option<&SolverEvent> {
-        match self.events.last() {
-            Some(e @ (SolverEvent::Converged { .. } | SolverEvent::Budget { .. })) => Some(e),
-            _ => None,
-        }
+        self.events.iter().rev().find(|e| {
+            matches!(
+                e,
+                SolverEvent::Converged { .. } | SolverEvent::Budget { .. }
+            )
+        })
     }
 
     /// Number of [`SolverEvent::FaultDetected`] events.

@@ -49,6 +49,10 @@ pub struct TraceSummary {
     pub guardrails: u64,
     /// Number of [`SolverEvent::RecoveryAction`] events.
     pub recovery_actions: u64,
+    /// Pool-miss bytes reported by the last
+    /// [`SolverEvent::SolveAllocation`] event, if any. Zero means the
+    /// solve's hot path ran allocation-free after warm-up.
+    pub solve_alloc_bytes: Option<u64>,
 }
 
 impl TraceSummary {
@@ -112,6 +116,7 @@ impl TraceSummary {
                 SolverEvent::Retry { .. } => s.retries += 1,
                 SolverEvent::GuardrailTripped { .. } => s.guardrails += 1,
                 SolverEvent::RecoveryAction { .. } => s.recovery_actions += 1,
+                SolverEvent::SolveAllocation { bytes } => s.solve_alloc_bytes = Some(bytes),
             }
         }
         s.stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
@@ -178,6 +183,9 @@ impl fmt::Display for TraceSummary {
                 self.guardrails, self.recovery_actions
             )?;
         }
+        if let Some(bytes) = self.solve_alloc_bytes {
+            writeln!(f, "  alloc:    {bytes} bytes past warm-up")?;
+        }
         Ok(())
     }
 }
@@ -226,13 +234,14 @@ mod tests {
                 residual: 1e-9,
                 lambda: 4.5,
             },
+            SolverEvent::SolveAllocation { bytes: 0 },
         ]
     }
 
     #[test]
     fn summary_aggregates_stream() {
         let s = TraceSummary::from_events(&sample_stream());
-        assert_eq!(s.events, 10);
+        assert_eq!(s.events, 11);
         assert_eq!(s.iterations, 2);
         assert_eq!(s.residuals, 2);
         assert_eq!(s.first_residual, Some(1e-2));
@@ -249,6 +258,7 @@ mod tests {
         assert_eq!(s.stages[0].total_ns, 220);
         assert_eq!(s.stages[1].stage, "diag");
         assert_eq!(s.stages[1].total_ns, 45);
+        assert_eq!(s.solve_alloc_bytes, Some(0));
     }
 
     #[test]

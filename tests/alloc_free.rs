@@ -1,0 +1,69 @@
+//! Telemetry smoke test for the zero-allocation solve hot path.
+//!
+//! Every `solve_probed` run must end its event stream with a
+//! `SolveAllocation` bookkeeping event; for the Fmmp engine family under
+//! the default power method, the reported pool-miss byte count must be
+//! **zero** — the warmed `Workspace` covers the whole iteration working
+//! set (iterate, image, residual), so a non-zero value means a fresh
+//! allocation crept back onto the per-solve critical path.
+
+use qs_landscape::{Random, SinglePeak};
+use quasispecies::{solve_probed, Engine, RecordingProbe, SolverConfig, SolverEvent};
+
+fn alloc_events(rec: &RecordingProbe) -> Vec<u64> {
+    rec.events()
+        .iter()
+        .filter_map(|e| match e {
+            SolverEvent::SolveAllocation { bytes } => Some(*bytes),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn fmmp_engines_solve_without_allocating_past_warmup() {
+    let landscape = SinglePeak::new(10, 2.0, 1.0);
+    for engine in [
+        Engine::Fmmp,
+        Engine::FmmpFused,
+        Engine::FmmpParallel,
+        Engine::FmmpParallelFused,
+    ] {
+        let cfg = SolverConfig {
+            engine,
+            ..Default::default()
+        };
+        let mut rec = RecordingProbe::new();
+        let qs = solve_probed(0.01, &landscape, &cfg, &mut rec).unwrap();
+        assert!(qs.stats.converged);
+        let allocs = alloc_events(&rec);
+        assert_eq!(
+            allocs.len(),
+            1,
+            "{:?}: expected exactly one solve_allocation event",
+            engine
+        );
+        assert_eq!(
+            allocs[0], 0,
+            "{:?}: solve allocated {} bytes past warm-up",
+            engine, allocs[0]
+        );
+    }
+}
+
+#[test]
+fn allocation_event_rides_after_the_terminal_event() {
+    let landscape = Random::new(8, 5.0, 1.0, 11);
+    let mut rec = RecordingProbe::new();
+    let qs = solve_probed(0.02, &landscape, &SolverConfig::default(), &mut rec).unwrap();
+    assert!(qs.stats.converged);
+    // The terminal marker is still discoverable behind the bookkeeping.
+    assert!(matches!(
+        rec.terminal(),
+        Some(SolverEvent::Converged { .. })
+    ));
+    assert!(matches!(
+        rec.events().last(),
+        Some(SolverEvent::SolveAllocation { .. })
+    ));
+}

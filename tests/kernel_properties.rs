@@ -1,0 +1,131 @@
+//! Exact-equality pins for every kernel path over the full ν range.
+//!
+//! The fused, parallel and batched kernels regroup the staged butterfly
+//! schedule but never change any per-element expression or evaluation
+//! order, so their results must match the staged reference **bit for
+//! bit** — not merely to tolerance. These tests pin that contract for
+//! ν = 1..=20 across:
+//!
+//! * serial fused (`fmmp_in_place_fused` / `fwht_in_place_fused`),
+//! * span-parallel fused (`par_fmmp_in_place_fused` /
+//!   `par_fwht_in_place_fused`) and the per-stage parallel path,
+//! * the column-blocked batched apply (`fmmp_batch_in_place` /
+//!   `fwht_batch_in_place`) at several column counts.
+
+use qs_matvec::fmmp::fmmp_in_place;
+use qs_matvec::fwht::fwht_in_place;
+use qs_matvec::parallel::{
+    par_fmmp_in_place, par_fmmp_in_place_fused, par_fwht_in_place, par_fwht_in_place_fused,
+};
+use qs_matvec::{fmmp_batch_in_place, fwht_batch_in_place};
+
+const P: f64 = 0.013;
+
+/// Deterministic, sign-mixed, non-uniform probe vector: exercises
+/// cancellation paths a positive vector would miss.
+fn probe_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    (0..n)
+        .map(|_| {
+            // SplitMix64 step; map to (-2, 2) with full mantissa variety.
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+fn assert_bits_equal(a: &[f64], b: &[f64], what: &str) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x:e} vs {y:e})"
+        );
+    }
+}
+
+#[test]
+fn fmmp_serial_and_parallel_paths_are_bit_identical_for_nu_1_to_20() {
+    for nu in 1..=20u32 {
+        let n = 1usize << nu;
+        let v = probe_vector(n, u64::from(nu));
+
+        let mut reference = v.clone();
+        fmmp_in_place(&mut reference, P);
+
+        let mut fused = v.clone();
+        qs_matvec::fmmp_in_place_fused(&mut fused, P);
+        assert_bits_equal(&reference, &fused, &format!("fmmp fused ν={nu}"));
+
+        let mut par = v.clone();
+        par_fmmp_in_place(&mut par, P);
+        assert_bits_equal(&reference, &par, &format!("fmmp par-staged ν={nu}"));
+
+        let mut par_fused = v.clone();
+        par_fmmp_in_place_fused(&mut par_fused, P);
+        assert_bits_equal(&reference, &par_fused, &format!("fmmp par-fused ν={nu}"));
+    }
+}
+
+#[test]
+fn fwht_serial_and_parallel_paths_are_bit_identical_for_nu_1_to_20() {
+    for nu in 1..=20u32 {
+        let n = 1usize << nu;
+        let v = probe_vector(n, 1000 + u64::from(nu));
+
+        let mut reference = v.clone();
+        fwht_in_place(&mut reference);
+
+        let mut fused = v.clone();
+        qs_matvec::fwht_in_place_fused(&mut fused);
+        assert_bits_equal(&reference, &fused, &format!("fwht fused ν={nu}"));
+
+        let mut par = v.clone();
+        par_fwht_in_place(&mut par);
+        assert_bits_equal(&reference, &par, &format!("fwht par-staged ν={nu}"));
+
+        let mut par_fused = v.clone();
+        par_fwht_in_place_fused(&mut par_fused);
+        assert_bits_equal(&reference, &par_fused, &format!("fwht par-fused ν={nu}"));
+    }
+}
+
+#[test]
+fn batched_apply_is_bit_identical_to_column_by_column_for_nu_1_to_20() {
+    // Full ν sweep at a small column count, plus wider slabs at moderate ν
+    // (keeps the test under control: ν=20 × 8 columns is a 64 MiB slab).
+    for nu in 1..=20u32 {
+        let k = if nu <= 14 { 3 } else { 2 };
+        check_batch(nu, k);
+    }
+    for k in [1usize, 2, 3, 8] {
+        check_batch(12, k);
+    }
+}
+
+fn check_batch(nu: u32, k: usize) {
+    let n = 1usize << nu;
+    let mut slab = Vec::with_capacity(n * k);
+    for j in 0..k {
+        slab.extend_from_slice(&probe_vector(n, 7_000 + u64::from(nu) * 16 + j as u64));
+    }
+
+    let mut expected = slab.clone();
+    for col in expected.chunks_exact_mut(n) {
+        fmmp_in_place(col, P);
+    }
+    let mut batched = slab.clone();
+    fmmp_batch_in_place(&mut batched, k, P);
+    assert_bits_equal(&expected, &batched, &format!("fmmp batch ν={nu} k={k}"));
+
+    let mut expected = slab.clone();
+    for col in expected.chunks_exact_mut(n) {
+        fwht_in_place(col);
+    }
+    fwht_batch_in_place(&mut slab, k);
+    assert_bits_equal(&expected, &slab, &format!("fwht batch ν={nu} k={k}"));
+}
