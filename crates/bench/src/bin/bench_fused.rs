@@ -12,15 +12,25 @@
 //! and CI's `perf-smoke` job can diff them as artifacts.
 //!
 //! ```text
-//! bench_fused [--max-nu N] [--quick] [--guard R] [--guard-batch R]
+//! bench_fused [--max-nu N] [--quick] [--threads 1,2,4] [--isas auto,scalar]
+//!             [--guard R] [--guard-batch R] [--guard-parallel R]
 //! ```
+//!
+//! `--threads` selects the pool sizes to measure (default: `1` plus the
+//! machine's available parallelism). `--isas` selects the SIMD dispatch
+//! paths (`auto`, `scalar`, `avx2`, `avx512`); ISAs the host CPU lacks
+//! are skipped with a note so one command line works everywhere.
 //!
 //! `--guard R` turns the run into a regression gate: exit nonzero if any
 //! fused kernel is more than `R`× slower than its staged reference at any
 //! measured ν. `--guard-batch R` gates the column-blocked batched apply:
 //! exit nonzero if its per-column cost exceeds `R`× the single-vector
-//! fused cost at any measured ν on the 1-thread pool (CI uses
-//! `--guard 2.0 --guard-batch 1.5`).
+//! fused cost at any measured ν on the 1-thread pool. `--guard-parallel R`
+//! gates span-schedule scaling: on every multi-thread run, the parallel
+//! fused kernel must stay within `R`× of the same run's serial fused
+//! kernel once ν ≥ 18 (where parallelism must pay for itself), and within
+//! a hard 1.5× at *every* measured ν (no size may fall off a scaling
+//! cliff). CI uses `--guard 2.0 --guard-batch 1.5 --guard-parallel 1.05`.
 
 use qs_bench::time_median;
 use qs_landscape::SinglePeak;
@@ -30,11 +40,36 @@ use quasispecies::{solve, Engine, SolverConfig};
 /// Columns in the batched-apply measurement.
 const BATCH: usize = 8;
 
+/// First ν at which `--guard-parallel` applies its tight ratio: below
+/// this the span schedule is expected to bail to serial, above it the
+/// parallel path must at least match serial throughput.
+const GUARD_PARALLEL_MIN_NU: u32 = 18;
+
+/// Absolute scaling-cliff cap enforced by `--guard-parallel` at every ν.
+const PARALLEL_BLOWUP_CAP: f64 = 1.5;
+
 struct Args {
     max_nu: u32,
     quick: bool,
+    threads: Option<Vec<usize>>,
+    isas: Vec<String>,
     guard: Option<f64>,
     guard_batch: Option<f64>,
+    guard_parallel: Option<f64>,
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
+    let items: Vec<T> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    if items.is_empty() {
+        None
+    } else {
+        Some(items)
+    }
 }
 
 fn parse_args() -> Args {
@@ -42,8 +77,11 @@ fn parse_args() -> Args {
     let mut out = Args {
         max_nu: 22,
         quick: false,
+        threads: None,
+        isas: vec!["auto".into(), "scalar".into()],
         guard: None,
         guard_batch: None,
+        guard_parallel: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -51,6 +89,18 @@ fn parse_args() -> Args {
             "--max-nu" => {
                 if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
                     out.max_nu = v;
+                }
+                i += 2;
+            }
+            "--threads" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| parse_list(s)) {
+                    out.threads = Some(v);
+                }
+                i += 2;
+            }
+            "--isas" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| parse_list(s)) {
+                    out.isas = v;
                 }
                 i += 2;
             }
@@ -63,6 +113,12 @@ fn parse_args() -> Args {
             "--guard-batch" => {
                 if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
                     out.guard_batch = Some(v);
+                }
+                i += 2;
+            }
+            "--guard-parallel" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.guard_parallel = Some(v);
                 }
                 i += 2;
             }
@@ -106,48 +162,67 @@ fn json_u32s(xs: &[u32]) -> String {
 }
 
 /// One matvec measurement matrix (all five series over `nus`), taken on
-/// whatever thread pool is installed when this runs.
+/// whatever thread pool and SIMD dispatch are installed when this runs.
 struct MatvecRun {
     threads: usize,
+    /// The dispatch the kernels actually ran with (`auto` resolves to a
+    /// concrete name before measuring).
+    isa: String,
+    /// The dispatch as requested on the command line (`auto`, `scalar`,
+    /// ...). Trend comparisons match on this so that a record measured on
+    /// an AVX-512 box still lines up with an `auto` run on an AVX2 runner.
+    isa_requested: String,
     serial_ref: Vec<f64>,
     serial_fused: Vec<f64>,
     par_ref: Vec<f64>,
     par_fused: Vec<f64>,
     batch_fused: Vec<f64>,
+    /// Workers the span schedule engaged at each ν on this pool/machine
+    /// (≤ 1 means the parallel entry points fell back to serial code).
+    workers: Vec<usize>,
 }
 
 impl MatvecRun {
     fn json_entry(&self, nus: &[u32]) -> String {
         format!(
-            "    {{\n      \"threads\": {},\n      \"nus\": {},\n      \"series\": {{\n        \
+            "    {{\n      \"threads\": {},\n      \"isa\": \"{}\",\n      \"isa_requested\": \"{}\",\n      \"nus\": {},\n      \
+             \"series\": {{\n        \
              \"fmmp_serial_ref\": {},\n        \"fmmp_serial_fused\": {},\n        \
              \"fmmp_parallel_ref\": {},\n        \"fmmp_parallel_fused\": {},\n        \
-             \"fmmp_batch_fused\": {}\n      }}\n    }}",
+             \"fmmp_batch_fused\": {}\n      }},\n      \"span_workers\": {}\n    }}",
             self.threads,
+            self.isa,
+            self.isa_requested,
             json_u32s(nus),
             json_f64s(&self.serial_ref),
             json_f64s(&self.serial_fused),
             json_f64s(&self.par_ref),
             json_f64s(&self.par_fused),
             json_f64s(&self.batch_fused),
+            json_u32s(&self.workers.iter().map(|&w| w as u32).collect::<Vec<_>>()),
         )
     }
 }
 
-/// Measure all five series at every ν on the current pool.
-fn run_matvec_series(nus: &[u32], p: f64, quick: bool) -> MatvecRun {
+/// Measure all five series at every ν on the current pool and dispatch.
+fn run_matvec_series(nus: &[u32], p: f64, quick: bool, isa_requested: &str) -> MatvecRun {
     let mut run = MatvecRun {
         threads: rayon::current_num_threads(),
+        isa: qs_matvec::simd::active().name().to_string(),
+        isa_requested: isa_requested.to_string(),
         serial_ref: Vec::new(),
         serial_fused: Vec::new(),
         par_ref: Vec::new(),
         par_fused: Vec::new(),
         batch_fused: Vec::new(),
+        workers: Vec::new(),
     };
     println!(
-        "== fused-kernel matvec bench (ns/element, median; batch = {BATCH} columns; {} thread{}) ==",
+        "== fused-kernel matvec bench (ns/element, median; batch = {BATCH} columns; \
+         {} thread{}; {} kernels) ==",
         run.threads,
-        if run.threads == 1 { "" } else { "s" }
+        if run.threads == 1 { "" } else { "s" },
+        run.isa
     );
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -182,6 +257,7 @@ fn run_matvec_series(nus: &[u32], p: f64, quick: bool) -> MatvecRun {
         run.par_ref.push(pr);
         run.par_fused.push(pf);
         run.batch_fused.push(bf);
+        run.workers.push(qs_matvec::schedule::span_workers(n));
     }
     run
 }
@@ -192,21 +268,44 @@ fn main() {
     let min_nu = 8u32.min(args.max_nu);
     let nus: Vec<u32> = (min_nu..=args.max_nu).step_by(2).collect();
 
-    // One single-thread run isolates kernel quality; one multi-thread run
-    // exposes span-parallel scaling. Both go into the committed record.
-    let threads_multi = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .max(2);
+    // One single-thread run isolates kernel quality; the multi-thread runs
+    // expose span-parallel scaling; per-ISA reruns separate SIMD gains from
+    // schedule gains. All go into the committed record.
+    let threads_list = args.threads.clone().unwrap_or_else(|| {
+        let multi = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(2);
+        vec![1, multi]
+    });
     let mut runs = Vec::new();
-    for threads in [1, threads_multi] {
+    for &threads in &threads_list {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("thread pool");
-        runs.push(pool.install(|| run_matvec_series(&nus, p, args.quick)));
-        println!();
+        for isa_name in &args.isas {
+            match isa_name.as_str() {
+                "auto" => qs_matvec::simd::reset_auto(),
+                other => match qs_matvec::Isa::from_name(other) {
+                    Some(isa) => {
+                        if qs_matvec::simd::force(isa).is_err() {
+                            println!("   (skipping {other}: not available on this CPU)\n");
+                            continue;
+                        }
+                    }
+                    None => {
+                        println!("   (skipping unknown ISA '{other}')\n");
+                        continue;
+                    }
+                },
+            }
+            runs.push(pool.install(|| run_matvec_series(&nus, p, args.quick, isa_name)));
+            println!();
+        }
     }
+    // Leave runtime detection in charge for the solver bench below.
+    qs_matvec::simd::reset_auto();
 
     let run_entries: Vec<String> = runs.iter().map(|r| r.json_entry(&nus)).collect();
     let matvec_json = format!(
@@ -301,25 +400,82 @@ fn main() {
     }
     if let Some(ratio) = args.guard_batch {
         // Batch quality is a single-core kernel property; gate it on the
-        // 1-thread run so pool scheduling noise cannot mask a layout
+        // first 1-thread run so pool scheduling noise cannot mask a layout
         // regression.
-        let single = &runs[0];
-        for (i, &nu) in nus.iter().enumerate() {
-            let (batch, fused) = (single.batch_fused[i], single.serial_fused[i]);
-            if batch > ratio * fused {
-                eprintln!(
-                    "guard-batch FAILED at ν={nu}: batched apply {batch:.3} ns/el per column > \
-                     {ratio}× single-vector fused {fused:.3} ns/el"
-                );
-                failed = true;
+        match runs.iter().find(|r| r.threads == 1) {
+            None => println!("guard-batch skipped: no 1-thread run in --threads list"),
+            Some(single) => {
+                for (i, &nu) in nus.iter().enumerate() {
+                    let (batch, fused) = (single.batch_fused[i], single.serial_fused[i]);
+                    if batch > ratio * fused {
+                        eprintln!(
+                            "guard-batch FAILED at ν={nu}: batched apply {batch:.3} ns/el per \
+                             column > {ratio}× single-vector fused {fused:.3} ns/el"
+                        );
+                        failed = true;
+                    }
+                }
+                if !failed {
+                    println!(
+                        "guard-batch OK: batched apply within {ratio}× of single-vector fused \
+                         at every measured ν"
+                    );
+                }
             }
         }
-        if !failed {
+    }
+    if let Some(ratio) = args.guard_parallel {
+        // Span-schedule scaling gate: on every multi-thread run the
+        // parallel fused path must not lose to the serial fused path where
+        // parallelism is supposed to pay (ν ≥ GUARD_PARALLEL_MIN_NU), and
+        // must never fall off a cliff at any ν. Serial and parallel come
+        // from the same run, so machine speed and ISA cancel out.
+        let mut checked = false;
+        let mut parallel_failed = false;
+        for run in runs.iter().filter(|r| r.threads > 1) {
+            for (i, &nu) in nus.iter().enumerate() {
+                let (par, serial) = (run.par_fused[i], run.serial_fused[i]);
+                // The tight ratio only makes sense where the span schedule
+                // actually engaged extra workers; when it (correctly) fell
+                // back to serial — pool wider than the hardware, or span
+                // below threshold — both series run identical code and any
+                // delta is measurement noise. The blowup cap below still
+                // applies everywhere.
+                let engaged = run.workers.get(i).copied().unwrap_or(0) > 1;
+                if engaged {
+                    checked = true;
+                }
+                if engaged && nu >= GUARD_PARALLEL_MIN_NU && par > ratio * serial {
+                    eprintln!(
+                        "guard-parallel FAILED at ν={nu} ({} threads, {} kernels): parallel \
+                         fused {par:.3} ns/el > {ratio}× serial fused {serial:.3} ns/el",
+                        run.threads, run.isa
+                    );
+                    parallel_failed = true;
+                }
+                if par > PARALLEL_BLOWUP_CAP * serial {
+                    eprintln!(
+                        "guard-parallel FAILED at ν={nu} ({} threads, {} kernels): parallel \
+                         fused {par:.3} ns/el blows past the {PARALLEL_BLOWUP_CAP}× scaling \
+                         cliff cap vs serial fused {serial:.3} ns/el",
+                        run.threads, run.isa
+                    );
+                    parallel_failed = true;
+                }
+            }
+        }
+        if !checked && !parallel_failed {
             println!(
-                "guard-batch OK: batched apply within {ratio}× of single-vector fused \
-                 at every measured ν"
+                "guard-parallel skipped: the span schedule never engaged >1 worker \
+                 (single-thread --threads list, or hardware parallelism of 1)"
+            );
+        } else if !parallel_failed {
+            println!(
+                "guard-parallel OK: multi-thread fused within {ratio}× of serial at \
+                 ν≥{GUARD_PARALLEL_MIN_NU} and under the {PARALLEL_BLOWUP_CAP}× cap everywhere"
             );
         }
+        failed = failed || parallel_failed;
     }
     if failed {
         std::process::exit(1);

@@ -1,0 +1,422 @@
+//! Bench-trend gate: diff a freshly measured `BENCH_matvec.json` against
+//! the committed baseline and fail on per-kernel regressions.
+//!
+//! ```text
+//! bench_trend [--baseline PATH] [--current PATH] [--tolerance 0.20]
+//! ```
+//!
+//! Raw ns/element is machine-dependent, so comparing absolute numbers
+//! across a CI runner and the box that produced the committed record
+//! would gate on hardware, not code. Instead every series is normalised
+//! by the **same run's** `fmmp_serial_ref` series — the staged scalar
+//! reference that every optimised kernel is measured against — and the
+//! gate compares those ratios: a kernel regressed if it got slower
+//! *relative to the reference kernel on the same machine, pool and ISA*.
+//! Runs are matched by `(threads, isa_requested)` — the dispatch as asked
+//! for on the bench command line, not what `auto` resolved to — so a
+//! baseline recorded on an AVX-512 box still lines up with an `auto` run
+//! on an AVX2-only runner. Records that predate `isa_requested` fall back
+//! to their `isa` field, and ones that predate both match as `"auto"`. Sizes present in only one file are ignored,
+//! so widening or narrowing the measured ν range never trips the gate.
+//!
+//! The parser below is deliberately dependency-free: the BENCH files are
+//! hand-rolled JSON written by `bench_fused`, and this gate must stay
+//! runnable in minimal environments (and in the offline test harness)
+//! where serde may be stubbed.
+
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The BENCH writers never emit escapes beyond these.
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    out.push(match esc {
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        _ => return Err(self.error("unsupported escape")),
+                    });
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// BENCH_matvec.json model.
+
+/// The series normalised against; never gated itself.
+const REF_SERIES: &str = "fmmp_serial_ref";
+
+struct Run {
+    threads: usize,
+    isa: String,
+    nus: Vec<u32>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+fn load_runs(path: &str) -> Result<Vec<Run>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let runs = root
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no \"runs\" array"))?;
+    let mut out = Vec::new();
+    for run in runs {
+        let threads =
+            run.get("threads")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: run without \"threads\""))? as usize;
+        let isa = run
+            .get("isa_requested")
+            .or_else(|| run.get("isa"))
+            .and_then(Json::as_str)
+            .unwrap_or("auto")
+            .to_string();
+        let nus = run
+            .get("nus")
+            .or_else(|| root.get("nus"))
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: run without \"nus\""))?
+            .iter()
+            .filter_map(|x| x.as_f64().map(|v| v as u32))
+            .collect();
+        let series = match run.get("series") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .filter_map(|(name, arr)| {
+                    let xs: Vec<f64> = arr.as_arr()?.iter().filter_map(Json::as_f64).collect();
+                    Some((name.clone(), xs))
+                })
+                .collect(),
+            _ => return Err(format!("{path}: run without \"series\" object")),
+        };
+        out.push(Run {
+            threads,
+            isa,
+            nus,
+            series,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+
+struct Args {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut out = Args {
+        baseline: "BENCH_matvec.baseline.json".into(),
+        current: "BENCH_matvec.json".into(),
+        tolerance: 0.20,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => {
+                if let Some(v) = argv.get(i + 1) {
+                    out.baseline = v.clone();
+                }
+                i += 2;
+            }
+            "--current" => {
+                if let Some(v) = argv.get(i + 1) {
+                    out.current = v.clone();
+                }
+                i += 2;
+            }
+            "--tolerance" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.tolerance = v;
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (baseline, current) = match (load_runs(&args.baseline), load_runs(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_trend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "== bench trend: {} vs baseline {} (tolerance {:.0}% on reference-normalised ratios) ==",
+        args.current,
+        args.baseline,
+        args.tolerance * 100.0
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for cur in &current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.threads == cur.threads && b.isa == cur.isa)
+        else {
+            println!(
+                "  ({} threads, {}): no matching baseline run, skipped",
+                cur.threads, cur.isa
+            );
+            continue;
+        };
+        let (Some(cur_ref), Some(base_ref)) = (
+            cur.series.iter().find(|(n, _)| n == REF_SERIES),
+            base.series.iter().find(|(n, _)| n == REF_SERIES),
+        ) else {
+            println!(
+                "  ({} threads, {}): missing {REF_SERIES}, skipped",
+                cur.threads, cur.isa
+            );
+            continue;
+        };
+        for (name, cur_xs) in &cur.series {
+            if name == REF_SERIES {
+                continue;
+            }
+            let Some((_, base_xs)) = base.series.iter().find(|(n, _)| n == name) else {
+                continue;
+            };
+            for (i, &nu) in cur.nus.iter().enumerate() {
+                let Some(j) = base.nus.iter().position(|&b| b == nu) else {
+                    continue;
+                };
+                let (Some(&cx), Some(&cr)) = (cur_xs.get(i), cur_ref.1.get(i)) else {
+                    continue;
+                };
+                let (Some(&bx), Some(&br)) = (base_xs.get(j), base_ref.1.get(j)) else {
+                    continue;
+                };
+                if !(cr > 0.0 && br > 0.0 && cx > 0.0 && bx > 0.0) {
+                    continue;
+                }
+                compared += 1;
+                let (cur_ratio, base_ratio) = (cx / cr, bx / br);
+                if cur_ratio > (1.0 + args.tolerance) * base_ratio {
+                    eprintln!(
+                        "  REGRESSION {name} at ν={nu} ({} threads, {}): {:.3}× reference \
+                         vs baseline {:.3}× (+{:.0}%)",
+                        cur.threads,
+                        cur.isa,
+                        cur_ratio,
+                        base_ratio,
+                        (cur_ratio / base_ratio - 1.0) * 100.0
+                    );
+                    regressions += 1;
+                }
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench_trend: no comparable (threads, isa, ν) points found");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!("bench_trend: {regressions} regression(s) across {compared} compared points");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_trend OK: {compared} points within tolerance");
+    ExitCode::SUCCESS
+}

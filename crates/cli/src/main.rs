@@ -33,6 +33,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Err(e) = apply_isa_override(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let result = match args.command.as_str() {
         "solve" => cmd_solve(&args),
         "scan" => cmd_scan(&args),
@@ -82,6 +86,10 @@ SOLVE OPTIONS:
                                      -fused engines run the cache-blocked
                                      multi-stage butterfly kernels)
   --parallel                         shorthand for --engine fmmp-par
+  --isa scalar|avx2|avx512|auto      pin the butterfly kernels' SIMD path
+                                     for reproducible runs (default auto:
+                                     QS_ISA env, then CPU detection);
+                                     accepted by every subcommand
   --method power|lanczos|rqi         (lanczos takes --subspace, default 60)
   --tol 1e-13   --max-iter 200000    --top 8 (sequences shown)
   --json                             machine-readable output
@@ -157,6 +165,28 @@ fn class_profile(args: &Args, nu: u32) -> Result<Vec<f64>, CliError> {
             "landscape '{other}' is not an error-class kind (scan/threshold need one)"
         ))),
     }
+}
+
+/// Apply `--isa scalar|avx2|avx512|auto` before any kernel runs: pins the
+/// runtime SIMD dispatch of the butterfly fibre kernels for reproducible
+/// benchmarking and the per-ISA CI matrix. `auto` drops any pin and
+/// re-resolves from the `QS_ISA` environment variable, then CPUID.
+fn apply_isa_override(args: &Args) -> Result<(), CliError> {
+    let Some(name) = args.get("isa") else {
+        return Ok(());
+    };
+    match name {
+        "auto" => qs_matvec::simd::reset_auto(),
+        other => {
+            let isa = qs_matvec::Isa::from_name(other).ok_or_else(|| {
+                CliError::Bad(format!(
+                    "unknown ISA '{other}' (expected scalar|avx2|avx512|auto)"
+                ))
+            })?;
+            qs_matvec::simd::force(isa).map_err(|e| CliError::Bad(e.to_string()))?;
+        }
+    }
+    Ok(())
 }
 
 fn build_config(args: &Args, nu: u32) -> Result<SolverConfig, CliError> {

@@ -79,7 +79,7 @@ pub use solver::{
     solve_with_q_operator_probed, Engine, Method, ShiftStrategy, SolveError, SolverConfig,
 };
 pub use threshold::{detect_pmax, scan_error_classes, scan_full, scan_full_sweep, ThresholdScan};
-pub use workspace::Workspace;
+pub use workspace::{AlignedVec, Workspace, LANE_ALIGN};
 
 // Re-export the pieces user code needs to assemble custom problems.
 pub use qs_matvec::Formulation;

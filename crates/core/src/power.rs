@@ -155,8 +155,12 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
         "power_iteration: zero start vector"
     );
 
-    let mut y = ws.take(n);
-    let mut r = ws.take(n);
+    // The image and residual live entirely inside the loop, so they can use
+    // the 64-byte-aligned pool window: every span the matvec schedule hands
+    // to the SIMD fibre kernels then starts on a cache-line boundary. The
+    // iterate `x` escapes in the outcome and stays a plain `Vec`.
+    let mut y = ws.take_aligned(n);
+    let mut r = ws.take_aligned(n);
     let mu = opts.shift;
     let mut lambda_shifted = 0.0;
     let mut residual = f64::INFINITY;
@@ -229,13 +233,13 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
             break;
         }
         let inv = 1.0 / ny;
-        for (xi, &yi) in x.iter_mut().zip(&y) {
+        for (xi, &yi) in x.iter_mut().zip(y.iter()) {
             *xi = yi * inv;
         }
     }
 
-    ws.put(y);
-    ws.put(r);
+    ws.put_aligned(y);
+    ws.put_aligned(r);
     orient_positive(&mut x);
     if converged {
         probe.record(&SolverEvent::Converged {

@@ -14,6 +14,104 @@
 //! misses. A solve that warms the pool first and then reports zero
 //! [`Workspace::bytes_since_mark`] provably never grew its working set.
 
+/// Cache-line alignment (in bytes) targeted by [`AlignedVec`]: one 64-byte
+/// line holds a full AVX-512 lane (8 × `f64`), so an aligned span never
+/// splits a SIMD load across lines.
+pub const LANE_ALIGN: usize = 64;
+
+/// Extra `f64` slots an [`AlignedVec`] over-allocates so an aligned window
+/// of the requested length always fits (`LANE_ALIGN / 8 - 1`).
+const ALIGN_PAD: usize = LANE_ALIGN / core::mem::size_of::<f64>() - 1;
+
+/// An owned `f64` buffer whose data window is 64-byte aligned, built from
+/// safe Rust only: the backing `Vec` over-allocates by [`ALIGN_PAD`] slots
+/// and the window starts at `align_offset(LANE_ALIGN)`. The SIMD fibre
+/// kernels in `qs-matvec` tolerate unaligned spans (they use unaligned
+/// loads), but an aligned base keeps every span of a power-of-two schedule
+/// on cache-line boundaries, which is what the wide paths are tuned for.
+///
+/// Dereferences to `[f64]`; recycle it through
+/// [`Workspace::put_aligned`] and take it back via
+/// [`Workspace::take_aligned`].
+#[derive(Debug, Clone)]
+pub struct AlignedVec {
+    buf: Vec<f64>,
+    offset: usize,
+    len: usize,
+}
+
+impl AlignedVec {
+    /// A zeroed aligned buffer of length `n`.
+    pub fn new(n: usize) -> Self {
+        Self::from_vec(Vec::with_capacity(n + ALIGN_PAD), n)
+    }
+
+    /// Re-window `buf` (cleared and zero-filled) into an aligned buffer of
+    /// length `n`, reusing its allocation when the capacity suffices.
+    fn from_vec(mut buf: Vec<f64>, n: usize) -> Self {
+        buf.clear();
+        buf.resize(n + ALIGN_PAD, 0.0);
+        // `align_offset` counts in elements; for 8-byte elements against a
+        // 64-byte target it is always in `0..=ALIGN_PAD` (the `MAX`
+        // escape hatch cannot trigger for power-of-two sizes, but degrade
+        // to an unaligned window rather than panic if it ever did).
+        let offset = buf.as_ptr().align_offset(LANE_ALIGN);
+        let offset = if offset > ALIGN_PAD { 0 } else { offset };
+        AlignedVec {
+            buf,
+            offset,
+            len: n,
+        }
+    }
+
+    /// Length of the aligned window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the window's base pointer really is 64-byte aligned (always
+    /// true in practice; see [`AlignedVec::from_vec`]).
+    pub fn is_lane_aligned(&self) -> bool {
+        self.as_slice().as_ptr() as usize % LANE_ALIGN == 0
+    }
+
+    /// The aligned window.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
+
+    /// The aligned window, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.buf[self.offset..self.offset + self.len]
+    }
+
+    /// Give up alignment and recover the backing `Vec` (window contents
+    /// first, padding truncated away — the data may shift to index 0).
+    pub fn into_vec(mut self) -> Vec<f64> {
+        self.buf.copy_within(self.offset..self.offset + self.len, 0);
+        self.buf.truncate(self.len);
+        self.buf
+    }
+}
+
+impl core::ops::Deref for AlignedVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl core::ops::DerefMut for AlignedVec {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
 /// A pool of reusable `f64` buffers with pool-miss byte accounting.
 ///
 /// Buffers move out via [`Workspace::take`] / [`Workspace::take_copy`] and
@@ -65,12 +163,34 @@ impl Workspace {
     }
 
     /// Pre-allocate `count` buffers of length `n` so subsequent
-    /// [`Workspace::take`] calls of that size hit the pool.
+    /// [`Workspace::take`] **and** [`Workspace::take_aligned`] calls of
+    /// that size hit the pool (warmed buffers carry the alignment padding,
+    /// which plain takes simply leave unused).
     pub fn warm(&mut self, n: usize, count: usize) {
-        let held: Vec<_> = (0..count).map(|_| self.take(n)).collect();
+        let held: Vec<_> = (0..count).map(|_| self.take_aligned(n)).collect();
         for b in held {
-            self.put(b);
+            self.put_aligned(b);
         }
+    }
+
+    /// A zeroed [`AlignedVec`] of length `n`: pooled if any parked buffer
+    /// can hold the padded window, freshly allocated (and counted as
+    /// `8 × (n + pad)` miss bytes) otherwise.
+    pub fn take_aligned(&mut self, n: usize) -> AlignedVec {
+        let padded = n + ALIGN_PAD;
+        match self.pool.iter().position(|b| b.capacity() >= padded) {
+            Some(i) => AlignedVec::from_vec(self.pool.swap_remove(i), n),
+            None => {
+                self.bytes_allocated += 8 * padded as u64;
+                AlignedVec::new(n)
+            }
+        }
+    }
+
+    /// Park an aligned buffer's backing allocation for reuse (by either
+    /// [`Workspace::take`] or [`Workspace::take_aligned`]).
+    pub fn put_aligned(&mut self, buf: AlignedVec) {
+        self.put(buf.buf);
     }
 
     /// Total bytes ever allocated through pool misses.
@@ -120,6 +240,35 @@ mod tests {
         let c = ws.take(4);
         assert_eq!(c.len(), 4);
         assert_eq!(ws.bytes_allocated(), 64);
+    }
+
+    #[test]
+    fn aligned_take_is_lane_aligned_zeroed_and_reusable() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_aligned(100);
+        assert_eq!(a.len(), 100);
+        assert!(a.is_lane_aligned());
+        assert!(a.iter().all(|&x| x == 0.0));
+        let miss = ws.bytes_allocated();
+        assert_eq!(miss, 8 * (100 + 7) as u64);
+        a.as_mut_slice().fill(2.5);
+        ws.put_aligned(a);
+        // Reuse hits the pool and re-zeroes, even for plain takes.
+        let b = ws.take_aligned(64);
+        assert!(b.is_lane_aligned());
+        assert!(b.iter().all(|&x| x == 0.0));
+        assert_eq!(ws.bytes_allocated(), miss, "pool hit must not allocate");
+        ws.put_aligned(b);
+        let c = ws.take(100);
+        assert_eq!(ws.bytes_allocated(), miss);
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn aligned_into_vec_keeps_window_contents() {
+        let mut a = AlignedVec::new(5);
+        a.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.into_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Gate the AVX-512 kernel paths on toolchain support.
+//!
+//! The `_mm512_*` double-precision intrinsics are stable only since Rust
+//! 1.89, while the workspace MSRV is older (see the root `Cargo.toml`).
+//! Emitting a custom `qs_avx512` cfg — only when the compiler is new
+//! enough *and* the target is x86-64 — lets the SIMD layer offer the
+//! 8-wide path opportunistically without raising the MSRV: on older
+//! toolchains the AVX-512 code simply does not exist and runtime dispatch
+//! tops out at AVX2.
+
+use std::process::Command;
+
+fn rustc_minor() -> Option<u32> {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let out = Command::new(rustc).arg("--version").output().ok()?;
+    let text = String::from_utf8(out.stdout).ok()?;
+    // "rustc 1.95.0 (…)" — take the middle component of the version.
+    let version = text.split_whitespace().nth(1)?;
+    let mut parts = version.split('.');
+    let major: u32 = parts.next()?.parse().ok()?;
+    let minor: u32 = parts.next()?.parse().ok()?;
+    if major == 1 {
+        Some(minor)
+    } else {
+        // A hypothetical 2.x compiler is newer than every 1.x.
+        Some(u32::MAX)
+    }
+}
+
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(qs_avx512)");
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    if arch == "x86_64" && rustc_minor().is_some_and(|m| m >= 89) {
+        println!("cargo:rustc-cfg=qs_avx512");
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -308,6 +308,11 @@ impl LinearOperator for Fmmp {
             return self.apply_in_place(v);
         }
         assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
+        probe.record(&qs_telemetry::SolverEvent::KernelDispatch {
+            isa: crate::simd::active().name(),
+            threads: 1,
+            spans: 1,
+        });
         match self.variant {
             FmmpVariant::Iterative => {
                 let n = v.len();

@@ -37,10 +37,14 @@
 //!
 //! All inner butterflies are **register-blocked**: the fibre loops walk
 //! `chunks_exact` lanes of fixed width (8 for radix-2, 4 for radix-4/8),
-//! which LLVM fully unrolls and autovectorizes without any `unsafe`. The
-//! lane grouping never changes the per-element expressions or their
-//! evaluation order, so bit-identity with the staged reference holds
-//! throughout.
+//! which LLVM fully unrolls and autovectorizes without any `unsafe`.
+//! Butterflies that expose their 2×2 coefficient matrix via
+//! [`Butterfly::coeffs`] additionally dispatch to the explicit SIMD fibre
+//! kernels in [`crate::simd`] (AVX2/AVX-512, resolved once at runtime);
+//! the scalar `chunks_exact` path remains the portable fallback and the
+//! reference. Neither the lane grouping nor the SIMD kernels change the
+//! per-element expressions or their evaluation order, so bit-identity
+//! with the staged reference holds throughout.
 
 use crate::{time_stage, Probe};
 
@@ -54,6 +58,17 @@ pub const FUSED_TILE: usize = 1 << 13;
 pub trait Butterfly: Copy + Send + Sync {
     /// Apply the butterfly to one pair.
     fn bf(self, a: f64, b: f64) -> (f64, f64);
+
+    /// The butterfly as a 2×2 coefficient matrix `[c₀₀, c₀₁, c₁₀, c₁₁]`
+    /// such that `bf(a, b)` equals **bit for bit** the expression pair
+    /// `(c₀₀·a + c₀₁·b, c₁₀·a + c₁₁·b)` — separate multiplies and adds in
+    /// that order, no FMA. Butterflies that return `Some` opt in to the
+    /// runtime-dispatched SIMD fibre kernels in [`crate::simd`]; the
+    /// default `None` keeps the portable register-blocked scalar path.
+    #[inline]
+    fn coeffs(self) -> Option<[f64; 4]> {
+        None
+    }
 }
 
 /// The mutation butterfly `(a, b) ← (q·a + p·b, p·a + q·b)` with
@@ -77,6 +92,11 @@ impl Butterfly for MixButterfly {
     fn bf(self, a: f64, b: f64) -> (f64, f64) {
         (self.q * a + self.p * b, self.p * a + self.q * b)
     }
+
+    #[inline(always)]
+    fn coeffs(self) -> Option<[f64; 4]> {
+        Some([self.q, self.p, self.p, self.q])
+    }
 }
 
 /// The (unnormalised) Hadamard butterfly `(a, b) ← (a + b, a − b)` —
@@ -89,6 +109,14 @@ impl Butterfly for HadamardButterfly {
     fn bf(self, a: f64, b: f64) -> (f64, f64) {
         (a + b, a - b)
     }
+
+    #[inline(always)]
+    fn coeffs(self) -> Option<[f64; 4]> {
+        // 1·a + 1·b and 1·a + (−1)·b are bit-identical to a + b and a − b:
+        // multiplying by ±1.0 only (possibly) flips the sign bit, and IEEE
+        // subtraction is addition of the negation.
+        Some([1.0, 1.0, 1.0, -1.0])
+    }
 }
 
 /// Lane width for the radix-2 fibre loop: 8 doubles = one 64-byte cache
@@ -99,13 +127,20 @@ const LANES_R2: usize = 8;
 /// live values (16/32 doubles across fibres) within the register file.
 const LANES_R48: usize = 4;
 
-/// Radix-2 butterflies across two equal-length fibres, register-blocked:
-/// the bulk runs in `chunks_exact` lanes of [`LANES_R2`] elements (a fixed
-/// trip count LLVM unrolls and autovectorizes), the tail falls back to
-/// scalars. Per element the expression is exactly the reference kernel's.
+/// Radix-2 butterflies across two equal-length fibres. Coefficient-form
+/// butterflies ([`Butterfly::coeffs`]) dispatch to the runtime-selected
+/// SIMD kernel in [`crate::simd`]; otherwise the bulk runs register-blocked
+/// in `chunks_exact` lanes of [`LANES_R2`] elements (a fixed trip count
+/// LLVM unrolls and autovectorizes), the tail falls back to scalars. Per
+/// element the expression is exactly the reference kernel's on every path.
 #[inline]
-pub(crate) fn radix2_lanes<B: Butterfly>(f0: &mut [f64], f1: &mut [f64], bf: B) {
+pub fn radix2_lanes<B: Butterfly>(f0: &mut [f64], f1: &mut [f64], bf: B) {
     debug_assert_eq!(f0.len(), f1.len());
+    if let Some(c) = bf.coeffs() {
+        if crate::simd::radix2_simd(f0, f1, c) {
+            return;
+        }
+    }
     let mut c0 = f0.chunks_exact_mut(LANES_R2);
     let mut c1 = f1.chunks_exact_mut(LANES_R2);
     for (l0, l1) in c0.by_ref().zip(c1.by_ref()) {
@@ -127,16 +162,22 @@ pub(crate) fn radix2_lanes<B: Butterfly>(f0: &mut [f64], f1: &mut [f64], bf: B) 
 }
 
 /// Two fused butterfly layers (strides `i`, `2i`) across four equal-length
-/// fibres, register-blocked in [`LANES_R48`]-wide lanes. Bit-for-bit
-/// identical to two [`radix2_lanes`] layers.
+/// fibres: SIMD-dispatched for coefficient-form butterflies, otherwise
+/// register-blocked in [`LANES_R48`]-wide lanes. Bit-for-bit identical to
+/// two [`radix2_lanes`] layers.
 #[inline]
-pub(crate) fn radix4_lanes<B: Butterfly>(
+pub fn radix4_lanes<B: Butterfly>(
     f0: &mut [f64],
     f1: &mut [f64],
     f2: &mut [f64],
     f3: &mut [f64],
     bf: B,
 ) {
+    if let Some(c) = bf.coeffs() {
+        if crate::simd::radix4_simd([&mut *f0, &mut *f1, &mut *f2, &mut *f3], c) {
+            return;
+        }
+    }
     #[inline(always)]
     fn kernel<B: Butterfly>(x0: &mut f64, x1: &mut f64, x2: &mut f64, x3: &mut f64, bf: B) {
         // Stage i: pairs (x0,x1), (x2,x3).
@@ -182,11 +223,12 @@ pub(crate) fn radix4_lanes<B: Butterfly>(
 }
 
 /// Three fused butterfly layers (strides `i`, `2i`, `4i`) across eight
-/// equal-length fibres, register-blocked in [`LANES_R48`]-wide lanes.
-/// Bit-for-bit identical to three [`radix2_lanes`] layers.
+/// equal-length fibres: SIMD-dispatched for coefficient-form butterflies,
+/// otherwise register-blocked in [`LANES_R48`]-wide lanes. Bit-for-bit
+/// identical to three [`radix2_lanes`] layers.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn radix8_lanes<B: Butterfly>(
+pub fn radix8_lanes<B: Butterfly>(
     f0: &mut [f64],
     f1: &mut [f64],
     f2: &mut [f64],
@@ -197,6 +239,16 @@ pub(crate) fn radix8_lanes<B: Butterfly>(
     f7: &mut [f64],
     bf: B,
 ) {
+    if let Some(c) = bf.coeffs() {
+        if crate::simd::radix8_simd(
+            [
+                &mut *f0, &mut *f1, &mut *f2, &mut *f3, &mut *f4, &mut *f5, &mut *f6, &mut *f7,
+            ],
+            c,
+        ) {
+            return;
+        }
+    }
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn kernel<B: Butterfly>(

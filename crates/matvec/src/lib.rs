@@ -23,12 +23,21 @@
 //!   `Q·F`, `F^½·Q·F^½`, `F·Q` (paper Eqs. 3–5) and spectral shifts.
 //! * [`parallel`] — the multi-threaded backend standing in for the paper's
 //!   OpenCL/GPU implementation: the same `ID`-indexed butterfly
-//!   decomposition (Algorithm 2), executed on a work-stealing thread pool.
+//!   decomposition (Algorithm 2), executed by the chunk-stealing span
+//!   schedule of [`schedule`] on one scoped pool per apply.
+//! * [`simd`] — runtime-dispatched AVX2/AVX-512 fibre kernels (with the
+//!   portable scalar loops as fallback and reference) shared by the
+//!   serial, parallel, fused and batched paths.
 //!
 //! All engines implement [`LinearOperator`] and are verified against each
 //! other and against dense materialisations in the test suite.
+//!
+//! `unsafe` is denied crate-wide and allowed in exactly two leaf modules:
+//! [`simd`] (`std::arch` intrinsics behind safe dispatch wrappers) and
+//! [`schedule`] (disjoint-span `&mut` reconstruction behind a pass
+//! barrier). Everything else remains safe Rust.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fmmp;
@@ -38,7 +47,9 @@ pub mod kron;
 pub mod ops;
 pub mod parallel;
 pub mod permuted;
+pub mod schedule;
 pub mod shift_invert;
+pub mod simd;
 pub mod smvp;
 pub mod xmvp;
 
@@ -53,6 +64,7 @@ pub use ops::{conservative_shift, convert_eigenvector, DiagOp, Formulation, Shif
 pub use parallel::{Backend, ParFmmp};
 pub use permuted::PermutedOp;
 pub use shift_invert::{QShiftInvert, QSweep};
+pub use simd::Isa;
 pub use smvp::Smvp;
 pub use xmvp::Xmvp;
 

@@ -7,28 +7,36 @@
 //! launches an `N/2`-thread kernel per stage. This module executes exactly
 //! that decomposition on a work-stealing thread pool:
 //!
-//! * the stage loop stays on the "host" (the calling thread),
-//! * within a pass, butterflies are partitioned over worker threads —
-//!   block-parallel while blocks are plentiful, fibre-parallel (cutting
-//!   every block's fibres into lane segments and dispatching all segments
-//!   in one rayon scope with a single join) once blocks become scarce at
-//!   large strides,
+//! * the whole multi-pass plan runs inside **one** scoped pool per apply
+//!   (`workers − 1` helpers plus the calling thread working inline) with
+//!   a chunk-stealing claim schedule — see [`crate::schedule`] — instead
+//!   of a rayon fork–join per radix pass,
+//! * each worker owns a contiguous, thread-affine span of every pass and
+//!   steals leftovers round-robin only after draining its own range,
+//! * transforms too small to give every worker
+//!   [`schedule::MIN_WORKER_SPAN`] elements skip the pool entirely and
+//!   run the serial kernels (identical arithmetic) — the fix for the
+//!   small-ν join-storm regression the old per-pass joins exhibited,
 //!
 //! which preserves the paper's observation that the kernel is
 //! memory-bandwidth bound and embarrassingly parallel within a stage.
 //! The fused entry points plan their passes with a thread-count-aware
 //! tile size ([`FusedPlan::with_tile`](fused::FusedPlan::with_tile)) so
-//! the tiled pass always exposes at least one tile per worker, and every
-//! parallel path falls back to the serial kernels outright on a
-//! one-thread pool, where forking is pure overhead.
+//! the tiled pass always exposes at least one tile per worker. The staged
+//! (non-fused) path runs the same schedule over one radix-2 pass per
+//! stage, keeping it an honest baseline with the same threshold rules.
+//! The fibre kernels themselves dispatch through [`crate::simd`], so the
+//! serial and parallel paths share one ISA decision.
 //!
 //! [`Backend`] selects serial vs parallel execution so every solver and
 //! benchmark can swap "CPU" and "GPU" implementations the way Figure 3/4 do.
 
 use crate::fmmp::fmmp_stage;
-use crate::fused::{self, Butterfly, FusedPass, HadamardButterfly, MixButterfly};
+use crate::fused::{self, HadamardButterfly, MixButterfly};
+use crate::schedule::{self, run_schedule, SpanSchedule};
 use crate::{time_stage, LinearOperator, Probe};
 use qs_linalg::NeumaierSum;
+use qs_telemetry::SolverEvent;
 use rayon::prelude::*;
 
 /// Execution backend: the paper benchmarks the same algorithms on a CPU
@@ -55,156 +63,52 @@ impl Backend {
     }
 }
 
-/// Minimum stage size (in butterflies) before the parallel path engages;
-/// below this the fork/join overhead dominates the O(N) stage work.
+/// Minimum problem size (in butterflies) before the parallel *reduction*
+/// helpers (`par_sum`, `par_dot`, `par_norm_l2`, `par_kron_in_place`)
+/// engage; below this the fork/join overhead dominates the O(N) work.
+/// The butterfly transforms use the stricter per-worker span threshold in
+/// [`schedule::span_workers`] instead.
 const PAR_THRESHOLD: usize = 1 << 12;
 
-/// One parallel Fmmp stage: butterflies at stride `i` with mixing weight
-/// `p`, partitioned over the thread pool.
+/// One parallel Fmmp stage at stride `i` — kept as a separate entry point
+/// because the probed staged path times every stage individually. Serial
+/// below the span threshold (the measured fix for the small-ν join
+/// storm); otherwise a one-pass span schedule.
 fn par_fmmp_stage(v: &mut [f64], i: usize, p: f64) {
-    let n = v.len();
-    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
-        // Small stage, or a one-thread pool: rayon task setup is pure
-        // overhead with no possible parallel speedup — run the serial
-        // stage directly (identical arithmetic).
+    let workers = schedule::span_workers(v.len());
+    if workers <= 1 {
         fmmp_stage(v, i, p);
         return;
     }
-    let q = 1.0 - p;
-    let blocks = n / (2 * i);
-    if blocks >= rayon::current_num_threads() {
-        // Many independent blocks: one task per chunk of blocks.
-        v.par_chunks_mut(2 * i).for_each(|chunk| {
-            let (a, b) = chunk.split_at_mut(i);
-            for (x, y) in a.iter_mut().zip(b.iter_mut()) {
-                let (u, w) = (q * *x + p * *y, p * *x + q * *y);
-                *x = u;
-                *y = w;
-            }
-        });
-    } else {
-        // Few big blocks (large strides): parallelise the fibres inside
-        // each block by splitting its halves, exactly the per-ID view of
-        // Algorithm 2.
-        for chunk in v.chunks_mut(2 * i) {
-            let (a, b) = chunk.split_at_mut(i);
-            a.par_iter_mut()
-                .zip(b.par_iter_mut())
-                .with_min_len(PAR_THRESHOLD / 4)
-                .for_each(|(x, y)| {
-                    let (u, w) = (q * *x + p * *y, p * *x + q * *y);
-                    *x = u;
-                    *y = w;
-                });
-        }
-    }
-}
-
-/// One radix pass over blocks scarcer than the pool, executed as a single
-/// rayon scope with a single join.
-///
-/// Each block of `radix · i` elements is split into its `radix` fibres
-/// (the strided operands of the fused butterfly); corresponding lane
-/// segments across the fibres form an independent work item, because the
-/// radix kernel is purely elementwise across matching fibre offsets. All
-/// items across all blocks are dispatched in one `par_iter` — one join
-/// per *pass*, versus one join per *stage* per block in the old
-/// fibre-split fallback (log₂ N barriers per apply).
-fn par_fused_fibres<B: Butterfly>(v: &mut [f64], i: usize, radix: usize, bf: B) {
-    let block = radix * i;
-    let blocks = v.len() / block;
-    // Aim for ~2 work items per thread overall; never cut segments below
-    // PAR_THRESHOLD/4 elements so per-item overhead stays negligible.
-    let want = (2 * rayon::current_num_threads()).div_ceil(blocks.max(1));
-    let seg = (i / want.max(1)).max(PAR_THRESHOLD / 4).min(i);
-    let mut items: Vec<Vec<&mut [f64]>> = Vec::with_capacity(blocks * i.div_ceil(seg));
-    for chunk in v.chunks_mut(block) {
-        let mut rest = chunk;
-        let mut fibres: Vec<&mut [f64]> = Vec::with_capacity(radix);
-        for _ in 0..radix - 1 {
-            let (head, tail) = rest.split_at_mut(i);
-            fibres.push(head);
-            rest = tail;
-        }
-        fibres.push(rest);
-        let mut cuts: Vec<_> = fibres.into_iter().map(|f| f.chunks_mut(seg)).collect();
-        loop {
-            let item: Vec<&mut [f64]> = cuts.iter_mut().filter_map(Iterator::next).collect();
-            if item.is_empty() {
-                break;
-            }
-            debug_assert_eq!(item.len(), radix);
-            items.push(item);
-        }
-    }
-    items.par_iter_mut().for_each(|g| match g.as_mut_slice() {
-        [f0, f1] => fused::radix2_lanes(f0, f1, bf),
-        [f0, f1, f2, f3] => fused::radix4_lanes(f0, f1, f2, f3, bf),
-        [f0, f1, f2, f3, f4, f5, f6, f7] => fused::radix8_lanes(f0, f1, f2, f3, f4, f5, f6, f7, bf),
-        _ => unreachable!("fused passes are radix 2, 4 or 8"),
-    });
-}
-
-/// One radix-fused pass (2–3 stages) distributed block-parallel over the
-/// pool; when blocks are scarcer than threads, switch to the single-join
-/// fibre partition (identical arithmetic — fusion only regroups
-/// traversal).
-fn par_fused_block<B: Butterfly>(v: &mut [f64], i: usize, radix: usize, bf: B) {
-    let block = radix * i;
-    if v.len() / block >= rayon::current_num_threads() {
-        v.par_chunks_mut(block).for_each(|c| match radix {
-            8 => fused::radix8_stage(c, i, bf),
-            4 => fused::radix4_stage(c, i, bf),
-            _ => fused::radix2_stage(c, i, bf),
-        });
-    } else {
-        par_fused_fibres(v, i, radix, bf);
-    }
-}
-
-/// Execute one planned fused pass on the thread pool; on a one-thread
-/// pool the pass runs through the serial kernel directly.
-fn par_run_pass<B: Butterfly>(v: &mut [f64], pass: FusedPass, bf: B) {
-    if rayon::current_num_threads() == 1 {
-        return fused::run_pass(v, pass, bf);
-    }
-    match pass {
-        FusedPass::Tile { tile, base } => {
-            // Tiles are independent and cache-sized: one task per tile,
-            // all its stages applied while resident.
-            v.par_chunks_mut(tile)
-                .for_each(|c| fused::radix_ladder(c, base, tile / 2, bf));
-        }
-        FusedPass::Radix8 { stride } => par_fused_block(v, stride, 8, bf),
-        FusedPass::Radix4 { stride } => par_fused_block(v, stride, 4, bf),
-        FusedPass::Radix2 { stride } => par_fused_block(v, stride, 2, bf),
-    }
+    let sched = SpanSchedule::for_stage(v.len(), workers, i);
+    run_schedule(v, &sched, MixButterfly::new(p));
 }
 
 /// Smallest tile the thread-aware planner will shrink to; below this the
 /// tile no longer covers enough stages to amortise its traversal.
 const MIN_PAR_TILE: usize = 1 << 10;
 
-/// Thread-count-aware fused pass plan.
+/// Thread-count-aware fused pass plan for `workers` cooperating threads
+/// (as chosen by [`schedule::span_workers`]).
 ///
 /// The tiled pass parallelises over tiles, so the default 64 KiB tile
 /// ([`fused::FUSED_TILE`]) starves wide pools on mid-sized vectors
-/// (`n / tile < threads` leaves workers idle). Halve the tile until every
+/// (`n / tile < workers` leaves workers idle). Halve the tile until every
 /// worker gets at least one, never below [`MIN_PAR_TILE`]. Any power-of-two
 /// tile yields bit-identical results: regrouping stages into tiles never
 /// changes the per-element arithmetic or its order.
-fn par_plan(n: usize) -> fused::FusedPlan {
-    let threads = rayon::current_num_threads();
+pub(crate) fn par_plan(n: usize, workers: usize) -> fused::FusedPlan {
     let mut tile = fused::FUSED_TILE;
-    while tile > MIN_PAR_TILE && n > tile && n / tile < threads {
+    while tile > MIN_PAR_TILE && n > tile && n / tile < workers {
         tile /= 2;
     }
     fused::FusedPlan::with_tile(n, 1, tile)
 }
 
 /// In-place parallel fused `v ← Q(ν)·v`: the cache-blocked radix-4/8 plan
-/// of [`crate::fused`] with each memory pass distributed over the pool.
-/// Bit-for-bit identical to [`par_fmmp_in_place`] and the serial paths.
+/// of [`crate::fused`] executed by the chunk-stealing span schedule — one
+/// scoped pool for all passes. Bit-for-bit identical to
+/// [`par_fmmp_in_place`] and the serial paths.
 ///
 /// # Panics
 ///
@@ -212,13 +116,13 @@ fn par_plan(n: usize) -> fused::FusedPlan {
 pub fn par_fmmp_in_place_fused(v: &mut [f64], p: f64) {
     let n = v.len();
     assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
-    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
+    let workers = schedule::span_workers(n);
+    if workers <= 1 {
         return fused::fmmp_in_place_fused(v, p);
     }
-    let bf = MixButterfly::new(p);
-    for &pass in par_plan(n).passes() {
-        par_run_pass(v, pass, bf);
-    }
+    let plan = par_plan(n, workers);
+    let sched = SpanSchedule::for_fused(n, workers, plan.passes());
+    run_schedule(v, &sched, MixButterfly::new(p));
 }
 
 /// In-place parallel fused unnormalised FWHT; see
@@ -230,16 +134,19 @@ pub fn par_fmmp_in_place_fused(v: &mut [f64], p: f64) {
 pub fn par_fwht_in_place_fused(v: &mut [f64]) {
     let n = v.len();
     assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
-    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
+    let workers = schedule::span_workers(n);
+    if workers <= 1 {
         return fused::fwht_in_place_fused(v);
     }
-    for &pass in par_plan(n).passes() {
-        par_run_pass(v, pass, HadamardButterfly);
-    }
+    let plan = par_plan(n, workers);
+    let sched = SpanSchedule::for_fused(n, workers, plan.passes());
+    run_schedule(v, &sched, HadamardButterfly);
 }
 
-/// In-place parallel `v ← Q(ν)·v` (stage loop on the host, kernel work on
-/// the pool).
+/// In-place parallel `v ← Q(ν)·v`: one radix-2 pass per stage (the
+/// paper's Algorithm 2 decomposition, un-fused) run by the span schedule
+/// in a single scoped pool — ν passes, one pool, no per-stage join.
+/// Serial below the span threshold.
 ///
 /// # Panics
 ///
@@ -247,15 +154,17 @@ pub fn par_fwht_in_place_fused(v: &mut [f64]) {
 pub fn par_fmmp_in_place(v: &mut [f64], p: f64) {
     let n = v.len();
     assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
-    let mut i = 1;
-    while i <= n / 2 {
-        par_fmmp_stage(v, i, p);
-        i *= 2;
+    let workers = schedule::span_workers(n);
+    if workers <= 1 {
+        return crate::fmmp::fmmp_in_place(v, p);
     }
+    let sched = SpanSchedule::for_staged(n, workers);
+    run_schedule(v, &sched, MixButterfly::new(p));
 }
 
-/// In-place parallel unnormalised FWHT (same decomposition with the
-/// Hadamard butterfly).
+/// In-place parallel unnormalised FWHT (same staged decomposition with
+/// the Hadamard butterfly; same schedule and threshold as
+/// [`par_fmmp_in_place`]).
 ///
 /// # Panics
 ///
@@ -263,24 +172,12 @@ pub fn par_fmmp_in_place(v: &mut [f64], p: f64) {
 pub fn par_fwht_in_place(v: &mut [f64]) {
     let n = v.len();
     assert!(n.is_power_of_two() && n >= 2, "length must be 2^ν, ν ≥ 1");
-    if n / 2 < PAR_THRESHOLD || rayon::current_num_threads() == 1 {
-        // Small problem or one-thread pool: fork/join overhead dominates;
-        // stay serial.
-        crate::fwht::fwht_in_place(v);
-        return;
+    let workers = schedule::span_workers(n);
+    if workers <= 1 {
+        return crate::fwht::fwht_in_place(v);
     }
-    let mut i = 1;
-    while i <= n / 2 {
-        v.par_chunks_mut(2 * i).for_each(|chunk| {
-            let (a, b) = chunk.split_at_mut(i);
-            for (x, y) in a.iter_mut().zip(b.iter_mut()) {
-                let (u, w) = (*x + *y, *x - *y);
-                *x = u;
-                *y = w;
-            }
-        });
-        i *= 2;
-    }
+    let sched = SpanSchedule::for_staged(n, workers);
+    run_schedule(v, &sched, HadamardButterfly);
 }
 
 /// In-place parallel product with a mixed-radix Kronecker chain
@@ -524,16 +421,44 @@ impl LinearOperator for ParFmmp {
         }
         assert_eq!(v.len(), self.len(), "apply_in_place: length mismatch");
         let n = v.len();
+        let workers = schedule::span_workers(n);
         if self.fused {
-            if n / 2 < PAR_THRESHOLD {
+            if workers <= 1 {
+                probe.record(&SolverEvent::KernelDispatch {
+                    isa: crate::simd::active().name(),
+                    threads: 1,
+                    spans: 1,
+                });
                 return time_stage(probe, "par-fmmp-fused-pass", || self.apply_in_place(v));
             }
+            let plan = par_plan(n, workers);
+            let full = SpanSchedule::for_fused(n, workers, plan.passes());
+            probe.record(&SolverEvent::KernelDispatch {
+                isa: crate::simd::active().name(),
+                threads: workers,
+                spans: full.total_units(),
+            });
             let bf = MixButterfly::new(self.p);
-            for &pass in par_plan(n).passes() {
-                time_stage(probe, "par-fmmp-fused-pass", || par_run_pass(v, pass, bf));
+            // Per-pass timing needs a barrier after each pass, so the
+            // probed path runs one single-pass schedule per planned pass
+            // (the unprobed path batches them all into one scope).
+            for &pass in plan.passes() {
+                let sub = SpanSchedule::for_fused(n, workers, std::slice::from_ref(&pass));
+                time_stage(probe, "par-fmmp-fused-pass", || run_schedule(v, &sub, bf));
             }
             return;
         }
+        let nu = n.trailing_zeros() as usize;
+        let spans = if workers <= 1 {
+            nu
+        } else {
+            SpanSchedule::for_staged(n, workers).total_units()
+        };
+        probe.record(&SolverEvent::KernelDispatch {
+            isa: crate::simd::active().name(),
+            threads: workers.max(1),
+            spans,
+        });
         let mut i = 1;
         while i <= n / 2 {
             time_stage(probe, "par-fmmp-stage", || par_fmmp_stage(v, i, self.p));
@@ -705,6 +630,14 @@ mod tests {
             })
             .count();
         assert_eq!(timed, nu as usize);
+        // The dispatch decision (ISA + worker count + span grain) is
+        // reported exactly once per probed apply.
+        let dispatches = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SolverEvent::KernelDispatch { .. }))
+            .count();
+        assert_eq!(dispatches, 1);
     }
 
     #[test]
@@ -756,8 +689,26 @@ mod tests {
                 )
             })
             .count();
-        assert_eq!(passes, par_plan(1 << nu).passes().len());
+        // Below the span threshold the whole serial apply is one timed
+        // pass; above it, one event per planned pass.
+        let workers = schedule::span_workers(1 << nu);
+        let expected = if workers <= 1 {
+            1
+        } else {
+            par_plan(1 << nu, workers).passes().len()
+        };
+        assert_eq!(passes, expected);
         assert!(passes < nu as usize);
+        let dispatch = rec
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                SolverEvent::KernelDispatch { isa, threads, .. } => Some((*isa, *threads)),
+                _ => None,
+            })
+            .expect("probed fused apply must report its dispatch");
+        assert_eq!(dispatch.0, crate::simd::active().name());
+        assert_eq!(dispatch.1, workers.max(1));
     }
 
     #[test]

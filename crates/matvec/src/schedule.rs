@@ -1,0 +1,707 @@
+//! Persistent-pool, chunk-stealing span schedule for the parallel
+//! butterfly transforms.
+//!
+//! The previous parallel backend issued one `rayon` fork–join per radix
+//! pass. At small ν that join overhead dominates — BENCH_matvec.json
+//! showed the 2-thread staged path regressing 4.5 → 20.5 ns/element at
+//! ν = 14 — and even at large ν every pass pays a full pool wake-up and
+//! barrier. This module replaces that with a single scoped pool per apply
+//! and a claim-counter stealing schedule inside it:
+//!
+//! 1. **One scope, all passes.** The caller enters `rayon::in_place_scope`
+//!    once; `workers − 1` helper tasks are spawned and the calling thread
+//!    works inline as worker 0. Every pass of the plan runs inside that
+//!    one scope — no per-pass join.
+//! 2. **Thread-affine spans with stealing.** Each pass is cut into
+//!    equal-size independent *units* (see [`LayoutKind`]). Worker `w` owns
+//!    the contiguous unit range `[w·U/W, (w+1)·U/W)` and drains it through
+//!    a per-worker atomic claim cursor, so on every pass the same worker
+//!    touches the same region of the vector first (cache- and
+//!    first-touch-affine). Only after its own range is empty does it
+//!    advance round-robin through the other workers' cursors and steal
+//!    their leftover units — imbalance from preemption never idles a
+//!    worker, and the common balanced case costs one uncontended
+//!    `fetch_add` per unit.
+//! 3. **Pass barrier by completion count.** A unit's executor bumps the
+//!    pass's completion counter with `Release`; workers spin (then yield)
+//!    on an `Acquire` load until the counter reaches the unit count
+//!    before entering the next pass. The inline worker can always finish
+//!    a pass alone, so the schedule is deadlock-free even if no helper
+//!    ever runs.
+//! 4. **Serial below threshold.** [`span_workers`] returns ≤ 1 unless
+//!    every worker would get at least [`MIN_WORKER_SPAN`] elements;
+//!    callers then take the plain serial path. This is the measured fix
+//!    for the ν ≤ 14 regression: a transform that fits in L2 cannot
+//!    amortise any cross-thread coordination.
+//!
+//! **Safety.** Units within a pass address pairwise-disjoint element
+//! ranges (contiguous chunks, or disjoint segments of disjoint fibres),
+//! so handing each claimed unit a `&mut [f64]` reconstructed from a raw
+//! base pointer is sound; the `Release`/`Acquire` completion counter
+//! orders all of a pass's writes before any next-pass read. Unit
+//! execution calls the same `radix*_stage` / `radix*_lanes` kernels as
+//! the serial path on the same element groupings, so bit-identity with
+//! the staged reference is preserved structurally.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::fused::{
+    radix2_lanes, radix2_stage, radix4_lanes, radix4_stage, radix8_lanes, radix8_stage,
+    radix_ladder, Butterfly, FusedPass,
+};
+
+/// Hard cap on cooperating workers; bounds the stack-resident claim
+/// matrix.
+pub const MAX_WORKERS: usize = 16;
+
+/// Hard cap on passes per schedule: ν ≤ 64 staged passes on 64-bit
+/// lengths, and fused plans are far shorter.
+pub const MAX_PASSES: usize = 64;
+
+/// Target elements per claimable unit (2¹⁴ doubles = 128 KiB): big enough
+/// that one claim `fetch_add` is noise against the memory traffic, small
+/// enough to leave several units per worker for stealing.
+pub const SPAN_UNIT: usize = 1 << 14;
+
+/// Minimum elements of span per worker for the pool to pay for itself
+/// (measured: below this the fork/claim overhead exceeds the kernel
+/// time). `n >> 15` therefore also sets the serial/parallel threshold:
+/// parallel execution engages from ν = 16 with 2 threads.
+pub const MIN_WORKER_SPAN: usize = 1 << 15;
+
+/// Hardware threads actually available to this process (cgroup-aware),
+/// cached once. A span schedule's per-pass barriers make oversubscription
+/// strictly lossy: two workers time-slicing one core serialise the same
+/// memory traffic *plus* a context switch per barrier, so the worker
+/// count must never exceed what the machine can run simultaneously.
+fn hardware_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// How many workers a span of `n` elements can productively use: capped
+/// by the rayon pool width, the machine's hardware parallelism,
+/// [`MAX_WORKERS`], and one worker per [`MIN_WORKER_SPAN`] elements.
+/// `0` or `1` means "run serial".
+pub fn span_workers(n: usize) -> usize {
+    (n / MIN_WORKER_SPAN)
+        .min(MAX_WORKERS)
+        .min(rayon::current_num_threads())
+        .min(hardware_parallelism())
+}
+
+/// One memory pass of a span schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPass {
+    /// A cache-tiled pass: every aligned `tile`-element chunk absorbs all
+    /// stage strides `base .. tile/2` locally (see
+    /// [`FusedPass::Tile`]).
+    Tile {
+        /// Tile size in elements.
+        tile: usize,
+        /// Smallest stage stride.
+        base: usize,
+    },
+    /// A radix-fused global pass over blocks of `radix · stride`
+    /// elements (`radix` ∈ {2, 4, 8} covering 1–3 stages).
+    Radix {
+        /// Smallest stride of the fused stage group.
+        stride: usize,
+        /// Block radix: 2, 4 or 8.
+        radix: usize,
+    },
+}
+
+/// How a pass's independent work units map onto the vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Unit `u` is the contiguous chunk
+    /// `[u · unit_elems, (u+1) · unit_elems)`; `unit_elems` is a multiple
+    /// of the pass's block (or tile) size, so chunks never split a block.
+    Contig {
+        /// Elements per unit.
+        unit_elems: usize,
+    },
+    /// For radix passes with too few blocks to feed every worker: each
+    /// block's fibres are cut into `segs` equal segments and unit `u`
+    /// covers segment `u % segs` of every fibre of block `u / segs`.
+    /// Fibre kernels are elementwise, so segmenting is exact.
+    FibreSeg {
+        /// Segments per fibre.
+        segs: usize,
+    },
+}
+
+/// One planned pass plus its unit decomposition.
+#[derive(Debug, Clone, Copy)]
+struct PassLayout {
+    pass: SpanPass,
+    kind: LayoutKind,
+    units: usize,
+}
+
+const NO_PASS: PassLayout = PassLayout {
+    pass: SpanPass::Radix {
+        stride: 0,
+        radix: 2,
+    },
+    kind: LayoutKind::Contig { unit_elems: 0 },
+    units: 0,
+};
+
+/// A complete multi-pass schedule: `Copy`, fixed-size, heap-free — built
+/// per apply on the stack like [`crate::fused::FusedPlan`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpanSchedule {
+    passes: [PassLayout; MAX_PASSES],
+    count: usize,
+    n: usize,
+    workers: usize,
+}
+
+impl SpanSchedule {
+    /// Schedule the fused pass list `passes` (from a
+    /// [`crate::fused::FusedPlan`] over a length-`n` vector with base
+    /// stride 1) across `workers` cooperating threads.
+    pub fn for_fused(n: usize, workers: usize, passes: &[FusedPass]) -> Self {
+        Self::for_fused_with(n, workers, passes, SPAN_UNIT)
+    }
+
+    /// As [`SpanSchedule::for_fused`] with an explicit unit-size target —
+    /// exercised by tests (and Miri) at small `n` where the production
+    /// [`SPAN_UNIT`] would collapse everything into one unit.
+    pub(crate) fn for_fused_with(
+        n: usize,
+        workers: usize,
+        passes: &[FusedPass],
+        unit_target: usize,
+    ) -> Self {
+        assert!(n.is_power_of_two() && unit_target.is_power_of_two());
+        assert!(passes.len() <= MAX_PASSES);
+        let workers = workers.clamp(1, MAX_WORKERS);
+        let mut out = [NO_PASS; MAX_PASSES];
+        let mut count = 0;
+        for &pass in passes {
+            let sp = match pass {
+                FusedPass::Tile { tile, base } => SpanPass::Tile { tile, base },
+                FusedPass::Radix8 { stride } => SpanPass::Radix { stride, radix: 8 },
+                FusedPass::Radix4 { stride } => SpanPass::Radix { stride, radix: 4 },
+                FusedPass::Radix2 { stride } => SpanPass::Radix { stride, radix: 2 },
+            };
+            out[count] = layout_pass(n, workers, sp, unit_target);
+            count += 1;
+        }
+        SpanSchedule {
+            passes: out,
+            count,
+            n,
+            workers,
+        }
+    }
+
+    /// Schedule the plain staged ladder (one radix-2 pass per stage,
+    /// strides `1, 2, …, n/2`) — the parallel twin of
+    /// [`crate::fmmp::fmmp_in_place`]'s stage loop, kept un-fused so the
+    /// `fmmp_parallel_ref` bench series stays an honest baseline.
+    pub fn for_staged(n: usize, workers: usize) -> Self {
+        Self::for_staged_with(n, workers, SPAN_UNIT)
+    }
+
+    /// As [`SpanSchedule::for_staged`] with an explicit unit-size target
+    /// for tests.
+    pub(crate) fn for_staged_with(n: usize, workers: usize, unit_target: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2 && unit_target.is_power_of_two());
+        let nu = n.trailing_zeros() as usize;
+        assert!(nu <= MAX_PASSES);
+        let workers = workers.clamp(1, MAX_WORKERS);
+        let mut out = [NO_PASS; MAX_PASSES];
+        for (s, slot) in out.iter_mut().take(nu).enumerate() {
+            *slot = layout_pass(
+                n,
+                workers,
+                SpanPass::Radix {
+                    stride: 1 << s,
+                    radix: 2,
+                },
+                unit_target,
+            );
+        }
+        SpanSchedule {
+            passes: out,
+            count: nu,
+            n,
+            workers,
+        }
+    }
+
+    /// One-pass schedule for a single radix-2 stage at `stride` — used by
+    /// the probed staged path, which times every stage individually and so
+    /// cannot batch all passes into one scope.
+    pub fn for_stage(n: usize, workers: usize, stride: usize) -> Self {
+        assert!(n.is_power_of_two() && stride.is_power_of_two() && 2 * stride <= n);
+        let workers = workers.clamp(1, MAX_WORKERS);
+        let mut out = [NO_PASS; MAX_PASSES];
+        out[0] = layout_pass(n, workers, SpanPass::Radix { stride, radix: 2 }, SPAN_UNIT);
+        SpanSchedule {
+            passes: out,
+            count: 1,
+            n,
+            workers,
+        }
+    }
+
+    /// Cooperating worker count this schedule was built for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of planned passes.
+    pub fn passes_len(&self) -> usize {
+        self.count
+    }
+
+    /// Total claimable units across all passes — the grain count the
+    /// stealing scheduler distributes (reported in the `kernel_dispatch`
+    /// telemetry event).
+    pub fn total_units(&self) -> usize {
+        self.passes[..self.count].iter().map(|p| p.units).sum()
+    }
+}
+
+/// Decompose one pass into equal independent units (see [`LayoutKind`]).
+fn layout_pass(n: usize, workers: usize, pass: SpanPass, unit_target: usize) -> PassLayout {
+    // The smallest contiguous chunk that never splits a block.
+    let grain = match pass {
+        SpanPass::Tile { tile, .. } => tile,
+        SpanPass::Radix { stride, radix } => radix * stride,
+    };
+    debug_assert!(grain.is_power_of_two() && grain <= n && n % grain == 0);
+    // Contiguous units: start from the target size, shrink (never below
+    // one block) until there are at least two units per worker to steal.
+    let mut unit = grain.max(unit_target).min(n);
+    while unit > grain && n / unit < 2 * workers {
+        unit /= 2;
+    }
+    if n / unit >= 2 * workers || matches!(pass, SpanPass::Tile { .. }) {
+        return PassLayout {
+            pass,
+            kind: LayoutKind::Contig { unit_elems: unit },
+            units: n / unit,
+        };
+    }
+    // Too few blocks (late big-stride radix passes). Split fibres into
+    // segments instead; segment kernels are the same elementwise fibre
+    // kernels, so this stays exact.
+    if let SpanPass::Radix { stride, radix } = pass {
+        let block = radix * stride;
+        let nblocks = n / block;
+        // Halt once a further split would push the per-unit *work*
+        // (`radix` fibres × `stride / segs` elements) below half the unit
+        // target — that is the steal-granularity floor, not the raw
+        // stride, which a big-radix pass can exceed even when each fibre
+        // segment is still long enough to keep the lane kernels busy.
+        let mut segs = 1;
+        while nblocks * segs < 2 * workers
+            && 2 * segs <= stride
+            && block / (2 * segs) >= unit_target.max(2) / 2
+        {
+            segs *= 2;
+        }
+        if segs > 1 {
+            return PassLayout {
+                pass,
+                kind: LayoutKind::FibreSeg { segs },
+                units: nblocks * segs,
+            };
+        }
+    }
+    PassLayout {
+        pass,
+        kind: LayoutKind::Contig { unit_elems: grain },
+        units: n / grain,
+    }
+}
+
+/// The vector shared across workers. Units are pairwise disjoint per pass
+/// and passes are separated by the completion barrier, so concurrent
+/// mutable access through the raw pointer never aliases.
+struct SharedSpan {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: see `SharedSpan` — disjoint units + pass barrier.
+unsafe impl Send for SharedSpan {}
+unsafe impl Sync for SharedSpan {}
+
+/// Execute one claimed unit.
+///
+/// # Safety
+///
+/// `u` must be `< layout.units` for a schedule built over the vector
+/// `shared` points at, and no other thread may hold the same unit.
+unsafe fn run_unit<B: Butterfly>(shared: &SharedSpan, layout: &PassLayout, u: usize, bf: B) {
+    match layout.kind {
+        LayoutKind::Contig { unit_elems } => {
+            debug_assert!((u + 1) * unit_elems <= shared.len);
+            let v = std::slice::from_raw_parts_mut(shared.ptr.add(u * unit_elems), unit_elems);
+            match layout.pass {
+                SpanPass::Tile { tile, base } => {
+                    for chunk in v.chunks_exact_mut(tile) {
+                        radix_ladder(chunk, base, tile / 2, bf);
+                    }
+                }
+                SpanPass::Radix { stride, radix } => match radix {
+                    8 => radix8_stage(v, stride, bf),
+                    4 => radix4_stage(v, stride, bf),
+                    _ => radix2_stage(v, stride, bf),
+                },
+            }
+        }
+        LayoutKind::FibreSeg { segs } => {
+            let (stride, radix) = match layout.pass {
+                SpanPass::Radix { stride, radix } => (stride, radix),
+                SpanPass::Tile { .. } => unreachable!("tiled passes are always Contig"),
+            };
+            let seg_len = stride / segs;
+            let block_start = (u / segs) * (radix * stride);
+            let seg_off = (u % segs) * seg_len;
+            debug_assert!(block_start + (radix - 1) * stride + seg_off + seg_len <= shared.len);
+            // SAFETY: fibre j of block b spans
+            // [b·radix·stride + j·stride, …+stride); distinct (b, j,
+            // segment) triples are disjoint.
+            let fibre = |j: usize| {
+                std::slice::from_raw_parts_mut(
+                    shared.ptr.add(block_start + j * stride + seg_off),
+                    seg_len,
+                )
+            };
+            match radix {
+                8 => radix8_lanes(
+                    fibre(0),
+                    fibre(1),
+                    fibre(2),
+                    fibre(3),
+                    fibre(4),
+                    fibre(5),
+                    fibre(6),
+                    fibre(7),
+                    bf,
+                ),
+                4 => radix4_lanes(fibre(0), fibre(1), fibre(2), fibre(3), bf),
+                _ => radix2_lanes(fibre(0), fibre(1), bf),
+            }
+        }
+    }
+}
+
+/// Claim matrix + completion counters for one apply. Stack-resident
+/// (`MAX_PASSES × (MAX_WORKERS + 1)` words) so the hot path allocates
+/// nothing.
+struct ClaimState {
+    claims: [[AtomicUsize; MAX_WORKERS]; MAX_PASSES],
+    done: [AtomicUsize; MAX_PASSES],
+}
+
+impl ClaimState {
+    fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const Z: AtomicUsize = AtomicUsize::new(0);
+        const ROW: [AtomicUsize; MAX_WORKERS] = [Z; MAX_WORKERS];
+        ClaimState {
+            claims: [ROW; MAX_PASSES],
+            done: [Z; MAX_PASSES],
+        }
+    }
+}
+
+/// The contiguous unit range worker `w` owns (first-touch affinity: the
+/// same worker claims the same vector region on every pass).
+fn worker_range(units: usize, workers: usize, w: usize) -> (usize, usize) {
+    let start = units * w / workers;
+    let end = units * (w + 1) / workers;
+    (start, end - start)
+}
+
+/// One worker's traversal of every pass: drain the own range, steal
+/// round-robin, then spin-wait on the pass completion barrier.
+fn worker_loop<B: Butterfly>(
+    shared: &SharedSpan,
+    sched: &SpanSchedule,
+    state: &ClaimState,
+    w: usize,
+    bf: B,
+) {
+    let workers = sched.workers;
+    for k in 0..sched.count {
+        let layout = &sched.passes[k];
+        for off in 0..workers {
+            let victim = (w + off) % workers;
+            let (start, len) = worker_range(layout.units, workers, victim);
+            loop {
+                let idx = state.claims[k][victim].fetch_add(1, Ordering::Relaxed);
+                if idx >= len {
+                    break;
+                }
+                // SAFETY: the fetch_add hands out each unit index exactly
+                // once; units within a pass are disjoint (see `run_unit`).
+                unsafe { run_unit(shared, layout, start + idx, bf) };
+                state.done[k].fetch_add(1, Ordering::Release);
+            }
+        }
+        // Barrier: every unit's writes must be visible before any worker
+        // reads them in pass k+1. The inline worker can complete the pass
+        // alone, so this wait always terminates.
+        // Brief spin for the common case (peers are mid-unit and finish in
+        // nanoseconds), then yield every iteration: a waiting worker must
+        // hand its core to whoever still owns units, or an oversubscribed
+        // pool (more workers than cores) serialises the pass behind the
+        // scheduler quantum.
+        let mut spins = 0u32;
+        while state.done[k].load(Ordering::Acquire) < layout.units {
+            if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Run every pass of `sched` over `v` with one scoped pool: the calling
+/// thread works inline as worker 0 and `workers − 1` helpers are spawned
+/// into the ambient rayon pool. With `workers ≤ 1` this degrades to the
+/// plain serial pass loop (no atomics, no scope).
+pub fn run_schedule<B: Butterfly>(v: &mut [f64], sched: &SpanSchedule, bf: B) {
+    assert_eq!(
+        v.len(),
+        sched.n,
+        "schedule was built for a different length"
+    );
+    if sched.workers <= 1 {
+        run_serial(v, sched, bf);
+        return;
+    }
+    let state = ClaimState::new();
+    let shared = SharedSpan {
+        ptr: v.as_mut_ptr(),
+        len: v.len(),
+    };
+    rayon::in_place_scope(|scope| {
+        for w in 1..sched.workers {
+            let shared = &shared;
+            let state = &state;
+            scope.spawn(move |_| worker_loop(shared, sched, state, w, bf));
+        }
+        worker_loop(&shared, sched, &state, 0, bf);
+    });
+}
+
+/// Serial execution of a schedule: the same passes on the whole vector,
+/// no unit decomposition needed (bit-identical — units only partition the
+/// element groups the kernels already use).
+fn run_serial<B: Butterfly>(v: &mut [f64], sched: &SpanSchedule, bf: B) {
+    for layout in &sched.passes[..sched.count] {
+        match layout.pass {
+            SpanPass::Tile { tile, base } => {
+                for chunk in v.chunks_exact_mut(tile) {
+                    radix_ladder(chunk, base, tile / 2, bf);
+                }
+            }
+            SpanPass::Radix { stride, radix } => match radix {
+                8 => radix8_stage(v, stride, bf),
+                4 => radix4_stage(v, stride, bf),
+                _ => radix2_stage(v, stride, bf),
+            },
+        }
+    }
+}
+
+/// As [`run_schedule`] but with helpers on plain `std` scoped threads —
+/// used by tests (and the Miri CI job) to drive the claim/steal/barrier
+/// machinery deterministically without a rayon pool in the loop.
+#[cfg(test)]
+fn run_schedule_std_threads<B: Butterfly>(v: &mut [f64], sched: &SpanSchedule, bf: B) {
+    if sched.workers <= 1 {
+        run_serial(v, sched, bf);
+        return;
+    }
+    let state = ClaimState::new();
+    let shared = SharedSpan {
+        ptr: v.as_mut_ptr(),
+        len: v.len(),
+    };
+    std::thread::scope(|scope| {
+        for w in 1..sched.workers {
+            let shared = &shared;
+            let state = &state;
+            let sched = &*sched;
+            scope.spawn(move || worker_loop(shared, sched, state, w, bf));
+        }
+        worker_loop(&shared, sched, &state, 0, bf);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmp::fmmp_in_place;
+    use crate::fused::{FusedPlan, HadamardButterfly, MixButterfly};
+
+    /// Small sizes under Miri, full sweep natively.
+    fn test_nus() -> std::ops::RangeInclusive<u32> {
+        if cfg!(miri) {
+            1..=9
+        } else {
+            1..=16
+        }
+    }
+
+    fn probe(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z as f64 / u64::MAX as f64) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn span_workers_is_serial_below_the_threshold() {
+        assert_eq!(span_workers(1 << 14), 0);
+        assert_eq!(span_workers((1 << 15) - 1), 0);
+        assert!(span_workers(1 << 15) <= 1);
+        assert!(span_workers(1 << 24) <= MAX_WORKERS);
+    }
+
+    #[test]
+    fn every_pass_decomposes_the_whole_vector() {
+        for nu in 4..=20u32 {
+            let n = 1usize << nu;
+            for workers in [1usize, 2, 3, 4, 8] {
+                let plan = FusedPlan::new(n, 1);
+                let sched = SpanSchedule::for_fused(n, workers, plan.passes());
+                for layout in &sched.passes[..sched.count] {
+                    match layout.kind {
+                        LayoutKind::Contig { unit_elems } => {
+                            assert_eq!(layout.units * unit_elems, n, "ν={nu} w={workers}");
+                        }
+                        LayoutKind::FibreSeg { segs } => {
+                            let (stride, radix) = match layout.pass {
+                                SpanPass::Radix { stride, radix } => (stride, radix),
+                                _ => panic!("tile pass with fibre layout"),
+                            };
+                            assert_eq!(stride % segs, 0);
+                            assert_eq!(layout.units * radix * (stride / segs), n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_worker_schedules_have_stealable_grain() {
+        // At production sizes every multi-worker pass should expose at
+        // least `workers` units (big radix passes via fibre segmentation).
+        for nu in [16u32, 18, 20] {
+            let n = 1usize << nu;
+            let workers = 4;
+            let plan = FusedPlan::new(n, 1);
+            let sched = SpanSchedule::for_fused(n, workers, plan.passes());
+            for layout in &sched.passes[..sched.count] {
+                assert!(
+                    layout.units >= workers,
+                    "ν={nu}: pass {:?} has only {} units",
+                    layout.pass,
+                    layout.units
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stolen_schedule_is_bit_identical_to_reference_fused() {
+        let p = 0.017;
+        for nu in test_nus() {
+            let n = 1usize << nu;
+            let v = probe(n, 40 + u64::from(nu));
+            let mut want = v.clone();
+            fmmp_in_place(&mut want, p);
+            // A tiny unit target forces real multi-unit stealing even at
+            // Miri-sized vectors.
+            for workers in [1usize, 2, 3, 4] {
+                let plan = FusedPlan::new(n, 1);
+                let sched = SpanSchedule::for_fused_with(n, workers, plan.passes(), 64);
+                let mut got = v.clone();
+                run_schedule_std_threads(&mut got, &sched, MixButterfly::new(p));
+                let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&want), bits(&got), "ν={nu} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn staged_schedule_matches_reference_per_stage_path() {
+        for nu in test_nus() {
+            let n = 1usize << nu;
+            let v = probe(n, 900 + u64::from(nu));
+            let mut want = v.clone();
+            crate::fwht::fwht_in_place(&mut want);
+            for workers in [1usize, 2, 4] {
+                let sched = SpanSchedule::for_staged_with(n, workers, 64);
+                assert_eq!(sched.passes_len(), nu as usize);
+                let mut got = v.clone();
+                run_schedule_std_threads(&mut got, &sched, HadamardButterfly);
+                let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&want), bits(&got), "ν={nu} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn rayon_schedule_matches_reference() {
+        // Not under Miri: rayon's pool machinery is out of scope there;
+        // the std-thread twin above covers the unsafe core.
+        if cfg!(miri) {
+            return;
+        }
+        let p = 0.031;
+        for nu in [10u32, 14, 16] {
+            let n = 1usize << nu;
+            let v = probe(n, 7 + u64::from(nu));
+            let mut want = v.clone();
+            fmmp_in_place(&mut want, p);
+            let plan = FusedPlan::new(n, 1);
+            let sched = SpanSchedule::for_fused_with(n, 4, plan.passes(), 256);
+            let mut got = v.clone();
+            run_schedule(&mut got, &sched, MixButterfly::new(p));
+            let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&want), bits(&got), "ν={nu}");
+        }
+    }
+
+    #[test]
+    fn worker_ranges_partition_units() {
+        for units in [0usize, 1, 3, 7, 16, 33] {
+            for workers in 1..=8usize {
+                let mut covered = 0;
+                for w in 0..workers {
+                    let (start, len) = worker_range(units, workers, w);
+                    assert_eq!(start, covered);
+                    covered += len;
+                }
+                assert_eq!(covered, units);
+            }
+        }
+    }
+}

@@ -1,0 +1,776 @@
+//! Runtime-dispatched SIMD fibre kernels for the butterfly transforms.
+//!
+//! The radix-2/4/8 fibre loops in [`crate::fused`] are pure streaming
+//! maps: every element of a fibre is combined with the matching element
+//! of its partner fibres through the 2×2 butterfly
+//! `(a, b) ← (c₀₀·a + c₀₁·b, c₁₀·a + c₁₁·b)`. LLVM already autovectorizes
+//! the register-blocked scalar loops, but an explicit `std::arch` layer
+//! wins the remaining headroom (wider loads, no re-vectorisation at every
+//! inlining site) and — more importantly — makes the vector width a
+//! *dispatched, testable* property instead of an optimiser accident.
+//!
+//! Three ISA paths exist:
+//!
+//! * [`Isa::Scalar`] — the portable register-blocked loops in
+//!   [`crate::fused`] (this module only reports "no SIMD", the caller
+//!   keeps its scalar path),
+//! * [`Isa::Avx2`] — 4-wide `f64x4` via `_mm256_*` intrinsics,
+//! * [`Isa::Avx512`] — 8-wide `f64x8` via `_mm512_*` intrinsics, compiled
+//!   only when the toolchain stabilises them (`qs_avx512` cfg emitted by
+//!   `build.rs` on rustc ≥ 1.89) and dispatched only when the CPU reports
+//!   `avx512f`.
+//!
+//! **Bit-identity contract.** The SIMD kernels evaluate, per element, the
+//! exact expression sequence of the scalar kernels — separate multiplies
+//! and adds in the same order, never FMA (a fused multiply-add changes
+//! the rounding and would break the `tests/kernel_properties.rs` pin).
+//! Lanes never interact, so vectorisation regroups only the iteration
+//! bookkeeping; tails shorter than one vector run a scalar remainder loop
+//! with the same expressions. Every path is therefore bit-for-bit equal
+//! to the staged reference.
+//!
+//! Dispatch is resolved once per process from CPUID (overridable with the
+//! `QS_ISA` environment variable or [`force`], which the CLI's `--isa`
+//! flag and the per-ISA CI test matrix use) and cached in an atomic, so
+//! the hot path pays one relaxed load.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// An instruction-set path the fibre kernels can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable register-blocked scalar loops (always available).
+    Scalar,
+    /// 4-wide double-precision AVX2 kernels.
+    Avx2,
+    /// 8-wide double-precision AVX-512 kernels (needs both a new enough
+    /// toolchain — see `build.rs` — and `avx512f` on the CPU).
+    Avx512,
+}
+
+impl Isa {
+    /// The `snake_case` name used by `--isa`, `QS_ISA` and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse an ISA name as accepted by `--isa` / `QS_ISA` (`"auto"` is
+    /// handled by the callers, not here).
+    pub fn from_name(name: &str) -> Option<Isa> {
+        match name {
+            "scalar" => Some(Isa::Scalar),
+            "avx2" => Some(Isa::Avx2),
+            "avx512" => Some(Isa::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Can this path run on the current CPU with the current build?
+    pub fn available(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            Isa::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            Isa::Avx512 => {
+                #[cfg(all(target_arch = "x86_64", qs_avx512))]
+                {
+                    std::arch::is_x86_feature_detected!("avx512f")
+                }
+                #[cfg(not(all(target_arch = "x86_64", qs_avx512)))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Isa::Scalar => 1,
+            Isa::Avx2 => 2,
+            Isa::Avx512 => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Isa> {
+        match code {
+            1 => Some(Isa::Scalar),
+            2 => Some(Isa::Avx2),
+            3 => Some(Isa::Avx512),
+            _ => None,
+        }
+    }
+}
+
+/// Requested ISA is not runnable on this CPU/build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsaUnavailable(pub Isa);
+
+impl std::fmt::Display for IsaUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ISA '{}' is not available on this CPU/build",
+            self.0.name()
+        )
+    }
+}
+
+impl std::error::Error for IsaUnavailable {}
+
+/// Cached dispatch decision: 0 = unresolved, otherwise `Isa::code`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The widest ISA the current CPU and build support.
+pub fn detect() -> Isa {
+    if Isa::Avx512.available() {
+        Isa::Avx512
+    } else if Isa::Avx2.available() {
+        Isa::Avx2
+    } else {
+        Isa::Scalar
+    }
+}
+
+/// Resolve the initial dispatch: the `QS_ISA` environment variable when it
+/// names an available path, CPU detection otherwise. `auto`, empty, and
+/// unknown or unavailable names all fall through to detection.
+fn resolve() -> Isa {
+    if let Ok(name) = std::env::var("QS_ISA") {
+        if let Some(isa) = Isa::from_name(name.trim()) {
+            if isa.available() {
+                return isa;
+            }
+        }
+    }
+    detect()
+}
+
+/// The ISA every fibre kernel currently dispatches to.
+///
+/// Resolved once (env override, then CPUID) and cached; afterwards this is
+/// a single relaxed atomic load. [`force`] / [`reset_auto`] change it.
+#[inline]
+pub fn active() -> Isa {
+    match Isa::from_code(ACTIVE.load(Ordering::Relaxed)) {
+        Some(isa) => isa,
+        None => {
+            let isa = resolve();
+            // A concurrent first call resolves to the same value, so a
+            // plain store is fine.
+            ACTIVE.store(isa.code(), Ordering::Relaxed);
+            isa
+        }
+    }
+}
+
+/// Pin dispatch to `isa` for the rest of the process (or until the next
+/// [`force`] / [`reset_auto`]). Used by `--isa` and the per-ISA test
+/// matrix.
+///
+/// # Errors
+///
+/// [`IsaUnavailable`] if the CPU/build cannot run `isa`; dispatch is left
+/// unchanged.
+pub fn force(isa: Isa) -> Result<(), IsaUnavailable> {
+    if !isa.available() {
+        return Err(IsaUnavailable(isa));
+    }
+    ACTIVE.store(isa.code(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Drop any pinned ISA: the next [`active`] call re-resolves from the
+/// environment and CPUID.
+pub fn reset_auto() {
+    ACTIVE.store(0, Ordering::Relaxed);
+}
+
+/// Radix-2 SIMD pass over two equal-length fibres with butterfly
+/// coefficients `c` (see [`crate::fused::Butterfly::coeffs`]). Returns
+/// `false` when dispatch is [`Isa::Scalar`] — the caller then runs its
+/// register-blocked scalar loop.
+#[inline]
+pub(crate) fn radix2_simd(f0: &mut [f64], f1: &mut [f64], c: [f64; 4]) -> bool {
+    debug_assert_eq!(f0.len(), f1.len());
+    let len = f0.len().min(f1.len());
+    match active() {
+        Isa::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => {
+            // SAFETY: `avx2` is verified by dispatch; pointers cover `len`
+            // elements of two disjoint `&mut` slices.
+            unsafe { avx2::radix2(f0.as_mut_ptr(), f1.as_mut_ptr(), len, c) };
+            true
+        }
+        #[cfg(all(target_arch = "x86_64", qs_avx512))]
+        Isa::Avx512 => {
+            // SAFETY: as above with `avx512f` verified by dispatch.
+            unsafe { avx512::radix2(f0.as_mut_ptr(), f1.as_mut_ptr(), len, c) };
+            true
+        }
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// Radix-4 SIMD pass (two fused butterfly layers) over four equal-length
+/// fibres; same dispatch contract as [`radix2_simd`].
+#[inline]
+pub(crate) fn radix4_simd(f: [&mut [f64]; 4], c: [f64; 4]) -> bool {
+    let len = f.iter().map(|s| s.len()).min().unwrap_or(0);
+    match active() {
+        Isa::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => {
+            let [f0, f1, f2, f3] = f;
+            // SAFETY: feature verified by dispatch; the four pointers come
+            // from disjoint `&mut` slices each at least `len` long.
+            unsafe {
+                avx2::radix4(
+                    [
+                        f0.as_mut_ptr(),
+                        f1.as_mut_ptr(),
+                        f2.as_mut_ptr(),
+                        f3.as_mut_ptr(),
+                    ],
+                    len,
+                    c,
+                )
+            };
+            true
+        }
+        #[cfg(all(target_arch = "x86_64", qs_avx512))]
+        Isa::Avx512 => {
+            let [f0, f1, f2, f3] = f;
+            // SAFETY: as above with `avx512f` verified by dispatch.
+            unsafe {
+                avx512::radix4(
+                    [
+                        f0.as_mut_ptr(),
+                        f1.as_mut_ptr(),
+                        f2.as_mut_ptr(),
+                        f3.as_mut_ptr(),
+                    ],
+                    len,
+                    c,
+                )
+            };
+            true
+        }
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// Radix-8 SIMD pass (three fused butterfly layers) over eight
+/// equal-length fibres; same dispatch contract as [`radix2_simd`].
+#[inline]
+pub(crate) fn radix8_simd(f: [&mut [f64]; 8], c: [f64; 4]) -> bool {
+    let len = f.iter().map(|s| s.len()).min().unwrap_or(0);
+    match active() {
+        Isa::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => {
+            let ptrs = f.map(|s| s.as_mut_ptr());
+            // SAFETY: feature verified by dispatch; eight disjoint `&mut`
+            // slices each at least `len` long.
+            unsafe { avx2::radix8(ptrs, len, c) };
+            true
+        }
+        #[cfg(all(target_arch = "x86_64", qs_avx512))]
+        Isa::Avx512 => {
+            let ptrs = f.map(|s| s.as_mut_ptr());
+            // SAFETY: as above with `avx512f` verified by dispatch.
+            unsafe { avx512::radix8(ptrs, len, c) };
+            true
+        }
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// Scalar butterfly on raw pointers — the remainder loop the SIMD kernels
+/// share. Identical expressions to the vector lanes and to
+/// `Butterfly::bf` via the `coeffs` contract.
+///
+/// # Safety
+///
+/// `f0 + k` and `f1 + k` must be valid, disjoint `f64` locations for
+/// every `k` in `start..len`.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn scalar_tail2(f0: *mut f64, f1: *mut f64, start: usize, len: usize, c: [f64; 4]) {
+    for k in start..len {
+        let a = *f0.add(k);
+        let b = *f1.add(k);
+        *f0.add(k) = c[0] * a + c[1] * b;
+        *f1.add(k) = c[2] * a + c[3] * b;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! 4-wide `f64x4` kernels. All loads/stores are unaligned (`loadu` /
+    //! `storeu`): the fibres are arbitrary offsets into the transform
+    //! vector, and on current cores unaligned AVX2 moves are free when
+    //! the data happens to be aligned (the workspace hands out 64-byte
+    //! aligned buffers precisely to make that the common case).
+
+    use std::arch::x86_64::*;
+
+    /// One vector butterfly: `(c₀₀·a + c₀₁·b, c₁₀·a + c₁₁·b)` with
+    /// separate mul/add (never FMA — bit-identity with the scalar path).
+    #[inline(always)]
+    unsafe fn bf4(
+        a: __m256d,
+        b: __m256d,
+        c00: __m256d,
+        c01: __m256d,
+        c10: __m256d,
+        c11: __m256d,
+    ) -> (__m256d, __m256d) {
+        let u = _mm256_add_pd(_mm256_mul_pd(c00, a), _mm256_mul_pd(c01, b));
+        let w = _mm256_add_pd(_mm256_mul_pd(c10, a), _mm256_mul_pd(c11, b));
+        (u, w)
+    }
+
+    /// # Safety
+    ///
+    /// Caller verifies `avx2` and passes pointers to two disjoint buffers
+    /// of at least `len` `f64`s.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn radix2(f0: *mut f64, f1: *mut f64, len: usize, c: [f64; 4]) {
+        let (c00, c01) = (_mm256_set1_pd(c[0]), _mm256_set1_pd(c[1]));
+        let (c10, c11) = (_mm256_set1_pd(c[2]), _mm256_set1_pd(c[3]));
+        let mut k = 0;
+        while k + 4 <= len {
+            let a = _mm256_loadu_pd(f0.add(k));
+            let b = _mm256_loadu_pd(f1.add(k));
+            let (u, w) = bf4(a, b, c00, c01, c10, c11);
+            _mm256_storeu_pd(f0.add(k), u);
+            _mm256_storeu_pd(f1.add(k), w);
+            k += 4;
+        }
+        super::scalar_tail2(f0, f1, k, len, c);
+    }
+
+    /// Two fused layers over four fibres; expression order mirrors the
+    /// scalar radix-4 kernel exactly.
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies `avx2`; four disjoint buffers of ≥ `len` `f64`s.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn radix4(f: [*mut f64; 4], len: usize, c: [f64; 4]) {
+        let (c00, c01) = (_mm256_set1_pd(c[0]), _mm256_set1_pd(c[1]));
+        let (c10, c11) = (_mm256_set1_pd(c[2]), _mm256_set1_pd(c[3]));
+        let [f0, f1, f2, f3] = f;
+        let mut k = 0;
+        while k + 4 <= len {
+            let x0 = _mm256_loadu_pd(f0.add(k));
+            let x1 = _mm256_loadu_pd(f1.add(k));
+            let x2 = _mm256_loadu_pd(f2.add(k));
+            let x3 = _mm256_loadu_pd(f3.add(k));
+            // Stage i: pairs (x0,x1), (x2,x3).
+            let (a0, a1) = bf4(x0, x1, c00, c01, c10, c11);
+            let (a2, a3) = bf4(x2, x3, c00, c01, c10, c11);
+            // Stage 2i: pairs (a0,a2), (a1,a3).
+            let (b0, b2) = bf4(a0, a2, c00, c01, c10, c11);
+            let (b1, b3) = bf4(a1, a3, c00, c01, c10, c11);
+            _mm256_storeu_pd(f0.add(k), b0);
+            _mm256_storeu_pd(f1.add(k), b1);
+            _mm256_storeu_pd(f2.add(k), b2);
+            _mm256_storeu_pd(f3.add(k), b3);
+            k += 4;
+        }
+        for j in k..len {
+            let x0 = *f0.add(j);
+            let x1 = *f1.add(j);
+            let x2 = *f2.add(j);
+            let x3 = *f3.add(j);
+            let (a0, a1) = (c[0] * x0 + c[1] * x1, c[2] * x0 + c[3] * x1);
+            let (a2, a3) = (c[0] * x2 + c[1] * x3, c[2] * x2 + c[3] * x3);
+            let (b0, b2) = (c[0] * a0 + c[1] * a2, c[2] * a0 + c[3] * a2);
+            let (b1, b3) = (c[0] * a1 + c[1] * a3, c[2] * a1 + c[3] * a3);
+            *f0.add(j) = b0;
+            *f1.add(j) = b1;
+            *f2.add(j) = b2;
+            *f3.add(j) = b3;
+        }
+    }
+
+    /// Three fused layers over eight fibres; expression order mirrors the
+    /// scalar radix-8 kernel exactly.
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies `avx2`; eight disjoint buffers of ≥ `len` `f64`s.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn radix8(f: [*mut f64; 8], len: usize, c: [f64; 4]) {
+        let (c00, c01) = (_mm256_set1_pd(c[0]), _mm256_set1_pd(c[1]));
+        let (c10, c11) = (_mm256_set1_pd(c[2]), _mm256_set1_pd(c[3]));
+        let mut k = 0;
+        while k + 4 <= len {
+            let x: [__m256d; 8] = [
+                _mm256_loadu_pd(f[0].add(k)),
+                _mm256_loadu_pd(f[1].add(k)),
+                _mm256_loadu_pd(f[2].add(k)),
+                _mm256_loadu_pd(f[3].add(k)),
+                _mm256_loadu_pd(f[4].add(k)),
+                _mm256_loadu_pd(f[5].add(k)),
+                _mm256_loadu_pd(f[6].add(k)),
+                _mm256_loadu_pd(f[7].add(k)),
+            ];
+            // Stage i.
+            let (a0, a1) = bf4(x[0], x[1], c00, c01, c10, c11);
+            let (a2, a3) = bf4(x[2], x[3], c00, c01, c10, c11);
+            let (a4, a5) = bf4(x[4], x[5], c00, c01, c10, c11);
+            let (a6, a7) = bf4(x[6], x[7], c00, c01, c10, c11);
+            // Stage 2i.
+            let (b0, b2) = bf4(a0, a2, c00, c01, c10, c11);
+            let (b1, b3) = bf4(a1, a3, c00, c01, c10, c11);
+            let (b4, b6) = bf4(a4, a6, c00, c01, c10, c11);
+            let (b5, b7) = bf4(a5, a7, c00, c01, c10, c11);
+            // Stage 4i.
+            let (y0, y4) = bf4(b0, b4, c00, c01, c10, c11);
+            let (y1, y5) = bf4(b1, b5, c00, c01, c10, c11);
+            let (y2, y6) = bf4(b2, b6, c00, c01, c10, c11);
+            let (y3, y7) = bf4(b3, b7, c00, c01, c10, c11);
+            _mm256_storeu_pd(f[0].add(k), y0);
+            _mm256_storeu_pd(f[1].add(k), y1);
+            _mm256_storeu_pd(f[2].add(k), y2);
+            _mm256_storeu_pd(f[3].add(k), y3);
+            _mm256_storeu_pd(f[4].add(k), y4);
+            _mm256_storeu_pd(f[5].add(k), y5);
+            _mm256_storeu_pd(f[6].add(k), y6);
+            _mm256_storeu_pd(f[7].add(k), y7);
+            k += 4;
+        }
+        for j in k..len {
+            let x: [f64; 8] = [
+                *f[0].add(j),
+                *f[1].add(j),
+                *f[2].add(j),
+                *f[3].add(j),
+                *f[4].add(j),
+                *f[5].add(j),
+                *f[6].add(j),
+                *f[7].add(j),
+            ];
+            let (a0, a1) = (c[0] * x[0] + c[1] * x[1], c[2] * x[0] + c[3] * x[1]);
+            let (a2, a3) = (c[0] * x[2] + c[1] * x[3], c[2] * x[2] + c[3] * x[3]);
+            let (a4, a5) = (c[0] * x[4] + c[1] * x[5], c[2] * x[4] + c[3] * x[5]);
+            let (a6, a7) = (c[0] * x[6] + c[1] * x[7], c[2] * x[6] + c[3] * x[7]);
+            let (b0, b2) = (c[0] * a0 + c[1] * a2, c[2] * a0 + c[3] * a2);
+            let (b1, b3) = (c[0] * a1 + c[1] * a3, c[2] * a1 + c[3] * a3);
+            let (b4, b6) = (c[0] * a4 + c[1] * a6, c[2] * a4 + c[3] * a6);
+            let (b5, b7) = (c[0] * a5 + c[1] * a7, c[2] * a5 + c[3] * a7);
+            let (y0, y4) = (c[0] * b0 + c[1] * b4, c[2] * b0 + c[3] * b4);
+            let (y1, y5) = (c[0] * b1 + c[1] * b5, c[2] * b1 + c[3] * b5);
+            let (y2, y6) = (c[0] * b2 + c[1] * b6, c[2] * b2 + c[3] * b6);
+            let (y3, y7) = (c[0] * b3 + c[1] * b7, c[2] * b3 + c[3] * b7);
+            *f[0].add(j) = y0;
+            *f[1].add(j) = y1;
+            *f[2].add(j) = y2;
+            *f[3].add(j) = y3;
+            *f[4].add(j) = y4;
+            *f[5].add(j) = y5;
+            *f[6].add(j) = y6;
+            *f[7].add(j) = y7;
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", qs_avx512))]
+mod avx512 {
+    //! 8-wide `f64x8` kernels; structure mirrors the AVX2 module with a
+    //! scalar remainder of at most 7 elements.
+
+    use std::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn bf8(
+        a: __m512d,
+        b: __m512d,
+        c00: __m512d,
+        c01: __m512d,
+        c10: __m512d,
+        c11: __m512d,
+    ) -> (__m512d, __m512d) {
+        let u = _mm512_add_pd(_mm512_mul_pd(c00, a), _mm512_mul_pd(c01, b));
+        let w = _mm512_add_pd(_mm512_mul_pd(c10, a), _mm512_mul_pd(c11, b));
+        (u, w)
+    }
+
+    /// # Safety
+    ///
+    /// Caller verifies `avx512f`; two disjoint buffers of ≥ `len` `f64`s.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn radix2(f0: *mut f64, f1: *mut f64, len: usize, c: [f64; 4]) {
+        let (c00, c01) = (_mm512_set1_pd(c[0]), _mm512_set1_pd(c[1]));
+        let (c10, c11) = (_mm512_set1_pd(c[2]), _mm512_set1_pd(c[3]));
+        let mut k = 0;
+        while k + 8 <= len {
+            let a = _mm512_loadu_pd(f0.add(k));
+            let b = _mm512_loadu_pd(f1.add(k));
+            let (u, w) = bf8(a, b, c00, c01, c10, c11);
+            _mm512_storeu_pd(f0.add(k), u);
+            _mm512_storeu_pd(f1.add(k), w);
+            k += 8;
+        }
+        super::scalar_tail2(f0, f1, k, len, c);
+    }
+
+    /// # Safety
+    ///
+    /// Caller verifies `avx512f`; four disjoint buffers of ≥ `len` `f64`s.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn radix4(f: [*mut f64; 4], len: usize, c: [f64; 4]) {
+        let (c00, c01) = (_mm512_set1_pd(c[0]), _mm512_set1_pd(c[1]));
+        let (c10, c11) = (_mm512_set1_pd(c[2]), _mm512_set1_pd(c[3]));
+        let [f0, f1, f2, f3] = f;
+        let mut k = 0;
+        while k + 8 <= len {
+            let x0 = _mm512_loadu_pd(f0.add(k));
+            let x1 = _mm512_loadu_pd(f1.add(k));
+            let x2 = _mm512_loadu_pd(f2.add(k));
+            let x3 = _mm512_loadu_pd(f3.add(k));
+            let (a0, a1) = bf8(x0, x1, c00, c01, c10, c11);
+            let (a2, a3) = bf8(x2, x3, c00, c01, c10, c11);
+            let (b0, b2) = bf8(a0, a2, c00, c01, c10, c11);
+            let (b1, b3) = bf8(a1, a3, c00, c01, c10, c11);
+            _mm512_storeu_pd(f0.add(k), b0);
+            _mm512_storeu_pd(f1.add(k), b1);
+            _mm512_storeu_pd(f2.add(k), b2);
+            _mm512_storeu_pd(f3.add(k), b3);
+            k += 8;
+        }
+        for j in k..len {
+            let x0 = *f0.add(j);
+            let x1 = *f1.add(j);
+            let x2 = *f2.add(j);
+            let x3 = *f3.add(j);
+            let (a0, a1) = (c[0] * x0 + c[1] * x1, c[2] * x0 + c[3] * x1);
+            let (a2, a3) = (c[0] * x2 + c[1] * x3, c[2] * x2 + c[3] * x3);
+            let (b0, b2) = (c[0] * a0 + c[1] * a2, c[2] * a0 + c[3] * a2);
+            let (b1, b3) = (c[0] * a1 + c[1] * a3, c[2] * a1 + c[3] * a3);
+            *f0.add(j) = b0;
+            *f1.add(j) = b1;
+            *f2.add(j) = b2;
+            *f3.add(j) = b3;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller verifies `avx512f`; eight disjoint buffers of ≥ `len` `f64`s.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn radix8(f: [*mut f64; 8], len: usize, c: [f64; 4]) {
+        let (c00, c01) = (_mm512_set1_pd(c[0]), _mm512_set1_pd(c[1]));
+        let (c10, c11) = (_mm512_set1_pd(c[2]), _mm512_set1_pd(c[3]));
+        let mut k = 0;
+        while k + 8 <= len {
+            let x: [__m512d; 8] = [
+                _mm512_loadu_pd(f[0].add(k)),
+                _mm512_loadu_pd(f[1].add(k)),
+                _mm512_loadu_pd(f[2].add(k)),
+                _mm512_loadu_pd(f[3].add(k)),
+                _mm512_loadu_pd(f[4].add(k)),
+                _mm512_loadu_pd(f[5].add(k)),
+                _mm512_loadu_pd(f[6].add(k)),
+                _mm512_loadu_pd(f[7].add(k)),
+            ];
+            let (a0, a1) = bf8(x[0], x[1], c00, c01, c10, c11);
+            let (a2, a3) = bf8(x[2], x[3], c00, c01, c10, c11);
+            let (a4, a5) = bf8(x[4], x[5], c00, c01, c10, c11);
+            let (a6, a7) = bf8(x[6], x[7], c00, c01, c10, c11);
+            let (b0, b2) = bf8(a0, a2, c00, c01, c10, c11);
+            let (b1, b3) = bf8(a1, a3, c00, c01, c10, c11);
+            let (b4, b6) = bf8(a4, a6, c00, c01, c10, c11);
+            let (b5, b7) = bf8(a5, a7, c00, c01, c10, c11);
+            let (y0, y4) = bf8(b0, b4, c00, c01, c10, c11);
+            let (y1, y5) = bf8(b1, b5, c00, c01, c10, c11);
+            let (y2, y6) = bf8(b2, b6, c00, c01, c10, c11);
+            let (y3, y7) = bf8(b3, b7, c00, c01, c10, c11);
+            _mm512_storeu_pd(f[0].add(k), y0);
+            _mm512_storeu_pd(f[1].add(k), y1);
+            _mm512_storeu_pd(f[2].add(k), y2);
+            _mm512_storeu_pd(f[3].add(k), y3);
+            _mm512_storeu_pd(f[4].add(k), y4);
+            _mm512_storeu_pd(f[5].add(k), y5);
+            _mm512_storeu_pd(f[6].add(k), y6);
+            _mm512_storeu_pd(f[7].add(k), y7);
+            k += 8;
+        }
+        for j in k..len {
+            let x: [f64; 8] = [
+                *f[0].add(j),
+                *f[1].add(j),
+                *f[2].add(j),
+                *f[3].add(j),
+                *f[4].add(j),
+                *f[5].add(j),
+                *f[6].add(j),
+                *f[7].add(j),
+            ];
+            let (a0, a1) = (c[0] * x[0] + c[1] * x[1], c[2] * x[0] + c[3] * x[1]);
+            let (a2, a3) = (c[0] * x[2] + c[1] * x[3], c[2] * x[2] + c[3] * x[3]);
+            let (a4, a5) = (c[0] * x[4] + c[1] * x[5], c[2] * x[4] + c[3] * x[5]);
+            let (a6, a7) = (c[0] * x[6] + c[1] * x[7], c[2] * x[6] + c[3] * x[7]);
+            let (b0, b2) = (c[0] * a0 + c[1] * a2, c[2] * a0 + c[3] * a2);
+            let (b1, b3) = (c[0] * a1 + c[1] * a3, c[2] * a1 + c[3] * a3);
+            let (b4, b6) = (c[0] * a4 + c[1] * a6, c[2] * a4 + c[3] * a6);
+            let (b5, b7) = (c[0] * a5 + c[1] * a7, c[2] * a5 + c[3] * a7);
+            let (y0, y4) = (c[0] * b0 + c[1] * b4, c[2] * b0 + c[3] * b4);
+            let (y1, y5) = (c[0] * b1 + c[1] * b5, c[2] * b1 + c[3] * b5);
+            let (y2, y6) = (c[0] * b2 + c[1] * b6, c[2] * b2 + c[3] * b6);
+            let (y3, y7) = (c[0] * b3 + c[1] * b7, c[2] * b3 + c[3] * b7);
+            *f[0].add(j) = y0;
+            *f[1].add(j) = y1;
+            *f[2].add(j) = y2;
+            *f[3].add(j) = y3;
+            *f[4].add(j) = y4;
+            *f[5].add(j) = y5;
+            *f[6].add(j) = y6;
+            *f[7].add(j) = y7;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serialise tests that pin the global dispatch state.
+    pub(crate) fn isa_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let lock = LOCK.get_or_init(|| Mutex::new(()));
+        lock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn probe(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z as f64 / u64::MAX as f64) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn simd_isas() -> Vec<Isa> {
+        [Isa::Avx2, Isa::Avx512]
+            .into_iter()
+            .filter(|isa| isa.available())
+            .collect()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512] {
+            assert_eq!(Isa::from_name(isa.name()), Some(isa));
+        }
+        assert_eq!(Isa::from_name("sse9"), None);
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_forceable() {
+        let _guard = isa_lock();
+        let before = active();
+        assert!(Isa::Scalar.available());
+        force(Isa::Scalar).unwrap();
+        assert_eq!(active(), Isa::Scalar);
+        force(before).unwrap();
+    }
+
+    #[test]
+    fn forcing_an_unavailable_isa_is_an_error_and_keeps_dispatch() {
+        let _guard = isa_lock();
+        let before = active();
+        let fake_missing = [Isa::Avx2, Isa::Avx512]
+            .into_iter()
+            .find(|isa| !isa.available());
+        if let Some(isa) = fake_missing {
+            assert_eq!(force(isa), Err(IsaUnavailable(isa)));
+            assert_eq!(active(), before);
+        }
+        force(before).unwrap();
+    }
+
+    #[test]
+    fn detect_is_an_available_isa() {
+        assert!(detect().available());
+    }
+
+    /// Every SIMD radix-2 path matches the scalar expressions bit for bit,
+    /// including odd lengths that exercise the scalar remainder loop.
+    #[test]
+    fn radix2_simd_is_bit_identical_with_odd_tails() {
+        let _guard = isa_lock();
+        let before = active();
+        // Mix and Hadamard coefficient sets.
+        let coeff_sets = [[0.99, 0.01, 0.01, 0.99], [1.0, 1.0, 1.0, -1.0]];
+        for isa in simd_isas() {
+            force(isa).unwrap();
+            for &c in &coeff_sets {
+                // 1..=67 covers empty vectors, sub-lane tails for both
+                // widths, and multi-vector bodies with remainders.
+                for len in (0..=67).chain([128, 1000]) {
+                    let f0 = probe(len, 10 + len as u64);
+                    let f1 = probe(len, 90 + len as u64);
+                    let (mut s0, mut s1) = (f0.clone(), f1.clone());
+                    for k in 0..len {
+                        let (a, b) = (s0[k], s1[k]);
+                        s0[k] = c[0] * a + c[1] * b;
+                        s1[k] = c[2] * a + c[3] * b;
+                    }
+                    let (mut v0, mut v1) = (f0, f1);
+                    assert!(radix2_simd(&mut v0, &mut v1, c), "{isa:?} must dispatch");
+                    assert_eq!(
+                        v0.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        s0.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "{isa:?} len={len}"
+                    );
+                    assert_eq!(
+                        v1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        s1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "{isa:?} len={len}"
+                    );
+                }
+            }
+        }
+        force(before).unwrap();
+    }
+
+    #[test]
+    fn scalar_dispatch_declines_so_callers_keep_their_loop() {
+        let _guard = isa_lock();
+        let before = active();
+        force(Isa::Scalar).unwrap();
+        let mut a = vec![1.0, 2.0];
+        let mut b = vec![3.0, 4.0];
+        assert!(!radix2_simd(&mut a, &mut b, [1.0, 1.0, 1.0, -1.0]));
+        assert_eq!(a, [1.0, 2.0], "declined dispatch must not touch data");
+        force(before).unwrap();
+    }
+}

@@ -96,6 +96,22 @@ pub enum SolverEvent {
         /// Action label (snake_case, `&'static str`).
         action: &'static str,
     },
+    /// The kernel-dispatch decision an instrumented operator made for one
+    /// apply: which SIMD path its fibre kernels run and how the span
+    /// schedule was sized. Emitted once per probed apply by the parallel
+    /// matvec backend and by the serial `Fmmp` operator (with
+    /// `threads = spans = 1`).
+    KernelDispatch {
+        /// Dispatched instruction-set name: `"scalar"`, `"avx2"` or
+        /// `"avx512"`.
+        isa: &'static str,
+        /// Cooperating worker threads the schedule was built for (1 means
+        /// the apply ran serial).
+        threads: usize,
+        /// Total claimable span units across all passes (1 for a serial
+        /// apply).
+        spans: usize,
+    },
     /// Bytes the solve's reusable workspace allocated after its warm-up
     /// phase (pool misses only — see `quasispecies::Workspace`). Zero
     /// means the iteration loop's working set never grew past the warmed
@@ -120,6 +136,7 @@ impl SolverEvent {
             SolverEvent::Retry { .. } => "retry",
             SolverEvent::GuardrailTripped { .. } => "guardrail_tripped",
             SolverEvent::RecoveryAction { .. } => "recovery_action",
+            SolverEvent::KernelDispatch { .. } => "kernel_dispatch",
             SolverEvent::SolveAllocation { .. } => "solve_allocation",
         }
     }
@@ -191,6 +208,16 @@ impl SolverEvent {
             }
             SolverEvent::RecoveryAction { action } => {
                 let _ = write!(s, ",\"action\":\"{action}\"");
+            }
+            SolverEvent::KernelDispatch {
+                isa,
+                threads,
+                spans,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"isa\":\"{isa}\",\"threads\":{threads},\"spans\":{spans}"
+                );
             }
             SolverEvent::SolveAllocation { bytes } => {
                 let _ = write!(s, ",\"bytes\":{bytes}");
@@ -318,6 +345,20 @@ mod tests {
         assert_eq!(
             e.to_json_line(),
             "{\"event\":\"recovery_action\",\"action\":\"fallback_lanczos\"}"
+        );
+    }
+
+    #[test]
+    fn kernel_dispatch_event_encodes_isa_and_schedule() {
+        let e = SolverEvent::KernelDispatch {
+            isa: "avx2",
+            threads: 4,
+            spans: 96,
+        };
+        assert_eq!(e.tag(), "kernel_dispatch");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"kernel_dispatch\",\"isa\":\"avx2\",\"threads\":4,\"spans\":96}"
         );
     }
 

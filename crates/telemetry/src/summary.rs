@@ -53,6 +53,10 @@ pub struct TraceSummary {
     /// [`SolverEvent::SolveAllocation`] event, if any. Zero means the
     /// solve's hot path ran allocation-free after warm-up.
     pub solve_alloc_bytes: Option<u64>,
+    /// `(isa, threads, spans)` from the last
+    /// [`SolverEvent::KernelDispatch`] event, if any: the SIMD path and
+    /// span-schedule sizing the matvec kernels ran with.
+    pub kernel_dispatch: Option<(&'static str, usize, usize)>,
 }
 
 impl TraceSummary {
@@ -116,6 +120,11 @@ impl TraceSummary {
                 SolverEvent::Retry { .. } => s.retries += 1,
                 SolverEvent::GuardrailTripped { .. } => s.guardrails += 1,
                 SolverEvent::RecoveryAction { .. } => s.recovery_actions += 1,
+                SolverEvent::KernelDispatch {
+                    isa,
+                    threads,
+                    spans,
+                } => s.kernel_dispatch = Some((isa, threads, spans)),
                 SolverEvent::SolveAllocation { bytes } => s.solve_alloc_bytes = Some(bytes),
             }
         }
@@ -181,6 +190,12 @@ impl fmt::Display for TraceSummary {
                 f,
                 "  recovery: {} guardrail trips, {} recovery actions",
                 self.guardrails, self.recovery_actions
+            )?;
+        }
+        if let Some((isa, threads, spans)) = self.kernel_dispatch {
+            writeln!(
+                f,
+                "  dispatch: {isa} kernels, {threads} worker(s), {spans} span unit(s)"
             )?;
         }
         if let Some(bytes) = self.solve_alloc_bytes {
@@ -321,6 +336,27 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("1 detected, 2 retries"));
         assert!(text.contains("1 guardrail trips, 1 recovery actions"));
+    }
+
+    #[test]
+    fn kernel_dispatch_is_surfaced() {
+        let events = vec![
+            SolverEvent::KernelDispatch {
+                isa: "avx2",
+                threads: 2,
+                spans: 48,
+            },
+            SolverEvent::Converged {
+                iterations: 1,
+                matvecs: 1,
+                residual: 1e-14,
+                lambda: 2.0,
+            },
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.kernel_dispatch, Some(("avx2", 2, 48)));
+        let text = s.to_string();
+        assert!(text.contains("avx2 kernels, 2 worker(s), 48 span unit(s)"));
     }
 
     #[test]

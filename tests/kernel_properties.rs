@@ -10,16 +10,40 @@
 //! * span-parallel fused (`par_fmmp_in_place_fused` /
 //!   `par_fwht_in_place_fused`) and the per-stage parallel path,
 //! * the column-blocked batched apply (`fmmp_batch_in_place` /
-//!   `fwht_batch_in_place`) at several column counts.
+//!   `fwht_batch_in_place`) at several column counts,
+//! * every available SIMD dispatch (scalar / AVX2 / AVX-512): forcing any
+//!   ISA must reproduce the scalar staged reference bit for bit, both at
+//!   the whole-transform level and for the raw fibre lane kernels on
+//!   odd-length tails that straddle the vector width.
+
+use std::sync::{Mutex, MutexGuard};
 
 use qs_matvec::fmmp::fmmp_in_place;
+use qs_matvec::fused::{radix2_lanes, radix4_lanes, radix8_lanes, MixButterfly};
 use qs_matvec::fwht::fwht_in_place;
 use qs_matvec::parallel::{
     par_fmmp_in_place, par_fmmp_in_place_fused, par_fwht_in_place, par_fwht_in_place_fused,
 };
-use qs_matvec::{fmmp_batch_in_place, fwht_batch_in_place};
+use qs_matvec::{fmmp_batch_in_place, fwht_batch_in_place, Isa};
 
 const P: f64 = 0.013;
+
+/// The process-wide SIMD dispatch is shared state; tests that force an
+/// ISA serialise on this lock and restore auto-detection before release.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+fn isa_lock() -> MutexGuard<'static, ()> {
+    ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Every ISA the current CPU + build can actually run (scalar is always
+/// first, so the reference below is always computed).
+fn available_isas() -> Vec<Isa> {
+    [Isa::Scalar, Isa::Avx2, Isa::Avx512]
+        .into_iter()
+        .filter(|isa| isa.available())
+        .collect()
+}
 
 /// Deterministic, sign-mixed, non-uniform probe vector: exercises
 /// cancellation paths a positive vector would miss.
@@ -105,6 +129,147 @@ fn batched_apply_is_bit_identical_to_column_by_column_for_nu_1_to_20() {
     for k in [1usize, 2, 3, 8] {
         check_batch(12, k);
     }
+}
+
+#[test]
+fn every_path_matches_the_scalar_reference_under_every_isa_for_nu_1_to_20() {
+    let _guard = isa_lock();
+    let isas = available_isas();
+    for nu in 1..=20u32 {
+        let n = 1usize << nu;
+        let v = probe_vector(n, 31_000 + u64::from(nu));
+        let w = probe_vector(n, 47_000 + u64::from(nu));
+
+        // The pinned truth: the staged reference under forced-scalar
+        // dispatch. Every (ISA × path) cell must reproduce it exactly.
+        qs_matvec::simd::force(Isa::Scalar).expect("scalar is always available");
+        let mut fmmp_ref = v.clone();
+        fmmp_in_place(&mut fmmp_ref, P);
+        let mut fwht_ref = w.clone();
+        fwht_in_place(&mut fwht_ref);
+
+        for &isa in &isas {
+            qs_matvec::simd::force(isa).expect("available() said yes");
+            let tag = |path: &str| format!("{path} ν={nu} isa={}", isa.name());
+
+            let mut staged = v.clone();
+            fmmp_in_place(&mut staged, P);
+            assert_bits_equal(&fmmp_ref, &staged, &tag("fmmp staged"));
+
+            let mut fused = v.clone();
+            qs_matvec::fmmp_in_place_fused(&mut fused, P);
+            assert_bits_equal(&fmmp_ref, &fused, &tag("fmmp fused"));
+
+            let mut par = v.clone();
+            par_fmmp_in_place(&mut par, P);
+            assert_bits_equal(&fmmp_ref, &par, &tag("fmmp par-staged"));
+
+            let mut par_fused = v.clone();
+            par_fmmp_in_place_fused(&mut par_fused, P);
+            assert_bits_equal(&fmmp_ref, &par_fused, &tag("fmmp par-fused"));
+
+            let mut fwht_fused = w.clone();
+            qs_matvec::fwht_in_place_fused(&mut fwht_fused);
+            assert_bits_equal(&fwht_ref, &fwht_fused, &tag("fwht fused"));
+
+            let mut fwht_par = w.clone();
+            par_fwht_in_place_fused(&mut fwht_par);
+            assert_bits_equal(&fwht_ref, &fwht_par, &tag("fwht par-fused"));
+
+            // Batched apply: bounded at two columns so the ν sweep stays
+            // within a reasonable memory/runtime budget.
+            if nu <= 14 {
+                let k = 2usize;
+                let mut slab = Vec::with_capacity(n * k);
+                for j in 0..k {
+                    slab.extend_from_slice(&probe_vector(n, 59_000 + u64::from(nu) * 8 + j as u64));
+                }
+                let mut expected = slab.clone();
+                qs_matvec::simd::force(Isa::Scalar).expect("scalar is always available");
+                for col in expected.chunks_exact_mut(n) {
+                    fmmp_in_place(col, P);
+                }
+                qs_matvec::simd::force(isa).expect("available() said yes");
+                fmmp_batch_in_place(&mut slab, k, P);
+                assert_bits_equal(&expected, &slab, &tag("fmmp batch"));
+            }
+        }
+    }
+    qs_matvec::simd::reset_auto();
+}
+
+/// Lengths chosen to straddle the 4-lane (AVX2) and 8-lane (AVX-512)
+/// widths: empty, sub-width, exact multiples, and every off-by-one around
+/// them, so the SIMD main body + scalar tail split is exercised in full.
+const TAIL_LENGTHS: [usize; 19] = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 67,
+];
+
+#[test]
+fn lane_kernels_are_bit_identical_across_isas_on_odd_tails() {
+    let _guard = isa_lock();
+    let bf = MixButterfly::new(P);
+    for &len in &TAIL_LENGTHS {
+        let fibres: Vec<Vec<f64>> = (0..8)
+            .map(|j| probe_vector(len.max(1), 83_000 + len as u64 * 8 + j)[..len].to_vec())
+            .collect();
+
+        // Scalar truth for each radix kernel.
+        qs_matvec::simd::force(Isa::Scalar).expect("scalar is always available");
+        let scalar2 = {
+            let mut f: Vec<Vec<f64>> = fibres[..2].to_vec();
+            let (a, b) = f.split_at_mut(1);
+            radix2_lanes(&mut a[0], &mut b[0], bf);
+            f
+        };
+        let scalar4 = {
+            let mut f: Vec<Vec<f64>> = fibres[..4].to_vec();
+            let [f0, f1, f2, f3] = f.as_mut_slice() else {
+                unreachable!()
+            };
+            radix4_lanes(f0, f1, f2, f3, bf);
+            f
+        };
+        let scalar8 = {
+            let mut f: Vec<Vec<f64>> = fibres.clone();
+            let [f0, f1, f2, f3, f4, f5, f6, f7] = f.as_mut_slice() else {
+                unreachable!()
+            };
+            radix8_lanes(f0, f1, f2, f3, f4, f5, f6, f7, bf);
+            f
+        };
+
+        for isa in available_isas() {
+            qs_matvec::simd::force(isa).expect("available() said yes");
+            let tag = |r: u32| format!("radix{r} lanes len={len} isa={}", isa.name());
+
+            let mut f = fibres[..2].to_vec();
+            let (a, b) = f.split_at_mut(1);
+            radix2_lanes(&mut a[0], &mut b[0], bf);
+            for (got, want) in f.iter().zip(&scalar2) {
+                assert_bits_equal(want, got, &tag(2));
+            }
+
+            let mut f = fibres[..4].to_vec();
+            let [f0, f1, f2, f3] = f.as_mut_slice() else {
+                unreachable!()
+            };
+            radix4_lanes(f0, f1, f2, f3, bf);
+            for (got, want) in f.iter().zip(&scalar4) {
+                assert_bits_equal(want, got, &tag(4));
+            }
+
+            let mut f = fibres.clone();
+            let [f0, f1, f2, f3, f4, f5, f6, f7] = f.as_mut_slice() else {
+                unreachable!()
+            };
+            radix8_lanes(f0, f1, f2, f3, f4, f5, f6, f7, bf);
+            for (got, want) in f.iter().zip(&scalar8) {
+                assert_bits_equal(want, got, &tag(8));
+            }
+        }
+    }
+    qs_matvec::simd::reset_auto();
 }
 
 fn check_batch(nu: u32, k: usize) {
