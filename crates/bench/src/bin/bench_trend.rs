@@ -339,6 +339,13 @@ fn main() -> ExitCode {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("bench_trend: {e}");
+            eprintln!(
+                "bench_trend: a BENCH record is missing or malformed; regenerate it with\n  \
+                 cargo run --release -p qs-bench --bin bench_fused -- \
+                 --max-nu 18 --threads 1,2,4 --isas auto,scalar\n\
+                 then re-run this gate with --baseline {} --current {}",
+                args.baseline, args.current
+            );
             return ExitCode::FAILURE;
         }
     };

@@ -3,6 +3,8 @@
 //! Subcommands:
 //!
 //! * `solve` — compute the stationary distribution for one `(ν, p)` pair,
+//! * `resume` — continue an interrupted `solve` from its checkpoint
+//!   directory (same arguments as `solve` plus `--checkpoint-dir`),
 //! * `scan` — sweep the error rate and emit the `[Γ_k]` curves of paper
 //!   Figure 1,
 //! * `threshold` — locate the error threshold `p_max` by bisection,
@@ -17,12 +19,21 @@ use args::{ArgError, Args};
 use qs_fault::{FaultPlan, FaultyOp};
 use qs_landscape::{ErrorClass, Landscape, Random, Tabulated};
 use qs_matvec::LinearOperator;
-use qs_telemetry::{JsonLinesProbe, Probe, RecordingProbe, Tee, TraceSummary};
+use qs_telemetry::{JsonLinesProbe, Probe, RecordingProbe, SolverEvent, Tee, TraceSummary};
 use quasispecies::{
-    detect_pmax, scan_error_classes, solve_probed, solve_with_q_operator_probed, Engine, Method,
-    NullProbe, Quasispecies, ShiftStrategy, SolveError, SolverConfig,
+    detect_pmax, resume_durable_probed, scan_error_classes, solve_durable_probed, solve_probed,
+    solve_with_q_operator_durable_probed, solve_with_q_operator_probed, CheckpointConfig, Engine,
+    Method, NullProbe, Quasispecies, ShiftStrategy, SolveError, SolverConfig, FORMAT_VERSION,
 };
 use serde::Serialize;
+
+/// Crate version for provenance records. `option_env!` (not `env!`) so
+/// builds outside cargo — e.g. bare-rustc validation harnesses — still
+/// compile; the fallback matches the workspace version.
+const PKG_VERSION: &str = match option_env!("CARGO_PKG_VERSION") {
+    Some(v) => v,
+    None => "0.1.0",
+};
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -38,7 +49,7 @@ fn main() {
         std::process::exit(2);
     }
     let result = match args.command.as_str() {
-        "solve" => cmd_solve(&args),
+        "solve" | "resume" => cmd_solve(&args),
         "scan" => cmd_scan(&args),
         "threshold" => cmd_threshold(&args),
         "kron" => cmd_kron(&args),
@@ -65,6 +76,10 @@ quasispecies — fast solver for Eigen's quasispecies model (SC'11 reproduction)
 
 USAGE:
   quasispecies solve --nu N --p P [--landscape KIND] [options]
+  quasispecies resume --nu N --p P --checkpoint-dir DIR [options]
+                                     continue an interrupted solve from its
+                                     newest valid snapshot (power method:
+                                     bit-identical; lanczos/rqi: warm restart)
   quasispecies scan --nu N --p-min A --p-max B [--points K] [--landscape KIND]
                     [--full-sweep]     batched full-resolution solve of every
                                        grid point at once (QSweep block power)
@@ -100,6 +115,18 @@ SOLVE OPTIONS:
   --recover / --no-recover           toggle the breakdown recovery ladder
                                      (default: on; off surfaces breakdowns as
                                      immediate typed errors)
+  --checkpoint-dir DIR               write durable, checksummed snapshots of
+                                     the solver state to DIR (double-buffered,
+                                     atomic tmp+rename); enables `resume`
+  --checkpoint-every K               snapshot cadence in outer iterations
+                                     (default 256; 0 = wall-clock cadence only)
+  --checkpoint-wall SECS             also snapshot when SECS of wall time
+                                     passed since the last write
+  --deadline SECS                    wall-clock budget for the solve; on expiry
+                                     the best-so-far iterate is returned as a
+                                     flagged degraded result (exit 0, JSON
+                                     field \"deadline_expired\": true) instead
+                                     of running to convergence
 
 trace-check validates a --trace dump: every line parses, at least one
 residual event, terminal event 'converged' (nonzero exit otherwise).
@@ -217,6 +244,19 @@ fn build_config(args: &Args, nu: u32) -> Result<SolverConfig, CliError> {
         },
         other => return Err(CliError::Bad(format!("unknown method '{other}'"))),
     };
+    // `--deadline SECS` arms a wall-clock budget; the deadline is fixed
+    // here, before any solve work, so engine setup counts against it.
+    let deadline = match args.get("deadline") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .ok()
+                .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                .ok_or_else(|| ArgError::Invalid("deadline".into(), raw.into()))?;
+            Some(std::time::Instant::now() + std::time::Duration::from_secs_f64(secs))
+        }
+    };
     Ok(SolverConfig {
         engine,
         method,
@@ -225,8 +265,40 @@ fn build_config(args: &Args, nu: u32) -> Result<SolverConfig, CliError> {
         // Recovery defaults to on; `--no-recover` surfaces breakdowns as
         // immediate typed errors instead (`--recover` spells the default).
         recover: !args.flag("no-recover"),
+        deadline,
         ..Default::default()
     })
+}
+
+/// Build the `--checkpoint-dir` configuration, if requested. The fault
+/// plan's `torn-write-at` crash rule (if any) is routed into the writer
+/// here — torn writes are a checkpoint-layer fault, not an operator one.
+fn build_checkpoint_config(
+    args: &Args,
+    plan: Option<&FaultPlan>,
+) -> Result<Option<CheckpointConfig>, CliError> {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        for orphan in ["checkpoint-every", "checkpoint-wall"] {
+            if args.get(orphan).is_some() {
+                return Err(CliError::Bad(format!(
+                    "--{orphan} requires --checkpoint-dir"
+                )));
+            }
+        }
+        return Ok(None);
+    };
+    let mut cfg = CheckpointConfig::new(dir);
+    cfg.every_iterations = args.or_default("checkpoint-every", cfg.every_iterations)?;
+    if let Some(raw) = args.get("checkpoint-wall") {
+        let secs: f64 = raw
+            .parse()
+            .ok()
+            .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+            .ok_or_else(|| ArgError::Invalid("checkpoint-wall".into(), raw.into()))?;
+        cfg.every_wall = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    cfg.torn_write_at = plan.and_then(FaultPlan::torn_write_at);
+    Ok(Some(cfg))
 }
 
 /// Load the `--fault-plan` file, if the option is present.
@@ -246,15 +318,24 @@ fn load_fault_plan(args: &Args) -> Result<Option<FaultPlan>, CliError> {
 /// `solve_with_q_operator_probed`, so the conservative shift (which that
 /// entry point does not compute) is materialised into a custom shift
 /// first — a planned fault changes the operator, never the problem.
+/// With `ckpt` the durable entry points run instead (the problem hash is
+/// identical across the plain and fault paths, so a crashed faulty run
+/// resumes cleanly without its plan).
 fn solve_dispatch<P: Probe>(
     p: f64,
     landscape: &dyn Landscape,
     config: &SolverConfig,
     plan: Option<&FaultPlan>,
+    ckpt: Option<&CheckpointConfig>,
+    resume: bool,
     probe: &mut P,
 ) -> Result<Quasispecies, SolveError> {
     let Some(plan) = plan else {
-        return solve_probed(p, landscape, config, probe);
+        return match ckpt {
+            Some(ckpt) if resume => resume_durable_probed(p, landscape, config, ckpt, probe),
+            Some(ckpt) => solve_durable_probed(p, landscape, config, ckpt, probe),
+            None => solve_probed(p, landscape, config, probe),
+        };
     };
     if !(p.is_finite() && p > 0.0 && p <= 0.5) {
         return Err(SolveError::InvalidConfig {
@@ -293,7 +374,18 @@ fn solve_dispatch<P: Probe>(
         }
         config.shift = ShiftStrategy::Custom(qs_matvec::conservative_shift(nu, p, f_min));
     }
-    solve_with_q_operator_probed(q_op, landscape, &config, probe)
+    match ckpt {
+        Some(ckpt) => solve_with_q_operator_durable_probed(
+            q_op,
+            landscape,
+            &config,
+            ckpt,
+            resume,
+            p.to_bits(),
+            probe,
+        ),
+        None => solve_with_q_operator_probed(q_op, landscape, &config, probe),
+    }
 }
 
 #[derive(Serialize)]
@@ -313,6 +405,17 @@ struct SolveRecord {
     /// degraded through); absent for clean solves.
     #[serde(skip_serializing_if = "Option::is_none")]
     recovered_from: Option<String>,
+    /// The `--deadline` budget expired and this is the flagged
+    /// best-so-far iterate (implies `degraded`).
+    deadline_expired: bool,
+    /// Crate version of the emitting binary (build provenance).
+    version: String,
+    /// Resolved SIMD instruction set the butterfly kernels dispatched to.
+    isa: String,
+    /// Worker threads available to the run.
+    threads: usize,
+    /// Checkpoint snapshot format version understood by this build.
+    checkpoint_format: u32,
     entropy: f64,
     classes: Vec<f64>,
     top_sequences: Vec<(String, f64)>,
@@ -345,25 +448,43 @@ fn build_landscape(args: &Args, nu: u32) -> Result<Box<dyn Landscape>, CliError>
     })
 }
 
+/// The `build_info` provenance event for the current process.
+fn build_info_event() -> SolverEvent {
+    SolverEvent::BuildInfo {
+        version: PKG_VERSION,
+        isa: qs_matvec::simd::active().name(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        checkpoint_format: FORMAT_VERSION,
+    }
+}
+
 fn cmd_solve(args: &Args) -> Result<(), CliError> {
     let nu: u32 = args.required("nu")?;
     let p: f64 = args.required("p")?;
     let kind = args.get("landscape").unwrap_or("single-peak");
+    let resume = args.command == "resume";
     let landscape = build_landscape(args, nu)?;
     let config = build_config(args, nu)?;
     let plan = load_fault_plan(args)?;
     let plan = plan.as_ref();
+    let ckpt = build_checkpoint_config(args, plan)?;
+    let ckpt = ckpt.as_ref();
+    if resume && ckpt.is_none() {
+        return Err(CliError::Bad("resume requires --checkpoint-dir".into()));
+    }
 
     // Tracing: record the event stream (and tee it to a JSONL file when
     // `--trace` names one). Without either flag the plain un-probed solve
-    // runs — zero telemetry overhead.
+    // runs — zero telemetry overhead. Traced runs open with a
+    // `build_info` provenance event so resumed runs are auditable.
     let trace_path = args.get("trace");
     let want_summary = args.flag("trace-summary");
     let (qs, recording) = if let Some(path) = trace_path {
         let jsonl = JsonLinesProbe::create(path)
             .map_err(|e| CliError::Bad(format!("cannot create trace file '{path}': {e}")))?;
         let mut tee = Tee(RecordingProbe::new(), jsonl);
-        let outcome = solve_dispatch(p, landscape.as_ref(), &config, plan, &mut tee);
+        tee.record(&build_info_event());
+        let outcome = solve_dispatch(p, landscape.as_ref(), &config, plan, ckpt, resume, &mut tee);
         let Tee(rec, jsonl) = tee;
         // Flush even when the solve failed: a budget-exhausted trace is
         // still a complete, analysable trace.
@@ -373,11 +494,20 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
         (outcome, Some(rec))
     } else if want_summary {
         let mut rec = RecordingProbe::new();
-        let outcome = solve_dispatch(p, landscape.as_ref(), &config, plan, &mut rec);
+        rec.record(&build_info_event());
+        let outcome = solve_dispatch(p, landscape.as_ref(), &config, plan, ckpt, resume, &mut rec);
         (outcome, Some(rec))
     } else {
         (
-            solve_dispatch(p, landscape.as_ref(), &config, plan, &mut NullProbe),
+            solve_dispatch(
+                p,
+                landscape.as_ref(),
+                &config,
+                plan,
+                ckpt,
+                resume,
+                &mut NullProbe,
+            ),
             None,
         )
     };
@@ -413,6 +543,11 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
         converged: qs.stats.converged,
         degraded: qs.stats.degraded,
         recovered_from: qs.stats.recovered_from.clone(),
+        deadline_expired: qs.stats.deadline_expired,
+        version: PKG_VERSION.to_string(),
+        isa: qs_matvec::simd::active().name().to_string(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        checkpoint_format: FORMAT_VERSION,
         entropy: qs.entropy(),
         classes: qs.error_class_concentrations(),
         top_sequences,
@@ -429,7 +564,12 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
             "  λ₀ = {:.12}   ({} iterations, residual {:.2e}, {}/{})",
             record.lambda, record.iterations, record.residual, record.engine, record.method
         );
-        if let Some(kind) = &record.recovered_from {
+        if record.deadline_expired {
+            println!(
+                "  DEADLINE EXPIRED: wall-clock budget ran out; this is the best-so-far \
+                 iterate (valid distribution, residual above tolerance)"
+            );
+        } else if let Some(kind) = &record.recovered_from {
             if record.degraded {
                 println!(
                     "  DEGRADED: breakdown '{kind}' could not be healed; this is the \

@@ -133,6 +133,7 @@ pub fn spectral_gap<A: LinearOperator + ?Sized>(
             shift: 0.0,
             parallel_reductions: false,
             stall_window: None,
+            deadline: None,
         },
     );
     let v0 = top.vector;

@@ -1,0 +1,944 @@
+//! Durable checkpoint/resume for long-running solves.
+//!
+//! Large-ν stationary-distribution runs and (ν, p)-grid sweeps are
+//! exactly the jobs that die to preemption or node loss; the recovery
+//! ladder heals in-process breakdowns but nothing survives process
+//! death. This module makes solver state durable:
+//!
+//! * [`Snapshot`] — a versioned, FNV-checksummed binary image of one
+//!   solver loop's resumable state: the current iterate, iteration and
+//!   matvec counters, residual history, stall-detector state, the active
+//!   method and recovery-ladder rung, the shift/tolerance config, and a
+//!   *problem hash* binding the snapshot to the landscape/ν/p it was
+//!   taken from (a snapshot can never be resumed against the wrong
+//!   problem).
+//! * [`Checkpointer`] — an atomic, double-buffered writer: each snapshot
+//!   is written to a temporary file, fsynced, then renamed over the
+//!   *older* of two slots (`ckpt_a.qsnap` / `ckpt_b.qsnap`), so a crash
+//!   mid-write — even a torn write injected by the fault harness —
+//!   always leaves the previous good snapshot intact.
+//! * [`load_latest`] — slot selection + validation on resume: the newest
+//!   decodable snapshot matching the expected problem hash wins; a torn
+//!   slot next to a good one is tolerated (the good one is returned); a
+//!   checkpoint directory with *only* corrupt snapshots, or a snapshot
+//!   from a different problem, is a typed [`CheckpointError`] — never a
+//!   panic, never a silent wrong-problem resume.
+//!
+//! Because every kernel in this workspace is bit-identical across code
+//! paths, a power solve resumed from a snapshot replays the exact FP
+//! sequence of the uninterrupted run: the snapshot captures the
+//! normalized iterate *after* the end-of-iteration update, and resume
+//! re-enters the loop without renormalising. Krylov methods (Lanczos,
+//! RQI/MINRES) snapshot their current best Ritz iterate and resume by
+//! warm-restarting from it — convergence-preserving rather than
+//! replay-identical; see DESIGN.md §8 for the full crash model.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Version tag embedded in every snapshot; bumped on any change to the
+/// binary layout. Decoders reject other versions with a typed error.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File magic opening every snapshot (8 bytes, fixed).
+const MAGIC: [u8; 8] = *b"QSNAPSHT";
+
+/// The two double-buffered snapshot slots inside a checkpoint directory.
+const SLOTS: [&str; 2] = ["ckpt_a.qsnap", "ckpt_b.qsnap"];
+
+/// Scratch name for the atomic write (same directory as the slots, so
+/// the rename is atomic on POSIX filesystems).
+const TMP_NAME: &str = "ckpt.tmp";
+
+/// Incremental FNV-1a (64-bit) hasher over raw bytes.
+///
+/// Used both for the trailing snapshot checksum and for the problem
+/// hash that binds a snapshot to its landscape/ν/p. Dependency-free and
+/// stable across platforms (all multi-byte values are folded in as
+/// little-endian bytes).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Fold raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Fold a `u64` in as its little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Fold an `f64` in by exact bit pattern (NaN payloads included);
+    /// two hashes agree iff the floats are bitwise equal.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Why a checkpoint operation failed. Every variant is a typed,
+/// recoverable error — corrupt or foreign snapshots are *rejected*,
+/// never trusted and never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem operation failed (the underlying `io::Error` is
+    /// stringified so the variant stays `Clone + PartialEq`).
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Stringified `io::Error`.
+        detail: String,
+    },
+    /// The file is shorter than the fixed header + checksum frame.
+    TooShort {
+        /// Observed file length in bytes.
+        len: usize,
+    },
+    /// The file does not open with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version tag found in the header.
+        found: u32,
+    },
+    /// The trailing FNV-1a checksum does not match the payload: the
+    /// file is torn or bit-rotted.
+    ChecksumMismatch,
+    /// The payload framing is inconsistent (a length field points past
+    /// the end of the file, trailing garbage, non-UTF-8 method label).
+    Malformed {
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// The snapshot is valid but was taken from a *different problem*
+    /// (landscape/ν/p/config hash mismatch); resuming it would silently
+    /// compute the wrong answer, so it is refused.
+    ProblemMismatch {
+        /// Problem hash of the solve asking to resume.
+        expected: u64,
+        /// Problem hash stored in the snapshot.
+        found: u64,
+    },
+    /// Resume was requested but the checkpoint directory holds no
+    /// snapshot at all.
+    NoCheckpoint {
+        /// The directory that was searched.
+        dir: PathBuf,
+    },
+}
+
+impl CheckpointError {
+    /// Stable `snake_case` label for telemetry
+    /// (`checkpoint_rejected` events) and log grepping.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckpointError::Io { .. } => "io_error",
+            CheckpointError::TooShort { .. } => "too_short",
+            CheckpointError::BadMagic => "bad_magic",
+            CheckpointError::UnsupportedVersion { .. } => "unsupported_version",
+            CheckpointError::ChecksumMismatch => "checksum_mismatch",
+            CheckpointError::Malformed { .. } => "malformed",
+            CheckpointError::ProblemMismatch { .. } => "problem_mismatch",
+            CheckpointError::NoCheckpoint { .. } => "no_checkpoint",
+        }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, detail } => {
+                write!(f, "checkpoint I/O error at '{}': {detail}", path.display())
+            }
+            CheckpointError::TooShort { len } => {
+                write!(
+                    f,
+                    "checkpoint file too short ({len} bytes) to be a snapshot"
+                )
+            }
+            CheckpointError::BadMagic => f.write_str("checkpoint file lacks the snapshot magic"),
+            CheckpointError::UnsupportedVersion { found } => write!(
+                f,
+                "checkpoint format version {found} is not supported \
+                 (this build reads version {FORMAT_VERSION})"
+            ),
+            CheckpointError::ChecksumMismatch => {
+                f.write_str("checkpoint checksum mismatch: the snapshot is torn or corrupt")
+            }
+            CheckpointError::Malformed { detail } => {
+                write!(f, "checkpoint payload is malformed: {detail}")
+            }
+            CheckpointError::ProblemMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken from a different problem \
+                 (expected hash {expected:#018x}, snapshot has {found:#018x})"
+            ),
+            CheckpointError::NoCheckpoint { dir } => write!(
+                f,
+                "no checkpoint found in '{}' (nothing to resume)",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One durable image of a solver loop's resumable state.
+///
+/// Field semantics (what exactly `iterate` means, and what resume
+/// guarantees) depend on `method`:
+///
+/// * `"power"` / `"block_power"` — the normalized iterate(s) *after*
+///   the end-of-iteration update; resume replays bit-identically.
+/// * `"lanczos"` / `"rqi"` / `"minres"` — the current best (Ritz)
+///   iterate; resume warm-restarts from it (convergence-preserving).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Hash binding the snapshot to its problem (landscape fitness
+    /// values, ν, p, shift, tolerance, method, formulation, reduction
+    /// mode); see the solver's durable entry points.
+    pub problem: u64,
+    /// Outer iterations completed when the snapshot was taken.
+    pub iteration: u64,
+    /// Operator applications performed so far.
+    pub matvecs: u64,
+    /// Recovery-ladder rung the solve was on (0 = first attempt).
+    /// Snapshots taken mid-recovery are written for inspection but are
+    /// *not* consumed on resume (resume restarts the ladder instead).
+    pub rung: u32,
+    /// Method label, e.g. `"power"`, `"lanczos"`, `"block_power"`.
+    pub method: String,
+    /// Spectral shift in effect (0.0 for none).
+    pub shift: f64,
+    /// Convergence tolerance in effect.
+    pub tol: f64,
+    /// Stall-detector best-residual-seen (`f64::INFINITY` when fresh).
+    pub stall_best: f64,
+    /// Stall-detector consecutive non-improving count.
+    pub stall_count: u64,
+    /// Residual history accumulated so far (already capped/downsampled
+    /// by the session's history policy).
+    pub residual_history: Vec<f64>,
+    /// The resumable iterate (see the method-dependent semantics above).
+    /// For `"block_power"` this is the whole column slab, length
+    /// `k * n`.
+    pub iterate: Vec<f64>,
+}
+
+impl Snapshot {
+    /// Encode to the versioned binary format: magic, version, payload
+    /// (all integers little-endian, floats by exact bit pattern),
+    /// trailing FNV-1a checksum over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + self.method.len() + 8 * (self.residual_history.len() + self.iterate.len()),
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.problem.to_le_bytes());
+        out.extend_from_slice(&self.iteration.to_le_bytes());
+        out.extend_from_slice(&self.matvecs.to_le_bytes());
+        out.extend_from_slice(&self.rung.to_le_bytes());
+        out.extend_from_slice(&(self.method.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.method.as_bytes());
+        out.extend_from_slice(&self.shift.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.tol.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.stall_best.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.stall_count.to_le_bytes());
+        out.extend_from_slice(&(self.residual_history.len() as u64).to_le_bytes());
+        for &v in &self.residual_history {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.iterate.len() as u64).to_le_bytes());
+        for &v in &self.iterate {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut h = Fnv64::new();
+        h.write(&out);
+        out.extend_from_slice(&h.finish().to_le_bytes());
+        out
+    }
+
+    /// Decode and validate a snapshot image. Every malformation —
+    /// truncation at any byte, wrong magic, unknown version, checksum
+    /// mismatch, inconsistent framing — is a typed [`CheckpointError`];
+    /// this function never panics on arbitrary input.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, CheckpointError> {
+        // Fixed frame: magic(8) + version(4) + checksum(8).
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(CheckpointError::TooShort { len: bytes.len() });
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        let mut h = Fnv64::new();
+        h.write(payload);
+        if h.finish() != stored {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+
+        let mut r = Reader {
+            bytes: &payload[12..],
+        };
+        let problem = r.u64()?;
+        let iteration = r.u64()?;
+        let matvecs = r.u64()?;
+        let rung = r.u32()?;
+        let method_len = r.u32()? as usize;
+        let method = std::str::from_utf8(r.take(method_len, "method label")?)
+            .map_err(|_| CheckpointError::Malformed {
+                detail: "method label is not UTF-8".into(),
+            })?
+            .to_string();
+        let shift = r.f64()?;
+        let tol = r.f64()?;
+        let stall_best = r.f64()?;
+        let stall_count = r.u64()?;
+        let residual_history = r.f64_vec("residual history")?;
+        let iterate = r.f64_vec("iterate")?;
+        if !r.bytes.is_empty() {
+            return Err(CheckpointError::Malformed {
+                detail: format!("{} trailing bytes after the iterate", r.bytes.len()),
+            });
+        }
+        Ok(Snapshot {
+            problem,
+            iteration,
+            matvecs,
+            rung,
+            method,
+            shift,
+            tol,
+            stall_best,
+            stall_count,
+            residual_history,
+            iterate,
+        })
+    }
+}
+
+/// Bounds-checked little-endian field reader over a payload slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.bytes.len() < n {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "{what} truncated ({} of {n} bytes present)",
+                    self.bytes.len()
+                ),
+            });
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, "u32 field")?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, "u64 field")?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64_vec(&mut self, what: &str) -> Result<Vec<f64>, CheckpointError> {
+        let len = self.u64()? as usize;
+        // The length field must be consistent with the bytes actually
+        // present *before* any allocation, so a malicious length cannot
+        // trigger a huge reservation.
+        if self.bytes.len() < len.saturating_mul(8) {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "{what} claims {len} values but only {} bytes remain",
+                    self.bytes.len()
+                ),
+            });
+        }
+        let raw = self.take(len * 8, what)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+}
+
+/// Where and how often snapshots are written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Directory holding the double-buffered slots (created on demand).
+    pub dir: PathBuf,
+    /// Write a snapshot every this many outer iterations (0 disables
+    /// the iteration cadence).
+    pub every_iterations: u64,
+    /// Also write when this much wall time elapsed since the last write
+    /// (`None` disables the wall-clock cadence).
+    pub every_wall: Option<Duration>,
+    /// Fault injection: on the k-th snapshot write (1-based), write only
+    /// a truncated prefix directly over the target slot — simulating a
+    /// torn write — and abort the process. Exercises the loader's
+    /// torn-write rejection; never set outside the fault harness.
+    pub torn_write_at: Option<u64>,
+}
+
+impl CheckpointConfig {
+    /// Cadence defaults (snapshot every 256 iterations, no wall-clock
+    /// cadence, no fault injection) for the given directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every_iterations: 256,
+            every_wall: None,
+            torn_write_at: None,
+        }
+    }
+}
+
+/// Atomic double-buffered snapshot writer.
+///
+/// Protocol per write: encode → write to `ckpt.tmp` → `sync_all` →
+/// rename over the slot *not* holding the newest good snapshot. Rename
+/// is atomic on POSIX filesystems, so every crash point leaves at least
+/// one intact snapshot: before the rename the old slots are untouched;
+/// after it the new snapshot is complete (the fsync ordered the data
+/// before the rename).
+#[derive(Debug)]
+pub struct Checkpointer {
+    cfg: CheckpointConfig,
+    /// Slot index the *next* write targets.
+    next_slot: usize,
+    /// Completed writes this session (drives `torn_write_at`).
+    writes: u64,
+    last_write: Option<Instant>,
+}
+
+impl Checkpointer {
+    /// Open a checkpoint directory for writing (creating it if needed).
+    /// The first write targets the older (or absent/corrupt) slot so an
+    /// existing good snapshot is never the first thing overwritten.
+    pub fn create(cfg: CheckpointConfig) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(&cfg.dir).map_err(|e| CheckpointError::Io {
+            path: cfg.dir.clone(),
+            detail: e.to_string(),
+        })?;
+        // Rank each slot by the iteration of the valid snapshot it
+        // holds; invalid or missing slots rank lowest and are reused
+        // first.
+        let rank = |slot: &str| -> Option<u64> {
+            let bytes = fs::read(cfg.dir.join(slot)).ok()?;
+            Snapshot::decode(&bytes).ok().map(|s| s.iteration)
+        };
+        let (a, b) = (rank(SLOTS[0]), rank(SLOTS[1]));
+        let next_slot = if a <= b { 0 } else { 1 };
+        Ok(Checkpointer {
+            cfg,
+            next_slot,
+            writes: 0,
+            last_write: None,
+        })
+    }
+
+    /// The configured cadence settings.
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.cfg
+    }
+
+    /// Should a snapshot be written at the end of `iteration`? True on
+    /// the iteration cadence, or when the wall-clock cadence elapsed.
+    /// `Instant::now()` is consulted only when a wall cadence is set, so
+    /// the default configuration stays syscall-free per iteration.
+    pub fn due(&self, iteration: u64) -> bool {
+        if self.cfg.every_iterations > 0 && iteration % self.cfg.every_iterations == 0 {
+            return true;
+        }
+        match (self.cfg.every_wall, self.last_write) {
+            (Some(wall), Some(last)) => last.elapsed() >= wall,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Atomically persist one snapshot; returns the encoded size in
+    /// bytes. A failed write leaves the previous good snapshot intact.
+    pub fn write(&mut self, snapshot: &Snapshot) -> Result<u64, CheckpointError> {
+        let encoded = snapshot.encode();
+        let slot_path = self.cfg.dir.join(SLOTS[self.next_slot]);
+        if self.cfg.torn_write_at == Some(self.writes + 1) {
+            // Crash injection: tear this write in the worst possible way
+            // — a partial image at the final path, no tmp+rename
+            // protection — then die. The loader must reject the torn
+            // slot and fall back to the other one.
+            let torn = &encoded[..encoded.len() / 2];
+            let _ = fs::write(&slot_path, torn);
+            std::process::abort();
+        }
+        let tmp_path = self.cfg.dir.join(TMP_NAME);
+        let io_err = |path: &Path, e: std::io::Error| CheckpointError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let mut tmp = fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+        tmp.write_all(&encoded).map_err(|e| io_err(&tmp_path, e))?;
+        tmp.sync_all().map_err(|e| io_err(&tmp_path, e))?;
+        drop(tmp);
+        fs::rename(&tmp_path, &slot_path).map_err(|e| io_err(&slot_path, e))?;
+        self.next_slot ^= 1;
+        self.writes += 1;
+        self.last_write = Some(Instant::now());
+        Ok(encoded.len() as u64)
+    }
+}
+
+/// Load the newest valid snapshot for `problem` from a checkpoint
+/// directory.
+///
+/// Slot semantics:
+/// * no slot file exists → `Ok(None)` (nothing to resume);
+/// * at least one slot decodes and matches `problem` → the one with the
+///   highest iteration wins (a torn sibling slot is tolerated — that is
+///   the point of double-buffering);
+/// * slots decode but none matches `problem` → `ProblemMismatch`;
+/// * slot files exist but none decodes → the decode error of the
+///   best-preserved slot (e.g. `ChecksumMismatch` for a torn write).
+pub fn load_latest(dir: &Path, problem: u64) -> Result<Option<Snapshot>, CheckpointError> {
+    let mut best: Option<Snapshot> = None;
+    let mut mismatch: Option<CheckpointError> = None;
+    let mut decode_err: Option<CheckpointError> = None;
+    let mut any_file = false;
+    for slot in SLOTS {
+        let path = dir.join(slot);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                return Err(CheckpointError::Io {
+                    path,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        any_file = true;
+        match Snapshot::decode(&bytes) {
+            Ok(snap) if snap.problem == problem => {
+                if best.as_ref().is_none_or(|b| snap.iteration > b.iteration) {
+                    best = Some(snap);
+                }
+            }
+            Ok(snap) => {
+                mismatch = Some(CheckpointError::ProblemMismatch {
+                    expected: problem,
+                    found: snap.problem,
+                });
+            }
+            Err(e) => {
+                if decode_err.is_none() {
+                    decode_err = Some(e);
+                }
+            }
+        }
+    }
+    match (best, mismatch, decode_err, any_file) {
+        (Some(snap), _, _, _) => Ok(Some(snap)),
+        (None, Some(e), _, _) => Err(e),
+        (None, None, Some(e), _) => Err(e),
+        (None, None, None, _) => Ok(None),
+    }
+}
+
+/// Mutable checkpoint state threaded through one durable solve: owns
+/// the writer, the problem hash, the residual-history accumulator and
+/// the pending resume snapshot, and tracks which method/ladder-rung the
+/// solve is currently running so snapshots describe it truthfully.
+#[derive(Debug)]
+pub struct CheckpointSession {
+    writer: Checkpointer,
+    problem: u64,
+    shift: f64,
+    tol: f64,
+    /// Recovery-ladder rung (0 = first attempt). Snapshots written at
+    /// rung > 0 are tagged so resume can refuse them.
+    rung: u32,
+    method: &'static str,
+    /// Residual history accumulated this solve, capped by
+    /// `history_cap` (0 = unlimited) via uniform downsampling.
+    history: Vec<f64>,
+    history_cap: usize,
+    resume: Option<Snapshot>,
+}
+
+impl CheckpointSession {
+    /// Build a session around an opened writer. `resume` carries the
+    /// already-validated snapshot the solve should continue from (its
+    /// residual history seeds the session's accumulator).
+    pub fn new(
+        writer: Checkpointer,
+        problem: u64,
+        shift: f64,
+        tol: f64,
+        history_cap: usize,
+        resume: Option<Snapshot>,
+    ) -> Self {
+        let history = resume
+            .as_ref()
+            .map(|s| s.residual_history.clone())
+            .unwrap_or_default();
+        CheckpointSession {
+            writer,
+            problem,
+            shift,
+            tol,
+            rung: 0,
+            method: "power",
+            history,
+            history_cap,
+            resume,
+        }
+    }
+
+    /// Consume the pending resume snapshot. Only the ladder's first
+    /// attempt (rung 0) consumes it; once the ladder moves past rung 0
+    /// the snapshot no longer describes the running attempt.
+    pub fn take_resume(&mut self) -> Option<Snapshot> {
+        if self.rung == 0 {
+            self.resume.take()
+        } else {
+            None
+        }
+    }
+
+    /// Record the method label snapshots should carry from now on.
+    pub fn set_method(&mut self, method: &'static str) {
+        self.method = method;
+    }
+
+    /// Record the recovery-ladder rung the solve moved to.
+    pub fn set_rung(&mut self, rung: u32) {
+        self.rung = rung;
+    }
+
+    /// The current recovery-ladder rung.
+    pub fn rung(&self) -> u32 {
+        self.rung
+    }
+
+    /// Append one residual measurement, downsampling uniformly once the
+    /// accumulator doubles past the cap (so per-iteration cost stays
+    /// amortised O(1) and snapshots stay small).
+    pub fn push_residual(&mut self, residual: f64) {
+        self.history.push(residual);
+        if self.history_cap > 0 && self.history.len() > 2 * self.history_cap {
+            crate::result::downsample_uniform(&mut self.history, self.history_cap);
+        }
+    }
+
+    /// The accumulated residual history (resume seed + this run).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Is a snapshot due at the end of `iteration`?
+    pub fn due(&self, iteration: u64) -> bool {
+        self.writer.due(iteration)
+    }
+
+    /// Write a snapshot of the current state; returns encoded bytes on
+    /// success. Callers emit the corresponding telemetry event (written
+    /// or rejected) — a failed checkpoint write must never kill a
+    /// healthy solve.
+    pub fn write_snapshot(
+        &mut self,
+        iteration: u64,
+        matvecs: u64,
+        stall: (f64, usize),
+        iterate: &[f64],
+    ) -> Result<u64, CheckpointError> {
+        let snapshot = Snapshot {
+            problem: self.problem,
+            iteration,
+            matvecs,
+            rung: self.rung,
+            method: self.method.to_string(),
+            shift: self.shift,
+            tol: self.tol,
+            stall_best: stall.0,
+            stall_count: stall.1 as u64,
+            residual_history: self.history.clone(),
+            iterate: iterate.to_vec(),
+        };
+        self.writer.write(&snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            problem: 0x1234_5678_9abc_def0,
+            iteration: 512,
+            matvecs: 515,
+            rung: 0,
+            method: "power".to_string(),
+            shift: 0.25,
+            tol: 1e-13,
+            stall_best: 3.5e-9,
+            stall_count: 17,
+            residual_history: vec![1.0, 0.5, 0.25, 3.5e-9],
+            iterate: vec![0.5, -0.5, 0.5, 0.5],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qs-checkpoint-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let snap = sample();
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        // Bit-exactness beyond PartialEq: negative zero and the stall
+        // sentinel survive.
+        let mut odd = sample();
+        odd.iterate = vec![-0.0, f64::MIN_POSITIVE];
+        odd.stall_best = f64::INFINITY;
+        let decoded = Snapshot::decode(&odd.encode()).unwrap();
+        assert_eq!(decoded.iterate[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(decoded.stall_best, f64::INFINITY);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let encoded = sample().encode();
+        for len in 0..encoded.len() {
+            let result = Snapshot::decode(&encoded[..len]);
+            assert!(result.is_err(), "truncation to {len} bytes must fail");
+        }
+    }
+
+    #[test]
+    fn corruptions_map_to_the_right_variants() {
+        let encoded = sample().encode();
+        assert_eq!(
+            Snapshot::decode(&encoded[..10]),
+            Err(CheckpointError::TooShort { len: 10 })
+        );
+        let mut bad_magic = encoded.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(Snapshot::decode(&bad_magic), Err(CheckpointError::BadMagic));
+        let mut bad_version = encoded.clone();
+        bad_version[8] = 99;
+        assert_eq!(
+            Snapshot::decode(&bad_version),
+            Err(CheckpointError::UnsupportedVersion { found: 99 })
+        );
+        // Any payload bit-flip is caught by the checksum.
+        let mut flipped = encoded.clone();
+        flipped[40] ^= 0x01;
+        assert_eq!(
+            Snapshot::decode(&flipped),
+            Err(CheckpointError::ChecksumMismatch)
+        );
+        // Trailing garbage (with a recomputed checksum) is malformed.
+        let mut padded = encoded[..encoded.len() - 8].to_vec();
+        padded.extend_from_slice(&[0u8; 4]);
+        let mut h = Fnv64::new();
+        h.write(&padded);
+        let sum = h.finish();
+        padded.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&padded),
+            Err(CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_length_field_is_rejected_without_allocating() {
+        // Corrupt the iterate length field to u64::MAX and recompute the
+        // checksum: the decoder must refuse before reserving memory.
+        let snap = Snapshot {
+            residual_history: vec![],
+            iterate: vec![],
+            ..sample()
+        };
+        let encoded = snap.encode();
+        let mut bytes = encoded[..encoded.len() - 8].to_vec();
+        let iterate_len_at = bytes.len() - 8;
+        bytes[iterate_len_at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut h = Fnv64::new();
+        h.write(&bytes);
+        let sum = h.finish();
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn double_buffer_alternates_and_survives_one_torn_slot() {
+        let dir = tmp_dir("double-buffer");
+        let mut writer = Checkpointer::create(CheckpointConfig::new(&dir)).unwrap();
+        let mut snap = sample();
+        snap.iteration = 100;
+        writer.write(&snap).unwrap();
+        snap.iteration = 200;
+        writer.write(&snap).unwrap();
+        // Newest wins.
+        let loaded = load_latest(&dir, snap.problem).unwrap().unwrap();
+        assert_eq!(loaded.iteration, 200);
+        // Tear the newer slot: the loader falls back to the older one.
+        let newer = [0, 1]
+            .map(|i| dir.join(SLOTS[i]))
+            .into_iter()
+            .find(|p| {
+                fs::read(p)
+                    .ok()
+                    .and_then(|b| Snapshot::decode(&b).ok())
+                    .is_some_and(|s| s.iteration == 200)
+            })
+            .unwrap();
+        let bytes = fs::read(&newer).unwrap();
+        fs::write(&newer, &bytes[..bytes.len() / 2]).unwrap();
+        let loaded = load_latest(&dir, snap.problem).unwrap().unwrap();
+        assert_eq!(loaded.iteration, 100);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn only_corrupt_slots_is_an_error_and_empty_dir_is_none() {
+        let dir = tmp_dir("corrupt-only");
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(load_latest(&dir, 7), Ok(None));
+        fs::write(dir.join(SLOTS[0]), b"not a snapshot at all").unwrap();
+        assert!(load_latest(&dir, 7).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_problem_is_a_typed_mismatch() {
+        let dir = tmp_dir("mismatch");
+        let mut writer = Checkpointer::create(CheckpointConfig::new(&dir)).unwrap();
+        writer.write(&sample()).unwrap();
+        let err = load_latest(&dir, 42).unwrap_err();
+        assert!(matches!(err, CheckpointError::ProblemMismatch { .. }));
+        assert_eq!(err.label(), "problem_mismatch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_reuses_the_invalid_slot_first() {
+        let dir = tmp_dir("slot-pick");
+        let mut writer = Checkpointer::create(CheckpointConfig::new(&dir)).unwrap();
+        let mut snap = sample();
+        snap.iteration = 300;
+        writer.write(&snap).unwrap();
+        // Reopen: the next write must land on the *other* (empty) slot,
+        // keeping the good snapshot until a newer one exists.
+        let mut reopened = Checkpointer::create(CheckpointConfig::new(&dir)).unwrap();
+        snap.iteration = 400;
+        reopened.write(&snap).unwrap();
+        let a = fs::read(dir.join(SLOTS[0]))
+            .ok()
+            .map(|b| Snapshot::decode(&b));
+        let b = fs::read(dir.join(SLOTS[1]))
+            .ok()
+            .map(|b| Snapshot::decode(&b));
+        let iters: Vec<u64> = [a, b]
+            .into_iter()
+            .flatten()
+            .filter_map(|r| r.ok().map(|s| s.iteration))
+            .collect();
+        assert!(iters.contains(&300) && iters.contains(&400), "{iters:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn iteration_cadence_and_session_history_cap() {
+        let dir = tmp_dir("session");
+        let mut cfg = CheckpointConfig::new(&dir);
+        cfg.every_iterations = 10;
+        let writer = Checkpointer::create(cfg).unwrap();
+        let mut session = CheckpointSession::new(writer, 7, 0.0, 1e-13, 4, None);
+        assert!(!session.due(9));
+        assert!(session.due(10));
+        for i in 0..32 {
+            session.push_residual(1.0 / (i + 1) as f64);
+        }
+        assert!(session.history().len() <= 8, "{}", session.history().len());
+        // The most recent measurement always survives downsampling.
+        assert_eq!(*session.history().last().unwrap(), 1.0 / 32.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_recovery_sessions_do_not_offer_the_resume_snapshot() {
+        let dir = tmp_dir("rung");
+        let writer = Checkpointer::create(CheckpointConfig::new(&dir)).unwrap();
+        let mut session = CheckpointSession::new(writer, 7, 0.0, 1e-13, 0, Some(sample()));
+        session.set_rung(1);
+        assert!(session.take_resume().is_none());
+        session.set_rung(0);
+        assert!(session.take_resume().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the FNV-1a constants against accidental drift: the empty
+        // hash is the offset basis and "a" has a known value.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -86,6 +86,25 @@ impl StallDetector {
         }
     }
 
+    /// Rebuild a detector from a persisted `(best, stalled)` pair (see
+    /// [`state`](Self::state)). Used by checkpoint resume so a restarted
+    /// loop observes the *same* stagnation history as the uninterrupted
+    /// run — a requirement for bit-identical replay.
+    pub fn restore(window: usize, best: f64, stalled: usize) -> Self {
+        StallDetector {
+            window,
+            best,
+            stalled,
+        }
+    }
+
+    /// The persistable state `(best residual seen, consecutive
+    /// non-improving measurements)`; round-trips through
+    /// [`restore`](Self::restore).
+    pub fn state(&self) -> (f64, usize) {
+        (self.best, self.stalled)
+    }
+
     /// Feed one residual measurement; returns `true` when the detector
     /// trips (and stays tripped until reset).
     pub fn observe(&mut self, residual: f64) -> bool {
@@ -131,6 +150,19 @@ mod tests {
         assert!(!d.observe(0.9)); // improvement resets
         assert!(!d.observe(0.9)); // stalled 1
         assert!(d.observe(0.9)); // stalled 2 -> trip
+    }
+
+    #[test]
+    fn restored_detector_continues_the_original_history() {
+        let mut original = StallDetector::new(3);
+        original.observe(1.0);
+        original.observe(1.0); // stalled 1
+        let (best, stalled) = original.state();
+        let mut restored = StallDetector::restore(3, best, stalled);
+        // Both trip on the same future sequence.
+        assert_eq!(original.observe(1.0), restored.observe(1.0)); // stalled 2
+        assert_eq!(original.observe(1.0), restored.observe(1.0)); // stalled 3
+        assert!(restored.observe(1.0));
     }
 
     #[test]

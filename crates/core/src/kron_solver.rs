@@ -172,6 +172,7 @@ impl KroneckerQuasispecies {
                 shift: 0.0,
                 degraded: false,
                 recovered_from: None,
+                deadline_expired: false,
                 residual_history: None,
             },
         )

@@ -13,10 +13,13 @@
 //! working inverse-iteration/Rayleigh-quotient-iteration solver for the
 //! full `W` eigenproblem.
 
+use std::time::Instant;
+
 use qs_linalg::{dot, norm_l2};
 use qs_matvec::LinearOperator;
 use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
+use crate::checkpoint::CheckpointSession;
 use crate::guard::Breakdown;
 use crate::solver::SolveError;
 
@@ -27,6 +30,11 @@ pub struct MinresOptions {
     pub tol: f64,
     /// Iteration budget.
     pub max_iter: usize,
+    /// Wall-clock deadline. When it expires mid-solve the current
+    /// minimal-residual iterate is returned with `timed_out` set instead
+    /// of running the budget out. `None` disables the check (and the
+    /// clock is never read, keeping the loop bit-identical).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for MinresOptions {
@@ -34,6 +42,7 @@ impl Default for MinresOptions {
         MinresOptions {
             tol: 1e-10,
             max_iter: 10_000,
+            deadline: None,
         }
     }
 }
@@ -54,6 +63,9 @@ pub struct MinresOutcome {
     /// the solve stopped early. `None` for convergence or honest budget
     /// exhaustion.
     pub breakdown: Option<Breakdown>,
+    /// `true` when the wall-clock deadline expired before convergence;
+    /// `x` is the best minimal-residual iterate so far.
+    pub timed_out: bool,
 }
 
 /// Solve `A·x = b` for a symmetric operator `A` by MINRES
@@ -95,6 +107,30 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
     opts: &MinresOptions,
     probe: &mut P,
 ) -> Result<MinresOutcome, SolveError> {
+    minres_core(a, b, opts, probe, None)
+}
+
+/// [`minres_probed`] with a durable [`CheckpointSession`]: the residual
+/// trajectory feeds the session history and the current minimal-residual
+/// iterate is snapshotted on the session's cadence, so an interrupted
+/// linear solve can be warm-restarted by the caller.
+pub fn minres_durable<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    b: &[f64],
+    opts: &MinresOptions,
+    probe: &mut P,
+    session: &mut CheckpointSession,
+) -> Result<MinresOutcome, SolveError> {
+    minres_core(a, b, opts, probe, Some(session))
+}
+
+fn minres_core<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    b: &[f64],
+    opts: &MinresOptions,
+    probe: &mut P,
+    mut durable: Option<&mut CheckpointSession>,
+) -> Result<MinresOutcome, SolveError> {
     assert_eq!(b.len(), a.len(), "minres: rhs length mismatch");
     if !(opts.tol.is_finite() && opts.tol > 0.0) {
         return Err(SolveError::InvalidConfig {
@@ -115,6 +151,7 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
             residual: 0.0,
             converged: true,
             breakdown: None,
+            timed_out: false,
         });
     }
 
@@ -137,6 +174,7 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
     let mut iterations = 0;
     let mut converged = false;
     let mut breakdown = None;
+    let mut timed_out = false;
 
     while iterations < opts.max_iter {
         iterations += 1;
@@ -195,6 +233,25 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
             value: residual,
             lambda: 0.0,
         });
+        if let Some(session) = durable.as_deref_mut() {
+            session.push_residual(residual);
+            if session.due(iterations as u64) {
+                match session.write_snapshot(
+                    iterations as u64,
+                    iterations as u64,
+                    (f64::INFINITY, 0),
+                    &x,
+                ) {
+                    Ok(bytes) => probe.record(&SolverEvent::CheckpointWritten {
+                        iter: iterations,
+                        bytes,
+                    }),
+                    Err(_) => probe.record(&SolverEvent::CheckpointRejected {
+                        reason: "write_failed",
+                    }),
+                }
+            }
+        }
 
         if residual <= opts.tol * beta1 {
             converged = true;
@@ -204,6 +261,13 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
             // Invariant subspace exhausted; solution is exact there.
             converged = true;
             residual = 0.0;
+            break;
+        }
+        if opts
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            timed_out = true;
             break;
         }
         // Advance the Lanczos pair.
@@ -220,6 +284,7 @@ pub fn minres_probed<A: LinearOperator + ?Sized, P: Probe>(
         residual,
         converged,
         breakdown,
+        timed_out,
     })
 }
 
@@ -297,6 +362,7 @@ mod tests {
             &MinresOptions {
                 tol: 1e-12,
                 max_iter: 100,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -324,6 +390,7 @@ mod tests {
             &MinresOptions {
                 tol: 1e-9,
                 max_iter: 5_000,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -340,11 +407,31 @@ mod tests {
             &MinresOptions {
                 tol: 1e-15,
                 max_iter: 1,
+                ..Default::default()
             },
         )
         .unwrap();
         assert!(!out.converged);
         assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn expired_deadline_returns_flagged_best_so_far() {
+        let a = DenseOp(DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1e-12]));
+        let out = minres(
+            &a,
+            &[1.0, 1.0],
+            &MinresOptions {
+                tol: 1e-15,
+                max_iter: 10_000,
+                deadline: Some(std::time::Instant::now()),
+            },
+        )
+        .unwrap();
+        assert!(out.timed_out);
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 1);
+        assert!(out.x.iter().all(|v| v.is_finite()));
     }
 
     #[test]
@@ -357,6 +444,7 @@ mod tests {
                 &MinresOptions {
                     tol: bad,
                     max_iter: 10,
+                    ..Default::default()
                 },
             )
             .unwrap_err();

@@ -8,11 +8,14 @@
 //! fewer operator applications than the power iteration, at the cost of
 //! `m` stored basis vectors — exactly the trade-off the paper describes.
 
+use std::time::Instant;
+
 use qs_linalg::vec_ops::{normalize_l2, orient_positive};
 use qs_linalg::{dot, norm_l2, tridiag_eigen};
 use qs_matvec::LinearOperator;
 use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
+use crate::checkpoint::CheckpointSession;
 use crate::guard::Breakdown;
 
 /// Options for [`lanczos`].
@@ -23,6 +26,11 @@ pub struct LanczosOptions {
     pub subspace: usize,
     /// Residual tolerance on the Ritz pair.
     pub tol: f64,
+    /// Wall-clock deadline: expiry stops the run after the current step's
+    /// Ritz extraction and returns the best-so-far pair with
+    /// [`LanczosOutcome::timed_out`] set. `None` (the default) never
+    /// consults the clock.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for LanczosOptions {
@@ -30,6 +38,7 @@ impl Default for LanczosOptions {
         LanczosOptions {
             subspace: 60,
             tol: 1e-13,
+            deadline: None,
         }
     }
 }
@@ -52,6 +61,9 @@ pub struct LanczosOutcome {
     /// basis. `None` for convergence or subspace exhaustion. (The happy
     /// breakdown `β ≈ 0` counts as convergence, not a [`Breakdown`].)
     pub breakdown: Option<Breakdown>,
+    /// `true` when the wall-clock deadline expired before convergence
+    /// (see [`LanczosOptions::deadline`]).
+    pub timed_out: bool,
 }
 
 /// Run Lanczos with full reorthogonalisation on a **symmetric** operator.
@@ -83,6 +95,34 @@ pub fn lanczos_probed<A: LinearOperator + ?Sized, P: Probe>(
     start: &[f64],
     opts: &LanczosOptions,
     probe: &mut P,
+) -> LanczosOutcome {
+    lanczos_core(a, start, opts, probe, None)
+}
+
+/// [`lanczos_probed`] with a durable [`CheckpointSession`]: on the
+/// session's cadence the current dominant Ritz vector is assembled and
+/// snapshotted (method `"lanczos"`). Unlike the power loop, resuming a
+/// Lanczos snapshot warm-restarts a fresh Krylov space from the saved
+/// Ritz iterate — convergence-preserving, not replay-identical, because
+/// the discarded basis cannot be reconstructed bit-exactly. The pending
+/// resume snapshot is consumed by the *caller* (it replaces `start`
+/// before this is invoked).
+pub fn lanczos_durable<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &LanczosOptions,
+    probe: &mut P,
+    session: &mut CheckpointSession,
+) -> LanczosOutcome {
+    lanczos_core(a, start, opts, probe, Some(session))
+}
+
+fn lanczos_core<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &LanczosOptions,
+    probe: &mut P,
+    mut durable: Option<&mut CheckpointSession>,
 ) -> LanczosOutcome {
     assert_eq!(start.len(), a.len(), "lanczos: start length mismatch");
     assert!(opts.subspace >= 1, "subspace must be at least 1");
@@ -169,6 +209,7 @@ pub fn lanczos_probed<A: LinearOperator + ?Sized, P: Probe>(
                 residual: f64::NAN,
                 converged: false,
                 breakdown: Some(Breakdown::LanczosBreakdown),
+                timed_out: false,
             };
         }
 
@@ -182,7 +223,13 @@ pub fn lanczos_probed<A: LinearOperator + ?Sized, P: Probe>(
             value: residual,
             lambda: eig.values[0],
         });
-        if residual <= opts.tol || beta <= f64::EPSILON || basis.len() == opts.subspace {
+        if let Some(session) = durable.as_deref_mut() {
+            session.push_residual(residual);
+        }
+        let expired = opts
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline);
+        if residual <= opts.tol || beta <= f64::EPSILON || basis.len() == opts.subspace || expired {
             let converged = residual <= opts.tol || beta <= f64::EPSILON;
             // Assemble the Ritz vector x = V_m · s₀.
             let mut x = vec![0.0; n];
@@ -215,7 +262,29 @@ pub fn lanczos_probed<A: LinearOperator + ?Sized, P: Probe>(
                 residual,
                 converged,
                 breakdown: None,
+                timed_out: expired && !converged,
             };
+        }
+        // Durable cadence point: assemble the current dominant Ritz
+        // vector (O(m·n), only on cadence steps) so a killed process can
+        // warm-restart from the best iterate known so far.
+        if let Some(session) = durable.as_deref_mut() {
+            if session.due(m as u64) {
+                let mut ritz = vec![0.0; n];
+                for (i, q) in basis.iter().enumerate() {
+                    let si = eig.vectors[(i, 0)];
+                    for (ri, &qi) in ritz.iter_mut().zip(q) {
+                        *ri += si * qi;
+                    }
+                }
+                normalize_l2(&mut ritz);
+                match session.write_snapshot(m as u64, matvecs as u64, (f64::INFINITY, 0), &ritz) {
+                    Ok(bytes) => probe.record(&SolverEvent::CheckpointWritten { iter: m, bytes }),
+                    Err(_) => probe.record(&SolverEvent::CheckpointRejected {
+                        reason: "write_failed",
+                    }),
+                }
+            }
         }
 
         betas.push(beta);
@@ -284,6 +353,7 @@ mod tests {
             &LanczosOptions {
                 subspace: 80,
                 tol: 1e-12,
+                ..Default::default()
             },
         );
         let pi = power_iteration(
@@ -332,6 +402,7 @@ mod tests {
             &LanczosOptions {
                 subspace: 3,
                 tol: 1e-15,
+                ..Default::default()
             },
         );
         assert_eq!(lz.matvecs, 3);

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod guard;
 pub mod kron_solver;
 pub mod krylov;
@@ -59,24 +60,31 @@ pub mod threshold;
 pub mod workspace;
 
 pub use analysis::{spectral_gap, summarize, PopulationSummary, SpectralGap, SpectralGapOptions};
+pub use checkpoint::{
+    load_latest, CheckpointConfig, CheckpointError, CheckpointSession, Checkpointer, Fnv64,
+    Snapshot, FORMAT_VERSION,
+};
 pub use guard::{Breakdown, StallDetector};
 pub use kron_solver::{solve_kronecker, KroneckerQuasispecies};
-pub use krylov::{minres, minres_probed, MinresOptions, MinresOutcome};
-pub use lanczos::{lanczos, lanczos_probed, LanczosOptions, LanczosOutcome};
+pub use krylov::{minres, minres_durable, minres_probed, MinresOptions, MinresOutcome};
+pub use lanczos::{lanczos, lanczos_durable, lanczos_probed, LanczosOptions, LanczosOutcome};
 pub use mixed::{solve_mixed_precision, MixedOptions, MixedStats};
 pub use power::{
-    block_power_iteration, power_iteration, power_iteration_probed, power_iteration_probed_in,
-    BlockPowerOutcome, PowerOptions, PowerOutcome,
+    block_power_iteration, block_power_iteration_durable, power_iteration, power_iteration_probed,
+    power_iteration_probed_in, BlockPowerOutcome, PowerOptions, PowerOutcome,
 };
 pub use reduced::{solve_error_class, ReducedQuasispecies};
 pub use resolution::{marginal, site_marginals, Pyramid};
-pub use result::{Quasispecies, SolveStats};
+pub use result::{downsample_uniform, Quasispecies, SolveStats};
 pub use rqi::{
-    rayleigh_quotient_iteration, rayleigh_quotient_iteration_probed, RqiOptions, RqiOutcome,
+    rayleigh_quotient_iteration, rayleigh_quotient_iteration_durable,
+    rayleigh_quotient_iteration_probed, RqiOptions, RqiOutcome,
 };
 pub use solver::{
-    solve, solve_probed, solve_with_model, solve_with_model_probed, solve_with_q_operator,
-    solve_with_q_operator_probed, Engine, Method, ShiftStrategy, SolveError, SolverConfig,
+    resume_durable, resume_durable_probed, solve, solve_durable, solve_durable_probed,
+    solve_probed, solve_with_model, solve_with_model_probed, solve_with_q_operator,
+    solve_with_q_operator_durable_probed, solve_with_q_operator_probed, Engine, Method,
+    ShiftStrategy, SolveError, SolverConfig,
 };
 pub use threshold::{detect_pmax, scan_error_classes, scan_full, scan_full_sweep, ThresholdScan};
 pub use workspace::{AlignedVec, Workspace, LANE_ALIGN};

@@ -127,6 +127,7 @@ pub fn solve_mixed_precision<L: Landscape + ?Sized>(
             shift: mu,
             parallel_reductions: false,
             stall_window: None,
+            deadline: None,
         },
     );
     if !out.converged {
@@ -145,6 +146,7 @@ pub fn solve_mixed_precision<L: Landscape + ?Sized>(
         shift: mu,
         degraded: false,
         recovered_from: None,
+        deadline_expired: false,
         residual_history: None,
     };
     Ok((

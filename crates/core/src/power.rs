@@ -9,10 +9,13 @@
 //!
 //! The stopping criterion is the paper's residual `R(λ̃, x̃) = ‖Wx̃ − λ̃x̃‖₂`.
 
+use std::time::Instant;
+
 use qs_linalg::vec_ops::{normalize_l2, orient_positive, sub_scaled_into};
 use qs_matvec::LinearOperator;
 use qs_telemetry::{NullProbe, Probe, SolverEvent};
 
+use crate::checkpoint::CheckpointSession;
 use crate::guard::{Breakdown, StallDetector};
 use crate::workspace::Workspace;
 
@@ -36,6 +39,15 @@ pub struct PowerOptions {
     /// disables stagnation detection (the default; the recovery-enabled
     /// `solve` path turns it on).
     pub stall_window: Option<usize>,
+    /// Wall-clock deadline: once `Instant::now()` passes it the loop
+    /// stops after the current iteration's residual measurement and
+    /// reports the best-so-far state with
+    /// [`PowerOutcome::timed_out`] set. The check is a pure scalar
+    /// comparison placed before the iterate update, so the returned
+    /// `(λ, x, residual)` triple stays self-consistent; `Instant::now()`
+    /// is only consulted when a deadline is set, leaving the default
+    /// path's floating-point sequence and syscall profile untouched.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for PowerOptions {
@@ -46,6 +58,7 @@ impl Default for PowerOptions {
             shift: 0.0,
             parallel_reductions: false,
             stall_window: None,
+            deadline: None,
         }
     }
 }
@@ -71,6 +84,10 @@ pub struct PowerOutcome {
     /// iterate collapsed to zero. `None` for convergence or honest
     /// budget exhaustion.
     pub breakdown: Option<Breakdown>,
+    /// `true` when the wall-clock deadline expired before convergence
+    /// (see [`PowerOptions::deadline`]); the outcome is the
+    /// best-so-far state at expiry.
+    pub timed_out: bool,
 }
 
 /// Run the (optionally shifted) power iteration `x ← (A − µI)x / ‖·‖` from
@@ -131,6 +148,34 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
     probe: &mut P,
     ws: &mut Workspace,
 ) -> PowerOutcome {
+    power_iteration_core(a, start, opts, probe, ws, None)
+}
+
+/// [`power_iteration_probed_in`] with a durable [`CheckpointSession`]:
+/// snapshots are written on the session's cadence, and a pending resume
+/// snapshot (if the session holds one) replaces the start vector
+/// *bit-exactly* — the saved iterate is already unit-normalized, so it
+/// re-enters the loop without renormalisation and the continued run
+/// replays the exact floating-point sequence of the uninterrupted one.
+pub fn power_iteration_durable_in<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &PowerOptions,
+    probe: &mut P,
+    ws: &mut Workspace,
+    session: &mut CheckpointSession,
+) -> PowerOutcome {
+    power_iteration_core(a, start, opts, probe, ws, Some(session))
+}
+
+fn power_iteration_core<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &PowerOptions,
+    probe: &mut P,
+    ws: &mut Workspace,
+    mut durable: Option<&mut CheckpointSession>,
+) -> PowerOutcome {
     assert_eq!(
         start.len(),
         a.len(),
@@ -149,11 +194,39 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
         qs_linalg::norm_l2
     };
 
-    let mut x = ws.take_copy(start);
-    assert!(
-        normalize_l2(&mut x) > 0.0,
-        "power_iteration: zero start vector"
-    );
+    let mut iterations = 0;
+    let mut stall = opts.stall_window.map(StallDetector::new);
+    // Resume: a pending snapshot (validated against the problem hash by
+    // the solver entry point) replaces the start state. Its iterate was
+    // captured *after* the end-of-iteration normalisation, so it is used
+    // bit-exactly — re-normalising an already-unit vector is not a
+    // bitwise no-op and would break replay identity.
+    let resume = durable
+        .as_deref_mut()
+        .and_then(|s| s.take_resume())
+        .filter(|snap| snap.iterate.len() == n);
+    let mut x = match &resume {
+        Some(snap) => {
+            iterations = snap.iteration as usize;
+            if let Some(window) = opts.stall_window {
+                stall = Some(StallDetector::restore(
+                    window,
+                    snap.stall_best,
+                    snap.stall_count as usize,
+                ));
+            }
+            probe.record(&SolverEvent::CheckpointLoaded { iter: iterations });
+            ws.take_copy(&snap.iterate)
+        }
+        None => {
+            let mut x = ws.take_copy(start);
+            assert!(
+                normalize_l2(&mut x) > 0.0,
+                "power_iteration: zero start vector"
+            );
+            x
+        }
+    };
 
     // The image and residual live entirely inside the loop, so they can use
     // the 64-byte-aligned pool window: every span the matvec schedule hands
@@ -164,10 +237,9 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
     let mu = opts.shift;
     let mut lambda_shifted = 0.0;
     let mut residual = f64::INFINITY;
-    let mut iterations = 0;
     let mut converged = false;
     let mut breakdown = None;
-    let mut stall = opts.stall_window.map(StallDetector::new);
+    let mut timed_out = false;
 
     // Invariant: the returned (λ, x, residual) triple is self-consistent —
     // the residual is measured at exactly the x that is returned, so
@@ -194,6 +266,9 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
             value: residual,
             lambda: lambda_shifted + mu,
         });
+        if let Some(session) = durable.as_deref_mut() {
+            session.push_residual(residual);
+        }
         // Guardrails. The checks are pure comparisons on already-computed
         // scalars, so the fault-free floating-point sequence is unchanged.
         // The non-finite check runs before the convergence test: a NaN λ
@@ -220,6 +295,15 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
                 break;
             }
         }
+        // The deadline check sits with the budget check, *before* the
+        // iterate update, so expiry hands back the exact x the residual
+        // was measured at — a flagged best-so-far, never a torn state.
+        if let Some(deadline) = opts.deadline {
+            if Instant::now() >= deadline {
+                timed_out = true;
+                break;
+            }
+        }
         if iterations == opts.max_iter {
             break;
         }
@@ -235,6 +319,30 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
         let inv = 1.0 / ny;
         for (xi, &yi) in x.iter_mut().zip(y.iter()) {
             *xi = yi * inv;
+        }
+        // Durable cadence point: x now holds the fully-updated iterate
+        // entering iteration k+1, so a snapshot taken here resumes by
+        // setting `iterations = k` and continuing — the replayed FP
+        // sequence is identical to the uninterrupted run's.
+        if let Some(session) = durable.as_deref_mut() {
+            if session.due(iterations as u64) {
+                let stall_state = stall
+                    .as_ref()
+                    .map(StallDetector::state)
+                    .unwrap_or((f64::INFINITY, 0));
+                match session.write_snapshot(iterations as u64, iterations as u64, stall_state, &x)
+                {
+                    Ok(bytes) => probe.record(&SolverEvent::CheckpointWritten {
+                        iter: iterations,
+                        bytes,
+                    }),
+                    // A failed checkpoint write must never kill a healthy
+                    // solve: surface it in the trace and keep iterating.
+                    Err(_) => probe.record(&SolverEvent::CheckpointRejected {
+                        reason: "write_failed",
+                    }),
+                }
+            }
         }
     }
 
@@ -263,6 +371,7 @@ pub fn power_iteration_probed_in<A: LinearOperator + ?Sized, P: Probe>(
         converged,
         matvecs: iterations,
         breakdown,
+        timed_out,
     }
 }
 
@@ -310,6 +419,32 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
     starts: &[f64],
     opts: &PowerOptions,
 ) -> BlockPowerOutcome {
+    block_power_iteration_core(a, starts, opts, None)
+}
+
+/// [`block_power_iteration`] with a durable [`CheckpointSession`]: the
+/// whole column slab is snapshotted on the session's cadence, and a
+/// pending resume snapshot (matching slab length) replaces the start
+/// slab. Unlike the single-vector power loop, resume here is
+/// *convergence-preserving* rather than replay-identical: per-column
+/// freeze bookkeeping is not persisted, so already-converged columns
+/// simply re-freeze on their first resumed step (their iterates are
+/// already at tolerance).
+pub fn block_power_iteration_durable<A: LinearOperator + ?Sized>(
+    a: &A,
+    starts: &[f64],
+    opts: &PowerOptions,
+    session: &mut CheckpointSession,
+) -> BlockPowerOutcome {
+    block_power_iteration_core(a, starts, opts, Some(session))
+}
+
+fn block_power_iteration_core<A: LinearOperator + ?Sized>(
+    a: &A,
+    starts: &[f64],
+    opts: &PowerOptions,
+    mut durable: Option<&mut CheckpointSession>,
+) -> BlockPowerOutcome {
     let n = a.len();
     assert!(
         !starts.is_empty() && starts.len() % n == 0,
@@ -329,20 +464,43 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
     };
 
     let mu = opts.shift;
-    let mut x = starts.to_vec();
-    for col in x.chunks_exact_mut(n) {
-        assert!(
-            normalize_l2(col) > 0.0,
-            "block_power_iteration: zero start column"
-        );
-    }
+    // Resume: restore the whole slab and the iteration counter from a
+    // pending snapshot (validated upstream). The saved columns are
+    // already normalized, so they skip re-normalisation like the
+    // single-vector resume path.
+    let resume = durable
+        .as_deref_mut()
+        .and_then(|s| s.take_resume())
+        .filter(|snap| snap.iterate.len() == starts.len());
+    let mut iterations = 0;
+    let mut x = match &resume {
+        Some(snap) => {
+            iterations = snap.iteration as usize;
+            snap.iterate.clone()
+        }
+        None => {
+            let mut x = starts.to_vec();
+            for col in x.chunks_exact_mut(n) {
+                assert!(
+                    normalize_l2(col) > 0.0,
+                    "block_power_iteration: zero start column"
+                );
+            }
+            x
+        }
+    };
     let mut y = vec![0.0; n * k];
     let mut r = vec![0.0; n];
     let mut done: Vec<Option<PowerOutcome>> = vec![None; k];
-    let mut iterations = 0;
 
     while iterations < opts.max_iter && done.iter().any(|d| d.is_none()) {
         iterations += 1;
+        // One wall-clock read per *block* step: when the deadline has
+        // passed, every still-running column freezes this iteration with
+        // its freshly-measured (λ, residual) and `timed_out` set.
+        let expired = opts
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline);
         y.copy_from_slice(&x);
         a.apply_batch(&mut y);
         for (j, (xc, yc)) in x.chunks_exact_mut(n).zip(y.chunks_exact_mut(n)).enumerate() {
@@ -359,7 +517,7 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
             let residual = norm(&r);
             let finite = residual.is_finite() && lambda_shifted.is_finite();
             let converged = finite && residual <= opts.tol;
-            let budget_spent = iterations == opts.max_iter;
+            let budget_spent = iterations == opts.max_iter || expired;
             if converged || !finite || budget_spent {
                 let mut vector = xc.to_vec();
                 orient_positive(&mut vector);
@@ -375,6 +533,7 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
                     } else {
                         Some(Breakdown::NonFiniteIterate)
                     },
+                    timed_out: expired && !converged && finite,
                 });
                 continue;
             }
@@ -390,12 +549,25 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
                     converged: false,
                     matvecs: iterations,
                     breakdown: Some(Breakdown::IterateCollapse),
+                    timed_out: false,
                 });
                 continue;
             }
             let inv = 1.0 / ny;
             for (xi, &yi) in xc.iter_mut().zip(yc.iter()) {
                 *xi = yi * inv;
+            }
+        }
+        // Durable cadence point: the slab holds every live column's
+        // fully-updated iterate (frozen lanes keep their final state).
+        if let Some(session) = durable.as_deref_mut() {
+            if session.due(iterations as u64) {
+                let _ = session.write_snapshot(
+                    iterations as u64,
+                    (iterations * k) as u64,
+                    (f64::INFINITY, 0),
+                    &x,
+                );
             }
         }
     }
@@ -416,6 +588,7 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
                     converged: false,
                     matvecs: 0,
                     breakdown: None,
+                    timed_out: false,
                 }
             })
         })
@@ -843,6 +1016,116 @@ mod tests {
         );
         // The iterate is still finite — usable as a best-so-far candidate.
         assert!(out.vector.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn expired_deadline_returns_flagged_best_so_far() {
+        let nu = 8u32;
+        let landscape = SinglePeak::new(nu, 2.0, 1.0);
+        let w = w_op(nu, 0.01, &landscape);
+        let out = power_iteration(
+            &w,
+            &start_from(&landscape),
+            &PowerOptions {
+                tol: 0.0, // unreachable: only the deadline can stop it
+                deadline: Some(std::time::Instant::now()),
+                ..Default::default()
+            },
+        );
+        assert!(out.timed_out);
+        assert!(!out.converged);
+        assert!(out.breakdown.is_none());
+        // Exactly one iteration ran: the residual is measured at the
+        // returned x, so the best-so-far contract holds.
+        assert_eq!(out.iterations, 1);
+        assert!(out.residual.is_finite());
+        assert!(out.vector.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn far_future_deadline_keeps_bit_identity() {
+        let nu = 7u32;
+        let landscape = Random::new(nu, 5.0, 1.0, 29);
+        let w = w_op(nu, 0.01, &landscape);
+        let start = start_from(&landscape);
+        let plain = power_iteration(&w, &start, &PowerOptions::default());
+        let dead = power_iteration(
+            &w,
+            &start,
+            &PowerOptions {
+                deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+                ..Default::default()
+            },
+        );
+        assert!(plain.converged && dead.converged && !dead.timed_out);
+        assert_eq!(plain.lambda.to_bits(), dead.lambda.to_bits());
+        assert_eq!(plain.iterations, dead.iterations);
+        for (a, b) in plain.vector.iter().zip(&dead.vector) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn durable_power_resumes_bit_identically() {
+        use crate::checkpoint::{CheckpointConfig, CheckpointSession, Checkpointer};
+        let nu = 8u32;
+        let landscape = Random::new(nu, 5.0, 1.0, 37);
+        let w = w_op(nu, 0.01, &landscape);
+        let start = start_from(&landscape);
+        let opts = PowerOptions {
+            tol: 1e-13,
+            ..Default::default()
+        };
+        let reference = power_iteration(&w, &start, &opts);
+        assert!(reference.converged);
+
+        let dir = std::env::temp_dir().join(format!("qs-power-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = CheckpointConfig::new(&dir);
+        cfg.every_iterations = 5;
+
+        // Phase 1: run with a small budget (simulating a crash), writing
+        // checkpoints along the way.
+        let writer = Checkpointer::create(cfg.clone()).unwrap();
+        let mut session = CheckpointSession::new(writer, 1, opts.shift, opts.tol, 0, None);
+        let cut = reference.iterations / 2;
+        let partial = power_iteration_durable_in(
+            &w,
+            &start,
+            &PowerOptions {
+                max_iter: cut,
+                ..opts
+            },
+            &mut qs_telemetry::NullProbe,
+            &mut Workspace::new(),
+            &mut session,
+        );
+        assert!(!partial.converged);
+
+        // Phase 2: resume from the latest snapshot with the full budget.
+        let snap = crate::checkpoint::load_latest(&dir, 1).unwrap().unwrap();
+        assert!(snap.iteration > 0 && snap.iteration <= cut as u64);
+        let writer = Checkpointer::create(cfg).unwrap();
+        let mut session = CheckpointSession::new(writer, 1, opts.shift, opts.tol, 0, Some(snap));
+        let resumed = power_iteration_durable_in(
+            &w,
+            &start,
+            &opts,
+            &mut qs_telemetry::NullProbe,
+            &mut Workspace::new(),
+            &mut session,
+        );
+
+        // Bit-identical to the uninterrupted run: same λ, same iterate,
+        // same iteration count, same residual bits.
+        assert!(resumed.converged);
+        assert_eq!(resumed.iterations, reference.iterations);
+        assert_eq!(resumed.lambda.to_bits(), reference.lambda.to_bits());
+        assert_eq!(resumed.residual.to_bits(), reference.residual.to_bits());
+        for (a, b) in reference.vector.iter().zip(&resumed.vector) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -82,6 +82,7 @@ impl ReducedQuasispecies {
                 shift: 0.0,
                 degraded: false,
                 recovered_from: None,
+                deadline_expired: false,
                 residual_history: None,
             },
         )

@@ -31,11 +31,35 @@ pub struct SolveStats {
     /// classification of the original breakdown; `None` for clean solves.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub recovered_from: Option<String>,
+    /// `true` when the solve stopped because its wall-clock deadline
+    /// expired (see `SolverConfig::deadline`): the result is the
+    /// best-so-far iterate — a valid distribution, flagged `degraded`
+    /// when above tolerance — rather than an error.
+    #[serde(default)]
+    pub deadline_expired: bool,
     /// Per-iteration residual trajectory, recorded only when the solve ran
     /// with an enabled telemetry probe (`solve_probed` and friends); `None`
-    /// otherwise, and omitted from serialised output.
+    /// otherwise, and omitted from serialised output. Capped at
+    /// `SolverConfig::history_cap` entries by uniform downsampling.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub residual_history: Option<Vec<f64>>,
+}
+
+/// Uniformly downsample `values` in place to at most `cap` entries
+/// (`cap = 0` means unlimited and is a no-op).
+///
+/// Every `stride`-th element is kept walking *backwards* from the last
+/// element, then order is restored — so the most recent measurement
+/// always survives (consumers rely on `history.last()` matching the
+/// final residual) and the kept samples are evenly spaced.
+pub fn downsample_uniform(values: &mut Vec<f64>, cap: usize) {
+    if cap == 0 || values.len() <= cap {
+        return;
+    }
+    let stride = values.len().div_ceil(cap);
+    let mut kept: Vec<f64> = values.iter().rev().step_by(stride).copied().collect();
+    kept.reverse();
+    *values = kept;
 }
 
 /// A computed quasispecies: the dominant eigenpair of `W = Q·F` with the
@@ -164,8 +188,33 @@ mod tests {
             shift: 0.0,
             degraded: false,
             recovered_from: None,
+            deadline_expired: false,
             residual_history: None,
         }
+    }
+
+    #[test]
+    fn downsample_keeps_the_last_element_and_respects_the_cap() {
+        for len in 1..200usize {
+            for cap in 1..24usize {
+                let mut v: Vec<f64> = (0..len).map(|i| i as f64).collect();
+                downsample_uniform(&mut v, cap);
+                assert!(v.len() <= cap, "len {len} cap {cap} kept {}", v.len());
+                assert_eq!(*v.last().unwrap(), (len - 1) as f64);
+                // Still in increasing (original) order.
+                assert!(v.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_is_a_no_op_under_the_cap_or_unlimited() {
+        let mut v: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let original = v.clone();
+        downsample_uniform(&mut v, 50);
+        assert_eq!(v, original);
+        downsample_uniform(&mut v, 0);
+        assert_eq!(v, original);
     }
 
     #[test]

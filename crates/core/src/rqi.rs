@@ -17,6 +17,9 @@
 //! cubically convergent outer steps. Each inner MINRES iteration is one
 //! `Fmmp` application, so everything stays matrix-free.
 
+use std::time::Instant;
+
+use crate::checkpoint::CheckpointSession;
 use crate::guard::Breakdown;
 use crate::krylov::{minres_probed, MinresOptions};
 use crate::solver::SolveError;
@@ -40,6 +43,11 @@ pub struct RqiOptions {
     pub inner_tol: f64,
     /// Inner iteration cap per outer step.
     pub inner_max: usize,
+    /// Wall-clock deadline, threaded into the inner MINRES solves as
+    /// well: when it expires the current outer iterate is returned with
+    /// `timed_out` set instead of erroring. `None` disables the check
+    /// (the clock is never read, keeping the run bit-identical).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for RqiOptions {
@@ -50,6 +58,7 @@ impl Default for RqiOptions {
             max_outer: 12,
             inner_tol: 1e-8,
             inner_max: 2_000,
+            deadline: None,
         }
     }
 }
@@ -74,6 +83,9 @@ pub struct RqiOutcome {
     /// collapsed / went non-finite, or the inner MINRES solve broke down.
     /// `None` for convergence or honest outer-budget exhaustion.
     pub breakdown: Option<Breakdown>,
+    /// `true` when the wall-clock deadline expired before convergence;
+    /// the outcome carries the best iterate evaluated so far.
+    pub timed_out: bool,
 }
 
 /// Rayleigh-quotient iteration on a **symmetric** operator, warm-started
@@ -110,6 +122,31 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
     start: &[f64],
     opts: &RqiOptions,
     probe: &mut P,
+) -> Result<RqiOutcome, SolveError> {
+    rqi_core(a, start, opts, probe, None)
+}
+
+/// [`rayleigh_quotient_iteration_probed`] with a durable
+/// [`CheckpointSession`]: outer residuals feed the session history and
+/// the unit outer iterate is snapshotted on the session's cadence.
+/// Resume is a warm restart — load the snapshot, pass its iterate as
+/// `start` with `warmup: 0`, and RQI re-converges from there.
+pub fn rayleigh_quotient_iteration_durable<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &RqiOptions,
+    probe: &mut P,
+    session: &mut CheckpointSession,
+) -> Result<RqiOutcome, SolveError> {
+    rqi_core(a, start, opts, probe, Some(session))
+}
+
+fn rqi_core<A: LinearOperator + ?Sized, P: Probe>(
+    a: &A,
+    start: &[f64],
+    opts: &RqiOptions,
+    probe: &mut P,
+    mut durable: Option<&mut CheckpointSession>,
 ) -> Result<RqiOutcome, SolveError> {
     assert_eq!(start.len(), a.len(), "rqi: start length mismatch");
     let n = a.len();
@@ -149,6 +186,7 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
     let mut residual = f64::NAN;
     let mut outer = 0usize;
     let mut converged = false;
+    let mut timed_out = false;
 
     if breakdown.is_none() {
         // Evaluate the warm-started pair.
@@ -166,6 +204,9 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
             value: residual,
             lambda: rho,
         });
+        if let Some(session) = durable.as_deref_mut() {
+            session.push_residual(residual);
+        }
         if !rho.is_finite() || !residual.is_finite() {
             breakdown = Some(Breakdown::NonFiniteIterate);
             probe.record(&SolverEvent::GuardrailTripped {
@@ -177,7 +218,7 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
         }
     }
 
-    while breakdown.is_none() && !converged && outer < opts.max_outer {
+    while breakdown.is_none() && !converged && !timed_out && outer < opts.max_outer {
         outer += 1;
         probe.record(&SolverEvent::IterationStart { iter: outer });
         // Inverse-iteration step with the Rayleigh shift: near-singular by
@@ -190,6 +231,7 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
             &MinresOptions {
                 tol: opts.inner_tol,
                 max_iter: opts.inner_max,
+                deadline: opts.deadline,
             },
             &mut *probe,
         )?;
@@ -234,7 +276,27 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
             });
             break;
         }
+        if let Some(session) = durable.as_deref_mut() {
+            session.push_residual(residual);
+            if session.due(outer as u64) {
+                match session.write_snapshot(outer as u64, matvecs as u64, (f64::INFINITY, 0), &x) {
+                    Ok(bytes) => {
+                        probe.record(&SolverEvent::CheckpointWritten { iter: outer, bytes })
+                    }
+                    Err(_) => probe.record(&SolverEvent::CheckpointRejected {
+                        reason: "write_failed",
+                    }),
+                }
+            }
+        }
         converged = residual <= opts.tol;
+        if !converged
+            && opts
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            timed_out = true;
+        }
     }
 
     orient_positive(&mut x);
@@ -260,6 +322,7 @@ pub fn rayleigh_quotient_iteration_probed<A: LinearOperator + ?Sized, P: Probe>(
         residual,
         converged,
         breakdown,
+        timed_out,
     })
 }
 

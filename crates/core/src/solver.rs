@@ -5,10 +5,15 @@
 //! `Pi(Xmvp(ν))`, `Pi(Xmvp(5))` on either a serial ("CPU") or parallel
 //! ("GPU"-substitute) backend.
 
+use std::time::Instant;
+
+use crate::checkpoint::{
+    load_latest, CheckpointConfig, CheckpointError, CheckpointSession, Checkpointer, Fnv64,
+};
 use crate::guard::Breakdown;
-use crate::lanczos::{lanczos_probed, LanczosOptions};
-use crate::power::{power_iteration_probed_in, PowerOptions};
-use crate::result::{Quasispecies, SolveStats};
+use crate::lanczos::{lanczos_durable, lanczos_probed, LanczosOptions};
+use crate::power::{power_iteration_durable_in, power_iteration_probed_in, PowerOptions};
+use crate::result::{downsample_uniform, Quasispecies, SolveStats};
 use crate::workspace::Workspace;
 use qs_landscape::Landscape;
 use qs_matvec::{
@@ -121,6 +126,16 @@ pub struct SolverConfig {
     /// [`SolveStats::degraded`]). With `recover = false` a breakdown is
     /// surfaced immediately as [`SolveError::NumericalBreakdown`].
     pub recover: bool,
+    /// Wall-clock deadline. When it expires mid-solve the best-so-far
+    /// iterate is returned flagged [`SolveStats::deadline_expired`] (and
+    /// [`SolveStats::degraded`]) instead of erroring. `None` disables
+    /// the check entirely — the clock is never read, keeping solves
+    /// bit-identical to earlier releases.
+    pub deadline: Option<Instant>,
+    /// Cap on [`SolveStats::residual_history`] length (and on the
+    /// history persisted in checkpoints): histories longer than this are
+    /// uniformly downsampled. `0` means unlimited.
+    pub history_cap: usize,
 }
 
 impl Default for SolverConfig {
@@ -133,6 +148,8 @@ impl Default for SolverConfig {
             tol: 1e-13,
             max_iter: 200_000,
             recover: true,
+            deadline: None,
+            history_cap: 10_000,
         }
     }
 }
@@ -177,6 +194,10 @@ pub enum SolveError {
         /// poisoned).
         residual: f64,
     },
+    /// A durable-solve operation failed: the checkpoint directory could
+    /// not be opened, a snapshot was corrupt or bound to a different
+    /// problem, or a resume was requested with no snapshot on disk.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for SolveError {
@@ -208,7 +229,14 @@ impl std::fmt::Display for SolveError {
                 "numerical breakdown ({kind}) after {iterations} iterations \
                  (residual {residual:.3e}); recovery exhausted"
             ),
+            SolveError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
+    }
+}
+
+impl From<CheckpointError> for SolveError {
+    fn from(e: CheckpointError) -> Self {
+        SolveError::Checkpoint(e)
     }
 }
 
@@ -260,6 +288,19 @@ pub fn solve_probed<L: Landscape + ?Sized, P: Probe>(
     config: &SolverConfig,
     probe: &mut P,
 ) -> Result<Quasispecies, SolveError> {
+    let (q_op, shift, engine_label) = build_uniform_operator(p, landscape, config)?;
+    solve_operator(q_op, landscape, shift, engine_label, config, None, probe)
+}
+
+/// Assemble the uniform-model `Q` operator and the resolved shift for
+/// `(p, landscape, config)` — the shared front half of [`solve_probed`]
+/// and the durable entry points.
+#[allow(clippy::type_complexity)]
+fn build_uniform_operator<L: Landscape + ?Sized>(
+    p: f64,
+    landscape: &L,
+    config: &SolverConfig,
+) -> Result<(Box<dyn LinearOperator>, f64, String), SolveError> {
     if !(p.is_finite() && p > 0.0 && p <= 0.5) {
         return Err(SolveError::InvalidConfig {
             parameter: "p",
@@ -295,7 +336,151 @@ pub fn solve_probed<L: Landscape + ?Sized, P: Probe>(
         }
         ShiftStrategy::Custom(mu) => mu,
     };
-    solve_operator(q_op, landscape, shift, engine_label, config, probe)
+    Ok((q_op, shift, engine_label))
+}
+
+/// [`solve`] writing durable checkpoints to `ckpt.dir` on the configured
+/// cadence. A fresh durable solve ignores any snapshots already in the
+/// directory (they are overwritten as the new solve progresses); use
+/// [`resume_durable`] to continue from one instead.
+///
+/// # Errors
+///
+/// Same as [`solve`], plus [`SolveError::Checkpoint`] if the checkpoint
+/// directory cannot be created.
+pub fn solve_durable<L: Landscape + ?Sized>(
+    p: f64,
+    landscape: &L,
+    config: &SolverConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<Quasispecies, SolveError> {
+    solve_durable_probed(p, landscape, config, ckpt, &mut NullProbe)
+}
+
+/// [`solve_durable`] with a telemetry [`Probe`] (see [`solve_probed`]).
+///
+/// # Errors
+///
+/// Same as [`solve_durable`].
+pub fn solve_durable_probed<L: Landscape + ?Sized, P: Probe>(
+    p: f64,
+    landscape: &L,
+    config: &SolverConfig,
+    ckpt: &CheckpointConfig,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
+    let (q_op, shift, engine_label) = build_uniform_operator(p, landscape, config)?;
+    let durable = Durable {
+        ckpt: ckpt.clone(),
+        resume: false,
+        salt: p.to_bits(),
+    };
+    solve_operator(
+        q_op,
+        landscape,
+        shift,
+        engine_label,
+        config,
+        Some(durable),
+        probe,
+    )
+}
+
+/// Resume an interrupted durable solve from the newest valid snapshot in
+/// `ckpt.dir`. For [`Method::Power`] the resumed run is **bit-identical**
+/// to the uninterrupted one; for the Krylov methods it warm-restarts
+/// from the snapshotted iterate (convergence-preserving).
+///
+/// # Errors
+///
+/// [`SolveError::Checkpoint`] if the directory holds no snapshot
+/// ([`CheckpointError::NoCheckpoint`]), only corrupt ones, or only
+/// snapshots bound to a different problem
+/// ([`CheckpointError::ProblemMismatch`]); otherwise same as
+/// [`solve_durable`].
+pub fn resume_durable<L: Landscape + ?Sized>(
+    p: f64,
+    landscape: &L,
+    config: &SolverConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<Quasispecies, SolveError> {
+    resume_durable_probed(p, landscape, config, ckpt, &mut NullProbe)
+}
+
+/// [`resume_durable`] with a telemetry [`Probe`].
+///
+/// # Errors
+///
+/// Same as [`resume_durable`].
+pub fn resume_durable_probed<L: Landscape + ?Sized, P: Probe>(
+    p: f64,
+    landscape: &L,
+    config: &SolverConfig,
+    ckpt: &CheckpointConfig,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
+    let (q_op, shift, engine_label) = build_uniform_operator(p, landscape, config)?;
+    let durable = Durable {
+        ckpt: ckpt.clone(),
+        resume: true,
+        salt: p.to_bits(),
+    };
+    solve_operator(
+        q_op,
+        landscape,
+        shift,
+        engine_label,
+        config,
+        Some(durable),
+        probe,
+    )
+}
+
+/// Durable variant of [`solve_with_q_operator_probed`]: solve an
+/// arbitrary `Q` operator with checkpointing, optionally resuming
+/// (`resume = true` requires a valid snapshot on disk). `salt` feeds the
+/// problem hash alongside the landscape/config identity — callers pass
+/// whatever identifies the operator (e.g. `p.to_bits()` for a uniform
+/// model behind a fault-injection wrapper).
+///
+/// # Errors
+///
+/// Same as [`solve_with_q_operator`], plus [`SolveError::Checkpoint`]
+/// for checkpoint I/O, corruption, mismatch or missing-snapshot
+/// conditions.
+pub fn solve_with_q_operator_durable_probed<L: Landscape + ?Sized, P: Probe>(
+    q_op: Box<dyn LinearOperator>,
+    landscape: &L,
+    config: &SolverConfig,
+    ckpt: &CheckpointConfig,
+    resume: bool,
+    salt: u64,
+    probe: &mut P,
+) -> Result<Quasispecies, SolveError> {
+    if q_op.len() != landscape.len() {
+        return Err(SolveError::DimensionMismatch {
+            operator: q_op.len(),
+            landscape: landscape.len(),
+        });
+    }
+    let shift = match config.shift {
+        ShiftStrategy::Custom(mu) => mu,
+        _ => 0.0,
+    };
+    let durable = Durable {
+        ckpt: ckpt.clone(),
+        resume,
+        salt,
+    };
+    solve_operator(
+        q_op,
+        landscape,
+        shift,
+        "custom".into(),
+        config,
+        Some(durable),
+        probe,
+    )
 }
 
 /// Solve for an arbitrary [`MutationModel`] (per-site rates, grouped
@@ -338,7 +523,7 @@ pub fn solve_with_model_probed<M: MutationModel + ?Sized, L: Landscape + ?Sized,
         ShiftStrategy::Custom(mu) => mu,
         _ => 0.0,
     };
-    solve_operator(q_op, landscape, shift, "Kron".into(), config, probe)
+    solve_operator(q_op, landscape, shift, "Kron".into(), config, None, probe)
 }
 
 /// Lowest-level entry: solve for an arbitrary `Q` operator.
@@ -377,7 +562,60 @@ pub fn solve_with_q_operator_probed<L: Landscape + ?Sized, P: Probe>(
         ShiftStrategy::Custom(mu) => mu,
         _ => 0.0,
     };
-    solve_operator(q_op, landscape, shift, "custom".into(), config, probe)
+    solve_operator(q_op, landscape, shift, "custom".into(), config, None, probe)
+}
+
+/// Durable-solve setup threaded into [`solve_operator`] by the
+/// `*_durable` entry points.
+struct Durable {
+    ckpt: CheckpointConfig,
+    /// `true` = continue from the newest valid snapshot (error if none);
+    /// `false` = fresh solve, existing snapshots are ignored.
+    resume: bool,
+    /// Caller-supplied identity component (e.g. the error rate's bits)
+    /// folded into the problem hash.
+    salt: u64,
+}
+
+/// Hash binding checkpoints to their problem: the fitness landscape
+/// (exact bits), dimension, caller salt, shift, tolerance, method,
+/// formulation and reduction mode — everything that changes the bit
+/// stream a resumed solve must reproduce. Engine identity is *excluded*
+/// (all serial engines are bit-identical); the parallel engines differ
+/// through `parallel_reductions`, which is included.
+fn problem_hash(
+    fitness: &[f64],
+    salt: u64,
+    shift: f64,
+    config: &SolverConfig,
+    parallel_reductions: bool,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(fitness.len() as u64);
+    for &f in fitness {
+        h.write_f64(f);
+    }
+    h.write_u64(salt);
+    h.write_f64(shift);
+    h.write_f64(config.tol);
+    match config.method {
+        Method::Power => h.write_u64(0),
+        Method::Lanczos { subspace } => {
+            h.write_u64(1);
+            h.write_u64(subspace as u64);
+        }
+        Method::Rqi { warmup } => {
+            h.write_u64(2);
+            h.write_u64(warmup as u64);
+        }
+    }
+    h.write_u64(match config.formulation {
+        Formulation::Right => 0,
+        Formulation::Symmetric => 1,
+        Formulation::Left => 2,
+    });
+    h.write_u64(u64::from(parallel_reductions));
+    h.finish()
 }
 
 /// Forwarding probe that siphons off every residual value so
@@ -427,6 +665,7 @@ struct Attempt {
     residual: f64,
     converged: bool,
     breakdown: Option<Breakdown>,
+    timed_out: bool,
     method_label: String,
 }
 
@@ -474,6 +713,7 @@ fn run_attempt<P: Probe>(
     verify: bool,
     probe: &mut P,
     ws: &mut Workspace,
+    mut durable: Option<&mut CheckpointSession>,
 ) -> Result<Attempt, SolveError> {
     let form = match method {
         Method::Lanczos { .. } | Method::Rqi { .. } => Formulation::Symmetric,
@@ -482,65 +722,127 @@ fn run_attempt<P: Probe>(
     let w = WOperator::new(q_op, fitness.to_vec(), form);
     let start = convert_eigenvector(Formulation::Right, form, start_r, fitness);
 
-    let (lambda, vector_in_form, iterations, matvecs, residual, converged, breakdown, label) =
-        match method {
-            Method::Power => {
-                let opts = PowerOptions {
-                    tol: config.tol,
-                    max_iter: config.max_iter,
-                    shift,
-                    parallel_reductions,
-                    stall_window: config.recover.then_some(STALL_WINDOW),
-                };
-                let out = power_iteration_probed_in(&w, &start, &opts, probe, ws);
-                let label = if shift != 0.0 { "Pi+shift" } else { "Pi" };
-                (
-                    out.lambda,
-                    out.vector,
-                    out.iterations,
-                    out.matvecs,
-                    out.residual,
-                    out.converged,
-                    out.breakdown,
-                    label.to_string(),
-                )
-            }
-            Method::Lanczos { subspace } => {
-                let opts = LanczosOptions {
-                    subspace,
-                    tol: config.tol,
-                };
-                let out = lanczos_probed(&w, &start, &opts, probe);
-                (
-                    out.lambda,
-                    out.vector,
-                    out.matvecs,
-                    out.matvecs,
-                    out.residual,
-                    out.converged,
-                    out.breakdown,
-                    "Lanczos".to_string(),
-                )
-            }
-            Method::Rqi { warmup } => {
-                let opts = crate::rqi::RqiOptions {
-                    tol: config.tol,
-                    warmup,
-                    ..Default::default()
-                };
-                let out = crate::rqi::rayleigh_quotient_iteration_probed(&w, &start, &opts, probe)?;
-                (
-                    out.lambda,
-                    out.vector,
-                    out.outer_iterations,
-                    out.matvecs,
-                    out.residual,
-                    out.converged,
-                    out.breakdown,
-                    "RQI".to_string(),
-                )
-            }
-        };
+    // The Krylov methods warm-restart from a snapshotted Ritz iterate:
+    // consume the pending resume snapshot here and replace the start
+    // vector. (The power loop replays bit-identically instead and
+    // consumes the snapshot itself.)
+    let krylov_resume = match method {
+        Method::Power => None,
+        Method::Lanczos { .. } | Method::Rqi { .. } => durable
+            .as_deref_mut()
+            .and_then(|s| s.take_resume())
+            .filter(|snap| snap.iterate.len() == start.len()),
+    };
+    if let Some(snap) = &krylov_resume {
+        probe.record(&SolverEvent::CheckpointLoaded {
+            iter: snap.iteration as usize,
+        });
+    }
+
+    let (
+        lambda,
+        vector_in_form,
+        iterations,
+        matvecs,
+        residual,
+        converged,
+        breakdown,
+        timed_out,
+        label,
+    ) = match method {
+        Method::Power => {
+            let opts = PowerOptions {
+                tol: config.tol,
+                max_iter: config.max_iter,
+                shift,
+                parallel_reductions,
+                stall_window: config.recover.then_some(STALL_WINDOW),
+                deadline: config.deadline,
+            };
+            let out = match durable {
+                Some(session) => {
+                    session.set_method("power");
+                    power_iteration_durable_in(&w, &start, &opts, probe, ws, session)
+                }
+                None => power_iteration_probed_in(&w, &start, &opts, probe, ws),
+            };
+            let label = if shift != 0.0 { "Pi+shift" } else { "Pi" };
+            (
+                out.lambda,
+                out.vector,
+                out.iterations,
+                out.matvecs,
+                out.residual,
+                out.converged,
+                out.breakdown,
+                out.timed_out,
+                label.to_string(),
+            )
+        }
+        Method::Lanczos { subspace } => {
+            let opts = LanczosOptions {
+                subspace,
+                tol: config.tol,
+                deadline: config.deadline,
+            };
+            let start = match krylov_resume {
+                Some(snap) => snap.iterate,
+                None => start,
+            };
+            let out = match durable {
+                Some(session) => {
+                    session.set_method("lanczos");
+                    lanczos_durable(&w, &start, &opts, probe, session)
+                }
+                None => lanczos_probed(&w, &start, &opts, probe),
+            };
+            (
+                out.lambda,
+                out.vector,
+                out.matvecs,
+                out.matvecs,
+                out.residual,
+                out.converged,
+                out.breakdown,
+                out.timed_out,
+                "Lanczos".to_string(),
+            )
+        }
+        Method::Rqi { warmup } => {
+            // A resumed RQI continues from an already-warm iterate, so
+            // the power warm-up is skipped.
+            let (start, warmup) = match krylov_resume {
+                Some(snap) => (snap.iterate, 0),
+                None => (start, warmup),
+            };
+            let opts = crate::rqi::RqiOptions {
+                tol: config.tol,
+                warmup,
+                deadline: config.deadline,
+                ..Default::default()
+            };
+            let out = match durable {
+                Some(session) => {
+                    session.set_method("rqi");
+                    crate::rqi::rayleigh_quotient_iteration_durable(
+                        &w, &start, &opts, probe, session,
+                    )?
+                }
+                None => crate::rqi::rayleigh_quotient_iteration_probed(&w, &start, &opts, probe)?,
+            };
+            (
+                out.lambda,
+                out.vector,
+                out.outer_iterations,
+                out.matvecs,
+                out.residual,
+                out.converged,
+                out.breakdown,
+                out.timed_out,
+                "RQI".to_string(),
+            )
+        }
+    };
 
     let (matvecs, residual, converged) = if verify && converged {
         // Shift-invariant check: Wv − λv = (W−µI)v − (λ−µ)v, so the plain
@@ -581,6 +883,7 @@ fn run_attempt<P: Probe>(
         residual,
         converged,
         breakdown,
+        timed_out,
         method_label: label,
     })
 }
@@ -617,6 +920,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
     shift: f64,
     engine_label: String,
     config: &SolverConfig,
+    durable: Option<Durable>,
     probe: &mut P,
 ) -> Result<Quasispecies, SolveError> {
     if !(config.tol.is_finite() && config.tol > 0.0) {
@@ -635,14 +939,55 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
             detail: format!("fitness values must be finite and strictly positive, found {bad}"),
         });
     }
+    let parallel_reductions = engine_label.contains("-par");
+
+    // Durable setup: open the checkpoint writer and — on resume — load
+    // and validate the newest snapshot before any iteration runs.
+    let mut history_seed = Vec::new();
+    let mut session = match durable {
+        Some(d) => {
+            let problem = problem_hash(&fitness, d.salt, shift, config, parallel_reductions);
+            let resume_snap = if d.resume {
+                match load_latest(&d.ckpt.dir, problem) {
+                    Ok(Some(snap)) => Some(snap),
+                    Ok(None) => {
+                        return Err(SolveError::Checkpoint(CheckpointError::NoCheckpoint {
+                            dir: d.ckpt.dir.clone(),
+                        }))
+                    }
+                    Err(e) => {
+                        probe.record(&SolverEvent::CheckpointRejected { reason: e.label() });
+                        return Err(SolveError::Checkpoint(e));
+                    }
+                }
+            } else {
+                None
+            };
+            if probe.enabled() {
+                if let Some(snap) = &resume_snap {
+                    history_seed = snap.residual_history.clone();
+                }
+            }
+            let writer = Checkpointer::create(d.ckpt)?;
+            Some(CheckpointSession::new(
+                writer,
+                problem,
+                shift,
+                config.tol,
+                config.history_cap,
+                resume_snap,
+            ))
+        }
+        None => None,
+    };
+
     let mut probe = HistoryProbe {
         inner: probe,
-        residuals: Vec::new(),
+        residuals: history_seed,
     };
     // Paper's start vector in the right formulation.
     let mut start_r = fitness.clone();
     qs_linalg::vec_ops::normalize_l1(&mut start_r);
-    let parallel_reductions = engine_label.contains("-par");
 
     // One warmed buffer pool for every attempt: the power loop's working
     // set (iterate, image, residual) plus the verification buffer all come
@@ -664,6 +1009,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
         false,
         &mut probe,
         &mut ws,
+        session.as_mut(),
     )?;
     let mut total_matvecs = first.matvecs;
     let mut total_iterations = first.iterations;
@@ -689,6 +1035,9 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
         probe.record(&SolverEvent::RecoveryAction {
             action: "restart_renormalised",
         });
+        if let Some(s) = session.as_mut() {
+            s.set_rung(1);
+        }
         let restart_start = match &best {
             Some(a) => {
                 let mut s = a.vector_r.clone();
@@ -709,6 +1058,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
             true,
             &mut probe,
             &mut ws,
+            session.as_mut(),
         )?;
         total_matvecs += attempt.matvecs;
         total_iterations += attempt.iterations;
@@ -726,8 +1076,14 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
         // Rungs 2–3: fall back through the other methods from a fresh
         // paper start (corrupt state is not propagated into fallbacks).
         if recovered.is_none() {
-            for (action, method) in fallback_chain(config.method, fitness.len()) {
+            for (rung, (action, method)) in fallback_chain(config.method, fitness.len())
+                .into_iter()
+                .enumerate()
+            {
                 probe.record(&SolverEvent::RecoveryAction { action });
+                if let Some(s) = session.as_mut() {
+                    s.set_rung(2 + rung as u32);
+                }
                 let attempt = run_attempt(
                     q_op.as_ref(),
                     &fitness,
@@ -740,6 +1096,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                     true,
                     &mut probe,
                     &mut ws,
+                    session.as_mut(),
                 )?;
                 total_matvecs += attempt.matvecs;
                 total_iterations += attempt.iterations;
@@ -777,6 +1134,15 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
                 }
             },
         }
+    } else if first.timed_out && first.usable() {
+        // Deadline expiry is a budget decision, not a failure: hand back
+        // the best-so-far iterate, flagged. (An unusable timed-out
+        // iterate — non-finite without a classified breakdown — falls
+        // through to the NotConverged error below.)
+        probe.record(&SolverEvent::RecoveryAction {
+            action: "deadline_best_so_far",
+        });
+        (first, true, Some("deadline_expired".to_string()))
     } else {
         // Honest budget exhaustion: no breakdown, nothing to recover from.
         return Err(SolveError::NotConverged {
@@ -789,7 +1155,8 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
         bytes: ws.bytes_since_mark(),
     });
 
-    let residuals = probe.residuals;
+    let mut residuals = probe.residuals;
+    downsample_uniform(&mut residuals, config.history_cap);
     let stats = SolveStats {
         iterations: chosen.iterations,
         matvecs: total_matvecs,
@@ -800,6 +1167,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
         shift,
         degraded,
         recovered_from,
+        deadline_expired: chosen.timed_out,
         residual_history: (!residuals.is_empty()).then_some(residuals),
     };
     Ok(Quasispecies::from_right_eigenvector(

@@ -243,6 +243,7 @@ pub fn scan_full_sweep<L: Landscape + ?Sized>(
             shift: 0.0,
             degraded: false,
             recovered_from: None,
+            deadline_expired: false,
             residual_history: None,
         };
         let qs = Quasispecies::from_right_eigenvector(col.lambda, col.vector, stats);

@@ -12,7 +12,14 @@
 //!   hypercube-exchange messages of a chosen sender rank in the simulated
 //!   distributed engine, via [`PlanExchangeFault`] (an
 //!   [`qs_distributed::ExchangeFault`] hook for
-//!   [`qs_distributed::DistributedFmmp::with_faults`]).
+//!   [`qs_distributed::DistributedFmmp::with_faults`]);
+//! * **crash faults** ([`CrashRule`]): kill the whole process. Either
+//!   abort at a chosen matvec index (a [`FaultyOp`] calls
+//!   [`std::process::abort`] — simulating SIGKILL / power loss
+//!   mid-solve), or tear a checkpoint write (the CLI routes
+//!   `torn-write-at` into `CheckpointConfig::torn_write_at`, which
+//!   writes a truncated snapshot prefix and aborts — simulating power
+//!   loss mid-`write(2)`).
 //!
 //! Everything is counter-based and atomic: the same plan applied to the
 //! same solve strikes the same operations, so every failure mode the
@@ -23,7 +30,8 @@
 //!   "matvec":   [{"at": 3, "every": 10, "element": 0,
 //!                 "kind": "nan|inf|sign-flip|perturb", "scale": 1e-3}],
 //!   "exchange": [{"round": 0, "rank": 1, "action": "corrupt|drop",
-//!                 "times": 4}]
+//!                 "times": 4}],
+//!   "crash":    [{"at-matvec": 64}, {"torn-write-at": 2}]
 //! }
 //! ```
 //!
@@ -32,7 +40,9 @@
 //! reduced modulo the operator length so one plan applies to any
 //! problem size. An exchange rule is armed from global round `round`
 //! onward, strikes only messages sent by `rank`, and expires after
-//! `times` strikes (retransmissions count).
+//! `times` strikes (retransmissions count). A crash rule names exactly
+//! one of `at-matvec` (0-based matvec index to abort at) or
+//! `torn-write-at` (1-based checkpoint-write ordinal to tear).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -163,6 +173,23 @@ pub struct ExchangeRule {
     pub times: u64,
 }
 
+/// One deterministic whole-process crash: the ultimate fault. Both
+/// variants kill the process with [`std::process::abort`] (no unwinding,
+/// no destructors — as close to SIGKILL as safe code gets), so they are
+/// only meaningful in a subprocess harness that inspects the exit status
+/// and then resumes from the checkpoint directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashRule {
+    /// Abort the process when matvec index `k` (0-based) is applied by a
+    /// [`FaultyOp`] — power loss mid-solve.
+    AtMatvec(u64),
+    /// Tear checkpoint write ordinal `n` (1-based): write a truncated
+    /// snapshot prefix, then abort — power loss mid-`write(2)`. Routed
+    /// by the harness into `CheckpointConfig::torn_write_at`; a bare
+    /// [`FaultyOp`] ignores it.
+    TornWriteAt(u64),
+}
+
 /// A complete deterministic fault plan.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -170,6 +197,10 @@ pub struct FaultPlan {
     pub matvec: Vec<MatvecFault>,
     /// Exchange-level rules, applied by [`PlanExchangeFault`].
     pub exchange: Vec<ExchangeRule>,
+    /// Whole-process crash rules ([`FaultyOp`] aborts on
+    /// [`CrashRule::AtMatvec`]; the CLI routes
+    /// [`CrashRule::TornWriteAt`] into the checkpoint writer).
+    pub crash: Vec<CrashRule>,
 }
 
 /// A malformed fault-plan document.
@@ -229,6 +260,14 @@ impl FaultPlan {
                         .ok_or_else(|| PlanError::new("'exchange' must be an array".into()))?;
                     for item in items {
                         plan.exchange.push(Self::parse_exchange_rule(item)?);
+                    }
+                }
+                "crash" => {
+                    let items = value
+                        .as_array()
+                        .ok_or_else(|| PlanError::new("'crash' must be an array".into()))?;
+                    for item in items {
+                        plan.crash.push(Self::parse_crash_rule(item)?);
                     }
                 }
                 other => {
@@ -303,6 +342,33 @@ impl FaultPlan {
         })
     }
 
+    fn parse_crash_rule(item: &json::Value) -> Result<CrashRule, PlanError> {
+        let fields = match item {
+            json::Value::Obj(fields) => fields,
+            _ => return Err(PlanError::new("crash rules must be objects".into())),
+        };
+        for (key, _) in fields {
+            if !matches!(key.as_str(), "at-matvec" | "torn-write-at") {
+                return Err(PlanError::new(format!("unknown crash rule field '{key}'")));
+            }
+        }
+        let at_matvec = item.get("at-matvec");
+        let torn = item.get("torn-write-at");
+        match (at_matvec, torn) {
+            (Some(v), None) => Ok(CrashRule::AtMatvec(v.as_u64().ok_or_else(|| {
+                PlanError::new("'at-matvec' must be a non-negative integer".into())
+            })?)),
+            (None, Some(v)) => Ok(CrashRule::TornWriteAt(
+                v.as_u64()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| PlanError::new("'torn-write-at' must be a positive integer (checkpoint-write ordinals are 1-based)".into()))?,
+            )),
+            _ => Err(PlanError::new(
+                "a crash rule must name exactly one of 'at-matvec' or 'torn-write-at'".into(),
+            )),
+        }
+    }
+
     /// Render the plan back to its JSON document form.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"matvec\": [");
@@ -337,13 +403,46 @@ impl FaultPlan {
                 r.times
             ));
         }
-        s.push_str("]}");
+        s.push(']');
+        if !self.crash.is_empty() {
+            s.push_str(", \"crash\": [");
+            for (i, r) in self.crash.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                match r {
+                    CrashRule::AtMatvec(k) => s.push_str(&format!("{{\"at-matvec\": {k}}}")),
+                    CrashRule::TornWriteAt(n) => {
+                        s.push_str(&format!("{{\"torn-write-at\": {n}}}"));
+                    }
+                }
+            }
+            s.push(']');
+        }
+        s.push('}');
         s
     }
 
     /// Whether the plan has no rules at all.
     pub fn is_empty(&self) -> bool {
-        self.matvec.is_empty() && self.exchange.is_empty()
+        self.matvec.is_empty() && self.exchange.is_empty() && self.crash.is_empty()
+    }
+
+    /// The first `at-matvec` crash index in the plan, if any.
+    pub fn crash_at_matvec(&self) -> Option<u64> {
+        self.crash.iter().find_map(|r| match r {
+            CrashRule::AtMatvec(k) => Some(*k),
+            _ => None,
+        })
+    }
+
+    /// The first `torn-write-at` checkpoint-write ordinal in the plan,
+    /// if any (1-based; for `CheckpointConfig::torn_write_at`).
+    pub fn torn_write_at(&self) -> Option<u64> {
+        self.crash.iter().find_map(|r| match r {
+            CrashRule::TornWriteAt(n) => Some(*n),
+            _ => None,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -417,6 +516,27 @@ impl FaultPlan {
                 kind: FaultKind::Perturb,
                 scale,
             }],
+            ..Default::default()
+        }
+    }
+
+    /// Abort the process at matvec `k` — SIGKILL-grade crash mid-solve.
+    /// Only for subprocess harnesses; never put this in [`canned`]
+    /// (in-process sweeps would die).
+    ///
+    /// [`canned`]: FaultPlan::canned
+    pub fn crash_at(k: u64) -> FaultPlan {
+        FaultPlan {
+            crash: vec![CrashRule::AtMatvec(k)],
+            ..Default::default()
+        }
+    }
+
+    /// Tear checkpoint write `n` (1-based): truncated snapshot on disk,
+    /// then abort. Only for subprocess harnesses.
+    pub fn torn_checkpoint_write(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash: vec![CrashRule::TornWriteAt(n.max(1))],
             ..Default::default()
         }
     }
@@ -515,16 +635,20 @@ impl FaultPlan {
 pub struct FaultyOp<A> {
     inner: A,
     rules: Vec<MatvecFault>,
+    crash_at: Option<u64>,
     count: AtomicU64,
 }
 
 impl<A> FaultyOp<A> {
-    /// Wrap `inner`, injecting `plan`'s matvec rules (exchange rules are
-    /// ignored here — hand those to [`PlanExchangeFault`]).
+    /// Wrap `inner`, injecting `plan`'s matvec rules and arming its
+    /// `at-matvec` crash rule, if any (exchange rules are ignored here —
+    /// hand those to [`PlanExchangeFault`]; `torn-write-at` rules belong
+    /// to the checkpoint writer).
     pub fn new(inner: A, plan: &FaultPlan) -> Self {
         FaultyOp {
             inner,
             rules: plan.matvec.clone(),
+            crash_at: plan.crash_at_matvec(),
             count: AtomicU64::new(0),
         }
     }
@@ -541,6 +665,12 @@ impl<A> FaultyOp<A> {
 
     fn inject(&self, y: &mut [f64]) {
         let k = self.count.fetch_add(1, Ordering::Relaxed);
+        if self.crash_at == Some(k) {
+            // SIGKILL-grade: no unwinding, no destructors, no flushing.
+            // Whatever checkpoints hit the disk before this are all the
+            // resume path gets.
+            std::process::abort();
+        }
         for rule in &self.rules {
             if rule.strikes(k) {
                 rule.apply(y);
@@ -697,7 +827,7 @@ mod tests {
                     scale: 0.0,
                 },
             ],
-            exchange: vec![],
+            ..Default::default()
         };
         let n = 4;
         let k = 5;
@@ -746,6 +876,7 @@ mod tests {
                 action: ExchangeAction::Drop,
                 times: 4,
             }],
+            ..Default::default()
         };
         let parsed = FaultPlan::from_json(&plan.to_json()).unwrap();
         assert_eq!(parsed.matvec[0], plan.matvec[0]);
@@ -767,9 +898,57 @@ mod tests {
             r#"{"matvec": [{"at": 1, "kind": "nan", "every": 0}]}"#,
             r#"[1, 2]"#,
             r#"not json"#,
+            // Truncated documents must be a parse error, not a panic.
+            r#"{"matvec": [{"at": 1, "#,
+            r#"{"crash": [{"at-matvec": "#,
+            r#"{"#,
+            r#""#,
         ] {
             assert!(FaultPlan::from_json(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn crash_rules_parse_round_trip_and_enforce_exactly_one_key() {
+        let plan = FaultPlan::from_json(r#"{"crash": [{"at-matvec": 64}, {"torn-write-at": 2}]}"#)
+            .unwrap();
+        assert_eq!(
+            plan.crash,
+            vec![CrashRule::AtMatvec(64), CrashRule::TornWriteAt(2)]
+        );
+        assert_eq!(plan.crash_at_matvec(), Some(64));
+        assert_eq!(plan.torn_write_at(), Some(2));
+        assert!(!plan.is_empty());
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+
+        for bad in [
+            // Exactly one of the two keys, typed correctly.
+            r#"{"crash": [{}]}"#,
+            r#"{"crash": [{"at-matvec": 1, "torn-write-at": 1}]}"#,
+            r#"{"crash": [{"at-matvec": -3}]}"#,
+            r#"{"crash": [{"at-matvec": "soon"}]}"#,
+            r#"{"crash": [{"torn-write-at": 0}]}"#,
+            r#"{"crash": [{"when": 5}]}"#,
+            r#"{"crash": [5]}"#,
+            r#"{"crash": {}}"#,
+        ] {
+            assert!(FaultPlan::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn crash_constructors_and_plain_plans_do_not_abort() {
+        // A plan whose crash index is never reached must be transparent —
+        // this test would die with SIGABRT if arming were wrong.
+        let op = FaultyOp::new(Identity(2), &FaultPlan::crash_at(1_000_000));
+        let x = vec![1.0, 2.0];
+        for _ in 0..10 {
+            assert_eq!(op.apply(&x), x);
+        }
+        // Torn-write rules are inert inside FaultyOp (checkpoint-layer only).
+        let op = FaultyOp::new(Identity(2), &FaultPlan::torn_checkpoint_write(1));
+        assert_eq!(op.apply(&x), x);
+        assert_eq!(FaultPlan::torn_checkpoint_write(0).torn_write_at(), Some(1));
     }
 
     #[test]

@@ -120,6 +120,37 @@ pub enum SolverEvent {
         /// Pool-miss bytes allocated after warm-up.
         bytes: u64,
     },
+    /// A durable solver-state snapshot was written atomically to the
+    /// checkpoint directory.
+    CheckpointWritten {
+        /// 1-based outer iteration the snapshot captures.
+        iter: usize,
+        /// Encoded snapshot size in bytes (including header + checksum).
+        bytes: u64,
+    },
+    /// A resumed solve accepted a snapshot and continued from it.
+    CheckpointLoaded {
+        /// 1-based outer iteration the accepted snapshot captures.
+        iter: usize,
+    },
+    /// A snapshot (or a snapshot write) was rejected or discarded.
+    CheckpointRejected {
+        /// Stable `snake_case` reason label, e.g. `"checksum_mismatch"`,
+        /// `"problem_mismatch"`, `"mid_recovery"`, `"write_failed"`.
+        reason: &'static str,
+    },
+    /// Build/reproducibility provenance for the run: emitted once at the
+    /// start of a traced solve so resumed runs are auditable.
+    BuildInfo {
+        /// Crate version (`CARGO_PKG_VERSION` of the emitting binary).
+        version: &'static str,
+        /// Resolved SIMD instruction set the fibre kernels dispatch to.
+        isa: &'static str,
+        /// Worker threads available to the span schedule.
+        threads: usize,
+        /// Checkpoint snapshot format version understood by this build.
+        checkpoint_format: u32,
+    },
 }
 
 impl SolverEvent {
@@ -138,6 +169,10 @@ impl SolverEvent {
             SolverEvent::RecoveryAction { .. } => "recovery_action",
             SolverEvent::KernelDispatch { .. } => "kernel_dispatch",
             SolverEvent::SolveAllocation { .. } => "solve_allocation",
+            SolverEvent::CheckpointWritten { .. } => "checkpoint_written",
+            SolverEvent::CheckpointLoaded { .. } => "checkpoint_loaded",
+            SolverEvent::CheckpointRejected { .. } => "checkpoint_rejected",
+            SolverEvent::BuildInfo { .. } => "build_info",
         }
     }
 
@@ -221,6 +256,27 @@ impl SolverEvent {
             }
             SolverEvent::SolveAllocation { bytes } => {
                 let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            SolverEvent::CheckpointWritten { iter, bytes } => {
+                let _ = write!(s, ",\"iter\":{iter},\"bytes\":{bytes}");
+            }
+            SolverEvent::CheckpointLoaded { iter } => {
+                let _ = write!(s, ",\"iter\":{iter}");
+            }
+            SolverEvent::CheckpointRejected { reason } => {
+                let _ = write!(s, ",\"reason\":\"{reason}\"");
+            }
+            SolverEvent::BuildInfo {
+                version,
+                isa,
+                threads,
+                checkpoint_format,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"version\":\"{version}\",\"isa\":\"{isa}\",\"threads\":{threads},\
+                     \"checkpoint_format\":{checkpoint_format}"
+                );
             }
         }
         s.push('}');
@@ -374,6 +430,51 @@ mod tests {
         assert_eq!(
             e.to_json_line(),
             "{\"event\":\"solve_allocation\",\"bytes\":4096}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_events_encode_with_snake_case_tags() {
+        let e = SolverEvent::CheckpointWritten {
+            iter: 512,
+            bytes: 8216,
+        };
+        assert_eq!(e.tag(), "checkpoint_written");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"checkpoint_written\",\"iter\":512,\"bytes\":8216}"
+        );
+
+        let e = SolverEvent::CheckpointLoaded { iter: 512 };
+        assert_eq!(e.tag(), "checkpoint_loaded");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"checkpoint_loaded\",\"iter\":512}"
+        );
+
+        let e = SolverEvent::CheckpointRejected {
+            reason: "checksum_mismatch",
+        };
+        assert_eq!(e.tag(), "checkpoint_rejected");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"checkpoint_rejected\",\"reason\":\"checksum_mismatch\"}"
+        );
+    }
+
+    #[test]
+    fn build_info_event_encodes_provenance() {
+        let e = SolverEvent::BuildInfo {
+            version: "0.1.0",
+            isa: "avx2",
+            threads: 4,
+            checkpoint_format: 1,
+        };
+        assert_eq!(e.tag(), "build_info");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"build_info\",\"version\":\"0.1.0\",\"isa\":\"avx2\",\
+             \"threads\":4,\"checkpoint_format\":1}"
         );
     }
 

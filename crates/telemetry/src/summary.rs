@@ -57,6 +57,18 @@ pub struct TraceSummary {
     /// [`SolverEvent::KernelDispatch`] event, if any: the SIMD path and
     /// span-schedule sizing the matvec kernels ran with.
     pub kernel_dispatch: Option<(&'static str, usize, usize)>,
+    /// Number of [`SolverEvent::CheckpointWritten`] events.
+    pub checkpoints_written: u64,
+    /// Total encoded bytes across all checkpoint writes.
+    pub checkpoint_bytes: u64,
+    /// Iteration of the last accepted-resume snapshot
+    /// ([`SolverEvent::CheckpointLoaded`]), if any.
+    pub checkpoint_loaded_iter: Option<usize>,
+    /// Number of [`SolverEvent::CheckpointRejected`] events.
+    pub checkpoints_rejected: u64,
+    /// `(version, isa, threads, checkpoint_format)` from the last
+    /// [`SolverEvent::BuildInfo`] event, if any.
+    pub build_info: Option<(&'static str, &'static str, usize, u32)>,
 }
 
 impl TraceSummary {
@@ -126,6 +138,20 @@ impl TraceSummary {
                     spans,
                 } => s.kernel_dispatch = Some((isa, threads, spans)),
                 SolverEvent::SolveAllocation { bytes } => s.solve_alloc_bytes = Some(bytes),
+                SolverEvent::CheckpointWritten { bytes, .. } => {
+                    s.checkpoints_written += 1;
+                    s.checkpoint_bytes += bytes;
+                }
+                SolverEvent::CheckpointLoaded { iter } => {
+                    s.checkpoint_loaded_iter = Some(iter);
+                }
+                SolverEvent::CheckpointRejected { .. } => s.checkpoints_rejected += 1,
+                SolverEvent::BuildInfo {
+                    version,
+                    isa,
+                    threads,
+                    checkpoint_format,
+                } => s.build_info = Some((version, isa, threads, checkpoint_format)),
             }
         }
         s.stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
@@ -200,6 +226,27 @@ impl fmt::Display for TraceSummary {
         }
         if let Some(bytes) = self.solve_alloc_bytes {
             writeln!(f, "  alloc:    {bytes} bytes past warm-up")?;
+        }
+        if self.checkpoints_written > 0
+            || self.checkpoints_rejected > 0
+            || self.checkpoint_loaded_iter.is_some()
+        {
+            write!(
+                f,
+                "  durable:  {} checkpoint(s) written ({} bytes), {} rejected",
+                self.checkpoints_written, self.checkpoint_bytes, self.checkpoints_rejected
+            )?;
+            match self.checkpoint_loaded_iter {
+                Some(iter) => writeln!(f, ", resumed from iteration {iter}")?,
+                None => writeln!(f)?,
+            }
+        }
+        if let Some((version, isa, threads, format)) = self.build_info {
+            writeln!(
+                f,
+                "  build:    v{version}, {isa} kernels, {threads} thread(s), \
+                 checkpoint format {format}"
+            )?;
         }
         Ok(())
     }
@@ -357,6 +404,46 @@ mod tests {
         assert_eq!(s.kernel_dispatch, Some(("avx2", 2, 48)));
         let text = s.to_string();
         assert!(text.contains("avx2 kernels, 2 worker(s), 48 span unit(s)"));
+    }
+
+    #[test]
+    fn checkpoint_and_build_events_are_surfaced() {
+        let events = vec![
+            SolverEvent::BuildInfo {
+                version: "0.1.0",
+                isa: "scalar",
+                threads: 1,
+                checkpoint_format: 1,
+            },
+            SolverEvent::CheckpointLoaded { iter: 128 },
+            SolverEvent::CheckpointWritten {
+                iter: 256,
+                bytes: 4096,
+            },
+            SolverEvent::CheckpointWritten {
+                iter: 512,
+                bytes: 4096,
+            },
+            SolverEvent::CheckpointRejected {
+                reason: "mid_recovery",
+            },
+            SolverEvent::Converged {
+                iterations: 600,
+                matvecs: 600,
+                residual: 1e-14,
+                lambda: 2.0,
+            },
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.checkpoints_written, 2);
+        assert_eq!(s.checkpoint_bytes, 8192);
+        assert_eq!(s.checkpoint_loaded_iter, Some(128));
+        assert_eq!(s.checkpoints_rejected, 1);
+        assert_eq!(s.build_info, Some(("0.1.0", "scalar", 1, 1)));
+        let text = s.to_string();
+        assert!(text.contains("2 checkpoint(s) written (8192 bytes), 1 rejected"));
+        assert!(text.contains("resumed from iteration 128"));
+        assert!(text.contains("v0.1.0, scalar kernels, 1 thread(s), checkpoint format 1"));
     }
 
     #[test]

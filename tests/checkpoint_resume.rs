@@ -1,0 +1,260 @@
+//! The durability contract, end-to-end through the library API:
+//!
+//! 1. an interrupted power solve, resumed from its checkpoint directory,
+//!    is **bit-identical** to the uninterrupted run;
+//! 2. interrupted Krylov solves warm-restart from the snapshotted Ritz
+//!    iterate and still converge to the same eigenpair;
+//! 3. corrupt, truncated or foreign snapshots surface as typed
+//!    [`CheckpointError`]s — never a panic, never silent bad data;
+//! 4. a `deadline` budget degrades to a flagged best-so-far result
+//!    (`Ok`, `stats.deadline_expired`), never an error or a hang, and an
+//!    unexpired deadline never perturbs the answer.
+
+use qs_landscape::{Random, SinglePeak};
+use quasispecies::{
+    load_latest, resume_durable, solve, solve_durable, CheckpointConfig, CheckpointError, Method,
+    SolveError, SolverConfig,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A fresh per-test checkpoint directory under the system temp dir.
+fn temp_ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qs_ckpt_it_{}_{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_bit_identical(a: &quasispecies::Quasispecies, b: &quasispecies::Quasispecies) {
+    assert_eq!(
+        a.lambda.to_bits(),
+        b.lambda.to_bits(),
+        "λ must match in bits"
+    );
+    assert_eq!(a.concentrations.len(), b.concentrations.len());
+    for (i, (x, y)) in a.concentrations.iter().zip(&b.concentrations).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "concentration {i} differs");
+    }
+}
+
+#[test]
+fn interrupted_power_solve_resumes_bit_identically() {
+    let landscape = SinglePeak::new(8, 2.0, 1.0);
+    let p = 0.01;
+    let full = SolverConfig::default();
+    let reference = solve(p, &landscape, &full).unwrap();
+    assert!(
+        reference.stats.iterations > 8,
+        "interruption point too late"
+    );
+
+    let dir = temp_ckpt_dir("power_bitident");
+    let mut ckpt = CheckpointConfig::new(&dir);
+    ckpt.every_iterations = 4;
+
+    // "Crash" after 8 iterations: the budget-exhausted run errors, but
+    // its snapshots survive on disk exactly as a SIGKILL would leave
+    // them (every write is tmp+rename-atomic).
+    let interrupted = solve_durable(
+        p,
+        &landscape,
+        &SolverConfig {
+            max_iter: 8,
+            ..full
+        },
+        &ckpt,
+    );
+    assert!(
+        matches!(interrupted, Err(SolveError::NotConverged { .. })),
+        "8 iterations must not be enough: {interrupted:?}"
+    );
+
+    let resumed = resume_durable(p, &landscape, &full, &ckpt).unwrap();
+    assert_bit_identical(&reference, &resumed);
+    assert_eq!(reference.stats.iterations, resumed.stats.iterations);
+    assert!(resumed.stats.converged && !resumed.stats.degraded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_lanczos_warm_restarts_to_the_same_eigenpair() {
+    // A Krylov budget too small to converge cold: each resume cycle
+    // warm-restarts from the snapshotted Ritz vector (restarted Lanczos)
+    // and must eventually reach the same eigenpair the power method finds.
+    let landscape = Random::new(8, 5.0, 1.0, 11);
+    let p = 0.02;
+    let reference = solve(p, &landscape, &SolverConfig::default()).unwrap();
+
+    let config = SolverConfig {
+        method: Method::Lanczos { subspace: 6 },
+        tol: 1e-12,
+        ..Default::default()
+    };
+    let dir = temp_ckpt_dir("lanczos_warm");
+    let mut ckpt = CheckpointConfig::new(&dir);
+    ckpt.every_iterations = 1;
+
+    let mut outcome = solve_durable(p, &landscape, &config, &ckpt);
+    let mut cycles = 0;
+    while outcome.is_err() && cycles < 20 {
+        match &outcome {
+            Err(SolveError::NotConverged { .. }) => {}
+            other => panic!("only honest budget exhaustion expected, got {other:?}"),
+        }
+        outcome = resume_durable(p, &landscape, &config, &ckpt);
+        cycles += 1;
+    }
+    let qs = outcome.expect("restarted Lanczos never converged");
+    assert!(cycles > 0, "subspace 6 should not converge cold");
+    assert!(
+        (qs.lambda - reference.lambda).abs() < 1e-9,
+        "λ {} vs reference {}",
+        qs.lambda,
+        reference.lambda
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_snapshots_is_a_typed_error() {
+    let landscape = SinglePeak::new(6, 2.0, 1.0);
+    let dir = temp_ckpt_dir("no_snapshots");
+    let ckpt = CheckpointConfig::new(&dir);
+    match resume_durable(0.01, &landscape, &SolverConfig::default(), &ckpt) {
+        Err(SolveError::Checkpoint(CheckpointError::NoCheckpoint { dir: d })) => {
+            assert_eq!(d, dir);
+        }
+        other => panic!("expected NoCheckpoint, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_snapshots_from_a_different_problem() {
+    let landscape = SinglePeak::new(6, 2.0, 1.0);
+    let dir = temp_ckpt_dir("problem_mismatch");
+    let mut ckpt = CheckpointConfig::new(&dir);
+    ckpt.every_iterations = 2;
+    solve_durable(0.01, &landscape, &SolverConfig::default(), &ckpt).unwrap();
+
+    // Same directory, different error rate: the problem hash differs.
+    match resume_durable(0.02, &landscape, &SolverConfig::default(), &ckpt) {
+        Err(SolveError::Checkpoint(CheckpointError::ProblemMismatch { expected, found })) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected ProblemMismatch, got {other:?}"),
+    }
+    // A different tolerance changes the replayed bit stream too.
+    let tighter = SolverConfig {
+        tol: 1e-10,
+        ..Default::default()
+    };
+    assert!(matches!(
+        resume_durable(0.01, &landscape, &tighter, &ckpt),
+        Err(SolveError::Checkpoint(
+            CheckpointError::ProblemMismatch { .. }
+        ))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_truncated_snapshots_are_typed_errors() {
+    let landscape = SinglePeak::new(6, 2.0, 1.0);
+    let dir = temp_ckpt_dir("corruption");
+    let mut ckpt = CheckpointConfig::new(&dir);
+    ckpt.every_iterations = 2;
+    solve_durable(0.01, &landscape, &SolverConfig::default(), &ckpt).unwrap();
+
+    let slots: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(
+        (1..=2).contains(&slots.len()),
+        "double buffering keeps at most two slots, found {slots:?}"
+    );
+    let pristine: Vec<Vec<u8>> = slots.iter().map(|s| std::fs::read(s).unwrap()).collect();
+
+    // Flip one payload byte in every slot: checksum (or header) rejection.
+    for (slot, bytes) in slots.iter().zip(&pristine) {
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        std::fs::write(slot, &bad).unwrap();
+    }
+    let err = load_latest(&dir, 0).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckpointError::ChecksumMismatch
+                | CheckpointError::Malformed { .. }
+                | CheckpointError::BadMagic
+                | CheckpointError::UnsupportedVersion { .. }
+        ),
+        "unexpected error class: {err:?}"
+    );
+    assert!(matches!(
+        resume_durable(0.01, &landscape, &SolverConfig::default(), &ckpt),
+        Err(SolveError::Checkpoint(_))
+    ));
+
+    // Truncate every slot to a torn prefix: typed rejection again.
+    for (slot, bytes) in slots.iter().zip(&pristine) {
+        std::fs::write(slot, &bytes[..bytes.len() / 3]).unwrap();
+    }
+    assert!(load_latest(&dir, 0).is_err());
+
+    // Near-empty files hit the too-short guard.
+    for slot in &slots {
+        std::fs::write(slot, [0u8; 3]).unwrap();
+    }
+    assert!(matches!(
+        load_latest(&dir, 0),
+        Err(CheckpointError::TooShort { .. })
+    ));
+
+    // One good slot among corrupt ones is still a successful load: this
+    // is exactly the torn-write/last-good double-buffer story.
+    std::fs::write(&slots[0], &pristine[0]).unwrap();
+    let problem = quasispecies::Snapshot::decode(&pristine[0])
+        .unwrap()
+        .problem;
+    let snap = load_latest(&dir, problem).unwrap();
+    assert!(snap.is_some(), "last-good slot must win over torn slots");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn expired_deadline_degrades_to_flagged_best_so_far() {
+    let landscape = SinglePeak::new(10, 2.0, 1.0);
+    let config = SolverConfig {
+        tol: 1e-15,
+        deadline: Some(Instant::now()),
+        ..Default::default()
+    };
+    let qs = solve(0.01, &landscape, &config).expect("deadline expiry must not be an error");
+    assert!(qs.stats.deadline_expired);
+    assert!(qs.stats.degraded && !qs.stats.converged);
+    assert_eq!(qs.stats.recovered_from.as_deref(), Some("deadline_expired"));
+    let sum: f64 = qs.concentrations.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "still a valid distribution");
+    assert!(qs.concentrations.iter().all(|c| c.is_finite() && *c >= 0.0));
+}
+
+#[test]
+fn unexpired_deadline_never_perturbs_the_answer() {
+    let landscape = SinglePeak::new(8, 2.0, 1.0);
+    let plain = solve(0.01, &landscape, &SolverConfig::default()).unwrap();
+    let budgeted = solve(
+        0.01,
+        &landscape,
+        &SolverConfig {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_bit_identical(&plain, &budgeted);
+    assert!(!budgeted.stats.deadline_expired);
+}

@@ -210,7 +210,11 @@ proptest! {
         let out = quasispecies::minres(
             &DenseOp(a),
             &rhs,
-            &quasispecies::MinresOptions { tol: 1e-12, max_iter: 200 },
+            &quasispecies::MinresOptions {
+                tol: 1e-12,
+                max_iter: 200,
+                ..Default::default()
+            },
         )
         .unwrap();
         prop_assert!(out.converged);
@@ -335,4 +339,52 @@ fn pseudorandom_slab(len: usize, seed: u64) -> Vec<f64> {
 /// Error rates strictly inside (0, 1/2) — shift-invert needs `p < 1/2`.
 fn error_rate_open() -> impl Strategy<Value = f64> {
     (1u32..=490).prop_map(|i| i as f64 / 1000.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decoding an arbitrarily truncated or bit-flipped checkpoint
+    /// snapshot is a typed [`CheckpointError`] — never a panic, never
+    /// silently-wrong data. This is the crash model's foundation: a torn
+    /// `write(2)` can leave any prefix (or any bit-rot) on disk, and the
+    /// loader must classify all of it as damage.
+    #[test]
+    fn snapshot_decoder_survives_random_truncation_and_bit_flips(
+        cut in 0usize..4096,
+        flip_at in 0usize..4096,
+        flip_bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        use quasispecies::{CheckpointError, Snapshot};
+        let snap = Snapshot {
+            problem: seed ^ 0xABCD,
+            iteration: 17,
+            matvecs: 23,
+            rung: 0,
+            method: "power".into(),
+            shift: 0.25,
+            tol: 1e-13,
+            stall_best: f64::INFINITY,
+            stall_count: 0,
+            residual_history: vec![1.0, 0.1, 0.01],
+            iterate: pseudorandom_slab(32, seed),
+        };
+        let bytes = snap.encode();
+        // Round-trip sanity: the undamaged frame decodes.
+        prop_assert_eq!(Snapshot::decode(&bytes).unwrap().iteration, 17);
+
+        // Truncation to any proper prefix: typed error, never Ok.
+        let cut = cut % bytes.len();
+        prop_assert!(Snapshot::decode(&bytes[..cut]).is_err());
+
+        // A single flipped bit anywhere in the frame: typed error (the
+        // trailing FNV-1a checksum covers every byte before it, and a
+        // flip inside the checksum itself mismatches the payload).
+        let mut flipped = bytes.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        let err = Snapshot::decode(&flipped).unwrap_err();
+        prop_assert!(!matches!(err, CheckpointError::Io { .. }));
+    }
 }
