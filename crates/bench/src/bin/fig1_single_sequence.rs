@@ -13,11 +13,15 @@
 //! fittest competitor, a mid-weight sequence and the complement across the
 //! error-rate sweep.
 //!
+//! The whole sweep is issued as one [`SolveRequest`]: the grid's error
+//! rates become columns of a single batched block power iteration — the
+//! same engine path the solve server coalesces concurrent HTTP requests
+//! onto.
+//!
 //! Usage: `fig1_single_sequence [--max-nu NU] [--quick]`
 
 use qs_bench::dump_json;
-use qs_landscape::{Landscape, Random};
-use quasispecies::{solve, SolverConfig};
+use quasispecies::{LandscapeSpec, SolveRequest};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,18 +36,19 @@ struct SingleSeqOutput {
 fn main() {
     let (nu, quick) = qs_bench::harness_args(16);
     let points = if quick { 8 } else { 20 };
-    let landscape = Random::new(nu, 5.0, 1.0, 2011);
+    let spec = LandscapeSpec::Random {
+        nu,
+        c: 5.0,
+        sigma: 1.0,
+        seed: 2011,
+    };
+    let landscape = spec.build().expect("landscape spec");
     let n = landscape.len();
 
     // Sequences to track: master, runner-up fitness, a mid-weight one, the
     // complement of the master.
     let runner_up = (1..n as u64)
-        .max_by(|&a, &b| {
-            landscape
-                .fitness(a)
-                .partial_cmp(&landscape.fitness(b))
-                .unwrap()
-        })
+        .max_by(|&a, &b| landscape.fitness(a).total_cmp(&landscape.fitness(b)))
         .unwrap();
     let mid = (1u64 << (nu / 2)) - 1;
     let complement = (n - 1) as u64;
@@ -68,12 +73,15 @@ fn main() {
     }
     println!(" {:>10}", "entropy");
 
+    // One request, every grid point: the sweep solves as a single block
+    // iteration with one column per error rate.
+    let result = SolveRequest::sweep(spec, ps.clone()).run().expect("sweep");
     let mut concentrations = Vec::new();
     let mut entropy = Vec::new();
-    for &p in &ps {
-        let qs = solve(p, &landscape, &SolverConfig::default()).expect("solve");
+    for point in &result.points {
+        let qs = &point.solution;
         let row: Vec<f64> = tracked.iter().map(|&(_, i)| qs.concentration(i)).collect();
-        print!("{p:>8.4}");
+        print!("{:>8.4}", point.p);
         for &c in &row {
             print!(" {c:>20.6e}");
         }

@@ -27,7 +27,7 @@ pub fn time_median<F: FnMut()>(mut f: F, warmup: usize, reps: usize) -> f64 {
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 

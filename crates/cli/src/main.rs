@@ -17,13 +17,14 @@ mod args;
 
 use args::{ArgError, Args};
 use qs_fault::{FaultPlan, FaultyOp};
-use qs_landscape::{ErrorClass, Landscape, Random, Tabulated};
+use qs_landscape::{ErrorClass, Landscape};
 use qs_matvec::LinearOperator;
 use qs_telemetry::{JsonLinesProbe, Probe, RecordingProbe, SolverEvent, Tee, TraceSummary};
 use quasispecies::{
     detect_pmax, resume_durable_probed, scan_error_classes, solve_durable_probed, solve_probed,
     solve_with_q_operator_durable_probed, solve_with_q_operator_probed, CheckpointConfig, Engine,
-    Method, NullProbe, Quasispecies, ShiftStrategy, SolveError, SolverConfig, FORMAT_VERSION,
+    LandscapeSpec, Method, NullProbe, Quasispecies, ShiftStrategy, SolveError, SolverConfig,
+    FORMAT_VERSION,
 };
 use serde::Serialize;
 
@@ -54,6 +55,7 @@ fn main() {
         "threshold" => cmd_threshold(&args),
         "kron" => cmd_kron(&args),
         "ode" => cmd_ode(&args),
+        "serve" => cmd_serve(&args),
         "trace-check" => cmd_trace_check(&args),
         "help" => {
             println!("{USAGE}");
@@ -86,6 +88,13 @@ USAGE:
   quasispecies threshold --nu N [--landscape KIND] [--lo A --hi B]
   quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
   quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
+  quasispecies serve [--addr HOST:PORT] [--workers N] [--coalesce-ms MS]
+                     [--max-nu N] [--cache-capacity K] [--fault-plan PLAN.json]
+                                     HTTP solve service (POST /solve, GET
+                                     /metrics, GET /healthz, POST /shutdown);
+                                     concurrent solves over one landscape
+                                     coalesce into a single batched engine
+                                     run, repeats re-serve cached bytes
   quasispecies trace-check --file TRACE.jsonl [--expect-recovery] [--allow-degraded]
                            [--expect-zero-alloc]
 
@@ -425,27 +434,35 @@ struct SolveRecord {
 }
 
 /// Build a materialisable landscape for solve/ode subcommands.
-fn build_landscape(args: &Args, nu: u32) -> Result<Box<dyn Landscape>, CliError> {
+/// Resolve `--landscape` plus its per-kind knobs into the typed
+/// [`LandscapeSpec`] the core request API is keyed on — the same specs
+/// (and therefore the same content-addressed cache keys) the solve
+/// server accepts over HTTP.
+fn landscape_spec(args: &Args, nu: u32) -> Result<LandscapeSpec, CliError> {
     let kind = args.get("landscape").unwrap_or("single-peak");
     Ok(match kind {
-        "random" => Box::new(Random::new(
+        "random" => LandscapeSpec::Random {
             nu,
-            args.or_default("c", 5.0)?,
-            args.or_default("sigma", 1.0)?,
-            args.or_default("seed", 42u64)?,
-        )),
-        "nk" => Box::new(qs_landscape::Nk::new(
+            c: args.or_default("c", 5.0)?,
+            sigma: args.or_default("sigma", 1.0)?,
+            seed: args.or_default("seed", 42u64)?,
+        },
+        "nk" => LandscapeSpec::Nk {
             nu,
-            args.or_default("k", 2u32)?,
-            args.or_default("seed", 42u64)?,
-        )),
-        _ => Box::new(Tabulated::new({
-            let phi = class_profile(args, nu)?;
-            (0..1u64 << nu)
-                .map(|i| phi[i.count_ones() as usize])
-                .collect()
-        })),
+            k: args.or_default("k", 2u32)?,
+            seed: args.or_default("seed", 42u64)?,
+        },
+        _ => LandscapeSpec::ErrorClass {
+            nu,
+            phi: class_profile(args, nu)?,
+        },
     })
+}
+
+fn build_landscape(args: &Args, nu: u32) -> Result<Box<dyn Landscape>, CliError> {
+    landscape_spec(args, nu)?
+        .build()
+        .map_err(|e| CliError::Bad(e.to_string()))
 }
 
 /// The `build_info` provenance event for the current process.
@@ -525,7 +542,7 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
         .enumerate()
         .map(|(i, &c)| (i as u64, c))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     let top_sequences: Vec<(String, f64)> = ranked
         .iter()
         .take(top)
@@ -861,6 +878,30 @@ fn check_zero_alloc(alloc_bytes: &[u64]) -> Result<String, String> {
         )),
         None => Ok(format!("zero-alloc ok over {} solve(s)", alloc_bytes.len())),
     }
+}
+
+/// Run the HTTP solve service until a `POST /shutdown` arrives. The
+/// listening address is printed (and flushed) before the accept loop
+/// starts so scripted callers can wait on the line, then `curl` it.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    use std::io::Write as _;
+    let config = qs_server::ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8787").to_string(),
+        workers: args.or_default("workers", 2usize)?,
+        coalesce_window: std::time::Duration::from_millis(args.or_default("coalesce-ms", 25u64)?),
+        max_nu: args.or_default("max-nu", 22u32)?,
+        cache_capacity: args.or_default("cache-capacity", 4096usize)?,
+        fault_plan: load_fault_plan(args)?,
+    };
+    let server = qs_server::Server::bind(config)
+        .map_err(|e| CliError::Bad(format!("cannot bind server: {e}")))?;
+    println!("listening on http://{}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Bad(format!("stdout: {e}")))?;
+    server.run();
+    println!("server stopped");
+    Ok(())
 }
 
 /// Validate a `--trace` JSONL dump: every line parses as a JSON object

@@ -49,6 +49,12 @@ const MAGIC: [u8; 8] = *b"QSNAPSHT";
 /// The two double-buffered snapshot slots inside a checkpoint directory.
 const SLOTS: [&str; 2] = ["ckpt_a.qsnap", "ckpt_b.qsnap"];
 
+/// Longest method label a snapshot will frame. Real labels are a few
+/// bytes ("power", "block_power"); the cap exists so a pathological
+/// label is a typed [`CheckpointError::MethodTooLong`] at encode time
+/// instead of a silently truncated `u32` length on disk.
+pub const MAX_METHOD_LEN: usize = 4096;
+
 /// Scratch name for the atomic write (same directory as the slots, so
 /// the rename is atomic on POSIX filesystems).
 const TMP_NAME: &str = "ckpt.tmp";
@@ -153,6 +159,13 @@ pub enum CheckpointError {
         /// The directory that was searched.
         dir: PathBuf,
     },
+    /// The snapshot's method label exceeds [`MAX_METHOD_LEN`] and
+    /// cannot be framed; encoding is refused rather than writing a
+    /// corrupt length field.
+    MethodTooLong {
+        /// Byte length of the offending method label.
+        len: usize,
+    },
 }
 
 impl CheckpointError {
@@ -168,6 +181,7 @@ impl CheckpointError {
             CheckpointError::Malformed { .. } => "malformed",
             CheckpointError::ProblemMismatch { .. } => "problem_mismatch",
             CheckpointError::NoCheckpoint { .. } => "no_checkpoint",
+            CheckpointError::MethodTooLong { .. } => "method_too_long",
         }
     }
 }
@@ -205,6 +219,11 @@ impl fmt::Display for CheckpointError {
                 f,
                 "no checkpoint found in '{}' (nothing to resume)",
                 dir.display()
+            ),
+            CheckpointError::MethodTooLong { len } => write!(
+                f,
+                "method label of {len} bytes exceeds the {MAX_METHOD_LEN}-byte \
+                 snapshot frame limit"
             ),
         }
     }
@@ -258,7 +277,18 @@ impl Snapshot {
     /// Encode to the versioned binary format: magic, version, payload
     /// (all integers little-endian, floats by exact bit pattern),
     /// trailing FNV-1a checksum over everything before it.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::MethodTooLong`] when the method label exceeds
+    /// [`MAX_METHOD_LEN`] — the only way a snapshot's own fields can
+    /// make its frame unrepresentable.
+    pub fn encode(&self) -> Result<Vec<u8>, CheckpointError> {
+        if self.method.len() > MAX_METHOD_LEN {
+            return Err(CheckpointError::MethodTooLong {
+                len: self.method.len(),
+            });
+        }
         let mut out = Vec::with_capacity(
             64 + self.method.len() + 8 * (self.residual_history.len() + self.iterate.len()),
         );
@@ -285,7 +315,7 @@ impl Snapshot {
         let mut h = Fnv64::new();
         h.write(&out);
         out.extend_from_slice(&h.finish().to_le_bytes());
-        out
+        Ok(out)
     }
 
     /// Decode and validate a snapshot image. Every malformation —
@@ -455,7 +485,12 @@ pub struct Checkpointer {
     next_slot: usize,
     /// Completed writes this session (drives `torn_write_at`).
     writes: u64,
-    last_write: Option<Instant>,
+    /// Anchor for the wall-clock cadence: session start until the first
+    /// write, then the instant of the latest write. The first wall
+    /// interval therefore measures from the moment the solve began —
+    /// never an immediate write at iteration 1, never a timer that
+    /// cannot fire.
+    wall_anchor: Instant,
 }
 
 impl Checkpointer {
@@ -480,7 +515,7 @@ impl Checkpointer {
             cfg,
             next_slot,
             writes: 0,
-            last_write: None,
+            wall_anchor: Instant::now(),
         })
     }
 
@@ -497,17 +532,16 @@ impl Checkpointer {
         if self.cfg.every_iterations > 0 && iteration % self.cfg.every_iterations == 0 {
             return true;
         }
-        match (self.cfg.every_wall, self.last_write) {
-            (Some(wall), Some(last)) => last.elapsed() >= wall,
-            (Some(_), None) => true,
-            (None, _) => false,
+        match self.cfg.every_wall {
+            Some(wall) => self.wall_anchor.elapsed() >= wall,
+            None => false,
         }
     }
 
     /// Atomically persist one snapshot; returns the encoded size in
     /// bytes. A failed write leaves the previous good snapshot intact.
     pub fn write(&mut self, snapshot: &Snapshot) -> Result<u64, CheckpointError> {
-        let encoded = snapshot.encode();
+        let encoded = snapshot.encode()?;
         let slot_path = self.cfg.dir.join(SLOTS[self.next_slot]);
         if self.cfg.torn_write_at == Some(self.writes + 1) {
             // Crash injection: tear this write in the worst possible way
@@ -530,7 +564,7 @@ impl Checkpointer {
         fs::rename(&tmp_path, &slot_path).map_err(|e| io_err(&slot_path, e))?;
         self.next_slot ^= 1;
         self.writes += 1;
-        self.last_write = Some(Instant::now());
+        self.wall_anchor = Instant::now();
         Ok(encoded.len() as u64)
     }
 }
@@ -742,23 +776,76 @@ mod tests {
     }
 
     #[test]
+    fn oversized_method_label_is_a_typed_encode_error() {
+        let mut snap = sample();
+        snap.method = "m".repeat(MAX_METHOD_LEN + 1);
+        match snap.encode() {
+            Err(CheckpointError::MethodTooLong { len }) => {
+                assert_eq!(len, MAX_METHOD_LEN + 1);
+            }
+            other => panic!("expected MethodTooLong, got {other:?}"),
+        }
+        // Exactly at the cap still frames and round-trips.
+        snap.method = "m".repeat(MAX_METHOD_LEN);
+        let decoded = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        assert_eq!(decoded.method.len(), MAX_METHOD_LEN);
+    }
+
+    #[test]
+    fn wall_cadence_first_interval_measures_from_session_start() {
+        // A generous interval: nothing may be due at the first check —
+        // the old behaviour wrote a useless iteration-1 snapshot the
+        // moment the solve started.
+        let cfg = CheckpointConfig {
+            every_iterations: 0,
+            every_wall: Some(Duration::from_secs(3600)),
+            ..CheckpointConfig::new(tmp_dir("wall-fresh"))
+        };
+        let ckpt = Checkpointer::create(cfg).unwrap();
+        assert!(
+            !ckpt.due(1),
+            "first wall interval must measure from solve start, not fire immediately"
+        );
+        let _ = fs::remove_dir_all(&ckpt.cfg.dir);
+    }
+
+    #[test]
+    fn wall_cadence_fires_once_the_interval_elapses() {
+        // A zero interval has always elapsed — the timer must be armed
+        // (a never-firing first write would make every_wall dead config).
+        let cfg = CheckpointConfig {
+            every_iterations: 0,
+            every_wall: Some(Duration::ZERO),
+            ..CheckpointConfig::new(tmp_dir("wall-due"))
+        };
+        let mut ckpt = Checkpointer::create(cfg).unwrap();
+        assert!(ckpt.due(1), "an elapsed wall interval must be due");
+        // Writing re-anchors the timer: a long interval is not due again
+        // right after a write.
+        ckpt.cfg.every_wall = Some(Duration::from_secs(3600));
+        ckpt.write(&sample()).unwrap();
+        assert!(!ckpt.due(2), "a write must re-anchor the wall timer");
+        let _ = fs::remove_dir_all(&ckpt.cfg.dir);
+    }
+
+    #[test]
     fn snapshot_round_trips_bit_exactly() {
         let snap = sample();
-        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        let decoded = Snapshot::decode(&snap.encode().unwrap()).unwrap();
         assert_eq!(decoded, snap);
         // Bit-exactness beyond PartialEq: negative zero and the stall
         // sentinel survive.
         let mut odd = sample();
         odd.iterate = vec![-0.0, f64::MIN_POSITIVE];
         odd.stall_best = f64::INFINITY;
-        let decoded = Snapshot::decode(&odd.encode()).unwrap();
+        let decoded = Snapshot::decode(&odd.encode().unwrap()).unwrap();
         assert_eq!(decoded.iterate[0].to_bits(), (-0.0f64).to_bits());
         assert_eq!(decoded.stall_best, f64::INFINITY);
     }
 
     #[test]
     fn every_truncation_is_a_typed_error() {
-        let encoded = sample().encode();
+        let encoded = sample().encode().unwrap();
         for len in 0..encoded.len() {
             let result = Snapshot::decode(&encoded[..len]);
             assert!(result.is_err(), "truncation to {len} bytes must fail");
@@ -767,7 +854,7 @@ mod tests {
 
     #[test]
     fn corruptions_map_to_the_right_variants() {
-        let encoded = sample().encode();
+        let encoded = sample().encode().unwrap();
         assert_eq!(
             Snapshot::decode(&encoded[..10]),
             Err(CheckpointError::TooShort { len: 10 })
@@ -810,7 +897,7 @@ mod tests {
             iterate: vec![],
             ..sample()
         };
-        let encoded = snap.encode();
+        let encoded = snap.encode().unwrap();
         let mut bytes = encoded[..encoded.len() - 8].to_vec();
         let iterate_len_at = bytes.len() - 8;
         bytes[iterate_len_at..].copy_from_slice(&u64::MAX.to_le_bytes());

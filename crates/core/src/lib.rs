@@ -38,7 +38,10 @@
 //!   including implicit eigenvector queries and per-class min/max via
 //!   dynamic programming (§5.2),
 //! * [`threshold`] — error-threshold scans and `p_max` detection
-//!   (Figure 1).
+//!   (Figure 1),
+//! * [`request`] — the content-addressable [`SolveRequest`] /
+//!   [`SolveResult`] boundary the CLI, benches and the solve server
+//!   share, with per-point cache keys and batched multi-rate solves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +55,7 @@ pub mod lanczos;
 pub mod mixed;
 pub mod power;
 pub mod reduced;
+pub mod request;
 pub mod resolution;
 pub mod result;
 pub mod rqi;
@@ -62,7 +66,7 @@ pub mod workspace;
 pub use analysis::{spectral_gap, summarize, PopulationSummary, SpectralGap, SpectralGapOptions};
 pub use checkpoint::{
     load_latest, CheckpointConfig, CheckpointError, CheckpointSession, Checkpointer, Fnv64,
-    Snapshot, FORMAT_VERSION,
+    Snapshot, FORMAT_VERSION, MAX_METHOD_LEN,
 };
 pub use guard::{Breakdown, StallDetector};
 pub use kron_solver::{solve_kronecker, KroneckerQuasispecies};
@@ -70,10 +74,12 @@ pub use krylov::{minres, minres_durable, minres_probed, MinresOptions, MinresOut
 pub use lanczos::{lanczos, lanczos_durable, lanczos_probed, LanczosOptions, LanczosOutcome};
 pub use mixed::{solve_mixed_precision, MixedOptions, MixedStats};
 pub use power::{
-    block_power_iteration, block_power_iteration_durable, power_iteration, power_iteration_probed,
-    power_iteration_probed_in, BlockPowerOutcome, PowerOptions, PowerOutcome,
+    block_power_iteration, block_power_iteration_durable, block_power_iteration_in,
+    power_iteration, power_iteration_probed, power_iteration_probed_in, BlockPowerOutcome,
+    PowerOptions, PowerOutcome,
 };
 pub use reduced::{solve_error_class, ReducedQuasispecies};
+pub use request::{LandscapeSpec, PointResult, SolveRequest, SolveResult};
 pub use resolution::{marginal, site_marginals, Pyramid};
 pub use result::{downsample_uniform, Quasispecies, SolveStats};
 pub use rqi::{

@@ -419,7 +419,24 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
     starts: &[f64],
     opts: &PowerOptions,
 ) -> BlockPowerOutcome {
-    block_power_iteration_core(a, starts, opts, None)
+    block_power_iteration_core(a, starts, opts, None, &mut Workspace::new())
+}
+
+/// [`block_power_iteration`] drawing every working buffer — the column
+/// slab, its image, the residual scratch vector and the per-column result
+/// vectors — from a caller-owned [`Workspace`] pool. Result vectors
+/// escape with the returned outcome; park them back via
+/// [`Workspace::put`] once consumed and a warmed pool serves repeated
+/// same-shape blocks without touching the allocator (the pool's
+/// [`Workspace::bytes_since_mark`] stays zero). Bit-identical to
+/// [`block_power_iteration`].
+pub fn block_power_iteration_in<A: LinearOperator + ?Sized>(
+    a: &A,
+    starts: &[f64],
+    opts: &PowerOptions,
+    ws: &mut Workspace,
+) -> BlockPowerOutcome {
+    block_power_iteration_core(a, starts, opts, None, ws)
 }
 
 /// [`block_power_iteration`] with a durable [`CheckpointSession`]: the
@@ -436,7 +453,7 @@ pub fn block_power_iteration_durable<A: LinearOperator + ?Sized>(
     opts: &PowerOptions,
     session: &mut CheckpointSession,
 ) -> BlockPowerOutcome {
-    block_power_iteration_core(a, starts, opts, Some(session))
+    block_power_iteration_core(a, starts, opts, Some(session), &mut Workspace::new())
 }
 
 fn block_power_iteration_core<A: LinearOperator + ?Sized>(
@@ -444,6 +461,7 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
     starts: &[f64],
     opts: &PowerOptions,
     mut durable: Option<&mut CheckpointSession>,
+    ws: &mut Workspace,
 ) -> BlockPowerOutcome {
     let n = a.len();
     assert!(
@@ -476,10 +494,10 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
     let mut x = match &resume {
         Some(snap) => {
             iterations = snap.iteration as usize;
-            snap.iterate.clone()
+            ws.take_copy(&snap.iterate)
         }
         None => {
-            let mut x = starts.to_vec();
+            let mut x = ws.take_copy(starts);
             for col in x.chunks_exact_mut(n) {
                 assert!(
                     normalize_l2(col) > 0.0,
@@ -489,8 +507,8 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
             x
         }
     };
-    let mut y = vec![0.0; n * k];
-    let mut r = vec![0.0; n];
+    let mut y = ws.take(n * k);
+    let mut r = ws.take(n);
     let mut done: Vec<Option<PowerOutcome>> = vec![None; k];
 
     while iterations < opts.max_iter && done.iter().any(|d| d.is_none()) {
@@ -519,7 +537,7 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
             let converged = finite && residual <= opts.tol;
             let budget_spent = iterations == opts.max_iter || expired;
             if converged || !finite || budget_spent {
-                let mut vector = xc.to_vec();
+                let mut vector = ws.take_copy(xc);
                 orient_positive(&mut vector);
                 done[j] = Some(PowerOutcome {
                     lambda: lambda_shifted + mu,
@@ -539,7 +557,7 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
             }
             let ny = norm(yc);
             if !(ny.is_finite() && ny > 0.0) {
-                let mut vector = xc.to_vec();
+                let mut vector = ws.take_copy(xc);
                 orient_positive(&mut vector);
                 done[j] = Some(PowerOutcome {
                     lambda: lambda_shifted + mu,
@@ -573,12 +591,12 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
     }
 
     // max_iter == 0: nothing ran, report the (normalised) starts honestly.
-    let columns: Vec<PowerOutcome> = done
-        .into_iter()
-        .zip(x.chunks_exact(n))
-        .map(|(d, xc)| {
-            d.unwrap_or_else(|| {
-                let mut vector = xc.to_vec();
+    let mut columns: Vec<PowerOutcome> = Vec::with_capacity(k);
+    for (d, xc) in done.into_iter().zip(x.chunks_exact(n)) {
+        columns.push(match d {
+            Some(out) => out,
+            None => {
+                let mut vector = ws.take_copy(xc);
                 orient_positive(&mut vector);
                 PowerOutcome {
                     lambda: 0.0,
@@ -590,16 +608,21 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
                     breakdown: None,
                     timed_out: false,
                 }
-            })
-        })
-        .collect();
+            }
+        });
+    }
+    ws.put(y);
+    ws.put(r);
+    ws.put(x);
     let best = columns
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            (!a.converged, a.residual)
-                .partial_cmp(&(!b.converged, b.residual))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            // total_cmp so a NaN residual ranks strictly worst instead of
+            // comparing Equal and winning by position.
+            (!a.converged)
+                .cmp(&!b.converged)
+                .then(a.residual.total_cmp(&b.residual))
         })
         .map(|(j, _)| j)
         .unwrap();

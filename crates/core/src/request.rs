@@ -1,0 +1,896 @@
+//! The solve-request API boundary: a self-describing problem statement
+//! ([`SolveRequest`]) and its answer ([`SolveResult`]).
+//!
+//! Everything upstream of the engines — the CLI, the benchmark drivers
+//! and the solve server — ultimately asks the same question: *given this
+//! fitness landscape and these error rates, what is the stationary
+//! distribution?* This module gives that question one typed, validated,
+//! **content-addressable** form:
+//!
+//! * [`LandscapeSpec`] describes a landscape by construction recipe
+//!   (kind + parameters) instead of by trait object, so a request can be
+//!   hashed, compared, shipped over a wire and rebuilt bit-identically
+//!   on the other side.
+//! * [`SolveRequest`] adds the error-rate grid, eigensolver method,
+//!   tolerance and scheduling hints. [`SolveRequest::cache_key`] derives
+//!   the FNV-1a content address of each `(landscape, ν, p, method, tol)`
+//!   point — the key of the serving layer's result cache — and
+//!   [`SolveRequest::group_key`] the coalescing identity that requests
+//!   differing *only in `p`* share.
+//! * [`SolveRequest::run_in`] answers the whole grid in **one** batched
+//!   block power iteration (per-`p` mutation diagonals as columns of a
+//!   single [`QSweep`]-driven operator, the same factorisation as
+//!   [`crate::threshold::scan_full_sweep`]) with every working buffer
+//!   drawn from a caller-owned [`Workspace`] — a warmed pool serves
+//!   repeated same-shape requests without touching the allocator.
+//!
+//! Scheduling hints ([`SolveRequest::parallel`]) deliberately do **not**
+//! enter the cache key: they steer where and how fast a result is
+//! computed, while the key addresses *what* is computed — any result
+//! filed under a key satisfies that key's problem to its tolerance.
+
+use crate::checkpoint::Fnv64;
+use crate::power::{block_power_iteration_in, PowerOptions};
+use crate::result::{Quasispecies, SolveStats};
+use crate::solver::{solve, Engine, Method, SolveError, SolverConfig};
+use crate::workspace::Workspace;
+use qs_landscape::{ErrorClass, Landscape, Nk, Random, SinglePeak, Tabulated};
+use qs_matvec::{LinearOperator, QSweep};
+
+/// A fitness landscape described by its construction recipe.
+///
+/// Unlike a `Box<dyn Landscape>`, a spec can be validated without
+/// panicking, hashed into a content address, and rebuilt exactly —
+/// including the seeded kinds, whose pseudo-random tables are a pure
+/// function of `(ν, parameters, seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LandscapeSpec {
+    /// Single master sequence of fitness `f0` over a flat background
+    /// `f_rest` (the paper's canonical threshold landscape).
+    SinglePeak {
+        /// Chain length.
+        nu: u32,
+        /// Master-sequence fitness.
+        f0: f64,
+        /// Background fitness.
+        f_rest: f64,
+    },
+    /// Seeded random landscape: master `c`, background `c/2 ± σ`.
+    Random {
+        /// Chain length.
+        nu: u32,
+        /// Master-sequence fitness.
+        c: f64,
+        /// Background half-width, in `(0, c/2)`.
+        sigma: f64,
+        /// PRNG seed; equal seeds rebuild identical tables.
+        seed: u64,
+    },
+    /// Kauffman NK landscape with `k` epistatic neighbours per site.
+    Nk {
+        /// Chain length.
+        nu: u32,
+        /// Epistatic neighbours per site (`k < ν`, `k ≤ 24`).
+        k: u32,
+        /// PRNG seed; equal seeds rebuild identical tables.
+        seed: u64,
+    },
+    /// Error-class landscape: fitness depends only on Hamming distance
+    /// from the master, via the `ν+1` class values `phi`.
+    ErrorClass {
+        /// Chain length.
+        nu: u32,
+        /// Per-class fitness, `phi[k]` for Hamming class `k`.
+        phi: Vec<f64>,
+    },
+    /// Fully tabulated fitness values, one per sequence (`2^ν` entries).
+    Tabulated {
+        /// Fitness table; length must be a power of two `≥ 2`.
+        fitness: Vec<f64>,
+    },
+}
+
+/// `InvalidConfig` shorthand for spec validation.
+fn invalid(parameter: &'static str, detail: String) -> SolveError {
+    SolveError::InvalidConfig { parameter, detail }
+}
+
+impl LandscapeSpec {
+    /// Stable kind label (the CLI's `--landscape` vocabulary).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LandscapeSpec::SinglePeak { .. } => "single-peak",
+            LandscapeSpec::Random { .. } => "random",
+            LandscapeSpec::Nk { .. } => "nk",
+            LandscapeSpec::ErrorClass { .. } => "error-class",
+            LandscapeSpec::Tabulated { .. } => "tabulated",
+        }
+    }
+
+    /// Chain length `ν` the built landscape will report.
+    pub fn nu(&self) -> u32 {
+        match self {
+            LandscapeSpec::SinglePeak { nu, .. }
+            | LandscapeSpec::Random { nu, .. }
+            | LandscapeSpec::Nk { nu, .. }
+            | LandscapeSpec::ErrorClass { nu, .. } => *nu,
+            LandscapeSpec::Tabulated { fitness } => fitness.len().trailing_zeros(),
+        }
+    }
+
+    /// Check every parameter the constructors would otherwise `assert!`
+    /// on, as typed errors — a malformed spec from an untrusted source
+    /// (a wire request) must never panic the process.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        let nu = self.nu();
+        if !(1..=qs_bitseq::MAX_CHAIN_LENGTH).contains(&nu) {
+            return Err(invalid(
+                "nu",
+                format!(
+                    "chain length must lie in 1..={}, got {nu}",
+                    qs_bitseq::MAX_CHAIN_LENGTH
+                ),
+            ));
+        }
+        match self {
+            LandscapeSpec::SinglePeak { f0, f_rest, .. } => {
+                for (name, v) in [("f0", *f0), ("f_rest", *f_rest)] {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(invalid(
+                            "landscape",
+                            format!("{name} must be finite and positive, got {v}"),
+                        ));
+                    }
+                }
+            }
+            LandscapeSpec::Random { c, sigma, .. } => {
+                if !(c.is_finite() && *c > 0.0) {
+                    return Err(invalid(
+                        "landscape",
+                        format!("c must be finite and positive, got {c}"),
+                    ));
+                }
+                if !(sigma.is_finite() && *sigma > 0.0 && *sigma < c / 2.0) {
+                    return Err(invalid(
+                        "landscape",
+                        format!("sigma must lie in (0, c/2), got {sigma}"),
+                    ));
+                }
+            }
+            LandscapeSpec::Nk { nu, k, .. } => {
+                if *k >= *nu || *k > 24 {
+                    return Err(invalid(
+                        "landscape",
+                        format!("NK requires k < ν and k ≤ 24, got k = {k} at ν = {nu}"),
+                    ));
+                }
+            }
+            LandscapeSpec::ErrorClass { nu, phi } => {
+                if phi.len() != *nu as usize + 1 {
+                    return Err(invalid(
+                        "landscape",
+                        format!("phi must have ν+1 = {} entries, got {}", nu + 1, phi.len()),
+                    ));
+                }
+                if let Some(bad) = phi.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
+                    return Err(invalid(
+                        "landscape",
+                        format!("class fitness values must be finite and positive, found {bad}"),
+                    ));
+                }
+            }
+            LandscapeSpec::Tabulated { fitness } => {
+                if !fitness.len().is_power_of_two() || fitness.len() < 2 {
+                    return Err(invalid(
+                        "landscape",
+                        format!(
+                            "fitness table length must be 2^ν with ν ≥ 1, got {}",
+                            fitness.len()
+                        ),
+                    ));
+                }
+                if let Some(bad) = fitness.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
+                    return Err(invalid(
+                        "landscape",
+                        format!("fitness values must be finite and positive, found {bad}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the landscape this spec describes.
+    pub fn build(&self) -> Result<Box<dyn Landscape>, SolveError> {
+        self.validate()?;
+        Ok(match self {
+            LandscapeSpec::SinglePeak { nu, f0, f_rest } => {
+                Box::new(SinglePeak::new(*nu, *f0, *f_rest))
+            }
+            LandscapeSpec::Random { nu, c, sigma, seed } => {
+                Box::new(Random::new(*nu, *c, *sigma, *seed))
+            }
+            LandscapeSpec::Nk { nu, k, seed } => Box::new(Nk::new(*nu, *k, *seed)),
+            LandscapeSpec::ErrorClass { nu, phi } => Box::new(ErrorClass::new(*nu, phi.clone())),
+            LandscapeSpec::Tabulated { fitness } => Box::new(Tabulated::new(fitness.clone())),
+        })
+    }
+
+    /// Fold the spec into `h`: a kind tag, `ν`, then every parameter at
+    /// exact bits. Seeded kinds hash `(parameters, seed)` rather than the
+    /// expanded table — the table is a pure function of them.
+    fn hash_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.nu() as u64);
+        match self {
+            LandscapeSpec::SinglePeak { f0, f_rest, .. } => {
+                h.write_u64(0);
+                h.write_f64(*f0);
+                h.write_f64(*f_rest);
+            }
+            LandscapeSpec::Random { c, sigma, seed, .. } => {
+                h.write_u64(1);
+                h.write_f64(*c);
+                h.write_f64(*sigma);
+                h.write_u64(*seed);
+            }
+            LandscapeSpec::Nk { k, seed, .. } => {
+                h.write_u64(2);
+                h.write_u64(*k as u64);
+                h.write_u64(*seed);
+            }
+            LandscapeSpec::ErrorClass { phi, .. } => {
+                h.write_u64(3);
+                h.write_u64(phi.len() as u64);
+                for &f in phi {
+                    h.write_f64(f);
+                }
+            }
+            LandscapeSpec::Tabulated { fitness } => {
+                h.write_u64(4);
+                h.write_u64(fitness.len() as u64);
+                for &f in fitness {
+                    h.write_f64(f);
+                }
+            }
+        }
+    }
+}
+
+/// One complete solve question: a landscape, an error-rate grid and the
+/// solver knobs that change the answer — plus scheduling hints that
+/// don't.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// The fitness landscape, by recipe.
+    pub landscape: LandscapeSpec,
+    /// Error rates to solve at; answered in request order.
+    pub ps: Vec<f64>,
+    /// Eigensolver method. [`Method::Power`] runs the batched sweep
+    /// path; the others fall back to one full solve per point.
+    pub method: Method,
+    /// Residual tolerance `τ`.
+    pub tol: f64,
+    /// Iteration budget per point.
+    pub max_iter: usize,
+    /// Scheduling hint: prefer the thread-pool engine for per-point
+    /// solves. Excluded from cache and group keys — it must not change
+    /// what the answer *is*, only how it is computed.
+    pub parallel: bool,
+}
+
+impl SolveRequest {
+    /// A single-point request with the default method, tolerance and
+    /// budget.
+    pub fn single(landscape: LandscapeSpec, p: f64) -> Self {
+        Self::sweep(landscape, vec![p])
+    }
+
+    /// A multi-point request with the default method, tolerance and
+    /// budget.
+    pub fn sweep(landscape: LandscapeSpec, ps: Vec<f64>) -> Self {
+        let defaults = SolverConfig::default();
+        SolveRequest {
+            landscape,
+            ps,
+            method: Method::Power,
+            tol: defaults.tol,
+            max_iter: defaults.max_iter,
+            parallel: false,
+        }
+    }
+
+    /// Validate the landscape and every solver knob, without building
+    /// anything.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        self.landscape.validate()?;
+        if self.ps.is_empty() {
+            return Err(invalid("ps", "error-rate grid must be non-empty".into()));
+        }
+        if let Some(bad) = self
+            .ps
+            .iter()
+            .find(|p| !(p.is_finite() && **p > 0.0 && **p <= 0.5))
+        {
+            return Err(invalid(
+                "p",
+                format!("error rates must lie in (0, 1/2], got {bad}"),
+            ));
+        }
+        if !(self.tol.is_finite() && self.tol > 0.0) {
+            return Err(invalid(
+                "tol",
+                format!(
+                    "residual tolerance must be finite and positive, got {}",
+                    self.tol
+                ),
+            ));
+        }
+        if self.max_iter == 0 {
+            return Err(invalid("max_iter", "iteration budget must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Fold everything but `p` — the parts all points of this request
+    /// share — into `h`.
+    fn hash_shared(&self, h: &mut Fnv64) {
+        self.landscape.hash_into(h);
+        match self.method {
+            Method::Power => h.write_u64(0),
+            Method::Lanczos { subspace } => {
+                h.write_u64(1);
+                h.write_u64(subspace as u64);
+            }
+            Method::Rqi { warmup } => {
+                h.write_u64(2);
+                h.write_u64(warmup as u64);
+            }
+        }
+        h.write_f64(self.tol);
+    }
+
+    /// The content address of the `(landscape, ν, p, method, tol)` point:
+    /// the result cache's key. Exact bit patterns are hashed — `0.01`
+    /// and `0.01 + ε` are different problems.
+    pub fn cache_key(&self, p: f64) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash_shared(&mut h);
+        h.write_f64(p);
+        h.finish()
+    }
+
+    /// The coalescing identity: requests with equal group keys differ at
+    /// most in their error rates and can be answered by one batched
+    /// engine run (each `p` becomes a column). Includes the iteration
+    /// budget — columns of one block share it.
+    pub fn group_key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash_shared(&mut h);
+        h.write_u64(self.max_iter as u64);
+        h.finish()
+    }
+
+    /// Answer the request with a private, cold workspace.
+    pub fn run(&self) -> Result<SolveResult, SolveError> {
+        self.run_in(&mut Workspace::new())
+    }
+
+    /// Answer the request, drawing solver working memory from `ws`.
+    ///
+    /// [`Method::Power`] requests run the batched sweep path: one block
+    /// power iteration over a [`QSweep`] operator whose columns are the
+    /// request's error rates, so the FWHT stage sweeps are paid once per
+    /// step for the whole grid. Repeated same-shape requests against a
+    /// warmed `ws` run allocation-free (see
+    /// [`Workspace::bytes_since_mark`]); park the returned concentration
+    /// vectors back via [`SolveResult::recycle`] to keep the pool warm.
+    /// Other methods fall back to one independent solve per point.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidConfig`] from [`SolveRequest::validate`];
+    /// [`SolveError::NotConverged`] if any point exhausts the budget.
+    pub fn run_in(&self, ws: &mut Workspace) -> Result<SolveResult, SolveError> {
+        self.validate()?;
+        let landscape = self.landscape.build()?;
+        let nu = landscape.nu();
+        let (solutions, batched) = match self.method {
+            Method::Power => (
+                solve_uniform_sweep(landscape.as_ref(), &self.ps, self.tol, self.max_iter, ws)?,
+                true,
+            ),
+            method => {
+                let config = SolverConfig {
+                    method,
+                    tol: self.tol,
+                    max_iter: self.max_iter,
+                    engine: if self.parallel {
+                        Engine::FmmpParallel
+                    } else {
+                        Engine::default()
+                    },
+                    ..Default::default()
+                };
+                let mut out = Vec::with_capacity(self.ps.len());
+                for &p in &self.ps {
+                    out.push(solve(p, landscape.as_ref(), &config)?);
+                }
+                (out, false)
+            }
+        };
+        let points = self
+            .ps
+            .iter()
+            .zip(solutions)
+            .map(|(&p, solution)| PointResult {
+                p,
+                cache_key: self.cache_key(p),
+                solution,
+            })
+            .collect();
+        Ok(SolveResult {
+            nu,
+            batched,
+            points,
+        })
+    }
+}
+
+/// One answered point of a [`SolveResult`].
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The error rate this point was solved at.
+    pub p: f64,
+    /// Its content address (see [`SolveRequest::cache_key`]).
+    pub cache_key: u64,
+    /// The stationary distribution and its solve stats.
+    pub solution: Quasispecies,
+}
+
+/// The answer to a [`SolveRequest`]: one [`PointResult`] per requested
+/// error rate, in request order.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Chain length of the solved landscape.
+    pub nu: u32,
+    /// Whether the grid was answered by one batched engine run (`true`)
+    /// or by independent per-point solves.
+    pub batched: bool,
+    /// Per-point answers, in request order.
+    pub points: Vec<PointResult>,
+}
+
+impl SolveResult {
+    /// Park every concentration vector back into `ws`, consuming the
+    /// result. A serving loop that recycles each result after encoding
+    /// it keeps the workspace warm enough that the next same-shape
+    /// request allocates nothing.
+    pub fn recycle(self, ws: &mut Workspace) {
+        for point in self.points {
+            ws.put(point.solution.concentrations);
+        }
+    }
+}
+
+/// Per-`p` mutation diagonal + shared [`QSweep`] spectral product: the
+/// coalesced multi-rate operator. One diagonal pass per column plus a
+/// single batched spectral product, so the two FWHT stage traversals are
+/// shared by the whole grid. Batch-only by construction — a
+/// single-vector application cannot know which `p_j` it belongs to.
+struct SweepWOperator {
+    sweep: QSweep,
+    fitness: Vec<f64>,
+}
+
+impl LinearOperator for SweepWOperator {
+    fn len(&self) -> usize {
+        self.sweep.len()
+    }
+
+    fn apply_into(&self, _x: &[f64], _y: &mut [f64]) {
+        unreachable!("the sweep operator is batch-only; use apply_batch")
+    }
+
+    fn flops_estimate(&self) -> f64 {
+        self.sweep.flops_estimate() + (self.sweep.columns() * self.len()) as f64
+    }
+
+    fn apply_batch(&self, slab: &mut [f64]) {
+        let n = self.len();
+        assert_eq!(
+            slab.len(),
+            n * self.sweep.columns(),
+            "apply_batch: slab must hold one column per sweep error rate"
+        );
+        for col in slab.chunks_exact_mut(n) {
+            qs_linalg::vec_ops::apply_diagonal(&self.fitness, col);
+        }
+        self.sweep.apply_batch(slab);
+    }
+}
+
+/// Solve the **uniform-model** stationary distribution at every rate in
+/// `ps` through one batched block power iteration (the engine behind
+/// both [`SolveRequest::run_in`] with [`Method::Power`] and
+/// [`crate::threshold::scan_full_sweep`]). Working memory comes from
+/// `ws`; one solution per rate, in grid order.
+///
+/// # Errors
+///
+/// [`SolveError::InvalidConfig`] on an empty grid, rates outside
+/// `(0, 1/2]` or non-positive fitness values;
+/// [`SolveError::NotConverged`] if any column exhausts `max_iter`.
+pub(crate) fn solve_uniform_sweep<L: Landscape + ?Sized>(
+    landscape: &L,
+    ps: &[f64],
+    tol: f64,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> Result<Vec<Quasispecies>, SolveError> {
+    if ps.is_empty() {
+        return Err(SolveError::InvalidConfig {
+            parameter: "ps",
+            detail: "error-rate grid must be non-empty".into(),
+        });
+    }
+    if let Some(bad) = ps
+        .iter()
+        .find(|p| !(p.is_finite() && **p > 0.0 && **p <= 0.5))
+    {
+        return Err(SolveError::InvalidConfig {
+            parameter: "p",
+            detail: format!("error rates must lie in (0, 1/2], got {bad}"),
+        });
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "tol",
+            detail: format!("residual tolerance must be finite and positive, got {tol}"),
+        });
+    }
+    let nu = landscape.nu();
+    let fitness = landscape.materialize();
+    if let Some(bad) = fitness.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "fitness",
+            detail: format!("fitness values must be finite and strictly positive, found {bad}"),
+        });
+    }
+    let n = fitness.len();
+    let k = ps.len();
+
+    // The paper's start vector, replicated into every pooled slab column.
+    let mut start = ws.take_copy(&fitness);
+    qs_linalg::vec_ops::normalize_l1(&mut start);
+    let mut slab = ws.take(n * k);
+    for col in slab.chunks_exact_mut(n) {
+        col.copy_from_slice(&start);
+    }
+    ws.put(start);
+
+    let op = SweepWOperator {
+        sweep: QSweep::new(nu, ps),
+        fitness,
+    };
+    let opts = PowerOptions {
+        tol,
+        max_iter,
+        ..Default::default()
+    };
+    let block = block_power_iteration_in(&op, &slab, &opts, ws);
+    ws.put(slab);
+
+    let mut solutions = Vec::with_capacity(k);
+    for col in block.columns {
+        if !col.converged {
+            return Err(SolveError::NotConverged {
+                iterations: col.iterations,
+                residual: col.residual,
+            });
+        }
+        let stats = SolveStats {
+            iterations: col.iterations,
+            matvecs: col.matvecs,
+            residual: col.residual,
+            converged: true,
+            engine: "QSweep".into(),
+            method: "Pi-block".into(),
+            shift: 0.0,
+            degraded: false,
+            recovered_from: None,
+            deadline_expired: false,
+            residual_history: None,
+        };
+        solutions.push(Quasispecies::from_right_eigenvector(
+            col.lambda, col.vector, stats,
+        ));
+    }
+    Ok(solutions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::ShiftStrategy;
+
+    fn peak(nu: u32) -> LandscapeSpec {
+        LandscapeSpec::SinglePeak {
+            nu,
+            f0: 2.0,
+            f_rest: 1.0,
+        }
+    }
+
+    #[test]
+    fn specs_build_and_report_nu() {
+        let specs = [
+            peak(6),
+            LandscapeSpec::Random {
+                nu: 6,
+                c: 5.0,
+                sigma: 1.0,
+                seed: 42,
+            },
+            LandscapeSpec::Nk {
+                nu: 6,
+                k: 2,
+                seed: 42,
+            },
+            LandscapeSpec::ErrorClass {
+                nu: 6,
+                phi: vec![1.0; 7],
+            },
+            LandscapeSpec::Tabulated {
+                fitness: vec![1.0; 64],
+            },
+        ];
+        for spec in specs {
+            let built = spec.build().unwrap();
+            assert_eq!(built.nu(), 6, "{}", spec.kind());
+            assert_eq!(spec.nu(), 6);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors_not_panics() {
+        let cases = [
+            LandscapeSpec::SinglePeak {
+                nu: 6,
+                f0: -1.0,
+                f_rest: 1.0,
+            },
+            LandscapeSpec::SinglePeak {
+                nu: 0,
+                f0: 2.0,
+                f_rest: 1.0,
+            },
+            LandscapeSpec::SinglePeak {
+                nu: 64,
+                f0: 2.0,
+                f_rest: 1.0,
+            },
+            LandscapeSpec::Random {
+                nu: 6,
+                c: 5.0,
+                sigma: 10.0,
+                seed: 0,
+            },
+            LandscapeSpec::Nk {
+                nu: 6,
+                k: 6,
+                seed: 0,
+            },
+            LandscapeSpec::ErrorClass {
+                nu: 6,
+                phi: vec![1.0; 3],
+            },
+            LandscapeSpec::Tabulated {
+                fitness: vec![1.0; 63],
+            },
+            LandscapeSpec::Tabulated {
+                fitness: vec![f64::NAN; 64],
+            },
+        ];
+        for spec in cases {
+            assert!(
+                matches!(spec.build(), Err(SolveError::InvalidConfig { .. })),
+                "{spec:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_request_knobs_are_typed_errors() {
+        let mut req = SolveRequest::single(peak(6), 0.01);
+        req.ps.clear();
+        assert!(matches!(
+            req.validate(),
+            Err(SolveError::InvalidConfig {
+                parameter: "ps",
+                ..
+            })
+        ));
+        let req = SolveRequest::single(peak(6), 0.7);
+        assert!(matches!(
+            req.validate(),
+            Err(SolveError::InvalidConfig { parameter: "p", .. })
+        ));
+        let mut req = SolveRequest::single(peak(6), 0.01);
+        req.tol = -1.0;
+        assert!(matches!(
+            req.validate(),
+            Err(SolveError::InvalidConfig {
+                parameter: "tol",
+                ..
+            })
+        ));
+        let mut req = SolveRequest::single(peak(6), 0.01);
+        req.max_iter = 0;
+        assert!(matches!(
+            req.validate(),
+            Err(SolveError::InvalidConfig {
+                parameter: "max_iter",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cache_keys_separate_every_dimension_of_the_problem() {
+        // Every variation of (landscape, ν, p, method, tol) must land on
+        // its own address; collisions would serve one problem's answer to
+        // another.
+        let base = SolveRequest::single(peak(8), 0.01);
+        let mut variants: Vec<SolveRequest> = vec![base.clone()];
+        variants.push(SolveRequest::single(peak(9), 0.01));
+        variants.push(SolveRequest::single(
+            LandscapeSpec::SinglePeak {
+                nu: 8,
+                f0: 2.5,
+                f_rest: 1.0,
+            },
+            0.01,
+        ));
+        variants.push(SolveRequest::single(
+            LandscapeSpec::Random {
+                nu: 8,
+                c: 5.0,
+                sigma: 1.0,
+                seed: 1,
+            },
+            0.01,
+        ));
+        variants.push(SolveRequest::single(
+            LandscapeSpec::Random {
+                nu: 8,
+                c: 5.0,
+                sigma: 1.0,
+                seed: 2,
+            },
+            0.01,
+        ));
+        let mut m = base.clone();
+        m.method = Method::Lanczos { subspace: 24 };
+        variants.push(m);
+        let mut m = base.clone();
+        m.method = Method::Rqi { warmup: 5 };
+        variants.push(m);
+        let mut t = base.clone();
+        t.tol = 1e-10;
+        variants.push(t);
+
+        let mut keys: Vec<u64> = Vec::new();
+        for req in &variants {
+            keys.push(req.cache_key(0.01));
+        }
+        // Distinct p values on the same request, including a one-ulp
+        // neighbour.
+        keys.push(base.cache_key(0.02));
+        keys.push(base.cache_key(f64::from_bits(0.01f64.to_bits() + 1)));
+
+        let unique: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), keys.len(), "cache keys collided: {keys:?}");
+    }
+
+    #[test]
+    fn group_key_ignores_p_but_tracks_the_rest() {
+        let a = SolveRequest::single(peak(8), 0.01);
+        let b = SolveRequest::single(peak(8), 0.04);
+        assert_eq!(
+            a.group_key(),
+            b.group_key(),
+            "requests differing only in p must coalesce"
+        );
+        assert_ne!(a.cache_key(0.01), b.cache_key(0.04));
+        let mut c = a.clone();
+        c.tol = 1e-9;
+        assert_ne!(a.group_key(), c.group_key());
+        let mut d = a.clone();
+        d.max_iter += 1;
+        assert_ne!(a.group_key(), d.group_key());
+        // The scheduling hint is excluded from both keys by design.
+        let mut e = a.clone();
+        e.parallel = true;
+        assert_eq!(a.group_key(), e.group_key());
+        assert_eq!(a.cache_key(0.01), e.cache_key(0.01));
+    }
+
+    #[test]
+    fn batched_run_matches_independent_solves_at_tolerance() {
+        let req = SolveRequest::sweep(peak(7), vec![0.005, 0.01, 0.02, 0.04]);
+        let result = req.run().unwrap();
+        assert!(result.batched);
+        assert_eq!(result.nu, 7);
+        assert_eq!(result.points.len(), 4);
+        let config = SolverConfig {
+            tol: req.tol,
+            max_iter: req.max_iter,
+            shift: ShiftStrategy::None,
+            ..Default::default()
+        };
+        let landscape = req.landscape.build().unwrap();
+        for point in &result.points {
+            let reference = solve(point.p, landscape.as_ref(), &config).unwrap();
+            assert!(
+                (point.solution.lambda - reference.lambda).abs() < 1e-9,
+                "p = {}: λ {} vs {}",
+                point.p,
+                point.solution.lambda,
+                reference.lambda
+            );
+            let sum: f64 = point.solution.concentrations.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(point.solution.stats.converged);
+            assert_eq!(point.cache_key, req.cache_key(point.p));
+        }
+    }
+
+    #[test]
+    fn non_power_methods_fall_back_to_per_point_solves() {
+        let mut req = SolveRequest::sweep(peak(6), vec![0.01, 0.02]);
+        req.method = Method::Lanczos { subspace: 24 };
+        let result = req.run().unwrap();
+        assert!(!result.batched);
+        assert_eq!(result.points.len(), 2);
+        for point in &result.points {
+            assert!(point.solution.stats.converged);
+        }
+    }
+
+    #[test]
+    fn repeat_runs_are_bit_identical() {
+        let req = SolveRequest::sweep(peak(7), vec![0.01, 0.03]);
+        let a = req.run().unwrap();
+        let b = req.run().unwrap();
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.solution.lambda.to_bits(), y.solution.lambda.to_bits());
+            for (u, v) in x
+                .solution
+                .concentrations
+                .iter()
+                .zip(&y.solution.concentrations)
+            {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warmed_workspace_serves_repeats_allocation_free() {
+        let req = SolveRequest::sweep(peak(6), vec![0.01, 0.02, 0.03]);
+        let mut ws = Workspace::new();
+        // Warm-up request pays the pool misses once.
+        req.run_in(&mut ws).unwrap().recycle(&mut ws);
+        ws.mark();
+        for _ in 0..3 {
+            let result = req.run_in(&mut ws).unwrap();
+            assert!(result.batched);
+            result.recycle(&mut ws);
+        }
+        assert_eq!(
+            ws.bytes_since_mark(),
+            0,
+            "steady-state batched serving must not touch the allocator"
+        );
+    }
+}

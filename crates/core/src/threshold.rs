@@ -13,12 +13,11 @@
 //! Section 5.1 reduction (`O(ν³)` per point, any ν). [`detect_pmax`]
 //! locates the threshold by bisecting an order parameter.
 
-use crate::power::{block_power_iteration, PowerOptions};
 use crate::reduced::solve_error_class;
-use crate::result::{Quasispecies, SolveStats};
+use crate::request::solve_uniform_sweep;
 use crate::solver::{solve, SolveError, SolverConfig};
+use crate::workspace::Workspace;
 use qs_landscape::Landscape;
-use qs_matvec::{LinearOperator, QSweep};
 
 /// Result of an error-rate sweep: one `[Γ_k]` profile per grid point.
 #[derive(Debug, Clone)]
@@ -115,43 +114,6 @@ pub fn scan_full<L: Landscape + ?Sized>(
     })
 }
 
-/// `W(p_j) = Q(p_j)·F` across all sweep columns at once: one fitness
-/// diagonal pass per column plus a single [`QSweep`] batched spectral
-/// product, so the two FWHT stage traversals are shared by the whole
-/// grid. Batch-only by construction — a single-vector application cannot
-/// know which `p_j` it belongs to.
-struct SweepWOperator {
-    sweep: QSweep,
-    fitness: Vec<f64>,
-}
-
-impl LinearOperator for SweepWOperator {
-    fn len(&self) -> usize {
-        self.sweep.len()
-    }
-
-    fn apply_into(&self, _x: &[f64], _y: &mut [f64]) {
-        unreachable!("the sweep operator is batch-only; use apply_batch")
-    }
-
-    fn flops_estimate(&self) -> f64 {
-        self.sweep.flops_estimate() + (self.sweep.columns() * self.len()) as f64
-    }
-
-    fn apply_batch(&self, slab: &mut [f64]) {
-        let n = self.len();
-        assert_eq!(
-            slab.len(),
-            n * self.sweep.columns(),
-            "apply_batch: slab must hold one column per sweep error rate"
-        );
-        for col in slab.chunks_exact_mut(n) {
-            qs_linalg::vec_ops::apply_diagonal(&self.fitness, col);
-        }
-        self.sweep.apply_batch(slab);
-    }
-}
-
 /// Batched variant of [`scan_full`] for the **uniform** mutation model:
 /// instead of one independent solve per grid point, every error rate
 /// advances in lockstep through a single block power iteration whose step
@@ -175,78 +137,11 @@ pub fn scan_full_sweep<L: Landscape + ?Sized>(
     tol: f64,
     max_iter: usize,
 ) -> Result<ThresholdScan, SolveError> {
-    if ps.is_empty() {
-        return Err(SolveError::InvalidConfig {
-            parameter: "ps",
-            detail: "error-rate grid must be non-empty".into(),
-        });
-    }
-    if let Some(bad) = ps
-        .iter()
-        .find(|p| !(p.is_finite() && **p > 0.0 && **p <= 0.5))
-    {
-        return Err(SolveError::InvalidConfig {
-            parameter: "p",
-            detail: format!("error rates must lie in (0, 1/2], got {bad}"),
-        });
-    }
-    if !(tol.is_finite() && tol > 0.0) {
-        return Err(SolveError::InvalidConfig {
-            parameter: "tol",
-            detail: format!("residual tolerance must be finite and positive, got {tol}"),
-        });
-    }
     let nu = landscape.nu();
-    let fitness = landscape.materialize();
-    if let Some(bad) = fitness.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
-        return Err(SolveError::InvalidConfig {
-            parameter: "fitness",
-            detail: format!("fitness values must be finite and strictly positive, found {bad}"),
-        });
-    }
-    let n = fitness.len();
-    let op = SweepWOperator {
-        sweep: QSweep::new(nu, ps),
-        fitness: fitness.clone(),
-    };
-
-    // The paper's start vector, replicated into every column.
-    let mut start = fitness;
-    qs_linalg::vec_ops::normalize_l1(&mut start);
-    let mut slab = Vec::with_capacity(n * ps.len());
-    for _ in 0..ps.len() {
-        slab.extend_from_slice(&start);
-    }
-    let opts = PowerOptions {
-        tol,
-        max_iter,
-        ..Default::default()
-    };
-    let block = block_power_iteration(&op, &slab, &opts);
-
+    let solutions = solve_uniform_sweep(landscape, ps, tol, max_iter, &mut Workspace::new())?;
     let mut classes = Vec::with_capacity(ps.len());
     let mut order = Vec::with_capacity(ps.len());
-    for col in block.columns {
-        if !col.converged {
-            return Err(SolveError::NotConverged {
-                iterations: col.iterations,
-                residual: col.residual,
-            });
-        }
-        let stats = SolveStats {
-            iterations: col.iterations,
-            matvecs: col.matvecs,
-            residual: col.residual,
-            converged: true,
-            engine: "QSweep".into(),
-            method: "Pi-block".into(),
-            shift: 0.0,
-            degraded: false,
-            recovered_from: None,
-            deadline_expired: false,
-            residual_history: None,
-        };
-        let qs = Quasispecies::from_right_eigenvector(col.lambda, col.vector, stats);
+    for qs in solutions {
         let profile = qs.error_class_concentrations();
         order.push(order_parameter(nu, &profile));
         classes.push(profile);

@@ -88,7 +88,7 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> SymmetricEigen {
 
     // Sort eigenpairs descending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&j| m[(j, j)]).collect();
     let vectors = DenseMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     SymmetricEigen { values, vectors }

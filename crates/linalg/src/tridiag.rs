@@ -97,7 +97,7 @@ pub fn tridiag_eigen(d: &[f64], e: &[f64]) -> TridiagEigen {
 
     // Sort eigenpairs descending.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| dd[j].partial_cmp(&dd[i]).unwrap());
+    order.sort_by(|&i, &j| dd[j].total_cmp(&dd[i]));
     let values: Vec<f64> = order.iter().map(|&j| dd[j]).collect();
     let vectors = DenseMatrix::from_fn(n, n, |i, j| z[(i, order[j])]);
     TridiagEigen { values, vectors }
@@ -164,7 +164,7 @@ mod tests {
         let mut expected: Vec<f64> = (1..=n)
             .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
             .collect();
-        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        expected.sort_by(|a, b| b.total_cmp(a));
         for (got, want) in eig.values.iter().zip(&expected) {
             assert!((got - want).abs() < 1e-12, "{got} vs {want}");
         }

@@ -1,0 +1,120 @@
+//! A deliberately minimal HTTP/1.1 layer over [`std::net::TcpStream`]:
+//! enough protocol to serve solve requests, metrics scrapes and a `curl`
+//! session, and not a line more. One request per connection
+//! (`Connection: close` semantics), bounded header and body sizes, and
+//! explicit read timeouts — a malformed or stalled client costs one
+//! connection thread for at most the timeout, never the process.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body. A ν = 20 tabulated landscape is
+/// ~25 MiB of JSON; anything bigger should ship as a seeded spec.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// Per-connection socket read timeout.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method token, e.g. `"POST"`.
+    pub method: String,
+    /// Request target as sent, e.g. `"/solve"`.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Read one request from `stream`, or `None` when the peer closed the
+/// connection before sending a request line.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_ascii_uppercase(), p.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Write a complete response and flush. `extra_headers` are emitted
+/// verbatim after the standard ones.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
+         content-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}

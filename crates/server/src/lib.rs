@@ -1,0 +1,329 @@
+//! Quasispecies-as-a-service: an HTTP solve server with cross-request
+//! batching and a content-addressed result cache.
+//!
+//! The server exposes the [`quasispecies::SolveRequest`] API boundary
+//! over a small HTTP/1.1 surface:
+//!
+//! | route            | method | purpose                                    |
+//! |------------------|--------|--------------------------------------------|
+//! | `/solve`         | POST   | solve one request (one or many error rates)|
+//! | `/metrics`       | GET    | serving counters + last engine trace digest|
+//! | `/healthz`       | GET    | liveness probe                             |
+//! | `/shutdown`      | POST   | graceful stop (drains workers)             |
+//!
+//! Three serving properties are load-bearing (and pinned by the
+//! integration tests):
+//!
+//! - **coalescing** — concurrent `/solve` requests over the same
+//!   (landscape, ν, method, tol) are merged into one batched block power
+//!   iteration, their error rates becoming columns of a single engine
+//!   run ([`scheduler`] module docs);
+//! - **bit-identical repeats** — results are cached as encoded bytes
+//!   under a content-addressed key, so re-asking for a point re-serves
+//!   the exact same bytes;
+//! - **zero-alloc steady state** — workers keep their [`Workspace`]
+//!   pools warm across solves, so after warm-up the per-solve pool-miss
+//!   byte counter on `/metrics` reads zero.
+//!
+//! Everything is `std`-only: plain [`TcpListener`], threads, mutexes and
+//! condvars — no async runtime, no HTTP dependency to gate on.
+//!
+//! [`Workspace`]: quasispecies::Workspace
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use qs_fault::FaultPlan;
+use qs_telemetry::ServeCounters;
+use quasispecies::FORMAT_VERSION;
+
+pub mod http;
+mod scheduler;
+pub mod wire;
+
+use scheduler::{Scheduler, ServeError};
+
+/// Crate version for build-info records. `option_env!` (not `env!`) so
+/// builds outside cargo — e.g. bare-rustc validation harnesses — still
+/// compile; the fallback matches the workspace version.
+pub(crate) const PKG_VERSION: &str = match option_env!("CARGO_PKG_VERSION") {
+    Some(v) => v,
+    None => "0.1.0",
+};
+
+/// Everything configurable about a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Solve worker threads, each owning a persistent workspace.
+    pub workers: usize,
+    /// How long the first request of a group waits for concurrent
+    /// requests to coalesce before dispatching.
+    pub coalesce_window: Duration,
+    /// Largest accepted chain length ν; a solve costs Θ(2^ν · ν) per
+    /// iteration, so this caps per-request work.
+    pub max_nu: u32,
+    /// Result-cache capacity in points (FIFO eviction).
+    pub cache_capacity: usize,
+    /// Optional fault-injection plan: when set, every solve runs through
+    /// the chaos harness's [`FaultyOp`](qs_fault::FaultyOp) wrapper.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            coalesce_window: Duration::from_millis(25),
+            max_nu: 22,
+            cache_capacity: 4096,
+            fault_plan: None,
+        }
+    }
+}
+
+/// A bound (but not yet running) solve server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    workers: Vec<thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    max_nu: u32,
+}
+
+impl Server {
+    /// Bind the listener and start the worker pool. The accept loop does
+    /// not run until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let (job_tx, job_rx) = mpsc::channel();
+        let scheduler = Arc::new(Scheduler::new(
+            config.coalesce_window,
+            config.cache_capacity,
+            job_tx,
+        ));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let fault_plan = config.fault_plan.map(Arc::new);
+        let mut workers = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let scheduler = scheduler.clone();
+            let job_rx = job_rx.clone();
+            let fault_plan = fault_plan.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("qs-solve-{i}"))
+                    .spawn(move || scheduler::worker_loop(scheduler, job_rx, fault_plan))?,
+            );
+        }
+        Ok(Server {
+            listener,
+            local_addr,
+            scheduler,
+            workers,
+            stop: Arc::new(AtomicBool::new(false)),
+            max_nu: config.max_nu,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The serving counters, shareable for out-of-band assertions.
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        self.scheduler.counters.clone()
+    }
+
+    /// Serve until a `POST /shutdown` arrives, then drain the worker
+    /// pool and return. Each connection is handled on its own thread.
+    pub fn run(self) {
+        let Server {
+            listener,
+            local_addr,
+            scheduler,
+            workers,
+            stop,
+            max_nu,
+        } = self;
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let scheduler = scheduler.clone();
+            let stop = stop.clone();
+            thread::spawn(move || {
+                handle_connection(stream, &scheduler, &stop, local_addr, max_nu);
+            });
+        }
+        // Close the job channel so idle workers see a hangup and exit.
+        scheduler.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serve exactly one request on `stream` (`Connection: close`).
+fn handle_connection(
+    mut stream: TcpStream,
+    scheduler: &Scheduler,
+    stop: &AtomicBool,
+    local_addr: SocketAddr,
+    max_nu: u32,
+) {
+    let request = match http::read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(err) => {
+            let body = wire::error_body("bad_request", &err.to_string());
+            let _ = http::write_response(&mut stream, 400, "Bad Request", JSON, &[], &body);
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/solve") => handle_solve(&mut stream, scheduler, max_nu, &request.body),
+        ("GET", "/metrics") => {
+            let body = render_metrics(scheduler);
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; charset=utf-8",
+                &[],
+                body.as_bytes(),
+            );
+        }
+        ("GET", "/healthz") => {
+            let _ = http::write_response(&mut stream, 200, "OK", JSON, &[], b"{\"ok\":true}");
+        }
+        ("POST", "/shutdown") => {
+            let _ = http::write_response(&mut stream, 200, "OK", JSON, &[], b"{\"shutdown\":true}");
+            stop.store(true, Ordering::SeqCst);
+            // The accept loop is blocked in accept(); poke it awake so it
+            // observes the flag. The connection is dropped unhandled.
+            let _ = TcpStream::connect(local_addr);
+        }
+        _ => {
+            let body = wire::error_body("not_found", &request.path);
+            let _ = http::write_response(&mut stream, 404, "Not Found", JSON, &[], &body);
+        }
+    }
+}
+
+const JSON: &str = "application/json";
+
+fn handle_solve(stream: &mut TcpStream, scheduler: &Scheduler, max_nu: u32, body: &[u8]) {
+    let counters = &scheduler.counters;
+    let request = match wire::parse_solve_request(body) {
+        Ok(request) => request,
+        Err(detail) => {
+            counters.record_error();
+            let body = wire::error_body("bad_request", &detail);
+            let _ = http::write_response(stream, 400, "Bad Request", JSON, &[], &body);
+            return;
+        }
+    };
+    counters.record_request(request.ps.len() as u64);
+    if let Err(err) = request.validate() {
+        counters.record_error();
+        let body = wire::error_body("invalid_request", &err.to_string());
+        let _ = http::write_response(stream, 400, "Bad Request", JSON, &[], &body);
+        return;
+    }
+    let nu = request.landscape.nu();
+    if nu > max_nu {
+        counters.record_error();
+        let detail = format!("chain length nu = {nu} exceeds the server cap of {max_nu}");
+        let body = wire::error_body("too_large", &detail);
+        let _ = http::write_response(stream, 400, "Bad Request", JSON, &[], &body);
+        return;
+    }
+    match scheduler.serve_points(&request) {
+        Ok(served) => {
+            let mut body =
+                format!("{{\"count\":{},\"results\":[", served.fragments.len()).into_bytes();
+            for (i, fragment) in served.fragments.iter().enumerate() {
+                if i > 0 {
+                    body.push(b',');
+                }
+                body.extend_from_slice(fragment);
+            }
+            body.extend_from_slice(b"]}");
+            // The cache header is advisory and deliberately NOT part of
+            // the bit-identity contract, which covers the body only.
+            let headers: &[(&str, &str)] = if served.all_cached {
+                &[("x-cache", "hit")]
+            } else {
+                &[]
+            };
+            let _ = http::write_response(stream, 200, "OK", JSON, headers, &body);
+        }
+        Err(ServeError::Failed(detail)) => {
+            counters.record_error();
+            let body = wire::error_body("solve_failed", &detail);
+            let _ = http::write_response(stream, 500, "Internal Server Error", JSON, &[], &body);
+        }
+        Err(ServeError::TimedOut) => {
+            counters.record_error();
+            let body = wire::error_body("timeout", "solve did not complete in time");
+            let _ = http::write_response(stream, 504, "Gateway Timeout", JSON, &[], &body);
+        }
+    }
+}
+
+/// Render the `/metrics` body: one line per counter in the Prometheus
+/// text idiom, a build-info gauge, then the most recent engine run's
+/// [`TraceSummary`](qs_telemetry::TraceSummary) as comment lines.
+fn render_metrics(scheduler: &Scheduler) -> String {
+    let s = scheduler.counters.snapshot();
+    let mut out = String::new();
+    for (name, value) in [
+        ("qs_requests_total", s.requests),
+        ("qs_points_total", s.points),
+        ("qs_engine_solves_total", s.engine_solves),
+        ("qs_batched_columns_total", s.batched_columns),
+        ("qs_max_batch", s.max_batch),
+        ("qs_cache_hits_total", s.cache_hits),
+        ("qs_cache_misses_total", s.cache_misses),
+        ("qs_pool_miss_bytes_total", s.pool_miss_bytes),
+        (
+            "qs_last_solve_pool_miss_bytes",
+            s.last_solve_pool_miss_bytes,
+        ),
+        ("qs_errors_total", s.errors),
+    ] {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "qs_build_info{{version=\"{}\",isa=\"{}\",checkpoint_format=\"{}\"}} 1\n",
+        PKG_VERSION,
+        qs_matvec::simd::active().name(),
+        FORMAT_VERSION,
+    ));
+    let summary = scheduler.last_summary.lock().unwrap();
+    for line in summary.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}

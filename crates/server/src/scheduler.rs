@@ -1,0 +1,365 @@
+//! The request scheduler: cross-request batching, the content-addressed
+//! result cache, and the worker pool that owns the solver workspaces.
+//!
+//! # Coalescing contract
+//!
+//! Every requested point is content-addressed by
+//! [`SolveRequest::cache_key`] and every request belongs to a *group*
+//! ([`SolveRequest::group_key`]) — requests that differ at most in their
+//! error rates. A point is answered one of three ways:
+//!
+//! 1. **cache hit** — the key is present; the stored encoded bytes are
+//!    re-served verbatim (bit-identical repeats by construction);
+//! 2. **join** — the key is already pending (in an open group or in
+//!    flight on a worker); the connection just waits for it;
+//! 3. **open** — the first connection to miss on a group opens it,
+//!    waits one coalescing window for concurrent requests to pile their
+//!    rates in, then dispatches the whole group as **one** job. On a
+//!    worker, the group's rates become columns of a single batched block
+//!    power iteration, so `k` coalesced requests cost one engine solve.
+//!
+//! Workers are long-lived and each owns a [`Workspace`]: after the first
+//! (pool-warming) solve of a given shape, steady-state serving draws
+//! every solver buffer from the pool — the per-solve pool-miss byte
+//! count on `/metrics` drops to zero.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use qs_fault::{FaultPlan, FaultyOp};
+use qs_matvec::{Fmmp, LinearOperator};
+use qs_telemetry::{ServeCounters, SolverEvent, TraceSummary};
+use quasispecies::{
+    solve_with_q_operator, PointResult, SolveRequest, SolveResult, SolverConfig, Workspace,
+    FORMAT_VERSION,
+};
+
+use crate::wire;
+
+/// How long a connection waits for its points before giving up. Far
+/// above any smoke-scale solve; a stuck worker must not pin connections
+/// forever.
+const WAIT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One dispatched unit of work: a coalesced group's request (rates
+/// accumulated) plus the cache key of each rate.
+pub(crate) struct Job {
+    request: SolveRequest,
+    keys: Vec<u64>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Content-addressed results: key → encoded point fragment.
+    cache: HashMap<u64, Arc<Vec<u8>>>,
+    /// Insertion order for FIFO eviction.
+    cache_order: VecDeque<u64>,
+    /// Keys currently being computed on a worker.
+    in_flight: HashSet<u64>,
+    /// Keys whose last computation failed, with the error detail.
+    /// Entries are cleared when a new request retries the key.
+    failed: HashMap<u64, Arc<String>>,
+    /// Open coalescing groups, by group key.
+    groups: HashMap<u64, Group>,
+}
+
+struct Group {
+    request: SolveRequest,
+    keys: Vec<u64>,
+}
+
+/// What [`Scheduler::serve_points`] hands back for a fully answered
+/// request.
+pub(crate) struct ServedPoints {
+    /// Encoded fragment per requested rate, in request order.
+    pub fragments: Vec<Arc<Vec<u8>>>,
+    /// Whether every point came straight from the cache.
+    pub all_cached: bool,
+}
+
+/// Why a request could not be answered.
+pub(crate) enum ServeError {
+    /// The solve failed with this detail.
+    Failed(Arc<String>),
+    /// The wait timed out (worker wedged or result evicted mid-wait).
+    TimedOut,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    done: Condvar,
+    job_tx: Mutex<Option<Sender<Job>>>,
+    pub(crate) counters: Arc<ServeCounters>,
+    coalesce: Duration,
+    cache_capacity: usize,
+    /// Rendered [`TraceSummary`] of the most recent engine run, for
+    /// `/metrics`.
+    pub(crate) last_summary: Mutex<String>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(coalesce: Duration, cache_capacity: usize, job_tx: Sender<Job>) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(State::default()),
+            done: Condvar::new(),
+            job_tx: Mutex::new(Some(job_tx)),
+            counters: Arc::new(ServeCounters::new()),
+            coalesce,
+            cache_capacity: cache_capacity.max(1),
+            last_summary: Mutex::new(String::new()),
+        }
+    }
+
+    /// Drop the job sender so workers drain and exit.
+    pub(crate) fn close(&self) {
+        self.job_tx.lock().unwrap().take();
+    }
+
+    /// Answer every point of an (already validated) request, coalescing
+    /// with concurrent requests and the cache as described in the module
+    /// docs. Blocks until all points are served or failed.
+    pub(crate) fn serve_points(&self, request: &SolveRequest) -> Result<ServedPoints, ServeError> {
+        let keys: Vec<u64> = request.ps.iter().map(|&p| request.cache_key(p)).collect();
+        let group_key = request.group_key();
+
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut opened = false;
+        {
+            let mut st = self.state.lock().unwrap();
+            for (&p, &key) in request.ps.iter().zip(&keys) {
+                if st.cache.contains_key(&key) || st.in_flight.contains(&key) {
+                    if st.cache.contains_key(&key) {
+                        hits += 1;
+                    }
+                    continue;
+                }
+                // A stale failure is retried, not re-served.
+                st.failed.remove(&key);
+                let group = st.groups.entry(group_key).or_insert_with(|| {
+                    opened = true;
+                    Group {
+                        request: SolveRequest {
+                            ps: Vec::new(),
+                            ..request.clone()
+                        },
+                        keys: Vec::new(),
+                    }
+                });
+                if !group.keys.contains(&key) {
+                    group.request.ps.push(p);
+                    group.keys.push(key);
+                    misses += 1;
+                }
+            }
+        }
+        self.counters.record_cache_hits(hits);
+        self.counters.record_cache_misses(misses);
+
+        if opened {
+            // This connection opened the group: give concurrent requests
+            // one window to pile in, then dispatch the whole group as a
+            // single job.
+            std::thread::sleep(self.coalesce);
+            let job = {
+                let mut st = self.state.lock().unwrap();
+                st.groups.remove(&group_key).map(|group| {
+                    for &key in &group.keys {
+                        st.in_flight.insert(key);
+                    }
+                    Job {
+                        request: group.request,
+                        keys: group.keys,
+                    }
+                })
+            };
+            if let Some(job) = job {
+                let sent = match &*self.job_tx.lock().unwrap() {
+                    Some(tx) => tx.send(job).is_ok(),
+                    None => false,
+                };
+                if !sent {
+                    // Shutting down: un-mark so waiters fail fast.
+                    let mut st = self.state.lock().unwrap();
+                    let detail = Arc::new("server shutting down".to_string());
+                    for &key in &keys {
+                        if st.in_flight.remove(&key) {
+                            st.failed.insert(key, detail.clone());
+                        }
+                    }
+                    drop(st);
+                    self.done.notify_all();
+                }
+            }
+        }
+
+        // Wait until every key is answered one way or the other.
+        let deadline = Instant::now() + WAIT_TIMEOUT;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let pending = keys
+                .iter()
+                .any(|k| !st.cache.contains_key(k) && !st.failed.contains_key(k));
+            if !pending {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::TimedOut);
+            }
+            let (guard, _) = self.done.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+        let mut fragments = Vec::with_capacity(keys.len());
+        for key in &keys {
+            if let Some(detail) = st.failed.get(key) {
+                return Err(ServeError::Failed(detail.clone()));
+            }
+            fragments.push(st.cache[key].clone());
+        }
+        Ok(ServedPoints {
+            fragments,
+            all_cached: misses == 0 && !opened,
+        })
+    }
+
+    fn insert_cached(&self, st: &mut State, key: u64, fragment: Arc<Vec<u8>>) {
+        if st.cache.insert(key, fragment).is_none() {
+            st.cache_order.push_back(key);
+            while st.cache_order.len() > self.cache_capacity {
+                if let Some(old) = st.cache_order.pop_front() {
+                    st.cache.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn complete_ok(&self, job: &Job, result: SolveResult, ws: &mut Workspace) {
+        let fragments: Vec<(u64, Arc<Vec<u8>>)> = result
+            .points
+            .iter()
+            .map(|point| {
+                (
+                    point.cache_key,
+                    Arc::new(wire::encode_point(point, result.nu, result.batched).into_bytes()),
+                )
+            })
+            .collect();
+        {
+            let mut st = self.state.lock().unwrap();
+            // Clear the job's claims first: point keys and job keys are
+            // the same set, but the loop below would miss any key the
+            // engine (impossibly) failed to echo back.
+            for key in &job.keys {
+                st.in_flight.remove(key);
+            }
+            for (key, fragment) in fragments {
+                self.insert_cached(&mut st, key, fragment);
+            }
+        }
+        self.done.notify_all();
+        result.recycle(ws);
+    }
+
+    fn complete_err(&self, job: &Job, detail: String) {
+        let detail = Arc::new(detail);
+        {
+            let mut st = self.state.lock().unwrap();
+            // Bound the failure map: it only needs to outlive its
+            // waiters, and a clear degrades to a retry.
+            if st.failed.len() >= 4096 {
+                st.failed.clear();
+            }
+            for key in &job.keys {
+                st.in_flight.remove(key);
+                st.failed.insert(*key, detail.clone());
+            }
+        }
+        self.done.notify_all();
+    }
+}
+
+/// Build the synthesized event stream summarising one engine run, so
+/// `/metrics` can expose the standard [`TraceSummary`] digest without
+/// probing (and perturbing) the batched hot loop.
+fn run_summary(result: &SolveResult, pool_miss: u64) -> String {
+    let mut events = vec![SolverEvent::BuildInfo {
+        version: crate::PKG_VERSION,
+        isa: qs_matvec::simd::active().name(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        checkpoint_format: FORMAT_VERSION,
+    }];
+    for point in &result.points {
+        events.push(SolverEvent::Converged {
+            iterations: point.solution.stats.iterations,
+            matvecs: point.solution.stats.matvecs,
+            residual: point.solution.stats.residual,
+            lambda: point.solution.lambda,
+        });
+    }
+    events.push(SolverEvent::SolveAllocation { bytes: pool_miss });
+    TraceSummary::from_events(&events).to_string()
+}
+
+/// Answer a job through the fault-injection harness: one faulted solve
+/// per rate (faults are per-operator, so chaos runs trade coalescing for
+/// coverage — exactly what the fault smoke wants).
+fn run_faulted(request: &SolveRequest, plan: &FaultPlan) -> Result<SolveResult, String> {
+    let landscape = request.landscape.build().map_err(|e| e.to_string())?;
+    let nu = landscape.nu();
+    let config = SolverConfig {
+        method: request.method,
+        tol: request.tol,
+        max_iter: request.max_iter,
+        ..Default::default()
+    };
+    let mut points = Vec::with_capacity(request.ps.len());
+    for &p in &request.ps {
+        let op: Box<dyn LinearOperator> = Box::new(FaultyOp::new(Fmmp::new(nu, p), plan));
+        let solution =
+            solve_with_q_operator(op, landscape.as_ref(), &config).map_err(|e| e.to_string())?;
+        points.push(PointResult {
+            p,
+            cache_key: request.cache_key(p),
+            solution,
+        });
+    }
+    Ok(SolveResult {
+        nu,
+        batched: false,
+        points,
+    })
+}
+
+/// The worker loop: each worker owns one long-lived [`Workspace`] and
+/// drains jobs until the scheduler closes the channel.
+pub(crate) fn worker_loop(
+    scheduler: Arc<Scheduler>,
+    jobs: Arc<Mutex<Receiver<Job>>>,
+    fault_plan: Option<Arc<FaultPlan>>,
+) {
+    let mut ws = Workspace::new();
+    loop {
+        let job = match jobs.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: shutdown
+        };
+        let columns = job.request.ps.len() as u64;
+        ws.mark();
+        let outcome = match &fault_plan {
+            None => job.request.run_in(&mut ws).map_err(|e| e.to_string()),
+            Some(plan) => run_faulted(&job.request, plan),
+        };
+        let pool_miss = ws.bytes_since_mark();
+        scheduler.counters.record_engine_solve(columns, pool_miss);
+        match outcome {
+            Ok(result) => {
+                *scheduler.last_summary.lock().unwrap() = run_summary(&result, pool_miss);
+                scheduler.complete_ok(&job, result, &mut ws);
+            }
+            Err(detail) => scheduler.complete_err(&job, detail),
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The service's JSON wire format: untrusted-input request parsing and
+//! **deterministic** response encoding.
+//!
+//! Parsing goes through `serde_json::Value` with explicit field lookups
+//! so every malformed request becomes a `400` with a message naming the
+//! offending field — never a panic and never a partially-defaulted
+//! request the client didn't write.
+//!
+//! Encoding is hand-rolled into fixed field order with Rust's shortest
+//! round-trip float form, because the result cache stores *encoded
+//! bytes*: a cached point must re-serve the exact bytes it was first
+//! answered with, so the encoder may not depend on map iteration order
+//! or any other source of nondeterminism.
+
+use std::fmt::Write as _;
+
+use quasispecies::{LandscapeSpec, PointResult, SolveRequest, SolverConfig};
+use serde_json::Value;
+
+/// Parse a `POST /solve` body into a [`SolveRequest`].
+///
+/// Accepted shape (only `landscape` and `p`/`ps` are required):
+///
+/// ```json
+/// {
+///   "landscape": {"kind": "single-peak", "nu": 10, "f0": 2.0, "f_rest": 1.0},
+///   "ps": [0.005, 0.01, 0.02],
+///   "method": "power",
+///   "tol": 1e-13,
+///   "max_iter": 200000,
+///   "parallel": false
+/// }
+/// ```
+///
+/// Landscape kinds mirror the CLI's `--landscape` vocabulary:
+/// `single-peak` (`f0`, `f_rest`), `random` (`c`, `sigma`, `seed`),
+/// `nk` (`k`, `seed`), `error-class` (`phi` array) and `tabulated`
+/// (`fitness` array, `2^ν` entries). Methods: `power` (default,
+/// batchable), `lanczos` (`subspace`), `rqi` (`warmup`).
+pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, String> {
+    let v: Value = serde_json::from_slice(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !v.is_object() {
+        return Err("request body must be a JSON object".into());
+    }
+
+    let landscape = parse_landscape(
+        v.get("landscape")
+            .ok_or("missing required field 'landscape'")?,
+    )?;
+
+    let ps: Vec<f64> = match (v.get("ps"), v.get("p")) {
+        (Some(grid), None) => grid
+            .as_array()
+            .ok_or("'ps' must be an array of numbers")?
+            .iter()
+            .map(|x| x.as_f64().ok_or("'ps' must contain only numbers"))
+            .collect::<Result<_, _>>()?,
+        (None, Some(p)) => vec![p.as_f64().ok_or("'p' must be a number")?],
+        (Some(_), Some(_)) => return Err("give either 'p' or 'ps', not both".into()),
+        (None, None) => return Err("missing required field 'p' (or 'ps')".into()),
+    };
+
+    let method = match v.get("method").map(|m| m.as_str()) {
+        None => quasispecies::Method::Power,
+        Some(Some("power")) => quasispecies::Method::Power,
+        Some(Some("lanczos")) => quasispecies::Method::Lanczos {
+            subspace: opt_usize(&v, "subspace")?.unwrap_or(24),
+        },
+        Some(Some("rqi")) => quasispecies::Method::Rqi {
+            warmup: opt_usize(&v, "warmup")?.unwrap_or(5),
+        },
+        Some(Some(other)) => return Err(format!("unknown method '{other}'")),
+        Some(None) => return Err("'method' must be a string".into()),
+    };
+
+    let defaults = SolverConfig::default();
+    let tol = match v.get("tol") {
+        None => defaults.tol,
+        Some(t) => t.as_f64().ok_or("'tol' must be a number")?,
+    };
+    let max_iter = opt_usize(&v, "max_iter")?.unwrap_or(defaults.max_iter);
+    let parallel = match v.get("parallel") {
+        None => false,
+        Some(b) => b.as_bool().ok_or("'parallel' must be a boolean")?,
+    };
+
+    Ok(SolveRequest {
+        landscape,
+        ps,
+        method,
+        tol,
+        max_iter,
+        parallel,
+    })
+}
+
+fn parse_landscape(l: &Value) -> Result<LandscapeSpec, String> {
+    if !l.is_object() {
+        return Err("'landscape' must be a JSON object".into());
+    }
+    let kind = match l.get("kind") {
+        None => "single-peak",
+        Some(k) => k.as_str().ok_or("'landscape.kind' must be a string")?,
+    };
+    let nu = |missing_ok: bool| -> Result<u32, String> {
+        match l.get("nu") {
+            Some(n) => n
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| "'landscape.nu' must be a small non-negative integer".into()),
+            None if missing_ok => Ok(0),
+            None => Err("missing 'landscape.nu'".into()),
+        }
+    };
+    Ok(match kind {
+        "single-peak" => LandscapeSpec::SinglePeak {
+            nu: nu(false)?,
+            f0: opt_f64(l, "f0")?.unwrap_or(2.0),
+            f_rest: opt_f64(l, "f_rest")?.unwrap_or(1.0),
+        },
+        "random" => LandscapeSpec::Random {
+            nu: nu(false)?,
+            c: opt_f64(l, "c")?.unwrap_or(5.0),
+            sigma: opt_f64(l, "sigma")?.unwrap_or(1.0),
+            seed: opt_u64(l, "seed")?.unwrap_or(42),
+        },
+        "nk" => LandscapeSpec::Nk {
+            nu: nu(false)?,
+            k: opt_u64(l, "k")?
+                .map(|k| u32::try_from(k).map_err(|_| "'landscape.k' too large".to_string()))
+                .transpose()?
+                .unwrap_or(2),
+            seed: opt_u64(l, "seed")?.unwrap_or(42),
+        },
+        "error-class" => LandscapeSpec::ErrorClass {
+            nu: nu(false)?,
+            phi: f64_array(l, "phi")?,
+        },
+        "tabulated" => LandscapeSpec::Tabulated {
+            fitness: f64_array(l, "fitness")?,
+        },
+        other => return Err(format!("unknown landscape kind '{other}'")),
+    })
+}
+
+fn opt_f64(v: &Value, field: &str) -> Result<Option<f64>, String> {
+    match v.get(field) {
+        None => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("'{field}' must be a number")),
+    }
+}
+
+fn opt_u64(v: &Value, field: &str) -> Result<Option<u64>, String> {
+    match v.get(field) {
+        None => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("'{field}' must be a non-negative integer")),
+    }
+}
+
+fn opt_usize(v: &Value, field: &str) -> Result<Option<usize>, String> {
+    Ok(opt_u64(v, field)?.map(|n| n as usize))
+}
+
+fn f64_array(v: &Value, field: &str) -> Result<Vec<f64>, String> {
+    v.get(field)
+        .and_then(|a| a.as_array())
+        .ok_or_else(|| format!("'{field}' must be an array of numbers"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("'{field}' must contain only numbers"))
+        })
+        .collect()
+}
+
+/// Append `v` as a JSON number (shortest round-trip form; `null` for
+/// non-finite values, which no healthy solve produces).
+fn push_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(s, "{v}");
+    } else {
+        s.push_str("null");
+    }
+}
+
+/// Append `text` as a JSON string literal with the mandatory escapes.
+fn push_str_escaped(s: &mut String, text: &str) {
+    s.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Encode one answered point as the cacheable JSON fragment. Fixed field
+/// order, no whitespace: the bytes this produces are stored in the
+/// result cache and re-served verbatim, so repeats are bit-identical by
+/// construction.
+pub fn encode_point(point: &PointResult, nu: u32, batched: bool) -> String {
+    let qs = &point.solution;
+    let stats = &qs.stats;
+    let mut s = String::with_capacity(256 + 24 * nu as usize);
+    s.push_str("{\"p\":");
+    push_f64(&mut s, point.p);
+    let _ = write!(
+        s,
+        ",\"key\":\"{:016x}\",\"nu\":{nu},\"lambda\":",
+        point.cache_key
+    );
+    push_f64(&mut s, qs.lambda);
+    let _ = write!(
+        s,
+        ",\"iterations\":{},\"matvecs\":{},\"residual\":",
+        stats.iterations, stats.matvecs
+    );
+    push_f64(&mut s, stats.residual);
+    let _ = write!(
+        s,
+        ",\"converged\":{},\"degraded\":{},\"batched\":{batched},\"engine\":",
+        stats.converged, stats.degraded
+    );
+    push_str_escaped(&mut s, &stats.engine);
+    s.push_str(",\"method\":");
+    push_str_escaped(&mut s, &stats.method);
+    if let Some(kind) = &stats.recovered_from {
+        s.push_str(",\"recovered_from\":");
+        push_str_escaped(&mut s, kind);
+    }
+    s.push_str(",\"entropy\":");
+    push_f64(&mut s, qs.entropy());
+    s.push_str(",\"dominant_sequence\":");
+    push_str_escaped(
+        &mut s,
+        &qs_bitseq::to_bit_string(qs.dominant_sequence(), nu),
+    );
+    s.push_str(",\"classes\":[");
+    for (i, c) in qs.error_class_concentrations().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_f64(&mut s, *c);
+    }
+    s.push_str("]}");
+    s
+}
+
+/// A JSON error body: `{"error": ..., "detail": ...}`.
+pub fn error_body(error: &str, detail: &str) -> Vec<u8> {
+    let mut s = String::with_capacity(64 + detail.len());
+    s.push_str("{\"error\":");
+    push_str_escaped(&mut s, error);
+    s.push_str(",\"detail\":");
+    push_str_escaped(&mut s, detail);
+    s.push('}');
+    s.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_parses_with_defaults() {
+        let req = parse_solve_request(br#"{"landscape":{"nu":8},"p":0.01}"#).unwrap();
+        assert_eq!(req.ps, vec![0.01]);
+        assert_eq!(req.landscape.kind(), "single-peak");
+        assert_eq!(req.landscape.nu(), 8);
+        assert_eq!(req.method, quasispecies::Method::Power);
+        assert!(!req.parallel);
+        let defaults = SolverConfig::default();
+        assert_eq!(req.tol, defaults.tol);
+        assert_eq!(req.max_iter, defaults.max_iter);
+    }
+
+    #[test]
+    fn full_request_round_trips_every_field() {
+        let req = parse_solve_request(
+            br#"{"landscape":{"kind":"random","nu":9,"c":4.0,"sigma":0.5,"seed":7},
+                 "ps":[0.01,0.02],"method":"lanczos","subspace":16,
+                 "tol":1e-10,"max_iter":5000,"parallel":true}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.landscape,
+            LandscapeSpec::Random {
+                nu: 9,
+                c: 4.0,
+                sigma: 0.5,
+                seed: 7
+            }
+        );
+        assert_eq!(req.ps, vec![0.01, 0.02]);
+        assert_eq!(req.method, quasispecies::Method::Lanczos { subspace: 16 });
+        assert_eq!(req.tol, 1e-10);
+        assert_eq!(req.max_iter, 5000);
+        assert!(req.parallel);
+    }
+
+    #[test]
+    fn malformed_requests_name_the_offending_field() {
+        for (body, needle) in [
+            (&br#"not json"#[..], "invalid JSON"),
+            (br#"{"p":0.01}"#, "landscape"),
+            (br#"{"landscape":{"nu":8}}"#, "'p'"),
+            (
+                br#"{"landscape":{"kind":"warped","nu":8},"p":0.01}"#,
+                "warped",
+            ),
+            (br#"{"landscape":{"kind":"single-peak"},"p":0.01}"#, "nu"),
+            (
+                br#"{"landscape":{"nu":8},"p":0.01,"ps":[0.01]}"#,
+                "not both",
+            ),
+            (br#"{"landscape":{"nu":8},"p":0.01,"method":"qr"}"#, "qr"),
+            (br#"{"landscape":{"nu":8},"p":0.01,"tol":"tight"}"#, "tol"),
+        ] {
+            let err = parse_solve_request(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_points_are_deterministic_and_parse_as_json() {
+        let req = SolveRequest::single(
+            LandscapeSpec::SinglePeak {
+                nu: 6,
+                f0: 2.0,
+                f_rest: 1.0,
+            },
+            0.01,
+        );
+        let result = req.run().unwrap();
+        let a = encode_point(&result.points[0], result.nu, result.batched);
+        let b = encode_point(&result.points[0], result.nu, result.batched);
+        assert_eq!(a, b, "encoding must be deterministic");
+        let v: Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(v["nu"].as_u64().unwrap(), 6);
+        assert!(v["converged"].as_bool().unwrap());
+        assert!(v["lambda"].as_f64().unwrap() > 1.0);
+        assert_eq!(v["classes"].as_array().unwrap().len(), 7);
+        assert_eq!(v["key"].as_str().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn error_bodies_escape_details() {
+        let body = error_body("bad_request", "a \"quoted\"\nthing");
+        let v: Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(v["error"].as_str().unwrap(), "bad_request");
+        assert_eq!(v["detail"].as_str().unwrap(), "a \"quoted\"\nthing");
+    }
+}

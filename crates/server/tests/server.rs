@@ -1,0 +1,291 @@
+//! End-to-end tests over a live listener: these exercise the acceptance
+//! criteria of the serving layer — coalesced batching, bit-identical
+//! cached repeats, zero-alloc steady state, error mapping, and a clean
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use qs_server::{Server, ServerConfig};
+use qs_telemetry::ServeCounters;
+
+/// A parsed response: status line code, headers (lowercased names), body.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(150)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    stream.flush().unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head/body separator");
+    let head = std::str::from_utf8(&raw[..split]).expect("head is UTF-8");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body: raw[split + 4..].to_vec(),
+    }
+}
+
+/// Start a server with `config`, returning its address, counters, and
+/// the join handle of the accept loop.
+fn start(config: ServerConfig) -> (SocketAddr, Arc<ServeCounters>, thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind test server");
+    let addr = server.local_addr();
+    let counters = server.counters();
+    let handle = thread::spawn(move || server.run());
+    (addr, counters, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: thread::JoinHandle<()>) {
+    let resp = request(addr, "POST", "/shutdown", b"");
+    assert_eq!(resp.status, 200);
+    handle.join().expect("accept loop exits cleanly");
+}
+
+fn solve_body(p: f64) -> Vec<u8> {
+    format!(
+        "{{\"landscape\":{{\"kind\":\"single-peak\",\"nu\":6,\"f0\":4.0,\"f_rest\":1.0}},\
+         \"p\":{p},\"method\":\"power\",\"tol\":1e-10}}"
+    )
+    .into_bytes()
+}
+
+#[test]
+fn concurrent_requests_over_one_landscape_coalesce_into_one_engine_solve() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(200),
+        ..Default::default()
+    });
+
+    // Eight concurrent requests, same (landscape, nu, method, tol),
+    // distinct error rates: the acceptance criterion is ONE batched
+    // engine run advancing all eight as columns.
+    let ps: Vec<f64> = (1..=8).map(|i| 0.002 * i as f64).collect();
+    let joins: Vec<_> = ps
+        .iter()
+        .map(|&p| thread::spawn(move || request(addr, "POST", "/solve", &solve_body(p))))
+        .collect();
+    for join in joins {
+        let resp = join.join().unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+        assert!(resp.body_str().contains("\"count\":1"));
+        assert!(resp.body_str().contains("\"converged\":true"));
+    }
+
+    let s = counters.snapshot();
+    assert_eq!(
+        s.engine_solves, 1,
+        "eight concurrent requests must share one engine run, got {s:?}"
+    );
+    assert!(
+        s.max_batch >= 8,
+        "the coalesced batch must carry all eight rates, got {s:?}"
+    );
+    assert_eq!(s.cache_misses, 8);
+    assert_eq!(s.cache_hits, 0);
+
+    // The batch counters are also visible on /metrics.
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    assert!(text.contains("qs_engine_solves_total 1"), "{text}");
+    assert!(text.contains("qs_max_batch 8"), "{text}");
+    assert!(text.contains("qs_build_info{"), "{text}");
+    assert!(text.contains("# trace:"), "{text}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn repeated_requests_are_served_from_cache_bit_identically() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        ..Default::default()
+    });
+
+    let first = request(addr, "POST", "/solve", &solve_body(0.01));
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-cache"), None, "first ask computes");
+
+    let second = request(addr, "POST", "/solve", &solve_body(0.01));
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.header("x-cache"),
+        Some("hit"),
+        "repeat must be answered from the cache"
+    );
+    assert_eq!(
+        first.body, second.body,
+        "cached repeat must be byte-for-byte identical"
+    );
+
+    let s = counters.snapshot();
+    assert_eq!(s.engine_solves, 1, "the repeat must not re-run the engine");
+    assert_eq!(s.cache_hits, 1);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn steady_state_serving_is_allocation_free() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        ..Default::default()
+    });
+
+    // Warm the single worker's workspace pool with a first solve of this
+    // shape, then serve fresh (uncached) points of the same shape.
+    let warm = request(addr, "POST", "/solve", &solve_body(0.011));
+    assert_eq!(warm.status, 200);
+    for i in 0..3 {
+        let p = 0.013 + 0.001 * i as f64;
+        let resp = request(addr, "POST", "/solve", &solve_body(p));
+        assert_eq!(resp.status, 200);
+    }
+
+    let s = counters.snapshot();
+    assert!(s.engine_solves >= 4, "each distinct point computes: {s:?}");
+    assert_eq!(
+        s.last_solve_pool_miss_bytes, 0,
+        "steady-state solves must draw every buffer from the warmed pool, got {s:?}"
+    );
+
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert!(
+        metrics
+            .body_str()
+            .contains("qs_last_solve_pool_miss_bytes 0"),
+        "{}",
+        metrics.body_str()
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn sweep_requests_batch_their_grid_and_mixed_repeats_partially_hit() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        ..Default::default()
+    });
+
+    let body = b"{\"landscape\":{\"kind\":\"single-peak\",\"nu\":5},\
+                  \"ps\":[0.004,0.008,0.012],\"tol\":1e-10}";
+    let resp = request(addr, "POST", "/solve", body);
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert!(resp.body_str().contains("\"count\":3"));
+    let s = counters.snapshot();
+    assert_eq!(s.engine_solves, 1, "one grid = one batched run: {s:?}");
+    assert_eq!(s.max_batch, 3);
+
+    // A sweep overlapping the cached grid recomputes only the new point.
+    let body2 = b"{\"landscape\":{\"kind\":\"single-peak\",\"nu\":5},\
+                   \"ps\":[0.008,0.016],\"tol\":1e-10}";
+    let resp2 = request(addr, "POST", "/solve", body2);
+    assert_eq!(resp2.status, 200, "{}", resp2.body_str());
+    let s = counters.snapshot();
+    assert_eq!(s.cache_hits, 1, "{s:?}");
+    assert_eq!(s.engine_solves, 2, "{s:?}");
+    assert_eq!(
+        s.batched_columns, 4,
+        "second run must carry only the uncached rate: {s:?}"
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn malformed_and_oversized_requests_map_to_400_with_details() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        ..Default::default()
+    });
+
+    let resp = request(addr, "POST", "/solve", b"{\"p\":0.01}");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_str().contains("landscape"), "{}", resp.body_str());
+
+    let resp = request(
+        addr,
+        "POST",
+        "/solve",
+        b"{\"landscape\":{\"kind\":\"single-peak\",\"nu\":5},\"p\":0.7}",
+    );
+    assert_eq!(resp.status, 400, "p outside (0, 1/2] is rejected");
+
+    let resp = request(
+        addr,
+        "POST",
+        "/solve",
+        b"{\"landscape\":{\"kind\":\"single-peak\",\"nu\":30},\"p\":0.01}",
+    );
+    assert_eq!(resp.status, 400, "nu above the server cap is rejected");
+    assert!(resp.body_str().contains("too_large"), "{}", resp.body_str());
+
+    let resp = request(addr, "GET", "/nope", b"");
+    assert_eq!(resp.status, 404);
+
+    assert!(counters.snapshot().errors >= 3);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn healthz_answers_and_shutdown_drains_cleanly() {
+    let (addr, _counters, handle) = start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let resp = request(addr, "GET", "/healthz", b"");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body_str(), "{\"ok\":true}");
+    // shutdown() asserts the accept loop joins, i.e. workers drained.
+    shutdown(addr, handle);
+}

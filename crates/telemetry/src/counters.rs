@@ -1,0 +1,173 @@
+//! Lock-free monotonic counters for long-running solve services.
+//!
+//! The per-solve story is covered by [`crate::Probe`] events and
+//! [`crate::TraceSummary`]; a serving process additionally needs
+//! *cross-solve* aggregates — how many requests arrived, how well the
+//! batcher coalesced them, how often the result cache answered, and
+//! whether the steady-state hot path is still allocation-free. Those
+//! live here as relaxed atomics: every increment is wait-free and the
+//! counters can be shared freely across connection and worker threads.
+//!
+//! Relaxed ordering is deliberate: each counter is an independent
+//! monotone tally, and a [`ServeCounters::snapshot`] taken while solves
+//! are in flight is a consistent-enough observation for metrics — no
+//! reader ever derives control flow from cross-counter invariants.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Monotonic serving-side tallies, shared by reference between the
+/// request scheduler, the solve workers and the metrics endpoint.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Solve requests accepted (one per HTTP request, however many error
+    /// rates it carries).
+    pub requests: AtomicU64,
+    /// Error-rate points requested across all requests.
+    pub points: AtomicU64,
+    /// Engine runs: each is one batched block iteration (or one faulted
+    /// per-point solve), however many coalesced columns it advanced.
+    pub engine_solves: AtomicU64,
+    /// Columns advanced across all engine runs; with
+    /// [`ServeCounters::engine_solves`] this gives the mean coalesced
+    /// batch size.
+    pub batched_columns: AtomicU64,
+    /// Largest single coalesced batch observed.
+    pub max_batch: AtomicU64,
+    /// Points answered from the content-addressed result cache,
+    /// bit-identically.
+    pub cache_hits: AtomicU64,
+    /// Points that had to be computed.
+    pub cache_misses: AtomicU64,
+    /// Workspace pool-miss bytes across all engine runs (warm-up
+    /// included — the first solve on each worker necessarily allocates).
+    pub pool_miss_bytes: AtomicU64,
+    /// Pool-miss bytes of the most recent engine run only: zero here
+    /// means steady-state serving is allocation-free on the hot path.
+    pub last_solve_pool_miss_bytes: AtomicU64,
+    /// Requests answered with an error status.
+    pub errors: AtomicU64,
+}
+
+/// A plain-data copy of [`ServeCounters`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on ServeCounters
+pub struct ServeCountersSnapshot {
+    pub requests: u64,
+    pub points: u64,
+    pub engine_solves: u64,
+    pub batched_columns: u64,
+    pub max_batch: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub pool_miss_bytes: u64,
+    pub last_solve_pool_miss_bytes: u64,
+    pub errors: u64,
+}
+
+impl ServeCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One accepted request carrying `points` error rates.
+    pub fn record_request(&self, points: u64) {
+        self.requests.fetch_add(1, Relaxed);
+        self.points.fetch_add(points, Relaxed);
+    }
+
+    /// One engine run that advanced `columns` coalesced columns and
+    /// missed the workspace pool for `pool_miss` bytes.
+    pub fn record_engine_solve(&self, columns: u64, pool_miss: u64) {
+        self.engine_solves.fetch_add(1, Relaxed);
+        self.batched_columns.fetch_add(columns, Relaxed);
+        self.max_batch.fetch_max(columns, Relaxed);
+        self.pool_miss_bytes.fetch_add(pool_miss, Relaxed);
+        self.last_solve_pool_miss_bytes.store(pool_miss, Relaxed);
+    }
+
+    /// `hits` points served straight from the result cache.
+    pub fn record_cache_hits(&self, hits: u64) {
+        self.cache_hits.fetch_add(hits, Relaxed);
+    }
+
+    /// `misses` points that entered the compute path.
+    pub fn record_cache_misses(&self, misses: u64) {
+        self.cache_misses.fetch_add(misses, Relaxed);
+    }
+
+    /// One request answered with an error status.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Relaxed);
+    }
+
+    /// A plain-data copy of every counter.
+    pub fn snapshot(&self) -> ServeCountersSnapshot {
+        ServeCountersSnapshot {
+            requests: self.requests.load(Relaxed),
+            points: self.points.load(Relaxed),
+            engine_solves: self.engine_solves.load(Relaxed),
+            batched_columns: self.batched_columns.load(Relaxed),
+            max_batch: self.max_batch.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            pool_miss_bytes: self.pool_miss_bytes.load(Relaxed),
+            last_solve_pool_miss_bytes: self.last_solve_pool_miss_bytes.load(Relaxed),
+            errors: self.errors.load(Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tally_and_snapshot() {
+        let c = ServeCounters::new();
+        c.record_request(3);
+        c.record_request(1);
+        c.record_cache_hits(1);
+        c.record_cache_misses(3);
+        c.record_engine_solve(3, 4096);
+        c.record_engine_solve(1, 0);
+        c.record_error();
+        let s = c.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.points, 4);
+        assert_eq!(s.engine_solves, 2);
+        assert_eq!(s.batched_columns, 4);
+        assert_eq!(s.max_batch, 3, "max batch tracks the high-water mark");
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.pool_miss_bytes, 4096);
+        assert_eq!(
+            s.last_solve_pool_miss_bytes, 0,
+            "the warmed second solve reports zero misses"
+        );
+        assert_eq!(s.errors, 1);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(ServeCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.record_request(2);
+                        c.record_cache_hits(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.requests, 400);
+        assert_eq!(s.points, 800);
+        assert_eq!(s.cache_hits, 400);
+    }
+}

@@ -42,10 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod event;
 pub mod sinks;
 pub mod summary;
 
+pub use counters::{ServeCounters, ServeCountersSnapshot};
 pub use event::SolverEvent;
 pub use sinks::{JsonLinesProbe, NullProbe, RecordingProbe, Tee};
 pub use summary::TraceSummary;

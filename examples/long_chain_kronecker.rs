@@ -62,7 +62,7 @@ fn main() {
     let peak = gamma
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     println!("most populated class: Γ_{} with {:.4}", peak.0, peak.1);
 

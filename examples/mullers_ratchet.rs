@@ -71,7 +71,7 @@ fn main() {
         let peak = gamma
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         println!(
             "  M = {m:>6}: best class Γ_{}, modal class Γ_{} ({:.2})",

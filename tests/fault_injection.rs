@@ -72,6 +72,11 @@ fn assert_contract(label: &str, outcome: Result<quasispecies::Quasispecies, Solv
         | Err(SolveError::NumericalBreakdown { .. })
         | Err(SolveError::InvalidConfig { .. })
         | Err(SolveError::DimensionMismatch { .. }) => {}
+        // Fault plans here never configure checkpointing, so checkpoint
+        // I/O or decode damage would mean the solver invented a snapshot.
+        Err(e @ SolveError::Checkpoint(_)) => {
+            panic!("checkpoint error without checkpointing configured: {e}")
+        }
     }
 }
 

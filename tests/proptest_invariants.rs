@@ -370,7 +370,7 @@ proptest! {
             residual_history: vec![1.0, 0.1, 0.01],
             iterate: pseudorandom_slab(32, seed),
         };
-        let bytes = snap.encode();
+        let bytes = snap.encode().unwrap();
         // Round-trip sanity: the undamaged frame decodes.
         prop_assert_eq!(Snapshot::decode(&bytes).unwrap().iteration, 17);
 
