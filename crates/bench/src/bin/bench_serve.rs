@@ -1,0 +1,284 @@
+//! Serving-path benchmark: persistent connections vs `Connection: close`
+//! and warm-started vs cold spectral sweeps, against in-process
+//! [`qs_server::Server`] instances.
+//!
+//! Two measurements, both written to `BENCH_server.json`:
+//!
+//! 1. **Connection reuse** — a primed (cache-hit) solve endpoint is
+//!    hammered once opening a fresh TCP connection per request and once
+//!    over keep-alive connections; p50/p99 latency and requests/s per
+//!    mode, plus the keep-alive throughput speedup.
+//! 2. **Warm-start continuation** — one ν = 14 single-peak (`f0 = 4`)
+//!    sweep over 16 error rates at `tol = 1e-8`, solved cold
+//!    (`"warm_start": false`) and warm on separate servers; total
+//!    matvecs and iterations per mode, plus the warm/cold matvec ratio.
+//!    The grid stays below the error threshold (`p_max ≈ ln f0 / ν ≈
+//!    0.099`): continuation helps where convergence is seed-limited, not
+//!    in the near-threshold regime where the collapsing spectral gap
+//!    dominates any start vector.
+//!
+//! The loadgen is dependency-free: raw `TcpStream`s and hand-rolled
+//! HTTP/1.1, so the numbers measure the server, not a client library.
+//!
+//! Usage: `bench_serve [--conns N] [--requests M] [--out PATH]
+//! [--guard-warm RATIO]` — with `--guard-warm`, exits non-zero when the
+//! warm sweep costs more than `RATIO` × the cold sweep's matvecs (CI
+//! pins 0.6).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qs_server::{Server, ServerConfig};
+use serde_json::Value;
+
+/// One keep-alive HTTP client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Send one request and read the full response (status, body).
+    fn send(&mut self, method: &str, path: &str, body: &str, close: bool) -> (u16, String) {
+        let connection = if close { "close" } else { "keep-alive" };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: bench\r\nconnection: {connection}\r\n\
+             content-length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes()).expect("write head");
+        stream.write_all(body.as_bytes()).expect("write body");
+        stream.flush().expect("flush");
+
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content-length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf8 body"))
+    }
+}
+
+fn start_server(config: ServerConfig) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind bench server");
+    let addr = server.local_addr();
+    (addr, thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr, handle: thread::JoinHandle<()>) {
+    let mut c = Client::connect(addr);
+    let _ = c.send("POST", "/shutdown", "", true);
+    handle.join().expect("server thread");
+}
+
+fn quantile_us(sorted: &[u128], q: f64) -> u128 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct ModeStats {
+    requests: usize,
+    p50_us: u128,
+    p99_us: u128,
+    rps: f64,
+}
+
+fn summarize(mut lat_us: Vec<u128>, elapsed: Duration) -> ModeStats {
+    lat_us.sort_unstable();
+    ModeStats {
+        requests: lat_us.len(),
+        p50_us: quantile_us(&lat_us, 0.50),
+        p99_us: quantile_us(&lat_us, 0.99),
+        rps: lat_us.len() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Measure the primed solve endpoint: `conns` connections × `requests`
+/// requests each, either a fresh connection per request or keep-alive.
+fn run_connection_mode(
+    addr: SocketAddr,
+    body: &str,
+    conns: usize,
+    requests: usize,
+    keep_alive: bool,
+) -> ModeStats {
+    let mut lat = Vec::with_capacity(conns * requests);
+    let started = Instant::now();
+    for _ in 0..conns {
+        if keep_alive {
+            let mut client = Client::connect(addr);
+            for _ in 0..requests {
+                let t = Instant::now();
+                let (status, _) = client.send("POST", "/solve", body, false);
+                lat.push(t.elapsed().as_micros());
+                assert_eq!(status, 200);
+            }
+        } else {
+            for _ in 0..requests {
+                let t = Instant::now();
+                let (status, _) = Client::connect(addr).send("POST", "/solve", body, true);
+                lat.push(t.elapsed().as_micros());
+                assert_eq!(status, 200);
+            }
+        }
+    }
+    summarize(lat, started.elapsed())
+}
+
+struct SweepStats {
+    matvecs: u64,
+    iterations: u64,
+    warm_columns: u64,
+    iterations_saved: u64,
+}
+
+/// Solve the continuation workload on a fresh server and tally solver
+/// effort from the response JSON.
+fn run_sweep(warm_start: bool) -> SweepStats {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        ..Default::default()
+    });
+    let nu = 14;
+    let points = 16;
+    let (lo, hi) = (0.002f64, 0.06f64);
+    let ps: Vec<String> = (0..points)
+        .map(|i| format!("{}", lo + (hi - lo) * i as f64 / (points - 1) as f64))
+        .collect();
+    let body = format!(
+        "{{\"landscape\":{{\"kind\":\"single-peak\",\"nu\":{nu},\"f0\":4.0}},\"ps\":[{}],\
+         \"tol\":1e-8,\"warm_start\":{warm_start}}}",
+        ps.join(",")
+    );
+    let (status, response) = Client::connect(addr).send("POST", "/solve", &body, true);
+    assert_eq!(status, 200, "sweep failed: {response}");
+    shutdown(addr, handle);
+
+    let v: Value = serde_json::from_str(&response).expect("response JSON");
+    let results = v["results"].as_array().expect("results array");
+    assert_eq!(results.len(), points);
+    let mut stats = SweepStats {
+        matvecs: 0,
+        iterations: 0,
+        warm_columns: 0,
+        iterations_saved: 0,
+    };
+    for point in results {
+        assert!(point["converged"].as_bool().unwrap_or(false));
+        stats.matvecs += point["matvecs"].as_u64().expect("matvecs");
+        stats.iterations += point["iterations"].as_u64().expect("iterations");
+        if let Some(warm) = point.get("warm_start") {
+            stats.warm_columns += 1;
+            stats.iterations_saved += warm["iterations_saved"].as_u64().unwrap_or(0);
+        }
+    }
+    stats
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let conns: usize = get("--conns").map_or(4, |v| v.parse().expect("--conns"));
+    let requests: usize = get("--requests").map_or(50, |v| v.parse().expect("--requests"));
+    let out = get("--out").map_or("BENCH_server.json", String::as_str);
+    let guard_warm: Option<f64> = get("--guard-warm").map(|v| v.parse().expect("--guard-warm"));
+
+    // --- connection reuse over a primed cache-hit endpoint ---
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 2,
+        coalesce_window: Duration::from_millis(5),
+        ..Default::default()
+    });
+    let hit_body = r#"{"landscape":{"kind":"single-peak","nu":10},"p":0.01}"#;
+    let (status, _) = Client::connect(addr).send("POST", "/solve", hit_body, true);
+    assert_eq!(status, 200, "priming solve failed");
+    let close = run_connection_mode(addr, hit_body, conns, requests, false);
+    let keepalive = run_connection_mode(addr, hit_body, conns, requests, true);
+    shutdown(addr, handle);
+    let speedup = keepalive.rps / close.rps;
+
+    // --- warm-start continuation vs cold sweep ---
+    let cold = run_sweep(false);
+    let warm = run_sweep(true);
+    let warm_ratio = warm.matvecs as f64 / cold.matvecs as f64;
+
+    println!(
+        "connection reuse ({} conns x {} requests, cache-hit solves):",
+        conns, requests
+    );
+    println!(
+        "  close:      p50 {:>6} us  p99 {:>6} us  {:>8.0} req/s",
+        close.p50_us, close.p99_us, close.rps
+    );
+    println!(
+        "  keep-alive: p50 {:>6} us  p99 {:>6} us  {:>8.0} req/s  ({speedup:.2}x)",
+        keepalive.p50_us, keepalive.p99_us, keepalive.rps
+    );
+    println!("warm-start continuation (nu=14, 16 points, tol 1e-8):");
+    println!(
+        "  cold: {} matvecs, {} iterations",
+        cold.matvecs, cold.iterations
+    );
+    println!(
+        "  warm: {} matvecs, {} iterations, {} warm columns, ~{} iterations saved ({warm_ratio:.3}x)",
+        warm.matvecs, warm.iterations, warm.warm_columns, warm.iterations_saved
+    );
+
+    let json = format!(
+        "{{\n  \"close\": {{\"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \"rps\": {:.1}}},\n  \
+         \"keepalive\": {{\"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \"rps\": {:.1}}},\n  \
+         \"keepalive_speedup\": {:.3},\n  \
+         \"cold\": {{\"matvecs\": {}, \"iterations\": {}}},\n  \
+         \"warm\": {{\"matvecs\": {}, \"iterations\": {}, \"warm_columns\": {}, \"iterations_saved\": {}}},\n  \
+         \"warm_ratio\": {:.4}\n}}\n",
+        close.requests, close.p50_us, close.p99_us, close.rps,
+        keepalive.requests, keepalive.p50_us, keepalive.p99_us, keepalive.rps,
+        speedup,
+        cold.matvecs, cold.iterations,
+        warm.matvecs, warm.iterations, warm.warm_columns, warm.iterations_saved,
+        warm_ratio,
+    );
+    std::fs::write(out, &json).expect("write BENCH_server.json");
+    println!("wrote {out}");
+
+    if let Some(bound) = guard_warm {
+        if warm_ratio.is_nan() || warm_ratio > bound {
+            eprintln!("GUARD FAILED: warm/cold matvec ratio {warm_ratio:.4} > {bound}");
+            std::process::exit(1);
+        }
+        println!("guard ok: warm/cold matvec ratio {warm_ratio:.4} <= {bound}");
+    }
+}

@@ -6,9 +6,9 @@
 //! This crate provides the combinatorial substrate every other crate builds
 //! on:
 //!
-//! * [`hamming`] — Hamming distances and weights on integer-encoded
+//! * [`hamming`](mod@hamming) — Hamming distances and weights on integer-encoded
 //!   sequences,
-//! * [`gray`] — Gray-code permutations (paper footnote 2: reordering by the
+//! * [`gray`](mod@gray) — Gray-code permutations (paper footnote 2: reordering by the
 //!   Gray code makes the first off-diagonals of `Q` constant),
 //! * [`binom`] — exact and floating-point binomial coefficients,
 //! * [`error_class`] — iteration over the error classes

@@ -89,12 +89,19 @@ USAGE:
   quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
   quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
   quasispecies serve [--addr HOST:PORT] [--workers N] [--coalesce-ms MS]
-                     [--max-nu N] [--cache-capacity K] [--fault-plan PLAN.json]
+                     [--max-nu N] [--cache-capacity K] [--cache-bytes B]
+                     [--max-batch K] [--warm-cache-bytes B] [--idle-timeout-ms MS]
+                     [--fault-plan PLAN.json]
                                      HTTP solve service (POST /solve, GET
                                      /metrics, GET /healthz, POST /shutdown);
-                                     concurrent solves over one landscape
-                                     coalesce into a single batched engine
-                                     run, repeats re-serve cached bytes
+                                     keep-alive connections, concurrent solves
+                                     over one landscape coalesce into a single
+                                     batched engine run (dispatching early once
+                                     --max-batch columns pile up, default
+                                     workers*8), repeats re-serve cached bytes
+                                     (LRU under --cache-bytes), nearby solves
+                                     warm-start from cached eigenvectors
+                                     (--warm-cache-bytes 0 disables)
   quasispecies trace-check --file TRACE.jsonl [--expect-recovery] [--allow-degraded]
                            [--expect-zero-alloc]
 
@@ -891,6 +898,16 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         coalesce_window: std::time::Duration::from_millis(args.or_default("coalesce-ms", 25u64)?),
         max_nu: args.or_default("max-nu", 22u32)?,
         cache_capacity: args.or_default("cache-capacity", 4096usize)?,
+        cache_bytes: args.or_default("cache-bytes", 64u64 << 20)?,
+        max_batch: match args.get("max-batch") {
+            Some(_) => Some(args.or_default("max-batch", 0usize)?),
+            None => None,
+        },
+        warm_cache_bytes: args.or_default("warm-cache-bytes", 32u64 << 20)?,
+        idle_timeout: std::time::Duration::from_millis(
+            args.or_default("idle-timeout-ms", 5000u64)?,
+        ),
+        max_requests_per_connection: args.or_default("max-requests-per-connection", 1024usize)?,
         fault_plan: load_fault_plan(args)?,
     };
     let server = qs_server::Server::bind(config)

@@ -174,6 +174,7 @@ impl KroneckerQuasispecies {
                 recovered_from: None,
                 deadline_expired: false,
                 residual_history: None,
+                warm_start: None,
             },
         )
     }

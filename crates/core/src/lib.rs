@@ -26,7 +26,7 @@
 //! Module map (paper section in brackets):
 //!
 //! * [`power`] — shifted power iteration on implicit operators (§3),
-//! * [`lanczos`] — Lanczos comparator with full reorthogonalisation (§3
+//! * [`lanczos`](mod@lanczos) — Lanczos comparator with full reorthogonalisation (§3
 //!   mentions it as the storage-hungry alternative),
 //! * [`solver`] — high-level driver: pick engine (`Fmmp`, parallel `Fmmp`,
 //!   `Xmvp(d_max)`, `Smvp`, Kronecker chains), formulation, shift (§2–4),
@@ -79,9 +79,9 @@ pub use power::{
     PowerOptions, PowerOutcome,
 };
 pub use reduced::{solve_error_class, ReducedQuasispecies};
-pub use request::{LandscapeSpec, PointResult, SolveRequest, SolveResult};
+pub use request::{LandscapeSpec, PointResult, Scheduling, SolveRequest, SolveResult, StartSeed};
 pub use resolution::{marginal, site_marginals, Pyramid};
-pub use result::{downsample_uniform, Quasispecies, SolveStats};
+pub use result::{downsample_uniform, Quasispecies, SolveStats, WarmStartInfo};
 pub use rqi::{
     rayleigh_quotient_iteration, rayleigh_quotient_iteration_durable,
     rayleigh_quotient_iteration_probed, RqiOptions, RqiOutcome,

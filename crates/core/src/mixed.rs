@@ -148,6 +148,7 @@ pub fn solve_mixed_precision<L: Landscape + ?Sized>(
         recovered_from: None,
         deadline_expired: false,
         residual_history: None,
+        warm_start: None,
     };
     Ok((
         Quasispecies::from_right_eigenvector(out.lambda, out.vector, stats),

@@ -84,6 +84,7 @@ impl ReducedQuasispecies {
                 recovered_from: None,
                 deadline_expired: false,
                 residual_history: None,
+                warm_start: None,
             },
         )
     }

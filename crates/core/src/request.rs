@@ -24,14 +24,37 @@
 //!   drawn from a caller-owned [`Workspace`] — a warmed pool serves
 //!   repeated same-shape requests without touching the allocator.
 //!
-//! Scheduling hints ([`SolveRequest::parallel`]) deliberately do **not**
-//! enter the cache key: they steer where and how fast a result is
-//! computed, while the key addresses *what* is computed — any result
+//! Scheduling hints ([`SolveRequest::scheduling`]) deliberately do
+//! **not** enter the cache key: they steer where and how fast a result
+//! is computed, while the key addresses *what* is computed — any result
 //! filed under a key satisfies that key's problem to its tolerance.
+//!
+//! # Warm-start continuation
+//!
+//! With [`Scheduling::warm_start`] enabled (the default), a batched
+//! [`Method::Power`] sweep solves its grid in **continuation order**
+//! instead of cold-starting every column: the grid endpoints solve
+//! first, then each bisection generation seeds its columns by quadratic
+//! Lagrange interpolation over the three nearest already-converged
+//! neighbours — neighbouring error rates have nearly identical dominant
+//! eigenvectors, so late generations start within a few residual decades
+//! of convergence. A serving layer can push externally converged
+//! eigenvectors in via [`SolveRequest::run_seeded_in`] ([`StartSeed`]),
+//! which join the ladder as pre-converged anchor points.
+//!
+//! **Determinism contract**: a warm-started solve converges to the same
+//! residual tolerance as a cold one but is *not bit-identical* to it.
+//! Repeat runs of the same request (same seeds) are still deterministic;
+//! only the cold-vs-warm comparison differs. Callers that need
+//! bit-reproducible fresh computations opt out via
+//! `scheduling.warm_start = false`, which is excluded from
+//! [`SolveRequest::cache_key`] like every other scheduling hint.
+
+use std::sync::Arc;
 
 use crate::checkpoint::Fnv64;
 use crate::power::{block_power_iteration_in, PowerOptions};
-use crate::result::{Quasispecies, SolveStats};
+use crate::result::{Quasispecies, SolveStats, WarmStartInfo};
 use crate::solver::{solve, Engine, Method, SolveError, SolverConfig};
 use crate::workspace::Workspace;
 use qs_landscape::{ErrorClass, Landscape, Nk, Random, SinglePeak, Tabulated};
@@ -216,6 +239,15 @@ impl LandscapeSpec {
         })
     }
 
+    /// The FNV-1a content address of the landscape recipe alone — the
+    /// landscape half of a warm-start cache key (see
+    /// [`SolveRequest::warm_key`]).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
     /// Fold the spec into `h`: a kind tag, `ν`, then every parameter at
     /// exact bits. Seeded kinds hash `(parameters, seed)` rather than the
     /// expanded table — the table is a pure function of them.
@@ -256,6 +288,45 @@ impl LandscapeSpec {
     }
 }
 
+/// Scheduling hints: *how* a request is computed, never *what* it
+/// computes. Excluded from [`SolveRequest::cache_key`] and
+/// [`SolveRequest::group_key`] by design — any result filed under a key
+/// satisfies that key's problem to its tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduling {
+    /// Prefer the thread-pool engine for per-point (non-batched) solves.
+    pub parallel: bool,
+    /// Allow continuation warm starts (see the module docs): batched
+    /// [`Method::Power`] sweeps seed each column from already-converged
+    /// neighbours, and a serving layer may seed from its eigenvector
+    /// cache. Warm-started solves converge to the same `tol` but are not
+    /// bit-identical to cold solves; set `false` for bit-reproducible
+    /// fresh computations. Non-Power methods ignore this hint.
+    pub warm_start: bool,
+}
+
+impl Default for Scheduling {
+    fn default() -> Self {
+        Scheduling {
+            parallel: false,
+            warm_start: true,
+        }
+    }
+}
+
+/// An externally converged eigenvector offered as a warm-start anchor
+/// for [`SolveRequest::run_seeded_in`]. Seeds whose length does not
+/// match the request's dimension (or whose entries are not finite) are
+/// ignored, never trusted.
+#[derive(Debug, Clone)]
+pub struct StartSeed {
+    /// The error rate the vector converged at.
+    pub p: f64,
+    /// The converged eigenvector (any positive scaling; length `2^ν`).
+    /// Shared so a serving cache can hand out seeds without copying.
+    pub vector: Arc<Vec<f64>>,
+}
+
 /// One complete solve question: a landscape, an error-rate grid and the
 /// solver knobs that change the answer — plus scheduling hints that
 /// don't.
@@ -272,10 +343,10 @@ pub struct SolveRequest {
     pub tol: f64,
     /// Iteration budget per point.
     pub max_iter: usize,
-    /// Scheduling hint: prefer the thread-pool engine for per-point
-    /// solves. Excluded from cache and group keys — it must not change
-    /// what the answer *is*, only how it is computed.
-    pub parallel: bool,
+    /// Scheduling hints ([`Scheduling`]): excluded from cache and group
+    /// keys — they must not change what the answer *is*, only how it is
+    /// computed.
+    pub scheduling: Scheduling,
 }
 
 impl SolveRequest {
@@ -295,7 +366,7 @@ impl SolveRequest {
             method: Method::Power,
             tol: defaults.tol,
             max_iter: defaults.max_iter,
-            parallel: false,
+            scheduling: Scheduling::default(),
         }
     }
 
@@ -331,10 +402,8 @@ impl SolveRequest {
         Ok(())
     }
 
-    /// Fold everything but `p` — the parts all points of this request
-    /// share — into `h`.
-    fn hash_shared(&self, h: &mut Fnv64) {
-        self.landscape.hash_into(h);
+    /// Fold the method discriminant (and its parameters) into `h`.
+    fn hash_method(&self, h: &mut Fnv64) {
         match self.method {
             Method::Power => h.write_u64(0),
             Method::Lanczos { subspace } => {
@@ -346,7 +415,26 @@ impl SolveRequest {
                 h.write_u64(warmup as u64);
             }
         }
+    }
+
+    /// Fold everything but `p` — the parts all points of this request
+    /// share — into `h`.
+    fn hash_shared(&self, h: &mut Fnv64) {
+        self.landscape.hash_into(h);
+        self.hash_method(h);
         h.write_f64(self.tol);
+    }
+
+    /// The warm-start cache identity: `(landscape, method)` **without**
+    /// the tolerance. A converged eigenvector is a valid *seed* at any
+    /// tolerance — the solve still iterates to its own `tol` — so
+    /// near-miss reuse across tolerances is deliberate, unlike the
+    /// exact-match [`SolveRequest::cache_key`].
+    pub fn warm_key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.landscape.hash_into(&mut h);
+        self.hash_method(&mut h);
+        h.finish()
     }
 
     /// The content address of the `(landscape, ν, p, method, tol)` point:
@@ -391,20 +479,55 @@ impl SolveRequest {
     /// [`SolveError::InvalidConfig`] from [`SolveRequest::validate`];
     /// [`SolveError::NotConverged`] if any point exhausts the budget.
     pub fn run_in(&self, ws: &mut Workspace) -> Result<SolveResult, SolveError> {
+        self.run_seeded_in(&[], ws)
+    }
+
+    /// Answer the request like [`SolveRequest::run_in`], additionally
+    /// offering externally converged eigenvectors as warm-start anchors.
+    ///
+    /// Seeds participate in the continuation ladder as pre-converged
+    /// points (provenance `"cache"` in [`SolveStats::warm_start`]); they
+    /// are ignored when `scheduling.warm_start` is off, when the method
+    /// is not [`Method::Power`], or when a seed's dimension does not
+    /// match the landscape.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SolveRequest::run_in`].
+    pub fn run_seeded_in(
+        &self,
+        seeds: &[StartSeed],
+        ws: &mut Workspace,
+    ) -> Result<SolveResult, SolveError> {
         self.validate()?;
         let landscape = self.landscape.build()?;
         let nu = landscape.nu();
         let (solutions, batched) = match self.method {
-            Method::Power => (
-                solve_uniform_sweep(landscape.as_ref(), &self.ps, self.tol, self.max_iter, ws)?,
-                true,
-            ),
+            Method::Power => {
+                // The ladder needs enough columns (or external anchors)
+                // to amortise its phase structure; tiny cold grids take
+                // the single-block path unchanged.
+                let warm = self.scheduling.warm_start && (self.ps.len() >= 4 || !seeds.is_empty());
+                let solutions = if warm {
+                    solve_continuation_sweep(
+                        landscape.as_ref(),
+                        &self.ps,
+                        self.tol,
+                        self.max_iter,
+                        seeds,
+                        ws,
+                    )?
+                } else {
+                    solve_uniform_sweep(landscape.as_ref(), &self.ps, self.tol, self.max_iter, ws)?
+                };
+                (solutions, true)
+            }
             method => {
                 let config = SolverConfig {
                     method,
                     tol: self.tol,
                     max_iter: self.max_iter,
-                    engine: if self.parallel {
+                    engine: if self.scheduling.parallel {
                         Engine::FmmpParallel
                     } else {
                         Engine::default()
@@ -527,35 +650,8 @@ pub(crate) fn solve_uniform_sweep<L: Landscape + ?Sized>(
     max_iter: usize,
     ws: &mut Workspace,
 ) -> Result<Vec<Quasispecies>, SolveError> {
-    if ps.is_empty() {
-        return Err(SolveError::InvalidConfig {
-            parameter: "ps",
-            detail: "error-rate grid must be non-empty".into(),
-        });
-    }
-    if let Some(bad) = ps
-        .iter()
-        .find(|p| !(p.is_finite() && **p > 0.0 && **p <= 0.5))
-    {
-        return Err(SolveError::InvalidConfig {
-            parameter: "p",
-            detail: format!("error rates must lie in (0, 1/2], got {bad}"),
-        });
-    }
-    if !(tol.is_finite() && tol > 0.0) {
-        return Err(SolveError::InvalidConfig {
-            parameter: "tol",
-            detail: format!("residual tolerance must be finite and positive, got {tol}"),
-        });
-    }
+    let fitness = checked_sweep_fitness(landscape, ps, tol)?;
     let nu = landscape.nu();
-    let fitness = landscape.materialize();
-    if let Some(bad) = fitness.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
-        return Err(SolveError::InvalidConfig {
-            parameter: "fitness",
-            detail: format!("fitness values must be finite and strictly positive, found {bad}"),
-        });
-    }
     let n = fitness.len();
     let k = ps.len();
 
@@ -588,24 +684,324 @@ pub(crate) fn solve_uniform_sweep<L: Landscape + ?Sized>(
                 residual: col.residual,
             });
         }
-        let stats = SolveStats {
-            iterations: col.iterations,
-            matvecs: col.matvecs,
-            residual: col.residual,
-            converged: true,
-            engine: "QSweep".into(),
-            method: "Pi-block".into(),
-            shift: 0.0,
-            degraded: false,
-            recovered_from: None,
-            deadline_expired: false,
-            residual_history: None,
-        };
+        let summary = col_summary(&col);
         solutions.push(Quasispecies::from_right_eigenvector(
-            col.lambda, col.vector, stats,
+            col.lambda,
+            col.vector,
+            block_stats(&summary, None),
         ));
     }
     Ok(solutions)
+}
+
+/// Shared input validation for the batched sweep paths; returns the
+/// materialised (and checked) fitness table.
+fn checked_sweep_fitness<L: Landscape + ?Sized>(
+    landscape: &L,
+    ps: &[f64],
+    tol: f64,
+) -> Result<Vec<f64>, SolveError> {
+    if ps.is_empty() {
+        return Err(SolveError::InvalidConfig {
+            parameter: "ps",
+            detail: "error-rate grid must be non-empty".into(),
+        });
+    }
+    if let Some(bad) = ps
+        .iter()
+        .find(|p| !(p.is_finite() && **p > 0.0 && **p <= 0.5))
+    {
+        return Err(SolveError::InvalidConfig {
+            parameter: "p",
+            detail: format!("error rates must lie in (0, 1/2], got {bad}"),
+        });
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "tol",
+            detail: format!("residual tolerance must be finite and positive, got {tol}"),
+        });
+    }
+    let fitness = landscape.materialize();
+    if let Some(bad) = fitness.iter().find(|f| !(f.is_finite() && **f > 0.0)) {
+        return Err(SolveError::InvalidConfig {
+            parameter: "fitness",
+            detail: format!("fitness values must be finite and strictly positive, found {bad}"),
+        });
+    }
+    Ok(fitness)
+}
+
+/// The scalar diagnostics of one converged block column (everything but
+/// the vector, which is moved out separately).
+struct ColSummary {
+    lambda: f64,
+    iterations: usize,
+    matvecs: usize,
+    residual: f64,
+}
+
+fn col_summary(col: &crate::power::PowerOutcome) -> ColSummary {
+    ColSummary {
+        lambda: col.lambda,
+        iterations: col.iterations,
+        matvecs: col.matvecs,
+        residual: col.residual,
+    }
+}
+
+fn block_stats(col: &ColSummary, warm: Option<WarmStartInfo>) -> SolveStats {
+    SolveStats {
+        iterations: col.iterations,
+        matvecs: col.matvecs,
+        residual: col.residual,
+        converged: true,
+        engine: "QSweep".into(),
+        method: "Pi-block".into(),
+        shift: 0.0,
+        degraded: false,
+        recovered_from: None,
+        deadline_expired: false,
+        residual_history: None,
+        warm_start: warm,
+    }
+}
+
+/// How a continuation column's start vector was produced.
+#[derive(Clone, Copy)]
+enum SeedKind {
+    /// The paper's generic fitness start (no usable anchors).
+    Cold,
+    /// Interpolated/copied from anchors; `from_p` is the nearest anchor's
+    /// error rate and `external` whether that anchor was a caller seed.
+    Warm { from_p: f64, external: bool },
+}
+
+/// Solve the uniform-model sweep in **continuation order** (see the
+/// module docs): endpoints first, then bisection generations, each
+/// generation one batched block power iteration whose columns are seeded
+/// by quadratic Lagrange interpolation over the three nearest
+/// already-converged anchors. `seeds` join as pre-converged anchors.
+///
+/// Produces the same answers as [`solve_uniform_sweep`] to the residual
+/// tolerance (not bit-identically), in grid order, with
+/// [`SolveStats::warm_start`] provenance on every warm-seeded column.
+///
+/// # Errors
+///
+/// Same as [`solve_uniform_sweep`].
+pub(crate) fn solve_continuation_sweep<L: Landscape + ?Sized>(
+    landscape: &L,
+    ps: &[f64],
+    tol: f64,
+    max_iter: usize,
+    seeds: &[StartSeed],
+    ws: &mut Workspace,
+) -> Result<Vec<Quasispecies>, SolveError> {
+    let fitness = checked_sweep_fitness(landscape, ps, tol)?;
+    let nu = landscape.nu();
+    let n = fitness.len();
+    let k = ps.len();
+
+    // Anchors the ladder may seed from: externally converged vectors
+    // first (validated, never trusted), then internally converged
+    // columns as the generations complete.
+    let seeds: Vec<&StartSeed> = seeds
+        .iter()
+        .filter(|s| {
+            s.vector.len() == n
+                && s.p.is_finite()
+                && s.vector.iter().all(|v| v.is_finite())
+                && s.vector.iter().any(|&v| v != 0.0)
+        })
+        .collect();
+
+    // Work over positions sorted by rate so "nearest" and "bracket" are
+    // well defined; duplicates land adjacent and simply copy their twin.
+    let mut sorted: Vec<usize> = (0..k).collect();
+    sorted.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).unwrap());
+    let sp: Vec<f64> = sorted.iter().map(|&i| ps[i]).collect();
+
+    // Continuation order as generations: the grid endpoints, then the
+    // midpoint of every maximal unsolved run — each generation halves
+    // its columns' bracket distance, so seeds keep getting better.
+    let mut generations: Vec<Vec<usize>> = Vec::new();
+    let mut scheduled = vec![false; k];
+    let mut first = vec![0];
+    scheduled[0] = true;
+    if k > 1 {
+        first.push(k - 1);
+        scheduled[k - 1] = true;
+    }
+    generations.push(first);
+    while scheduled.iter().any(|&s| !s) {
+        let mut generation = Vec::new();
+        let mut j = 0;
+        while j < k {
+            if scheduled[j] {
+                j += 1;
+                continue;
+            }
+            let mut end = j;
+            while end < k && !scheduled[end] {
+                end += 1;
+            }
+            generation.push(j + (end - j) / 2);
+            j = end;
+        }
+        for &g in &generation {
+            scheduled[g] = true;
+        }
+        generations.push(generation);
+    }
+
+    let opts = PowerOptions {
+        tol,
+        max_iter,
+        ..Default::default()
+    };
+    // Converged columns by sorted position; vectors double as anchors.
+    let mut done: Vec<Option<(ColSummary, Vec<f64>)>> = (0..k).map(|_| None).collect();
+    let mut seed_kinds: Vec<SeedKind> = vec![SeedKind::Cold; k];
+
+    let mut cold_start = ws.take_copy(&fitness);
+    qs_linalg::vec_ops::normalize_l1(&mut cold_start);
+
+    for generation in &generations {
+        let m = generation.len();
+        let mut slab = ws.take(n * m);
+        for (c, &j) in generation.iter().enumerate() {
+            let col = &mut slab[c * n..(c + 1) * n];
+            seed_kinds[j] = fill_seed(col, sp[j], &sp, &done, &seeds, &cold_start);
+        }
+        let op = SweepWOperator {
+            sweep: QSweep::new(nu, &generation.iter().map(|&j| sp[j]).collect::<Vec<f64>>()),
+            fitness: fitness.clone(),
+        };
+        let block = block_power_iteration_in(&op, &slab, &opts, ws);
+        ws.put(slab);
+        for (col, &j) in block.columns.into_iter().zip(generation) {
+            if !col.converged {
+                ws.put(cold_start);
+                return Err(SolveError::NotConverged {
+                    iterations: col.iterations,
+                    residual: col.residual,
+                });
+            }
+            done[j] = Some((col_summary(&col), col.vector));
+        }
+    }
+    ws.put(cold_start);
+
+    // Iteration savings are attributed against the nearest cold-started
+    // column of this run — a documented estimate of what each warm
+    // column would have cost from the generic start.
+    let cold_baseline: Vec<(f64, usize)> = (0..k)
+        .filter(|&j| matches!(seed_kinds[j], SeedKind::Cold))
+        .map(|j| (sp[j], done[j].as_ref().unwrap().0.iterations))
+        .collect();
+
+    let mut solutions: Vec<Option<Quasispecies>> = (0..k).map(|_| None).collect();
+    for (j, slot) in done.into_iter().enumerate() {
+        let (summary, vector) = slot.unwrap();
+        let warm = match seed_kinds[j] {
+            SeedKind::Cold => None,
+            SeedKind::Warm { from_p, external } => {
+                let baseline = cold_baseline
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - sp[j])
+                            .abs()
+                            .partial_cmp(&(b.0 - sp[j]).abs())
+                            .unwrap()
+                    })
+                    .map_or(0, |&(_, iters)| iters);
+                Some(WarmStartInfo {
+                    source: if external { "cache" } else { "continuation" }.into(),
+                    from_p,
+                    iterations_saved: baseline.saturating_sub(summary.iterations),
+                })
+            }
+        };
+        solutions[sorted[j]] = Some(Quasispecies::from_right_eigenvector(
+            summary.lambda,
+            vector,
+            block_stats(&summary, warm),
+        ));
+    }
+    Ok(solutions.into_iter().map(Option::unwrap).collect())
+}
+
+/// Fill `col` with the best available start vector for rate `p`:
+/// quadratic Lagrange interpolation over the three nearest converged
+/// anchors when available, degrading to linear interpolation, a straight
+/// copy of the nearest anchor, and finally the cold fitness start. A
+/// non-finite or vanishing interpolant falls back to the nearest-anchor
+/// copy — a bad extrapolation must never poison a column.
+fn fill_seed(
+    col: &mut [f64],
+    p: f64,
+    sp: &[f64],
+    done: &[Option<(ColSummary, Vec<f64>)>],
+    seeds: &[&StartSeed],
+    cold_start: &[f64],
+) -> SeedKind {
+    // (|Δp|, p_anchor, vector, external) for every converged anchor.
+    let mut anchors: Vec<(f64, f64, &[f64], bool)> = Vec::with_capacity(8);
+    for (j, slot) in done.iter().enumerate() {
+        if let Some((_, vector)) = slot {
+            anchors.push(((sp[j] - p).abs(), sp[j], vector.as_slice(), false));
+        }
+    }
+    for seed in seeds {
+        anchors.push(((seed.p - p).abs(), seed.p, seed.vector.as_slice(), true));
+    }
+    if anchors.is_empty() {
+        col.copy_from_slice(cold_start);
+        return SeedKind::Cold;
+    }
+    anchors.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let (_, near_p, near_vec, near_ext) = anchors[0];
+
+    // Up to three nearest anchors at pairwise-distinct rates — Lagrange
+    // weights divide by rate differences.
+    let mut chosen: Vec<(f64, &[f64])> = vec![(near_p, near_vec)];
+    for &(_, ap, av, _) in anchors.iter().skip(1) {
+        if chosen.len() == 3 {
+            break;
+        }
+        if chosen.iter().all(|&(cp, _)| cp != ap) {
+            chosen.push((ap, av));
+        }
+    }
+    match chosen[..] {
+        [(pa, va), (pb, vb), (pc, vc)] => {
+            let la = (p - pb) * (p - pc) / ((pa - pb) * (pa - pc));
+            let lb = (p - pa) * (p - pc) / ((pb - pa) * (pb - pc));
+            let lc = (p - pa) * (p - pb) / ((pc - pa) * (pc - pb));
+            for (i, out) in col.iter_mut().enumerate() {
+                *out = la * va[i] + lb * vb[i] + lc * vc[i];
+            }
+        }
+        [(pa, va), (pb, vb)] => {
+            let la = (p - pb) / (pa - pb);
+            let lb = (p - pa) / (pb - pa);
+            for (i, out) in col.iter_mut().enumerate() {
+                *out = la * va[i] + lb * vb[i];
+            }
+        }
+        _ => col.copy_from_slice(near_vec),
+    }
+    // An extrapolated seed can in principle cancel to junk; the block
+    // iteration normalises but cannot rescue a zero or non-finite start.
+    let norm_ok = col.iter().all(|v| v.is_finite()) && col.iter().any(|&v| v.abs() > 1e-300);
+    if !norm_ok {
+        col.copy_from_slice(near_vec);
+    }
+    SeedKind::Warm {
+        from_p: near_p,
+        external: near_ext,
+    }
 }
 
 #[cfg(test)]
@@ -808,11 +1204,31 @@ mod tests {
         let mut d = a.clone();
         d.max_iter += 1;
         assert_ne!(a.group_key(), d.group_key());
-        // The scheduling hint is excluded from both keys by design.
+        // Scheduling hints are excluded from both keys by design.
         let mut e = a.clone();
-        e.parallel = true;
+        e.scheduling.parallel = true;
+        e.scheduling.warm_start = false;
         assert_eq!(a.group_key(), e.group_key());
         assert_eq!(a.cache_key(0.01), e.cache_key(0.01));
+    }
+
+    #[test]
+    fn warm_key_separates_landscape_and_method_but_not_tol() {
+        let a = SolveRequest::single(peak(8), 0.01);
+        let mut b = a.clone();
+        b.tol = 1e-8;
+        assert_eq!(
+            a.warm_key(),
+            b.warm_key(),
+            "a converged vector seeds any tolerance"
+        );
+        assert_ne!(a.cache_key(0.01), b.cache_key(0.01));
+        let c = SolveRequest::single(peak(9), 0.01);
+        assert_ne!(a.warm_key(), c.warm_key());
+        let mut d = a.clone();
+        d.method = Method::Lanczos { subspace: 24 };
+        assert_ne!(a.warm_key(), d.warm_key());
+        assert_eq!(a.landscape.content_hash(), b.landscape.content_hash());
     }
 
     #[test]
@@ -854,6 +1270,89 @@ mod tests {
         assert_eq!(result.points.len(), 2);
         for point in &result.points {
             assert!(point.solution.stats.converged);
+        }
+    }
+
+    #[test]
+    fn continuation_sweep_agrees_with_cold_sweep_and_records_provenance() {
+        let ps: Vec<f64> = (1..=9).map(|i| 0.005 * i as f64).collect();
+        let mut cold = SolveRequest::sweep(peak(8), ps.clone());
+        cold.tol = 1e-10;
+        cold.scheduling.warm_start = false;
+        let mut warm = cold.clone();
+        warm.scheduling.warm_start = true;
+        let a = cold.run().unwrap();
+        let b = warm.run().unwrap();
+        assert!(a.batched && b.batched);
+        let mut warm_columns = 0usize;
+        let mut saved = 0usize;
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert!(y.solution.stats.residual <= cold.tol);
+            assert!(
+                (x.solution.lambda - y.solution.lambda).abs() <= 10.0 * cold.tol,
+                "p = {}: cold λ {} vs warm λ {}",
+                x.p,
+                x.solution.lambda,
+                y.solution.lambda
+            );
+            assert!(x.solution.stats.warm_start.is_none(), "cold run stays cold");
+            if let Some(info) = &y.solution.stats.warm_start {
+                assert_eq!(info.source, "continuation");
+                warm_columns += 1;
+                saved += info.iterations_saved;
+            }
+        }
+        assert!(
+            warm_columns >= ps.len() - 2,
+            "everything past the endpoints must be warm-seeded, got {warm_columns}"
+        );
+        assert!(saved > 0, "continuation must save iterations somewhere");
+    }
+
+    #[test]
+    fn external_seeds_warm_start_tiny_grids_with_cache_provenance() {
+        let mut req = SolveRequest::single(peak(7), 0.013);
+        req.tol = 1e-10;
+        // Converge a neighbouring rate first, then offer it as a seed.
+        let neighbour = SolveRequest::single(peak(7), 0.012).run().unwrap();
+        let seed = StartSeed {
+            p: 0.012,
+            vector: Arc::new(neighbour.points[0].solution.concentrations.clone()),
+        };
+        let mut ws = Workspace::new();
+        let seeded = req.run_seeded_in(&[seed], &mut ws).unwrap();
+        let info = seeded.points[0]
+            .solution
+            .stats
+            .warm_start
+            .as_ref()
+            .expect("externally seeded solve records provenance");
+        assert_eq!(info.source, "cache");
+        assert!((info.from_p - 0.012).abs() < 1e-15);
+        let cold = req.run().unwrap();
+        assert!(
+            (seeded.points[0].solution.lambda - cold.points[0].solution.lambda).abs()
+                <= 10.0 * req.tol
+        );
+        // Malformed seeds are ignored, not trusted.
+        let bad = StartSeed {
+            p: 0.012,
+            vector: Arc::new(vec![f64::NAN; 128]),
+        };
+        let out = req.run_seeded_in(&[bad], &mut ws).unwrap();
+        assert!(out.points[0].solution.stats.converged);
+    }
+
+    #[test]
+    fn opting_out_of_warm_start_reproduces_the_cold_path_bit_identically() {
+        let ps = vec![0.004, 0.008, 0.012, 0.016, 0.02];
+        let mut off = SolveRequest::sweep(peak(7), ps);
+        off.scheduling.warm_start = false;
+        let a = off.run().unwrap();
+        let b = off.run().unwrap();
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.solution.lambda.to_bits(), y.solution.lambda.to_bits());
+            assert!(x.solution.stats.warm_start.is_none());
         }
     }
 

@@ -3,6 +3,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Start-vector provenance of a warm-started column: where the seed came
+/// from and the iteration savings attributed to it.
+///
+/// A warm-started solve converges to the same residual tolerance as a
+/// cold one but is **not bit-identical** to it — the iterate path
+/// differs. Consumers that need bit-reproducible fresh computations must
+/// opt out via `SolveRequest::scheduling`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStartInfo {
+    /// Seed source: `"continuation"` when the start vector was
+    /// interpolated from columns already converged in the same sweep,
+    /// `"cache"` when it came from a serving layer's eigenvector
+    /// warm-start cache.
+    pub source: String,
+    /// Error rate of the nearest converged point the seed drew on.
+    pub from_p: f64,
+    /// Estimated iterations avoided versus a cold start. The baseline is
+    /// the nearest cold-started column of the same run (a documented
+    /// estimate, not a measurement); `0` when no cold baseline exists.
+    pub iterations_saved: usize,
+}
+
 /// Diagnostics of a solver run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolveStats {
@@ -43,6 +65,11 @@ pub struct SolveStats {
     /// `SolverConfig::history_cap` entries by uniform downsampling.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub residual_history: Option<Vec<f64>>,
+    /// Start-vector provenance when this solve was warm-started by the
+    /// continuation ladder or an eigenvector cache; `None` for cold
+    /// starts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub warm_start: Option<WarmStartInfo>,
 }
 
 /// Uniformly downsample `values` in place to at most `cap` entries
@@ -190,6 +217,7 @@ mod tests {
             recovered_from: None,
             deadline_expired: false,
             residual_history: None,
+            warm_start: None,
         }
     }
 

@@ -1169,6 +1169,7 @@ fn solve_operator<L: Landscape + ?Sized, P: Probe>(
         recovered_from,
         deadline_expired: chosen.timed_out,
         residual_history: (!residuals.is_empty()).then_some(residuals),
+        warm_start: None,
     };
     Ok(Quasispecies::from_right_eigenvector(
         chosen.lambda,

@@ -117,7 +117,7 @@ pub fn scan_full<L: Landscape + ?Sized>(
 /// Batched variant of [`scan_full`] for the **uniform** mutation model:
 /// instead of one independent solve per grid point, every error rate
 /// advances in lockstep through a single block power iteration whose step
-/// cost is one [`QSweep`] application — the FWHT stage sweeps (the
+/// cost is one [`QSweep`](qs_matvec::QSweep) application — the FWHT stage sweeps (the
 /// dominant cost at large ν) are paid once per step for the *entire* grid
 /// rather than once per `p`.
 ///

@@ -24,7 +24,7 @@ pub const LANE_ALIGN: usize = 64;
 const ALIGN_PAD: usize = LANE_ALIGN / core::mem::size_of::<f64>() - 1;
 
 /// An owned `f64` buffer whose data window is 64-byte aligned, built from
-/// safe Rust only: the backing `Vec` over-allocates by [`ALIGN_PAD`] slots
+/// safe Rust only: the backing `Vec` over-allocates by `ALIGN_PAD` slots
 /// and the window starts at `align_offset(LANE_ALIGN)`. The SIMD fibre
 /// kernels in `qs-matvec` tolerate unaligned spans (they use unaligned
 /// loads), but an aligned base keeps every span of a power-of-two schedule
@@ -75,7 +75,7 @@ impl AlignedVec {
     }
 
     /// Whether the window's base pointer really is 64-byte aligned (always
-    /// true in practice; see [`AlignedVec::from_vec`]).
+    /// true in practice; see `AlignedVec::from_vec`).
     pub fn is_lane_aligned(&self) -> bool {
         self.as_slice().as_ptr() as usize % LANE_ALIGN == 0
     }

@@ -3,7 +3,7 @@
 //! The fast solvers in this workspace are matrix-free, but they still need a
 //! small, dependable dense toolbox:
 //!
-//! * [`sum`] — Neumaier-compensated summation and dot products (the residual
+//! * [`sum`](mod@sum) — Neumaier-compensated summation and dot products (the residual
 //!   stopping criterion of the power iteration must remain meaningful down to
 //!   `τ = 10⁻¹⁵`),
 //! * [`vec_ops`] / [`norms`] — BLAS-1 style kernels,

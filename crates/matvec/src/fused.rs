@@ -130,7 +130,7 @@ const LANES_R48: usize = 4;
 /// Radix-2 butterflies across two equal-length fibres. Coefficient-form
 /// butterflies ([`Butterfly::coeffs`]) dispatch to the runtime-selected
 /// SIMD kernel in [`crate::simd`]; otherwise the bulk runs register-blocked
-/// in `chunks_exact` lanes of [`LANES_R2`] elements (a fixed trip count
+/// in `chunks_exact` lanes of `LANES_R2` elements (a fixed trip count
 /// LLVM unrolls and autovectorizes), the tail falls back to scalars. Per
 /// element the expression is exactly the reference kernel's on every path.
 #[inline]
@@ -163,7 +163,7 @@ pub fn radix2_lanes<B: Butterfly>(f0: &mut [f64], f1: &mut [f64], bf: B) {
 
 /// Two fused butterfly layers (strides `i`, `2i`) across four equal-length
 /// fibres: SIMD-dispatched for coefficient-form butterflies, otherwise
-/// register-blocked in [`LANES_R48`]-wide lanes. Bit-for-bit identical to
+/// register-blocked in `LANES_R48`-wide lanes. Bit-for-bit identical to
 /// two [`radix2_lanes`] layers.
 #[inline]
 pub fn radix4_lanes<B: Butterfly>(
@@ -224,7 +224,7 @@ pub fn radix4_lanes<B: Butterfly>(
 
 /// Three fused butterfly layers (strides `i`, `2i`, `4i`) across eight
 /// equal-length fibres: SIMD-dispatched for coefficient-form butterflies,
-/// otherwise register-blocked in [`LANES_R48`]-wide lanes. Bit-for-bit
+/// otherwise register-blocked in `LANES_R48`-wide lanes. Bit-for-bit
 /// identical to three [`radix2_lanes`] layers.
 #[inline]
 #[allow(clippy::too_many_arguments)]

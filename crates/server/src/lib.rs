@@ -11,16 +11,28 @@
 //! | `/healthz`       | GET    | liveness probe                             |
 //! | `/shutdown`      | POST   | graceful stop (drains workers)             |
 //!
-//! Three serving properties are load-bearing (and pinned by the
+//! Five serving properties are load-bearing (and pinned by the
 //! integration tests):
 //!
+//! - **persistent connections** — HTTP/1.1 keep-alive by default: one
+//!   TCP connection serves a whole session of requests (bounded by an
+//!   idle timeout and a per-connection request cap), and back-to-back
+//!   pipelined requests are answered in order ([`http`] module docs);
 //! - **coalescing** — concurrent `/solve` requests over the same
 //!   (landscape, ν, method, tol) are merged into one batched block power
 //!   iteration, their error rates becoming columns of a single engine
-//!   run ([`scheduler`] module docs);
+//!   run; a group that reaches the batch cap dispatches immediately
+//!   instead of waiting out the coalescing window (`scheduler` module
+//!   docs);
 //! - **bit-identical repeats** — results are cached as encoded bytes
-//!   under a content-addressed key, so re-asking for a point re-serves
-//!   the exact same bytes;
+//!   under a content-addressed key with an LRU byte budget, so re-asking
+//!   for a cached point re-serves the exact same bytes;
+//! - **warm starts** — converged eigenvectors are kept in a separate
+//!   byte-budgeted cache keyed by (landscape, method) and served as
+//!   start-vector seeds to *nearby* error rates: warm solves meet the
+//!   same tolerance with fewer iterations, and requests can opt out via
+//!   `scheduling.warm_start` without forking the result-cache address
+//!   space;
 //! - **zero-alloc steady state** — workers keep their [`Workspace`]
 //!   pools warm across solves, so after warm-up the per-solve pool-miss
 //!   byte counter on `/metrics` reads zero.
@@ -71,8 +83,24 @@ pub struct ServerConfig {
     /// Largest accepted chain length ν; a solve costs Θ(2^ν · ν) per
     /// iteration, so this caps per-request work.
     pub max_nu: u32,
-    /// Result-cache capacity in points (FIFO eviction).
+    /// Result-cache capacity in points (LRU eviction).
     pub cache_capacity: usize,
+    /// Result-cache byte budget: least-recently-used entries are evicted
+    /// once the encoded fragments exceed it.
+    pub cache_bytes: u64,
+    /// Coalesced-column count at which an open group dispatches
+    /// immediately instead of waiting out the coalescing window.
+    /// `None` resolves to `workers × 8`.
+    pub max_batch: Option<usize>,
+    /// Byte budget for the eigenvector warm-start cache; `0` disables
+    /// warm-start serving entirely.
+    pub warm_cache_bytes: u64,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server drops it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (bounds per-connection thread lifetime).
+    pub max_requests_per_connection: usize,
     /// Optional fault-injection plan: when set, every solve runs through
     /// the chaos harness's [`FaultyOp`](qs_fault::FaultyOp) wrapper.
     pub fault_plan: Option<FaultPlan>,
@@ -86,6 +114,11 @@ impl Default for ServerConfig {
             coalesce_window: Duration::from_millis(25),
             max_nu: 22,
             cache_capacity: 4096,
+            cache_bytes: 64 << 20,
+            max_batch: None,
+            warm_cache_bytes: 32 << 20,
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1024,
             fault_plan: None,
         }
     }
@@ -99,6 +132,8 @@ pub struct Server {
     workers: Vec<thread::JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     max_nu: u32,
+    idle_timeout: Duration,
+    max_requests_per_connection: usize,
 }
 
 impl Server {
@@ -108,15 +143,21 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let (job_tx, job_rx) = mpsc::channel();
+        let workers_n = config.workers.max(1);
         let scheduler = Arc::new(Scheduler::new(
-            config.coalesce_window,
-            config.cache_capacity,
+            scheduler::SchedulerOptions {
+                coalesce: config.coalesce_window,
+                cache_capacity: config.cache_capacity,
+                cache_bytes: config.cache_bytes,
+                max_batch: config.max_batch.unwrap_or(workers_n * 8),
+                warm_cache_bytes: config.warm_cache_bytes,
+            },
             job_tx,
         ));
         let job_rx = Arc::new(Mutex::new(job_rx));
         let fault_plan = config.fault_plan.map(Arc::new);
         let mut workers = Vec::new();
-        for i in 0..config.workers.max(1) {
+        for i in 0..workers_n {
             let scheduler = scheduler.clone();
             let job_rx = job_rx.clone();
             let fault_plan = fault_plan.clone();
@@ -133,6 +174,8 @@ impl Server {
             workers,
             stop: Arc::new(AtomicBool::new(false)),
             max_nu: config.max_nu,
+            idle_timeout: config.idle_timeout,
+            max_requests_per_connection: config.max_requests_per_connection.max(1),
         })
     }
 
@@ -156,6 +199,8 @@ impl Server {
             workers,
             stop,
             max_nu,
+            idle_timeout,
+            max_requests_per_connection,
         } = self;
         for stream in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
@@ -165,10 +210,21 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Responses are written whole; never let Nagle hold one back
+            // waiting for an ACK on a keep-alive connection.
+            let _ = stream.set_nodelay(true);
             let scheduler = scheduler.clone();
             let stop = stop.clone();
             thread::spawn(move || {
-                handle_connection(stream, &scheduler, &stop, local_addr, max_nu);
+                handle_connection(
+                    stream,
+                    &scheduler,
+                    &stop,
+                    local_addr,
+                    max_nu,
+                    idle_timeout,
+                    max_requests_per_connection,
+                );
             });
         }
         // Close the job channel so idle workers see a hangup and exit.
@@ -179,63 +235,89 @@ impl Server {
     }
 }
 
-/// Serve exactly one request on `stream` (`Connection: close`).
+/// Serve a whole keep-alive session on `stream`: requests are read and
+/// answered in order until the peer closes, asks to close, idles out,
+/// or exhausts the per-connection request cap.
 fn handle_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     scheduler: &Scheduler,
     stop: &AtomicBool,
     local_addr: SocketAddr,
     max_nu: u32,
+    idle_timeout: Duration,
+    max_requests: usize,
 ) {
-    let request = match http::read_request(&mut stream) {
-        Ok(Some(request)) => request,
-        Ok(None) => return,
-        Err(err) => {
-            let body = wire::error_body("bad_request", &err.to_string());
-            let _ = http::write_response(&mut stream, 400, "Bad Request", JSON, &[], &body);
+    let mut conn = http::Conn::new(stream, idle_timeout);
+    for served in 0..max_requests {
+        let request = match conn.read_request() {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // peer closed or idled out between requests
+            Err(err) => {
+                let body = wire::error_body("bad_request", &err.to_string());
+                let _ = conn.write_response(400, "Bad Request", JSON, &[], &body, false);
+                return;
+            }
+        };
+        let started = std::time::Instant::now();
+        // Honour the client's wish, the request cap, and shutdown: any
+        // of them downgrades this response to `connection: close`.
+        let keep_alive =
+            request.keep_alive && served + 1 < max_requests && !stop.load(Ordering::SeqCst);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/solve") => {
+                handle_solve(&mut conn, scheduler, max_nu, &request.body, keep_alive)
+            }
+            ("GET", "/metrics") => {
+                let body = render_metrics(scheduler);
+                let _ = conn.write_response(
+                    200,
+                    "OK",
+                    "text/plain; charset=utf-8",
+                    &[],
+                    body.as_bytes(),
+                    keep_alive,
+                );
+            }
+            ("GET", "/healthz") => {
+                let _ = conn.write_response(200, "OK", JSON, &[], b"{\"ok\":true}", keep_alive);
+            }
+            ("POST", "/shutdown") => {
+                let _ = conn.write_response(200, "OK", JSON, &[], b"{\"shutdown\":true}", false);
+                stop.store(true, Ordering::SeqCst);
+                // The accept loop is blocked in accept(); poke it awake so it
+                // observes the flag. The connection is dropped unhandled.
+                let _ = TcpStream::connect(local_addr);
+                scheduler.counters.record_latency(started.elapsed());
+                return;
+            }
+            _ => {
+                let body = wire::error_body("not_found", &request.path);
+                let _ = conn.write_response(404, "Not Found", JSON, &[], &body, keep_alive);
+            }
+        }
+        scheduler.counters.record_latency(started.elapsed());
+        if !keep_alive {
             return;
-        }
-    };
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/solve") => handle_solve(&mut stream, scheduler, max_nu, &request.body),
-        ("GET", "/metrics") => {
-            let body = render_metrics(scheduler);
-            let _ = http::write_response(
-                &mut stream,
-                200,
-                "OK",
-                "text/plain; charset=utf-8",
-                &[],
-                body.as_bytes(),
-            );
-        }
-        ("GET", "/healthz") => {
-            let _ = http::write_response(&mut stream, 200, "OK", JSON, &[], b"{\"ok\":true}");
-        }
-        ("POST", "/shutdown") => {
-            let _ = http::write_response(&mut stream, 200, "OK", JSON, &[], b"{\"shutdown\":true}");
-            stop.store(true, Ordering::SeqCst);
-            // The accept loop is blocked in accept(); poke it awake so it
-            // observes the flag. The connection is dropped unhandled.
-            let _ = TcpStream::connect(local_addr);
-        }
-        _ => {
-            let body = wire::error_body("not_found", &request.path);
-            let _ = http::write_response(&mut stream, 404, "Not Found", JSON, &[], &body);
         }
     }
 }
 
 const JSON: &str = "application/json";
 
-fn handle_solve(stream: &mut TcpStream, scheduler: &Scheduler, max_nu: u32, body: &[u8]) {
+fn handle_solve(
+    conn: &mut http::Conn,
+    scheduler: &Scheduler,
+    max_nu: u32,
+    body: &[u8],
+    keep_alive: bool,
+) {
     let counters = &scheduler.counters;
     let request = match wire::parse_solve_request(body) {
         Ok(request) => request,
         Err(detail) => {
             counters.record_error();
             let body = wire::error_body("bad_request", &detail);
-            let _ = http::write_response(stream, 400, "Bad Request", JSON, &[], &body);
+            let _ = conn.write_response(400, "Bad Request", JSON, &[], &body, keep_alive);
             return;
         }
     };
@@ -243,7 +325,7 @@ fn handle_solve(stream: &mut TcpStream, scheduler: &Scheduler, max_nu: u32, body
     if let Err(err) = request.validate() {
         counters.record_error();
         let body = wire::error_body("invalid_request", &err.to_string());
-        let _ = http::write_response(stream, 400, "Bad Request", JSON, &[], &body);
+        let _ = conn.write_response(400, "Bad Request", JSON, &[], &body, keep_alive);
         return;
     }
     let nu = request.landscape.nu();
@@ -251,7 +333,7 @@ fn handle_solve(stream: &mut TcpStream, scheduler: &Scheduler, max_nu: u32, body
         counters.record_error();
         let detail = format!("chain length nu = {nu} exceeds the server cap of {max_nu}");
         let body = wire::error_body("too_large", &detail);
-        let _ = http::write_response(stream, 400, "Bad Request", JSON, &[], &body);
+        let _ = conn.write_response(400, "Bad Request", JSON, &[], &body, keep_alive);
         return;
     }
     match scheduler.serve_points(&request) {
@@ -272,17 +354,17 @@ fn handle_solve(stream: &mut TcpStream, scheduler: &Scheduler, max_nu: u32, body
             } else {
                 &[]
             };
-            let _ = http::write_response(stream, 200, "OK", JSON, headers, &body);
+            let _ = conn.write_response(200, "OK", JSON, headers, &body, keep_alive);
         }
         Err(ServeError::Failed(detail)) => {
             counters.record_error();
             let body = wire::error_body("solve_failed", &detail);
-            let _ = http::write_response(stream, 500, "Internal Server Error", JSON, &[], &body);
+            let _ = conn.write_response(500, "Internal Server Error", JSON, &[], &body, keep_alive);
         }
         Err(ServeError::TimedOut) => {
             counters.record_error();
             let body = wire::error_body("timeout", "solve did not complete in time");
-            let _ = http::write_response(stream, 504, "Gateway Timeout", JSON, &[], &body);
+            let _ = conn.write_response(504, "Gateway Timeout", JSON, &[], &body, keep_alive);
         }
     }
 }
@@ -307,12 +389,26 @@ fn render_metrics(scheduler: &Scheduler) -> String {
             s.last_solve_pool_miss_bytes,
         ),
         ("qs_errors_total", s.errors),
+        ("qs_cache_bytes", s.cache_bytes),
+        ("qs_warm_cache_bytes", s.warm_cache_bytes),
+        ("qs_warm_hits_total", s.warm_hits),
+        ("qs_warm_seeded_columns_total", s.warm_seeded_columns),
+        ("qs_warm_iterations_saved_total", s.warm_iterations_saved),
+        ("qs_request_latency_count", s.latency_count),
     ] {
         out.push_str(name);
         out.push(' ');
         out.push_str(&value.to_string());
         out.push('\n');
     }
+    out.push_str(&format!(
+        "qs_request_latency_us{{quantile=\"0.5\"}} {}\n",
+        s.latency_p50_us
+    ));
+    out.push_str(&format!(
+        "qs_request_latency_us{{quantile=\"0.99\"}} {}\n",
+        s.latency_p99_us
+    ));
     out.push_str(&format!(
         "qs_build_info{{version=\"{}\",isa=\"{}\",checkpoint_format=\"{}\"}} 1\n",
         PKG_VERSION,

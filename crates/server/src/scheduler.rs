@@ -1,5 +1,6 @@
 //! The request scheduler: cross-request batching, the content-addressed
-//! result cache, and the worker pool that owns the solver workspaces.
+//! result cache, the eigenvector warm-start cache, and the worker pool
+//! that owns the solver workspaces.
 //!
 //! # Coalescing contract
 //!
@@ -13,17 +14,34 @@
 //! 2. **join** — the key is already pending (in an open group or in
 //!    flight on a worker); the connection just waits for it;
 //! 3. **open** — the first connection to miss on a group opens it,
-//!    waits one coalescing window for concurrent requests to pile their
-//!    rates in, then dispatches the whole group as **one** job. On a
-//!    worker, the group's rates become columns of a single batched block
-//!    power iteration, so `k` coalesced requests cost one engine solve.
+//!    waits *at most* one coalescing window for concurrent requests to
+//!    pile their rates in, then dispatches the whole group as **one**
+//!    job. The wait is a condition-variable deadline wait, not a sleep:
+//!    the moment the group reaches the batch cap the opener is woken and
+//!    dispatches immediately, so a full batch never pays the window. On
+//!    a worker, the group's rates become columns of a single batched
+//!    block power iteration, so `k` coalesced requests cost one engine
+//!    solve.
+//!
+//! # Two caches, two contracts
+//!
+//! The **result cache** maps exact cache keys to encoded response bytes
+//! under an LRU byte budget: repeats are bit-identical by construction.
+//! The **warm-start cache** is deliberately looser: it keeps converged
+//! eigenvectors keyed by `(landscape, method)` — *no tolerance, no error
+//! rate* — and serves the nearest ones as start-vector seeds for new
+//! solves (see `SolveRequest::run_seeded_in`). A warm-started solve
+//! converges to the same residual tolerance but is **not** bit-identical
+//! to a cold one, which is why the two caches are separate and why
+//! `scheduling.warm_start` (excluded from the cache key) opts a request
+//! out of the warm path without forking the result-cache address space.
 //!
 //! Workers are long-lived and each owns a [`Workspace`]: after the first
 //! (pool-warming) solve of a given shape, steady-state serving draws
 //! every solver buffer from the pool — the per-solve pool-miss byte
 //! count on `/metrics` drops to zero.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -32,8 +50,8 @@ use qs_fault::{FaultPlan, FaultyOp};
 use qs_matvec::{Fmmp, LinearOperator};
 use qs_telemetry::{ServeCounters, SolverEvent, TraceSummary};
 use quasispecies::{
-    solve_with_q_operator, PointResult, SolveRequest, SolveResult, SolverConfig, Workspace,
-    FORMAT_VERSION,
+    solve_with_q_operator, PointResult, SolveRequest, SolveResult, SolverConfig, StartSeed,
+    Workspace, FORMAT_VERSION,
 };
 
 use crate::wire;
@@ -43,6 +61,12 @@ use crate::wire;
 /// forever.
 const WAIT_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// Most warm-start seeds handed to a single job: the continuation ladder
+/// interpolates over at most 3 anchors per column, so a handful of
+/// well-spread cached vectors saturates the benefit while keeping the
+/// per-job clone cost bounded.
+const MAX_SEEDS_PER_JOB: usize = 16;
+
 /// One dispatched unit of work: a coalesced group's request (rates
 /// accumulated) plus the cache key of each rate.
 pub(crate) struct Job {
@@ -50,12 +74,34 @@ pub(crate) struct Job {
     keys: Vec<u64>,
 }
 
+/// One result-cache slot: the encoded fragment plus its LRU bookkeeping.
+struct CacheEntry {
+    fragment: Arc<Vec<u8>>,
+    bytes: u64,
+    /// Recency stamp; also the entry's key in `State::lru`.
+    tick: u64,
+}
+
+/// One cached converged eigenvector, reusable as a warm-start seed for
+/// nearby error rates under the same `(landscape, method)` key.
+struct WarmEntry {
+    p: f64,
+    vector: Arc<Vec<f64>>,
+    bytes: u64,
+    /// Recency stamp; also the entry's key in `State::warm_lru`.
+    tick: u64,
+}
+
 #[derive(Default)]
 struct State {
     /// Content-addressed results: key → encoded point fragment.
-    cache: HashMap<u64, Arc<Vec<u8>>>,
-    /// Insertion order for FIFO eviction.
-    cache_order: VecDeque<u64>,
+    cache: HashMap<u64, CacheEntry>,
+    /// Recency order for LRU eviction: tick → cache key.
+    lru: BTreeMap<u64, u64>,
+    /// Bytes currently held by `cache` (fragment payloads).
+    cache_bytes: u64,
+    /// Monotone recency clock shared by both caches.
+    tick: u64,
     /// Keys currently being computed on a worker.
     in_flight: HashSet<u64>,
     /// Keys whose last computation failed, with the error detail.
@@ -63,6 +109,38 @@ struct State {
     failed: HashMap<u64, Arc<String>>,
     /// Open coalescing groups, by group key.
     groups: HashMap<u64, Group>,
+    /// Warm-start cache: `SolveRequest::warm_key` → converged vectors.
+    warm: HashMap<u64, Vec<WarmEntry>>,
+    /// Recency order for warm eviction: tick → (warm key, p bits).
+    warm_lru: BTreeMap<u64, (u64, u64)>,
+    /// Bytes currently held by `warm` (vector payloads).
+    warm_bytes: u64,
+}
+
+impl State {
+    /// Refresh a result-cache entry's recency.
+    fn touch(&mut self, key: u64) {
+        if let Some(entry) = self.cache.get_mut(&key) {
+            self.lru.remove(&entry.tick);
+            self.tick += 1;
+            entry.tick = self.tick;
+            self.lru.insert(entry.tick, key);
+        }
+    }
+
+    /// Refresh a warm-cache entry's recency.
+    fn touch_warm(&mut self, warm_key: u64, p_bits: u64) {
+        let Some(entries) = self.warm.get_mut(&warm_key) else {
+            return;
+        };
+        let Some(entry) = entries.iter_mut().find(|e| e.p.to_bits() == p_bits) else {
+            return;
+        };
+        self.warm_lru.remove(&entry.tick);
+        self.tick += 1;
+        entry.tick = self.tick;
+        self.warm_lru.insert(entry.tick, (warm_key, p_bits));
+    }
 }
 
 struct Group {
@@ -87,27 +165,53 @@ pub(crate) enum ServeError {
     TimedOut,
 }
 
+/// Sizing and timing knobs the scheduler is built with (resolved from
+/// `ServerConfig` by the listener).
+pub(crate) struct SchedulerOptions {
+    /// Maximum coalescing window an opener waits before dispatch.
+    pub coalesce: Duration,
+    /// Result-cache entry-count cap (belt to the byte-budget braces).
+    pub cache_capacity: usize,
+    /// Result-cache byte budget; LRU entries are evicted past it.
+    pub cache_bytes: u64,
+    /// Coalesced-column count at which an open group dispatches
+    /// immediately instead of waiting out the window.
+    pub max_batch: usize,
+    /// Warm-start cache byte budget; `0` disables warm serving.
+    pub warm_cache_bytes: u64,
+}
+
 pub(crate) struct Scheduler {
     state: Mutex<State>,
     done: Condvar,
+    /// Signalled when an open group reaches `max_batch` columns, so the
+    /// opener dispatches without waiting out the coalescing window.
+    batch_full: Condvar,
     job_tx: Mutex<Option<Sender<Job>>>,
     pub(crate) counters: Arc<ServeCounters>,
     coalesce: Duration,
     cache_capacity: usize,
+    cache_budget: u64,
+    max_batch: usize,
+    warm_budget: u64,
     /// Rendered [`TraceSummary`] of the most recent engine run, for
     /// `/metrics`.
     pub(crate) last_summary: Mutex<String>,
 }
 
 impl Scheduler {
-    pub(crate) fn new(coalesce: Duration, cache_capacity: usize, job_tx: Sender<Job>) -> Scheduler {
+    pub(crate) fn new(options: SchedulerOptions, job_tx: Sender<Job>) -> Scheduler {
         Scheduler {
             state: Mutex::new(State::default()),
             done: Condvar::new(),
+            batch_full: Condvar::new(),
             job_tx: Mutex::new(Some(job_tx)),
             counters: Arc::new(ServeCounters::new()),
-            coalesce,
-            cache_capacity: cache_capacity.max(1),
+            coalesce: options.coalesce,
+            cache_capacity: options.cache_capacity.max(1),
+            cache_budget: options.cache_bytes.max(1),
+            max_batch: options.max_batch.max(1),
+            warm_budget: options.warm_cache_bytes,
             last_summary: Mutex::new(String::new()),
         }
     }
@@ -127,13 +231,16 @@ impl Scheduler {
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut opened = false;
+        let mut filled = false;
         {
             let mut st = self.state.lock().unwrap();
             for (&p, &key) in request.ps.iter().zip(&keys) {
-                if st.cache.contains_key(&key) || st.in_flight.contains(&key) {
-                    if st.cache.contains_key(&key) {
-                        hits += 1;
-                    }
+                if st.cache.contains_key(&key) {
+                    hits += 1;
+                    st.touch(key);
+                    continue;
+                }
+                if st.in_flight.contains(&key) {
                     continue;
                 }
                 // A stale failure is retried, not re-served.
@@ -151,20 +258,43 @@ impl Scheduler {
                 if !group.keys.contains(&key) {
                     group.request.ps.push(p);
                     group.keys.push(key);
+                    if group.keys.len() >= self.max_batch {
+                        filled = true;
+                    }
                     misses += 1;
                 }
             }
         }
         self.counters.record_cache_hits(hits);
         self.counters.record_cache_misses(misses);
+        if filled && !opened {
+            // This joiner topped the group up to the batch cap: wake the
+            // opener so the full batch dispatches immediately.
+            self.batch_full.notify_all();
+        }
 
         if opened {
             // This connection opened the group: give concurrent requests
-            // one window to pile in, then dispatch the whole group as a
-            // single job.
-            std::thread::sleep(self.coalesce);
+            // at most one window to pile in — but dispatch the moment
+            // the group fills — then send the whole group as one job.
             let job = {
+                let deadline = Instant::now() + self.coalesce;
                 let mut st = self.state.lock().unwrap();
+                loop {
+                    let full = st
+                        .groups
+                        .get(&group_key)
+                        .is_none_or(|g| g.keys.len() >= self.max_batch);
+                    if full {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = self.batch_full.wait_timeout(st, deadline - now).unwrap();
+                    st = guard;
+                }
                 st.groups.remove(&group_key).map(|group| {
                     for &key in &group.keys {
                         st.in_flight.insert(key);
@@ -217,7 +347,7 @@ impl Scheduler {
             if let Some(detail) = st.failed.get(key) {
                 return Err(ServeError::Failed(detail.clone()));
             }
-            fragments.push(st.cache[key].clone());
+            fragments.push(st.cache[key].fragment.clone());
         }
         Ok(ServedPoints {
             fragments,
@@ -225,15 +355,144 @@ impl Scheduler {
         })
     }
 
+    /// Insert one encoded fragment under LRU eviction: the cache honours
+    /// both the entry-count cap and the byte budget, always evicting the
+    /// least-recently-used entry first and never the one just inserted.
     fn insert_cached(&self, st: &mut State, key: u64, fragment: Arc<Vec<u8>>) {
-        if st.cache.insert(key, fragment).is_none() {
-            st.cache_order.push_back(key);
-            while st.cache_order.len() > self.cache_capacity {
-                if let Some(old) = st.cache_order.pop_front() {
-                    st.cache.remove(&old);
+        let bytes = fragment.len() as u64;
+        if let Some(old) = st.cache.remove(&key) {
+            st.lru.remove(&old.tick);
+            st.cache_bytes -= old.bytes;
+        }
+        st.tick += 1;
+        let tick = st.tick;
+        st.cache.insert(
+            key,
+            CacheEntry {
+                fragment,
+                bytes,
+                tick,
+            },
+        );
+        st.lru.insert(tick, key);
+        st.cache_bytes += bytes;
+        while (st.cache.len() > self.cache_capacity || st.cache_bytes > self.cache_budget)
+            && st.cache.len() > 1
+        {
+            let Some((_, old_key)) = st.lru.pop_first() else {
+                break;
+            };
+            if let Some(old) = st.cache.remove(&old_key) {
+                st.cache_bytes -= old.bytes;
+            }
+        }
+        self.counters.set_cache_bytes(st.cache_bytes);
+    }
+
+    /// Collect warm-start seeds for a job from the eigenvector cache:
+    /// the cached vectors nearest to the job's error rates, under the
+    /// job's `(landscape, method)` key. Returns nothing when the warm
+    /// cache is disabled or the request opted out.
+    pub(crate) fn warm_seeds(&self, request: &SolveRequest) -> Vec<StartSeed> {
+        if self.warm_budget == 0 || !request.scheduling.warm_start || request.ps.is_empty() {
+            return Vec::new();
+        }
+        let warm_key = request.warm_key();
+        let mut st = self.state.lock().unwrap();
+        let Some(entries) = st.warm.get(&warm_key) else {
+            return Vec::new();
+        };
+        // Rank each cached vector by its distance to the nearest
+        // requested rate, keep the closest few.
+        let mut ranked: Vec<(f64, u64)> = entries
+            .iter()
+            .map(|e| {
+                let dist = request
+                    .ps
+                    .iter()
+                    .map(|&p| (p - e.p).abs())
+                    .fold(f64::INFINITY, f64::min);
+                (dist, e.p.to_bits())
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ranked.truncate(MAX_SEEDS_PER_JOB);
+        let mut seeds = Vec::with_capacity(ranked.len());
+        for &(_, p_bits) in &ranked {
+            if let Some(entry) = st
+                .warm
+                .get(&warm_key)
+                .and_then(|es| es.iter().find(|e| e.p.to_bits() == p_bits))
+            {
+                seeds.push(StartSeed {
+                    p: entry.p,
+                    vector: entry.vector.clone(),
+                });
+            }
+            st.touch_warm(warm_key, p_bits);
+        }
+        if !seeds.is_empty() {
+            self.counters.record_warm_hit();
+        }
+        seeds
+    }
+
+    /// Store a finished job's converged eigenvectors in the warm-start
+    /// cache (byte-budgeted, LRU-evicted). Only called for clean,
+    /// warm-eligible runs — faulted solves and opted-out requests never
+    /// populate the cache.
+    pub(crate) fn store_warm(&self, request: &SolveRequest, result: &SolveResult) {
+        if self.warm_budget == 0 || !request.scheduling.warm_start {
+            return;
+        }
+        let warm_key = request.warm_key();
+        let mut st = self.state.lock().unwrap();
+        for point in &result.points {
+            if !point.solution.stats.converged {
+                continue;
+            }
+            let p_bits = point.p.to_bits();
+            let bytes = (point.solution.concentrations.len() * size_of::<f64>()) as u64;
+            if bytes > self.warm_budget {
+                continue;
+            }
+            if let Some(entries) = st.warm.get_mut(&warm_key) {
+                if let Some(pos) = entries.iter().position(|e| e.p.to_bits() == p_bits) {
+                    let old = entries.remove(pos);
+                    st.warm_lru.remove(&old.tick);
+                    st.warm_bytes -= old.bytes;
+                }
+            }
+            let vector = Arc::new(point.solution.concentrations.clone());
+            st.tick += 1;
+            let tick = st.tick;
+            st.warm.entry(warm_key).or_default().push(WarmEntry {
+                p: point.p,
+                vector,
+                bytes,
+                tick,
+            });
+            st.warm_lru.insert(tick, (warm_key, p_bits));
+            st.warm_bytes += bytes;
+            while st.warm_bytes > self.warm_budget {
+                let Some((_, (old_key, old_bits))) = st.warm_lru.pop_first() else {
+                    break;
+                };
+                let mut freed = 0;
+                let mut emptied = false;
+                if let Some(entries) = st.warm.get_mut(&old_key) {
+                    if let Some(pos) = entries.iter().position(|e| e.p.to_bits() == old_bits) {
+                        freed = entries.remove(pos).bytes;
+                    }
+                    emptied = entries.is_empty();
+                }
+                st.warm_bytes -= freed;
+                if emptied {
+                    st.warm.remove(&old_key);
                 }
             }
         }
+        self.counters.set_warm_cache_bytes(st.warm_bytes);
     }
 
     fn complete_ok(&self, job: &Job, result: SolveResult, ws: &mut Workspace) {
@@ -298,6 +557,17 @@ fn run_summary(result: &SolveResult, pool_miss: u64) -> String {
             residual: point.solution.stats.residual,
             lambda: point.solution.lambda,
         });
+        if let Some(warm) = &point.solution.stats.warm_start {
+            events.push(SolverEvent::WarmStart {
+                source: if warm.source == "cache" {
+                    "cache"
+                } else {
+                    "continuation"
+                },
+                from_p: warm.from_p,
+                iterations_saved: warm.iterations_saved,
+            });
+        }
     }
     events.push(SolverEvent::SolveAllocation { bytes: pool_miss });
     TraceSummary::from_events(&events).to_string()
@@ -305,7 +575,9 @@ fn run_summary(result: &SolveResult, pool_miss: u64) -> String {
 
 /// Answer a job through the fault-injection harness: one faulted solve
 /// per rate (faults are per-operator, so chaos runs trade coalescing for
-/// coverage — exactly what the fault smoke wants).
+/// coverage — exactly what the fault smoke wants). Warm-start seeds are
+/// deliberately ignored here: a faulted run must exercise the cold
+/// recovery ladder, not a shortcut past it.
 fn run_faulted(request: &SolveRequest, plan: &FaultPlan) -> Result<SolveResult, String> {
     let landscape = request.landscape.build().map_err(|e| e.to_string())?;
     let nu = landscape.nu();
@@ -347,15 +619,37 @@ pub(crate) fn worker_loop(
             Err(_) => return, // channel closed: shutdown
         };
         let columns = job.request.ps.len() as u64;
+        let seeds = match &fault_plan {
+            None => scheduler.warm_seeds(&job.request),
+            Some(_) => Vec::new(),
+        };
         ws.mark();
         let outcome = match &fault_plan {
-            None => job.request.run_in(&mut ws).map_err(|e| e.to_string()),
+            None => job
+                .request
+                .run_seeded_in(&seeds, &mut ws)
+                .map_err(|e| e.to_string()),
             Some(plan) => run_faulted(&job.request, plan),
         };
         let pool_miss = ws.bytes_since_mark();
         scheduler.counters.record_engine_solve(columns, pool_miss);
         match outcome {
             Ok(result) => {
+                let (warm_cols, warm_saved) = result
+                    .points
+                    .iter()
+                    .filter_map(|p| p.solution.stats.warm_start.as_ref())
+                    .fold((0u64, 0u64), |(c, s), w| {
+                        (c + 1, s + w.iterations_saved as u64)
+                    });
+                if warm_cols > 0 {
+                    scheduler
+                        .counters
+                        .record_warm_columns(warm_cols, warm_saved);
+                }
+                if fault_plan.is_none() {
+                    scheduler.store_warm(&job.request, &result);
+                }
                 *scheduler.last_summary.lock().unwrap() = run_summary(&result, pool_miss);
                 scheduler.complete_ok(&job, result, &mut ws);
             }

@@ -14,7 +14,7 @@
 
 use std::fmt::Write as _;
 
-use quasispecies::{LandscapeSpec, PointResult, SolveRequest, SolverConfig};
+use quasispecies::{LandscapeSpec, PointResult, Scheduling, SolveRequest, SolverConfig};
 use serde_json::Value;
 
 /// Parse a `POST /solve` body into a [`SolveRequest`].
@@ -28,9 +28,15 @@ use serde_json::Value;
 ///   "method": "power",
 ///   "tol": 1e-13,
 ///   "max_iter": 200000,
-///   "parallel": false
+///   "parallel": false,
+///   "warm_start": true
 /// }
 /// ```
+///
+/// `warm_start` (default `true`) lets the server seed the solve from
+/// nearby converged eigenvectors; set it to `false` for bit-reproducible
+/// cold computations. It is excluded from the cache key, so opting out
+/// does not fork the result-cache address space.
 ///
 /// Landscape kinds mirror the CLI's `--landscape` vocabulary:
 /// `single-peak` (`f0`, `f_rest`), `random` (`c`, `sigma`, `seed`),
@@ -83,6 +89,10 @@ pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, String> {
         None => false,
         Some(b) => b.as_bool().ok_or("'parallel' must be a boolean")?,
     };
+    let warm_start = match v.get("warm_start") {
+        None => true,
+        Some(b) => b.as_bool().ok_or("'warm_start' must be a boolean")?,
+    };
 
     Ok(SolveRequest {
         landscape,
@@ -90,7 +100,10 @@ pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, String> {
         method,
         tol,
         max_iter,
-        parallel,
+        scheduling: Scheduling {
+            parallel,
+            warm_start,
+        },
     })
 }
 
@@ -242,6 +255,13 @@ pub fn encode_point(point: &PointResult, nu: u32, batched: bool) -> String {
         s.push_str(",\"recovered_from\":");
         push_str_escaped(&mut s, kind);
     }
+    if let Some(warm) = &stats.warm_start {
+        s.push_str(",\"warm_start\":{\"source\":");
+        push_str_escaped(&mut s, &warm.source);
+        s.push_str(",\"from_p\":");
+        push_f64(&mut s, warm.from_p);
+        let _ = write!(s, ",\"iterations_saved\":{}}}", warm.iterations_saved);
+    }
     s.push_str(",\"entropy\":");
     push_f64(&mut s, qs.entropy());
     s.push_str(",\"dominant_sequence\":");
@@ -282,7 +302,11 @@ mod tests {
         assert_eq!(req.landscape.kind(), "single-peak");
         assert_eq!(req.landscape.nu(), 8);
         assert_eq!(req.method, quasispecies::Method::Power);
-        assert!(!req.parallel);
+        assert!(!req.scheduling.parallel);
+        assert!(
+            req.scheduling.warm_start,
+            "warm starts are on unless opted out"
+        );
         let defaults = SolverConfig::default();
         assert_eq!(req.tol, defaults.tol);
         assert_eq!(req.max_iter, defaults.max_iter);
@@ -293,7 +317,7 @@ mod tests {
         let req = parse_solve_request(
             br#"{"landscape":{"kind":"random","nu":9,"c":4.0,"sigma":0.5,"seed":7},
                  "ps":[0.01,0.02],"method":"lanczos","subspace":16,
-                 "tol":1e-10,"max_iter":5000,"parallel":true}"#,
+                 "tol":1e-10,"max_iter":5000,"parallel":true,"warm_start":false}"#,
         )
         .unwrap();
         assert_eq!(
@@ -309,7 +333,8 @@ mod tests {
         assert_eq!(req.method, quasispecies::Method::Lanczos { subspace: 16 });
         assert_eq!(req.tol, 1e-10);
         assert_eq!(req.max_iter, 5000);
-        assert!(req.parallel);
+        assert!(req.scheduling.parallel);
+        assert!(!req.scheduling.warm_start);
     }
 
     #[test]

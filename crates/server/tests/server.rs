@@ -1,13 +1,14 @@
 //! End-to-end tests over a live listener: these exercise the acceptance
-//! criteria of the serving layer — coalesced batching, bit-identical
-//! cached repeats, zero-alloc steady state, error mapping, and a clean
-//! shutdown.
+//! criteria of the serving layer — keep-alive connection reuse and
+//! pipelining, coalesced batching with early full-batch dispatch,
+//! bit-identical LRU-cached repeats, eigenvector warm starts, zero-alloc
+//! steady state, error mapping, and a clean shutdown.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qs_server::{Server, ServerConfig};
 use qs_telemetry::ServeCounters;
@@ -67,6 +68,83 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Response 
         status,
         headers,
         body: raw[split + 4..].to_vec(),
+    }
+}
+
+/// A keep-alive client session: one TCP connection serving many
+/// requests, responses framed by `Content-Length` (a `read_to_end`
+/// helper would block forever on a connection the server keeps open).
+struct Session {
+    reader: BufReader<TcpStream>,
+}
+
+impl Session {
+    fn connect(addr: SocketAddr) -> Session {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(150)))
+            .unwrap();
+        Session {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Write one request without reading the response (for pipelining).
+    fn write_request(&mut self, method: &str, path: &str, body: &[u8], close: bool) {
+        let connection = if close { "close" } else { "keep-alive" };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\
+             connection: {connection}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        stream.flush().unwrap();
+    }
+
+    /// Read one Content-Length-framed response.
+    fn read_response(&mut self) -> Response {
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((n, v)) = line.split_once(':') {
+                let (n, v) = (n.trim().to_ascii_lowercase(), v.trim().to_string());
+                if n == "content-length" {
+                    content_length = v.parse().expect("content-length value");
+                }
+                headers.push((n, v));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("response body");
+        Response {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// Request/response round trip on the live connection.
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> Response {
+        self.write_request(method, path, body, false);
+        self.read_response()
     }
 }
 
@@ -287,5 +365,264 @@ fn healthz_answers_and_shutdown_drains_cleanly() {
     assert_eq!(resp.status, 200);
     assert_eq!(resp.body_str(), "{\"ok\":true}");
     // shutdown() asserts the accept loop joins, i.e. workers drained.
+    shutdown(addr, handle);
+}
+
+#[test]
+fn one_connection_serves_many_requests_and_answers_pipelined_in_order() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        ..Default::default()
+    });
+
+    // Sequential reuse: three different routes over one connection.
+    let mut session = Session::connect(addr);
+    let health = session.request("GET", "/healthz", b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.header("connection"), Some("keep-alive"));
+    let solved = session.request("POST", "/solve", &solve_body(0.01));
+    assert_eq!(solved.status, 200, "{}", solved.body_str());
+    let metrics = session.request("GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+
+    // Pipelining: write three solve requests back-to-back, then read the
+    // three responses; they must arrive complete and in request order.
+    let ps = [0.012, 0.014, 0.016];
+    for &p in &ps {
+        session.write_request("POST", "/solve", &solve_body(p), false);
+    }
+    for &p in &ps {
+        let resp = session.read_response();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert!(
+            resp.body_str().contains(&format!("\"p\":{p}")),
+            "pipelined responses must keep request order: wanted p={p} in {}",
+            resp.body_str()
+        );
+    }
+
+    // `Connection: close` is honoured: the response says close and the
+    // server ends the stream after it.
+    session.write_request("GET", "/healthz", b"", true);
+    let last = session.read_response();
+    assert_eq!(last.header("connection"), Some("close"));
+    let mut rest = Vec::new();
+    session.reader.read_to_end(&mut rest).expect("stream ends");
+    assert!(rest.is_empty(), "no bytes may follow a close response");
+
+    assert_eq!(
+        counters.snapshot().requests,
+        4,
+        "all four solves came over one connection"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn a_full_batch_dispatches_immediately_without_paying_the_coalesce_window() {
+    // The window is far longer than the whole test is allowed to take:
+    // the only way to pass is the early full-batch dispatch.
+    let window = Duration::from_secs(5);
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: window,
+        max_batch: Some(8),
+        ..Default::default()
+    });
+
+    let started = Instant::now();
+    let ps: Vec<f64> = (1..=8).map(|i| 0.002 * i as f64).collect();
+    let joins: Vec<_> = ps
+        .iter()
+        .map(|&p| thread::spawn(move || request(addr, "POST", "/solve", &solve_body(p))))
+        .collect();
+    for join in joins {
+        let resp = join.join().unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < window,
+        "eight instant requests filled the batch and must not wait out \
+         the {window:?} window, took {elapsed:?}"
+    );
+
+    let s = counters.snapshot();
+    assert_eq!(s.engine_solves, 1, "the full batch is still one run: {s:?}");
+    assert!(s.max_batch >= 8, "{s:?}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn result_cache_evicts_by_bytes_and_recency_not_insertion_order() {
+    // Size the byte budget off a real response: it holds two encoded
+    // fragments comfortably but never three. Warm starts are off so
+    // every fragment is cold-shaped (no provenance object skewing the
+    // sizes) — this test is about the byte cache alone.
+    let probe = {
+        let (addr, _counters, handle) = start(ServerConfig {
+            workers: 1,
+            coalesce_window: Duration::from_millis(1),
+            warm_cache_bytes: 0,
+            ..Default::default()
+        });
+        let resp = request(addr, "POST", "/solve", &solve_body(0.01));
+        assert_eq!(resp.status, 200);
+        shutdown(addr, handle);
+        resp.body.len() as u64
+    };
+
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        cache_bytes: 2 * probe,
+        warm_cache_bytes: 0,
+        ..Default::default()
+    });
+    let a = &solve_body(0.01);
+    let b = &solve_body(0.02);
+    let c = &solve_body(0.03);
+    assert_eq!(request(addr, "POST", "/solve", a).status, 200); // cache: [A]
+    assert_eq!(request(addr, "POST", "/solve", b).status, 200); // cache: [A, B]
+                                                                // Touch A so B becomes the least recently used entry...
+    assert_eq!(
+        request(addr, "POST", "/solve", a).header("x-cache"),
+        Some("hit")
+    );
+    // ...and C's insertion evicts B (FIFO would evict A instead).
+    assert_eq!(request(addr, "POST", "/solve", c).status, 200);
+    assert_eq!(
+        request(addr, "POST", "/solve", a).header("x-cache"),
+        Some("hit"),
+        "recently used entry must survive the eviction"
+    );
+    let before_b = counters.snapshot().engine_solves;
+    assert_eq!(request(addr, "POST", "/solve", b).header("x-cache"), None);
+    let s = counters.snapshot();
+    assert_eq!(
+        s.engine_solves,
+        before_b + 1,
+        "evicted entry must recompute: {s:?}"
+    );
+    assert_eq!(s.engine_solves, 4, "A, B, C, then B again: {s:?}");
+    assert!(s.cache_bytes > 0 && s.cache_bytes <= 2 * probe, "{s:?}");
+
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert!(
+        metrics.body_str().contains("qs_cache_bytes "),
+        "{}",
+        metrics.body_str()
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn nearby_points_warm_start_from_the_eigenvector_cache() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        ..Default::default()
+    });
+
+    // First point computes cold and deposits its eigenvector.
+    let first = request(addr, "POST", "/solve", &solve_body(0.01));
+    assert_eq!(first.status, 200, "{}", first.body_str());
+    assert!(
+        !first.body_str().contains("\"warm_start\""),
+        "nothing to warm-start from yet: {}",
+        first.body_str()
+    );
+
+    // A *different* nearby rate misses the byte cache but warm-starts
+    // from the cached vector, and says so in its provenance.
+    let second = request(addr, "POST", "/solve", &solve_body(0.011));
+    assert_eq!(second.status, 200, "{}", second.body_str());
+    assert!(
+        second
+            .body_str()
+            .contains("\"warm_start\":{\"source\":\"cache\",\"from_p\":0.01,"),
+        "near-miss must be seeded from the cached 0.01 vector: {}",
+        second.body_str()
+    );
+    assert!(second.body_str().contains("\"converged\":true"));
+
+    let s = counters.snapshot();
+    assert_eq!(s.engine_solves, 2, "warm start still computes: {s:?}");
+    assert_eq!(s.warm_hits, 1, "{s:?}");
+    assert!(s.warm_seeded_columns >= 1, "{s:?}");
+    assert!(s.warm_cache_bytes > 0, "{s:?}");
+
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert!(
+        metrics.body_str().contains("qs_warm_hits_total 1"),
+        "{}",
+        metrics.body_str()
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn warm_start_opt_out_stays_cold_and_skips_the_warm_cache() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        ..Default::default()
+    });
+
+    let cold_body = |p: f64| {
+        format!(
+            "{{\"landscape\":{{\"kind\":\"single-peak\",\"nu\":6,\"f0\":4.0,\"f_rest\":1.0}},\
+             \"p\":{p},\"method\":\"power\",\"tol\":1e-10,\"warm_start\":false}}"
+        )
+        .into_bytes()
+    };
+    let first = request(addr, "POST", "/solve", &cold_body(0.01));
+    assert_eq!(first.status, 200);
+    let second = request(addr, "POST", "/solve", &cold_body(0.011));
+    assert_eq!(second.status, 200);
+    assert!(
+        !second.body_str().contains("\"warm_start\""),
+        "opted-out solves must stay cold: {}",
+        second.body_str()
+    );
+    let s = counters.snapshot();
+    assert_eq!(s.warm_hits, 0, "{s:?}");
+    assert_eq!(s.warm_cache_bytes, 0, "opt-out must not populate: {s:?}");
+
+    // Opting out does not fork the cache key: the same point asked
+    // *with* warm starts re-serves the cold result's exact bytes.
+    let repeat = request(addr, "POST", "/solve", &solve_body(0.01));
+    assert_eq!(repeat.header("x-cache"), Some("hit"));
+    assert_eq!(repeat.body, first.body, "one address space, same bytes");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn faulted_solves_ignore_warm_seeds_and_recover_cold() {
+    let (addr, counters, handle) = start(ServerConfig {
+        workers: 1,
+        coalesce_window: Duration::from_millis(1),
+        fault_plan: Some(qs_fault::FaultPlan::transient_nan(3)),
+        ..Default::default()
+    });
+
+    let first = request(addr, "POST", "/solve", &solve_body(0.01));
+    assert_eq!(first.status, 200, "{}", first.body_str());
+    assert!(first.body_str().contains("\"converged\":true"));
+
+    // A nearby point on a faulted server must take the cold recovery
+    // path: no warm provenance, and nothing deposited to warm from.
+    let second = request(addr, "POST", "/solve", &solve_body(0.011));
+    assert_eq!(second.status, 200, "{}", second.body_str());
+    assert!(second.body_str().contains("\"converged\":true"));
+    assert!(
+        !second.body_str().contains("\"warm_start\""),
+        "chaos runs must exercise the cold ladder: {}",
+        second.body_str()
+    );
+    let s = counters.snapshot();
+    assert_eq!(s.warm_hits, 0, "{s:?}");
+    assert_eq!(s.warm_cache_bytes, 0, "{s:?}");
     shutdown(addr, handle);
 }

@@ -14,6 +14,71 @@
 //! reader ever derives control flow from cross-counter invariants.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket `i` counts observations in
+/// `[2^i, 2^(i+1))` microseconds, so the histogram spans 1 µs to ~17.6
+/// minutes — far beyond any served request.
+const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed, lock-free log₂-bucketed latency histogram (microseconds).
+///
+/// Recording is one relaxed `fetch_add`; quantiles are read by walking
+/// the bucket counts and reporting the matched bucket's upper bound, so
+/// a reported p99 is an upper estimate within a factor of two — plenty
+/// for serving dashboards, with zero allocation and zero locking on the
+/// hot path.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, all-zero histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observed latency.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, as the upper
+    /// bound of the bucket holding that rank; `0` when nothing was
+    /// recorded.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
 
 /// Monotonic serving-side tallies, shared by reference between the
 /// request scheduler, the solve workers and the metrics endpoint.
@@ -46,6 +111,23 @@ pub struct ServeCounters {
     pub last_solve_pool_miss_bytes: AtomicU64,
     /// Requests answered with an error status.
     pub errors: AtomicU64,
+    /// Jobs that received at least one seed from the eigenvector
+    /// warm-start cache (near-miss reuse across requests).
+    pub warm_hits: AtomicU64,
+    /// Columns that actually started from a warm vector, whether from the
+    /// continuation ladder or the serving cache.
+    pub warm_seeded_columns: AtomicU64,
+    /// Estimated iterations avoided by warm starts, summed over all
+    /// warm-started columns (see `WarmStartInfo::iterations_saved` in the
+    /// core crate for the estimate's definition).
+    pub warm_iterations_saved: AtomicU64,
+    /// Gauge: bytes currently held by the content-addressed result cache.
+    pub cache_bytes: AtomicU64,
+    /// Gauge: bytes currently held by the eigenvector warm-start cache.
+    pub warm_cache_bytes: AtomicU64,
+    /// End-to-end request latency distribution (accept → response
+    /// written).
+    pub latency: LatencyHistogram,
 }
 
 /// A plain-data copy of [`ServeCounters`] at one instant.
@@ -62,6 +144,14 @@ pub struct ServeCountersSnapshot {
     pub pool_miss_bytes: u64,
     pub last_solve_pool_miss_bytes: u64,
     pub errors: u64,
+    pub warm_hits: u64,
+    pub warm_seeded_columns: u64,
+    pub warm_iterations_saved: u64,
+    pub cache_bytes: u64,
+    pub warm_cache_bytes: u64,
+    pub latency_count: u64,
+    pub latency_p50_us: u64,
+    pub latency_p99_us: u64,
 }
 
 impl ServeCounters {
@@ -101,6 +191,33 @@ impl ServeCounters {
         self.errors.fetch_add(1, Relaxed);
     }
 
+    /// One job that drew at least one seed from the warm-start cache.
+    pub fn record_warm_hit(&self) {
+        self.warm_hits.fetch_add(1, Relaxed);
+    }
+
+    /// `columns` columns warm-started, with `saved` estimated iterations
+    /// avoided between them.
+    pub fn record_warm_columns(&self, columns: u64, saved: u64) {
+        self.warm_seeded_columns.fetch_add(columns, Relaxed);
+        self.warm_iterations_saved.fetch_add(saved, Relaxed);
+    }
+
+    /// Update the result-cache occupancy gauge.
+    pub fn set_cache_bytes(&self, bytes: u64) {
+        self.cache_bytes.store(bytes, Relaxed);
+    }
+
+    /// Update the warm-start-cache occupancy gauge.
+    pub fn set_warm_cache_bytes(&self, bytes: u64) {
+        self.warm_cache_bytes.store(bytes, Relaxed);
+    }
+
+    /// One request served end-to-end in `latency`.
+    pub fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency);
+    }
+
     /// A plain-data copy of every counter.
     pub fn snapshot(&self) -> ServeCountersSnapshot {
         ServeCountersSnapshot {
@@ -114,6 +231,14 @@ impl ServeCounters {
             pool_miss_bytes: self.pool_miss_bytes.load(Relaxed),
             last_solve_pool_miss_bytes: self.last_solve_pool_miss_bytes.load(Relaxed),
             errors: self.errors.load(Relaxed),
+            warm_hits: self.warm_hits.load(Relaxed),
+            warm_seeded_columns: self.warm_seeded_columns.load(Relaxed),
+            warm_iterations_saved: self.warm_iterations_saved.load(Relaxed),
+            cache_bytes: self.cache_bytes.load(Relaxed),
+            warm_cache_bytes: self.warm_cache_bytes.load(Relaxed),
+            latency_count: self.latency.count(),
+            latency_p50_us: self.latency.quantile_micros(0.50),
+            latency_p99_us: self.latency.quantile_micros(0.99),
         }
     }
 }
@@ -169,5 +294,44 @@ mod tests {
         assert_eq!(s.requests, 400);
         assert_eq!(s.points, 800);
         assert_eq!(s.cache_hits, 400);
+    }
+
+    #[test]
+    fn warm_counters_and_gauges_tally() {
+        let c = ServeCounters::new();
+        c.record_warm_hit();
+        c.record_warm_columns(5, 120);
+        c.record_warm_columns(2, 30);
+        c.set_cache_bytes(1 << 20);
+        c.set_warm_cache_bytes(512);
+        c.set_cache_bytes(2 << 20); // gauges overwrite, not accumulate
+        let s = c.snapshot();
+        assert_eq!(s.warm_hits, 1);
+        assert_eq!(s.warm_seeded_columns, 7);
+        assert_eq!(s.warm_iterations_saved, 150);
+        assert_eq!(s.cache_bytes, 2 << 20);
+        assert_eq!(s.warm_cache_bytes, 512);
+    }
+
+    #[test]
+    fn latency_histogram_reports_log2_upper_bound_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_micros(0.5), 0, "empty histogram reports 0");
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768, 65536)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_micros(0.50), 128);
+        assert_eq!(h.quantile_micros(0.99), 128);
+        assert_eq!(h.quantile_micros(1.0), 65536, "the tail outlier is the max");
+    }
+
+    #[test]
+    fn latency_histogram_saturates_instead_of_overflowing() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(1 << 40)); // absurd; lands in the last bucket
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_micros(0.5) > 0);
     }
 }

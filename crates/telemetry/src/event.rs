@@ -139,6 +139,18 @@ pub enum SolverEvent {
         /// `"problem_mismatch"`, `"mid_recovery"`, `"write_failed"`.
         reason: &'static str,
     },
+    /// A sweep column was warm-started from an already-converged
+    /// neighbour (continuation ladder) or a serving-layer eigenvector
+    /// cache, instead of the generic cold start.
+    WarmStart {
+        /// Seed provenance: `"continuation"` or `"cache"`.
+        source: &'static str,
+        /// Error rate of the nearest converged anchor the seed drew on.
+        from_p: f64,
+        /// Estimated iterations avoided versus the nearest cold-started
+        /// column of the same run.
+        iterations_saved: usize,
+    },
     /// Build/reproducibility provenance for the run: emitted once at the
     /// start of a traced solve so resumed runs are auditable.
     BuildInfo {
@@ -172,6 +184,7 @@ impl SolverEvent {
             SolverEvent::CheckpointWritten { .. } => "checkpoint_written",
             SolverEvent::CheckpointLoaded { .. } => "checkpoint_loaded",
             SolverEvent::CheckpointRejected { .. } => "checkpoint_rejected",
+            SolverEvent::WarmStart { .. } => "warm_start",
             SolverEvent::BuildInfo { .. } => "build_info",
         }
     }
@@ -265,6 +278,15 @@ impl SolverEvent {
             }
             SolverEvent::CheckpointRejected { reason } => {
                 let _ = write!(s, ",\"reason\":\"{reason}\"");
+            }
+            SolverEvent::WarmStart {
+                source,
+                from_p,
+                iterations_saved,
+            } => {
+                let _ = write!(s, ",\"source\":\"{source}\",\"from_p\":");
+                push_f64(&mut s, from_p);
+                let _ = write!(s, ",\"iterations_saved\":{iterations_saved}");
             }
             SolverEvent::BuildInfo {
                 version,
@@ -459,6 +481,21 @@ mod tests {
         assert_eq!(
             e.to_json_line(),
             "{\"event\":\"checkpoint_rejected\",\"reason\":\"checksum_mismatch\"}"
+        );
+    }
+
+    #[test]
+    fn warm_start_event_encodes_provenance() {
+        let e = SolverEvent::WarmStart {
+            source: "continuation",
+            from_p: 0.012,
+            iterations_saved: 640,
+        };
+        assert_eq!(e.tag(), "warm_start");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"warm_start\",\"source\":\"continuation\",\
+             \"from_p\":0.012,\"iterations_saved\":640}"
         );
     }
 

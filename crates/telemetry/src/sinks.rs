@@ -1,4 +1,4 @@
-//! Built-in [`Probe`](crate::Probe) implementations.
+//! Built-in [`Probe`] implementations.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};

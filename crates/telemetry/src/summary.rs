@@ -66,6 +66,11 @@ pub struct TraceSummary {
     pub checkpoint_loaded_iter: Option<usize>,
     /// Number of [`SolverEvent::CheckpointRejected`] events.
     pub checkpoints_rejected: u64,
+    /// Number of [`SolverEvent::WarmStart`] events — sweep columns that
+    /// started from a continuation or cache seed instead of cold.
+    pub warm_started: u64,
+    /// Summed `iterations_saved` across all warm-started columns.
+    pub warm_iterations_saved: u64,
     /// `(version, isa, threads, checkpoint_format)` from the last
     /// [`SolverEvent::BuildInfo`] event, if any.
     pub build_info: Option<(&'static str, &'static str, usize, u32)>,
@@ -146,6 +151,12 @@ impl TraceSummary {
                     s.checkpoint_loaded_iter = Some(iter);
                 }
                 SolverEvent::CheckpointRejected { .. } => s.checkpoints_rejected += 1,
+                SolverEvent::WarmStart {
+                    iterations_saved, ..
+                } => {
+                    s.warm_started += 1;
+                    s.warm_iterations_saved += iterations_saved as u64;
+                }
                 SolverEvent::BuildInfo {
                     version,
                     isa,
@@ -154,7 +165,8 @@ impl TraceSummary {
                 } => s.build_info = Some((version, isa, threads, checkpoint_format)),
             }
         }
-        s.stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
+        s.stages
+            .sort_by_key(|stage| std::cmp::Reverse(stage.total_ns));
         s
     }
 }
@@ -226,6 +238,13 @@ impl fmt::Display for TraceSummary {
         }
         if let Some(bytes) = self.solve_alloc_bytes {
             writeln!(f, "  alloc:    {bytes} bytes past warm-up")?;
+        }
+        if self.warm_started > 0 {
+            writeln!(
+                f,
+                "  warm:     {} column(s) warm-started, ~{} iteration(s) saved",
+                self.warm_started, self.warm_iterations_saved
+            )?;
         }
         if self.checkpoints_written > 0
             || self.checkpoints_rejected > 0
@@ -444,6 +463,33 @@ mod tests {
         assert!(text.contains("2 checkpoint(s) written (8192 bytes), 1 rejected"));
         assert!(text.contains("resumed from iteration 128"));
         assert!(text.contains("v0.1.0, scalar kernels, 1 thread(s), checkpoint format 1"));
+    }
+
+    #[test]
+    fn warm_start_events_are_aggregated_and_surfaced() {
+        let events = vec![
+            SolverEvent::WarmStart {
+                source: "continuation",
+                from_p: 0.01,
+                iterations_saved: 500,
+            },
+            SolverEvent::WarmStart {
+                source: "cache",
+                from_p: 0.02,
+                iterations_saved: 250,
+            },
+            SolverEvent::Converged {
+                iterations: 100,
+                matvecs: 100,
+                residual: 1e-13,
+                lambda: 2.0,
+            },
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.warm_started, 2);
+        assert_eq!(s.warm_iterations_saved, 750);
+        let text = s.to_string();
+        assert!(text.contains("2 column(s) warm-started, ~750 iteration(s) saved"));
     }
 
     #[test]

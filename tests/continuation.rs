@@ -1,0 +1,207 @@
+//! Warm-start continuation correctness: a warm-started sweep must agree
+//! with the cold sweep to within a small multiple of the shared residual
+//! tolerance — across methods and landscapes, including the `p = 1/2`
+//! grid endpoint where the mutation matrix degenerates to rank one.
+//!
+//! The contract under test (see `SolveRequest` docs): warm starts change
+//! the iterate *path*, never the answer. Same tolerance in, eigenvalues
+//! within `10·tol`, concentrations within `10·tol` per entry.
+
+use quasispecies::{LandscapeSpec, Method, Scheduling, SolveRequest, SolveResult};
+
+const TOL: f64 = 1e-10;
+
+fn run(landscape: LandscapeSpec, ps: &[f64], method: Method, warm_start: bool) -> SolveResult {
+    let request = SolveRequest {
+        landscape,
+        ps: ps.to_vec(),
+        method,
+        tol: TOL,
+        max_iter: 400_000,
+        scheduling: Scheduling {
+            parallel: false,
+            warm_start,
+        },
+    };
+    request.run().expect("sweep solves")
+}
+
+fn assert_agreement(cold: &SolveResult, warm: &SolveResult, label: &str) {
+    assert_eq!(cold.points.len(), warm.points.len());
+    for (c, w) in cold.points.iter().zip(&warm.points) {
+        assert_eq!(c.p, w.p, "{label}: same grid back");
+        assert!(c.solution.stats.converged, "{label}: cold converged");
+        assert!(w.solution.stats.converged, "{label}: warm converged");
+        assert!(
+            w.solution.stats.residual <= TOL,
+            "{label}: warm residual {} must meet the same tolerance",
+            w.solution.stats.residual
+        );
+        let dl = (c.solution.lambda - w.solution.lambda).abs();
+        assert!(
+            dl <= 10.0 * TOL,
+            "{label}: lambda disagreement {dl:e} at p={}",
+            c.p
+        );
+        for (i, (&a, &b)) in c
+            .solution
+            .concentrations
+            .iter()
+            .zip(&w.solution.concentrations)
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() <= 10.0 * TOL,
+                "{label}: concentration {i} differs by {:e} at p={}",
+                (a - b).abs(),
+                c.p
+            );
+        }
+    }
+}
+
+fn landscapes() -> Vec<(&'static str, LandscapeSpec)> {
+    vec![
+        (
+            "single-peak",
+            LandscapeSpec::SinglePeak {
+                nu: 8,
+                f0: 4.0,
+                f_rest: 1.0,
+            },
+        ),
+        (
+            "random",
+            LandscapeSpec::Random {
+                nu: 8,
+                c: 5.0,
+                sigma: 1.0,
+                seed: 42,
+            },
+        ),
+        (
+            "error-class",
+            LandscapeSpec::ErrorClass {
+                nu: 8,
+                phi: vec![3.0, 1.8, 1.2, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            },
+        ),
+    ]
+}
+
+#[test]
+fn warm_sweeps_agree_with_cold_sweeps_across_landscapes() {
+    let ps: Vec<f64> = (0..9).map(|i| 0.004 + 0.006 * i as f64).collect();
+    for (label, landscape) in landscapes() {
+        let cold = run(landscape.clone(), &ps, Method::Power, false);
+        let warm = run(landscape, &ps, Method::Power, true);
+        assert_agreement(&cold, &warm, label);
+        assert!(
+            warm.points
+                .iter()
+                .any(|pt| pt.solution.stats.warm_start.is_some()),
+            "{label}: the continuation ladder must actually warm-start columns"
+        );
+    }
+}
+
+#[test]
+fn the_half_rate_endpoint_survives_warm_continuation() {
+    // p = 1/2 is the valid upper edge of the rate domain: Q becomes the
+    // uniform rank-one mutator and the quasispecies delocalises. The
+    // continuation ladder solves endpoints cold and interpolates inward,
+    // so the degenerate edge must neither fail nor contaminate its
+    // neighbours.
+    let ps = [0.01, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let (label, landscape) = landscapes().remove(0);
+    let cold = run(landscape.clone(), &ps, Method::Power, false);
+    let warm = run(landscape, &ps, Method::Power, true);
+    assert_agreement(&cold, &warm, label);
+    let edge = warm.points.iter().find(|pt| pt.p == 0.5).unwrap();
+    assert!(edge.solution.stats.converged);
+}
+
+#[test]
+fn non_power_methods_accept_and_ignore_warm_start_scheduling() {
+    // Lanczos and RQI have no continuation path; `warm_start: true` must
+    // be accepted and produce exactly the cold per-point behaviour.
+    let ps = [0.01, 0.02, 0.03, 0.04];
+    let landscape = LandscapeSpec::SinglePeak {
+        nu: 7,
+        f0: 4.0,
+        f_rest: 1.0,
+    };
+    for method in [Method::Lanczos { subspace: 24 }, Method::Rqi { warmup: 5 }] {
+        let cold = run(landscape.clone(), &ps, method, false);
+        let warm = run(landscape.clone(), &ps, method, true);
+        for (c, w) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(c.solution.lambda, w.solution.lambda, "bit-identical");
+            assert_eq!(c.solution.concentrations, w.solution.concentrations);
+            assert!(w.solution.stats.warm_start.is_none());
+        }
+    }
+}
+
+#[test]
+fn faulted_recovery_solves_stay_cold_and_agree_with_the_warm_sweep() {
+    // The recovery ladder (DESIGN.md §7) must never be handed a
+    // nearly-converged warm seed: a faulted solve restarts from the cold
+    // generic start, heals, and still lands on the same answer a warm
+    // continuation sweep reports.
+    use qs_fault::{FaultPlan, FaultyOp};
+    use qs_matvec::{Fmmp, LinearOperator};
+    use quasispecies::{solve_with_q_operator, SolverConfig};
+
+    let ps = [0.008, 0.012, 0.016, 0.02, 0.024];
+    let (label, landscape) = landscapes().remove(0);
+    let warm = run(landscape.clone(), &ps, Method::Power, true);
+
+    let built = landscape.build().expect("buildable landscape");
+    let config = SolverConfig {
+        tol: TOL,
+        max_iter: 400_000,
+        ..Default::default()
+    };
+    let plan = FaultPlan::transient_nan(3);
+    for (w, &p) in warm.points.iter().zip(&ps) {
+        let op: Box<dyn LinearOperator> = Box::new(FaultyOp::new(Fmmp::new(built.nu(), p), &plan));
+        let healed = solve_with_q_operator(op, built.as_ref(), &config).expect("healed solve");
+        assert!(
+            healed.stats.converged,
+            "{label}: p={p} heals to convergence"
+        );
+        assert!(
+            healed.stats.warm_start.is_none(),
+            "{label}: recovery-ladder restarts are cold starts"
+        );
+        assert!(
+            healed.stats.recovered_from.is_some(),
+            "{label}: the injected fault must actually trip the ladder"
+        );
+        let dl = (healed.lambda - w.solution.lambda).abs();
+        assert!(
+            dl <= 10.0 * TOL,
+            "{label}: faulted cold recovery disagrees with the warm sweep by {dl:e} at p={p}"
+        );
+    }
+}
+
+#[test]
+fn repeat_warm_runs_are_deterministic() {
+    let ps: Vec<f64> = (0..8).map(|i| 0.005 + 0.005 * i as f64).collect();
+    let landscape = LandscapeSpec::SinglePeak {
+        nu: 8,
+        f0: 4.0,
+        f_rest: 1.0,
+    };
+    let a = run(landscape.clone(), &ps, Method::Power, true);
+    let b = run(landscape, &ps, Method::Power, true);
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.solution.lambda, y.solution.lambda);
+        assert_eq!(x.solution.concentrations, y.solution.concentrations);
+        assert_eq!(
+            x.solution.stats.iterations, y.solution.stats.iterations,
+            "same seeds, same path"
+        );
+    }
+}
