@@ -257,13 +257,21 @@ fn main() {
         warm.matvecs, warm.iterations, warm.warm_columns, warm.iterations_saved
     );
 
+    // Record the execution environment next to the numbers: a run where the
+    // solve backend had one thread measured serial execution, and must not
+    // be read as parallel performance (e.g. under the offline dev stubs,
+    // whose rayon stand-in runs everything inline).
+    let threads = Server::solver_threads();
+    println!("solver backend threads: {threads}");
     let json = format!(
-        "{{\n  \"close\": {{\"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \"rps\": {:.1}}},\n  \
+        "{{\n  \"provenance\": {{\"generated_by\": \"bench_serve\", \"solver_threads\": {}, \"serial\": {}}},\n  \
+         \"close\": {{\"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \"rps\": {:.1}}},\n  \
          \"keepalive\": {{\"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \"rps\": {:.1}}},\n  \
          \"keepalive_speedup\": {:.3},\n  \
          \"cold\": {{\"matvecs\": {}, \"iterations\": {}}},\n  \
          \"warm\": {{\"matvecs\": {}, \"iterations\": {}, \"warm_columns\": {}, \"iterations_saved\": {}}},\n  \
          \"warm_ratio\": {:.4}\n}}\n",
+        threads, threads <= 1,
         close.requests, close.p50_us, close.p99_us, close.rps,
         keepalive.requests, keepalive.p50_us, keepalive.p99_us, keepalive.rps,
         speedup,

@@ -246,6 +246,15 @@ pub fn par_kron_in_place(op: &crate::kron::KroneckerOp, v: &mut [f64]) {
     }
 }
 
+/// Number of worker threads the parallel backend actually runs on.
+///
+/// Bench bins record this next to their timings: a run with one thread
+/// measures serial execution, and its throughput numbers must not be
+/// read as parallel performance.
+pub fn worker_threads() -> usize {
+    rayon::current_num_threads()
+}
+
 /// Parallel compensated sum (per-chunk Neumaier partials merged on join) —
 /// the "fast procedure for the summation of the components of a vector"
 /// the paper notes the power iteration needs besides the matvec.

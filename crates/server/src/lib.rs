@@ -189,6 +189,11 @@ impl Server {
         self.scheduler.counters.clone()
     }
 
+    /// Threads available to the solve backend, for bench provenance.
+    pub fn solver_threads() -> usize {
+        qs_matvec::parallel::worker_threads()
+    }
+
     /// Serve until a `POST /shutdown` arrives, then drain the worker
     /// pool and return. Each connection is handled on its own thread.
     pub fn run(self) {
