@@ -14,6 +14,7 @@
 //! ```text
 //! bench_fused [--max-nu N] [--quick] [--threads 1,2,4] [--isas auto,scalar]
 //!             [--guard R] [--guard-batch R] [--guard-parallel R]
+//!             [--guard-block R]
 //! ```
 //!
 //! `--threads` selects the pool sizes to measure (default: `1` plus the
@@ -30,15 +31,27 @@
 //! fused kernel must stay within `R`× of the same run's serial fused
 //! kernel once ν ≥ 18 (where parallelism must pay for itself), and within
 //! a hard 1.5× at *every* measured ν (no size may fall off a scaling
-//! cliff). CI uses `--guard 2.0 --guard-batch 1.5 --guard-parallel 1.05`.
+//! cliff). `--guard-block R` gates adaptive block compaction on the warm
+//! continuation sweep: the compaction-on run must pay at most `R`× the
+//! matvec-columns of the compaction-off run (counts, not timings, so the
+//! gate is immune to runner noise). CI uses `--guard 2.0 --guard-batch 1.5
+//! --guard-parallel 1.05 --guard-block 0.7`.
 
 use qs_bench::time_median;
 use qs_landscape::SinglePeak;
 use qs_matvec::{Fmmp, LinearOperator, ParFmmp};
-use quasispecies::{solve, Engine, SolverConfig};
+use quasispecies::{solve, Engine, LandscapeSpec, Method, Scheduling, SolveRequest, SolverConfig};
 
 /// Columns in the batched-apply measurement.
 const BATCH: usize = 8;
+
+/// Size of the warm continuation sweep driven by the block-compaction
+/// bench (and gated by `--guard-block`). Matches the ν=14, 16-point
+/// sweep the serving bench records, so the two committed records
+/// describe the same workload.
+const BLOCK_SWEEP_NU: u32 = 14;
+const BLOCK_SWEEP_POINTS: usize = 16;
+const BLOCK_SWEEP_TOL: f64 = 1e-10;
 
 /// First ν at which `--guard-parallel` applies its tight ratio: below
 /// this the span schedule is expected to bail to serial, above it the
@@ -56,6 +69,7 @@ struct Args {
     guard: Option<f64>,
     guard_batch: Option<f64>,
     guard_parallel: Option<f64>,
+    guard_block: Option<f64>,
 }
 
 fn parse_list<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
@@ -82,6 +96,7 @@ fn parse_args() -> Args {
         guard: None,
         guard_batch: None,
         guard_parallel: None,
+        guard_block: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -119,6 +134,12 @@ fn parse_args() -> Args {
             "--guard-parallel" => {
                 if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
                     out.guard_parallel = Some(v);
+                }
+                i += 2;
+            }
+            "--guard-block" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.guard_block = Some(v);
                 }
                 i += 2;
             }
@@ -309,8 +330,12 @@ fn main() {
 
     let run_entries: Vec<String> = runs.iter().map(|r| r.json_entry(&nus)).collect();
     let matvec_json = format!(
-        "{{\n  \"unit\": \"ns_per_element\",\n  \"p\": {p},\n  \"batch_columns\": {BATCH},\n  \
+        "{{\n  \"provenance\": {{\"generated_by\": \"bench_fused\", \"solver_threads\": {}, \
+         \"serial\": {}}},\n  \
+         \"unit\": \"ns_per_element\",\n  \"p\": {p},\n  \"batch_columns\": {BATCH},\n  \
          \"nus\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        rayon::current_num_threads() <= 1,
         json_u32s(&nus),
         run_entries.join(",\n"),
     );
@@ -363,11 +388,83 @@ fn main() {
             ));
         }
     }
+    // --- Block-compaction sweep: the same warm ν=14 continuation sweep
+    // the serving bench records, run with `Scheduling.compact` off and on.
+    // Matvec-column counts are deterministic for a fixed request (the
+    // compacted run replays the exact per-column iterate sequence of the
+    // fixed-width run), so the comparison below is a counter diff, not a
+    // timing, and survives noisy shared runners.
+    // The grid runs from deep in the localised phase up near the ν=14
+    // single-peak error threshold (p* = ln 2 / ν ≈ 0.0495): points near
+    // threshold need far more iterations than early ones, so columns in
+    // each continuation generation freeze at well-separated steps — the
+    // staggered-convergence regime compaction is built for.
+    let block_nu = BLOCK_SWEEP_NU.min(args.max_nu);
+    let block_ps: Vec<f64> = (0..BLOCK_SWEEP_POINTS)
+        .map(|i| 0.002 + 0.003 * i as f64)
+        .collect();
+    let run_block_sweep = |compact: bool| {
+        let request = SolveRequest {
+            landscape: LandscapeSpec::SinglePeak {
+                nu: block_nu,
+                f0: 2.0,
+                f_rest: 1.0,
+            },
+            ps: block_ps.clone(),
+            method: Method::Power,
+            tol: BLOCK_SWEEP_TOL,
+            max_iter: 400_000,
+            scheduling: Scheduling {
+                parallel: false,
+                warm_start: true,
+                compact,
+            },
+        };
+        let start = std::time::Instant::now();
+        let result = request.run().expect("block sweep solves");
+        (result, start.elapsed().as_secs_f64())
+    };
+    let (block_full, full_secs) = run_block_sweep(false);
+    let (block_compacted, compacted_secs) = run_block_sweep(true);
+    let block_ratio = if block_full.block.matvec_columns > 0 {
+        block_compacted.block.matvec_columns as f64 / block_full.block.matvec_columns as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "\n== block-compaction sweep (warm continuation, single-peak ν={block_nu}, \
+         {BLOCK_SWEEP_POINTS} points, tol {BLOCK_SWEEP_TOL:e}) =="
+    );
+    println!(
+        "  compact off: {:>8} matvec-columns                     {full_secs:>9.4}s",
+        block_full.block.matvec_columns
+    );
+    println!(
+        "  compact on:  {:>8} matvec-columns ({} saved, {} compactions)  {compacted_secs:>9.4}s",
+        block_compacted.block.matvec_columns,
+        block_compacted.block.matvec_columns_saved,
+        block_compacted.block.compactions
+    );
+    println!("  ratio (on/off): {block_ratio:.4}");
+
     let solver_json = format!(
-        "{{\n  \"landscape\": \"single-peak f0=2 frest=1\",\n  \"p\": {p},\n  \
-         \"tol\": 1e-13,\n  \"threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"provenance\": {{\"generated_by\": \"bench_fused\", \"solver_threads\": {}, \
+         \"serial\": {}}},\n  \
+         \"landscape\": \"single-peak f0=2 frest=1\",\n  \"p\": {p},\n  \
+         \"tol\": 1e-13,\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \
+         \"block\": {{\"nu\": {block_nu}, \"points\": {BLOCK_SWEEP_POINTS}, \
+         \"tol\": {BLOCK_SWEEP_TOL:e}, \
+         \"full_matvec_columns\": {}, \"compacted_matvec_columns\": {}, \
+         \"matvec_columns_saved\": {}, \"compactions\": {}, \"ratio\": {:.4}}}\n}}\n",
+        rayon::current_num_threads(),
+        rayon::current_num_threads() <= 1,
         rayon::current_num_threads(),
         solver_rows.join(",\n"),
+        block_full.block.matvec_columns,
+        block_compacted.block.matvec_columns,
+        block_compacted.block.matvec_columns_saved,
+        block_compacted.block.compactions,
+        block_ratio,
     );
     match std::fs::write("BENCH_solver.json", &solver_json) {
         Ok(()) => println!("   (solver data → BENCH_solver.json)"),
@@ -476,6 +573,24 @@ fn main() {
             );
         }
         failed = failed || parallel_failed;
+    }
+    if let Some(ratio) = args.guard_block {
+        // Counter gate, not a timing gate: compaction must actually shed
+        // work on the warm sweep. NaN (a zero-column denominator) fails
+        // loudly rather than passing vacuously.
+        if !(block_ratio <= ratio) {
+            eprintln!(
+                "guard-block FAILED: compaction-on sweep paid {} matvec-columns, \
+                 {block_ratio:.4}× the compaction-off bill of {} (bound {ratio})",
+                block_compacted.block.matvec_columns, block_full.block.matvec_columns
+            );
+            failed = true;
+        } else {
+            println!(
+                "guard-block OK: compaction pays {block_ratio:.4}× the fixed-width \
+                 matvec-column bill on the warm ν={block_nu} sweep (bound {ratio})"
+            );
+        }
     }
     if failed {
         std::process::exit(1);

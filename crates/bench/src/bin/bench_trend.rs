@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_trend [--baseline PATH] [--current PATH] [--tolerance 0.20]
+//!             [--solver-baseline PATH] [--solver-current PATH]
 //! ```
 //!
 //! Raw ns/element is machine-dependent, so comparing absolute numbers
@@ -18,6 +19,14 @@
 //! on an AVX2-only runner. Records that predate `isa_requested` fall back
 //! to their `isa` field, and ones that predate both match as `"auto"`. Sizes present in only one file are ignored,
 //! so widening or narrowing the measured ν range never trips the gate.
+//!
+//! When `--solver-baseline`/`--solver-current` point at `BENCH_solver.json`
+//! records, the gate also diffs the **block-compaction series**: the
+//! compacted-to-full matvec-column ratio on the warm continuation sweep.
+//! That ratio is a deterministic counter (not a timing), so it compares
+//! cleanly across machines; it regresses when a solver change makes
+//! compaction shed less work. Baselines that predate the block series are
+//! skipped with a note, so the gate stays usable against old records.
 //!
 //! The parser below is deliberately dependency-free: the BENCH files are
 //! hand-rolled JSON written by `bench_fused`, and this gate must stay
@@ -292,10 +301,46 @@ fn load_runs(path: &str) -> Result<Vec<Run>, String> {
 }
 
 // ---------------------------------------------------------------------
+// BENCH_solver.json block-compaction series.
+
+struct BlockRecord {
+    nu: u32,
+    points: u32,
+    ratio: f64,
+}
+
+/// Load the `"block"` object from a `BENCH_solver.json`. A missing file
+/// or a record that predates the block series both come back as `None`
+/// (skip, not fail); a present-but-malformed record is an error.
+fn load_block(path: &str) -> Result<Option<BlockRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return Ok(None),
+    };
+    let root = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(block) = root.get("block") else {
+        return Ok(None);
+    };
+    let field = |key: &str| {
+        block
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: block series without \"{key}\""))
+    };
+    Ok(Some(BlockRecord {
+        nu: field("nu")? as u32,
+        points: field("points")? as u32,
+        ratio: field("ratio")?,
+    }))
+}
+
+// ---------------------------------------------------------------------
 
 struct Args {
     baseline: String,
     current: String,
+    solver_baseline: String,
+    solver_current: String,
     tolerance: f64,
 }
 
@@ -304,6 +349,8 @@ fn parse_args() -> Args {
     let mut out = Args {
         baseline: "BENCH_matvec.baseline.json".into(),
         current: "BENCH_matvec.json".into(),
+        solver_baseline: "BENCH_solver.baseline.json".into(),
+        solver_current: "BENCH_solver.json".into(),
         tolerance: 0.20,
     };
     let mut i = 1;
@@ -318,6 +365,18 @@ fn parse_args() -> Args {
             "--current" => {
                 if let Some(v) = argv.get(i + 1) {
                     out.current = v.clone();
+                }
+                i += 2;
+            }
+            "--solver-baseline" => {
+                if let Some(v) = argv.get(i + 1) {
+                    out.solver_baseline = v.clone();
+                }
+                i += 2;
+            }
+            "--solver-current" => {
+                if let Some(v) = argv.get(i + 1) {
+                    out.solver_current = v.clone();
                 }
                 i += 2;
             }
@@ -416,6 +475,50 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Block-compaction series: a deterministic counter ratio, compared
+    // directly (no reference normalisation needed).
+    match (
+        load_block(&args.solver_baseline),
+        load_block(&args.solver_current),
+    ) {
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_trend: {e}");
+            return ExitCode::FAILURE;
+        }
+        (Ok(Some(base)), Ok(Some(cur))) => {
+            if base.nu != cur.nu || base.points != cur.points {
+                println!(
+                    "  block sweep: workload changed (ν={} {}pt vs ν={} {}pt), skipped",
+                    cur.nu, cur.points, base.nu, base.points
+                );
+            } else {
+                compared += 1;
+                if !(cur.ratio <= (1.0 + args.tolerance) * base.ratio) {
+                    eprintln!(
+                        "  REGRESSION block sweep (ν={}, {} points): compaction pays {:.4}× \
+                         the fixed-width matvec-column bill vs baseline {:.4}× (+{:.0}%)",
+                        cur.nu,
+                        cur.points,
+                        cur.ratio,
+                        base.ratio,
+                        (cur.ratio / base.ratio - 1.0) * 100.0
+                    );
+                    regressions += 1;
+                } else {
+                    println!(
+                        "  block sweep (ν={}, {} points): compaction ratio {:.4} vs \
+                         baseline {:.4}, within tolerance",
+                        cur.nu, cur.points, cur.ratio, base.ratio
+                    );
+                }
+            }
+        }
+        _ => println!(
+            "  (block series absent from {} or {}, skipped)",
+            args.solver_baseline, args.solver_current
+        ),
+    }
+
     if compared == 0 {
         eprintln!("bench_trend: no comparable (threads, isa, ν) points found");
         return ExitCode::FAILURE;

@@ -85,6 +85,10 @@ USAGE:
   quasispecies scan --nu N --p-min A --p-max B [--points K] [--landscape KIND]
                     [--full-sweep]     batched full-resolution solve of every
                                        grid point at once (QSweep block power)
+                    [--trace FILE.jsonl]  with --full-sweep: run the sweep
+                                       warmed and dump per-point residuals,
+                                       block compaction accounting and the
+                                       pool-miss byte count for trace-check
   quasispecies threshold --nu N [--landscape KIND] [--lo A --hi B]
   quasispecies kron --p P --factor-bits G --factors COUNT [--seed S]
   quasispecies ode --nu N --p P [--landscape KIND] [--t-max T]
@@ -644,13 +648,14 @@ fn cmd_scan(args: &Args) -> Result<(), CliError> {
     // batched full-resolution block solve: every grid point advances
     // together through a shared QSweep application per power step.
     let scan = if args.flag("full-sweep") {
-        let landscape = ErrorClass::new(nu, phi.clone());
-        quasispecies::scan_full_sweep(
-            &landscape,
-            &ps,
-            args.or_default("tol", 1e-12)?,
-            args.or_default("max-iter", 200_000usize)?,
-        )?
+        let tol = args.or_default("tol", 1e-12)?;
+        let max_iter = args.or_default("max-iter", 200_000usize)?;
+        if let Some(path) = args.get("trace") {
+            full_sweep_traced(nu, &phi, &ps, tol, max_iter, path)?
+        } else {
+            let landscape = ErrorClass::new(nu, phi.clone());
+            quasispecies::scan_full_sweep(&landscape, &ps, tol, max_iter)?
+        }
     } else {
         scan_error_classes(nu, &phi, &ps)
     };
@@ -677,6 +682,102 @@ fn cmd_scan(args: &Args) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `scan --full-sweep --trace FILE`: answer the grid through the warmed
+/// batched block path and dump a genuine event stream for `trace-check`.
+///
+/// The sweep runs twice against one workspace: the first pass warms the
+/// pool, the second runs against a marked pool, so the emitted
+/// `solve_allocation` event reports **measured** pool-miss bytes — zero
+/// exactly when the block path (compaction included) honours the
+/// zero-alloc contract. Per-point residuals, the block matvec-column
+/// accounting and the terminal convergence marker likewise come straight
+/// from solver state, so `trace-check --expect-zero-alloc` gates the
+/// sweep hot path end to end.
+fn full_sweep_traced(
+    nu: u32,
+    phi: &[f64],
+    ps: &[f64],
+    tol: f64,
+    max_iter: usize,
+    path: &str,
+) -> Result<quasispecies::ThresholdScan, CliError> {
+    use quasispecies::{order_parameter, Scheduling, SolveRequest, ThresholdScan, Workspace};
+
+    let request = SolveRequest {
+        landscape: LandscapeSpec::ErrorClass {
+            nu,
+            phi: phi.to_vec(),
+        },
+        ps: ps.to_vec(),
+        method: Method::Power,
+        tol,
+        max_iter,
+        scheduling: Scheduling {
+            parallel: false,
+            warm_start: true,
+            compact: true,
+        },
+    };
+    let mut ws = Workspace::new();
+    let warmup = request.run_in(&mut ws)?;
+    warmup.recycle(&mut ws);
+    ws.mark();
+    let result = request.run_in(&mut ws)?;
+
+    let mut jsonl = JsonLinesProbe::create(path)
+        .map_err(|e| CliError::Bad(format!("cannot create trace file '{path}': {e}")))?;
+    jsonl.record(&build_info_event());
+    let mut iterations_max = 0usize;
+    let mut residual_max = 0.0f64;
+    let mut lambda_last = 0.0f64;
+    for point in &result.points {
+        let stats = &point.solution.stats;
+        jsonl.record(&SolverEvent::Residual {
+            iter: stats.iterations,
+            value: stats.residual,
+            lambda: point.solution.lambda,
+        });
+        iterations_max = iterations_max.max(stats.iterations);
+        residual_max = residual_max.max(stats.residual);
+        lambda_last = point.solution.lambda;
+    }
+    if result.block.columns > 0 {
+        jsonl.record(&SolverEvent::BlockProgress {
+            columns: result.block.columns as usize,
+            live: 0,
+            compactions: result.block.compactions,
+            matvec_columns: result.block.matvec_columns,
+            matvec_columns_saved: result.block.matvec_columns_saved,
+        });
+    }
+    jsonl.record(&SolverEvent::Converged {
+        iterations: iterations_max,
+        matvecs: result.block.matvec_columns as usize,
+        residual: residual_max,
+        lambda: lambda_last,
+    });
+    jsonl.record(&SolverEvent::SolveAllocation {
+        bytes: ws.bytes_since_mark(),
+    });
+    jsonl
+        .finish()
+        .map_err(|e| CliError::Bad(format!("writing trace file '{path}': {e}")))?;
+
+    let mut classes = Vec::with_capacity(result.points.len());
+    let mut order = Vec::with_capacity(result.points.len());
+    for point in &result.points {
+        let profile = point.solution.error_class_concentrations();
+        order.push(order_parameter(nu, &profile));
+        classes.push(profile);
+    }
+    Ok(ThresholdScan {
+        nu,
+        ps: ps.to_vec(),
+        classes,
+        order,
+    })
 }
 
 fn cmd_kron(args: &Args) -> Result<(), CliError> {

@@ -134,6 +134,7 @@ pub fn spectral_gap<A: LinearOperator + ?Sized>(
             parallel_reductions: false,
             stall_window: None,
             deadline: None,
+            compact_threshold: 0.0,
         },
     );
     let v0 = top.vector;

@@ -40,8 +40,22 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Version tag embedded in every snapshot; bumped on any change to the
-/// binary layout. Decoders reject other versions with a typed error.
-pub const FORMAT_VERSION: u32 = 1;
+/// binary layout. Version history:
+///
+/// * **1** — base layout (header, config, stall state, residual history,
+///   iterate).
+/// * **2** — appends optional block-solve state: the compacted slab's
+///   live width, the slot→column owner map, and per-column freeze
+///   records (state code, λ, residual, freeze iteration), so a resumed
+///   block solve never re-runs already-converged columns.
+///
+/// Decoders accept version 1 (the block state decodes as absent — the
+/// old convergence-preserving resume) and the current version; anything
+/// else is a typed error.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest snapshot format version this build still decodes.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// File magic opening every snapshot (8 bytes, fixed).
 const MAGIC: [u8; 8] = *b"QSNAPSHT";
@@ -202,7 +216,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion { found } => write!(
                 f,
                 "checkpoint format version {found} is not supported \
-                 (this build reads version {FORMAT_VERSION})"
+                 (this build reads versions {MIN_FORMAT_VERSION} through {FORMAT_VERSION})"
             ),
             CheckpointError::ChecksumMismatch => {
                 f.write_str("checkpoint checksum mismatch: the snapshot is torn or corrupt")
@@ -268,9 +282,102 @@ pub struct Snapshot {
     /// by the session's history policy).
     pub residual_history: Vec<f64>,
     /// The resumable iterate (see the method-dependent semantics above).
-    /// For `"block_power"` this is the whole column slab, length
-    /// `k * n`.
+    /// For `"block_power"` this is the whole column slab in *slot*
+    /// order, length `k * n` (see [`Snapshot::block`] for the
+    /// slot→column map).
     pub iterate: Vec<f64>,
+    /// Block-solve freeze bookkeeping (format version ≥ 2). `None` for
+    /// single-vector snapshots and for version-1 images, where resume is
+    /// merely convergence-preserving: frozen columns re-freeze on their
+    /// first resumed step instead of being restored.
+    pub block: Option<BlockState>,
+}
+
+/// Freeze code of one block column inside a [`BlockState`].
+///
+/// Stored as a `u8` on disk; the numeric values are part of the format.
+pub mod block_state_code {
+    /// Still iterating.
+    pub const LIVE: u8 = 0;
+    /// Residual reached tolerance.
+    pub const CONVERGED: u8 = 1;
+    /// Non-finite λ or residual (guardrail).
+    pub const NON_FINITE: u8 = 2;
+    /// Iterate collapsed to zero (guardrail).
+    pub const COLLAPSE: u8 = 3;
+    /// Iteration budget spent without convergence.
+    pub const BUDGET: u8 = 4;
+    /// Wall-clock deadline expired before convergence.
+    pub const TIMED_OUT: u8 = 5;
+
+    /// Largest valid code (decode bound).
+    pub const MAX: u8 = TIMED_OUT;
+}
+
+/// Per-column freeze record persisted with a block snapshot, indexed by
+/// *original* column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockColumnState {
+    /// Freeze code (see [`block_state_code`]).
+    pub state: u8,
+    /// Unshifted λ measured at freeze (0.0 while live).
+    pub lambda: f64,
+    /// Residual measured at freeze (`f64::INFINITY` while live).
+    pub residual: f64,
+    /// Block iteration the column froze at (0 while live).
+    pub iteration: u64,
+}
+
+/// Compacted-slab bookkeeping persisted with a `"block_power"` snapshot:
+/// everything a resume needs to skip already-frozen columns instead of
+/// re-running and re-measuring them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockState {
+    /// Live prefix width of the compacted slab: slots `0..width` ride
+    /// through the batched apply, slots `width..k` are parked frozen
+    /// columns.
+    pub width: u64,
+    /// Slot → original column index map (a permutation of `0..k`,
+    /// matching the slab stored in [`Snapshot::iterate`]).
+    pub owner: Vec<u64>,
+    /// Per-column freeze records, indexed by original column.
+    pub columns: Vec<BlockColumnState>,
+}
+
+impl BlockState {
+    /// Internal-consistency check shared by decode and resume: the owner
+    /// map must be a permutation of `0..k` over `columns.len()` slots,
+    /// the live width must fit, and every state code must be known.
+    /// Returns a human-readable defect description on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        let k = self.columns.len();
+        if self.owner.len() != k {
+            return Err(format!(
+                "owner map has {} slots for {k} columns",
+                self.owner.len()
+            ));
+        }
+        if self.width as usize > k {
+            return Err(format!("live width {} exceeds {k} columns", self.width));
+        }
+        let mut seen = vec![false; k];
+        for &col in &self.owner {
+            let Some(slot) = seen.get_mut(col as usize) else {
+                return Err(format!("owner map names column {col} of {k}"));
+            };
+            if std::mem::replace(slot, true) {
+                return Err(format!("owner map repeats column {col}"));
+            }
+        }
+        if let Some(bad) = self
+            .columns
+            .iter()
+            .find(|c| c.state > block_state_code::MAX)
+        {
+            return Err(format!("unknown column state code {}", bad.state));
+        }
+        Ok(())
+    }
 }
 
 impl Snapshot {
@@ -312,6 +419,25 @@ impl Snapshot {
         for &v in &self.iterate {
             out.extend_from_slice(&v.to_bits().to_le_bytes());
         }
+        // Format version 2: optional block freeze bookkeeping.
+        match &self.block {
+            None => out.push(0u8),
+            Some(block) => {
+                out.push(1u8);
+                out.extend_from_slice(&block.width.to_le_bytes());
+                out.extend_from_slice(&(block.owner.len() as u64).to_le_bytes());
+                for &slot in &block.owner {
+                    out.extend_from_slice(&slot.to_le_bytes());
+                }
+                out.extend_from_slice(&(block.columns.len() as u64).to_le_bytes());
+                for col in &block.columns {
+                    out.push(col.state);
+                    out.extend_from_slice(&col.lambda.to_bits().to_le_bytes());
+                    out.extend_from_slice(&col.residual.to_bits().to_le_bytes());
+                    out.extend_from_slice(&col.iteration.to_le_bytes());
+                }
+            }
+        }
         let mut h = Fnv64::new();
         h.write(&out);
         out.extend_from_slice(&h.finish().to_le_bytes());
@@ -331,7 +457,7 @@ impl Snapshot {
             return Err(CheckpointError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion { found: version });
         }
         let (payload, tail) = bytes.split_at(bytes.len() - 8);
@@ -361,9 +487,56 @@ impl Snapshot {
         let stall_count = r.u64()?;
         let residual_history = r.f64_vec("residual history")?;
         let iterate = r.f64_vec("iterate")?;
+        // Version 1 images end here; their block state decodes as absent
+        // (resume stays convergence-preserving, exactly as that version
+        // behaved when written).
+        let block = if version >= 2 {
+            match r.u8("block flag")? {
+                0 => None,
+                1 => {
+                    let width = r.u64()?;
+                    let owner = r.u64_vec("owner map")?;
+                    let col_count = r.u64()? as usize;
+                    // 25 bytes per column record; bound before allocating.
+                    if r.bytes.len() < col_count.saturating_mul(25) {
+                        return Err(CheckpointError::Malformed {
+                            detail: format!(
+                                "block state claims {col_count} columns but only {} bytes remain",
+                                r.bytes.len()
+                            ),
+                        });
+                    }
+                    let mut columns = Vec::with_capacity(col_count);
+                    for _ in 0..col_count {
+                        columns.push(BlockColumnState {
+                            state: r.u8("column state")?,
+                            lambda: r.f64()?,
+                            residual: r.f64()?,
+                            iteration: r.u64()?,
+                        });
+                    }
+                    let block = BlockState {
+                        width,
+                        owner,
+                        columns,
+                    };
+                    block
+                        .validate()
+                        .map_err(|detail| CheckpointError::Malformed { detail })?;
+                    Some(block)
+                }
+                other => {
+                    return Err(CheckpointError::Malformed {
+                        detail: format!("unknown block flag {other}"),
+                    })
+                }
+            }
+        } else {
+            None
+        };
         if !r.bytes.is_empty() {
             return Err(CheckpointError::Malformed {
-                detail: format!("{} trailing bytes after the iterate", r.bytes.len()),
+                detail: format!("{} trailing bytes after the payload", r.bytes.len()),
             });
         }
         Ok(Snapshot {
@@ -378,6 +551,7 @@ impl Snapshot {
             stall_count,
             residual_history,
             iterate,
+            block,
         })
     }
 }
@@ -400,6 +574,10 @@ impl<'a> Reader<'a> {
         let (head, rest) = self.bytes.split_at(n);
         self.bytes = rest;
         Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
     }
 
     fn u32(&mut self) -> Result<u32, CheckpointError> {
@@ -435,6 +613,23 @@ impl<'a> Reader<'a> {
         Ok(raw
             .chunks_exact(8)
             .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+
+    fn u64_vec(&mut self, what: &str) -> Result<Vec<u64>, CheckpointError> {
+        let len = self.u64()? as usize;
+        if self.bytes.len() < len.saturating_mul(8) {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "{what} claims {len} values but only {} bytes remain",
+                    self.bytes.len()
+                ),
+            });
+        }
+        let raw = self.take(len * 8, what)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect())
     }
 }
@@ -744,6 +939,36 @@ impl CheckpointSession {
             stall_count: stall.1 as u64,
             residual_history: self.history.clone(),
             iterate: iterate.to_vec(),
+            block: None,
+        };
+        self.writer.write(&snapshot)
+    }
+
+    /// [`CheckpointSession::write_snapshot`] carrying block freeze
+    /// bookkeeping: `iterate` is the whole column slab in slot order and
+    /// `block` records the live width, the slot→column owner map and the
+    /// per-column freeze records, so a resumed block solve restores its
+    /// frozen columns instead of re-running them.
+    pub fn write_block_snapshot(
+        &mut self,
+        iteration: u64,
+        matvecs: u64,
+        iterate: &[f64],
+        block: BlockState,
+    ) -> Result<u64, CheckpointError> {
+        let snapshot = Snapshot {
+            problem: self.problem,
+            iteration,
+            matvecs,
+            rung: self.rung,
+            method: self.method.to_string(),
+            shift: self.shift,
+            tol: self.tol,
+            stall_best: f64::INFINITY,
+            stall_count: 0,
+            residual_history: self.history.clone(),
+            iterate: iterate.to_vec(),
+            block: Some(block),
         };
         self.writer.write(&snapshot)
     }
@@ -766,7 +991,71 @@ mod tests {
             stall_count: 17,
             residual_history: vec![1.0, 0.5, 0.25, 3.5e-9],
             iterate: vec![0.5, -0.5, 0.5, 0.5],
+            block: None,
         }
+    }
+
+    fn sample_block() -> Snapshot {
+        Snapshot {
+            method: "block_power".to_string(),
+            iterate: vec![0.5; 12], // 3 columns of n = 4, slot order
+            block: Some(BlockState {
+                width: 1,
+                owner: vec![2, 0, 1],
+                columns: vec![
+                    BlockColumnState {
+                        state: block_state_code::CONVERGED,
+                        lambda: 1.875,
+                        residual: 4.0e-14,
+                        iteration: 17,
+                    },
+                    BlockColumnState {
+                        state: block_state_code::COLLAPSE,
+                        lambda: 0.25,
+                        residual: 0.125,
+                        iteration: 9,
+                    },
+                    BlockColumnState {
+                        state: block_state_code::LIVE,
+                        lambda: 0.0,
+                        residual: f64::INFINITY,
+                        iteration: 0,
+                    },
+                ],
+            }),
+            ..sample()
+        }
+    }
+
+    /// Re-encode a snapshot in the version-1 layout (no block section)
+    /// to exercise the back-compat decode path against a byte-faithful
+    /// old image.
+    fn encode_v1(snap: &Snapshot) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&snap.problem.to_le_bytes());
+        out.extend_from_slice(&snap.iteration.to_le_bytes());
+        out.extend_from_slice(&snap.matvecs.to_le_bytes());
+        out.extend_from_slice(&snap.rung.to_le_bytes());
+        out.extend_from_slice(&(snap.method.len() as u32).to_le_bytes());
+        out.extend_from_slice(snap.method.as_bytes());
+        out.extend_from_slice(&snap.shift.to_bits().to_le_bytes());
+        out.extend_from_slice(&snap.tol.to_bits().to_le_bytes());
+        out.extend_from_slice(&snap.stall_best.to_bits().to_le_bytes());
+        out.extend_from_slice(&snap.stall_count.to_le_bytes());
+        out.extend_from_slice(&(snap.residual_history.len() as u64).to_le_bytes());
+        for &v in &snap.residual_history {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(snap.iterate.len() as u64).to_le_bytes());
+        for &v in &snap.iterate {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut h = Fnv64::new();
+        h.write(&out);
+        out.extend_from_slice(&h.finish().to_le_bytes());
+        out
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -845,11 +1134,68 @@ mod tests {
 
     #[test]
     fn every_truncation_is_a_typed_error() {
-        let encoded = sample().encode().unwrap();
-        for len in 0..encoded.len() {
-            let result = Snapshot::decode(&encoded[..len]);
-            assert!(result.is_err(), "truncation to {len} bytes must fail");
+        for encoded in [sample().encode().unwrap(), sample_block().encode().unwrap()] {
+            for len in 0..encoded.len() {
+                let result = Snapshot::decode(&encoded[..len]);
+                assert!(result.is_err(), "truncation to {len} bytes must fail");
+            }
         }
+    }
+
+    #[test]
+    fn block_snapshot_round_trips_bit_exactly() {
+        let snap = sample_block();
+        let decoded = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        assert_eq!(decoded, snap);
+        let block = decoded.block.unwrap();
+        assert_eq!(block.width, 1);
+        assert_eq!(block.owner, vec![2, 0, 1]);
+        assert_eq!(block.columns[2].residual, f64::INFINITY);
+    }
+
+    #[test]
+    fn version1_images_decode_with_block_state_absent() {
+        // A byte-faithful v1 image must still load: same fields, block
+        // bookkeeping absent (the old convergence-preserving resume).
+        let snap = sample();
+        let v1 = encode_v1(&snap);
+        let decoded = Snapshot::decode(&v1).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.block, None);
+    }
+
+    #[test]
+    fn inconsistent_block_state_is_malformed() {
+        let corrupt = |mutate: fn(&mut BlockState)| {
+            let mut snap = sample_block();
+            mutate(snap.block.as_mut().unwrap());
+            Snapshot::decode(&snap.encode().unwrap())
+        };
+        // Owner map repeating a column.
+        assert!(matches!(
+            corrupt(|b| b.owner[0] = 0),
+            Err(CheckpointError::Malformed { .. })
+        ));
+        // Owner map naming a column out of range.
+        assert!(matches!(
+            corrupt(|b| b.owner[1] = 9),
+            Err(CheckpointError::Malformed { .. })
+        ));
+        // Live width wider than the column count.
+        assert!(matches!(
+            corrupt(|b| b.width = 4),
+            Err(CheckpointError::Malformed { .. })
+        ));
+        // Unknown freeze code.
+        assert!(matches!(
+            corrupt(|b| b.columns[0].state = 99),
+            Err(CheckpointError::Malformed { .. })
+        ));
+        // Owner/columns length mismatch.
+        assert!(matches!(
+            corrupt(|b| b.owner = vec![0, 1]),
+            Err(CheckpointError::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -899,8 +1245,9 @@ mod tests {
         };
         let encoded = snap.encode().unwrap();
         let mut bytes = encoded[..encoded.len() - 8].to_vec();
-        let iterate_len_at = bytes.len() - 8;
-        bytes[iterate_len_at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        // The payload ends with iterate-length(8) + block-flag(1).
+        let iterate_len_at = bytes.len() - 9;
+        bytes[iterate_len_at..iterate_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         let mut h = Fnv64::new();
         h.write(&bytes);
         let sum = h.finish();

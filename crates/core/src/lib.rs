@@ -65,8 +65,8 @@ pub mod workspace;
 
 pub use analysis::{spectral_gap, summarize, PopulationSummary, SpectralGap, SpectralGapOptions};
 pub use checkpoint::{
-    load_latest, CheckpointConfig, CheckpointError, CheckpointSession, Checkpointer, Fnv64,
-    Snapshot, FORMAT_VERSION, MAX_METHOD_LEN,
+    block_state_code, load_latest, BlockColumnState, BlockState, CheckpointConfig, CheckpointError,
+    CheckpointSession, Checkpointer, Fnv64, Snapshot, FORMAT_VERSION, MAX_METHOD_LEN,
 };
 pub use guard::{Breakdown, StallDetector};
 pub use kron_solver::{solve_kronecker, KroneckerQuasispecies};
@@ -79,7 +79,9 @@ pub use power::{
     PowerOptions, PowerOutcome,
 };
 pub use reduced::{solve_error_class, ReducedQuasispecies};
-pub use request::{LandscapeSpec, PointResult, Scheduling, SolveRequest, SolveResult, StartSeed};
+pub use request::{
+    BlockSolveStats, LandscapeSpec, PointResult, Scheduling, SolveRequest, SolveResult, StartSeed,
+};
 pub use resolution::{marginal, site_marginals, Pyramid};
 pub use result::{downsample_uniform, Quasispecies, SolveStats, WarmStartInfo};
 pub use rqi::{
@@ -92,7 +94,9 @@ pub use solver::{
     solve_with_q_operator_durable_probed, solve_with_q_operator_probed, Engine, Method,
     ShiftStrategy, SolveError, SolverConfig,
 };
-pub use threshold::{detect_pmax, scan_error_classes, scan_full, scan_full_sweep, ThresholdScan};
+pub use threshold::{
+    detect_pmax, order_parameter, scan_error_classes, scan_full, scan_full_sweep, ThresholdScan,
+};
 pub use workspace::{AlignedVec, Workspace, LANE_ALIGN};
 
 // Re-export the pieces user code needs to assemble custom problems.

@@ -128,6 +128,7 @@ pub fn solve_mixed_precision<L: Landscape + ?Sized>(
             parallel_reductions: false,
             stall_window: None,
             deadline: None,
+            compact_threshold: 0.0,
         },
     );
     if !out.converged {

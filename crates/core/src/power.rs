@@ -48,6 +48,19 @@ pub struct PowerOptions {
     /// is only consulted when a deadline is set, leaving the default
     /// path's floating-point sequence and syscall profile untouched.
     pub deadline: Option<Instant>,
+    /// Block-path compaction trigger, as a fraction of the *current* slab
+    /// width: when the number of live (unfrozen) columns drops to at most
+    /// `compact_threshold × width`, the block iteration swaps the frozen
+    /// columns to the slab tail and shrinks the batched apply, the shift
+    /// subtraction and the convergence reductions to the live width. The
+    /// default `0.75` amortises the `O(live · N)` column swaps against at
+    /// least a 25 % per-step saving; `0.0` disables compaction (every
+    /// frozen column rides the full batch as dead weight, the pre-existing
+    /// behaviour). Per-column iterates are bit-identical either way — the
+    /// batched kernels are columnwise bit-exact at any width, and the
+    /// per-column reductions never mix lanes. Ignored by the single-vector
+    /// paths.
+    pub compact_threshold: f64,
 }
 
 impl Default for PowerOptions {
@@ -59,6 +72,7 @@ impl Default for PowerOptions {
             parallel_reductions: false,
             stall_window: None,
             deadline: None,
+            compact_threshold: 0.75,
         }
     }
 }
@@ -388,6 +402,17 @@ pub struct BlockPowerOutcome {
     /// Block iterations performed (= the max over column iteration
     /// counts; every iteration costs one batched operator application).
     pub iterations: usize,
+    /// Number of slab compactions performed (see
+    /// [`PowerOptions::compact_threshold`]).
+    pub compactions: usize,
+    /// Matvec *columns* actually paid for: the sum over block steps of
+    /// the slab width at that step. Without compaction this is
+    /// `iterations × k`.
+    pub matvec_columns: u64,
+    /// Matvec columns avoided by compaction:
+    /// `iterations × k − matvec_columns`. Zero when compaction is
+    /// disabled or never triggered.
+    pub matvec_columns_saved: u64,
 }
 
 impl BlockPowerOutcome {
@@ -410,10 +435,22 @@ impl BlockPowerOutcome {
 /// multi-start, not a subspace iteration, and each column converges to the
 /// dominant eigenpair exactly as its standalone run would.
 ///
+/// As columns freeze the slab *compacts*: once the live fraction drops to
+/// [`PowerOptions::compact_threshold`], frozen columns are swapped to the
+/// slab tail and the batched apply, shift subtraction and convergence
+/// reductions all run at the live width — converged columns stop costing
+/// matvec columns. Per-column results are bit-identical with compaction on
+/// or off: the batch kernels are columnwise bit-exact at any width
+/// (pinned in `tests/kernel_properties.rs`) and the fused per-column
+/// reductions ([`qs_matvec::simd::block_dot`] /
+/// [`qs_matvec::simd::block_step_norms`]) read only that column's `N`
+/// elements with a fixed lane structure independent of slab position.
+///
 /// # Panics
 ///
 /// Panics if `starts` is empty or not a multiple of `a.len()`, any start
-/// column is zero, or `tol` is negative.
+/// column is zero, `tol` is negative, or `compact_threshold` is outside
+/// `[0, 1]`.
 pub fn block_power_iteration<A: LinearOperator + ?Sized>(
     a: &A,
     starts: &[f64],
@@ -423,12 +460,14 @@ pub fn block_power_iteration<A: LinearOperator + ?Sized>(
 }
 
 /// [`block_power_iteration`] drawing every working buffer — the column
-/// slab, its image, the residual scratch vector and the per-column result
-/// vectors — from a caller-owned [`Workspace`] pool. Result vectors
-/// escape with the returned outcome; park them back via
-/// [`Workspace::put`] once consumed and a warmed pool serves repeated
-/// same-shape blocks without touching the allocator (the pool's
-/// [`Workspace::bytes_since_mark`] stays zero). Bit-identical to
+/// slab, its image, the per-column freeze bookkeeping (owner/position
+/// index maps, status codes, per-column λ/residual/iteration records) and
+/// the per-column result vectors — from a caller-owned [`Workspace`]
+/// pool. Result vectors escape with the returned outcome; park them back
+/// via [`Workspace::put`] once consumed and a warmed pool serves repeated
+/// same-shape blocks — compaction included — without touching the
+/// allocator (the pool's [`Workspace::bytes_since_mark`] stays zero, the
+/// property `tests/alloc_free.rs` pins). Bit-identical to
 /// [`block_power_iteration`].
 pub fn block_power_iteration_in<A: LinearOperator + ?Sized>(
     a: &A,
@@ -440,13 +479,18 @@ pub fn block_power_iteration_in<A: LinearOperator + ?Sized>(
 }
 
 /// [`block_power_iteration`] with a durable [`CheckpointSession`]: the
-/// whole column slab is snapshotted on the session's cadence, and a
+/// whole column slab (in slot order) plus the per-column freeze
+/// bookkeeping — the slot→column owner map, each column's state code,
+/// frozen λ/residual and freeze iteration — is snapshotted on the
+/// session's cadence as a [`crate::checkpoint::BlockState`], and a
 /// pending resume snapshot (matching slab length) replaces the start
-/// slab. Unlike the single-vector power loop, resume here is
-/// *convergence-preserving* rather than replay-identical: per-column
-/// freeze bookkeeping is not persisted, so already-converged columns
-/// simply re-freeze on their first resumed step (their iterates are
-/// already at tolerance).
+/// slab. Resume is replay-identical like the single-vector path: frozen
+/// columns are restored frozen (they are *not* re-run) and live columns
+/// continue the exact floating-point sequence of the uninterrupted run,
+/// compaction state included. Format-v1 snapshots carry no block state
+/// and fall back to the old convergence-preserving behaviour: every
+/// column resumes live and the already-converged ones re-freeze on their
+/// first resumed step.
 pub fn block_power_iteration_durable<A: LinearOperator + ?Sized>(
     a: &A,
     starts: &[f64],
@@ -463,37 +507,78 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
     mut durable: Option<&mut CheckpointSession>,
     ws: &mut Workspace,
 ) -> BlockPowerOutcome {
+    use crate::checkpoint::{block_state_code, BlockColumnState, BlockState};
+    const LIVE: usize = block_state_code::LIVE as usize;
+    const CONVERGED: usize = block_state_code::CONVERGED as usize;
+    const NON_FINITE: usize = block_state_code::NON_FINITE as usize;
+    const COLLAPSE: usize = block_state_code::COLLAPSE as usize;
+    const BUDGET: usize = block_state_code::BUDGET as usize;
+    const TIMED_OUT: usize = block_state_code::TIMED_OUT as usize;
+
     let n = a.len();
     assert!(
         !starts.is_empty() && starts.len() % n == 0,
         "block_power_iteration: starts must hold a whole number of columns"
     );
     assert!(opts.tol >= 0.0, "tolerance must be non-negative");
+    assert!(
+        (0.0..=1.0).contains(&opts.compact_threshold),
+        "compact_threshold must lie in [0, 1]"
+    );
     let k = starts.len() / n;
-    let dot: fn(&[f64], &[f64]) -> f64 = if opts.parallel_reductions {
-        qs_matvec::parallel::par_dot
-    } else {
-        qs_linalg::dot
-    };
-    let norm: fn(&[f64]) -> f64 = if opts.parallel_reductions {
-        qs_matvec::parallel::par_norm_l2
-    } else {
-        qs_linalg::norm_l2
-    };
-
     let mu = opts.shift;
-    // Resume: restore the whole slab and the iteration counter from a
-    // pending snapshot (validated upstream). The saved columns are
-    // already normalized, so they skip re-normalisation like the
-    // single-vector resume path.
+
+    // Per-column freeze bookkeeping, all pooled. `owner[slot]` names the
+    // original column occupying that slab slot, `pos[col]` its inverse;
+    // compaction permutes both in lockstep. `status` holds
+    // `checkpoint::block_state_code` values per *column*.
+    let mut owner = ws.take_indices(k);
+    let mut pos = ws.take_indices(k);
+    let mut status = ws.take_indices(k);
+    let mut col_iter = ws.take_indices(k);
+    let mut col_lambda = ws.take(k);
+    let mut col_residual = ws.take(k);
+    for j in 0..k {
+        owner[j] = j;
+        pos[j] = j;
+        status[j] = LIVE;
+        col_iter[j] = 0;
+        col_lambda[j] = 0.0;
+        col_residual[j] = f64::INFINITY;
+    }
+
+    // Resume: restore the slot-ordered slab, the freeze bookkeeping and
+    // the counters from a pending snapshot (validated upstream and by
+    // `BlockState::validate` at decode). Saved columns are already
+    // normalized, so they skip re-normalisation like the single-vector
+    // resume path; frozen columns come back frozen and are never re-run.
+    // A v1 snapshot (no block state) restores every column live — the old
+    // convergence-preserving behaviour.
     let resume = durable
         .as_deref_mut()
         .and_then(|s| s.take_resume())
         .filter(|snap| snap.iterate.len() == starts.len());
     let mut iterations = 0;
+    let mut matvec_columns: u64 = 0;
+    let mut compactions = 0usize;
+    let mut width = k;
     let mut x = match &resume {
         Some(snap) => {
             iterations = snap.iteration as usize;
+            matvec_columns = snap.matvecs;
+            if let Some(block) = snap.block.as_ref().filter(|b| b.owner.len() == k) {
+                width = block.width as usize;
+                for (slot, &col) in block.owner.iter().enumerate() {
+                    owner[slot] = col as usize;
+                    pos[col as usize] = slot;
+                }
+                for (col, st) in block.columns.iter().enumerate() {
+                    status[col] = st.state as usize;
+                    col_iter[col] = st.iteration as usize;
+                    col_lambda[col] = st.lambda;
+                    col_residual[col] = st.residual;
+                }
+            }
             ws.take_copy(&snap.iterate)
         }
         None => {
@@ -508,10 +593,12 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
         }
     };
     let mut y = ws.take(n * k);
-    let mut r = ws.take(n);
-    let mut done: Vec<Option<PowerOutcome>> = vec![None; k];
+    let mut live = owner[..width]
+        .iter()
+        .filter(|&&c| status[c] == LIVE)
+        .count();
 
-    while iterations < opts.max_iter && done.iter().any(|d| d.is_none()) {
+    while iterations < opts.max_iter && live > 0 {
         iterations += 1;
         // One wall-clock read per *block* step: when the deadline has
         // passed, every still-running column freezes this iteration with
@@ -519,56 +606,60 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
         let expired = opts
             .deadline
             .is_some_and(|deadline| Instant::now() >= deadline);
-        y.copy_from_slice(&x);
-        a.apply_batch(&mut y);
-        for (j, (xc, yc)) in x.chunks_exact_mut(n).zip(y.chunks_exact_mut(n)).enumerate() {
-            if done[j].is_some() {
-                continue; // frozen; its slab lane is dead weight
+        // The batched apply, the shift subtraction and the reductions all
+        // run at the current width; every column in the slab prefix costs
+        // a matvec column this step, frozen-but-uncompacted ones included
+        // (they are dead weight until the next compaction).
+        let active = width * n;
+        y[..active].copy_from_slice(&x[..active]);
+        a.apply_batch_selected(&mut y[..active], &owner[..width]);
+        matvec_columns += width as u64;
+        for slot in 0..width {
+            let col = owner[slot];
+            if status[col] != LIVE {
+                continue; // frozen since the last compaction
             }
+            let xc = &mut x[slot * n..(slot + 1) * n];
+            let yc = &mut y[slot * n..(slot + 1) * n];
             if mu != 0.0 {
                 for (yi, &xi) in yc.iter_mut().zip(xc.iter()) {
                     *yi -= mu * xi;
                 }
             }
-            let lambda_shifted = dot(xc, yc);
-            sub_scaled_into(yc, lambda_shifted, xc, &mut r);
-            let residual = norm(&r);
+            // Fused per-column reductions: one traversal yields λ, then a
+            // second yields ‖y − λx‖² and ‖y‖² together. The fixed
+            // 8-accumulator lane structure makes the result bit-identical
+            // across scalar/AVX2/AVX-512 and independent of slab
+            // position, so compaction cannot perturb any column.
+            let lambda_shifted = qs_matvec::simd::block_dot(xc, yc);
+            let (rss, yss) = qs_matvec::simd::block_step_norms(xc, yc, lambda_shifted);
+            let residual = rss.sqrt();
             let finite = residual.is_finite() && lambda_shifted.is_finite();
             let converged = finite && residual <= opts.tol;
             let budget_spent = iterations == opts.max_iter || expired;
             if converged || !finite || budget_spent {
-                let mut vector = ws.take_copy(xc);
-                orient_positive(&mut vector);
-                done[j] = Some(PowerOutcome {
-                    lambda: lambda_shifted + mu,
-                    vector,
-                    iterations,
-                    residual,
-                    converged,
-                    matvecs: iterations,
-                    breakdown: if finite {
-                        None
-                    } else {
-                        Some(Breakdown::NonFiniteIterate)
-                    },
-                    timed_out: expired && !converged && finite,
-                });
-                continue;
+                status[col] = if converged {
+                    CONVERGED
+                } else if !finite {
+                    NON_FINITE
+                } else if expired {
+                    TIMED_OUT
+                } else {
+                    BUDGET
+                };
+                col_lambda[col] = lambda_shifted + mu;
+                col_residual[col] = residual;
+                col_iter[col] = iterations;
+                live -= 1;
+                continue; // x lane keeps the iterate the residual was measured at
             }
-            let ny = norm(yc);
+            let ny = yss.sqrt();
             if !(ny.is_finite() && ny > 0.0) {
-                let mut vector = ws.take_copy(xc);
-                orient_positive(&mut vector);
-                done[j] = Some(PowerOutcome {
-                    lambda: lambda_shifted + mu,
-                    vector,
-                    iterations,
-                    residual,
-                    converged: false,
-                    matvecs: iterations,
-                    breakdown: Some(Breakdown::IterateCollapse),
-                    timed_out: false,
-                });
+                status[col] = COLLAPSE;
+                col_lambda[col] = lambda_shifted + mu;
+                col_residual[col] = residual;
+                col_iter[col] = iterations;
+                live -= 1;
                 continue;
             }
             let inv = 1.0 / ny;
@@ -576,44 +667,110 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
                 *xi = yi * inv;
             }
         }
+        // Compaction: once the live fraction drops to the threshold, swap
+        // frozen columns to the slab tail (two-pointer partition, stable
+        // for the live columns) and shrink the working width. The swap
+        // moves whole columns bit-exactly; frozen lanes park beyond
+        // `width` untouched until final assembly.
+        if live > 0
+            && live < width
+            && opts.compact_threshold > 0.0
+            && live as f64 <= opts.compact_threshold * width as f64
+        {
+            let mut dst = 0usize;
+            for slot in 0..width {
+                if status[owner[slot]] != LIVE {
+                    continue;
+                }
+                if slot != dst {
+                    let (lo, hi) = x.split_at_mut(slot * n);
+                    lo[dst * n..(dst + 1) * n].swap_with_slice(&mut hi[..n]);
+                    owner.swap(dst, slot);
+                    pos[owner[dst]] = dst;
+                    pos[owner[slot]] = slot;
+                }
+                dst += 1;
+            }
+            width = live;
+            compactions += 1;
+        }
         // Durable cadence point: the slab holds every live column's
-        // fully-updated iterate (frozen lanes keep their final state).
-        if let Some(session) = durable.as_deref_mut() {
+        // fully-updated iterate (frozen lanes keep their final state), in
+        // slot order; the block state records the slot→column map and the
+        // per-column freeze records, so resume replays bit-identically
+        // without re-running frozen columns. Steps that froze columns for
+        // budget or deadline reasons are never snapshotted — those states
+        // belong to *this run's* budget, not the problem, and a resumed
+        // run with a fresh budget must continue such columns from the
+        // last non-terminal snapshot (mirroring the single-vector loop,
+        // which breaks before its cadence point on budget exhaustion).
+        let terminal = iterations == opts.max_iter || expired;
+        if let Some(session) = durable.as_deref_mut().filter(|_| !terminal) {
             if session.due(iterations as u64) {
-                let _ = session.write_snapshot(
-                    iterations as u64,
-                    (iterations * k) as u64,
-                    (f64::INFINITY, 0),
-                    &x,
-                );
+                let block = BlockState {
+                    width: width as u64,
+                    owner: owner.iter().map(|&c| c as u64).collect(),
+                    columns: (0..k)
+                        .map(|col| BlockColumnState {
+                            state: status[col] as u8,
+                            lambda: col_lambda[col],
+                            residual: col_residual[col],
+                            iteration: col_iter[col] as u64,
+                        })
+                        .collect(),
+                };
+                let _ = session.write_block_snapshot(iterations as u64, matvec_columns, &x, block);
             }
         }
     }
 
-    // max_iter == 0: nothing ran, report the (normalised) starts honestly.
+    // Final assembly, in original column order: each column's vector is
+    // copied out of its slab slot (frozen lanes were left at the iterate
+    // their residual was measured at). Columns still `LIVE` here mean the
+    // loop never ran for them (`max_iter == 0`); report the normalised
+    // starts honestly.
     let mut columns: Vec<PowerOutcome> = Vec::with_capacity(k);
-    for (d, xc) in done.into_iter().zip(x.chunks_exact(n)) {
-        columns.push(match d {
-            Some(out) => out,
-            None => {
-                let mut vector = ws.take_copy(xc);
-                orient_positive(&mut vector);
-                PowerOutcome {
-                    lambda: 0.0,
-                    vector,
-                    iterations: 0,
-                    residual: f64::INFINITY,
-                    converged: false,
-                    matvecs: 0,
-                    breakdown: None,
-                    timed_out: false,
-                }
+    for col in 0..k {
+        let slot = pos[col];
+        let mut vector = ws.take_copy(&x[slot * n..(slot + 1) * n]);
+        orient_positive(&mut vector);
+        let state = status[col];
+        columns.push(if state == LIVE {
+            PowerOutcome {
+                lambda: 0.0,
+                vector,
+                iterations: 0,
+                residual: f64::INFINITY,
+                converged: false,
+                matvecs: 0,
+                breakdown: None,
+                timed_out: false,
+            }
+        } else {
+            PowerOutcome {
+                lambda: col_lambda[col],
+                vector,
+                iterations: col_iter[col],
+                residual: col_residual[col],
+                converged: state == CONVERGED,
+                matvecs: col_iter[col],
+                breakdown: match state {
+                    NON_FINITE => Some(Breakdown::NonFiniteIterate),
+                    COLLAPSE => Some(Breakdown::IterateCollapse),
+                    _ => None,
+                },
+                timed_out: state == TIMED_OUT,
             }
         });
     }
     ws.put(y);
-    ws.put(r);
     ws.put(x);
+    ws.put(col_lambda);
+    ws.put(col_residual);
+    ws.put_indices(owner);
+    ws.put_indices(pos);
+    ws.put_indices(status);
+    ws.put_indices(col_iter);
     let best = columns
         .iter()
         .enumerate()
@@ -626,10 +783,14 @@ fn block_power_iteration_core<A: LinearOperator + ?Sized>(
         })
         .map(|(j, _)| j)
         .unwrap();
+    let matvec_columns_saved = (iterations as u64 * k as u64).saturating_sub(matvec_columns);
     BlockPowerOutcome {
         columns,
         best,
         iterations,
+        compactions,
+        matvec_columns,
+        matvec_columns_saved,
     }
 }
 
@@ -923,6 +1084,171 @@ mod tests {
             assert_eq!(col.matvecs, 3);
         }
         assert_eq!(out.iterations, 3);
+    }
+
+    /// Mixed-speed start columns for the compaction tests: each column is
+    /// the converged eigenvector plus noise scaled by a different power of
+    /// ten, so freeze iterations spread over many block steps and the
+    /// slab compacts repeatedly.
+    fn staggered_slab<A: LinearOperator + ?Sized>(
+        a: &A,
+        landscape: &impl Landscape,
+        n: usize,
+        k: usize,
+    ) -> Vec<f64> {
+        let solo = power_iteration(a, &start_from(landscape), &PowerOptions::default());
+        assert!(solo.converged);
+        let mut slab = Vec::with_capacity(n * k);
+        for s in 0..k {
+            let eps = 10f64.powi(-3 * (k - 1 - s) as i32);
+            let mut col: Vec<f64> = solo
+                .vector
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + eps * (1.0 + (((i * 31 + s * 7) % 11) as f64) / 10.0))
+                .collect();
+            normalize_l2(&mut col);
+            slab.extend_from_slice(&col);
+        }
+        slab
+    }
+
+    #[test]
+    fn compaction_is_bit_identical_to_forced_full_width() {
+        let nu = 7u32;
+        let landscape = Random::new(nu, 5.0, 1.0, 41);
+        let w = WOperator::from_landscape(Fmmp::fused(nu, 0.02), &landscape, Formulation::Right);
+        let n = 1usize << nu;
+        let k = 5usize;
+        let slab = staggered_slab(&w, &landscape, n, k);
+        let opts = PowerOptions {
+            tol: 1e-12,
+            ..Default::default()
+        };
+        let compacted = block_power_iteration(&w, &slab, &opts);
+        let full = block_power_iteration(
+            &w,
+            &slab,
+            &PowerOptions {
+                compact_threshold: 0.0,
+                ..opts
+            },
+        );
+        // The full-width run pays k columns every step and never compacts;
+        // the compacting run must actually have saved something here.
+        assert_eq!(full.compactions, 0);
+        assert_eq!(full.matvec_columns, full.iterations as u64 * k as u64);
+        assert_eq!(full.matvec_columns_saved, 0);
+        assert!(compacted.compactions > 0, "no compaction ever triggered");
+        assert!(
+            compacted.matvec_columns_saved > 0,
+            "compaction saved nothing"
+        );
+        assert_eq!(
+            compacted.matvec_columns + compacted.matvec_columns_saved,
+            compacted.iterations as u64 * k as u64
+        );
+        // Per-column outcomes are bit-identical: same λ/residual bits,
+        // same iterate bits, same iteration counts and classifications.
+        assert_eq!(compacted.iterations, full.iterations);
+        assert_eq!(compacted.best, full.best);
+        for (j, (c, f)) in compacted.columns.iter().zip(&full.columns).enumerate() {
+            assert_eq!(c.converged, f.converged, "column {j}");
+            assert_eq!(c.iterations, f.iterations, "column {j}");
+            assert_eq!(c.lambda.to_bits(), f.lambda.to_bits(), "column {j}");
+            assert_eq!(c.residual.to_bits(), f.residual.to_bits(), "column {j}");
+            for (a, b) in c.vector.iter().zip(&f.vector) {
+                assert_eq!(a.to_bits(), b.to_bits(), "column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn durable_block_resumes_bit_identically_without_rerunning_frozen_columns() {
+        use crate::checkpoint::{
+            block_state_code, CheckpointConfig, CheckpointSession, Checkpointer,
+        };
+        let nu = 7u32;
+        let landscape = Random::new(nu, 5.0, 1.0, 43);
+        let w = WOperator::from_landscape(Fmmp::fused(nu, 0.02), &landscape, Formulation::Right);
+        let n = 1usize << nu;
+        let k = 4usize;
+        let slab = staggered_slab(&w, &landscape, n, k);
+        let opts = PowerOptions {
+            tol: 1e-12,
+            ..Default::default()
+        };
+        let reference = block_power_iteration(&w, &slab, &opts);
+        assert!(reference.columns.iter().all(|c| c.converged));
+        let freeze_iters: Vec<usize> = reference.columns.iter().map(|c| c.iterations).collect();
+        let earliest = *freeze_iters.iter().min().unwrap();
+        let latest = *freeze_iters.iter().max().unwrap();
+        assert!(earliest < latest, "need staggered freezes for this test");
+
+        let dir = std::env::temp_dir().join(format!("qs-block-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = CheckpointConfig::new(&dir);
+        cfg.every_iterations = 1;
+
+        // Phase 1: cut the budget after the earliest column froze but
+        // before the block finished, snapshotting every iteration.
+        let cut = earliest + (latest - earliest) / 2;
+        let writer = Checkpointer::create(cfg.clone()).unwrap();
+        let mut session = CheckpointSession::new(writer, 1, opts.shift, opts.tol, 0, None);
+        let partial = block_power_iteration_durable(
+            &w,
+            &slab,
+            &PowerOptions {
+                max_iter: cut,
+                ..opts
+            },
+            &mut session,
+        );
+        assert!(partial.columns.iter().any(|c| !c.converged));
+
+        // The latest snapshot is from a non-terminal step (budget freezes
+        // are never persisted) and carries the frozen columns' records.
+        let snap = crate::checkpoint::load_latest(&dir, 1).unwrap().unwrap();
+        assert!(snap.iteration > 0 && snap.iteration < cut as u64);
+        let block = snap.block.as_ref().expect("block snapshots carry state");
+        assert!(
+            block
+                .columns
+                .iter()
+                .all(|c| c.state != block_state_code::BUDGET
+                    && c.state != block_state_code::TIMED_OUT)
+        );
+        assert!(
+            block
+                .columns
+                .iter()
+                .any(|c| c.state == block_state_code::CONVERGED),
+            "the earliest column must resume frozen"
+        );
+
+        // Phase 2: resume with the full budget.
+        let writer = Checkpointer::create(cfg).unwrap();
+        let mut session = CheckpointSession::new(writer, 1, opts.shift, opts.tol, 0, Some(snap));
+        let resumed = block_power_iteration_durable(&w, &slab, &opts, &mut session);
+
+        // Bit-identical to the uninterrupted run, per column — frozen
+        // columns kept their original freeze iteration (they were not
+        // re-run), live ones replayed the exact sequence.
+        assert_eq!(resumed.iterations, reference.iterations);
+        for (j, (r, f)) in resumed.columns.iter().zip(&reference.columns).enumerate() {
+            assert!(r.converged, "column {j}");
+            assert_eq!(r.iterations, f.iterations, "column {j}");
+            assert_eq!(r.lambda.to_bits(), f.lambda.to_bits(), "column {j}");
+            assert_eq!(r.residual.to_bits(), f.residual.to_bits(), "column {j}");
+            for (a, b) in r.vector.iter().zip(&f.vector) {
+                assert_eq!(a.to_bits(), b.to_bits(), "column {j}");
+            }
+        }
+        // The cumulative cost accounting survives the resume: restored
+        // counter plus post-resume steps equals the uninterrupted total.
+        assert_eq!(resumed.matvec_columns, reference.matvec_columns);
+        assert_eq!(resumed.matvec_columns_saved, reference.matvec_columns_saved);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -53,7 +53,7 @@
 use std::sync::Arc;
 
 use crate::checkpoint::Fnv64;
-use crate::power::{block_power_iteration_in, PowerOptions};
+use crate::power::{block_power_iteration_in, BlockPowerOutcome, PowerOptions};
 use crate::result::{Quasispecies, SolveStats, WarmStartInfo};
 use crate::solver::{solve, Engine, Method, SolveError, SolverConfig};
 use crate::workspace::Workspace;
@@ -303,6 +303,13 @@ pub struct Scheduling {
     /// bit-identical to cold solves; set `false` for bit-reproducible
     /// fresh computations. Non-Power methods ignore this hint.
     pub warm_start: bool,
+    /// Allow the block power iteration to compact converged columns out
+    /// of its slab (see [`PowerOptions::compact_threshold`]); on by
+    /// default. Per-column results are bit-identical either way — this
+    /// hint only trades column-swap work against matvec columns, which
+    /// is why it lives in [`Scheduling`] and stays out of the cache key.
+    /// The benchmark harness turns it off to measure the saving.
+    pub compact: bool,
 }
 
 impl Default for Scheduling {
@@ -310,6 +317,7 @@ impl Default for Scheduling {
         Scheduling {
             parallel: false,
             warm_start: true,
+            compact: true,
         }
     }
 }
@@ -502,25 +510,34 @@ impl SolveRequest {
         self.validate()?;
         let landscape = self.landscape.build()?;
         let nu = landscape.nu();
-        let (solutions, batched) = match self.method {
+        let (solutions, batched, block) = match self.method {
             Method::Power => {
                 // The ladder needs enough columns (or external anchors)
                 // to amortise its phase structure; tiny cold grids take
                 // the single-block path unchanged.
                 let warm = self.scheduling.warm_start && (self.ps.len() >= 4 || !seeds.is_empty());
-                let solutions = if warm {
+                let compact = self.scheduling.compact;
+                let (solutions, block) = if warm {
                     solve_continuation_sweep(
                         landscape.as_ref(),
                         &self.ps,
                         self.tol,
                         self.max_iter,
+                        compact,
                         seeds,
                         ws,
                     )?
                 } else {
-                    solve_uniform_sweep(landscape.as_ref(), &self.ps, self.tol, self.max_iter, ws)?
+                    solve_uniform_sweep(
+                        landscape.as_ref(),
+                        &self.ps,
+                        self.tol,
+                        self.max_iter,
+                        compact,
+                        ws,
+                    )?
                 };
-                (solutions, true)
+                (solutions, true, block)
             }
             method => {
                 let config = SolverConfig {
@@ -538,7 +555,7 @@ impl SolveRequest {
                 for &p in &self.ps {
                     out.push(solve(p, landscape.as_ref(), &config)?);
                 }
-                (out, false)
+                (out, false, BlockSolveStats::default())
             }
         };
         let points = self
@@ -554,6 +571,7 @@ impl SolveRequest {
         Ok(SolveResult {
             nu,
             batched,
+            block,
             points,
         })
     }
@@ -570,6 +588,33 @@ pub struct PointResult {
     pub solution: Quasispecies,
 }
 
+/// Aggregate block-compaction telemetry for one answered request, summed
+/// over every block power iteration the request ran (one for a uniform
+/// sweep, one per generation for a continuation sweep). All-zero when the
+/// request was answered by per-point solves instead of the block path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockSolveStats {
+    /// Block columns advanced (grid points, summed over generations).
+    pub columns: u64,
+    /// Slab compactions performed
+    /// (see [`PowerOptions::compact_threshold`]).
+    pub compactions: u64,
+    /// Matvec columns actually paid: `Σ` slab width over block steps.
+    pub matvec_columns: u64,
+    /// Matvec columns avoided by compaction
+    /// (`Σ iterations × k − matvec_columns`).
+    pub matvec_columns_saved: u64,
+}
+
+impl BlockSolveStats {
+    fn absorb(&mut self, block: &BlockPowerOutcome) {
+        self.columns += block.columns.len() as u64;
+        self.compactions += block.compactions as u64;
+        self.matvec_columns += block.matvec_columns;
+        self.matvec_columns_saved += block.matvec_columns_saved;
+    }
+}
+
 /// The answer to a [`SolveRequest`]: one [`PointResult`] per requested
 /// error rate, in request order.
 #[derive(Debug, Clone)]
@@ -579,6 +624,9 @@ pub struct SolveResult {
     /// Whether the grid was answered by one batched engine run (`true`)
     /// or by independent per-point solves.
     pub batched: bool,
+    /// Aggregate block-compaction telemetry ([`BlockSolveStats`]);
+    /// all-zero for non-batched answers.
+    pub block: BlockSolveStats,
     /// Per-point answers, in request order.
     pub points: Vec<PointResult>,
 }
@@ -630,6 +678,22 @@ impl LinearOperator for SweepWOperator {
         }
         self.sweep.apply_batch(slab);
     }
+
+    fn apply_batch_selected(&self, slab: &mut [f64], cols: &[usize]) {
+        let n = self.len();
+        assert_eq!(
+            slab.len(),
+            n * cols.len(),
+            "apply_batch_selected: slab must hold one column per selected rate"
+        );
+        // Same fitness diagonal on every lane; the sweep then picks each
+        // selected rate's spectral table, so a compacted slab's lanes are
+        // bit-identical to the matching lanes of a full-width apply.
+        for col in slab.chunks_exact_mut(n) {
+            qs_linalg::vec_ops::apply_diagonal(&self.fitness, col);
+        }
+        self.sweep.apply_batch_selected(slab, cols);
+    }
 }
 
 /// Solve the **uniform-model** stationary distribution at every rate in
@@ -648,8 +712,9 @@ pub(crate) fn solve_uniform_sweep<L: Landscape + ?Sized>(
     ps: &[f64],
     tol: f64,
     max_iter: usize,
+    compact: bool,
     ws: &mut Workspace,
-) -> Result<Vec<Quasispecies>, SolveError> {
+) -> Result<(Vec<Quasispecies>, BlockSolveStats), SolveError> {
     let fitness = checked_sweep_fitness(landscape, ps, tol)?;
     let nu = landscape.nu();
     let n = fitness.len();
@@ -671,10 +736,13 @@ pub(crate) fn solve_uniform_sweep<L: Landscape + ?Sized>(
     let opts = PowerOptions {
         tol,
         max_iter,
+        compact_threshold: compact_threshold_for(compact),
         ..Default::default()
     };
     let block = block_power_iteration_in(&op, &slab, &opts, ws);
     ws.put(slab);
+    let mut stats = BlockSolveStats::default();
+    stats.absorb(&block);
 
     let mut solutions = Vec::with_capacity(k);
     for col in block.columns {
@@ -691,7 +759,18 @@ pub(crate) fn solve_uniform_sweep<L: Landscape + ?Sized>(
             block_stats(&summary, None),
         ));
     }
-    Ok(solutions)
+    Ok((solutions, stats))
+}
+
+/// Map the [`Scheduling::compact`] hint onto
+/// [`PowerOptions::compact_threshold`]: the default threshold when on,
+/// `0.0` (never compact) when off.
+fn compact_threshold_for(compact: bool) -> f64 {
+    if compact {
+        PowerOptions::default().compact_threshold
+    } else {
+        0.0
+    }
 }
 
 /// Shared input validation for the batched sweep paths; returns the
@@ -795,9 +874,10 @@ pub(crate) fn solve_continuation_sweep<L: Landscape + ?Sized>(
     ps: &[f64],
     tol: f64,
     max_iter: usize,
+    compact: bool,
     seeds: &[StartSeed],
     ws: &mut Workspace,
-) -> Result<Vec<Quasispecies>, SolveError> {
+) -> Result<(Vec<Quasispecies>, BlockSolveStats), SolveError> {
     let fitness = checked_sweep_fitness(landscape, ps, tol)?;
     let nu = landscape.nu();
     let n = fitness.len();
@@ -858,8 +938,10 @@ pub(crate) fn solve_continuation_sweep<L: Landscape + ?Sized>(
     let opts = PowerOptions {
         tol,
         max_iter,
+        compact_threshold: compact_threshold_for(compact),
         ..Default::default()
     };
+    let mut stats = BlockSolveStats::default();
     // Converged columns by sorted position; vectors double as anchors.
     let mut done: Vec<Option<(ColSummary, Vec<f64>)>> = (0..k).map(|_| None).collect();
     let mut seed_kinds: Vec<SeedKind> = vec![SeedKind::Cold; k];
@@ -880,6 +962,7 @@ pub(crate) fn solve_continuation_sweep<L: Landscape + ?Sized>(
         };
         let block = block_power_iteration_in(&op, &slab, &opts, ws);
         ws.put(slab);
+        stats.absorb(&block);
         for (col, &j) in block.columns.into_iter().zip(generation) {
             if !col.converged {
                 ws.put(cold_start);
@@ -929,7 +1012,7 @@ pub(crate) fn solve_continuation_sweep<L: Landscape + ?Sized>(
             block_stats(&summary, warm),
         ));
     }
-    Ok(solutions.into_iter().map(Option::unwrap).collect())
+    Ok((solutions.into_iter().map(Option::unwrap).collect(), stats))
 }
 
 /// Fill `col` with the best available start vector for rate `p`:

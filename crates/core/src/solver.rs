@@ -758,6 +758,7 @@ fn run_attempt<P: Probe>(
                 parallel_reductions,
                 stall_window: config.recover.then_some(STALL_WINDOW),
                 deadline: config.deadline,
+                compact_threshold: 0.0,
             };
             let out = match durable {
                 Some(session) => {

@@ -138,7 +138,8 @@ pub fn scan_full_sweep<L: Landscape + ?Sized>(
     max_iter: usize,
 ) -> Result<ThresholdScan, SolveError> {
     let nu = landscape.nu();
-    let solutions = solve_uniform_sweep(landscape, ps, tol, max_iter, &mut Workspace::new())?;
+    let (solutions, _) =
+        solve_uniform_sweep(landscape, ps, tol, max_iter, true, &mut Workspace::new())?;
     let mut classes = Vec::with_capacity(ps.len());
     let mut order = Vec::with_capacity(ps.len());
     for qs in solutions {

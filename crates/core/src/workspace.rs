@@ -120,6 +120,10 @@ impl core::ops::DerefMut for AlignedVec {
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Vec<Vec<f64>>,
+    /// Index/bookkeeping buffers (column owner maps, freeze states) pooled
+    /// separately from the `f64` pool so the two element types never trade
+    /// allocations.
+    index_pool: Vec<Vec<usize>>,
     bytes_allocated: u64,
     mark: u64,
 }
@@ -131,9 +135,13 @@ impl Workspace {
     }
 
     /// A zeroed buffer of length `n`: pooled if any parked buffer has the
-    /// capacity, freshly allocated (and counted) otherwise.
+    /// capacity, freshly allocated (and counted) otherwise. Matching is
+    /// best-fit (smallest adequate capacity), so small bookkeeping takes
+    /// cannot strip the pool of the large buffers a later column-sized
+    /// take needs — the property that keeps a warmed pool's steady state
+    /// at zero misses when one solve mixes buffer sizes.
     pub fn take(&mut self, n: usize) -> Vec<f64> {
-        match self.pool.iter().position(|b| b.capacity() >= n) {
+        match best_fit(&self.pool, n) {
             Some(i) => {
                 let mut b = self.pool.swap_remove(i);
                 b.clear();
@@ -178,7 +186,7 @@ impl Workspace {
     /// `8 × (n + pad)` miss bytes) otherwise.
     pub fn take_aligned(&mut self, n: usize) -> AlignedVec {
         let padded = n + ALIGN_PAD;
-        match self.pool.iter().position(|b| b.capacity() >= padded) {
+        match best_fit(&self.pool, padded) {
             Some(i) => AlignedVec::from_vec(self.pool.swap_remove(i), n),
             None => {
                 self.bytes_allocated += 8 * padded as u64;
@@ -191,6 +199,33 @@ impl Workspace {
     /// [`Workspace::take`] or [`Workspace::take_aligned`]).
     pub fn put_aligned(&mut self, buf: AlignedVec) {
         self.put(buf.buf);
+    }
+
+    /// A zeroed `usize` bookkeeping buffer of length `n` (column owner
+    /// maps, per-column freeze states): pooled if any parked index buffer
+    /// has the capacity, freshly allocated (and counted as `8 × n` miss
+    /// bytes) otherwise. Same contract as [`Workspace::take`], on a
+    /// separate pool.
+    pub fn take_indices(&mut self, n: usize) -> Vec<usize> {
+        match best_fit(&self.index_pool, n) {
+            Some(i) => {
+                let mut b = self.index_pool.swap_remove(i);
+                b.clear();
+                b.resize(n, 0);
+                b
+            }
+            None => {
+                self.bytes_allocated += (core::mem::size_of::<usize>() * n) as u64;
+                vec![0; n]
+            }
+        }
+    }
+
+    /// Park an index buffer for reuse by [`Workspace::take_indices`].
+    pub fn put_indices(&mut self, buf: Vec<usize>) {
+        if buf.capacity() > 0 {
+            self.index_pool.push(buf);
+        }
     }
 
     /// Total bytes ever allocated through pool misses.
@@ -209,6 +244,16 @@ impl Workspace {
     pub fn bytes_since_mark(&self) -> u64 {
         self.bytes_allocated - self.mark
     }
+}
+
+/// Index of the parked buffer with the smallest capacity still holding
+/// `n` elements, if any.
+fn best_fit<T>(pool: &[Vec<T>], n: usize) -> Option<usize> {
+    pool.iter()
+        .enumerate()
+        .filter(|(_, b)| b.capacity() >= n)
+        .min_by_key(|(_, b)| b.capacity())
+        .map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -269,6 +314,26 @@ mod tests {
         let mut a = AlignedVec::new(5);
         a.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(a.into_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn index_pool_counts_misses_and_reuse_is_free_and_zeroed() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_indices(10);
+        assert_eq!(ws.bytes_allocated(), 80);
+        a.fill(7);
+        ws.put_indices(a);
+        let b = ws.take_indices(10);
+        assert_eq!(ws.bytes_allocated(), 80, "pool hit must not allocate");
+        assert!(b.iter().all(|&x| x == 0));
+        // The index pool never serves (or steals from) the f64 pool.
+        ws.put_indices(b);
+        let f = ws.take(10);
+        assert_eq!(ws.bytes_allocated(), 160);
+        ws.put(f);
+        let c = ws.take_indices(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(ws.bytes_allocated(), 160);
     }
 
     #[test]

@@ -166,6 +166,39 @@ pub trait LinearOperator: Send + Sync {
             self.apply_in_place(v);
         }
     }
+
+    /// Batched apply over a *selected* subset of an operator's columns:
+    /// `slab` holds `cols.len()` contiguous right-hand sides, and
+    /// `cols[c]` names the operator column (e.g. the sweep's p-grid
+    /// index) the `c`-th slab lane belongs to. This is the entry point
+    /// the block power iteration uses after compacting converged columns
+    /// out of its slab: the transform then runs at the live width instead
+    /// of the original batch width.
+    ///
+    /// For operators whose action does not depend on the column index
+    /// (every single-column engine) the default ignores `cols` and
+    /// applies per lane — bit-identical to [`LinearOperator::apply_batch`]
+    /// on the same lanes. Column-indexed operators ([`QSweep`] and
+    /// sweep-shaped compositions over it) override this to pick the
+    /// matching per-column tables while still amortising stage traversal
+    /// across the live lanes; the batch==columnwise bit-identity contract
+    /// pinned in `tests/kernel_properties.rs` guarantees each lane's
+    /// result is bit-identical to a full-width apply of that column.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic unless `slab.len() == cols.len() * N` with
+    /// `cols` non-empty.
+    fn apply_batch_selected(&self, slab: &mut [f64], cols: &[usize]) {
+        let n = self.len();
+        assert!(
+            !cols.is_empty() && slab.len() == cols.len() * n,
+            "apply_batch_selected: slab must hold one vector per selected column"
+        );
+        for v in slab.chunks_exact_mut(n) {
+            self.apply_in_place(v);
+        }
+    }
 }
 
 impl<A: LinearOperator + ?Sized> LinearOperator for &A {
@@ -190,6 +223,9 @@ impl<A: LinearOperator + ?Sized> LinearOperator for &A {
     fn apply_batch(&self, slab: &mut [f64]) {
         (**self).apply_batch(slab)
     }
+    fn apply_batch_selected(&self, slab: &mut [f64], cols: &[usize]) {
+        (**self).apply_batch_selected(slab, cols)
+    }
 }
 
 impl<A: LinearOperator + ?Sized> LinearOperator for Box<A> {
@@ -213,6 +249,9 @@ impl<A: LinearOperator + ?Sized> LinearOperator for Box<A> {
     }
     fn apply_batch(&self, slab: &mut [f64]) {
         (**self).apply_batch(slab)
+    }
+    fn apply_batch_selected(&self, slab: &mut [f64], cols: &[usize]) {
+        (**self).apply_batch_selected(slab, cols)
     }
 }
 

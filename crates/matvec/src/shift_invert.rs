@@ -309,6 +309,40 @@ impl QSweep {
         fwht_batch_in_place(slab, k);
     }
 
+    /// Apply `Q(p_{cols[c]})` to lane `c` of a compacted slab holding
+    /// `cols.len()` contiguous vectors — the selected-column counterpart
+    /// of [`QSweep::apply_batch`], used by the block power iteration once
+    /// converged columns have been compacted out. The two batched FWHTs
+    /// run at the live width, and each lane's diagonal indexes the
+    /// original column's eigenvalue table, so per-lane results are
+    /// bit-identical to a full-width apply of that column (the FWHT batch
+    /// kernels are columnwise-exact at any batch width).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slab.len() == cols.len()·N`, `cols` is non-empty,
+    /// and every entry of `cols` names a sweep column (`< k`).
+    pub fn apply_batch_selected(&self, slab: &mut [f64], cols: &[usize]) {
+        let n = self.len();
+        let m = cols.len();
+        assert!(
+            !cols.is_empty() && slab.len() == m * n,
+            "apply_batch_selected: slab length mismatch"
+        );
+        assert!(
+            cols.iter().all(|&j| j < self.k),
+            "apply_batch_selected: column index out of range"
+        );
+        fwht_batch_in_place(slab, m);
+        for (col, &j) in slab.chunks_exact_mut(n).zip(cols) {
+            for (i, x) in col.iter_mut().enumerate() {
+                let w = (i as u64).count_ones() as usize;
+                *x *= self.class_scale[w][j];
+            }
+        }
+        fwht_batch_in_place(slab, m);
+    }
+
     /// Arithmetic cost of one batched application (all `k` columns).
     pub fn flops_estimate(&self) -> f64 {
         let n = self.len() as f64;
@@ -533,5 +567,41 @@ mod tests {
         let one = QSweep::new(8, &[0.1]).flops_estimate();
         let five = QSweep::new(8, &[0.1; 5]).flops_estimate();
         assert!((five / one - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qsweep_selected_lanes_are_bit_identical_to_full_width() {
+        // A compacted slab holding an arbitrary subset of the sweep's
+        // columns (in arbitrary order) must reproduce the exact bits the
+        // full-width batch computes for those columns.
+        let nu = 8u32;
+        let n = 1usize << nu;
+        let ps = [0.003, 0.02, 0.09, 0.21, 0.37, 0.49];
+        let sweep = QSweep::new(nu, &ps);
+        let full_input = random_vector(n * ps.len(), 99);
+        let mut full = full_input.clone();
+        sweep.apply_batch(&mut full);
+        for cols in [vec![0, 1, 2, 3, 4, 5], vec![4, 1, 5], vec![2], vec![5, 0]] {
+            let mut compact: Vec<f64> = cols
+                .iter()
+                .flat_map(|&j| full_input[j * n..(j + 1) * n].to_vec())
+                .collect();
+            sweep.apply_batch_selected(&mut compact, &cols);
+            for (lane, &j) in cols.iter().enumerate() {
+                let got = &compact[lane * n..(lane + 1) * n];
+                let want = &full[j * n..(j + 1) * n];
+                for (g, w) in got.iter().zip(want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "cols {cols:?} lane {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn qsweep_selected_rejects_out_of_range_columns() {
+        let sweep = QSweep::new(4, &[0.1, 0.2]);
+        let mut slab = vec![1.0; 16];
+        sweep.apply_batch_selected(&mut slab, &[2]);
     }
 }

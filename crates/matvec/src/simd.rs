@@ -304,6 +304,120 @@ pub(crate) fn radix8_simd(f: [&mut [f64]; 8], c: [f64; 4]) -> bool {
     }
 }
 
+/// Accumulator lanes used by the fused block reductions: one AVX-512
+/// vector, two AVX2 vectors, or eight scalar partial sums. Fixing the
+/// count (rather than letting each ISA pick its own width) is what makes
+/// the three paths bit-identical: every element lands in the same lane
+/// (`index % 8`) and the horizontal sum runs in the same fixed order.
+const REDUCE_LANES: usize = 8;
+
+/// Horizontal sum of the eight reduction lanes in a fixed tree order,
+/// shared by every ISA path.
+#[inline(always)]
+fn reduce_lanes_sum(acc: [f64; REDUCE_LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Portable 8-lane dot product body; also the reference the SIMD paths
+/// must match bit for bit.
+fn scalar_block_dot(x: &[f64], y: &[f64]) -> f64 {
+    let len = x.len();
+    let body = len - len % REDUCE_LANES;
+    let mut acc = [0.0f64; REDUCE_LANES];
+    let mut k = 0;
+    while k < body {
+        for (l, a) in acc.iter_mut().enumerate() {
+            *a += x[k + l] * y[k + l];
+        }
+        k += REDUCE_LANES;
+    }
+    for j in body..len {
+        acc[j - body] += x[j] * y[j];
+    }
+    reduce_lanes_sum(acc)
+}
+
+/// Portable 8-lane body for the fused residual/norm pass; reference for
+/// the SIMD paths.
+fn scalar_block_step_norms(x: &[f64], y: &[f64], lambda: f64) -> (f64, f64) {
+    let len = x.len();
+    let body = len - len % REDUCE_LANES;
+    let mut rss = [0.0f64; REDUCE_LANES];
+    let mut yss = [0.0f64; REDUCE_LANES];
+    let mut k = 0;
+    while k < body {
+        for l in 0..REDUCE_LANES {
+            let d = y[k + l] - lambda * x[k + l];
+            rss[l] += d * d;
+            yss[l] += y[k + l] * y[k + l];
+        }
+        k += REDUCE_LANES;
+    }
+    for j in body..len {
+        let d = y[j] - lambda * x[j];
+        rss[j - body] += d * d;
+        yss[j - body] += y[j] * y[j];
+    }
+    (reduce_lanes_sum(rss), reduce_lanes_sum(yss))
+}
+
+/// Fused block-reduction dot product `Σ xᵢ·yᵢ`, dispatched like the fibre
+/// kernels. Used by the block power iteration for the per-column Rayleigh
+/// quotient so the reduction runs register-blocked at SIMD width.
+///
+/// **Bit-identity contract.** All ISA paths keep the same eight
+/// accumulator lanes (element `i` always lands in lane `i % 8`, remainder
+/// included) and reduce them in one fixed scalar order, with separate
+/// multiplies and adds (never FMA) — so the result is bit-identical
+/// across scalar, AVX2 and AVX-512, and depends only on this column's
+/// data, never on where the column sits inside a slab.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn block_dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "block_dot: length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => {
+            // SAFETY: `avx2` is verified by dispatch.
+            unsafe { avx2::block_dot(x, y) }
+        }
+        #[cfg(all(target_arch = "x86_64", qs_avx512))]
+        Isa::Avx512 => {
+            // SAFETY: `avx512f` is verified by dispatch.
+            unsafe { avx512::block_dot(x, y) }
+        }
+        _ => scalar_block_dot(x, y),
+    }
+}
+
+/// Fused block-reduction residual/norm pass: one traversal of a column
+/// pair computing `(‖y − λx‖₂², ‖y‖₂²)` — the power step's convergence
+/// residual and the normalisation factor — instead of materialising the
+/// residual vector and scanning twice. Same dispatch and bit-identity
+/// contract as [`block_dot`].
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn block_step_norms(x: &[f64], y: &[f64], lambda: f64) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "block_step_norms: length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => {
+            // SAFETY: `avx2` is verified by dispatch.
+            unsafe { avx2::block_step_norms(x, y, lambda) }
+        }
+        #[cfg(all(target_arch = "x86_64", qs_avx512))]
+        Isa::Avx512 => {
+            // SAFETY: `avx512f` is verified by dispatch.
+            unsafe { avx512::block_step_norms(x, y, lambda) }
+        }
+        _ => scalar_block_step_norms(x, y, lambda),
+    }
+}
+
 /// Scalar butterfly on raw pointers — the remainder loop the SIMD kernels
 /// share. Identical expressions to the vector lanes and to
 /// `Butterfly::bf` via the `coeffs` contract.
@@ -412,6 +526,83 @@ mod avx2 {
             *f2.add(j) = b2;
             *f3.add(j) = b3;
         }
+    }
+
+    /// 8-lane dot product: two `f64x4` accumulators are exactly lanes
+    /// 0–3 / 4–7 of the scalar reference, so the per-lane add order (and
+    /// therefore every bit of the result) matches `scalar_block_dot`.
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies `avx2`; `x` and `y` have equal length.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn block_dot(x: &[f64], y: &[f64]) -> f64 {
+        let len = x.len();
+        let body = len - len % super::REDUCE_LANES;
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut acc_lo = _mm256_setzero_pd();
+        let mut acc_hi = _mm256_setzero_pd();
+        let mut k = 0;
+        while k < body {
+            let x_lo = _mm256_loadu_pd(xp.add(k));
+            let y_lo = _mm256_loadu_pd(yp.add(k));
+            let x_hi = _mm256_loadu_pd(xp.add(k + 4));
+            let y_hi = _mm256_loadu_pd(yp.add(k + 4));
+            acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(x_lo, y_lo));
+            acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(x_hi, y_hi));
+            k += super::REDUCE_LANES;
+        }
+        let mut acc = [0.0f64; super::REDUCE_LANES];
+        _mm256_storeu_pd(acc.as_mut_ptr(), acc_lo);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(4), acc_hi);
+        for j in body..len {
+            acc[j - body] += x[j] * y[j];
+        }
+        super::reduce_lanes_sum(acc)
+    }
+
+    /// 8-lane fused residual/norm pass; lane layout and expression order
+    /// match `scalar_block_step_norms` (separate mul/sub/add, no FMA).
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies `avx2`; `x` and `y` have equal length.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn block_step_norms(x: &[f64], y: &[f64], lambda: f64) -> (f64, f64) {
+        let len = x.len();
+        let body = len - len % super::REDUCE_LANES;
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let lam = _mm256_set1_pd(lambda);
+        let mut rss_lo = _mm256_setzero_pd();
+        let mut rss_hi = _mm256_setzero_pd();
+        let mut yss_lo = _mm256_setzero_pd();
+        let mut yss_hi = _mm256_setzero_pd();
+        let mut k = 0;
+        while k < body {
+            let x_lo = _mm256_loadu_pd(xp.add(k));
+            let y_lo = _mm256_loadu_pd(yp.add(k));
+            let x_hi = _mm256_loadu_pd(xp.add(k + 4));
+            let y_hi = _mm256_loadu_pd(yp.add(k + 4));
+            let d_lo = _mm256_sub_pd(y_lo, _mm256_mul_pd(lam, x_lo));
+            let d_hi = _mm256_sub_pd(y_hi, _mm256_mul_pd(lam, x_hi));
+            rss_lo = _mm256_add_pd(rss_lo, _mm256_mul_pd(d_lo, d_lo));
+            rss_hi = _mm256_add_pd(rss_hi, _mm256_mul_pd(d_hi, d_hi));
+            yss_lo = _mm256_add_pd(yss_lo, _mm256_mul_pd(y_lo, y_lo));
+            yss_hi = _mm256_add_pd(yss_hi, _mm256_mul_pd(y_hi, y_hi));
+            k += super::REDUCE_LANES;
+        }
+        let mut rss = [0.0f64; super::REDUCE_LANES];
+        let mut yss = [0.0f64; super::REDUCE_LANES];
+        _mm256_storeu_pd(rss.as_mut_ptr(), rss_lo);
+        _mm256_storeu_pd(rss.as_mut_ptr().add(4), rss_hi);
+        _mm256_storeu_pd(yss.as_mut_ptr(), yss_lo);
+        _mm256_storeu_pd(yss.as_mut_ptr().add(4), yss_hi);
+        for j in body..len {
+            let d = y[j] - lambda * x[j];
+            rss[j - body] += d * d;
+            yss[j - body] += y[j] * y[j];
+        }
+        (super::reduce_lanes_sum(rss), super::reduce_lanes_sum(yss))
     }
 
     /// Three fused layers over eight fibres; expression order mirrors the
@@ -574,6 +765,69 @@ mod avx512 {
             *f2.add(j) = b2;
             *f3.add(j) = b3;
         }
+    }
+
+    /// 8-lane dot product: one `f64x8` accumulator holds exactly the
+    /// eight scalar reference lanes, so every bit matches
+    /// `scalar_block_dot`.
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies `avx512f`; `x` and `y` have equal length.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn block_dot(x: &[f64], y: &[f64]) -> f64 {
+        let len = x.len();
+        let body = len - len % super::REDUCE_LANES;
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut acc_v = _mm512_setzero_pd();
+        let mut k = 0;
+        while k < body {
+            let xv = _mm512_loadu_pd(xp.add(k));
+            let yv = _mm512_loadu_pd(yp.add(k));
+            acc_v = _mm512_add_pd(acc_v, _mm512_mul_pd(xv, yv));
+            k += super::REDUCE_LANES;
+        }
+        let mut acc = [0.0f64; super::REDUCE_LANES];
+        _mm512_storeu_pd(acc.as_mut_ptr(), acc_v);
+        for j in body..len {
+            acc[j - body] += x[j] * y[j];
+        }
+        super::reduce_lanes_sum(acc)
+    }
+
+    /// 8-lane fused residual/norm pass; lane layout and expression order
+    /// match `scalar_block_step_norms` (separate mul/sub/add, no FMA).
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies `avx512f`; `x` and `y` have equal length.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn block_step_norms(x: &[f64], y: &[f64], lambda: f64) -> (f64, f64) {
+        let len = x.len();
+        let body = len - len % super::REDUCE_LANES;
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let lam = _mm512_set1_pd(lambda);
+        let mut rss_v = _mm512_setzero_pd();
+        let mut yss_v = _mm512_setzero_pd();
+        let mut k = 0;
+        while k < body {
+            let xv = _mm512_loadu_pd(xp.add(k));
+            let yv = _mm512_loadu_pd(yp.add(k));
+            let d = _mm512_sub_pd(yv, _mm512_mul_pd(lam, xv));
+            rss_v = _mm512_add_pd(rss_v, _mm512_mul_pd(d, d));
+            yss_v = _mm512_add_pd(yss_v, _mm512_mul_pd(yv, yv));
+            k += super::REDUCE_LANES;
+        }
+        let mut rss = [0.0f64; super::REDUCE_LANES];
+        let mut yss = [0.0f64; super::REDUCE_LANES];
+        _mm512_storeu_pd(rss.as_mut_ptr(), rss_v);
+        _mm512_storeu_pd(yss.as_mut_ptr(), yss_v);
+        for j in body..len {
+            let d = y[j] - lambda * x[j];
+            rss[j - body] += d * d;
+            yss[j - body] += y[j] * y[j];
+        }
+        (super::reduce_lanes_sum(rss), super::reduce_lanes_sum(yss))
     }
 
     /// # Safety
@@ -759,6 +1013,66 @@ mod tests {
                 }
             }
         }
+        force(before).unwrap();
+    }
+
+    /// Every SIMD path of the fused block reductions matches the scalar
+    /// 8-lane reference bit for bit, including remainder lengths.
+    #[test]
+    fn block_reductions_are_bit_identical_across_isas() {
+        let _guard = isa_lock();
+        let before = active();
+        for len in (0..=67).chain([128, 1000, 4096]) {
+            let x = probe(len, 3 + len as u64);
+            let y = probe(len, 77 + len as u64);
+            force(Isa::Scalar).unwrap();
+            let dot_ref = block_dot(&x, &y);
+            let lambda = if dot_ref.is_finite() { dot_ref } else { 0.5 };
+            let norms_ref = block_step_norms(&x, &y, lambda);
+            for isa in simd_isas() {
+                force(isa).unwrap();
+                let dot = block_dot(&x, &y);
+                assert_eq!(dot.to_bits(), dot_ref.to_bits(), "{isa:?} len={len}");
+                let norms = block_step_norms(&x, &y, lambda);
+                assert_eq!(
+                    norms.0.to_bits(),
+                    norms_ref.0.to_bits(),
+                    "{isa:?} len={len}"
+                );
+                assert_eq!(
+                    norms.1.to_bits(),
+                    norms_ref.1.to_bits(),
+                    "{isa:?} len={len}"
+                );
+            }
+        }
+        force(before).unwrap();
+    }
+
+    /// The fused reductions compute the right quantities (up to summation
+    /// reordering) — dot, residual norm², iterate norm².
+    #[test]
+    fn block_reductions_match_naive_sums() {
+        let _guard = isa_lock();
+        let before = active();
+        force(Isa::Scalar).unwrap();
+        let x = probe(257, 5);
+        let y = probe(257, 6);
+        let lambda = 0.75;
+        let naive_dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let naive_rss: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| {
+                let d = b - lambda * a;
+                d * d
+            })
+            .sum();
+        let naive_yss: f64 = y.iter().map(|b| b * b).sum();
+        assert!((block_dot(&x, &y) - naive_dot).abs() < 1e-10);
+        let (rss, yss) = block_step_norms(&x, &y, lambda);
+        assert!((rss - naive_rss).abs() < 1e-10);
+        assert!((yss - naive_yss).abs() < 1e-10);
         force(before).unwrap();
     }
 

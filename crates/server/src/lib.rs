@@ -399,6 +399,12 @@ fn render_metrics(scheduler: &Scheduler) -> String {
         ("qs_warm_hits_total", s.warm_hits),
         ("qs_warm_seeded_columns_total", s.warm_seeded_columns),
         ("qs_warm_iterations_saved_total", s.warm_iterations_saved),
+        ("qs_block_compactions_total", s.block_compactions),
+        ("qs_block_matvec_columns_total", s.block_matvec_columns),
+        (
+            "qs_block_matvec_columns_saved_total",
+            s.block_matvec_columns_saved,
+        ),
         ("qs_request_latency_count", s.latency_count),
     ] {
         out.push_str(name);

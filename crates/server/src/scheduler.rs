@@ -50,8 +50,8 @@ use qs_fault::{FaultPlan, FaultyOp};
 use qs_matvec::{Fmmp, LinearOperator};
 use qs_telemetry::{ServeCounters, SolverEvent, TraceSummary};
 use quasispecies::{
-    solve_with_q_operator, PointResult, SolveRequest, SolveResult, SolverConfig, StartSeed,
-    Workspace, FORMAT_VERSION,
+    solve_with_q_operator, BlockSolveStats, PointResult, SolveRequest, SolveResult, SolverConfig,
+    StartSeed, Workspace, FORMAT_VERSION,
 };
 
 use crate::wire;
@@ -569,6 +569,16 @@ fn run_summary(result: &SolveResult, pool_miss: u64) -> String {
             });
         }
     }
+    if result.block.columns > 0 {
+        // Block runs end with every column frozen, so live is 0 here.
+        events.push(SolverEvent::BlockProgress {
+            columns: result.block.columns as usize,
+            live: 0,
+            compactions: result.block.compactions,
+            matvec_columns: result.block.matvec_columns,
+            matvec_columns_saved: result.block.matvec_columns_saved,
+        });
+    }
     events.push(SolverEvent::SolveAllocation { bytes: pool_miss });
     TraceSummary::from_events(&events).to_string()
 }
@@ -601,6 +611,7 @@ fn run_faulted(request: &SolveRequest, plan: &FaultPlan) -> Result<SolveResult, 
     Ok(SolveResult {
         nu,
         batched: false,
+        block: BlockSolveStats::default(),
         points,
     })
 }
@@ -646,6 +657,13 @@ pub(crate) fn worker_loop(
                     scheduler
                         .counters
                         .record_warm_columns(warm_cols, warm_saved);
+                }
+                if result.block.columns > 0 {
+                    scheduler.counters.record_block(
+                        result.block.compactions,
+                        result.block.matvec_columns,
+                        result.block.matvec_columns_saved,
+                    );
                 }
                 if fault_plan.is_none() {
                     scheduler.store_warm(&job.request, &result);

@@ -38,6 +38,11 @@ use serde_json::Value;
 /// cold computations. It is excluded from the cache key, so opting out
 /// does not fork the result-cache address space.
 ///
+/// `compact` (default `true`) lets batched block solves shrink their
+/// active slab as columns converge. The per-column iterates are
+/// bit-identical either way — compaction only changes how many
+/// matvec-columns the run pays — so it too stays out of the cache key.
+///
 /// Landscape kinds mirror the CLI's `--landscape` vocabulary:
 /// `single-peak` (`f0`, `f_rest`), `random` (`c`, `sigma`, `seed`),
 /// `nk` (`k`, `seed`), `error-class` (`phi` array) and `tabulated`
@@ -93,6 +98,10 @@ pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, String> {
         None => true,
         Some(b) => b.as_bool().ok_or("'warm_start' must be a boolean")?,
     };
+    let compact = match v.get("compact") {
+        None => true,
+        Some(b) => b.as_bool().ok_or("'compact' must be a boolean")?,
+    };
 
     Ok(SolveRequest {
         landscape,
@@ -103,6 +112,7 @@ pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, String> {
         scheduling: Scheduling {
             parallel,
             warm_start,
+            compact,
         },
     })
 }

@@ -121,6 +121,15 @@ pub struct ServeCounters {
     /// warm-started columns (see `WarmStartInfo::iterations_saved` in the
     /// core crate for the estimate's definition).
     pub warm_iterations_saved: AtomicU64,
+    /// Compaction passes across all block solves: times the block power
+    /// loop shrank its active slab after columns froze.
+    pub block_compactions: AtomicU64,
+    /// Matvec-columns actually applied across all block solves (Σ live
+    /// width per step).
+    pub block_matvec_columns: AtomicU64,
+    /// Matvec-columns avoided by compaction versus fixed-width runs,
+    /// summed across all block solves.
+    pub block_matvec_columns_saved: AtomicU64,
     /// Gauge: bytes currently held by the content-addressed result cache.
     pub cache_bytes: AtomicU64,
     /// Gauge: bytes currently held by the eigenvector warm-start cache.
@@ -147,6 +156,9 @@ pub struct ServeCountersSnapshot {
     pub warm_hits: u64,
     pub warm_seeded_columns: u64,
     pub warm_iterations_saved: u64,
+    pub block_compactions: u64,
+    pub block_matvec_columns: u64,
+    pub block_matvec_columns_saved: u64,
     pub cache_bytes: u64,
     pub warm_cache_bytes: u64,
     pub latency_count: u64,
@@ -203,6 +215,15 @@ impl ServeCounters {
         self.warm_iterations_saved.fetch_add(saved, Relaxed);
     }
 
+    /// One block solve's compaction accounting: `compactions` slab
+    /// shrinks, `matvec_columns` columns actually applied, `saved`
+    /// columns avoided versus a fixed-width run.
+    pub fn record_block(&self, compactions: u64, matvec_columns: u64, saved: u64) {
+        self.block_compactions.fetch_add(compactions, Relaxed);
+        self.block_matvec_columns.fetch_add(matvec_columns, Relaxed);
+        self.block_matvec_columns_saved.fetch_add(saved, Relaxed);
+    }
+
     /// Update the result-cache occupancy gauge.
     pub fn set_cache_bytes(&self, bytes: u64) {
         self.cache_bytes.store(bytes, Relaxed);
@@ -234,6 +255,9 @@ impl ServeCounters {
             warm_hits: self.warm_hits.load(Relaxed),
             warm_seeded_columns: self.warm_seeded_columns.load(Relaxed),
             warm_iterations_saved: self.warm_iterations_saved.load(Relaxed),
+            block_compactions: self.block_compactions.load(Relaxed),
+            block_matvec_columns: self.block_matvec_columns.load(Relaxed),
+            block_matvec_columns_saved: self.block_matvec_columns_saved.load(Relaxed),
             cache_bytes: self.cache_bytes.load(Relaxed),
             warm_cache_bytes: self.warm_cache_bytes.load(Relaxed),
             latency_count: self.latency.count(),
@@ -294,6 +318,17 @@ mod tests {
         assert_eq!(s.requests, 400);
         assert_eq!(s.points, 800);
         assert_eq!(s.cache_hits, 400);
+    }
+
+    #[test]
+    fn block_counters_accumulate_across_solves() {
+        let c = ServeCounters::new();
+        c.record_block(3, 5120, 2944);
+        c.record_block(0, 900, 0);
+        let s = c.snapshot();
+        assert_eq!(s.block_compactions, 3);
+        assert_eq!(s.block_matvec_columns, 6020);
+        assert_eq!(s.block_matvec_columns_saved, 2944);
     }
 
     #[test]

@@ -151,6 +151,24 @@ pub enum SolverEvent {
         /// column of the same run.
         iterations_saved: usize,
     },
+    /// Terminal digest of one block (batched multi-start) power run:
+    /// how far adaptive compaction shrank the slab and how many
+    /// matvec-columns it avoided relative to a fixed-width run. Emitted
+    /// once per block solve, after the last column froze.
+    BlockProgress {
+        /// Columns the block started with (slab width `k`).
+        columns: usize,
+        /// Columns still live when the run ended (0 when every column
+        /// froze — converged, broke down, or exhausted its budget).
+        live: usize,
+        /// Number of compaction passes that shrank the active slab.
+        compactions: u64,
+        /// Matvec-columns actually applied (Σ live width per step).
+        matvec_columns: u64,
+        /// Matvec-columns avoided versus a fixed-width run of the same
+        /// length (`iterations·k − matvec_columns`).
+        matvec_columns_saved: u64,
+    },
     /// Build/reproducibility provenance for the run: emitted once at the
     /// start of a traced solve so resumed runs are auditable.
     BuildInfo {
@@ -185,6 +203,7 @@ impl SolverEvent {
             SolverEvent::CheckpointLoaded { .. } => "checkpoint_loaded",
             SolverEvent::CheckpointRejected { .. } => "checkpoint_rejected",
             SolverEvent::WarmStart { .. } => "warm_start",
+            SolverEvent::BlockProgress { .. } => "block_progress",
             SolverEvent::BuildInfo { .. } => "build_info",
         }
     }
@@ -287,6 +306,20 @@ impl SolverEvent {
                 let _ = write!(s, ",\"source\":\"{source}\",\"from_p\":");
                 push_f64(&mut s, from_p);
                 let _ = write!(s, ",\"iterations_saved\":{iterations_saved}");
+            }
+            SolverEvent::BlockProgress {
+                columns,
+                live,
+                compactions,
+                matvec_columns,
+                matvec_columns_saved,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"columns\":{columns},\"live\":{live},\"compactions\":{compactions},\
+                     \"matvec_columns\":{matvec_columns},\
+                     \"matvec_columns_saved\":{matvec_columns_saved}"
+                );
             }
             SolverEvent::BuildInfo {
                 version,
@@ -496,6 +529,23 @@ mod tests {
             e.to_json_line(),
             "{\"event\":\"warm_start\",\"source\":\"continuation\",\
              \"from_p\":0.012,\"iterations_saved\":640}"
+        );
+    }
+
+    #[test]
+    fn block_progress_event_encodes_compaction_accounting() {
+        let e = SolverEvent::BlockProgress {
+            columns: 16,
+            live: 0,
+            compactions: 3,
+            matvec_columns: 5120,
+            matvec_columns_saved: 2944,
+        };
+        assert_eq!(e.tag(), "block_progress");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"block_progress\",\"columns\":16,\"live\":0,\"compactions\":3,\
+             \"matvec_columns\":5120,\"matvec_columns_saved\":2944}"
         );
     }
 

@@ -50,7 +50,7 @@ pub mod summary;
 pub use counters::{ServeCounters, ServeCountersSnapshot};
 pub use event::SolverEvent;
 pub use sinks::{JsonLinesProbe, NullProbe, RecordingProbe, Tee};
-pub use summary::TraceSummary;
+pub use summary::{BlockTotals, TraceSummary};
 
 /// A sink for [`SolverEvent`]s.
 ///

@@ -71,9 +71,30 @@ pub struct TraceSummary {
     pub warm_started: u64,
     /// Summed `iterations_saved` across all warm-started columns.
     pub warm_iterations_saved: u64,
+    /// `(columns, live, compactions, matvec_columns, matvec_columns_saved)`
+    /// aggregated over all [`SolverEvent::BlockProgress`] events: columns
+    /// and counters sum across block runs, `live` keeps the last value.
+    pub block: Option<BlockTotals>,
     /// `(version, isa, threads, checkpoint_format)` from the last
     /// [`SolverEvent::BuildInfo`] event, if any.
     pub build_info: Option<(&'static str, &'static str, usize, u32)>,
+}
+
+/// Aggregated block-compaction accounting across a run's
+/// [`SolverEvent::BlockProgress`] events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockTotals {
+    /// Total columns summed across block runs.
+    pub columns: u64,
+    /// Live columns reported by the last block event (0 after a clean
+    /// finish).
+    pub live: u64,
+    /// Compaction passes summed across block runs.
+    pub compactions: u64,
+    /// Matvec-columns actually applied, summed across block runs.
+    pub matvec_columns: u64,
+    /// Matvec-columns avoided versus fixed-width runs, summed.
+    pub matvec_columns_saved: u64,
 }
 
 impl TraceSummary {
@@ -156,6 +177,20 @@ impl TraceSummary {
                 } => {
                     s.warm_started += 1;
                     s.warm_iterations_saved += iterations_saved as u64;
+                }
+                SolverEvent::BlockProgress {
+                    columns,
+                    live,
+                    compactions,
+                    matvec_columns,
+                    matvec_columns_saved,
+                } => {
+                    let totals = s.block.get_or_insert_with(BlockTotals::default);
+                    totals.columns += columns as u64;
+                    totals.live = live as u64;
+                    totals.compactions += compactions;
+                    totals.matvec_columns += matvec_columns;
+                    totals.matvec_columns_saved += matvec_columns_saved;
                 }
                 SolverEvent::BuildInfo {
                     version,
@@ -259,6 +294,14 @@ impl fmt::Display for TraceSummary {
                 Some(iter) => writeln!(f, ", resumed from iteration {iter}")?,
                 None => writeln!(f)?,
             }
+        }
+        if let Some(block) = self.block {
+            writeln!(
+                f,
+                "  block:    {} column(s), {} compaction(s), \
+                 {} matvec-column(s) applied, {} saved",
+                block.columns, block.compactions, block.matvec_columns, block.matvec_columns_saved
+            )?;
         }
         if let Some((version, isa, threads, format)) = self.build_info {
             writeln!(
@@ -490,6 +533,46 @@ mod tests {
         assert_eq!(s.warm_iterations_saved, 750);
         let text = s.to_string();
         assert!(text.contains("2 column(s) warm-started, ~750 iteration(s) saved"));
+    }
+
+    #[test]
+    fn block_progress_events_are_aggregated_and_surfaced() {
+        let events = vec![
+            SolverEvent::BlockProgress {
+                columns: 16,
+                live: 0,
+                compactions: 3,
+                matvec_columns: 5120,
+                matvec_columns_saved: 2944,
+            },
+            SolverEvent::BlockProgress {
+                columns: 8,
+                live: 0,
+                compactions: 1,
+                matvec_columns: 900,
+                matvec_columns_saved: 100,
+            },
+            SolverEvent::Converged {
+                iterations: 504,
+                matvecs: 6020,
+                residual: 1e-13,
+                lambda: 2.0,
+            },
+        ];
+        let s = TraceSummary::from_events(&events);
+        let block = s.block.expect("block totals recorded");
+        assert_eq!(block.columns, 24);
+        assert_eq!(block.live, 0);
+        assert_eq!(block.compactions, 4);
+        assert_eq!(block.matvec_columns, 6020);
+        assert_eq!(block.matvec_columns_saved, 3044);
+        let text = s.to_string();
+        assert!(text
+            .contains("24 column(s), 4 compaction(s), 6020 matvec-column(s) applied, 3044 saved"));
+        // A stream with no block events keeps the line out of the digest.
+        let plain = TraceSummary::from_events(&[SolverEvent::IterationStart { iter: 1 }]);
+        assert_eq!(plain.block, None);
+        assert!(!plain.to_string().contains("block:"));
     }
 
     #[test]

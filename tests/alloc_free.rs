@@ -52,6 +52,53 @@ fn fmmp_engines_solve_without_allocating_past_warmup() {
 }
 
 #[test]
+fn warmed_block_sweep_runs_allocation_free_with_and_without_compaction() {
+    // The compacting block path draws every buffer — the column slab,
+    // its image, the owner/position/status/iteration index maps and the
+    // per-column λ/residual records — from the workspace pool, so a
+    // warmed repeat sweep must never miss the pool, whichever way the
+    // compaction knob is set.
+    use quasispecies::{LandscapeSpec, Method, Scheduling, SolveRequest, Workspace};
+
+    for compact in [true, false] {
+        let request = SolveRequest {
+            landscape: LandscapeSpec::SinglePeak {
+                nu: 9,
+                f0: 4.0,
+                f_rest: 1.0,
+            },
+            ps: (0..6).map(|i| 0.005 + 0.005 * i as f64).collect(),
+            method: Method::Power,
+            tol: 1e-11,
+            max_iter: 200_000,
+            scheduling: Scheduling {
+                parallel: false,
+                warm_start: true,
+                compact,
+            },
+        };
+        let mut ws = Workspace::new();
+        let first = request.run_in(&mut ws).unwrap();
+        first.recycle(&mut ws);
+        ws.mark();
+        let second = request.run_in(&mut ws).unwrap();
+        assert_eq!(
+            ws.bytes_since_mark(),
+            0,
+            "compact={compact}: warmed block sweep missed the pool"
+        );
+        assert!(second.points.iter().all(|p| p.solution.stats.converged));
+        if compact {
+            assert!(
+                second.block.matvec_columns_saved > 0,
+                "the zero-alloc gate must cover a run where compaction engaged"
+            );
+        }
+        second.recycle(&mut ws);
+    }
+}
+
+#[test]
 fn allocation_event_rides_after_the_terminal_event() {
     let landscape = Random::new(8, 5.0, 1.0, 11);
     let mut rec = RecordingProbe::new();

@@ -21,6 +21,7 @@ fn run(landscape: LandscapeSpec, ps: &[f64], method: Method, warm_start: bool) -
         scheduling: Scheduling {
             parallel: false,
             warm_start,
+            compact: true,
         },
     };
     request.run().expect("sweep solves")
@@ -184,6 +185,61 @@ fn faulted_recovery_solves_stay_cold_and_agree_with_the_warm_sweep() {
             "{label}: faulted cold recovery disagrees with the warm sweep by {dl:e} at p={p}"
         );
     }
+}
+
+#[test]
+fn compaction_keeps_warm_sweeps_bit_identical_and_cheaper() {
+    // Scheduling.compact only changes how many matvec-columns the block
+    // loop pays — never the per-column iterate sequence. A warm sweep
+    // with compaction must reproduce the uncompacted sweep bit for bit
+    // while applying strictly fewer matvec-columns.
+    let ps: Vec<f64> = (0..12).map(|i| 0.004 + 0.004 * i as f64).collect();
+    let landscape = LandscapeSpec::Random {
+        nu: 8,
+        c: 5.0,
+        sigma: 1.0,
+        seed: 42,
+    };
+    let solve = |compact: bool| -> SolveResult {
+        SolveRequest {
+            landscape: landscape.clone(),
+            ps: ps.clone(),
+            method: Method::Power,
+            tol: TOL,
+            max_iter: 400_000,
+            scheduling: Scheduling {
+                parallel: false,
+                warm_start: true,
+                compact,
+            },
+        }
+        .run()
+        .expect("sweep solves")
+    };
+    let full = solve(false);
+    let compacted = solve(true);
+    for (f, c) in full.points.iter().zip(&compacted.points) {
+        assert_eq!(f.solution.lambda, c.solution.lambda, "bit-identical lambda");
+        assert_eq!(f.solution.concentrations, c.solution.concentrations);
+        assert_eq!(f.solution.stats.iterations, c.solution.stats.iterations);
+    }
+    assert_eq!(full.block.compactions, 0, "compact=false never compacts");
+    assert_eq!(full.block.matvec_columns_saved, 0);
+    assert!(
+        compacted.block.compactions > 0,
+        "staggered convergence must trigger at least one compaction"
+    );
+    assert!(
+        compacted.block.matvec_columns < full.block.matvec_columns,
+        "compaction must pay fewer matvec-columns ({} vs {})",
+        compacted.block.matvec_columns,
+        full.block.matvec_columns
+    );
+    assert_eq!(
+        compacted.block.matvec_columns + compacted.block.matvec_columns_saved,
+        full.block.matvec_columns,
+        "saved + applied must equal the fixed-width bill"
+    );
 }
 
 #[test]

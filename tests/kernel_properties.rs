@@ -272,6 +272,72 @@ fn lane_kernels_are_bit_identical_across_isas_on_odd_tails() {
     qs_matvec::simd::reset_auto();
 }
 
+#[test]
+fn block_compaction_is_bit_identical_per_engine_and_isa() {
+    // Adaptive block compaction reorders which slab slot a column lives
+    // in — never the per-element arithmetic — so a compacting block run
+    // must reproduce the forced-full-width run bit for bit on every
+    // engine (staged / fused / parallel) under every SIMD dispatch.
+    use qs_matvec::{Fmmp, LinearOperator, ParFmmp};
+    use quasispecies::{block_power_iteration_in, PowerOptions, Workspace};
+
+    let _guard = isa_lock();
+    let nu = 8u32;
+    let n = 1usize << nu;
+    let k = 4usize;
+    // Staggered starts: the dominant eigenvector of the mutation-only
+    // operator Q is uniform; perturbations spanning decades make the
+    // columns freeze at well-separated iterations so compaction fires.
+    let mut starts = Vec::with_capacity(n * k);
+    for s in 0..k {
+        let eps = 10f64.powi(-3 * (k - 1 - s) as i32);
+        let noise = probe_vector(n, 91_000 + s as u64);
+        starts.extend(noise.iter().map(|&z| 1.0 + eps * z));
+    }
+    let opts = |threshold: f64| PowerOptions {
+        tol: 1e-12,
+        compact_threshold: threshold,
+        ..Default::default()
+    };
+
+    let engines: Vec<(&str, Box<dyn LinearOperator>)> = vec![
+        ("fmmp-staged", Box::new(Fmmp::new(nu, 0.1))),
+        ("fmmp-fused", Box::new(Fmmp::fused(nu, 0.1))),
+        ("par-staged", Box::new(ParFmmp::new(nu, 0.1))),
+        ("par-fused", Box::new(ParFmmp::fused(nu, 0.1))),
+    ];
+    let mut ws = Workspace::new();
+    for isa in available_isas() {
+        qs_matvec::simd::force(isa).expect("available() said yes");
+        for (engine, op) in &engines {
+            let tag = format!("engine={engine} isa={}", isa.name());
+            let full = block_power_iteration_in(op.as_ref(), &starts, &opts(0.0), &mut ws);
+            let compacted = block_power_iteration_in(op.as_ref(), &starts, &opts(0.75), &mut ws);
+            assert_eq!(full.compactions, 0, "{tag}: threshold 0 must not compact");
+            assert!(
+                compacted.compactions > 0,
+                "{tag}: staggered freezes must trigger compaction"
+            );
+            assert!(
+                compacted.matvec_columns < full.matvec_columns,
+                "{tag}: compaction must apply fewer matvec-columns"
+            );
+            for (c, (fo, co)) in full.columns.iter().zip(&compacted.columns).enumerate() {
+                assert_eq!(fo.lambda.to_bits(), co.lambda.to_bits(), "{tag} col {c}");
+                assert_eq!(
+                    fo.residual.to_bits(),
+                    co.residual.to_bits(),
+                    "{tag} col {c}"
+                );
+                assert_eq!(fo.iterations, co.iterations, "{tag} col {c}");
+                assert_eq!(fo.converged, co.converged, "{tag} col {c}");
+                assert_bits_equal(&fo.vector, &co.vector, &format!("{tag} col {c} vector"));
+            }
+        }
+    }
+    qs_matvec::simd::reset_auto();
+}
+
 fn check_batch(nu: u32, k: usize) {
     let n = 1usize << nu;
     let mut slab = Vec::with_capacity(n * k);

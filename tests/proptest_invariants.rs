@@ -320,6 +320,149 @@ proptest! {
     }
 }
 
+/// Staggered block starts for the mutation-only operator `Q`: its
+/// dominant eigenvector is uniform, so column `s` starts at the
+/// eigenvector plus a perturbation shrinking by three decades per
+/// column — the columns freeze at well-separated iterations, which is
+/// exactly the regime adaptive compaction exists for.
+fn staggered_starts(n: usize, k: usize, seed: u64) -> Vec<f64> {
+    let mut starts = Vec::with_capacity(n * k);
+    for s in 0..k {
+        let eps = 10f64.powi(-3 * (k - 1 - s) as i32);
+        let noise = pseudorandom_slab(n, seed ^ (s as u64).wrapping_mul(0x9E3779B9));
+        starts.extend(noise.iter().map(|&z| 1.0 + eps * z));
+    }
+    starts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adaptive block compaction is a pure cost optimisation: for
+    /// arbitrary (ν, k, threshold, p), every per-column result of a
+    /// compacting run is **bit-identical** to the forced-full-width run,
+    /// and the matvec-column accounting closes exactly
+    /// (`applied + saved = iterations·k`).
+    #[test]
+    fn block_compaction_is_bit_identical_for_arbitrary_shapes(
+        p in (50u32..=490).prop_map(|i| i as f64 / 1000.0),
+        nu in 3u32..=8,
+        k_idx in 0usize..4,
+        t_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use quasispecies::{block_power_iteration, PowerOptions};
+        let k = [2usize, 3, 4, 6][k_idx];
+        let threshold = [0.25, 0.5, 0.75, 1.0][t_idx];
+        let n = 1usize << nu;
+        let starts = staggered_starts(n, k, seed);
+        let opts = |th: f64| PowerOptions {
+            tol: 1e-12,
+            max_iter: 5_000,
+            compact_threshold: th,
+            ..Default::default()
+        };
+        let op = Fmmp::fused(nu, p);
+        let full = block_power_iteration(&op, &starts, &opts(0.0));
+        let compacted = block_power_iteration(&op, &starts, &opts(threshold));
+
+        prop_assert_eq!(full.compactions, 0);
+        prop_assert_eq!(full.matvec_columns_saved, 0);
+        prop_assert_eq!(full.matvec_columns, full.iterations as u64 * k as u64);
+        prop_assert_eq!(compacted.iterations, full.iterations);
+        prop_assert_eq!(
+            compacted.matvec_columns + compacted.matvec_columns_saved,
+            compacted.iterations as u64 * k as u64,
+            "accounting must close exactly"
+        );
+        prop_assert_eq!(compacted.best, full.best);
+        for (c, (fo, co)) in full.columns.iter().zip(&compacted.columns).enumerate() {
+            prop_assert_eq!(fo.lambda.to_bits(), co.lambda.to_bits(), "col {} lambda", c);
+            prop_assert_eq!(fo.residual.to_bits(), co.residual.to_bits(), "col {} residual", c);
+            prop_assert_eq!(fo.iterations, co.iterations, "col {} iterations", c);
+            prop_assert_eq!(fo.converged, co.converged, "col {} converged", c);
+            for (i, (a, b)) in fo.vector.iter().zip(&co.vector).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "col {} element {}", c, i);
+            }
+        }
+    }
+
+    /// Edge: every column starts at the exact dominant eigenvector and
+    /// freezes on the first step — compaction never fires (the slab is
+    /// empty the moment it could) and the run pays exactly one
+    /// matvec-column per column.
+    #[test]
+    fn block_compaction_noop_when_all_columns_converge_at_step_one(
+        p in (50u32..=490).prop_map(|i| i as f64 / 1000.0),
+        nu in 3u32..=8,
+        k in 2usize..=6,
+    ) {
+        use quasispecies::{block_power_iteration, PowerOptions};
+        let n = 1usize << nu;
+        let starts = vec![1.0; n * k];
+        let opts = PowerOptions {
+            tol: 1e-12,
+            max_iter: 5_000,
+            compact_threshold: 0.75,
+            ..Default::default()
+        };
+        let out = block_power_iteration(&Fmmp::fused(nu, p), &starts, &opts);
+        prop_assert_eq!(out.iterations, 1);
+        prop_assert_eq!(out.compactions, 0);
+        prop_assert_eq!(out.matvec_columns, k as u64);
+        prop_assert_eq!(out.matvec_columns_saved, 0);
+        for col in &out.columns {
+            prop_assert!(col.converged);
+            prop_assert_eq!(col.iterations, 1);
+        }
+    }
+
+    /// Edge: an unreachable tolerance means no column ever freezes early,
+    /// so compaction has nothing to do — the run pays the full fixed-width
+    /// bill and still matches the threshold-0 run bit for bit.
+    #[test]
+    fn block_compaction_noop_when_no_column_ever_converges(
+        p in (50u32..=490).prop_map(|i| i as f64 / 1000.0),
+        nu in 3u32..=7,
+        k in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        use quasispecies::{block_power_iteration, PowerOptions};
+        let n = 1usize << nu;
+        // Sign-mixed noise, far from the dominant eigenvector: seven
+        // steps cannot reach an exact fixed point (a column *at* the
+        // eigenvector can measure a residual of exactly 0.0, which would
+        // converge even against an unreachable tolerance).
+        let starts = pseudorandom_slab(n * k, seed);
+        let max_iter = 7usize;
+        let opts = |th: f64| PowerOptions {
+            tol: 1e-300,
+            max_iter,
+            compact_threshold: th,
+            ..Default::default()
+        };
+        let op = Fmmp::fused(nu, p);
+        let full = block_power_iteration(&op, &starts, &opts(0.0));
+        let compacted = block_power_iteration(&op, &starts, &opts(0.75));
+        for out in [&full, &compacted] {
+            prop_assert_eq!(out.iterations, max_iter);
+            prop_assert_eq!(out.compactions, 0, "no freeze, no compaction");
+            prop_assert_eq!(out.matvec_columns, (max_iter * k) as u64);
+            prop_assert_eq!(out.matvec_columns_saved, 0);
+            for col in &out.columns {
+                prop_assert!(!col.converged);
+                prop_assert_eq!(col.iterations, max_iter);
+            }
+        }
+        for (fo, co) in full.columns.iter().zip(&compacted.columns) {
+            prop_assert_eq!(fo.lambda.to_bits(), co.lambda.to_bits());
+            for (a, b) in fo.vector.iter().zip(&co.vector) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
+
 /// Deterministic SplitMix64-filled slab in (-2, 2): sign-mixed inputs
 /// exercise cancellation paths a positive vector would miss.
 fn pseudorandom_slab(len: usize, seed: u64) -> Vec<f64> {
@@ -369,6 +512,7 @@ proptest! {
             stall_count: 0,
             residual_history: vec![1.0, 0.1, 0.01],
             iterate: pseudorandom_slab(32, seed),
+            block: None,
         };
         let bytes = snap.encode().unwrap();
         // Round-trip sanity: the undamaged frame decodes.
